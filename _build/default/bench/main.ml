@@ -1,0 +1,298 @@
+(* Benchmark harness: regenerates every table of the paper (Tables 1 and 2),
+   replays the Appendix A attack experiments, adds a message-complexity
+   scaling sweep, and times the simulator stacks with Bechamel.
+
+   Usage: main.exe [table1|table2|attack|scaling|ablation|bechamel|all]
+   Default: all.  Monte-Carlo run counts are chosen so the full harness
+   completes in well under a minute; EXPERIMENTS.md records a reference
+   output. *)
+
+module Summary = Bca_util.Summary
+module Tablefmt = Bca_util.Tablefmt
+module Value = Bca_util.Value
+module Types = Bca_core.Types
+module Aba = Bca_core.Aba
+module Table1 = Bca_experiments.Table1
+module Table2 = Bca_experiments.Table2
+module Cz_attack = Bca_adversary.Cz_attack
+module Mmr_attack = Bca_adversary.Mmr_attack
+
+let runs = 4000
+
+let seed = 20260706L
+
+let fmt_mean s = Printf.sprintf "%.2f ± %.2f" s.Summary.mean s.Summary.ci95
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: crash-fault setting.                                        *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "Table 1 - crash faults (n=5, t=2): expected broadcasts to termination";
+  let strong = Table1.strong ~runs ~seed in
+  let weak eps = Table1.weak ~eps ~runs ~seed:(Int64.add seed 1L) in
+  let w2 = weak 0.5 and w4 = weak 0.25 and w8 = weak 0.125 in
+  Tablefmt.print
+    ~header:[ "cell"; "Aguilera-Toueg"; "paper (ours)"; "measured" ]
+    [ [ "strong coin"; "-"; "7"; fmt_mean strong ];
+      [ "weak coin e=1/2"; "-"; "3/e+4 = 10"; fmt_mean w2 ];
+      [ "weak coin e=1/4"; "-"; "3/e+4 = 16"; fmt_mean w4 ];
+      [ "weak coin e=1/8"; "-"; "3/e+4 = 28"; fmt_mean w8 ] ];
+  print_newline ();
+  print_endline "Distribution of the strong-coin cell (geometric coin-retry mixture):";
+  Format.printf "%a" Bca_util.Histogram.pp
+    (Bca_util.Histogram.of_floats (Table1.strong_raw ~runs:4000 ~seed));
+  print_newline ();
+  print_endline "n-independence of the constant-round cells:";
+  Tablefmt.print
+    ~header:[ "n"; "t"; "strong (paper 7) | weak e=1/4 (paper 16)" ]
+    (List.map
+       (fun n ->
+         [ string_of_int n; string_of_int ((n - 1) / 2);
+           fmt_mean
+             (Table1.strong_n ~n ~runs:800
+                ~seed:(Int64.add seed (Int64.of_int (12 + n))))
+           ^ " | weak e=1/4: "
+           ^ fmt_mean
+               (Table1.weak_n ~n ~eps:0.25 ~runs:800
+                  ~seed:(Int64.add seed (Int64.of_int (20 + n)))) ])
+       [ 5; 9; 13 ]);
+  print_newline ();
+  print_endline "Local coin (expected rounds to termination, worst-case adversary):";
+  let rows =
+    List.map
+      (fun n ->
+        let ours = Table1.local_rounds ~n ~runs:600 ~seed:(Int64.add seed 2L) in
+        let benor = Table1.benor_rounds ~n ~runs:600 ~seed:(Int64.add seed 3L) in
+        [ string_of_int n;
+          Printf.sprintf "O(2^%d) = %.0f" (2 * n) (2.0 ** float_of_int (2 * n));
+          fmt_mean benor;
+          Printf.sprintf "O(2^%d) = %.0f" n (2.0 ** float_of_int n);
+          fmt_mean ours ])
+      [ 3; 5; 7 ]
+  in
+  Tablefmt.print
+    ~header:
+      [ "n"; "Ben-Or bound (A-T)"; "Ben-Or measured"; "ours bound (paper)"; "ours measured" ]
+    rows;
+  print_endline
+    "(Aguilera-Toueg's O(2^2n) is an upper bound; the strongest adversary\n\
+     implemented here extracts ~2^(n-1) rounds from Ben-Or.  The paper's\n\
+     improvement is the proven guarantee: O(2^n) with the same adversary\n\
+     class.  See EXPERIMENTS.md.)"
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: Byzantine setting.                                          *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  section "Table 2 - Byzantine faults (n=4, t=1): expected broadcasts to termination";
+  let s1 = Table2.strong_t1 ~runs ~seed:(Int64.add seed 4L) in
+  let s2 = Table2.strong_2t1 ~runs ~seed:(Int64.add seed 5L) in
+  let ts = Table2.tsig ~runs ~seed:(Int64.add seed 6L) in
+  let weak eps = Table2.weak_t1 ~eps ~runs:2000 ~seed:(Int64.add seed 7L) in
+  let w2 = weak 0.5 and w4 = weak 0.25 in
+  Tablefmt.print
+    ~header:[ "cell"; "[28] MMR15"; "[9] CZ"; "[11] Crain"; "paper (ours)"; "measured" ]
+    [ [ "strong t+1"; "-"; "-"; "-"; "17 (crit. path 15)"; fmt_mean s1 ];
+      [ "strong 2t+1"; "-"; "15"; "13"; "13"; fmt_mean s2 ];
+      [ "weak t+1, e=1/2"; "12/e+9 = 33"; "-"; "6/e+6 = 18"; "6/e+6 = 18"; fmt_mean w2 ];
+      [ "weak t+1, e=1/4"; "12/e+9 = 57"; "-"; "6/e+6 = 30"; "6/e+6 = 30"; fmt_mean w4 ];
+      [ "strong 2t+1 + tsig"; "-"; "-"; "-"; "9"; fmt_mean ts ] ];
+  print_newline ();
+  print_endline "n-independence of the strong t+1 cell (t Byzantine parties):";
+  Tablefmt.print
+    ~header:[ "n"; "t"; "measured broadcasts" ]
+    (List.map
+       (fun n ->
+         [ string_of_int n; string_of_int ((n - 1) / 3);
+           fmt_mean
+             (Table2.strong_t1_n ~n ~runs:800
+                ~seed:(Int64.add seed (Int64.of_int (40 + n)))) ])
+       [ 4; 7; 10 ]);
+  print_endline
+    "(The paper charges 4 broadcasts to every plain BCA-Byz round; rounds\n\
+     with unanimous inputs carry no amplification traffic, so the measured\n\
+     critical path of the 17-cell is 15.  [28]/[9]/[11] columns are the\n\
+     published figures the paper compares against.)"
+
+(* ------------------------------------------------------------------ *)
+(* Appendix A attacks.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let attack () =
+  section "Appendix A - adaptive liveness attacks (n=4, t=1, 25 rounds per run)";
+  let show name (r : Cz_attack.result) =
+    [ name;
+      (match r.Cz_attack.first_commit_round with
+      | None -> "NO COMMIT (liveness violated)"
+      | Some k -> Printf.sprintf "commit in round %d" k);
+      string_of_bool r.Cz_attack.agreement_ok;
+      string_of_int r.Cz_attack.peeks_denied ]
+  in
+  let show_m name (r : Mmr_attack.result) =
+    [ name;
+      (match r.Mmr_attack.first_commit_round with
+      | None -> "NO COMMIT (liveness violated)"
+      | Some k -> Printf.sprintf "commit in round %d" k);
+      string_of_bool r.Mmr_attack.agreement_ok;
+      string_of_int r.Mmr_attack.peeks_denied ]
+  in
+  Tablefmt.print
+    ~header:[ "protocol / coin"; "outcome"; "safety kept"; "coin peeks denied" ]
+    [ show "Cachin-Zanolini, t-unpredictable" (Cz_attack.run ~degree:`T ~rounds:25 ~seed);
+      show "Cachin-Zanolini, 2t-unpredictable" (Cz_attack.run ~degree:`TwoT ~rounds:25 ~seed);
+      show_m "MMR PODC'14, t-unpredictable" (Mmr_attack.run ~degree:`T ~rounds:25 ~seed);
+      show_m "MMR PODC'14, 2t-unpredictable" (Mmr_attack.run ~degree:`TwoT ~rounds:25 ~seed) ];
+  let ours = Table2.strong_t1 ~runs:500 ~seed:(Int64.add seed 8L) in
+  Printf.printf
+    "\n\
+     Contrast - AA-1/2 over BCA-Byz under its worst-case adaptive adversary\n\
+     with a t-unpredictable coin: terminates in %s broadcasts (binding fixes\n\
+     the surviving value before any coin access).\n"
+    (fmt_mean ours)
+
+(* ------------------------------------------------------------------ *)
+(* Scaling: message complexity.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let scaling () =
+  section "Message-complexity scaling (random schedule, messages to global termination)";
+  let sample spec ~cfg =
+    let inputs =
+      Array.init cfg.Types.n (fun i -> if i mod 2 = 0 then Value.V0 else Value.V1)
+    in
+    let samples =
+      List.filter_map
+        (fun k ->
+          match Aba.run ~seed:(Int64.add seed (Int64.of_int (100 + k))) spec ~cfg ~inputs with
+          | Ok r -> Some (float_of_int r.Aba.deliveries)
+          | Error _ -> None)
+        (List.init 30 Fun.id)
+    in
+    Summary.of_floats samples
+  in
+  let rows =
+    List.concat
+      [ List.map
+          (fun (n, t) ->
+            let cfg = Types.cfg ~n ~t in
+            let s = sample Aba.Byz_strong ~cfg in
+            [ "ABA (byz/strong)"; string_of_int n;
+              Printf.sprintf "%.0f" s.Summary.mean;
+              Printf.sprintf "%.1f" (s.Summary.mean /. float_of_int (n * n)) ])
+          [ (4, 1); (7, 2); (10, 3); (13, 4) ];
+        List.map
+          (fun (n, t) ->
+            let cfg = Types.cfg ~n ~t in
+            let s = sample Aba.Crash_strong ~cfg in
+            [ "ACA (crash/strong)"; string_of_int n;
+              Printf.sprintf "%.0f" s.Summary.mean;
+              Printf.sprintf "%.1f" (s.Summary.mean /. float_of_int (n * n)) ])
+          [ (5, 2); (9, 4); (13, 6) ] ]
+  in
+  Tablefmt.print ~header:[ "protocol"; "n"; "messages (mean)"; "messages / n^2" ] rows;
+  print_endline
+    "(messages / n^2 stays flat: the O(n^2) message complexity the paper\n\
+     claims as asymptotically optimal [16])"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: design choices DESIGN.md calls out.                       *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  section "Ablations (n=4, t=1, mixed inputs, fair lockstep, 2000 runs)";
+  let module A = Bca_experiments.Ablation in
+  let opt_on, opt_off = A.ev_optimizations ~runs:2000 ~seed:(Int64.add seed 9L) in
+  let plain, graded = A.graded_vs_plain ~runs:2000 ~seed:(Int64.add seed 10L) in
+  let tail = A.termination_layer ~runs:2000 ~seed:(Int64.add seed 11L) in
+  Tablefmt.print
+    ~header:[ "ablation"; "variant A"; "variant B"; "delta" ]
+    [ [ "Appendix G.1 optimizations";
+        "on: " ^ fmt_mean opt_on;
+        "off: " ^ fmt_mean opt_off;
+        Printf.sprintf "%.2f broadcasts saved" (opt_off.Summary.mean -. opt_on.Summary.mean) ];
+      [ "grading (GBCA vs BCA, strong coin)";
+        "plain: " ^ fmt_mean plain;
+        "graded: " ^ fmt_mean graded;
+        Printf.sprintf
+          "%+.2f on fair runs (grade 2 commits coin-free; reversed under the adversary)"
+          (graded.Summary.mean -. plain.Summary.mean) ];
+      [ "termination layer tail"; "-"; "-";
+        Printf.sprintf "%s broadcasts from first commit to global termination"
+          (fmt_mean tail) ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wall-clock benches: one Test per table/experiment family.   *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel () =
+  section "Wall-clock micro-benchmarks (Bechamel, monotonic clock)";
+  let open Bechamel in
+  let open Toolkit in
+  let run_acs () =
+    let cfg = Types.cfg ~n:4 ~t:1 in
+    let params = { Bca_acs.Acs.cfg; coin_seed = 7L } in
+    let exec =
+      Bca_netsim.Async_exec.create ~n:4 ~make:(fun pid ->
+          let t, init = Bca_acs.Acs.create params ~me:pid ~proposal:"tx" in
+          (Bca_acs.Acs.node t, List.map (fun m -> Bca_netsim.Node.Broadcast m) init))
+    in
+    let rng = Bca_util.Rng.create 3L in
+    ignore
+      (Bca_netsim.Async_exec.run exec (Bca_netsim.Async_exec.random_scheduler rng)
+        : Bca_netsim.Async_exec.outcome)
+  in
+  let tests =
+    [ Test.make ~name:"table1.strong (one adversarial run)"
+        (Staged.stage (fun () -> ignore (Table1.strong ~runs:1 ~seed:1L : Summary.t)));
+      Test.make ~name:"table1.weak e=1/4 (one adversarial run)"
+        (Staged.stage (fun () -> ignore (Table1.weak ~eps:0.25 ~runs:1 ~seed:2L : Summary.t)));
+      Test.make ~name:"table2.strong_t1 (one adversarial run)"
+        (Staged.stage (fun () -> ignore (Table2.strong_t1 ~runs:1 ~seed:3L : Summary.t)));
+      Test.make ~name:"table2.strong_2t1 (one adversarial run)"
+        (Staged.stage (fun () -> ignore (Table2.strong_2t1 ~runs:1 ~seed:4L : Summary.t)));
+      Test.make ~name:"table2.tsig (one adversarial run)"
+        (Staged.stage (fun () -> ignore (Table2.tsig ~runs:1 ~seed:5L : Summary.t)));
+      Test.make ~name:"attack.cz (5 rounds)"
+        (Staged.stage (fun () ->
+             ignore (Cz_attack.run ~degree:`T ~rounds:5 ~seed:6L : Cz_attack.result)));
+      Test.make ~name:"acs n=4 (one honest run)" (Staged.stage run_acs) ]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg_b = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg_b [ instance ] test in
+      let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+      let estimates = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-45s %12.0f ns/run\n" name est
+          | _ -> Printf.printf "%-45s (no estimate)\n" name)
+        estimates)
+    tests
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match which with
+  | "table1" -> table1 ()
+  | "table2" -> table2 ()
+  | "attack" -> attack ()
+  | "scaling" -> scaling ()
+  | "ablation" -> ablation ()
+  | "bechamel" -> bechamel ()
+  | "all" ->
+    table1 ();
+    table2 ();
+    attack ();
+    scaling ();
+    ablation ();
+    bechamel ()
+  | other ->
+    Printf.eprintf "unknown section %S (table1|table2|attack|scaling|ablation|bechamel|all)\n" other;
+    exit 1

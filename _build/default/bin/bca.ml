@@ -1,0 +1,310 @@
+(* Command-line interface for the library.
+
+     bca run     - run one binary agreement over a simulated cluster
+     bca tables  - print the Table 1 / Table 2 reproductions
+     bca attack  - replay the Appendix A adaptive liveness attacks
+     bca acs     - run the HoneyBadger-style common-subset demo
+
+   All runs are deterministic in the --seed argument. *)
+
+open Cmdliner
+module Value = Bca_util.Value
+module Types = Bca_core.Types
+module Aba = Bca_core.Aba
+module Summary = Bca_util.Summary
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let seed_arg =
+  Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed.")
+
+(* ------------------------------------------------------------------ *)
+(* bca run                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let spec_of_string s eps =
+  match s with
+  | "crash-strong" -> Ok Aba.Crash_strong
+  | "crash-weak" -> Ok (Aba.Crash_weak eps)
+  | "crash-local" -> Ok Aba.Crash_local
+  | "byz-strong" -> Ok Aba.Byz_strong
+  | "byz-weak" -> Ok (Aba.Byz_weak eps)
+  | "byz-tsig" -> Ok Aba.Byz_tsig
+  | other -> Error (Printf.sprintf "unknown stack %S" other)
+
+let run_cmd =
+  let stack =
+    Arg.(
+      value
+      & opt string "byz-strong"
+      & info [ "stack" ]
+          ~doc:
+            "Protocol stack: crash-strong | crash-weak | crash-local | byz-strong | \
+             byz-weak | byz-tsig.")
+  in
+  let eps =
+    Arg.(value & opt float 0.25 & info [ "eps" ] ~doc:"Coin goodness for the weak stacks.")
+  in
+  let inputs =
+    Arg.(
+      value
+      & opt string "0110"
+      & info [ "inputs" ] ~docv:"BITS" ~doc:"One input bit per party; length fixes n.")
+  in
+  let t_arg =
+    Arg.(value & opt (some int) None & info [ "t" ] ~doc:"Fault bound (default: maximal).")
+  in
+  let action stack eps inputs t_opt seed =
+    match spec_of_string stack eps with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok spec ->
+      let n = String.length inputs in
+      let byz = match spec with Aba.Crash_strong | Aba.Crash_weak _ | Aba.Crash_local -> false | _ -> true in
+      let t =
+        match t_opt with Some t -> t | None -> if byz then (n - 1) / 3 else (n - 1) / 2
+      in
+      let cfg = Types.cfg ~n ~t in
+      let input_arr =
+        Array.init n (fun i -> Value.of_bool (inputs.[i] = '1'))
+      in
+      (match Aba.run ~seed spec ~cfg ~inputs:input_arr with
+      | Ok r ->
+        Format.printf "stack:      %a (n=%d, t=%d)@." Aba.pp_spec spec n t;
+        Format.printf "inputs:     %s@." inputs;
+        Format.printf "agreed:     %a@." Value.pp r.Aba.value;
+        Format.printf "messages:   %d@." r.Aba.deliveries;
+        Format.printf "coin rounds:%d@." r.Aba.rounds
+      | Error e ->
+        prerr_endline e;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one binary agreement over a simulated honest cluster.")
+    Term.(const action $ stack $ eps $ inputs $ t_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bca tables                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let tables_cmd =
+  let runs =
+    Arg.(value & opt int 1000 & info [ "runs" ] ~doc:"Monte-Carlo runs per cell.")
+  in
+  let action runs seed =
+    let fmt s = Printf.sprintf "%.2f ± %.2f" s.Summary.mean s.Summary.ci95 in
+    let module T1 = Bca_experiments.Table1 in
+    let module T2 = Bca_experiments.Table2 in
+    Bca_util.Tablefmt.print
+      ~header:[ "table"; "cell"; "paper"; "measured" ]
+      [ [ "1"; "crash, strong coin"; "7"; fmt (T1.strong ~runs ~seed) ];
+        [ "1"; "crash, weak e=1/4"; "16"; fmt (T1.weak ~eps:0.25 ~runs ~seed) ];
+        [ "2"; "byz, strong t+1"; "17 (cp 15)"; fmt (T2.strong_t1 ~runs ~seed) ];
+        [ "2"; "byz, strong 2t+1"; "13"; fmt (T2.strong_2t1 ~runs ~seed) ];
+        [ "2"; "byz, weak e=1/4"; "30"; fmt (T2.weak_t1 ~eps:0.25 ~runs ~seed) ];
+        [ "2"; "byz, tsig"; "9"; fmt (T2.tsig ~runs ~seed) ] ]
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Reproduce the paper's Table 1 and Table 2 cells.")
+    Term.(const action $ runs $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bca attack                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let attack_cmd =
+  let target =
+    Arg.(value & opt string "cz" & info [ "target" ] ~doc:"cz (Cachin-Zanolini) or mmr.")
+  in
+  let degree =
+    Arg.(
+      value & opt string "t"
+      & info [ "coin" ] ~doc:"Coin unpredictability: t (attack succeeds) or 2t (fails).")
+  in
+  let rounds = Arg.(value & opt int 30 & info [ "rounds" ] ~doc:"Attack rounds.") in
+  let action target degree rounds seed =
+    let deg = if degree = "2t" then `TwoT else `T in
+    let first_commit, agreement, peeks =
+      match target with
+      | "mmr" ->
+        let r = Bca_adversary.Mmr_attack.run ~degree:deg ~rounds ~seed in
+        Bca_adversary.Mmr_attack.
+          (r.first_commit_round, r.agreement_ok, r.peeks_denied)
+      | _ ->
+        let r = Bca_adversary.Cz_attack.run ~degree:deg ~rounds ~seed in
+        Bca_adversary.Cz_attack.(r.first_commit_round, r.agreement_ok, r.peeks_denied)
+    in
+    Format.printf "target: %s, coin degree: %s@." target degree;
+    (match first_commit with
+    | None -> Format.printf "NO COMMIT in %d rounds: liveness violated@." rounds
+    | Some r -> Format.printf "first commitment in round %d: attack failed@." r);
+    Format.printf "safety kept: %b; coin peeks denied: %d@." agreement peeks
+  in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Replay the Appendix A adaptive liveness attack.")
+    Term.(const action $ target $ degree $ rounds $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bca acs                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let acs_cmd =
+  let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Number of replicas (>= 3t+1).") in
+  let silent =
+    Arg.(value & opt (some int) None & info [ "silent" ] ~doc:"Replica that never speaks.")
+  in
+  let action n silent seed =
+    let t = (n - 1) / 3 in
+    let cfg = Types.cfg ~n ~t in
+    let params = { Bca_acs.Acs.cfg; coin_seed = Int64.add seed 7L } in
+    let states = Array.make n None in
+    let exec =
+      Bca_netsim.Async_exec.create ~n ~make:(fun pid ->
+          if Some pid = silent then (Bca_netsim.Node.silent, [])
+          else begin
+            let st, init =
+              Bca_acs.Acs.create params ~me:pid ~proposal:(Printf.sprintf "batch-%d" pid)
+            in
+            states.(pid) <- Some st;
+            (Bca_acs.Acs.node st, List.map (fun m -> Bca_netsim.Node.Broadcast m) init)
+          end)
+    in
+    let rng = Bca_util.Rng.create seed in
+    (match Bca_netsim.Async_exec.run exec (Bca_netsim.Async_exec.random_scheduler rng) with
+    | `All_terminated -> Format.printf "ACS terminated (n=%d, t=%d)@." n t
+    | _ -> Format.printf "ACS failed to terminate@.");
+    Array.iteri
+      (fun pid st ->
+        match Option.bind st Bca_acs.Acs.output with
+        | Some slots ->
+          Format.printf "replica %d: {%s}@." pid
+            (String.concat ", " (List.map (fun (j, _) -> string_of_int j) slots))
+        | None -> if Some pid <> silent then Format.printf "replica %d: no output@." pid)
+      states
+  in
+  Cmd.v
+    (Cmd.info "acs" ~doc:"Run the HoneyBadger-style common subset on the paper's ABA.")
+    Term.(const action $ n $ silent $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bca trace                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let limit =
+    Arg.(value & opt int 60 & info [ "limit" ] ~doc:"Deliveries to print before going quiet.")
+  in
+  let inputs =
+    Arg.(value & opt string "0110" & info [ "inputs" ] ~docv:"BITS" ~doc:"Input bits (n=4).")
+  in
+  let action limit inputs seed =
+    let module Stack = Bca_core.Aba.Byz_strong_stack in
+    let n = 4 in
+    let cfg = Types.cfg ~n ~t:1 in
+    let coin =
+      Bca_coin.Coin.create Bca_coin.Coin.Strong ~n ~degree:1 ~seed:(Int64.add seed 1L)
+    in
+    let params = { Stack.cfg; mode = `Byz; coin; bca_params = (fun ~round:_ -> cfg) } in
+    let states = Array.make n None in
+    let exec =
+      Bca_netsim.Async_exec.create ~n ~make:(fun pid ->
+          let st, init =
+            Stack.create params ~me:pid ~input:(Value.of_bool (inputs.[pid] = '1'))
+          in
+          states.(pid) <- Some st;
+          (Stack.node st, List.map (fun m -> Bca_netsim.Node.Broadcast m) init))
+    in
+    let count = ref 0 in
+    Bca_netsim.Async_exec.set_observer exec (fun env ->
+        incr count;
+        if !count <= limit then
+          Format.printf "%4d  d%-2d  %d -> %d  %a@." !count
+            env.Bca_netsim.Async_exec.depth env.Bca_netsim.Async_exec.src
+            env.Bca_netsim.Async_exec.dst Stack.pp_msg env.Bca_netsim.Async_exec.payload
+        else if !count = limit + 1 then Format.printf "      ... (further deliveries elided)@.");
+    let rng = Bca_util.Rng.create seed in
+    (match Bca_netsim.Async_exec.run exec (Bca_netsim.Async_exec.random_scheduler rng) with
+    | `All_terminated ->
+      Format.printf "terminated after %d deliveries, critical path %d broadcasts@." !count
+        (Bca_netsim.Async_exec.max_depth exec)
+    | _ -> Format.printf "did not terminate@.");
+    Array.iteri
+      (fun pid st ->
+        match Option.bind st Stack.committed with
+        | Some v -> Format.printf "party %d committed %a@." pid Value.pp v
+        | None -> ())
+      states
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run ABA (n=4, byz/strong) and print the delivery-by-delivery transcript.")
+    Term.(const action $ limit $ inputs $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bca verify                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let verify_cmd =
+  let protocol =
+    Arg.(
+      value & opt string "bca-crash"
+      & info [ "protocol" ]
+          ~doc:
+            "bca-crash (Algorithm 3), gbca-crash (Algorithm 5) or bca-byz (Algorithm 4, \
+             bounded, n=4 with an injection-modelled Byzantine party).")
+  in
+  let inputs =
+    Arg.(value & opt string "010" & info [ "inputs" ] ~docv:"BITS" ~doc:"Input bits; length = n.")
+  in
+  let crashes = Arg.(value & opt int 0 & info [ "crashes" ] ~doc:"Crash events to place.") in
+  let cap =
+    Arg.(
+      value & opt int 300_000
+      & info [ "max-configurations" ] ~doc:"Exploration bound (exhaustive below it).")
+  in
+  let action protocol inputs crashes cap =
+    let n = String.length inputs in
+    let t = (n - 1) / 2 in
+    let input_arr = Array.init n (fun i -> Value.of_bool (inputs.[i] = '1')) in
+    let verdict =
+      match protocol with
+      | "gbca-crash" ->
+        Bca_modelcheck.Models.check_gbca_crash ~n ~t ~inputs:input_arr ~crashes
+          ~max_configurations:cap ()
+      | "bca-byz" ->
+        let input_arr =
+          if n = 4 then input_arr
+          else Array.init 4 (fun i -> if i < n then input_arr.(i) else Value.V0)
+        in
+        Bca_modelcheck.Models.check_bca_byz ~inputs:input_arr ~max_configurations:cap ()
+      | _ ->
+        Bca_modelcheck.Models.check_bca_crash ~n ~t ~inputs:input_arr ~crashes
+          ~max_configurations:cap ()
+    in
+    match verdict with
+    | Bca_modelcheck.Modelcheck.Verified s ->
+      Format.printf
+        "VERIFIED: agreement, validity, termination and binding hold over %d reachable          configurations (%d terminal%s)@."
+        s.Bca_modelcheck.Modelcheck.configurations s.Bca_modelcheck.Modelcheck.terminals
+        (if s.Bca_modelcheck.Modelcheck.truncated then
+           "; exploration TRUNCATED at the configuration cap"
+         else "; exploration complete")
+    | Bca_modelcheck.Modelcheck.Violated reason ->
+      Format.printf "VIOLATED: %s@." reason;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Exhaustively model-check a crash protocol: every delivery order and crash           placement for the given inputs.")
+    Term.(const action $ protocol $ inputs $ crashes $ cap)
+
+let () =
+  let info =
+    Cmd.info "bca" ~version:"1.0.0"
+      ~doc:"Binding Crusader Agreement: adaptively secure asynchronous binary agreement."
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; tables_cmd; attack_cmd; acs_cmd; verify_cmd; trace_cmd ]))

@@ -1,0 +1,1 @@
+examples/acs_batch.ml: Array Bca_acs Bca_core Bca_netsim Bca_util Format List

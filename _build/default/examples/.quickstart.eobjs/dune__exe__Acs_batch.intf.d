@@ -1,0 +1,1 @@
+examples/acs_batch.mli:

@@ -1,0 +1,1 @@
+examples/atomic_broadcast.ml: Array Bca_acs Bca_core Bca_netsim Bca_util Format List Option

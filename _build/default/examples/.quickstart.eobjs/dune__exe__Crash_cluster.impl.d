@@ -1,0 +1,1 @@
+examples/crash_cluster.ml: Array Bca_adversary Bca_coin Bca_core Bca_netsim Bca_util Format List Option

@@ -1,0 +1,1 @@
+examples/liveness_attack.ml: Bca_adversary Bca_experiments Bca_util Format

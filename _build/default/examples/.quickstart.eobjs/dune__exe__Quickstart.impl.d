@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bca_core Bca_util Format

@@ -1,0 +1,1 @@
+lib/acs/acs.ml: Array Bca_baselines Bca_coin Bca_core Bca_netsim Bca_util Format Int64 List

@@ -1,0 +1,1 @@
+lib/acs/acs.mli: Bca_baselines Bca_core Bca_netsim Format

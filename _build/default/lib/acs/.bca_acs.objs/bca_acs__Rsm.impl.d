@@ -1,0 +1,1 @@
+lib/acs/rsm.ml: Acs Bca_core Bca_netsim Format Hashtbl Int64 List Option String

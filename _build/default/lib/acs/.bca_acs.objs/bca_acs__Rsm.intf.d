@@ -1,0 +1,1 @@
+lib/acs/rsm.mli: Acs Bca_core Bca_netsim Format

@@ -1,0 +1,153 @@
+module Value = Bca_util.Value
+module Coin = Bca_coin.Coin
+module Types = Bca_core.Types
+module Bracha = Bca_baselines.Bracha
+module Aba_slot = Bca_core.Aa_strong.Make (Bca_core.Bca_byz)
+
+type payload = string
+
+type msg = Rbc of int * payload Bracha.msg | Aba of int * Aba_slot.msg
+
+let pp_msg ppf = function
+  | Rbc (j, m) -> Format.fprintf ppf "rbc%d:%a" j (Bracha.pp_msg Format.pp_print_string) m
+  | Aba (j, m) -> Format.fprintf ppf "aba%d:%a" j Aba_slot.pp_msg m
+
+type params = { cfg : Types.cfg; coin_seed : int64 }
+
+type slot = {
+  rbc : payload Bracha.t;
+  mutable aba : Aba_slot.t option;  (* started once the input is known *)
+  mutable buffered : (Types.pid * Aba_slot.msg) list;  (* reverse order *)
+}
+
+type t = {
+  p : params;
+  me : Types.pid;
+  slots : slot array;
+  mutable zero_filled : bool;  (* inputs 0 sent to the remaining slots *)
+  mutable terminated : bool;
+}
+
+let wrap j msgs = List.map (fun m -> Aba (j, m)) msgs
+
+let slot_coin t j =
+  Coin.create Coin.Strong ~n:t.p.cfg.Types.n ~degree:t.p.cfg.Types.t
+    ~seed:(Int64.add t.p.coin_seed (Int64.of_int (31 * j)))
+
+let aba_params t j =
+  { Aba_slot.cfg = t.p.cfg;
+    mode = `Byz;
+    coin = slot_coin t j;
+    bca_params = (fun ~round:_ -> t.p.cfg) }
+
+(* Start ABA_j with [input], replaying any buffered traffic. *)
+let start_aba t j input =
+  let slot = t.slots.(j) in
+  match slot.aba with
+  | Some _ -> []
+  | None ->
+    let aba, init = Aba_slot.create (aba_params t j) ~me:t.me ~input in
+    slot.aba <- Some aba;
+    let replayed =
+      List.concat_map
+        (fun (from, m) -> Aba_slot.handle aba ~from m)
+        (List.rev slot.buffered)
+    in
+    slot.buffered <- [];
+    wrap j (init @ replayed)
+
+let decided_one t =
+  Array.fold_left
+    (fun acc slot ->
+      match slot.aba with
+      | Some aba when Aba_slot.committed aba = Some Value.V1 -> acc + 1
+      | Some _ | None -> acc)
+    0 t.slots
+
+(* The ACS input rules: 1 on RBC delivery, 0 for the rest once n - t slots
+   have decided 1. *)
+let progress t =
+  let out = ref [] in
+  Array.iteri
+    (fun j slot ->
+      if slot.aba = None && Bracha.delivered slot.rbc <> None then
+        out := !out @ start_aba t j Value.V1)
+    t.slots;
+  if (not t.zero_filled) && decided_one t >= Types.quorum t.p.cfg then begin
+    t.zero_filled <- true;
+    Array.iteri
+      (fun j slot -> if slot.aba = None then out := !out @ start_aba t j Value.V0)
+      t.slots
+  end;
+  !out
+
+let create p ~me ~proposal =
+  Types.check_byz_resilience p.cfg;
+  let t =
+    { p;
+      me;
+      slots =
+        Array.init p.cfg.Types.n (fun j ->
+            { rbc = Bracha.create p.cfg ~me ~sender:j; aba = None; buffered = [] });
+      zero_filled = false;
+      terminated = false }
+  in
+  let init =
+    List.map (fun m -> Rbc (me, m)) (Bracha.broadcast t.slots.(me).rbc proposal)
+  in
+  (t, init)
+
+let output t =
+  let all_committed =
+    Array.for_all
+      (fun slot -> match slot.aba with Some aba -> Aba_slot.committed aba <> None | None -> false)
+      t.slots
+  in
+  if not all_committed then None
+  else begin
+    let accepted = ref [] in
+    let missing = ref false in
+    Array.iteri
+      (fun j slot ->
+        match slot.aba with
+        | Some aba when Aba_slot.committed aba = Some Value.V1 ->
+          (match Bracha.delivered slot.rbc with
+          | Some payload -> accepted := (j, payload) :: !accepted
+          | None -> missing := true)
+        | Some _ | None -> ())
+      t.slots;
+    if !missing then None else Some (List.sort compare !accepted)
+  end
+
+let all_slots_terminated t =
+  Array.for_all
+    (fun slot -> match slot.aba with Some aba -> Aba_slot.terminated aba | None -> false)
+    t.slots
+
+let handle t ~from msg =
+  if t.terminated then []
+  else begin
+    let out =
+      match msg with
+      | Rbc (j, m) ->
+        List.map (fun m -> Rbc (j, m)) (Bracha.handle t.slots.(j).rbc ~from m)
+      | Aba (j, m) ->
+        let slot = t.slots.(j) in
+        (match slot.aba with
+        | Some aba -> wrap j (Aba_slot.handle aba ~from m)
+        | None ->
+          slot.buffered <- (from, m) :: slot.buffered;
+          [])
+    in
+    let out = out @ progress t in
+    if output t <> None && all_slots_terminated t then t.terminated <- true;
+    out
+  end
+
+let terminated t = t.terminated
+
+let node t =
+  Bca_netsim.Node.make
+    ~receive:(fun ~src m -> List.map (fun m -> Bca_netsim.Node.Broadcast m) (handle t ~from:src m))
+    ~terminated:(fun () -> t.terminated)
+    ()

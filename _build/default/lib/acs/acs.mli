@@ -1,0 +1,51 @@
+(** Asynchronous Common Subset in the HoneyBadger style, built on the
+    paper's ABA.
+
+    This is the workload Section 1.2 motivates: HoneyBadger, BEAT and
+    DUMBO-MVBA all consume one binary agreement instance per proposer and
+    would inherit this paper's adaptive security and round complexity.
+
+    Construction ([n >= 3t + 1]):
+
+    + each party reliably broadcasts its proposal (one {!Bca_baselines.Bracha}
+      instance per proposer);
+    + party [i] inputs 1 to ABA_j as soon as RBC_j delivers, and 0 to every
+      not-yet-started ABA once [n - t] ABAs have decided 1;
+    + the output is the set of proposals whose ABA decided 1 - guaranteed to
+      contain at least [n - t] slots, to be common to all honest parties,
+      and to be deliverable (an accepted slot's RBC eventually delivers
+      everywhere).
+
+    Each ABA slot runs AA-1/2 over BCA-Byz with its own strong coin.
+    Messages for a slot whose local input is not yet known are buffered and
+    replayed - an extra network delay, which asynchrony permits. *)
+
+module Types = Bca_core.Types
+module Aba_slot : module type of Bca_core.Aa_strong.Make (Bca_core.Bca_byz)
+
+type payload = string
+
+type msg =
+  | Rbc of int * payload Bca_baselines.Bracha.msg  (** proposer slot *)
+  | Aba of int * Aba_slot.msg
+
+val pp_msg : Format.formatter -> msg -> unit
+
+type params = {
+  cfg : Types.cfg;
+  coin_seed : int64;  (** seeds the per-slot strong coins *)
+}
+
+type t
+
+val create : params -> me:Types.pid -> proposal:payload -> t * msg list
+val handle : t -> from:Types.pid -> msg -> msg list
+
+val output : t -> (int * payload) list option
+(** [Some slots] once the common subset is decided and all accepted
+    payloads are delivered: the accepted (proposer, payload) pairs, sorted
+    by proposer.  Guaranteed identical at every honest party. *)
+
+val terminated : t -> bool
+
+val node : t -> msg Bca_netsim.Node.t

@@ -1,0 +1,125 @@
+module Types = Bca_core.Types
+
+type tx = string
+
+type msg = Epoch of int * Acs.msg
+
+let pp_msg ppf (Epoch (e, m)) = Format.fprintf ppf "e%d:%a" e Acs.pp_msg m
+
+type params = { cfg : Types.cfg; coin_seed : int64; epochs : int }
+
+type t = {
+  p : params;
+  me : Types.pid;
+  instances : (int, Acs.t) Hashtbl.t;  (* epoch -> ACS *)
+  buffered : (int, (Types.pid * Acs.msg) list) Hashtbl.t;  (* future epochs *)
+  mutable epoch : int;
+  mutable proposed : tx list;  (* in flight in the current epoch *)
+  mutable pending : tx list;  (* waiting for a future epoch, reverse order *)
+  mutable log : tx list;  (* committed, reverse order *)
+  mutable terminated : bool;
+}
+
+let sep = ';'
+
+let encode_batch txs = String.concat (String.make 1 sep) txs
+
+let decode_batch payload =
+  List.filter (fun s -> s <> "") (String.split_on_char sep payload)
+
+let wrap e msgs = List.map (fun m -> Epoch (e, m)) msgs
+
+let acs_params t e =
+  { Acs.cfg = t.p.cfg; coin_seed = Int64.add t.p.coin_seed (Int64.of_int (101 * e)) }
+
+(* Open epoch [e] with the currently pending transactions as the proposal,
+   replaying any buffered traffic for it. *)
+let start_epoch t e =
+  let batch = List.rev t.pending in
+  t.pending <- [];
+  t.proposed <- batch;
+  let inst, init = Acs.create (acs_params t e) ~me:t.me ~proposal:(encode_batch batch) in
+  Hashtbl.replace t.instances e inst;
+  let replayed =
+    match Hashtbl.find_opt t.buffered e with
+    | Some msgs ->
+      Hashtbl.remove t.buffered e;
+      List.concat_map (fun (from, m) -> Acs.handle inst ~from m) (List.rev msgs)
+    | None -> []
+  in
+  wrap e (init @ replayed)
+
+(* Commit finished epochs and open the next one. *)
+let rec advance t =
+  if t.terminated then []
+  else
+    match Hashtbl.find_opt t.instances t.epoch with
+    | None -> []
+    | Some inst ->
+      (match Acs.output inst with
+      | None -> []
+      | Some slots ->
+        let accepted_mine = List.exists (fun (j, _) -> j = t.me) slots in
+        List.iter
+          (fun (_, payload) ->
+            List.iter (fun tx -> t.log <- tx :: t.log) (decode_batch payload))
+          slots;
+        (* a rejected proposal is re-queued for the next epoch *)
+        if not accepted_mine then
+          t.pending <- List.rev_append t.proposed t.pending;
+        t.proposed <- [];
+        t.epoch <- t.epoch + 1;
+        if t.epoch >= t.p.epochs then begin
+          t.terminated <- true;
+          []
+        end
+        else start_epoch t t.epoch @ advance t)
+
+let create p ~me =
+  Types.check_byz_resilience p.cfg;
+  if p.epochs <= 0 then invalid_arg "Rsm.create: epochs must be positive";
+  let t =
+    { p;
+      me;
+      instances = Hashtbl.create 8;
+      buffered = Hashtbl.create 8;
+      epoch = 0;
+      proposed = [];
+      pending = [];
+      log = [];
+      terminated = false }
+  in
+  let init = start_epoch t 0 in
+  (t, init)
+
+let submit t tx = t.pending <- tx :: t.pending
+
+let handle t ~from msg =
+  if t.terminated then []
+  else begin
+    let (Epoch (e, m)) = msg in
+    let out =
+      match Hashtbl.find_opt t.instances e with
+      | Some inst -> wrap e (Acs.handle inst ~from m)
+      | None ->
+        if e > t.epoch then begin
+          let prev = Option.value ~default:[] (Hashtbl.find_opt t.buffered e) in
+          Hashtbl.replace t.buffered e ((from, m) :: prev);
+          []
+        end
+        else []
+    in
+    out @ advance t
+  end
+
+let log t = List.rev t.log
+
+let current_epoch t = t.epoch
+
+let terminated t = t.terminated
+
+let node t =
+  Bca_netsim.Node.make
+    ~receive:(fun ~src m -> List.map (fun m -> Bca_netsim.Node.Broadcast m) (handle t ~from:src m))
+    ~terminated:(fun () -> t.terminated)
+    ()

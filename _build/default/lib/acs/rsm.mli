@@ -1,0 +1,48 @@
+(** Atomic broadcast / replicated log over repeated common subsets - the
+    full HoneyBadger loop of Section 1.2.
+
+    Each replica buffers client transactions; epoch [e] runs one {!Acs}
+    instance in which every replica proposes its current buffer, and the
+    agreed subset - identical everywhere - is appended to the log in a
+    deterministic order.  Because the subset is common and the per-epoch
+    ordering is a pure function of it, every replica's log is a prefix of
+    every other's: atomic broadcast from binary agreement, which is exactly
+    the dependency chain HoneyBadger/BEAT/DUMBO place on this paper's ABA.
+
+    Epoch [e + 1] starts only after epoch [e]'s ACS delivered locally, and
+    its messages are buffered until then, so replicas may run different
+    epochs concurrently without interference. *)
+
+module Types = Bca_core.Types
+
+type tx = string
+
+type msg = Epoch of int * Acs.msg
+
+val pp_msg : Format.formatter -> msg -> unit
+
+type params = {
+  cfg : Types.cfg;
+  coin_seed : int64;
+  epochs : int;  (** number of batches to commit before terminating *)
+}
+
+type t
+
+val create : params -> me:Types.pid -> t * msg list
+
+val submit : t -> tx -> unit
+(** Queue a transaction for this replica's next epoch proposal. *)
+
+val handle : t -> from:Types.pid -> msg -> msg list
+
+val log : t -> tx list
+(** The committed transaction sequence so far (identical prefix property
+    across honest replicas). *)
+
+val current_epoch : t -> int
+
+val terminated : t -> bool
+(** All [epochs] batches committed. *)
+
+val node : t -> msg Bca_netsim.Node.t

@@ -1,0 +1,1 @@
+lib/adversary/cz_attack.mli:

@@ -1,0 +1,1 @@
+lib/adversary/faults.ml: Bca_netsim List

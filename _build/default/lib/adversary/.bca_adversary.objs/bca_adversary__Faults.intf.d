@@ -1,0 +1,1 @@
+lib/adversary/faults.mli: Bca_netsim

@@ -1,0 +1,1 @@
+lib/adversary/mmr_attack.ml: Array Bca_baselines Bca_coin Bca_core Bca_netsim Bca_util List Option

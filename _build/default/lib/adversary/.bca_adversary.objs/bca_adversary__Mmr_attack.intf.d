@@ -1,0 +1,1 @@
+lib/adversary/mmr_attack.mli:

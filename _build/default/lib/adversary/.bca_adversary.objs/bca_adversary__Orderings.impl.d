@@ -1,0 +1,1 @@
+lib/adversary/orderings.ml: Array Bca_netsim List

@@ -1,0 +1,1 @@
+lib/adversary/orderings.mli: Bca_netsim

@@ -1,0 +1,183 @@
+module Value = Bca_util.Value
+module Types = Bca_core.Types
+module Coin = Bca_coin.Coin
+module Async = Bca_netsim.Async_exec
+module Node = Bca_netsim.Node
+module Cz = Bca_baselines.Cachin_zanolini
+
+let x = 0
+
+let y = 1
+
+let s_pid = 2
+
+let b_pid = 3
+
+type result = {
+  rounds_executed : int;
+  first_commit_round : int option;
+  agreement_ok : bool;
+  peeks_denied : int;
+}
+
+let run ~degree ~rounds ~seed =
+  let deg = match degree with `T -> 1 | `TwoT -> 2 in
+  let cfg = Types.cfg ~n:4 ~t:1 in
+  let coin = Coin.create Coin.Strong ~n:4 ~degree:deg ~seed in
+  let params = { Cz.cfg; coin } in
+  let inputs = [| Value.V0; Value.V1; Value.V0; Value.V0 |] in
+  let states : Cz.t option array = Array.make 4 None in
+  let st pid = Option.get states.(pid) in
+  let exec =
+    Async.create ~n:4 ~make:(fun pid ->
+        if pid = b_pid then (Node.silent, [])
+        else begin
+          let state, init = Cz.create params ~me:pid ~input:inputs.(pid) in
+          states.(pid) <- Some state;
+          (Cz.node state, List.map (fun m -> Node.Broadcast m) init)
+        end)
+  in
+  let inject emits = Async.inject exec ~src:b_pid emits in
+  (* Per-link FIFO pump: repeatedly deliver the head envelope of the first
+     link (in priority order) that has one and is not blocked, until the
+     goal holds or nothing can move.  Per-link heads keep every delivery
+     FIFO-consistent, which [9] assumes and the attack must respect. *)
+  let pump ~dst ~links ?(block = fun _ -> false) ~goal () =
+    let budget = ref 5_000 in
+    let head src =
+      let mine =
+        List.filter
+          (fun (e : _ Async.envelope) -> e.Async.src = src && e.Async.dst = dst)
+          (Async.inflight exec)
+      in
+      match mine with
+      | [] -> None
+      | e :: rest ->
+        Some (List.fold_left (fun acc e -> if e.Async.eid < acc.Async.eid then e else acc) e rest)
+    in
+    let rec go () =
+      if goal () || !budget <= 0 then goal ()
+      else begin
+        let step =
+          List.find_map
+            (fun src ->
+              match head src with
+              | Some e when not (block e.Async.payload) -> Some e.Async.eid
+              | Some _ | None -> None)
+            links
+        in
+        match step with
+        | Some eid ->
+          decr budget;
+          ignore (Async.deliver_eid exec eid : bool);
+          go ()
+        | None -> goal ()
+      end
+    in
+    go ()
+  in
+  let any_commit () =
+    List.find_map
+      (fun p -> match Cz.committed (st p) with Some _ -> Some p | None -> None)
+      [ x; y; s_pid ]
+  in
+  let peeks_denied = ref 0 in
+  let first_commit_round = ref None in
+  let rec play r =
+    if r > rounds then rounds
+    else begin
+      let unicast dst m = Node.Unicast (dst, m) in
+      (* A: X abv-delivers 0 then 1; Y abv-delivers 1 then 0.  B's value
+         injections are staggered per sub-phase: its link is FIFO too, so an
+         early injection would flip the recipient's delivery order. *)
+      let delivered p v = List.mem v (Cz.delivered (st p) ~round:r) in
+      inject [ unicast x (Cz.MValue (r, Value.V0)) ];
+      let ok_a1 =
+        pump ~dst:x ~links:[ x; b_pid; y; s_pid ] ~goal:(fun () -> delivered x Value.V0) ()
+      in
+      inject [ unicast x (Cz.MValue (r, Value.V1)) ];
+      let ok_a2 =
+        pump ~dst:x ~links:[ x; b_pid; y; s_pid ]
+          ~goal:(fun () -> delivered x Value.V0 && delivered x Value.V1)
+          ()
+      in
+      inject [ unicast y (Cz.MValue (r, Value.V1)) ];
+      let ok_a3 =
+        pump ~dst:y ~links:[ y; b_pid; x; s_pid ] ~goal:(fun () -> delivered y Value.V1) ()
+      in
+      inject [ unicast y (Cz.MValue (r, Value.V0)) ];
+      let ok_a4 =
+        pump ~dst:y ~links:[ y; b_pid; x; s_pid ]
+          ~goal:(fun () -> delivered y Value.V0 && delivered y Value.V1)
+          ()
+      in
+      (* B/C: mixed views freeze, coins release, X and Y adopt the coin. *)
+      inject
+        [ unicast x (Cz.MAux (r, Value.V0));
+          unicast x (Cz.MAux (r, Value.V1));
+          unicast y (Cz.MAux (r, Value.V0));
+          unicast y (Cz.MAux (r, Value.V1));
+          unicast x (Cz.MRelease r);
+          unicast y (Cz.MRelease r) ];
+      let resolved p = Cz.current_round (st p) > r in
+      let ok_bx = pump ~dst:x ~links:[ x; b_pid; y ] ~goal:(fun () -> resolved x) () in
+      let ok_by = pump ~dst:y ~links:[ y; b_pid; x ] ~goal:(fun () -> resolved y) () in
+      (* The adaptive step: read the coin now - legal only if enough parties
+         already accessed it - and steer S to the complement. *)
+      let w =
+        match Coin.adversary_peek coin ~round:r with
+        | Some (Coin.All_same sv) -> Value.negate sv
+        | Some Coin.Adversarial -> Value.V1
+        | None ->
+          incr peeks_denied;
+          Value.V1
+      in
+      let p_link = if Value.equal w Value.V0 then x else y in
+      inject
+        [ unicast s_pid (Cz.MValue (r, w));
+          unicast s_pid (Cz.MAux (r, w));
+          unicast s_pid (Cz.MRelease r) ];
+      let ok_d =
+        match degree with
+        | `T ->
+          (* FIFO prefix of the helpful party, cut just before its AUX for
+             the coin's value. *)
+          let block = function
+            | Cz.MAux (r', v) when r' = r && Value.equal v (Value.negate w) -> true
+            | _ -> false
+          in
+          pump ~dst:s_pid ~links:[ s_pid; b_pid; p_link ] ~block
+            ~goal:(fun () -> resolved s_pid)
+            ()
+        | `TwoT ->
+          (* The peek failed, the cut is a blind guess; deliver everything. *)
+          pump ~dst:s_pid ~links:[ s_pid; b_pid; x; y ] ~goal:(fun () -> resolved s_pid) ()
+      in
+      ignore (ok_a1 && ok_a2 && ok_a3 && ok_a4 && ok_bx && ok_by && ok_d);
+      match any_commit () with
+      | Some _ ->
+        first_commit_round := Some r;
+        r
+      | None -> play (r + 1)
+    end
+  in
+  let executed = play 1 in
+  (* Drain the network so late deliveries cannot silently break agreement
+     after the measurement window. *)
+  let rng = Bca_util.Rng.create seed in
+  ignore
+    (Async.run ~max_deliveries:200_000
+       ~stop_when:(fun _ -> false)
+       exec
+       (Async.random_scheduler rng)
+      : Async.outcome);
+  let commits = List.filter_map (fun p -> Cz.committed (st p)) [ x; y; s_pid ] in
+  let agreement_ok =
+    match commits with
+    | [] -> true
+    | v :: rest -> List.for_all (Value.equal v) rest
+  in
+  { rounds_executed = executed;
+    first_commit_round = !first_commit_round;
+    agreement_ok;
+    peeks_denied = !peeks_denied }

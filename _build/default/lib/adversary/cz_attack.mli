@@ -1,0 +1,32 @@
+(** The Appendix A adaptive liveness attack against Cachin-Zanolini.
+
+    Four parties - X, Y, S honest, B Byzantine - with X starting at 0 and Y
+    at 1.  Each round the adversary (i) walks X and Y to mixed views
+    [{0, 1}], so they adopt the round's coin; (ii) reads the coin the moment
+    the first [t + 1] parties have released it ([t]-unpredictable coin);
+    (iii) then steers the slow party S - without violating per-link FIFO -
+    to a singleton view containing the {e complement} of the coin, so S
+    adopts [1 - s].  Estimates stay split forever: nobody ever decides.
+
+    With a [2t]-unpredictable coin the peek in step (ii) fails (only two
+    parties have released), the adversary must guess, and with probability
+    1/2 per round the slow party's singleton view matches the coin and it
+    decides: the execution terminates.  This is exactly the repair the paper
+    points out ("One way to make this protocol work would be to use a
+    2f-unpredictable coin", Appendix A), and the contrast the BCA framework
+    makes unnecessary: binding forces the adversary to choose the surviving
+    value before any coin access. *)
+
+type result = {
+  rounds_executed : int;  (** attack rounds the driver completed *)
+  first_commit_round : int option;
+      (** the round in which some honest party first committed, if any:
+          [None] = the liveness violation (with the t-unpredictable coin),
+          [Some _] = the attack failed (with the 2t-unpredictable coin) *)
+  agreement_ok : bool;  (** no two honest parties committed differently *)
+  peeks_denied : int;  (** rounds where the coin refused the early peek *)
+}
+
+val run : degree:[ `T | `TwoT ] -> rounds:int -> seed:int64 -> result
+(** Play the attack for [rounds] rounds against a strong coin of the given
+    unpredictability degree. *)

@@ -1,0 +1,40 @@
+module Node = Bca_netsim.Node
+
+let crash_after ~deliveries ?(last_recipients = []) (inner : 'm Node.t) =
+  let received = ref 0 in
+  let crashed = ref false in
+  let restrict emits =
+    List.concat_map
+      (fun emit ->
+        match emit with
+        | Node.Unicast (dst, m) ->
+          if List.mem dst last_recipients then [ Node.Unicast (dst, m) ] else []
+        | Node.Broadcast m -> List.map (fun dst -> Node.Unicast (dst, m)) last_recipients)
+      emits
+  in
+  Node.make
+    ~receive:(fun ~src m ->
+      if !crashed then []
+      else if deliveries = 0 then begin
+        crashed := true;
+        []
+      end
+      else begin
+        incr received;
+        let emits = inner.Node.receive ~src m in
+        if !received >= deliveries then begin
+          crashed := true;
+          restrict emits
+        end
+        else emits
+      end)
+    ~terminated:(fun () -> !crashed || inner.Node.terminated ())
+    ()
+
+let mute (inner : 'm Node.t) =
+  Node.make
+    ~receive:(fun ~src m ->
+      ignore (inner.Node.receive ~src m : 'm Node.emit list);
+      [])
+    ~terminated:inner.Node.terminated
+    ()

@@ -1,0 +1,25 @@
+(** Fault-injection node wrappers.
+
+    Faulty parties are ordinary simulator nodes with modified behaviour, so
+    the executors stay fault-model agnostic.  These wrappers build crash
+    behaviours out of an honest node; Byzantine behaviours are hand-written
+    per attack (they need the protocol's message constructors). *)
+
+val crash_after :
+  deliveries:int ->
+  ?last_recipients:Bca_netsim.Node.pid list ->
+  'm Bca_netsim.Node.t ->
+  'm Bca_netsim.Node.t
+(** A party that behaves honestly for its first [deliveries] received
+    messages and then crashes.  The emissions triggered by the final
+    delivery model a crash in mid-broadcast: they are sent only to
+    [last_recipients] (default: nobody), so some parties may observe the
+    party's last step and others may not - the scenario the weak-validity
+    and uniform-agreement definitions of ACA exist for.
+
+    [deliveries = 0] crashes the party before it processes anything (it
+    still performs its initial sends unless the caller withholds them). *)
+
+val mute : 'm Bca_netsim.Node.t -> 'm Bca_netsim.Node.t
+(** A party that receives and updates state but never sends: models a crash
+    of the outgoing link only; used in liveness stress tests. *)

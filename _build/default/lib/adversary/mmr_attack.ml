@@ -1,0 +1,134 @@
+module Value = Bca_util.Value
+module Types = Bca_core.Types
+module Coin = Bca_coin.Coin
+module Async = Bca_netsim.Async_exec
+module Node = Bca_netsim.Node
+module Mmr = Bca_baselines.Mmr14
+
+let x = 0
+
+let y = 1
+
+let s_pid = 2
+
+let b_pid = 3
+
+type result = {
+  rounds_executed : int;
+  first_commit_round : int option;
+  agreement_ok : bool;
+  peeks_denied : int;
+}
+
+let run ~degree ~rounds ~seed =
+  let deg = match degree with `T -> 1 | `TwoT -> 2 in
+  let cfg = Types.cfg ~n:4 ~t:1 in
+  let coin = Coin.create Coin.Strong ~n:4 ~degree:deg ~seed in
+  let params = { Mmr.cfg; coin } in
+  let inputs = [| Value.V0; Value.V1; Value.V0; Value.V0 |] in
+  let states : Mmr.t option array = Array.make 4 None in
+  let st pid = Option.get states.(pid) in
+  let exec =
+    Async.create ~n:4 ~make:(fun pid ->
+        if pid = b_pid then (Node.silent, [])
+        else begin
+          let state, init = Mmr.create params ~me:pid ~input:inputs.(pid) in
+          states.(pid) <- Some state;
+          (Mmr.node state, List.map (fun m -> Node.Broadcast m) init)
+        end)
+  in
+  let inject emits = Async.inject exec ~src:b_pid emits in
+  let pump ~dst ~links ~goal () =
+    let budget = ref 5_000 in
+    let head src =
+      let mine =
+        List.filter
+          (fun (e : _ Async.envelope) -> e.Async.src = src && e.Async.dst = dst)
+          (Async.inflight exec)
+      in
+      match mine with
+      | [] -> None
+      | e :: rest ->
+        Some (List.fold_left (fun acc e -> if e.Async.eid < acc.Async.eid then e else acc) e rest)
+    in
+    let rec go () =
+      if goal () || !budget <= 0 then goal ()
+      else
+        match List.find_map (fun src -> Option.map (fun e -> e.Async.eid) (head src)) links with
+        | Some eid ->
+          decr budget;
+          ignore (Async.deliver_eid exec eid : bool);
+          go ()
+        | None -> goal ()
+    in
+    go ()
+  in
+  let any_commit () =
+    List.exists (fun p -> Mmr.committed (st p) <> None) [ x; y; s_pid ]
+  in
+  let peeks_denied = ref 0 in
+  let first_commit_round = ref None in
+  let rec play r =
+    if r > rounds then rounds
+    else begin
+      let unicast dst m = Node.Unicast (dst, m) in
+      let in_bin p v = List.mem v (Mmr.bin_values (st p) ~round:r) in
+      (* X BV-delivers 0 first, Y delivers 1 first, both end with {0, 1}. *)
+      inject [ unicast x (Mmr.Est (r, Value.V0)) ];
+      ignore (pump ~dst:x ~links:[ x; b_pid; y; s_pid ] ~goal:(fun () -> in_bin x Value.V0) ());
+      inject [ unicast x (Mmr.Est (r, Value.V1)) ];
+      ignore
+        (pump ~dst:x ~links:[ x; b_pid; y; s_pid ]
+           ~goal:(fun () -> in_bin x Value.V0 && in_bin x Value.V1)
+           ());
+      inject [ unicast y (Mmr.Est (r, Value.V1)) ];
+      ignore (pump ~dst:y ~links:[ y; b_pid; x; s_pid ] ~goal:(fun () -> in_bin y Value.V1) ());
+      inject [ unicast y (Mmr.Est (r, Value.V0)) ];
+      ignore
+        (pump ~dst:y ~links:[ y; b_pid; x; s_pid ]
+           ~goal:(fun () -> in_bin y Value.V0 && in_bin y Value.V1)
+           ());
+      (* Two-valued AUX views: X and Y adopt the coin. *)
+      inject [ unicast x (Mmr.Aux (r, Value.V1)); unicast y (Mmr.Aux (r, Value.V0)) ];
+      let resolved p = Mmr.current_round (st p) > r in
+      ignore (pump ~dst:x ~links:[ x; b_pid; y ] ~goal:(fun () -> resolved x) ());
+      ignore (pump ~dst:y ~links:[ y; b_pid; x ] ~goal:(fun () -> resolved y) ());
+      (* Adaptive step: peek, then steer S to the complement. *)
+      let w =
+        match Coin.adversary_peek coin ~round:r with
+        | Some (Coin.All_same sv) -> Value.negate sv
+        | Some Coin.Adversarial -> Value.V1
+        | None ->
+          incr peeks_denied;
+          Value.V1
+      in
+      let p_link = if Value.equal w Value.V0 then x else y in
+      inject [ unicast s_pid (Mmr.Est (r, w)); unicast s_pid (Mmr.Aux (r, w)) ];
+      (match degree with
+      | `T ->
+        ignore
+          (pump ~dst:s_pid ~links:[ s_pid; b_pid; p_link ] ~goal:(fun () -> resolved s_pid) ())
+      | `TwoT ->
+        ignore
+          (pump ~dst:s_pid ~links:[ s_pid; b_pid; x; y ] ~goal:(fun () -> resolved s_pid) ()));
+      if any_commit () then begin
+        first_commit_round := Some r;
+        r
+      end
+      else play (r + 1)
+    end
+  in
+  let executed = play 1 in
+  let rng = Bca_util.Rng.create seed in
+  ignore
+    (Async.run ~max_deliveries:200_000 exec (Async.random_scheduler rng) : Async.outcome);
+  let commits = List.filter_map (fun p -> Mmr.committed (st p)) [ x; y; s_pid ] in
+  let agreement_ok =
+    match commits with
+    | [] -> true
+    | v :: rest -> List.for_all (Value.equal v) rest
+  in
+  { rounds_executed = executed;
+    first_commit_round = !first_commit_round;
+    agreement_ok;
+    peeks_denied = !peeks_denied }

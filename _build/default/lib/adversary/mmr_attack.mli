@@ -1,0 +1,17 @@
+(** The Tholoniat-Gramoli adaptive liveness attack against MMR (PODC 2014).
+
+    Same cast and invariant as {!Cz_attack}: the adversary walks X and Y to
+    two-valued AUX views so they adopt the coin, reads the coin once the
+    first [t + 1] parties access it, and steers the slow party S to the
+    coin's complement.  MMR has no release-coin stage and does not assume
+    FIFO, so the schedule is simpler; the flaw is identical - nothing binds
+    the adversary to a value before the reveal. *)
+
+type result = {
+  rounds_executed : int;
+  first_commit_round : int option;
+  agreement_ok : bool;
+  peeks_denied : int;
+}
+
+val run : degree:[ `T | `TwoT ] -> rounds:int -> seed:int64 -> result

@@ -1,0 +1,37 @@
+module Lockstep = Bca_netsim.Lockstep
+
+type 'm verdict = Deliver of int | Defer
+
+type 'm rule = step:int -> dst:Bca_netsim.Node.pid -> 'm Lockstep.envelope -> 'm verdict
+
+let to_ordering rule ~step ~dst envs =
+  let scored =
+    List.filter_map
+      (fun (env : _ Lockstep.envelope) ->
+        match rule ~step ~dst env with
+        | Deliver prio -> Some (prio, env)
+        | Defer -> None)
+      envs
+  in
+  let sorted =
+    List.stable_sort
+      (fun (p1, (e1 : _ Lockstep.envelope)) (p2, e2) ->
+        if p1 <> p2 then compare p1 p2 else compare e1.Lockstep.eid e2.Lockstep.eid)
+      scored
+  in
+  List.map snd sorted
+
+let self_priority (env : _ Lockstep.envelope) =
+  if env.Lockstep.src = env.Lockstep.dst then Some min_int else None
+
+let interleave_priorities flags =
+  let counters = [| 0; 0 |] in
+  List.map
+    (fun flag ->
+      let i = if flag then 1 else 0 in
+      let k = counters.(i) in
+      counters.(i) <- k + 1;
+      (* The k-th member of each class gets priority 2k (class false) or
+         2k + 1 (class true): 0,1,2,3,... alternates the classes. *)
+      (2 * k) + i)
+    flags

@@ -1,0 +1,32 @@
+(** Lockstep delivery-ordering combinators for adversarial schedules.
+
+    The worst-case strategies from the paper's proofs boil down to, per
+    recipient and per protocol stage, choosing {e which} [n - t] messages a
+    quorum wait consumes and {e when} the rest arrive.  Both powers are
+    expressible as an ordering rule: each deliverable envelope is either
+    assigned a delivery priority (lower delivers first, so it lands inside
+    the quorum prefix) or deferred to a later step (asynchrony: the link is
+    slow but still reliable). *)
+
+type 'm verdict =
+  | Deliver of int  (** deliver this step, stable-ordered by priority *)
+  | Defer  (** keep in flight; the rule is asked again next step *)
+
+type 'm rule = step:int -> dst:Bca_netsim.Node.pid -> 'm Bca_netsim.Lockstep.envelope -> 'm verdict
+(** A rule must not defer an envelope forever if the protocol's liveness
+    depends on it after the run's decisions - the experiment drivers release
+    deferrals once their purpose is served, keeping schedules fair. *)
+
+val to_ordering : 'm rule -> 'm Bca_netsim.Lockstep.ordering
+(** Interpret a rule as a lockstep ordering: deliverable envelopes sorted by
+    priority (ties broken by send order), deferred ones left in flight. *)
+
+val self_priority : 'm Bca_netsim.Lockstep.envelope -> int option
+(** Helper: [Some min_int] when the envelope is a self-delivery ([src = dst]
+    - a party's loopback is not schedulable in practice), [None] otherwise. *)
+
+val interleave_priorities : bool list -> int list
+(** Helper for "mixed prefix" schedules: given the flags (e.g. "is value 1")
+    of a batch in send order, produce priorities that alternate the two
+    classes: the first [V0], the first [V1], the second [V0], ...  Used to
+    force every "all messages contain the same value?" test to fail. *)

@@ -1,0 +1,1 @@
+lib/baselines/benor.ml: Bca_coin Bca_core Bca_netsim Bca_util Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/baselines/benor.mli: Bca_coin Bca_core Bca_netsim Bca_util Format

@@ -1,0 +1,1 @@
+lib/baselines/bracha.ml: Bca_core Bca_util Format List

@@ -1,0 +1,1 @@
+lib/baselines/bracha.mli: Bca_core Format

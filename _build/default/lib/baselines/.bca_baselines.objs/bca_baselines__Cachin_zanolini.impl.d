@@ -1,0 +1,1 @@
+lib/baselines/cachin_zanolini.ml: Bca_coin Bca_core Bca_netsim Bca_util Format Hashtbl List

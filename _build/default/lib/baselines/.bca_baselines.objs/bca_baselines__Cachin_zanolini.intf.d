@@ -1,0 +1,1 @@
+lib/baselines/cachin_zanolini.mli: Bca_coin Bca_core Bca_netsim Bca_util Format

@@ -1,0 +1,1 @@
+lib/baselines/mmr14.ml: Bca_coin Bca_core Bca_netsim Bca_util Format Hashtbl List

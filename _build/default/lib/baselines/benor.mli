@@ -1,0 +1,41 @@
+(** Ben-Or (PODC 1983), crash-tolerant variant: the Aguilera-Toueg baseline
+    of Table 1.
+
+    Each round has two phases over [n >= 2t + 1] parties:
+
+    + {e report}: broadcast the estimate; on [n - t] reports, propose the
+      majority value if more than [n/2] reports agree, else propose [?];
+    + {e proposal}: on [n - t] proposals, decide [v] on [t + 1] matching
+      proposals, adopt [v] on at least one, else adopt a fresh local coin
+      flip.
+
+    Aguilera and Toueg proved this terminates against an adaptive adversary
+    in expected O(2^{2n}) rounds with the local coin; the paper's framework
+    improves the bound to O(2^n) (Table 1).  The module exposes the same
+    message-driven interface as the paper's protocols plus the committed
+    termination layer, so the same executors and adversaries drive it. *)
+
+module Types = Bca_core.Types
+
+type msg =
+  | Report of int * Bca_util.Value.t  (** round, estimate *)
+  | Proposal of int * Bca_util.Value.t option  (** round, value or [?] *)
+  | Committed of Bca_util.Value.t
+
+val pp_msg : Format.formatter -> msg -> unit
+
+type params = {
+  cfg : Types.cfg;
+  coin : Bca_coin.Coin.t;  (** [Local] for the historical protocol *)
+}
+
+type t
+
+val create : params -> me:Types.pid -> input:Bca_util.Value.t -> t * msg list
+val handle : t -> from:Types.pid -> msg -> msg list
+val committed : t -> Bca_util.Value.t option
+val terminated : t -> bool
+val current_round : t -> int
+val commit_round : t -> int option
+val est : t -> Bca_util.Value.t
+val node : t -> msg Bca_netsim.Node.t

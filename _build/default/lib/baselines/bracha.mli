@@ -1,0 +1,32 @@
+(** Bracha reliable broadcast (Information & Computation 1987).
+
+    The classical [n >= 3t + 1] primitive: a designated sender broadcasts a
+    payload; every honest party eventually delivers the same payload, and if
+    the sender is honest that payload is its input.  O(n^2) messages per
+    broadcast - the message-complexity contrast of Section 1.3, and the
+    dissemination layer of the ACS example built on the paper's ABA.
+
+    Payloads are compared structurally; instances are generic in the
+    payload type. *)
+
+module Types = Bca_core.Types
+
+type 'a msg =
+  | Initial of 'a  (** sender's value *)
+  | Echo of 'a
+  | Ready of 'a
+
+val pp_msg : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a msg -> unit
+
+type 'a t
+
+val create : Types.cfg -> me:Types.pid -> sender:Types.pid -> 'a t
+
+val broadcast : 'a t -> 'a -> 'a msg list
+(** The sender's initial step; must be called on the sender's instance. *)
+
+val handle : 'a t -> from:Types.pid -> 'a msg -> 'a msg list
+
+val delivered : 'a t -> 'a option
+(** The reliably delivered payload, once any.  Totality, agreement and
+    validity are the standard Bracha guarantees. *)

@@ -1,0 +1,60 @@
+(** Cachin-Zanolini (arXiv 2020, [9] Algorithm 4), reconstructed from the
+    paper's Appendix A narrative: the strong-coin ABA whose liveness breaks
+    against an adaptive adversary when the coin is only t-unpredictable.
+
+    Round structure ([n >= 3t + 1], FIFO links assumed by [9]):
+
+    + broadcast [(VALUE, r, est)]; relay a value received from [t + 1]
+      distinct parties; {e abv-deliver} it at [2t + 1] and broadcast
+      [(AUX, r, v)] for every delivered value;
+    + once AUX messages from [n - t] distinct parties, with values among the
+      delivered ones, have arrived (line 30 of [9]), broadcast
+      [RELEASE-COIN]; the view [B] - the value set of that first consistent
+      batch - is frozen at this point;
+    + upon [degree + 1] release-coin messages the round's coin [s] becomes
+      readable (line 33): if [B = {v}] adopt [v] and decide when [v = s];
+      otherwise adopt [s].
+
+    With a t-unpredictable coin the adversary reads [s] after the first
+    [t + 1] parties release, while a slow party's view [B] is still
+    schedulable - the Appendix A attack drives the slow party to
+    [B = {1 - s}] forever, without violating FIFO.  With a 2t-unpredictable
+    coin the same attack fails: the slow party's release is needed before
+    the reveal, and by then its view is pinned.  Both runs live in
+    [bca_adversary.Cz_attack]. *)
+
+module Types = Bca_core.Types
+
+type msg =
+  | MValue of int * Bca_util.Value.t
+  | MAux of int * Bca_util.Value.t
+  | MRelease of int  (** release-coin share for round r *)
+  | Committed of Bca_util.Value.t
+
+val pp_msg : Format.formatter -> msg -> unit
+
+type params = {
+  cfg : Types.cfg;
+  coin : Bca_coin.Coin.t;  (** the attack works iff [degree < 2t] *)
+}
+
+type t
+
+val create : params -> me:Types.pid -> input:Bca_util.Value.t -> t * msg list
+val handle : t -> from:Types.pid -> msg -> msg list
+val committed : t -> Bca_util.Value.t option
+val terminated : t -> bool
+val current_round : t -> int
+val est : t -> Bca_util.Value.t
+
+val delivered : t -> round:int -> Bca_util.Value.t list
+(** The round's abv-delivered values - read by the attack driver. *)
+
+val released : t -> round:int -> bool
+(** Whether this party has invoked release-coin for the round - the attack
+    driver keys its coin peek on the first [t + 1] of these. *)
+
+val view : t -> round:int -> Bca_util.Value.t list option
+(** The frozen line-30 view [B], once the party released. *)
+
+val node : t -> msg Bca_netsim.Node.t

@@ -1,0 +1,49 @@
+(** Mostefaoui-Moumen-Raynal (PODC 2014): signature-free ABA with O(n^2)
+    messages - and the liveness flaw against an adaptive adversary that
+    motivates this paper (Appendix A, first paragraph).
+
+    Round structure ([n >= 3t + 1]):
+
+    + {e BV-broadcast} of the estimate: broadcast [(EST, r, v)]; relay a
+      value received from [t + 1] distinct parties; add to [bin_values(r)]
+      at [2t + 1];
+    + once [bin_values] is non-empty, broadcast [(AUX, r, w)] for some
+      [w] in [bin_values];
+    + wait for AUX messages from [n - t] distinct parties whose values are
+      all in [bin_values]; let [vals] be the value set and [s] the round's
+      common coin: if [vals = {v}] then adopt [v] and decide if [v = s];
+      otherwise adopt [s].
+
+    The flaw (Tholoniat-Gramoli): after the coin is revealed, the adversary
+    can still steer which [vals] a slow party collects, keeping estimates
+    split forever.  [bca_adversary]'s driver plays that attack; the same
+    schedule against the paper's AA-1/2 terminates, because binding fixes
+    the surviving value before the coin reveal. *)
+
+module Types = Bca_core.Types
+
+type msg =
+  | Est of int * Bca_util.Value.t  (** BV-broadcast: round, value *)
+  | Aux of int * Bca_util.Value.t
+  | Committed of Bca_util.Value.t
+
+val pp_msg : Format.formatter -> msg -> unit
+
+type params = {
+  cfg : Types.cfg;
+  coin : Bca_coin.Coin.t;
+}
+
+type t
+
+val create : params -> me:Types.pid -> input:Bca_util.Value.t -> t * msg list
+val handle : t -> from:Types.pid -> msg -> msg list
+val committed : t -> Bca_util.Value.t option
+val terminated : t -> bool
+val current_round : t -> int
+val est : t -> Bca_util.Value.t
+
+val bin_values : t -> round:int -> Bca_util.Value.t list
+(** The round's delivered BV-broadcast values - read by attack drivers. *)
+
+val node : t -> msg Bca_netsim.Node.t

@@ -1,0 +1,1 @@
+lib/coin/coin.ml: Array Bca_util Hashtbl Int64

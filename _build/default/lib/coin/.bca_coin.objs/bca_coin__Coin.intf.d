@@ -1,0 +1,1 @@
+lib/coin/coin.mli: Bca_util

@@ -1,0 +1,1 @@
+lib/coin/threshold_coin.ml: Array Bca_crypto Bca_util Hashtbl Int64 List Printf

@@ -1,0 +1,1 @@
+lib/coin/threshold_coin.mli: Bca_util

@@ -1,0 +1,125 @@
+module Value = Bca_util.Value
+module Rng = Bca_util.Rng
+
+type kind = Strong | Eps of float | Local
+
+type outcome = All_same of Value.t | Adversarial
+
+type round_state = {
+  outcome : outcome;
+  per_party : Value.t array;  (* meaningful for Adversarial / Local rounds *)
+  accessed : bool array;
+  mutable naccessed : int;
+}
+
+type t = {
+  kind : kind;
+  n : int;
+  degree : int;
+  seed : int64;
+  rounds : (int, round_state) Hashtbl.t;
+  mutable adversary_choice : (round:int -> pid:int -> Value.t) option;
+}
+
+let create kind ~n ~degree ~seed =
+  (match kind with
+  | Eps e when not (e > 0.0 && e <= 0.5) -> invalid_arg "Coin.create: Eps out of (0, 1/2]"
+  | _ -> ());
+  { kind; n; degree; seed; rounds = Hashtbl.create 16; adversary_choice = None }
+
+let kind t = t.kind
+
+let degree t = t.degree
+
+let epsilon t ~n =
+  match t.kind with
+  | Strong -> 0.5
+  | Eps e -> e
+  | Local -> 2.0 ** float_of_int (-n)
+
+(* A fresh generator for round [r], independent across rounds. *)
+let round_rng t r =
+  let mixed = Int64.add t.seed (Int64.mul (Int64.of_int (r + 1)) 0x2545F4914F6CDD1DL) in
+  Rng.create mixed
+
+let default_assignment t r pid =
+  let rng = round_rng t (r * 1_000_003 + pid + 17) in
+  Value.of_bool (Rng.bool rng)
+
+let round_state t r =
+  match Hashtbl.find_opt t.rounds r with
+  | Some st -> st
+  | None ->
+    let rng = round_rng t r in
+    let st =
+      match t.kind with
+      | Strong ->
+        let v = Value.of_bool (Rng.bool rng) in
+        { outcome = All_same v;
+          per_party = Array.make t.n v;
+          accessed = Array.make t.n false;
+          naccessed = 0 }
+      | Eps e ->
+        let u = Rng.float rng in
+        if u < e then
+          { outcome = All_same Value.V0;
+            per_party = Array.make t.n Value.V0;
+            accessed = Array.make t.n false;
+            naccessed = 0 }
+        else if u < 2.0 *. e then
+          { outcome = All_same Value.V1;
+            per_party = Array.make t.n Value.V1;
+            accessed = Array.make t.n false;
+            naccessed = 0 }
+        else
+          let assign =
+            match t.adversary_choice with
+            | Some f -> fun pid -> f ~round:r ~pid
+            | None -> fun pid -> default_assignment t r pid
+          in
+          { outcome = Adversarial;
+            per_party = Array.init t.n assign;
+            accessed = Array.make t.n false;
+            naccessed = 0 }
+      | Local ->
+        let per_party = Array.init t.n (fun _ -> Value.of_bool (Rng.bool rng)) in
+        let outcome =
+          let v = per_party.(0) in
+          if Array.for_all (Value.equal v) per_party then All_same v else Adversarial
+        in
+        { outcome; per_party; accessed = Array.make t.n false; naccessed = 0 }
+    in
+    Hashtbl.replace t.rounds r st;
+    st
+
+let access t ~round ~pid =
+  let st = round_state t round in
+  if not st.accessed.(pid) then begin
+    st.accessed.(pid) <- true;
+    st.naccessed <- st.naccessed + 1
+  end;
+  st.per_party.(pid)
+
+let accesses t ~round =
+  match Hashtbl.find_opt t.rounds round with None -> 0 | Some st -> st.naccessed
+
+let adversary_peek t ~round =
+  match Hashtbl.find_opt t.rounds round with
+  | None -> None
+  | Some st ->
+    (match st.outcome with
+    | Adversarial ->
+      (* The adversary assigned these values itself; no secret to protect.
+         For the Local coin, a flip is revealed the moment its owner accesses
+         it, but the joint outcome is only knowable once everyone flipped; we
+         conservatively reveal the outcome label immediately (it only
+         strengthens the adversaries we measure against). *)
+      Some st.outcome
+    | All_same _ -> if st.naccessed >= t.degree + 1 then Some st.outcome else None)
+
+let set_adversary_choice t f =
+  t.adversary_choice <- Some f
+
+let unsafe_outcome t ~round = (round_state t round).outcome
+
+let value_for t ~round ~pid = (round_state t round).per_party.(pid)

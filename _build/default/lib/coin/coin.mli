@@ -1,0 +1,69 @@
+(** Common-coin oracles (Definition 2.1: epsilon-good, d-unpredictable).
+
+    The paper uses coins as a black box ("Building coins of various goodness
+    has been studied in other works and is not the topic of this paper") and
+    does not charge their messages against the broadcast counts (reveal-coin
+    shares are piggybacked on protocol messages, cf. Lemma F.6 / G.15).  We
+    model them the same way: an oracle shared by the parties and the
+    adversary, with
+
+    - {e goodness}: per round, with probability at least epsilon all parties
+      receive 0 and with probability at least epsilon all receive 1;
+      otherwise the adversary assigns each party's value;
+    - {e d-unpredictability}: the adversary learns nothing about a round's
+      coin until [d + 1] parties have accessed it ({!adversary_peek} returns
+      [None] before that threshold).
+
+    A 1/2-good coin is {e strong} (all parties always receive the same
+    uniform bit).  The {e local} coin is each party flipping independently -
+    the 2^-n-good coin of the Ben-Or comparison. *)
+
+type kind =
+  | Strong  (** 1/2-good: one uniform bit per round, common to all parties *)
+  | Eps of float
+      (** epsilon-good: good event with probability epsilon per side, else
+          adversary-assigned values *)
+  | Local  (** independent per-party flips (epsilon = 2^-n) *)
+
+type outcome =
+  | All_same of Bca_util.Value.t  (** every party receives this value *)
+  | Adversarial  (** the adversary assigns per-party values *)
+
+type t
+
+val create : kind -> n:int -> degree:int -> seed:int64 -> t
+(** [degree] is the unpredictability parameter [d]: the coin's round value
+    becomes visible to the adversary only once [d + 1] distinct parties have
+    accessed it. *)
+
+val kind : t -> kind
+val degree : t -> int
+
+val epsilon : t -> n:int -> float
+(** The goodness guarantee of this coin: 0.5 for [Strong], [e] for [Eps e],
+    [2. ** -. n] for [Local]. *)
+
+val access : t -> round:int -> pid:int -> Bca_util.Value.t
+(** The round-[round] coin value as seen by party [pid] (the paper's
+    [CommonCoin()] / [WeakCoin()]).  Records the access for the
+    unpredictability bookkeeping. *)
+
+val accesses : t -> round:int -> int
+(** Number of distinct parties that have accessed round [round]. *)
+
+val adversary_peek : t -> round:int -> outcome option
+(** What a (legitimate) adaptive adversary can currently see of round
+    [round]: [None] before [degree + 1] parties accessed the round's coin.
+    For an [Adversarial] round the adversary trivially knows the values (it
+    chooses them), so the outcome is visible immediately. *)
+
+val set_adversary_choice : t -> (round:int -> pid:int -> Bca_util.Value.t) -> unit
+(** Install the per-party assignment the adversary uses in [Adversarial]
+    rounds of an [Eps] coin.  Defaults to a pseudorandom assignment. *)
+
+val unsafe_outcome : t -> round:int -> outcome
+(** Ground-truth outcome regardless of unpredictability - for test oracles
+    and metrics only; a legitimate adversary must use {!adversary_peek}. *)
+
+val value_for : t -> round:int -> pid:int -> Bca_util.Value.t
+(** Ground truth value without recording an access - test oracles only. *)

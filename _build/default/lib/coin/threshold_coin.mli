@@ -1,0 +1,61 @@
+(** A message-based strong common coin in the Cachin-Kursawe-Shoup style
+    ([8], "Random oracles in Constantinople"), built on the repository's
+    threshold-signature scheme.
+
+    The paper treats coins as black-box oracles ({!Coin}); this module
+    grounds that abstraction in the construction the paper cites for the
+    authenticated setting: the round-[r] coin is derived from a unique
+    [k]-of-[n] threshold signature on the round tag, so
+
+    - {e unpredictability of degree k-1}: no one - the adversary included -
+      can evaluate the coin before [k] parties have contributed shares,
+      because fewer than [k] shares yield no signature;
+    - {e strength} (1/2-goodness): the combined signature is unique and its
+      low bit is an unbiasable pseudorandom function of the round;
+    - {e commonness}: every party that combines obtains the same signature,
+      hence the same bit.
+
+    Parties exchange {!share} values (in a real deployment these ride on
+    existing protocol messages, which is why the paper's broadcast counts
+    exclude them - see Lemma F.6); {!combine} yields the round's bit once
+    [k] distinct shares are in hand.  [test/test_coin_threshold.ml] checks
+    that the derived bits agree with an equivalent {!Coin} oracle contract:
+    common to all parties, fair, and unrevealable below the threshold. *)
+
+type t
+(** Per-party handle: this party's signing key plus the public setup. *)
+
+type share
+(** One party's coin share for some round. *)
+
+val setup : n:int -> k:int -> seed:int64 -> t array
+(** Trusted-dealer setup: [k] shares reveal a round's coin ([k = d + 1] for
+    a [d]-unpredictable coin).  Returns one handle per party. *)
+
+val share : t -> round:int -> share
+(** This party's share for round [round]. *)
+
+val share_pid : share -> int
+
+val validate : t -> round:int -> share -> bool
+(** Whether the share is a genuine round-[round] coin share of its claimed
+    sender. *)
+
+val combine : t -> round:int -> share list -> Bca_util.Value.t option
+(** [Some bit] once the list holds [k] valid shares from distinct parties;
+    the bit is identical for every combiner. *)
+
+(** Stateful per-round share collection, for embedding in protocols. *)
+module Collector : sig
+  type coin = t
+
+  type t
+
+  val create : coin -> t
+
+  val add : t -> round:int -> share -> unit
+  (** Validates and records; invalid or duplicate shares are ignored. *)
+
+  val value : t -> round:int -> Bca_util.Value.t option
+  (** The round's coin, once enough shares arrived. *)
+end

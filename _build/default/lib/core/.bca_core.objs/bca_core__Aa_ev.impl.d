@@ -1,0 +1,1 @@
+lib/core/aa_ev.ml: Bca_coin Bca_netsim Bca_util Evbca_byz Format Hashtbl List Types

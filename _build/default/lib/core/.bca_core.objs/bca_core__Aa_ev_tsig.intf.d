@@ -1,0 +1,1 @@
+lib/core/aa_ev_tsig.mli: Bca_coin Bca_crypto Bca_netsim Bca_util Evbca_tsig Format Types

@@ -1,0 +1,1 @@
+lib/core/aa_strong.mli: Bca_coin Bca_intf Bca_netsim Bca_util Format Types

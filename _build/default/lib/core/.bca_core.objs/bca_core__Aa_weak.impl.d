@@ -1,0 +1,1 @@
+lib/core/aa_weak.ml: Bca_coin Bca_intf Bca_netsim Bca_util Format Hashtbl List Types

@@ -1,0 +1,1 @@
+lib/core/aba.ml: Aa_strong Aa_weak Array Bca_byz Bca_coin Bca_crash Bca_crypto Bca_netsim Bca_tsig Bca_util Format Gbca_byz Gbca_crash Int64 List Printf Types

@@ -1,0 +1,1 @@
+lib/core/aba.mli: Aa_strong Aa_weak Bca_byz Bca_crash Bca_tsig Bca_util Format Gbca_byz Gbca_crash Stdlib Types

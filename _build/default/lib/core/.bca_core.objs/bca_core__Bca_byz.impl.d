@@ -1,0 +1,1 @@
+lib/core/bca_byz.ml: Bca_util Format List Printf String Types

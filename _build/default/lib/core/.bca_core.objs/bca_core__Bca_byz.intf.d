@@ -1,0 +1,1 @@
+lib/core/bca_byz.mli: Bca_intf Bca_util Types

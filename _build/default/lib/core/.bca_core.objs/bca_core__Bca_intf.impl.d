@@ -1,0 +1,1 @@
+lib/core/bca_intf.ml: Bca_util Format Types

@@ -1,0 +1,1 @@
+lib/core/bca_tsig.mli: Bca_crypto Bca_intf Bca_util Types

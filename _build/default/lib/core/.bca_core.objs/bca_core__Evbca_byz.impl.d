@@ -1,0 +1,1 @@
+lib/core/evbca_byz.ml: Bca_util Format List Types

@@ -1,0 +1,1 @@
+lib/core/evbca_byz.mli: Bca_util Format Types

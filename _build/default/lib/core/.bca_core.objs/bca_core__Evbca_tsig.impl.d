@@ -1,0 +1,1 @@
+lib/core/evbca_tsig.ml: Bca_crypto Bca_util Format List Printf Types

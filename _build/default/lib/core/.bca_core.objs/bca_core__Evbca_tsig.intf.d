@@ -1,0 +1,1 @@
+lib/core/evbca_tsig.mli: Bca_crypto Bca_util Format Types

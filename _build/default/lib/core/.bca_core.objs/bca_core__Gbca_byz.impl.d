@@ -1,0 +1,1 @@
+lib/core/gbca_byz.ml: Bca_util Format List Printf String Types

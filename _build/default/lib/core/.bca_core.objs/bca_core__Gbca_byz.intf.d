@@ -1,0 +1,1 @@
+lib/core/gbca_byz.mli: Bca_intf Bca_util Types

@@ -1,0 +1,1 @@
+lib/core/gbca_crash.ml: Bca_util Format List Printf String Types

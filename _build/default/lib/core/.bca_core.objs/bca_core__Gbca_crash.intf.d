@@ -1,0 +1,1 @@
+lib/core/gbca_crash.mli: Bca_intf Bca_util Types

@@ -1,0 +1,37 @@
+(** Algorithm 1 wired to {!Evbca_byz}: the AA-1/2-EVBCA-Byz protocol of
+    Appendix G.1 (Theorem 4.10: expected 13 broadcasts with a strong
+    2t-unpredictable coin).
+
+    Identical to {!Aa_strong} except that each round's EVBCA instance is
+    started with the context the optimizations need: the previous round's
+    coin value, whether it was approved, and whether this party decided
+    bottom or committed.  Correctness rests on external validity
+    (Theorem G.3) rather than plain validity. *)
+
+type msg = Bca of int * Evbca_byz.msg | Committed of Bca_util.Value.t
+
+val pp_msg : Format.formatter -> msg -> unit
+
+type params = {
+  cfg : Types.cfg;
+  coin : Bca_coin.Coin.t;  (** strong, degree >= 2t for the stated bound *)
+  optimize : bool;
+      (** [true] enables the Appendix G.1 optimizations; [false] starts every
+          round fresh (Algorithm 4 inside the same wrapper) - the ablation
+          baseline of the benchmark harness *)
+}
+
+type t
+
+val create : params -> me:Types.pid -> input:Bca_util.Value.t -> t * msg list
+val handle : t -> from:Types.pid -> msg -> msg list
+val committed : t -> Bca_util.Value.t option
+val terminated : t -> bool
+val current_round : t -> int
+val commit_round : t -> int option
+
+val est : t -> Bca_util.Value.t
+(** Visible to the adaptive adversary, as all state is. *)
+
+val node : t -> msg Bca_netsim.Node.t
+val instance : t -> round:int -> Evbca_byz.t option

@@ -1,0 +1,156 @@
+module Value = Bca_util.Value
+module Coin = Bca_coin.Coin
+module Threshold = Bca_crypto.Threshold
+
+type msg =
+  | Bca of int * Evbca_tsig.msg
+  | Decide of int * Value.t * Threshold.signature
+
+let pp_msg ppf = function
+  | Bca (r, m) -> Format.fprintf ppf "r%d:%a" r Evbca_tsig.pp_msg m
+  | Decide (r, v, _) -> Format.fprintf ppf "decide(r%d, %a, cert)" r Value.pp v
+
+type params = {
+  cfg : Types.cfg;
+  coin : Coin.t;
+  setup : Threshold.t;
+  key : Threshold.key;
+}
+
+type t = {
+  p : params;
+  me : Types.pid;
+  instances : (int, Evbca_tsig.t) Hashtbl.t;
+  mutable round : int;
+  mutable est : Value.t;
+  mutable committed : Value.t option;
+  mutable commit_round : int option;
+  mutable sent_decide : bool;
+  mutable terminated : bool;
+}
+
+let instance_for t round =
+  match Hashtbl.find_opt t.instances round with
+  | Some inst -> inst
+  | None ->
+    let inst =
+      Evbca_tsig.create { Evbca_tsig.cfg = t.p.cfg; setup = t.p.setup; key = t.p.key; round }
+        ~me:t.me
+    in
+    Hashtbl.replace t.instances round inst;
+    inst
+
+let wrap round msgs = List.map (fun m -> Bca (round, m)) msgs
+
+(* Commit via the designated message (optimization 2): broadcast the
+   echo3 certificate once; termination follows when it loops back. *)
+let emit_decide t ~round v sigma =
+  if t.committed = None then begin
+    t.committed <- Some v;
+    t.commit_round <- Some round
+  end;
+  if not t.sent_decide then begin
+    t.sent_decide <- true;
+    [ Decide (round, v, sigma) ]
+  end
+  else []
+
+let rec try_advance t =
+  if t.terminated then []
+  else
+    let inst = instance_for t t.round in
+    match Evbca_tsig.decision inst with
+    | None -> []
+    | Some cv ->
+      let r = t.round in
+      let c = Coin.access t.p.coin ~round:r ~pid:t.me in
+      let decide_out, ctx =
+        match cv with
+        | Types.Val v when Value.equal v c ->
+          t.est <- v;
+          let out =
+            match Evbca_tsig.echo3_cert inst with
+            | Some (v', sigma) when Value.equal v v' -> emit_decide t ~round:r v sigma
+            | Some _ | None -> []
+          in
+          (* The committer keeps participating until its decide message
+             loops back; it carries its certificate forward meanwhile. *)
+          let ctx =
+            match Evbca_tsig.echo3_cert inst with
+            | Some (v', sigma) when Value.equal v v' -> Evbca_tsig.Carry (v, sigma)
+            | Some _ | None -> Evbca_tsig.Fresh
+          in
+          (out, ctx)
+        | Types.Val v ->
+          t.est <- v;
+          let ctx =
+            match Evbca_tsig.echo3_cert inst with
+            | Some (v', sigma) when Value.equal v v' -> Evbca_tsig.Carry (v, sigma)
+            | Some _ | None -> Evbca_tsig.Fresh
+          in
+          ([], ctx)
+        | Types.Bot ->
+          t.est <- c;
+          ([], Evbca_tsig.Fresh)
+      in
+      t.round <- t.round + 1;
+      let next = instance_for t t.round in
+      let starts = Evbca_tsig.start next ~input:t.est ~ctx in
+      decide_out @ wrap t.round starts @ try_advance t
+
+let create p ~me ~input =
+  let t =
+    { p;
+      me;
+      instances = Hashtbl.create 8;
+      round = 1;
+      est = input;
+      committed = None;
+      commit_round = None;
+      sent_decide = false;
+      terminated = false }
+  in
+  let inst = instance_for t 1 in
+  let out = wrap 1 (Evbca_tsig.start inst ~input ~ctx:Evbca_tsig.Fresh) in
+  (t, out)
+
+let handle_decide t ~round v sigma =
+  let valid =
+    Threshold.verify t.p.setup ~tag:(Evbca_tsig.echo3_tag ~round v) sigma
+    && Threshold.threshold_of sigma = (2 * t.p.cfg.Types.t) + 1
+    && Value.equal (Coin.access t.p.coin ~round ~pid:t.me) v
+  in
+  if not valid then []
+  else begin
+    let out = emit_decide t ~round v sigma in
+    t.terminated <- true;
+    out
+  end
+
+let handle t ~from msg =
+  if t.terminated then []
+  else
+    match msg with
+    | Decide (r, v, sigma) -> handle_decide t ~round:r v sigma
+    | Bca (r, m) ->
+      let inst = instance_for t r in
+      let outs = wrap r (Evbca_tsig.handle inst ~from m) in
+      outs @ try_advance t
+
+let committed t = t.committed
+
+let terminated t = t.terminated
+
+let current_round t = t.round
+
+let commit_round t = t.commit_round
+
+let est t = t.est
+
+let node t =
+  Bca_netsim.Node.make
+    ~receive:(fun ~src m -> List.map (fun m -> Bca_netsim.Node.Broadcast m) (handle t ~from:src m))
+    ~terminated:(fun () -> t.terminated)
+    ()
+
+let instance t ~round = Hashtbl.find_opt t.instances round

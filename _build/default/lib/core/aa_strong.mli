@@ -1,0 +1,66 @@
+(** Algorithm 1: Asynchronous Agreement with a strong coin (AA-1/2).
+
+    Proceeds in rounds of one BCA instance followed by a strong common-coin
+    flip:
+
+    - BCA decided [v] and the coin equals [v]: commit [v];
+    - BCA decided [v] but the coin differs: keep [v] as the next estimate;
+    - BCA decided bottom: adopt the coin as the next estimate.
+
+    Binding is what makes this adaptively secure: by the time the first
+    honest party finishes its BCA (and hence before a [>= t]-unpredictable
+    coin can be revealed), the adversary is already bound to the only
+    non-bottom value the round can produce, so each round has probability at
+    least 1/2 of making progress (Theorem 3.3 / 3.5).
+
+    Termination layer (Section 3, "a note on termination"): a committing
+    party broadcasts [committed(v)].  In [`Crash] mode one such message
+    allows a party to commit, rebroadcast, and terminate.  In [`Byz] mode a
+    party commits at [t + 1] matching messages and terminates at [2t + 1].
+
+    Plugging in {!Bca_byz} yields ABA for [n >= 3t + 1] (Theorem 3.3);
+    {!Bca_crash} yields ACA for [n >= 2t + 1] (Theorem 3.5); {!Bca_tsig}
+    yields the authenticated protocol of Theorem 6.2's framework. *)
+
+module Make (B : Bca_intf.BCA) : sig
+  type msg =
+    | Bca of int * B.msg  (** round-tagged BCA instance message *)
+    | Committed of Bca_util.Value.t  (** termination-layer broadcast *)
+
+  val pp_msg : Format.formatter -> msg -> unit
+
+  type params = {
+    cfg : Types.cfg;
+    mode : [ `Crash | `Byz ];  (** termination-layer thresholds *)
+    coin : Bca_coin.Coin.t;  (** must be a strong coin *)
+    bca_params : round:int -> B.params;  (** per-round instance parameters *)
+  }
+
+  type t
+
+  val create : params -> me:Types.pid -> input:Bca_util.Value.t -> t * msg list
+  (** Start the agreement; returns the round-1 broadcasts. *)
+
+  val handle : t -> from:Types.pid -> msg -> msg list
+
+  val committed : t -> Bca_util.Value.t option
+  (** The committed (decided) value, once any. *)
+
+  val terminated : t -> bool
+
+  val current_round : t -> int
+  (** The round this party is currently executing (1-based). *)
+
+  val est : t -> Bca_util.Value.t
+  (** The party's current estimate - protocol state is visible to the
+      adaptive adversary (Section 2), so attack drivers may read it. *)
+
+  val commit_round : t -> int option
+  (** The round in which this party committed, for round accounting. *)
+
+  val node : t -> msg Bca_netsim.Node.t
+  (** Wrap as a simulator node. *)
+
+  val instance : t -> round:int -> B.t option
+  (** Read a round's BCA instance - test oracles and adversaries only. *)
+end

@@ -1,0 +1,166 @@
+module Value = Bca_util.Value
+module Quorum = Bca_util.Quorum
+module Coin = Bca_coin.Coin
+
+module Make (G : Bca_intf.GBCA) = struct
+  type msg = Gbca of int * G.msg | Committed of Value.t
+
+  let pp_msg ppf = function
+    | Gbca (r, m) -> Format.fprintf ppf "r%d:%a" r G.pp_msg m
+    | Committed v -> Format.fprintf ppf "committed(%a)" Value.pp v
+
+  type params = {
+    cfg : Types.cfg;
+    mode : [ `Crash | `Byz ];
+    coin : Coin.t;
+    bca_params : round:int -> G.params;
+  }
+
+  type t = {
+    p : params;
+    me : Types.pid;
+    instances : (int, G.t) Hashtbl.t;
+    mutable round : int;
+    mutable est : Value.t;
+    mutable committed : Value.t option;
+    mutable commit_round : int option;
+    mutable sent_committed : bool;
+    mutable terminated : bool;
+    committed_msgs : Value.t Quorum.t;
+  }
+
+  let instance_for t round =
+    match Hashtbl.find_opt t.instances round with
+    | Some inst -> inst
+    | None ->
+      let inst = G.create (t.p.bca_params ~round) ~me:t.me in
+      Hashtbl.replace t.instances round inst;
+      inst
+
+  let wrap round msgs = List.map (fun m -> Gbca (round, m)) msgs
+
+  let commit t v =
+    let out = ref [] in
+    if t.committed = None then begin
+      t.committed <- Some v;
+      t.commit_round <- Some t.round
+    end;
+    if not t.sent_committed then begin
+      t.sent_committed <- true;
+      out := [ Committed v ]
+    end;
+    (* Termination happens only upon *receiving* committed messages (the
+       party's own broadcast loops back through the network), which is what
+       makes the termination broadcast cost one communication step - the
+       "+1" in every broadcast count of the paper. *)
+    !out
+
+  (* Algorithm 2's loop body. *)
+  let rec try_advance t =
+    if t.terminated then []
+    else
+      let inst = instance_for t t.round in
+      match G.decision inst with
+      | None -> []
+      | Some g ->
+        let c = Coin.access t.p.coin ~round:t.round ~pid:t.me in
+        let commit_out =
+          match g with
+          | Types.G2 v ->
+            t.est <- v;
+            commit t v
+          | Types.G1 v ->
+            t.est <- v;
+            []
+          | Types.G0 ->
+            t.est <- c;
+            []
+        in
+        if t.terminated then commit_out
+        else begin
+          t.round <- t.round + 1;
+          let next = instance_for t t.round in
+          let starts = G.start next ~input:t.est in
+          commit_out @ wrap t.round starts @ try_advance t
+        end
+
+  let create p ~me ~input =
+    let t =
+      { p;
+        me;
+        instances = Hashtbl.create 8;
+        round = 1;
+        est = input;
+        committed = None;
+        commit_round = None;
+        sent_committed = false;
+        terminated = false;
+        committed_msgs = Quorum.create () }
+    in
+    let inst = instance_for t 1 in
+    let out = wrap 1 (G.start inst ~input) in
+    (t, out)
+
+  let handle_committed t ~from v =
+    ignore (Quorum.add_first t.committed_msgs ~pid:from v : bool);
+    match t.p.mode with
+    | `Crash ->
+      if t.committed = None then begin
+        t.committed <- Some v;
+        t.commit_round <- Some t.round
+      end;
+      let out =
+        if not t.sent_committed then begin
+          t.sent_committed <- true;
+          [ Committed v ]
+        end
+        else []
+      in
+      t.terminated <- true;
+      out
+    | `Byz ->
+      let tt = t.p.cfg.Types.t in
+      let out = ref [] in
+      List.iter
+        (fun v' ->
+          let c = Quorum.count t.committed_msgs v' in
+          if c >= tt + 1 && t.committed = None then begin
+            t.committed <- Some v';
+            t.commit_round <- Some t.round;
+            if not t.sent_committed then begin
+              t.sent_committed <- true;
+              out := !out @ [ Committed v' ]
+            end
+          end;
+          if c >= (2 * tt) + 1 then t.terminated <- true)
+        Value.both;
+      !out
+
+  let handle t ~from msg =
+    if t.terminated then []
+    else
+      match msg with
+      | Committed v -> handle_committed t ~from v
+      | Gbca (r, m) ->
+        let inst = instance_for t r in
+        let outs = wrap r (G.handle inst ~from m) in
+        outs @ try_advance t
+
+  let committed t = t.committed
+
+  let terminated t = t.terminated
+
+  let current_round t = t.round
+
+  let est t = t.est
+
+  let commit_round t = t.commit_round
+
+  let node t =
+    Bca_netsim.Node.make
+      ~receive:(fun ~src m -> List.map (fun m -> Bca_netsim.Node.Broadcast m) (handle t ~from:src m))
+      ~terminated:(fun () -> t.terminated)
+      ()
+
+  let instance t ~round = Hashtbl.find_opt t.instances round
+end

@@ -1,0 +1,47 @@
+(** Algorithm 2: Asynchronous Agreement with a weak coin (AA-epsilon).
+
+    Rounds of Graded BCA followed by an epsilon-good coin flip:
+
+    - grade 2: commit the value (graded agreement guarantees everyone else
+      holds it at grade >= 1 and commits next round);
+    - grade 1: adopt the value, do not commit;
+    - grade 0 (bottom): adopt the coin.
+
+    Graded binding makes the round succeed with probability >= epsilon even
+    against an adaptive adversary: the bound value is fixed before the first
+    coin access, and with probability epsilon the coin lands on its
+    complement at every honest party (Theorem 3.6 / 3.7), after which
+    Lemma C.2 commits everyone in one more round.
+
+    Works with any epsilon-good coin, including the strong coin
+    (epsilon = 1/2) and the local coin (epsilon = 2^-n).  Termination layer
+    as in {!Aa_strong}. *)
+
+module Make (G : Bca_intf.GBCA) : sig
+  type msg = Gbca of int * G.msg | Committed of Bca_util.Value.t
+
+  val pp_msg : Format.formatter -> msg -> unit
+
+  type params = {
+    cfg : Types.cfg;
+    mode : [ `Crash | `Byz ];
+    coin : Bca_coin.Coin.t;
+    bca_params : round:int -> G.params;
+  }
+
+  type t
+
+  val create : params -> me:Types.pid -> input:Bca_util.Value.t -> t * msg list
+  val handle : t -> from:Types.pid -> msg -> msg list
+  val committed : t -> Bca_util.Value.t option
+  val terminated : t -> bool
+  val current_round : t -> int
+
+  val est : t -> Bca_util.Value.t
+  (** The party's current estimate - protocol state is visible to the
+      adaptive adversary (Section 2), so attack drivers may read it. *)
+
+  val commit_round : t -> int option
+  val node : t -> msg Bca_netsim.Node.t
+  val instance : t -> round:int -> G.t option
+end

@@ -1,0 +1,157 @@
+module Value = Bca_util.Value
+module Rng = Bca_util.Rng
+module Coin = Bca_coin.Coin
+module Threshold = Bca_crypto.Threshold
+module Async = Bca_netsim.Async_exec
+
+module Crash_strong_stack = Aa_strong.Make (Bca_crash)
+module Crash_weak_stack = Aa_weak.Make (Gbca_crash)
+module Byz_strong_stack = Aa_strong.Make (Bca_byz)
+module Byz_weak_stack = Aa_weak.Make (Gbca_byz)
+module Byz_tsig_stack = Aa_strong.Make (Bca_tsig)
+
+type spec =
+  | Crash_strong
+  | Crash_weak of float
+  | Crash_local
+  | Byz_strong
+  | Byz_weak of float
+  | Byz_tsig
+
+let pp_spec ppf = function
+  | Crash_strong -> Format.pp_print_string ppf "crash/strong-coin"
+  | Crash_weak e -> Format.fprintf ppf "crash/%.3f-good-coin" e
+  | Crash_local -> Format.pp_print_string ppf "crash/local-coin"
+  | Byz_strong -> Format.pp_print_string ppf "byz/strong-coin"
+  | Byz_weak e -> Format.fprintf ppf "byz/%.3f-good-coin" e
+  | Byz_tsig -> Format.pp_print_string ppf "byz/strong-coin+tsig"
+
+let default_coin_degree spec ~t =
+  match spec with
+  | Byz_tsig -> 2 * t
+  | Crash_strong | Crash_weak _ | Crash_local | Byz_strong | Byz_weak _ -> t
+
+type result = {
+  value : Value.t;
+  commits : Value.t array;
+  deliveries : int;
+  rounds : int;
+}
+
+(* One party as the generic runner sees it: its simulator node, initial
+   broadcasts, and state accessors.  The five stacks only differ in how this
+   view is constructed. *)
+type 'm party_view = {
+  v_node : 'm Bca_netsim.Node.t;
+  v_initial : 'm list;
+  v_committed : unit -> Value.t option;
+  v_round : unit -> int;
+}
+
+let run_generic ~n ~seed (mk : Types.pid -> 'm party_view) =
+  let rng = Rng.create seed in
+  let parties = Array.init n mk in
+  let exec =
+    Async.create ~n ~make:(fun pid ->
+        let p = parties.(pid) in
+        (p.v_node, List.map (fun m -> Bca_netsim.Node.Broadcast m) p.v_initial))
+  in
+  match Async.run exec (Async.random_scheduler rng) with
+  | `All_terminated ->
+    let commits =
+      Array.map
+        (fun p ->
+          match p.v_committed () with
+          | Some v -> v
+          | None -> invalid_arg "terminated without commit")
+        parties
+    in
+    let value = commits.(0) in
+    if Array.for_all (Value.equal value) commits then
+      Ok
+        { value;
+          commits;
+          deliveries = Async.deliveries exec;
+          rounds = Array.fold_left (fun acc p -> max acc (p.v_round ())) 0 parties }
+    else Error "agreement violated (bug)"
+  | `Quiescent -> Error "network quiesced before termination (liveness bug)"
+  | `Limit -> Error "delivery limit reached before termination"
+  | `Stopped -> Error "scheduler stopped"
+
+let run ?(seed = 0xB0CA1L) spec ~cfg ~inputs =
+  let n = cfg.Types.n in
+  if Array.length inputs <> n then Error "inputs must have length n"
+  else begin
+    let coin_seed = Int64.add seed 0x5EEDL in
+    let degree = default_coin_degree spec ~t:cfg.Types.t in
+    try
+      match spec with
+      | Crash_strong ->
+        Types.check_crash_resilience cfg;
+        let coin = Coin.create Coin.Strong ~n ~degree ~seed:coin_seed in
+        let params =
+          { Crash_strong_stack.cfg; mode = `Crash; coin; bca_params = (fun ~round:_ -> cfg) }
+        in
+        run_generic ~n ~seed (fun pid ->
+            let t, initial = Crash_strong_stack.create params ~me:pid ~input:inputs.(pid) in
+            { v_node = Crash_strong_stack.node t;
+              v_initial = initial;
+              v_committed = (fun () -> Crash_strong_stack.committed t);
+              v_round = (fun () -> Crash_strong_stack.current_round t) })
+      | Crash_weak _ | Crash_local ->
+        Types.check_crash_resilience cfg;
+        let kind =
+          match spec with
+          | Crash_weak eps -> Coin.Eps eps
+          | _ -> Coin.Local
+        in
+        let coin = Coin.create kind ~n ~degree ~seed:coin_seed in
+        let params =
+          { Crash_weak_stack.cfg; mode = `Crash; coin; bca_params = (fun ~round:_ -> cfg) }
+        in
+        run_generic ~n ~seed (fun pid ->
+            let t, initial = Crash_weak_stack.create params ~me:pid ~input:inputs.(pid) in
+            { v_node = Crash_weak_stack.node t;
+              v_initial = initial;
+              v_committed = (fun () -> Crash_weak_stack.committed t);
+              v_round = (fun () -> Crash_weak_stack.current_round t) })
+      | Byz_strong ->
+        Types.check_byz_resilience cfg;
+        let coin = Coin.create Coin.Strong ~n ~degree ~seed:coin_seed in
+        let params =
+          { Byz_strong_stack.cfg; mode = `Byz; coin; bca_params = (fun ~round:_ -> cfg) }
+        in
+        run_generic ~n ~seed (fun pid ->
+            let t, initial = Byz_strong_stack.create params ~me:pid ~input:inputs.(pid) in
+            { v_node = Byz_strong_stack.node t;
+              v_initial = initial;
+              v_committed = (fun () -> Byz_strong_stack.committed t);
+              v_round = (fun () -> Byz_strong_stack.current_round t) })
+      | Byz_weak eps ->
+        Types.check_byz_resilience cfg;
+        let coin = Coin.create (Coin.Eps eps) ~n ~degree ~seed:coin_seed in
+        let params =
+          { Byz_weak_stack.cfg; mode = `Byz; coin; bca_params = (fun ~round:_ -> cfg) }
+        in
+        run_generic ~n ~seed (fun pid ->
+            let t, initial = Byz_weak_stack.create params ~me:pid ~input:inputs.(pid) in
+            { v_node = Byz_weak_stack.node t;
+              v_initial = initial;
+              v_committed = (fun () -> Byz_weak_stack.committed t);
+              v_round = (fun () -> Byz_weak_stack.current_round t) })
+      | Byz_tsig ->
+        Types.check_byz_resilience cfg;
+        let coin = Coin.create Coin.Strong ~n ~degree ~seed:coin_seed in
+        let setup, keys = Threshold.setup ~n ~seed:(Int64.add seed 0xC4F7L) in
+        run_generic ~n ~seed (fun pid ->
+            let bca_params ~round =
+              { Bca_tsig.cfg; setup; key = keys.(pid); id = Printf.sprintf "aba/%d" round }
+            in
+            let params = { Byz_tsig_stack.cfg; mode = `Byz; coin; bca_params } in
+            let t, initial = Byz_tsig_stack.create params ~me:pid ~input:inputs.(pid) in
+            { v_node = Byz_tsig_stack.node t;
+              v_initial = initial;
+              v_committed = (fun () -> Byz_tsig_stack.committed t);
+              v_round = (fun () -> Byz_tsig_stack.current_round t) })
+    with Invalid_argument msg -> Error msg
+  end

@@ -1,0 +1,68 @@
+(** High-level API: pick a protocol stack and run binary agreement.
+
+    This is the quickstart surface of the library.  Each {!spec} names one of
+    the paper's end-to-end constructions (framework x BCA implementation x
+    coin); {!run} simulates an honest cluster of [n] parties under a seeded
+    random asynchronous schedule and returns the agreed value together with
+    execution statistics.
+
+    For adversarial schedules, faulty parties, lockstep round accounting, or
+    driving the protocols message by message, use the underlying modules
+    directly ({!Aa_strong}, {!Aa_weak}, the BCA implementations, and
+    {!Bca_netsim}); the [bca_adversary] and [bca_experiments] libraries show how. *)
+
+(** The assembled stacks, exposed for callers that need message-level
+    access (tracing, custom fault injection, adversaries). *)
+module Crash_strong_stack : module type of Aa_strong.Make (Bca_crash)
+
+module Crash_weak_stack : module type of Aa_weak.Make (Gbca_crash)
+
+module Byz_strong_stack : module type of Aa_strong.Make (Bca_byz)
+
+module Byz_weak_stack : module type of Aa_weak.Make (Gbca_byz)
+
+module Byz_tsig_stack : module type of Aa_strong.Make (Bca_tsig)
+
+(** The pre-assembled protocol stacks (see the paper's Table 1 and 2 rows). *)
+type spec =
+  | Crash_strong
+      (** Algorithm 1 + Algorithm 3 + strong coin: ACA, [n >= 2t+1],
+          expected 7 broadcasts (Theorem 4.2) *)
+  | Crash_weak of float
+      (** Algorithm 2 + Algorithm 5 + epsilon-good coin: ACA, [n >= 2t+1],
+          expected 3/eps + 4 broadcasts (Theorem 5.2) *)
+  | Crash_local
+      (** [Crash_weak] with the local coin (epsilon = 2^-n): the O(2^n)
+          improvement over Ben-Or/Aguilera-Toueg of Table 1 *)
+  | Byz_strong
+      (** Algorithm 1 + Algorithm 4 + strong [t]-unpredictable coin: ABA,
+          [n >= 3t+1], expected 17 broadcasts (Theorem 4.11) *)
+  | Byz_weak of float
+      (** Algorithm 2 + Algorithm 6 + epsilon-good coin: ABA, [n >= 3t+1],
+          expected 6/eps + 6 broadcasts (Theorem 5.4) *)
+  | Byz_tsig
+      (** Algorithm 1 + Algorithm 7 + strong [2t]-unpredictable coin +
+          threshold signatures: ABA, [n >= 3t+1] (Theorem 6.2) *)
+
+val pp_spec : Format.formatter -> spec -> unit
+
+val default_coin_degree : spec -> t:int -> int
+(** The coin unpredictability degree each theorem assumes: [2t] for
+    [Byz_tsig], [t] otherwise. *)
+
+type result = {
+  value : Bca_util.Value.t;  (** the agreed value *)
+  commits : Bca_util.Value.t array;  (** per-party committed values *)
+  deliveries : int;  (** messages delivered until global termination *)
+  rounds : int;  (** highest BCA-coin round reached by any party *)
+}
+
+val run :
+  ?seed:int64 ->
+  spec ->
+  cfg:Types.cfg ->
+  inputs:Bca_util.Value.t array ->
+  (result, string) Stdlib.result
+(** Simulate an all-honest cluster to termination under a random
+    asynchronous schedule.  [inputs] must have length [cfg.n].  Errors
+    report resilience violations or (never expected) liveness failures. *)

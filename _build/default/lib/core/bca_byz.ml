@@ -1,0 +1,140 @@
+module Value = Bca_util.Value
+module Quorum = Bca_util.Quorum
+
+type msg = MEcho of Value.t | MEcho2 of Value.t | MEcho3 of Types.cvalue
+
+let pp_msg ppf = function
+  | MEcho v -> Format.fprintf ppf "echo(%a)" Value.pp v
+  | MEcho2 v -> Format.fprintf ppf "echo2(%a)" Value.pp v
+  | MEcho3 cv -> Format.fprintf ppf "echo3(%a)" Types.pp_cvalue cv
+
+type params = Types.cfg
+
+type t = {
+  cfg : Types.cfg;
+  me : Types.pid;
+  echoes : Value.t Quorum.t;  (* per (sender, value): amplification is a second echo *)
+  echo2s : Value.t Quorum.t;  (* first per sender *)
+  echo3s : Types.cvalue Quorum.t;  (* first per sender *)
+  mutable my_echoes : Value.t list;  (* echo values this party already sent *)
+  mutable approved : Value.t list;
+  mutable sent_echo2 : bool;
+  mutable echo3_sent : Types.cvalue option;
+  mutable decision : Types.cvalue option;
+}
+
+let max_broadcast_steps = 4
+
+let create cfg ~me =
+  Types.check_byz_resilience cfg;
+  { cfg;
+    me;
+    echoes = Quorum.create ();
+    echo2s = Quorum.create ();
+    echo3s = Quorum.create ();
+    my_echoes = [];
+    approved = [];
+    sent_echo2 = false;
+    echo3_sent = None;
+    decision = None }
+
+let start t ~input =
+  (* The input echo may coincide with an amplification already sent while
+     waiting to start (Algorithm 4 sends each echo value at most once). *)
+  if List.mem input t.my_echoes then []
+  else begin
+    t.my_echoes <- input :: t.my_echoes;
+    [ MEcho input ]
+  end
+
+(* Evaluate every clause of Algorithm 4 that may have become enabled. Clauses
+   guard themselves against re-firing, so a full re-scan after each delivery
+   is exactly the pseudocode's "upon"/"wait until" semantics. *)
+let progress t =
+  let q = Types.quorum t.cfg in
+  let out = ref [] in
+  (* Lines 3-4: amplification. *)
+  List.iter
+    (fun v ->
+      if Quorum.count t.echoes v >= t.cfg.Types.t + 1 && not (List.mem v t.my_echoes)
+      then begin
+        t.my_echoes <- v :: t.my_echoes;
+        out := !out @ [ MEcho v ]
+      end)
+    Value.both;
+  (* Lines 5-7: approval and the single echo2 vote. *)
+  List.iter
+    (fun v ->
+      if Quorum.count t.echoes v >= q && not (List.mem v t.approved) then begin
+        t.approved <- v :: t.approved;
+        if not t.sent_echo2 then begin
+          t.sent_echo2 <- true;
+          out := !out @ [ MEcho2 v ]
+        end
+      end)
+    Value.both;
+  (* Lines 8-12: wait until |approvedVals| > 1, or an echo2 quorum for one
+     value; the pseudocode tests condition (1) first. *)
+  if t.echo3_sent = None then begin
+    if List.length t.approved > 1 then begin
+      t.echo3_sent <- Some Types.Bot;
+      out := !out @ [ MEcho3 Types.Bot ]
+    end
+    else
+      List.iter
+        (fun v ->
+          if t.echo3_sent = None && Quorum.count t.echo2s v >= q then begin
+            t.echo3_sent <- Some (Types.Val v);
+            out := !out @ [ MEcho3 (Types.Val v) ]
+          end)
+        Value.both
+  end;
+  (* Lines 13-17: decision; condition (1) tested first. *)
+  if t.decision = None then begin
+    if List.length t.approved > 1 && Quorum.senders t.echo3s >= q then
+      t.decision <- Some Types.Bot
+    else
+      List.iter
+        (fun v ->
+          if t.decision = None && Quorum.count t.echo3s (Types.Val v) >= q then
+            t.decision <- Some (Types.Val v))
+        Value.both
+  end;
+  !out
+
+let handle t ~from msg =
+  (match msg with
+  | MEcho v -> ignore (Quorum.add_value t.echoes ~pid:from v : bool)
+  | MEcho2 v -> ignore (Quorum.add_first t.echo2s ~pid:from v : bool)
+  | MEcho3 cv -> ignore (Quorum.add_first t.echo3s ~pid:from cv : bool));
+  progress t
+
+let decision t = t.decision
+
+let approved t = t.approved
+
+let debug_copy t =
+  { t with
+    echoes = Quorum.copy t.echoes;
+    echo2s = Quorum.copy t.echo2s;
+    echo3s = Quorum.copy t.echo3s;
+    my_echoes = t.my_echoes;
+    approved = t.approved }
+
+let debug_encode t =
+  let v = Value.to_string in
+  let cv = function Types.Val x -> v x | Types.Bot -> "b" in
+  let quorum pp entries =
+    String.concat ","
+      (List.sort compare (List.map (fun (p, x) -> Printf.sprintf "%d=%s" p (pp x)) entries))
+  in
+  let set xs = String.concat "" (List.sort compare (List.map v xs)) in
+  Printf.sprintf "e[%s]f[%s]g[%s]my:%s ap:%s s2:%b s3:%s d:%s"
+    (quorum v (Quorum.entries t.echoes))
+    (quorum v (Quorum.entries t.echo2s))
+    (quorum cv (Quorum.entries t.echo3s))
+    (set t.my_echoes) (set t.approved) t.sent_echo2
+    (match t.echo3_sent with Some c -> cv c | None -> "_")
+    (match t.decision with Some c -> cv c | None -> "_")
+
+let echo3_sent t = t.echo3_sent

@@ -1,0 +1,35 @@
+(** Algorithm 4: Binding Crusader Agreement for Byzantine faults (BCA-Byz).
+
+    Tolerates [t < n/3] Byzantine parties, [n >= 3t + 1], and terminates in
+    at most 4 communication rounds (Theorem 4.3): echo (input), echo
+    (amplification of any value heard from [t + 1] parties), echo2 (a single
+    "vote" for a value backed by an [n - t] echo quorum), echo3 (vote
+    aggregation), then the decision.
+
+    The [approvedVals] set tracks values backed by [n - t] echoes; a party
+    decides bottom only with both values approved (which protects validity),
+    and decides a value only on an [n - t] echo3 quorum for it.  Binding
+    (Lemma 4.9): by the first decision, the [t + 1] honest echo3 senders in
+    the decider's quorum pin the only non-bottom value any party can still
+    decide. *)
+
+type msg =
+  | MEcho of Bca_util.Value.t
+  | MEcho2 of Bca_util.Value.t
+  | MEcho3 of Types.cvalue
+
+include Bca_intf.BCA with type params = Types.cfg and type msg := msg
+
+val approved : t -> Bca_util.Value.t list
+(** Current [approvedVals] set - exposed for the EVBCA optimizations and for
+    test oracles. *)
+
+val echo3_sent : t -> Types.cvalue option
+(** The echo3 this party sent, if any - for binding-witness checks. *)
+
+val debug_copy : t -> t
+(** Independent deep copy - the model checker clones configurations. *)
+
+val debug_encode : t -> string
+(** Canonical encoding of the full instance state - the model checker's
+    configuration key. *)

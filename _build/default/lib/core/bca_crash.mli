@@ -1,0 +1,29 @@
+(** Algorithm 3: Binding Crusader Agreement for crash faults (BCA-Crash).
+
+    Weak-validity BCA tolerating [t < n/2] crashes, terminating in 2
+    communication rounds (Theorem 4.1):
+
+    + broadcast the input in a [val] message;
+    + upon [n - t] val messages: echo the common value if they agree,
+      else echo bottom;
+    + upon [n - t] echo messages: decide the common value if they agree,
+      else decide bottom.
+
+    Satisfies agreement, weak validity, termination, and binding
+    (Definition B.1); the binding witness is the unique non-bottom value
+    that can still reach an [n - t] echo quorum (Lemma D.4). *)
+
+type msg = MVal of Bca_util.Value.t | MEcho of Types.cvalue
+
+include Bca_intf.BCA with type params = Types.cfg and type msg := msg
+
+val echoed : t -> Types.cvalue option
+(** The echo this party sent, if any - exposed for binding-witness checks in
+    tests. *)
+
+val debug_copy : t -> t
+(** Independent deep copy - the model checker clones configurations. *)
+
+val debug_encode : t -> string
+(** Canonical encoding of the full instance state (received quorums, echo,
+    decision) - the model checker's configuration key. *)

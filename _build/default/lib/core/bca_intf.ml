@@ -1,0 +1,69 @@
+(** Module signatures for (Graded) Binding Crusader Agreement protocols.
+
+    Every protocol is a message-driven state machine:
+
+    - [create] builds a party's instance state before its input is known, so
+      that messages from faster parties can be processed immediately (all
+      "upon" clauses except the initial send depend only on received
+      messages, never on the party's own input);
+    - [start] feeds the input and returns the initial broadcasts;
+    - [handle] delivers one message and returns broadcasts to send;
+    - [decision] is the instance's output, monotone: once [Some], it never
+      changes.
+
+    All honest communication is broadcast ("send to all", including to
+    self), which is why [handle] returns plain messages rather than
+    addressed envelopes; the agreement layer and the simulator fan them
+    out. *)
+
+module type BCA = sig
+  type params
+  (** Per-instance construction parameters (configuration; for the threshold
+      variant also the signature setup, key and instance tag). *)
+
+  type msg
+
+  val pp_msg : Format.formatter -> msg -> unit
+
+  type t
+
+  val create : params -> me:Types.pid -> t
+  (** A party's state for one instance, not yet started. *)
+
+  val start : t -> input:Bca_util.Value.t -> msg list
+  (** Provide the party's input; returns the initial broadcasts.  Must be
+      called exactly once. *)
+
+  val handle : t -> from:Types.pid -> msg -> msg list
+  (** Deliver one message from party [from]; returns broadcasts. Safe to call
+      before [start] and after a decision. *)
+
+  val decision : t -> Types.cvalue option
+  (** The crusader decision, once reached. *)
+
+  val max_broadcast_steps : int
+  (** The protocol's worst-case communication rounds per instance, as stated
+      by its theorem (e.g. 2 for Algorithm 3, 4 for Algorithm 4). Used by
+      documentation and round-accounting sanity checks. *)
+end
+
+module type GBCA = sig
+  type params
+
+  type msg
+
+  val pp_msg : Format.formatter -> msg -> unit
+
+  type t
+
+  val create : params -> me:Types.pid -> t
+
+  val start : t -> input:Bca_util.Value.t -> msg list
+
+  val handle : t -> from:Types.pid -> msg -> msg list
+
+  val decision : t -> Types.gdecision option
+  (** The graded decision (Definition 3.2), once reached. *)
+
+  val max_broadcast_steps : int
+end

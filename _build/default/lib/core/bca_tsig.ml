@@ -1,0 +1,178 @@
+module Value = Bca_util.Value
+module Threshold = Bca_crypto.Threshold
+
+type msg =
+  | MEcho of Value.t * Threshold.share
+  | MEcho2 of Value.t * Threshold.signature
+  | MEcho3 of Types.cvalue * Threshold.signature list * Threshold.share option
+
+let pp_msg ppf = function
+  | MEcho (v, _) -> Format.fprintf ppf "echo(%a, share)" Value.pp v
+  | MEcho2 (v, _) -> Format.fprintf ppf "echo2(%a, cert)" Value.pp v
+  | MEcho3 (cv, _, _) -> Format.fprintf ppf "echo3(%a, proofs)" Types.pp_cvalue cv
+
+type params = {
+  cfg : Types.cfg;
+  setup : Threshold.t;
+  key : Threshold.key;
+  id : string;
+}
+
+let echo_tag ~id v = Printf.sprintf "echo/%s/%s" id (Value.to_string v)
+
+let echo3_tag ~id v = Printf.sprintf "echo3/%s/%s" id (Value.to_string v)
+
+type t = {
+  p : params;
+  (* first valid message per sender, as the pseudocode's pending sets *)
+  mutable pending_echo : (Types.pid * Value.t * Threshold.share) list;
+  mutable pending_echo2 : (Types.pid * Value.t * Threshold.signature) list;
+  mutable pending_echo3 : (Types.pid * Types.cvalue * Threshold.share option) list;
+  mutable sent_echo2 : bool;
+  mutable echo3_sent : Types.cvalue option;
+  mutable decision : Types.cvalue option;
+  mutable echo3_cert : (Value.t * Threshold.signature) option;
+}
+
+let max_broadcast_steps = 3
+
+let create p ~me:_ =
+  Types.check_byz_resilience p.cfg;
+  { p;
+    pending_echo = [];
+    pending_echo2 = [];
+    pending_echo3 = [];
+    sent_echo2 = false;
+    echo3_sent = None;
+    decision = None;
+    echo3_cert = None }
+
+let start t ~input =
+  let share = Threshold.sign t.p.key ~tag:(echo_tag ~id:t.p.id input) in
+  [ MEcho (input, share) ]
+
+(* Valid sigma_echo certificate for value v: threshold t+1 on the echo tag. *)
+let valid_echo_cert t v sigma =
+  Threshold.verify t.p.setup ~tag:(echo_tag ~id:t.p.id v) sigma
+  && Threshold.threshold_of sigma = t.p.cfg.Types.t + 1
+
+let progress t =
+  let q = Types.quorum t.p.cfg in
+  let tt = t.p.cfg.Types.t in
+  let out = ref [] in
+  (* Lines 6-9: combine t+1 echo shares for a single value into sigma_echo
+     and vote with echo2. *)
+  if not t.sent_echo2 then begin
+    let candidate =
+      List.find_opt
+        (fun v ->
+          List.length (List.filter (fun (_, v', _) -> Value.equal v v') t.pending_echo)
+          >= tt + 1)
+        Value.both
+    in
+    match candidate with
+    | Some v ->
+      let shares =
+        List.filter_map
+          (fun (_, v', s) -> if Value.equal v v' then Some s else None)
+          t.pending_echo
+      in
+      (match Threshold.combine t.p.setup ~k:(tt + 1) ~tag:(echo_tag ~id:t.p.id v) shares with
+      | Some sigma ->
+        t.sent_echo2 <- true;
+        out := !out @ [ MEcho2 (v, sigma) ]
+      | None -> ())
+    | None -> ()
+  end;
+  (* Lines 14-19: aggregate n-t echo2 votes into an echo3 message. *)
+  if t.echo3_sent = None && List.length t.pending_echo2 >= q then begin
+    let values =
+      List.sort_uniq compare (List.map (fun (_, v, _) -> v) t.pending_echo2)
+    in
+    match values with
+    | [ v ] ->
+      let _, _, sigma =
+        List.find (fun (_, v', _) -> Value.equal v v') t.pending_echo2
+      in
+      let share = Threshold.sign t.p.key ~tag:(echo3_tag ~id:t.p.id v) in
+      t.echo3_sent <- Some (Types.Val v);
+      out := !out @ [ MEcho3 (Types.Val v, [ sigma ], Some share) ]
+    | _ ->
+      let proof_for v =
+        let _, _, sigma =
+          List.find (fun (_, v', _) -> Value.equal v v') t.pending_echo2
+        in
+        sigma
+      in
+      t.echo3_sent <- Some Types.Bot;
+      out := !out @ [ MEcho3 (Types.Bot, List.map proof_for values, None) ]
+  end;
+  (* Lines 25-31: decide on n-t valid echo3 messages. *)
+  if t.decision = None && List.length t.pending_echo3 >= q then begin
+    let values =
+      List.sort_uniq compare (List.map (fun (_, cv, _) -> cv) t.pending_echo3)
+    in
+    match values with
+    | [ Types.Val v ] ->
+      let shares =
+        List.filter_map (fun (_, _, share) -> share) t.pending_echo3
+      in
+      (match
+         Threshold.combine t.p.setup ~k:((2 * tt) + 1) ~tag:(echo3_tag ~id:t.p.id v) shares
+       with
+      | Some sigma ->
+        t.echo3_cert <- Some (v, sigma);
+        t.decision <- Some (Types.Val v)
+      | None ->
+        (* Unreachable for honest executions: n-t >= 2t+1 validated shares. *)
+        t.decision <- Some (Types.Val v))
+    | _ -> t.decision <- Some Types.Bot
+  end;
+  !out
+
+let handle t ~from msg =
+  let relay = ref [] in
+  (match msg with
+  | MEcho (v, share) ->
+    if
+      (not (List.exists (fun (p, _, _) -> p = from) t.pending_echo))
+      && Threshold.share_validate t.p.setup ~tag:(echo_tag ~id:t.p.id v) share
+      && Threshold.share_signer share = from
+    then t.pending_echo <- (from, v, share) :: t.pending_echo
+  | MEcho2 (v, sigma) ->
+    if
+      (not (List.exists (fun (p, _, _) -> p = from) t.pending_echo2))
+      && valid_echo_cert t v sigma
+    then begin
+      t.pending_echo2 <- (from, v, sigma) :: t.pending_echo2;
+      (* Lines 11-12: a party that has not voted adopts and relays the first
+         valid certificate it sees; the broadcast loops back to itself. *)
+      if not t.sent_echo2 then begin
+        t.sent_echo2 <- true;
+        relay := [ MEcho2 (v, sigma) ]
+      end
+    end
+  | MEcho3 (cv, proofs, share) ->
+    let vals = match cv with Types.Bot -> Value.both | Types.Val v -> [ v ] in
+    let share_ok =
+      match (cv, share) with
+      | Types.Bot, _ -> true
+      | Types.Val v, Some s ->
+        Threshold.share_validate t.p.setup ~tag:(echo3_tag ~id:t.p.id v) s
+        && Threshold.share_signer s = from
+      | Types.Val _, None -> false
+    in
+    let proofs_ok =
+      List.for_all (fun v' -> List.exists (fun sigma -> valid_echo_cert t v' sigma) proofs) vals
+    in
+    if
+      (not (List.exists (fun (p, _, _) -> p = from) t.pending_echo3))
+      && share_ok && proofs_ok
+    then t.pending_echo3 <- (from, cv, share) :: t.pending_echo3);
+  !relay @ progress t
+
+let decision t = t.decision
+
+let echo3_cert t = t.echo3_cert
+
+let echo3_sent t = t.echo3_sent

@@ -1,0 +1,49 @@
+(** Algorithm 7: Binding Crusader Agreement with threshold signatures.
+
+    Tolerates [t < n/3] Byzantine parties and terminates in 3 communication
+    rounds (Theorem 6.1).  Two threshold signatures are manufactured:
+
+    - [sigma_echo(id, v)], threshold [t + 1]: proof that some honest party
+      started instance [id] with input [v] - it replaces Algorithm 4's
+      amplification echoes and [approvedVals] set;
+    - [sigma_echo3(id, v)], threshold [2t + 1]: proof that [t + 1] honest
+      parties sent echo3 for [v], hence (binding, Lemma F.5) that no honest
+      party can ever output [1 - v].  The EVBCA-TSig optimizations of
+      Appendix G.2 forward this certificate to terminate early.
+
+    Messages failing signature validation are dropped, which is what confines
+    the simulated Byzantine parties to exactly the power of a computationally
+    bounded adversary (see {!Bca_crypto.Threshold}). *)
+
+type msg =
+  | MEcho of Bca_util.Value.t * Bca_crypto.Threshold.share
+      (** input value with a threshold-signature share on (echo, id, v) *)
+  | MEcho2 of Bca_util.Value.t * Bca_crypto.Threshold.signature
+      (** a value with its sigma_echo certificate *)
+  | MEcho3 of
+      Types.cvalue * Bca_crypto.Threshold.signature list * Bca_crypto.Threshold.share option
+      (** vote: [Val v] carries [sigma_echo(v)] and a share on (echo3, id, v);
+          [Bot] carries sigma_echo certificates for both values *)
+
+type params = {
+  cfg : Types.cfg;
+  setup : Bca_crypto.Threshold.t;  (** public threshold-scheme handle *)
+  key : Bca_crypto.Threshold.key;  (** this party's signing capability *)
+  id : string;  (** instance identifier baked into all signed tags *)
+}
+
+include Bca_intf.BCA with type params := params and type msg := msg
+
+val echo_tag : id:string -> Bca_util.Value.t -> string
+(** The tag threshold-signed by echo messages: [(echo, id, v)]. *)
+
+val echo3_tag : id:string -> Bca_util.Value.t -> string
+(** The tag threshold-signed by echo3 messages: [(echo3, id, v)]. *)
+
+val echo3_cert : t -> (Bca_util.Value.t * Bca_crypto.Threshold.signature) option
+(** After deciding a non-bottom [v]: the combined [sigma_echo3(id, v)]
+    certificate (threshold [2t + 1]), used by the Appendix G.2
+    optimizations. *)
+
+val echo3_sent : t -> Types.cvalue option
+(** For binding-witness checks. *)

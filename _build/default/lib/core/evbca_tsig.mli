@@ -1,0 +1,64 @@
+(** Appendix G.2: Externally Valid BCA with threshold signatures
+    (EVBCA-TSig).
+
+    Algorithm 7 with the two optimizations that bring AA-1/2 down to an
+    expected 9 broadcasts with a strong 2t-unpredictable coin (Theorem 6.2 /
+    Lemma G.25):
+
+    + a party that decided [val] in round [r] while the coin disagreed skips
+      its round-[r+1] echo and opens the round with
+      [(echo2, val, sigma_echo3(r, val))] - the previous round's 2t+1
+      echo3 certificate proves [val] is externally valid for round [r+1]
+      (Definition G.16), so recipients accept it in place of a
+      [sigma_echo] certificate;
+    + a party that decided the coin's value short-circuits the whole loop
+      with a designated decide message carrying [sigma_echo3(r, v)] - that
+      lives in {!Aa_ev_tsig}, which owns the cross-round plumbing.
+
+    Proofs attached to echo2/echo3 messages are therefore a variant:
+    [Direct] (a [t+1] certificate on this round's echo tag) or [Prev] (a
+    [2t+1] certificate on the previous round's echo3 tag). *)
+
+type proof =
+  | Direct of Bca_crypto.Threshold.signature
+      (** sigma_echo: t+1 shares on (echo, r, v) *)
+  | Prev of Bca_crypto.Threshold.signature
+      (** sigma_echo3 of round r-1: 2t+1 shares on (echo3, r-1, v) *)
+
+type msg =
+  | MEcho of Bca_util.Value.t * Bca_crypto.Threshold.share
+  | MEcho2 of Bca_util.Value.t * proof
+  | MEcho3 of Types.cvalue * proof list * Bca_crypto.Threshold.share option
+
+val pp_msg : Format.formatter -> msg -> unit
+
+type params = {
+  cfg : Types.cfg;
+  setup : Bca_crypto.Threshold.t;
+  key : Bca_crypto.Threshold.key;
+  round : int;  (** baked into the signed tags; round-1 instances have no
+                    valid [Prev] proofs *)
+}
+
+val echo_tag : round:int -> Bca_util.Value.t -> string
+val echo3_tag : round:int -> Bca_util.Value.t -> string
+
+(** How the round was entered. *)
+type start_ctx =
+  | Fresh  (** round 1, or the previous decision was bottom: normal echo *)
+  | Carry of Bca_util.Value.t * Bca_crypto.Threshold.signature
+      (** optimization 1: decided this value last round (coin disagreed);
+          open with the certified echo2 directly *)
+
+type t
+
+val create : params -> me:Types.pid -> t
+val start : t -> input:Bca_util.Value.t -> ctx:start_ctx -> msg list
+val handle : t -> from:Types.pid -> msg -> msg list
+val decision : t -> Types.cvalue option
+
+val echo3_cert : t -> (Bca_util.Value.t * Bca_crypto.Threshold.signature) option
+(** The sigma_echo3 certificate built when deciding a value (Algorithm 7
+    line 30); feeds the next round's [Carry] and the decide shortcut. *)
+
+val echo3_sent : t -> Types.cvalue option

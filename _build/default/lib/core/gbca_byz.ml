@@ -1,0 +1,203 @@
+module Value = Bca_util.Value
+module Quorum = Bca_util.Quorum
+
+type msg =
+  | MEcho of Value.t
+  | MEcho2 of Value.t
+  | MEcho3 of Types.cvalue
+  | MEcho4 of Types.cvalue
+  | MEcho5 of Types.cvalue
+
+let pp_msg ppf = function
+  | MEcho v -> Format.fprintf ppf "echo(%a)" Value.pp v
+  | MEcho2 v -> Format.fprintf ppf "echo2(%a)" Value.pp v
+  | MEcho3 cv -> Format.fprintf ppf "echo3(%a)" Types.pp_cvalue cv
+  | MEcho4 cv -> Format.fprintf ppf "echo4(%a)" Types.pp_cvalue cv
+  | MEcho5 cv -> Format.fprintf ppf "echo5(%a)" Types.pp_cvalue cv
+
+type params = Types.cfg
+
+type t = {
+  cfg : Types.cfg;
+  me : Types.pid;
+  echoes : Value.t Quorum.t;
+  echo2s : Value.t Quorum.t;
+  echo3s : Types.cvalue Quorum.t;
+  echo4s : Types.cvalue Quorum.t;
+  echo5s : Types.cvalue Quorum.t;
+  mutable my_echoes : Value.t list;
+  mutable approved : Value.t list;
+  mutable sent_echo2 : bool;
+  mutable echo3_sent : Types.cvalue option;
+  mutable echo4_sent : Types.cvalue option;
+  mutable echo5_sent : Types.cvalue option;
+  mutable decision : Types.gdecision option;
+}
+
+let max_broadcast_steps = 6
+
+let create cfg ~me =
+  Types.check_byz_resilience cfg;
+  { cfg;
+    me;
+    echoes = Quorum.create ();
+    echo2s = Quorum.create ();
+    echo3s = Quorum.create ();
+    echo4s = Quorum.create ();
+    echo5s = Quorum.create ();
+    my_echoes = [];
+    approved = [];
+    sent_echo2 = false;
+    echo3_sent = None;
+    echo4_sent = None;
+    echo5_sent = None;
+    decision = None }
+
+let start t ~input =
+  if List.mem input t.my_echoes then []
+  else begin
+    t.my_echoes <- input :: t.my_echoes;
+    [ MEcho input ]
+  end
+
+(* A "wait until (1) quorum for one non-bottom value / (2) n-t messages of
+   any value and both values approved" stage, shared by the echo3, echo4 and
+   echo5 rounds of Algorithm 6.  Returns the value to relay, once. *)
+let stage_output t ~(prev : Types.cvalue Quorum.t) =
+  let q = Types.quorum t.cfg in
+  let value_quorum =
+    List.find_opt (fun v -> Quorum.count prev (Types.Val v) >= q) Value.both
+  in
+  match value_quorum with
+  | Some v -> Some (Types.Val v)
+  | None ->
+    if Quorum.senders prev >= q && List.length t.approved > 1 then Some Types.Bot
+    else None
+
+let progress t =
+  let q = Types.quorum t.cfg in
+  let tt = t.cfg.Types.t in
+  let out = ref [] in
+  (* Amplification (lines 3-4). *)
+  List.iter
+    (fun v ->
+      if Quorum.count t.echoes v >= tt + 1 && not (List.mem v t.my_echoes) then begin
+        t.my_echoes <- v :: t.my_echoes;
+        out := !out @ [ MEcho v ]
+      end)
+    Value.both;
+  (* Approval and the single echo2 vote (lines 5-7). *)
+  List.iter
+    (fun v ->
+      if Quorum.count t.echoes v >= q && not (List.mem v t.approved) then begin
+        t.approved <- v :: t.approved;
+        if not t.sent_echo2 then begin
+          t.sent_echo2 <- true;
+          out := !out @ [ MEcho2 v ]
+        end
+      end)
+    Value.both;
+  (* echo2 -> echo3 (lines 8-12). *)
+  if t.echo3_sent = None then begin
+    let value_quorum =
+      List.find_opt (fun v -> Quorum.count t.echo2s v >= q) Value.both
+    in
+    match value_quorum with
+    | Some v ->
+      t.echo3_sent <- Some (Types.Val v);
+      out := !out @ [ MEcho3 (Types.Val v) ]
+    | None ->
+      if Quorum.senders t.echo2s >= q && List.length t.approved > 1 then begin
+        t.echo3_sent <- Some Types.Bot;
+        out := !out @ [ MEcho3 Types.Bot ]
+      end
+  end;
+  (* echo3 -> echo4 (lines 13-17). *)
+  if t.echo4_sent = None then begin
+    match stage_output t ~prev:t.echo3s with
+    | Some cv ->
+      t.echo4_sent <- Some cv;
+      out := !out @ [ MEcho4 cv ]
+    | None -> ()
+  end;
+  (* echo4 -> echo5 (lines 18-22). *)
+  if t.echo5_sent = None then begin
+    match stage_output t ~prev:t.echo4s with
+    | Some cv ->
+      t.echo5_sent <- Some cv;
+      out := !out @ [ MEcho5 cv ]
+    | None -> ()
+  end;
+  (* Decision (lines 23-29), conditions tested in the pseudocode's order. *)
+  if t.decision = None then begin
+    let grade2 =
+      List.find_opt (fun v -> Quorum.count t.echo5s (Types.Val v) >= q) Value.both
+    in
+    match grade2 with
+    | Some v -> t.decision <- Some (Types.G2 v)
+    | None ->
+      let total_echo5 = Quorum.senders t.echo5s in
+      let grade1 =
+        if total_echo5 >= q && List.length t.approved > 1 then
+          List.find_opt
+            (fun v ->
+              Quorum.count t.echo5s (Types.Val v) >= 1
+              && Quorum.count t.echo4s (Types.Val v) >= tt + 1)
+            Value.both
+        else None
+      in
+      (match grade1 with
+      | Some v -> t.decision <- Some (Types.G1 v)
+      | None ->
+        if Quorum.count t.echo5s Types.Bot >= q && List.length t.approved > 1 then
+          t.decision <- Some Types.G0)
+  end;
+  !out
+
+let handle t ~from msg =
+  (match msg with
+  | MEcho v -> ignore (Quorum.add_value t.echoes ~pid:from v : bool)
+  | MEcho2 v -> ignore (Quorum.add_first t.echo2s ~pid:from v : bool)
+  | MEcho3 cv -> ignore (Quorum.add_first t.echo3s ~pid:from cv : bool)
+  | MEcho4 cv -> ignore (Quorum.add_first t.echo4s ~pid:from cv : bool)
+  | MEcho5 cv -> ignore (Quorum.add_first t.echo5s ~pid:from cv : bool));
+  progress t
+
+let decision t = t.decision
+
+let approved t = t.approved
+
+let echo4_sent t = t.echo4_sent
+
+let debug_copy t =
+  { t with
+    echoes = Quorum.copy t.echoes;
+    echo2s = Quorum.copy t.echo2s;
+    echo3s = Quorum.copy t.echo3s;
+    echo4s = Quorum.copy t.echo4s;
+    echo5s = Quorum.copy t.echo5s }
+
+let debug_encode t =
+  let v = Value.to_string in
+  let cv = function Types.Val x -> v x | Types.Bot -> "b" in
+  let g = function
+    | Types.G2 x -> "2" ^ v x
+    | Types.G1 x -> "1" ^ v x
+    | Types.G0 -> "0"
+  in
+  let quorum pp entries =
+    String.concat ","
+      (List.sort compare (List.map (fun (p, x) -> Printf.sprintf "%d=%s" p (pp x)) entries))
+  in
+  let set xs = String.concat "" (List.sort compare (List.map v xs)) in
+  Printf.sprintf "e[%s]f[%s]g[%s]h[%s]i[%s]my:%s ap:%s s2:%b s3:%s s4:%s s5:%s d:%s"
+    (quorum v (Quorum.entries t.echoes))
+    (quorum v (Quorum.entries t.echo2s))
+    (quorum cv (Quorum.entries t.echo3s))
+    (quorum cv (Quorum.entries t.echo4s))
+    (quorum cv (Quorum.entries t.echo5s))
+    (set t.my_echoes) (set t.approved) t.sent_echo2
+    (match t.echo3_sent with Some c -> cv c | None -> "_")
+    (match t.echo4_sent with Some c -> cv c | None -> "_")
+    (match t.echo5_sent with Some c -> cv c | None -> "_")
+    (match t.decision with Some d -> g d | None -> "_")

@@ -1,0 +1,36 @@
+(** Algorithm 6: Graded Binding Crusader Agreement for Byzantine faults.
+
+    Tolerates [t < n/3] Byzantine parties and terminates in at most 6
+    communication rounds (Theorem 5.3).  Runs the BCA-Byz pipeline (echo /
+    echo2 / echo3); the echo4 a party sends corresponds to the value
+    Algorithm 4 would have decided; two more aggregation rounds (echo4,
+    echo5) upgrade plain agreement to graded agreement:
+
+    - an [n - t] echo5 quorum for [v] decides [v] grade 2;
+    - [n - t] echo5 messages among which some carry [v], plus [t + 1] echo4
+      messages for [v] (so at least one honest echo4 for v, which preserves
+      binding), plus both values approved, decide [v] grade 1;
+    - [n - t] bottom echo5 messages with both values approved decide bottom
+      grade 0. *)
+
+type msg =
+  | MEcho of Bca_util.Value.t
+  | MEcho2 of Bca_util.Value.t
+  | MEcho3 of Types.cvalue
+  | MEcho4 of Types.cvalue
+  | MEcho5 of Types.cvalue
+
+include Bca_intf.GBCA with type params = Types.cfg and type msg := msg
+
+val approved : t -> Bca_util.Value.t list
+
+val echo4_sent : t -> Types.cvalue option
+(** For binding-witness checks (Lemma E.9 reduces graded binding to the
+    echo4 messages). *)
+
+val debug_copy : t -> t
+(** Independent deep copy - the model checker clones configurations. *)
+
+val debug_encode : t -> string
+(** Canonical encoding of the full instance state - the model checker's
+    configuration key. *)

@@ -1,0 +1,30 @@
+(** Algorithm 5: Graded Binding Crusader Agreement for crash faults.
+
+    Tolerates [t < n/2] crashes and terminates in 3 communication rounds
+    (Theorem 5.1).  The first two rounds coincide with Algorithm 3 (the
+    echo2 a party sends equals what Algorithm 3 would have decided); the
+    third round grades the decision:
+
+    - all [n - t] echo2 agree on non-bottom [v]: decide [v] grade 2;
+    - some echo2 carry [v] and some carry something else: decide [v] grade 1;
+    - all carry bottom: decide bottom grade 0.
+
+    Satisfies graded agreement, weak validity, termination, and graded
+    binding (Definition B.2). *)
+
+type msg =
+  | MVal of Bca_util.Value.t
+  | MEcho of Types.cvalue
+  | MEcho2 of Types.cvalue
+
+include Bca_intf.GBCA with type params = Types.cfg and type msg := msg
+
+val echo2_sent : t -> Types.cvalue option
+(** The echo2 this party sent, if any - for binding-witness checks. *)
+
+val debug_copy : t -> t
+(** Independent deep copy - the model checker clones configurations. *)
+
+val debug_encode : t -> string
+(** Canonical encoding of the full instance state - the model checker's
+    configuration key. *)

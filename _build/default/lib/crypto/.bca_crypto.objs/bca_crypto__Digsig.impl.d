@@ -1,0 +1,1 @@
+lib/crypto/digsig.ml: Array Bca_util Char Int64 String

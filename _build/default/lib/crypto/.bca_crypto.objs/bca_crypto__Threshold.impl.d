@@ -1,0 +1,1 @@
+lib/crypto/threshold.ml: Array Bca_util Char Format Int64 List Printf String

@@ -1,0 +1,24 @@
+(** Simulated digital signatures.
+
+    Section 6 assumes plain digital signatures alongside the threshold
+    scheme.  Same substitution discipline as {!Threshold}: unforgeability is
+    enforced by capability separation plus a keyed MAC, not by computational
+    hardness. *)
+
+type t
+(** Public verification handle. *)
+
+type key
+(** Party's private signing key. *)
+
+type signature
+
+val setup : n:int -> seed:int64 -> t * key array
+
+val sign : key -> tag:string -> signature
+
+val signer : signature -> int
+
+val verify : t -> tag:string -> signature -> bool
+(** True iff the signature is genuine for [tag] under its embedded signer's
+    key. *)

@@ -1,0 +1,76 @@
+(** Simulated k-of-n dual-threshold signature scheme (Appendix F interface).
+
+    The paper assumes a computational threshold scheme (Shoup-style RSA or
+    BLS) with a DKG/dealer setup.  No cryptographic library is available in
+    this sealed environment, so we substitute a scheme whose unforgeability
+    is enforced {e by construction} rather than by computational hardness:
+
+    - each party receives a private {!key} capability at setup; producing a
+      share for party [i] requires [i]'s key, which the simulation hands only
+      to the node (or Byzantine behaviour) playing party [i];
+    - shares carry a MAC keyed by the party's secret, so a forged or
+      corrupted share fails {!share_validate};
+    - a combined signature can only be minted by {!combine}, which checks
+      [k] distinct valid shares - exactly the condition
+      [threshold-combine] requires in Appendix F.
+
+    A Byzantine party keeps every power a computationally bounded adversary
+    has: it can sign anything with its own key, withhold, replay, and route
+    shares and signatures selectively.  It only loses the power to forge,
+    which the computational scheme denies it too, so every protocol
+    behaviour of Algorithm 7 / Appendix G.2 is preserved.  The MAC itself is
+    a 64-bit SplitMix-based keyed hash - collision-resistant enough for
+    simulation, and {e not} a security claim.
+
+    Tags: a message to be threshold-signed is identified by a string tag,
+    e.g. ["echo/<instance>/<value>"].  The same setup serves both thresholds
+    the paper uses ([k = t+1] and [k = 2t+1]); [k] is a parameter of
+    {!combine}/{!verify} and is baked into the resulting signature. *)
+
+type t
+(** Public handle: validate shares, combine, verify.  Cannot sign. *)
+
+type key
+(** Party [i]'s private signing capability. *)
+
+type share
+(** A signature share: [threshold-sign_i(m)] of Appendix F. *)
+
+type signature
+(** A combined threshold signature. *)
+
+val setup : n:int -> seed:int64 -> t * key array
+(** Trusted-dealer setup for [n] parties.  The caller distributes [keys.(i)]
+    to the code playing party [i] and nothing else. *)
+
+val n : t -> int
+
+val sign : key -> tag:string -> share
+(** [threshold-sign_i(tag)]. Deterministic per (key, tag). *)
+
+val share_signer : share -> int
+(** The party index embedded in the share. *)
+
+val share_validate : t -> tag:string -> share -> bool
+(** [share-validate(m, s_j, pk_j)]: true iff the share is a genuine signature
+    share by [share_signer share] on [tag]. *)
+
+val combine : t -> k:int -> tag:string -> share list -> signature option
+(** [threshold-combine(m, S)]: [Some sigma] iff the list contains valid
+    shares on [tag] from at least [k] distinct signers. *)
+
+val verify : t -> tag:string -> signature -> bool
+(** [threshold-verify(m, sigma)]: true iff [sigma] was produced by a
+    [combine] over [>= k] valid shares on [tag], where [k] is the threshold
+    [sigma] was combined under. *)
+
+val threshold_of : signature -> int
+(** The [k] a signature was combined under. *)
+
+val fingerprint : signature -> int64
+(** A deterministic 64-bit condensation of the signature, equal for every
+    combiner and uncomputable without [k] shares - the randomness source of
+    the Cachin-Kursawe-Shoup threshold coin ({!Bca_coin.Threshold_coin}). *)
+
+val pp_share : Format.formatter -> share -> unit
+val pp_signature : Format.formatter -> signature -> unit

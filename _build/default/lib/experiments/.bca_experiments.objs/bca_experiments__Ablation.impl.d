@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Bca_coin Bca_core Bca_netsim Bca_util List Montecarlo

@@ -1,0 +1,1 @@
+lib/experiments/montecarlo.ml: Bca_util List

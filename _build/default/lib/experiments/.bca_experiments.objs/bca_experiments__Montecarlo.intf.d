@@ -1,0 +1,1 @@
+lib/experiments/montecarlo.mli: Bca_util

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Array Bca_baselines Bca_coin Bca_core Bca_netsim Bca_util Hashtbl List Montecarlo

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Array Bca_coin Bca_core Bca_crypto Bca_netsim Bca_util Hashtbl Int64 List Montecarlo Option

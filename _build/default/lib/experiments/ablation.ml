@@ -1,0 +1,94 @@
+module Value = Bca_util.Value
+module Types = Bca_core.Types
+module Coin = Bca_coin.Coin
+module Lockstep = Bca_netsim.Lockstep
+module Node = Bca_netsim.Node
+module Aa_ev = Bca_core.Aa_ev
+module Stack_plain = Bca_core.Aa_strong.Make (Bca_core.Bca_byz)
+module Stack_graded = Bca_core.Aa_weak.Make (Bca_core.Gbca_byz)
+
+let n = 4
+
+let tf = 1
+
+let cfg = Types.cfg ~n ~t:tf
+
+let inputs = [| Value.V0; Value.V1; Value.V1; Value.V0 |]
+
+(* Fair lockstep run of an assembled stack; returns the critical-path depth
+   and the states for follow-up inspection. *)
+let run_lockstep make =
+  let res = Lockstep.run ~n ~honest:(fun _ -> true) ~make ~max_steps:5_000 () in
+  assert (res.Lockstep.outcome = `All_terminated);
+  res
+
+let ev_once ~optimize ~seed =
+  let coin = Coin.create Coin.Strong ~n ~degree:(2 * tf) ~seed in
+  let params = { Aa_ev.cfg; coin; optimize } in
+  let make pid =
+    let st, init = Aa_ev.create params ~me:pid ~input:inputs.(pid) in
+    (Aa_ev.node st, List.map (fun m -> Node.Broadcast m) init)
+  in
+  float_of_int (run_lockstep make).Lockstep.depth
+
+let ev_optimizations ~runs ~seed =
+  let on = Montecarlo.summarize ~runs ~seed (fun ~seed -> ev_once ~optimize:true ~seed) in
+  let off = Montecarlo.summarize ~runs ~seed (fun ~seed -> ev_once ~optimize:false ~seed) in
+  (on, off)
+
+let plain_once ~seed =
+  let coin = Coin.create Coin.Strong ~n ~degree:tf ~seed in
+  let params =
+    { Stack_plain.cfg; mode = `Byz; coin; bca_params = (fun ~round:_ -> cfg) }
+  in
+  let make pid =
+    let st, init = Stack_plain.create params ~me:pid ~input:inputs.(pid) in
+    (Stack_plain.node st, List.map (fun m -> Node.Broadcast m) init)
+  in
+  float_of_int (run_lockstep make).Lockstep.depth
+
+let graded_once ~seed =
+  let coin = Coin.create Coin.Strong ~n ~degree:tf ~seed in
+  let params =
+    { Stack_graded.cfg; mode = `Byz; coin; bca_params = (fun ~round:_ -> cfg) }
+  in
+  let make pid =
+    let st, init = Stack_graded.create params ~me:pid ~input:inputs.(pid) in
+    (Stack_graded.node st, List.map (fun m -> Node.Broadcast m) init)
+  in
+  float_of_int (run_lockstep make).Lockstep.depth
+
+let graded_vs_plain ~runs ~seed =
+  let plain = Montecarlo.summarize ~runs ~seed (fun ~seed -> plain_once ~seed) in
+  let graded = Montecarlo.summarize ~runs ~seed (fun ~seed -> graded_once ~seed) in
+  (plain, graded)
+
+let termination_once ~seed =
+  let coin = Coin.create Coin.Strong ~n ~degree:tf ~seed in
+  let params =
+    { Stack_plain.cfg; mode = `Byz; coin; bca_params = (fun ~round:_ -> cfg) }
+  in
+  let states = Array.make n None in
+  let first_commit_depth = ref None in
+  let depths = ref 0 in
+  let make pid =
+    let st, init = Stack_plain.create params ~me:pid ~input:inputs.(pid) in
+    states.(pid) <- Some st;
+    (Stack_plain.node st, List.map (fun m -> Node.Broadcast m) init)
+  in
+  let observe ~step =
+    depths := step;
+    if !first_commit_depth = None
+       && Array.exists
+            (fun st -> match st with Some st -> Stack_plain.committed st <> None | None -> false)
+            states
+    then first_commit_depth := Some step
+  in
+  let res = Lockstep.run ~n ~honest:(fun _ -> true) ~make ~observe ~max_steps:5_000 () in
+  assert (res.Lockstep.outcome = `All_terminated);
+  match !first_commit_depth with
+  | Some d -> float_of_int (res.Lockstep.steps - d)
+  | None -> 0.0
+
+let termination_layer ~runs ~seed =
+  Montecarlo.summarize ~runs ~seed (fun ~seed -> termination_once ~seed)

@@ -1,0 +1,25 @@
+(** Ablation studies for the design choices DESIGN.md calls out.
+
+    - {!ev_optimizations}: AA-1/2 over EVBCA with the Appendix G.1
+      optimizations on vs off, under identical coins, inputs and fair
+      lockstep schedules.  The delta is the broadcasts the round-coupling
+      saves (the 17 -> 13 improvement of Table 2, here on honest runs).
+    - {!graded_vs_plain}: the price of grading - GBCA-Byz-based AA-eps with a
+      strong coin versus BCA-Byz-based AA-1/2 on the same coins.  Grading
+      buys weak-coin tolerance at ~2 extra broadcasts per round.
+    - {!termination_layer}: broadcasts until first commitment vs until global
+      termination, isolating the cost of the "note on termination" layer. *)
+
+val ev_optimizations :
+  runs:int -> seed:int64 -> Bca_util.Summary.t * Bca_util.Summary.t
+(** (optimized, unoptimized) expected broadcasts, n = 4, t = 1, mixed
+    inputs, fair lockstep. *)
+
+val graded_vs_plain :
+  runs:int -> seed:int64 -> Bca_util.Summary.t * Bca_util.Summary.t
+(** (plain AA-1/2-BCA-Byz, graded AA-eps-GBCA-Byz with the same strong coin)
+    expected broadcasts on fair lockstep runs. *)
+
+val termination_layer : runs:int -> seed:int64 -> Bca_util.Summary.t
+(** Expected broadcasts between the first commitment and global termination
+    in AA-1/2-BCA-Byz runs (the "+1 and stragglers" cost). *)

@@ -1,0 +1,10 @@
+(** Monte-Carlo driver: run a seeded experiment many times and summarize.
+
+    The paper's tables report {e expected} broadcast counts against the worst
+    adversary; each experiment module provides a [run_once] that plays the
+    worst-case strategy from the corresponding proof under one seed, and this
+    driver averages the measured critical-path depth over many seeds. *)
+
+val summarize : runs:int -> seed:int64 -> (seed:int64 -> float) -> Bca_util.Summary.t
+(** [summarize ~runs ~seed f] evaluates [f] on [runs] seeds derived from
+    [seed] by a SplitMix stream and returns the sample summary. *)

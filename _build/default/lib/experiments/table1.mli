@@ -1,0 +1,54 @@
+(** Table 1 reproduction: the crash-fault setting.
+
+    Each cell measures the expected number of broadcasts on the critical path
+    (causal depth) until every party terminates, under the worst-case
+    adversary strategy used in the corresponding proof:
+
+    - {!strong} - Theorem 4.2 (paper: 7).  Adversary: make every party see a
+      mixed value prefix in round 1, so all decide bottom and everything
+      hinges on coin repetition ("strategy 1" of the proof).
+    - {!weak} - Theorem 5.2 (paper: 3/epsilon + 4).  Adversary: keep exactly
+      one party at grade 1 each round and assign adversarial coin values
+      against the bound value, so progress happens exactly on the
+      epsilon-probability good event.
+    - {!local_rounds} - the "Ours, local coin" cell: the same protocol with
+      the local coin (epsilon = 2^-n); reported in {e rounds} so the O(2^n)
+      growth is visible directly.  The Ben-Or baseline lives in
+      [bca_baselines] and is measured by the benchmark harness next to this.
+
+    All cells run n = 5, t = 2 unless stated otherwise. *)
+
+val strong_expected : float
+(** Paper value for the strong-coin cell: 7. *)
+
+val weak_expected : eps:float -> float
+(** Paper formula for the weak-coin cell: 3/eps + 4. *)
+
+val strong : runs:int -> seed:int64 -> Bca_util.Summary.t
+(** Measured broadcasts, AA-1/2 over BCA-Crash, strong t-unpredictable coin. *)
+
+val strong_raw : runs:int -> seed:int64 -> float list
+(** Raw per-run samples of the strong cell, for distribution plots. *)
+
+val strong_n : n:int -> runs:int -> seed:int64 -> Bca_util.Summary.t
+(** The strong-coin cell at other system sizes (t maximal): the expected 7
+    broadcasts are independent of n - the round complexity the paper
+    emphasizes is a constant, not a function of the cluster size. *)
+
+val weak : eps:float -> runs:int -> seed:int64 -> Bca_util.Summary.t
+(** Measured broadcasts, AA-eps over GBCA-Crash, eps-good coin. *)
+
+val weak_n : n:int -> eps:float -> runs:int -> seed:int64 -> Bca_util.Summary.t
+(** The weak-coin cell at other system sizes (t maximal): like the strong
+    cell, 3/eps + 4 is independent of n. *)
+
+val local_rounds : n:int -> runs:int -> seed:int64 -> Bca_util.Summary.t
+(** Measured BCA-coin rounds to global termination with the local coin and
+    the same adversary as {!weak}; expectation grows as Theta(2^n). *)
+
+val benor_rounds : n:int -> runs:int -> seed:int64 -> Bca_util.Summary.t
+(** The Aguilera-Toueg baseline cell: Ben-Or with the local coin under the
+    strongest adversary implemented here (one party is kept proposing the
+    majority value while everyone else flips, so progress needs all n - 1
+    flips to match).  Measured in rounds; Aguilera-Toueg's O(2^{2n}) is an
+    upper bound - see EXPERIMENTS.md for the bound-vs-measured discussion. *)

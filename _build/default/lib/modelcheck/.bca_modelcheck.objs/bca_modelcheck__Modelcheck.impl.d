@@ -1,0 +1,1 @@
+lib/modelcheck/modelcheck.ml: Array Buffer Fun Hashtbl List Option Printf String

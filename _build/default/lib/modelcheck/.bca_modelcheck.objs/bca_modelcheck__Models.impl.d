@@ -1,0 +1,1 @@
+lib/modelcheck/models.ml: Array Bca_core Bca_util Format Fun List Modelcheck

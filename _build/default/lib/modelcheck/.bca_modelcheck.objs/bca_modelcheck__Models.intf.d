@@ -1,0 +1,1 @@
+lib/modelcheck/models.mli: Bca_util Modelcheck

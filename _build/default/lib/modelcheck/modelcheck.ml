@@ -1,0 +1,173 @@
+module type MODEL = sig
+  type state
+
+  type msg
+
+  val n : int
+
+  val init : int -> state * msg list
+
+  val handle : state -> from:int -> msg -> msg list
+
+  val copy_state : state -> state
+
+  val encode_state : state -> string
+
+  val encode_msg : msg -> string
+
+  val decided : state -> bool
+end
+
+type stats = { configurations : int; terminals : int; truncated : bool }
+
+type verdict = Verified of stats | Violated of string
+
+module Make (M : MODEL) = struct
+  (* in-flight envelope with its canonical key precomputed *)
+  type envelope = { src : int; dst : int; payload : M.msg; key : string }
+
+  type config = {
+    states : M.state array;
+    alive : bool array;
+    inflight : envelope list;
+    crash_budget : int;
+    injections_left : bool array;  (* one-shot adversary actions *)
+  }
+
+  let envelope src dst payload =
+    { src; dst; payload; key = Printf.sprintf "%d>%d:%s" src dst (M.encode_msg payload) }
+
+  let broadcast_from cfg ~src msgs =
+    List.concat_map
+      (fun m ->
+        List.filter_map
+          (fun dst -> if cfg.alive.(dst) then Some (envelope src dst m) else None)
+          (List.init M.n Fun.id))
+      msgs
+
+  let clone cfg =
+    { cfg with
+      states = Array.map M.copy_state cfg.states;
+      alive = Array.copy cfg.alive;
+      injections_left = Array.copy cfg.injections_left }
+
+  type choice = Deliver of string | Crash of int | Inject of int
+
+  (* Apply one choice to a fresh clone of the configuration.  An injection
+     is delivered immediately: a rushing adversary loses nothing by it,
+     because delaying an injected message is the same as injecting later. *)
+  let apply ~injections cfg choice =
+    let cfg = clone cfg in
+    match choice with
+    | Inject i ->
+      cfg.injections_left.(i) <- false;
+      let src, dst, payload = List.nth injections i in
+      if cfg.alive.(dst) then begin
+        let outs = M.handle cfg.states.(dst) ~from:src payload in
+        { cfg with inflight = cfg.inflight @ broadcast_from cfg ~src:dst outs }
+      end
+      else cfg
+    | Crash pid ->
+      cfg.alive.(pid) <- false;
+      { cfg with
+        inflight = List.filter (fun env -> env.dst <> pid) cfg.inflight;
+        crash_budget = cfg.crash_budget - 1 }
+    | Deliver k ->
+      let rec split acc = function
+        | [] -> invalid_arg "Modelcheck.apply: stale delivery choice"
+        | env :: rest ->
+          if String.equal env.key k then (env, List.rev_append acc rest)
+          else split (env :: acc) rest
+      in
+      let env, rest = split [] cfg.inflight in
+      let outs = M.handle cfg.states.(env.dst) ~from:env.src env.payload in
+      { cfg with inflight = rest @ broadcast_from cfg ~src:env.dst outs }
+
+  let initial ~crashes ~injections =
+    let cfg =
+      { states = [||];
+        alive = Array.make M.n true;
+        inflight = [];
+        crash_budget = crashes;
+        injections_left = Array.make (List.length injections) true }
+    in
+    let states = Array.make M.n None in
+    let inflight =
+      List.concat
+        (List.init M.n (fun pid ->
+             let st, sends = M.init pid in
+             states.(pid) <- Some st;
+             broadcast_from cfg ~src:pid sends))
+    in
+    { cfg with states = Array.map Option.get states; inflight }
+
+  let enabled cfg =
+    let deliveries =
+      List.sort_uniq compare (List.map (fun env -> env.key) cfg.inflight)
+    in
+    let crashes =
+      if cfg.crash_budget > 0 then
+        List.filter_map
+          (fun pid -> if cfg.alive.(pid) then Some (Crash pid) else None)
+          (List.init M.n Fun.id)
+      else []
+    in
+    let injects =
+      List.filter_map
+        (fun i -> if cfg.injections_left.(i) then Some (Inject i) else None)
+        (List.init (Array.length cfg.injections_left) Fun.id)
+    in
+    List.map (fun k -> Deliver k) deliveries @ crashes @ injects
+
+  let encode_config cfg =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (string_of_int cfg.crash_budget);
+    Array.iter (fun b -> Buffer.add_char buf (if b then 'i' else '.')) cfg.injections_left;
+    Array.iteri
+      (fun pid st ->
+        Buffer.add_char buf (if cfg.alive.(pid) then '+' else '-');
+        Buffer.add_string buf (M.encode_state st);
+        Buffer.add_char buf '|')
+      cfg.states;
+    List.iter
+      (fun k ->
+        Buffer.add_string buf k;
+        Buffer.add_char buf ';')
+      (List.sort compare (List.map (fun env -> env.key) cfg.inflight));
+    Buffer.contents buf
+
+  exception Stop of string
+
+  let explore ?(max_configurations = 300_000) ?(crashes = 0) ?(injections = []) ~invariant
+      ~terminal () =
+    let seen : (string, unit) Hashtbl.t = Hashtbl.create 65_536 in
+    let configurations = ref 0 in
+    let terminals = ref 0 in
+    let truncated = ref false in
+    let rec dfs cfg =
+      if !configurations >= max_configurations then truncated := true
+      else begin
+        let enc = encode_config cfg in
+        if not (Hashtbl.mem seen enc) then begin
+          Hashtbl.replace seen enc ();
+          incr configurations;
+          (match invariant ~alive:cfg.alive cfg.states with
+          | Some reason -> raise (Stop reason)
+          | None -> ());
+          let choices = enabled cfg in
+          if cfg.inflight = [] then begin
+            incr terminals;
+            match terminal ~alive:cfg.alive cfg.states with
+            | Some reason -> raise (Stop reason)
+            | None -> ()
+          end;
+          List.iter (fun c -> dfs (apply ~injections cfg c)) choices
+        end
+      end
+    in
+    match dfs (initial ~crashes ~injections) with
+    | () ->
+      Verified
+        { configurations = !configurations; terminals = !terminals; truncated = !truncated }
+    | exception Stop reason -> Violated reason
+end

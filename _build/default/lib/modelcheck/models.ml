@@ -1,0 +1,371 @@
+module Value = Bca_util.Value
+module Types = Bca_core.Types
+module B = Bca_core.Bca_crash
+module G = Bca_core.Gbca_crash
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 3                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let check_bca_crash ~n ~t ~inputs ?(crashes = 0) ?max_configurations () =
+  let cfg = Types.cfg ~n ~t in
+  let q = Types.quorum cfg in
+  let module Model = struct
+    type state = B.t
+
+    type msg = B.msg
+
+    let n = n
+
+    let init pid =
+      let st = B.create cfg ~me:pid in
+      let sends = B.start st ~input:inputs.(pid) in
+      (st, sends)
+
+    let handle st ~from m = B.handle st ~from m
+
+    let copy_state = B.debug_copy
+
+    let encode_state = B.debug_encode
+
+    let encode_msg m = Format.asprintf "%a" B.pp_msg m
+
+    let decided st = B.decision st <> None
+  end in
+  let module C = Modelcheck.Make (Model) in
+  let decisions states = Array.to_list (Array.map B.decision states) in
+  (* binding: count echo slots still open among live parties *)
+  let allowed ~alive states =
+    let echoed v =
+      Array.to_list states
+      |> List.filter (fun st ->
+             match B.echoed st with
+             | Some cv -> Types.cvalue_equal cv (Types.Val v)
+             | None -> false)
+      |> List.length
+    in
+    let open_slots =
+      List.length
+        (List.filter
+           (fun pid -> alive.(pid) && B.echoed states.(pid) = None)
+           (List.init n Fun.id))
+    in
+    List.filter (fun v -> echoed v + open_slots >= q) Value.both
+  in
+  let invariant ~alive states =
+    let ds = List.filter_map Fun.id (decisions states) in
+    let non_bot = List.filter_map (function Types.Val v -> Some v | Types.Bot -> None) ds in
+    match non_bot with
+    | v :: rest when not (List.for_all (Value.equal v) rest) -> Some "agreement violated"
+    | _ ->
+      if
+        Array.for_all (Value.equal inputs.(0)) inputs
+        && List.exists (fun d -> not (Types.cvalue_equal d (Types.Val inputs.(0)))) ds
+      then Some "weak validity violated"
+      else if ds <> [] then begin
+        let ok = allowed ~alive states in
+        if List.length ok > 1 then Some "binding violated: two values still decidable"
+        else if
+          List.exists
+            (function Types.Val v -> not (List.exists (Value.equal v) ok) | Types.Bot -> false)
+            ds
+        then Some "binding violated: decision outside the allowed set"
+        else None
+      end
+      else None
+  in
+  let terminal ~alive states =
+    let stuck =
+      List.exists
+        (fun pid -> alive.(pid) && B.decision states.(pid) = None)
+        (List.init n Fun.id)
+    in
+    (* with more than t crashes the quorum may be unreachable; only require
+       termination when at least n - t parties are live *)
+    let live = Array.to_list alive |> List.filter Fun.id |> List.length in
+    if stuck && live >= q then Some "termination violated: network drained, party undecided"
+    else None
+  in
+  C.explore ?max_configurations ~crashes ~invariant ~terminal ()
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 5                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let check_gbca_crash ~n ~t ~inputs ?(crashes = 0) ?max_configurations () =
+  let cfg = Types.cfg ~n ~t in
+  let q = Types.quorum cfg in
+  let module Model = struct
+    type state = G.t
+
+    type msg = G.msg
+
+    let n = n
+
+    let init pid =
+      let st = G.create cfg ~me:pid in
+      let sends = G.start st ~input:inputs.(pid) in
+      (st, sends)
+
+    let handle st ~from m = G.handle st ~from m
+
+    let copy_state = G.debug_copy
+
+    let encode_state = G.debug_encode
+
+    let encode_msg m = Format.asprintf "%a" G.pp_msg m
+
+    let decided st = G.decision st <> None
+  end in
+  let module C = Modelcheck.Make (Model) in
+  let invariant ~alive:_ states =
+    let ds = Array.to_list states |> List.filter_map G.decision in
+    let graded_pair a b =
+      match (a, b) with
+      | (Types.G2 v | Types.G1 v), (Types.G2 w | Types.G1 w) -> Value.equal v w
+      | Types.G2 _, Types.G0 | Types.G0, Types.G2 _ -> false
+      | Types.G0, _ | _, Types.G0 -> true
+    in
+    if not (List.for_all (fun a -> List.for_all (graded_pair a) ds) ds) then
+      Some "graded agreement violated"
+    else if
+      Array.for_all (Value.equal inputs.(0)) inputs
+      && List.exists
+           (function Types.G2 v -> not (Value.equal v inputs.(0)) | _ -> true)
+           ds
+    then Some "weak validity violated (unanimous inputs must yield grade 2)"
+    else if ds <> [] then begin
+      (* graded binding: two distinct non-bottom echo2 values must never
+         coexist, and a value without a sent or assemblable echo2 cannot be
+         decided at grade >= 1 *)
+      let echo2 v =
+        Array.to_list states
+        |> List.filter (fun st ->
+               match G.echo2_sent st with
+               | Some cv -> Types.cvalue_equal cv (Types.Val v)
+               | None -> false)
+        |> List.length
+      in
+      if echo2 Value.V0 > 0 && echo2 Value.V1 > 0 then
+        Some "graded binding violated: two echo2 values coexist"
+      else begin
+        let bound =
+          if echo2 Value.V0 > 0 then Some Value.V0
+          else if echo2 Value.V1 > 0 then Some Value.V1
+          else None
+        in
+        match bound with
+        | Some b
+          when List.exists
+                 (function
+                   | Types.G2 v | Types.G1 v -> not (Value.equal v b)
+                   | Types.G0 -> false)
+                 ds ->
+          Some "graded binding violated: grade >= 1 outside the bound value"
+        | _ -> None
+      end
+    end
+    else None
+  in
+  let terminal ~alive states =
+    let stuck =
+      List.exists
+        (fun pid -> alive.(pid) && G.decision states.(pid) = None)
+        (List.init n Fun.id)
+    in
+    let live = Array.to_list alive |> List.filter Fun.id |> List.length in
+    if stuck && live >= q then Some "termination violated" else None
+  in
+  C.explore ?max_configurations ~crashes ~invariant ~terminal ()
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 4 with an injection-modelled Byzantine party.             *)
+(* ------------------------------------------------------------------ *)
+
+module Byz = Bca_core.Bca_byz
+
+let check_bca_byz ~inputs ?max_configurations () =
+  let cfg = Types.cfg ~n:4 ~t:1 in
+  let q = Types.quorum cfg in
+  let honest_n = 3 in
+  let module Model = struct
+    type state = Byz.t
+
+    type msg = Byz.msg
+
+    let n = honest_n
+
+    let init pid =
+      let st = Byz.create cfg ~me:pid in
+      let sends = Byz.start st ~input:inputs.(pid) in
+      (st, sends)
+
+    let handle st ~from m = Byz.handle st ~from m
+
+    let copy_state = Byz.debug_copy
+
+    let encode_state = Byz.debug_encode
+
+    let encode_msg m = Format.asprintf "%a" Byz.pp_msg m
+
+    let decided st = Byz.decision st <> None
+  end in
+  let module C = Modelcheck.Make (Model) in
+  let injections =
+    List.concat_map
+      (fun dst ->
+        List.concat_map
+          (fun v ->
+            [ (3, dst, Byz.MEcho v); (3, dst, Byz.MEcho2 v); (3, dst, Byz.MEcho3 (Types.Val v)) ])
+          Value.both
+        @ [ (3, dst, Byz.MEcho3 Types.Bot) ])
+      (List.init honest_n Fun.id)
+  in
+  let invariant ~alive:_ states =
+    let ds = Array.to_list states |> List.filter_map Byz.decision in
+    let non_bot = List.filter_map (function Types.Val v -> Some v | Types.Bot -> None) ds in
+    match non_bot with
+    | v :: rest when not (List.for_all (Value.equal v) rest) -> Some "agreement violated"
+    | _ ->
+      if
+        Array.for_all (Value.equal inputs.(0)) (Array.sub inputs 0 honest_n)
+        && List.exists (fun d -> not (Types.cvalue_equal d (Types.Val inputs.(0)))) ds
+      then Some "validity violated"
+      else begin
+        (* Lemma 4.8: two distinct honest non-bottom echo3 values never
+           coexist; and once someone decided, at most one value can still
+           gather an n-t echo3 quorum (binding, Lemma 4.9). *)
+        let echo3 v =
+          Array.to_list states
+          |> List.filter (fun st ->
+                 match Byz.echo3_sent st with
+                 | Some cv -> Types.cvalue_equal cv (Types.Val v)
+                 | None -> false)
+          |> List.length
+        in
+        if echo3 Value.V0 > 0 && echo3 Value.V1 > 0 then
+          Some "Lemma 4.8 violated: two honest echo3 values"
+        else if ds <> [] then begin
+          let pending =
+            Array.to_list states
+            |> List.filter (fun st -> Byz.echo3_sent st = None)
+            |> List.length
+          in
+          let possible v = echo3 v + pending + cfg.Types.t >= q in
+          if possible Value.V0 && possible Value.V1 then Some "binding violated"
+          else if
+            List.exists
+              (function Types.Val v -> not (possible v) | Types.Bot -> false)
+              ds
+          then Some "binding violated: decision outside allowed set"
+          else None
+        end
+        else None
+      end
+  in
+  let terminal ~alive:_ states =
+    if Array.exists (fun st -> Byz.decision st = None) states then
+      Some "termination violated: network drained, honest party undecided"
+    else None
+  in
+  C.explore ?max_configurations ~injections ~invariant ~terminal ()
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 6 with an injection-modelled Byzantine party.             *)
+(* ------------------------------------------------------------------ *)
+
+module Gbyz = Bca_core.Gbca_byz
+
+let check_gbca_byz ~inputs ?max_configurations () =
+  let cfg = Types.cfg ~n:4 ~t:1 in
+  let honest_n = 3 in
+  let module Model = struct
+    type state = Gbyz.t
+
+    type msg = Gbyz.msg
+
+    let n = honest_n
+
+    let init pid =
+      let st = Gbyz.create cfg ~me:pid in
+      let sends = Gbyz.start st ~input:inputs.(pid) in
+      (st, sends)
+
+    let handle st ~from m = Gbyz.handle st ~from m
+
+    let copy_state = Gbyz.debug_copy
+
+    let encode_state = Gbyz.debug_encode
+
+    let encode_msg m = Format.asprintf "%a" Gbyz.pp_msg m
+
+    let decided st = Gbyz.decision st <> None
+  end in
+  let module C = Modelcheck.Make (Model) in
+  let injections =
+    List.concat_map
+      (fun dst ->
+        List.concat_map
+          (fun v ->
+            [ (3, dst, Gbyz.MEcho v);
+              (3, dst, Gbyz.MEcho2 v);
+              (3, dst, Gbyz.MEcho3 (Types.Val v));
+              (3, dst, Gbyz.MEcho4 (Types.Val v));
+              (3, dst, Gbyz.MEcho5 (Types.Val v)) ])
+          Value.both
+        @ [ (3, dst, Gbyz.MEcho5 Types.Bot) ])
+      (List.init honest_n Fun.id)
+  in
+  let invariant ~alive:_ states =
+    let ds = Array.to_list states |> List.filter_map Gbyz.decision in
+    let graded_pair a b =
+      match (a, b) with
+      | (Types.G2 v | Types.G1 v), (Types.G2 w | Types.G1 w) -> Value.equal v w
+      | Types.G2 _, Types.G0 | Types.G0, Types.G2 _ -> false
+      | Types.G0, _ | _, Types.G0 -> true
+    in
+    if not (List.for_all (fun a -> List.for_all (graded_pair a) ds) ds) then
+      Some "graded agreement violated"
+    else if
+      Array.for_all (Value.equal inputs.(0)) (Array.sub inputs 0 honest_n)
+      && List.exists
+           (function Types.G2 v -> not (Value.equal v inputs.(0)) | _ -> true)
+           ds
+    then Some "validity violated"
+    else begin
+      (* Lemma E.9 / 4.8 on the echo4 layer *)
+      let echo4 v =
+        Array.exists
+          (fun st ->
+            match Gbyz.echo4_sent st with
+            | Some cv -> Types.cvalue_equal cv (Types.Val v)
+            | None -> false)
+          states
+      in
+      if echo4 Value.V0 && echo4 Value.V1 then
+        Some "graded binding violated: two honest echo4 values"
+      else if ds <> [] then begin
+        let bound =
+          if echo4 Value.V0 then Some Value.V0
+          else if echo4 Value.V1 then Some Value.V1
+          else None
+        in
+        match bound with
+        | Some b
+          when List.exists
+                 (function
+                   | Types.G2 v | Types.G1 v -> not (Value.equal v b)
+                   | Types.G0 -> false)
+                 ds ->
+          Some "graded binding violated: grade >= 1 outside the bound value"
+        | _ -> None
+      end
+      else None
+    end
+  in
+  let terminal ~alive:_ states =
+    if Array.exists (fun st -> Gbyz.decision st = None) states then
+      Some "termination violated: network drained, honest party undecided"
+    else None
+  in
+  C.explore ?max_configurations ~injections ~invariant ~terminal ()

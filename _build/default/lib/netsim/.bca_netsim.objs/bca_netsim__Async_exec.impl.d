@@ -1,0 +1,1 @@
+lib/netsim/async_exec.ml: Array Bca_util List Node Pool

@@ -1,0 +1,1 @@
+lib/netsim/async_exec.mli: Bca_util Node

@@ -1,0 +1,1 @@
+lib/netsim/lockstep.ml: Array List Node

@@ -1,0 +1,1 @@
+lib/netsim/lockstep.mli: Node

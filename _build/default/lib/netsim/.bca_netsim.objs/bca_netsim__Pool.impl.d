@@ -1,0 +1,1 @@
+lib/netsim/pool.ml: Array

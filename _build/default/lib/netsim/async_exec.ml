@@ -1,0 +1,148 @@
+type pid = Node.pid
+
+type 'm envelope = { eid : int; src : pid; dst : pid; payload : 'm; depth : int }
+
+type 'm t = {
+  n : int;
+  nodes : 'm Node.t array;
+  alive : bool array;
+  pool : 'm envelope Pool.t;
+  depths : int array;
+  mutable next_eid : int;
+  mutable delivered : int;
+  mutable observer : ('m envelope -> unit) option;
+}
+
+let enqueue t ~src emits =
+  (* injected traffic may carry an out-of-band source id *)
+  let src_depth = if src >= 0 && src < t.n then t.depths.(src) else 0 in
+  let depth = src_depth + 1 in
+  List.iter
+    (fun emit ->
+      match emit with
+      | Node.Broadcast m ->
+        for dst = 0 to t.n - 1 do
+          Pool.add t.pool { eid = t.next_eid; src; dst; payload = m; depth };
+          t.next_eid <- t.next_eid + 1
+        done
+      | Node.Unicast (dst, m) ->
+        Pool.add t.pool { eid = t.next_eid; src; dst; payload = m; depth };
+        t.next_eid <- t.next_eid + 1)
+    emits
+
+let create ~n ~make =
+  let nodes = Array.make n Node.silent in
+  let t =
+    { n;
+      nodes;
+      alive = Array.make n true;
+      pool = Pool.create ();
+      depths = Array.make n 0;
+      next_eid = 0;
+      delivered = 0;
+      observer = None }
+  in
+  let initial = Array.init n (fun pid -> make pid) in
+  Array.iteri (fun pid (node, _) -> t.nodes.(pid) <- node) initial;
+  Array.iteri (fun pid (_, emits) -> enqueue t ~src:pid emits) initial;
+  t
+
+let n t = t.n
+
+let inflight t = Pool.to_list t.pool
+
+let inflight_count t = Pool.length t.pool
+
+let deliveries t = t.delivered
+
+let crash t pid = t.alive.(pid) <- false
+
+let crashed t pid = not t.alive.(pid)
+
+let drop_outgoing t ~src ~keep =
+  Pool.filter_in_place t.pool (fun env -> env.src <> src || keep env)
+
+let inject t ~src emits = enqueue t ~src emits
+
+let deliver_env t env =
+  t.delivered <- t.delivered + 1;
+  (match t.observer with Some f -> f env | None -> ());
+  if t.alive.(env.dst) then begin
+    t.depths.(env.dst) <- max t.depths.(env.dst) env.depth;
+    let emits = t.nodes.(env.dst).Node.receive ~src:env.src env.payload in
+    if t.alive.(env.dst) then enqueue t ~src:env.dst emits
+  end
+
+let deliver_eid t eid =
+  match Pool.find_index (fun env -> env.eid = eid) t.pool with
+  | None -> false
+  | Some i ->
+    let env = Pool.swap_remove t.pool i in
+    deliver_env t env;
+    true
+
+type 'm scheduler = delivered:int -> 'm envelope list -> 'm envelope option
+
+let random_scheduler rng ~delivered:_ = function
+  | [] -> None
+  | envs -> Some (Bca_util.Rng.pick rng envs)
+
+let skewed_scheduler rng ~slow ~bias ~delivered:_ = function
+  | [] -> None
+  | envs ->
+    (* prefer fast-party deliveries; a slow party's messages are picked with
+       probability 1/bias per round of consideration, but remain eligible so
+       every message is eventually delivered *)
+    let fast = List.filter (fun env -> not (List.mem env.dst slow)) envs in
+    if fast <> [] && (List.length fast = List.length envs || Bca_util.Rng.int rng bias <> 0)
+    then Some (Bca_util.Rng.pick rng fast)
+    else Some (Bca_util.Rng.pick rng envs)
+
+let fifo_scheduler ~delivered:_ = function
+  | [] -> None
+  | envs -> Some (List.fold_left (fun acc env -> if env.eid < acc.eid then env else acc) (List.hd envs) envs)
+
+let step t scheduler =
+  if Pool.is_empty t.pool then `Empty
+  else
+    match scheduler ~delivered:t.delivered (Pool.to_list t.pool) with
+    | None -> `Stopped
+    | Some env ->
+      (match Pool.find_index (fun e -> e.eid = env.eid) t.pool with
+      | None -> invalid_arg "Async_exec.step: scheduler chose a non-inflight envelope"
+      | Some i ->
+        let env = Pool.swap_remove t.pool i in
+        deliver_env t env;
+        `Delivered env)
+
+let all_terminated t =
+  let rec loop pid =
+    if pid >= t.n then true
+    else if (not t.alive.(pid)) || t.nodes.(pid).Node.terminated () then loop (pid + 1)
+    else false
+  in
+  loop 0
+
+type outcome = [ `All_terminated | `Quiescent | `Limit | `Stopped ]
+
+let run ?(max_deliveries = 1_000_000) ?(stop_when = fun _ -> false) t scheduler =
+  let rec loop () =
+    if all_terminated t then `All_terminated
+    else if stop_when t then `Stopped
+    else if t.delivered >= max_deliveries then `Limit
+    else
+      match step t scheduler with
+      | `Empty -> `Quiescent
+      | `Stopped -> `Stopped
+      | `Delivered _ -> loop ()
+  in
+  loop ()
+
+let node_of t pid = t.nodes.(pid)
+
+let set_observer t f = t.observer <- Some f
+
+let depth_of t pid = t.depths.(pid)
+
+let max_depth t =
+  Array.fold_left max 0 t.depths

@@ -1,0 +1,115 @@
+(** Asynchronous event-driven executor.
+
+    Models the paper's network (Section 2): reliable links with unbounded,
+    adversary-controlled delay.  All sent messages sit in an in-flight pool;
+    a {e scheduler} - the adversary's delay power - picks which envelope to
+    deliver next.  Any scheduler that eventually delivers everything is a
+    valid asynchronous execution; safety properties must hold under all of
+    them.
+
+    Crash faults are modelled by {!crash}: the party stops receiving and
+    emitting.  [crash] can be combined with {!drop_outgoing} to model a party
+    that crashed in the middle of a broadcast, so only a subset of recipients
+    ever gets the last message (needed for the ACA weak-validity and
+    uniform-agreement corner cases). *)
+
+type pid = Node.pid
+
+type 'm envelope = {
+  eid : int;  (** unique, increasing with send order *)
+  src : pid;
+  dst : pid;
+  payload : 'm;
+  depth : int;  (** 1 + the sender's causal depth at send time *)
+}
+
+type 'm t
+
+val create : n:int -> make:(pid -> 'm Node.t * 'm Node.emit list) -> 'm t
+(** Build an execution with [n] parties.  [make pid] returns the party's node
+    and its initial sends (the "send <val, x> to all" first line of every
+    protocol). *)
+
+val n : 'm t -> int
+
+val inflight : 'm t -> 'm envelope list
+(** Snapshot of undelivered envelopes (unspecified order). *)
+
+val inflight_count : 'm t -> int
+
+val deliveries : 'm t -> int
+(** Total number of envelopes delivered so far. *)
+
+val crash : 'm t -> pid -> unit
+(** Party [pid] halts: stops receiving and emitting.  Its already in-flight
+    messages remain deliverable (links are reliable). *)
+
+val crashed : 'm t -> pid -> bool
+
+val drop_outgoing : 'm t -> src:pid -> keep:('m envelope -> bool) -> unit
+(** Remove a subset of [src]'s in-flight messages, modelling sends that never
+    happened because the party crashed mid-broadcast.  Only meaningful
+    together with {!crash}. *)
+
+val inject : 'm t -> src:pid -> 'm Node.emit list -> unit
+(** Place adversary-crafted messages in flight, attributed to [src].  Used by
+    Byzantine attack drivers. *)
+
+val deliver_eid : 'm t -> int -> bool
+(** Deliver the envelope with this id.  Returns [false] if it is no longer in
+    flight.  Delivery to a crashed party consumes the envelope silently. *)
+
+type 'm scheduler = delivered:int -> 'm envelope list -> 'm envelope option
+(** Given the number of deliveries so far and the in-flight pool (never
+    empty), choose the next envelope, or [None] to stop the run early. *)
+
+val random_scheduler : Bca_util.Rng.t -> 'm scheduler
+(** Uniformly random delivery order - the canonical fair adversary used by
+    property tests. *)
+
+val skewed_scheduler :
+  Bca_util.Rng.t -> slow:(pid list) -> bias:int -> 'm scheduler
+(** A random scheduler that starves the [slow] parties: deliveries to them
+    are only considered with probability [1/bias] per pick.  Still fair
+    (every message is eventually delivered) - models persistently laggy
+    replicas. *)
+
+val fifo_scheduler : 'm scheduler
+(** Deliver in send order (lowest [eid] first): the most synchronous-looking
+    schedule. *)
+
+val step : 'm t -> 'm scheduler -> [ `Delivered of 'm envelope | `Stopped | `Empty ]
+(** One scheduling decision. *)
+
+type outcome = [ `All_terminated | `Quiescent | `Limit | `Stopped ]
+
+val run :
+  ?max_deliveries:int ->
+  ?stop_when:('m t -> bool) ->
+  'm t ->
+  'm scheduler ->
+  outcome
+(** Drive the execution until every party reports [terminated] (crashed
+    parties count as terminated), the pool drains ([`Quiescent] - a liveness
+    failure for a terminating protocol), [stop_when] becomes true, the
+    scheduler stops, or [max_deliveries] (default 1_000_000) is hit. *)
+
+val all_terminated : 'm t -> bool
+
+val node_of : 'm t -> pid -> 'm Node.t
+(** Access a party's node (for reading protocol state via closures captured
+    at construction time). *)
+
+val set_observer : 'm t -> ('m envelope -> unit) -> unit
+(** Install a delivery observer, called on every delivery (including those
+    consumed by crashed parties) - tracing and statistics hooks. *)
+
+val depth_of : 'm t -> pid -> int
+(** The causal depth of party [pid]: the length of the longest
+    message chain it has observed.  This is the asynchronous notion of
+    "communication rounds elapsed" and is invariant under message trickling,
+    unlike delivery counts. *)
+
+val max_depth : 'm t -> int
+(** Maximum causal depth over all parties - "broadcasts on the critical
+    path", the unit of the paper's tables. *)

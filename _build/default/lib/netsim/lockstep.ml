@@ -1,0 +1,98 @@
+type pid = Node.pid
+
+type 'm envelope = { eid : int; src : pid; dst : pid; payload : 'm; depth : int }
+
+type 'm ordering = step:int -> dst:pid -> 'm envelope list -> 'm envelope list
+
+let deliver_all ~step:_ ~dst:_ envs = envs
+
+type outcome = [ `All_terminated | `Quiescent | `Step_limit ]
+
+type result = { steps : int; deliveries : int; depth : int; outcome : outcome }
+
+let run ~n ~honest ~make ?(order = deliver_all) ?(observe = fun ~step:_ -> ())
+    ?(max_steps = 10_000) () =
+  let nodes = Array.make n Node.silent in
+  let depths = Array.make n 0 in
+  let next_eid = ref 0 in
+  let pending = ref [] in
+  let expand ~src emits =
+    let depth = depths.(src) + 1 in
+    List.concat_map
+      (fun emit ->
+        match emit with
+        | Node.Broadcast m ->
+          List.init n (fun dst ->
+              let eid = !next_eid in
+              incr next_eid;
+              { eid; src; dst; payload = m; depth })
+        | Node.Unicast (dst, m) ->
+          let eid = !next_eid in
+          incr next_eid;
+          [ { eid; src; dst; payload = m; depth } ])
+      emits
+  in
+  for pid = 0 to n - 1 do
+    let node, emits = make pid in
+    nodes.(pid) <- node;
+    pending := !pending @ expand ~src:pid emits
+  done;
+  let all_honest_terminated () =
+    let rec loop pid =
+      if pid >= n then true
+      else if (not (honest pid)) || nodes.(pid).Node.terminated () then loop (pid + 1)
+      else false
+    in
+    loop 0
+  in
+  let honest_depth () =
+    let d = ref 0 in
+    for pid = 0 to n - 1 do
+      if honest pid then d := max !d depths.(pid)
+    done;
+    !d
+  in
+  let deliveries = ref 0 in
+  let finish ~steps outcome = { steps; deliveries = !deliveries; depth = honest_depth (); outcome } in
+  let rec loop step counted_steps =
+    if all_honest_terminated () then finish ~steps:counted_steps `All_terminated
+    else if step > max_steps then finish ~steps:counted_steps `Step_limit
+    else begin
+      (* Spontaneous (Byzantine) emissions are deliverable within this step:
+         a rushing adversary reacts to everything sent so far. *)
+      for pid = 0 to n - 1 do
+        pending := !pending @ expand ~src:pid (nodes.(pid).Node.tick ~step)
+      done;
+      if !pending = [] then finish ~steps:counted_steps `Quiescent
+      else begin
+        let batch = !pending in
+        let emitted = ref [] in
+        let deferred = ref [] in
+        let delivered_now = ref 0 in
+        for dst = 0 to n - 1 do
+          let mine = List.filter (fun env -> env.dst = dst) batch in
+          if mine <> [] then begin
+            let chosen = order ~step ~dst mine in
+            let chosen_eids = List.map (fun env -> env.eid) chosen in
+            List.iter
+              (fun env ->
+                if not (List.mem env.eid chosen_eids) then deferred := env :: !deferred)
+              mine;
+            List.iter
+              (fun (env : _ envelope) ->
+                incr delivered_now;
+                incr deliveries;
+                depths.(dst) <- max depths.(dst) env.depth;
+                let emits = nodes.(dst).Node.receive ~src:env.src env.payload in
+                emitted := !emitted @ expand ~src:dst emits)
+              chosen
+          end
+        done;
+        pending := List.rev !deferred @ !emitted;
+        observe ~step;
+        let counted_steps = if !delivered_now > 0 then counted_steps + 1 else counted_steps in
+        loop (step + 1) counted_steps
+      end
+    end
+  in
+  loop 1 0

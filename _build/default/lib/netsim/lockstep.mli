@@ -1,0 +1,67 @@
+(** Lockstep (broadcast-round) executor.
+
+    The paper's tables are denominated in {e broadcasts}: the number of
+    communication steps on the critical path until every non-faulty party
+    terminates (Section 3, "a note on termination").  This executor makes
+    that quantity directly measurable: one step delivers every in-flight
+    envelope (emitted in earlier steps) to its recipient, so a step is
+    exactly one all-to-all communication round.
+
+    The adversary keeps two powers:
+
+    - {e ordering}: per recipient and step it permutes the batch of
+      deliverable envelopes, and may defer a suffix to a later step.  Since
+      every "upon receiving ... from [n-t] parties" clause fires on the first
+      [n-t] matching messages, ordering alone realizes the quorum-subset
+      choices that the worst-case strategies in the paper's proofs rely on.
+    - {e Byzantine nodes}: faulty parties are nodes with arbitrary behaviour,
+      including a per-step [tick] for spontaneous sends.  A tick emission is
+      deliverable in the same step (a rushing adversary).
+
+    Messages emitted while handling a delivery become deliverable in the
+    {e next} step, which is what makes step count equal broadcast count. *)
+
+type pid = Node.pid
+
+type 'm envelope = {
+  eid : int;
+  src : pid;
+  dst : pid;
+  payload : 'm;
+  depth : int;  (** 1 + the sender's causal depth at send time *)
+}
+
+type 'm ordering = step:int -> dst:pid -> 'm envelope list -> 'm envelope list
+(** Must return a subsequence-permutation of its input: the envelopes to
+    deliver now, in order.  Omitted envelopes stay in flight.  The default
+    delivers everything in send order. *)
+
+val deliver_all : 'm ordering
+(** The identity ordering (fair synchronous-looking rounds). *)
+
+type outcome = [ `All_terminated | `Quiescent | `Step_limit ]
+
+type result = {
+  steps : int;  (** broadcast rounds executed until the outcome *)
+  deliveries : int;  (** total envelopes delivered *)
+  depth : int;
+      (** the maximum causal depth reached by an honest party: "broadcasts on
+          the critical path", the unit of the paper's tables.  Equals [steps]
+          under the default ordering; stays meaningful when the adversary
+          defers messages across steps. *)
+  outcome : outcome;
+}
+
+val run :
+  n:int ->
+  honest:(pid -> bool) ->
+  make:(pid -> 'm Node.t * 'm Node.emit list) ->
+  ?order:'m ordering ->
+  ?observe:(step:int -> unit) ->
+  ?max_steps:int ->
+  unit ->
+  result
+(** Run until all honest parties terminate, the network quiesces with work
+    still owed ([`Quiescent] - a liveness bug or a successful denial attack),
+    or [max_steps] (default 10_000).  [observe] fires after each step;
+    adversary drivers use it to update per-round strategy state. *)

@@ -1,0 +1,18 @@
+type pid = int
+
+type 'm emit = Broadcast of 'm | Unicast of pid * 'm
+
+type 'm t = {
+  receive : src:pid -> 'm -> 'm emit list;
+  terminated : unit -> bool;
+  tick : step:int -> 'm emit list;
+}
+
+let no_tick ~step:_ = []
+
+let make ~receive ~terminated ?(tick = no_tick) () = { receive; terminated; tick }
+
+let silent =
+  { receive = (fun ~src:_ _ -> []); terminated = (fun () -> true); tick = no_tick }
+
+let broadcast_only project emits = List.filter_map project emits

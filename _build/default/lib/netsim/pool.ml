@@ -1,0 +1,50 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let grow t x =
+  let cap = Array.length t.data in
+  let ncap = if cap = 0 then 16 else 2 * cap in
+  let ndata = Array.make ncap x in
+  Array.blit t.data 0 ndata 0 t.len;
+  t.data <- ndata
+
+let add t x =
+  if t.len = Array.length t.data then grow t x;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Pool.get";
+  t.data.(i)
+
+let swap_remove t i =
+  let x = get t i in
+  t.len <- t.len - 1;
+  t.data.(i) <- t.data.(t.len);
+  x
+
+let to_list t = Array.to_list (Array.sub t.data 0 t.len)
+
+let filter_in_place t p =
+  let j = ref 0 in
+  for i = 0 to t.len - 1 do
+    if p t.data.(i) then begin
+      t.data.(!j) <- t.data.(i);
+      incr j
+    end
+  done;
+  t.len <- !j
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let find_index p t =
+  let rec loop i = if i >= t.len then None else if p t.data.(i) then Some i else loop (i + 1) in
+  loop 0

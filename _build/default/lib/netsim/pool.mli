@@ -1,0 +1,28 @@
+(** Resizable array with O(1) swap-removal.
+
+    The in-flight message pool of the asynchronous executor: the scheduler
+    (the adversary's delay power) removes arbitrary elements, so removal must
+    not be linear in the pool size.  Order of elements is not preserved
+    across removals; schedulers that care about arrival order use the
+    envelope's sequence number instead. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val add : 'a t -> 'a -> unit
+
+val get : 'a t -> int -> 'a
+(** [get t i] for [0 <= i < length t]. *)
+
+val swap_remove : 'a t -> int -> 'a
+(** Remove and return element [i], moving the last element into its slot. *)
+
+val to_list : 'a t -> 'a list
+
+val filter_in_place : 'a t -> ('a -> bool) -> unit
+(** Keep only elements satisfying the predicate. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val find_index : ('a -> bool) -> 'a t -> int option

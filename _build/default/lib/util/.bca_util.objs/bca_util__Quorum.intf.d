@@ -1,0 +1,1 @@
+lib/util/quorum.mli:

@@ -1,0 +1,1 @@
+lib/util/value.ml: Format Stdlib

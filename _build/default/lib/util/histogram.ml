@@ -1,0 +1,32 @@
+type t = { buckets : (int * int) list; total : int }
+
+let of_floats samples =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun x ->
+      let k = int_of_float x in
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    samples;
+  let buckets = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []) in
+  { buckets; total = List.length samples }
+
+let pp ppf t =
+  let widest = List.fold_left (fun acc (_, c) -> max acc c) 1 t.buckets in
+  List.iter
+    (fun (k, c) ->
+      let frac = float_of_int c /. float_of_int t.total in
+      let bar = String.make (max 1 (c * 40 / widest)) '#' in
+      Format.fprintf ppf "%6d  %6d  %5.1f%%  %s@." k c (100.0 *. frac) bar)
+    t.buckets
+
+let mode t =
+  fst (List.fold_left (fun (bk, bc) (k, c) -> if c > bc then (k, c) else (bk, bc))
+         (0, 0) t.buckets)
+
+let percentile t p =
+  let target = int_of_float (ceil (p *. float_of_int t.total)) in
+  let rec go acc = function
+    | [] -> (match List.rev t.buckets with (k, _) :: _ -> k | [] -> 0)
+    | (k, c) :: rest -> if acc + c >= target then k else go (acc + c) rest
+  in
+  go 0 t.buckets

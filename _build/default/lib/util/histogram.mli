@@ -1,0 +1,21 @@
+(** Integer-valued sample histograms for round-count distributions.
+
+    The paper reports expectations; the distributions behind them are
+    geometric-ish mixtures, and seeing the mass helps validate that the
+    measured mean is not an artifact of outliers.  Used by the benchmark
+    harness's distribution printout. *)
+
+type t
+
+val of_floats : float list -> t
+(** Bucket samples by [int_of_float]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders one line per non-empty bucket: value, count, percentage, and a
+    proportional bar. *)
+
+val mode : t -> int
+(** The most frequent bucket. *)
+
+val percentile : t -> float -> int
+(** [percentile t 0.99] - smallest bucket covering the given mass. *)

@@ -1,0 +1,50 @@
+type 'v t = { tbl : (int, 'v list) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 16 }
+
+let copy t = { tbl = Hashtbl.copy t.tbl }
+
+let add_first t ~pid v =
+  if Hashtbl.mem t.tbl pid then false
+  else begin
+    Hashtbl.replace t.tbl pid [ v ];
+    true
+  end
+
+let add_value t ~pid v =
+  match Hashtbl.find_opt t.tbl pid with
+  | None ->
+    Hashtbl.replace t.tbl pid [ v ];
+    true
+  | Some vs ->
+    if List.mem v vs then false
+    else begin
+      Hashtbl.replace t.tbl pid (v :: vs);
+      true
+    end
+
+let count t v =
+  Hashtbl.fold (fun _ vs acc -> if List.mem v vs then acc + 1 else acc) t.tbl 0
+
+let count_if t p =
+  Hashtbl.fold (fun _ vs acc -> if List.exists p vs then acc + 1 else acc) t.tbl 0
+
+let senders t = Hashtbl.length t.tbl
+
+let values t =
+  Hashtbl.fold
+    (fun _ vs acc -> List.fold_left (fun acc v -> if List.mem v acc then acc else v :: acc) acc vs)
+    t.tbl []
+
+let all_equal t =
+  match values t with
+  | [ v ] -> Some v
+  | _ -> None
+
+let senders_of t v =
+  Hashtbl.fold (fun pid vs acc -> if List.mem v vs then pid :: acc else acc) t.tbl []
+
+let mem_sender t ~pid = Hashtbl.mem t.tbl pid
+
+let entries t =
+  Hashtbl.fold (fun pid vs acc -> List.fold_left (fun acc v -> (pid, v) :: acc) acc vs) t.tbl []

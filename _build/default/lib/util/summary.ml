@@ -1,0 +1,31 @@
+type t = {
+  runs : int;
+  mean : float;
+  stddev : float;
+  ci95 : float;
+  min : float;
+  max : float;
+}
+
+let of_floats samples =
+  match samples with
+  | [] -> invalid_arg "Summary.of_floats: empty"
+  | _ ->
+    let n = List.length samples in
+    let nf = float_of_int n in
+    let sum = List.fold_left ( +. ) 0.0 samples in
+    let mean = sum /. nf in
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 samples in
+    let var = if n > 1 then sq /. (nf -. 1.0) else 0.0 in
+    let stddev = sqrt var in
+    let ci95 = 1.96 *. stddev /. sqrt nf in
+    let min = List.fold_left Float.min infinity samples in
+    let max = List.fold_left Float.max neg_infinity samples in
+    { runs = n; mean; stddev; ci95; min; max }
+
+let of_ints samples = of_floats (List.map float_of_int samples)
+
+let pp ppf t =
+  Format.fprintf ppf "%.2f ± %.2f (%.0f..%.0f, n=%d)" t.mean t.ci95 t.min t.max t.runs
+
+let within t ~expected ~tol = Float.abs (t.mean -. expected) <= tol

@@ -1,0 +1,22 @@
+(** Summary statistics for Monte-Carlo experiment results. *)
+
+type t = {
+  runs : int;  (** number of samples *)
+  mean : float;  (** sample mean *)
+  stddev : float;  (** sample standard deviation (Bessel-corrected) *)
+  ci95 : float;  (** half-width of the 95% normal confidence interval *)
+  min : float;
+  max : float;
+}
+
+val of_floats : float list -> t
+(** Summarize a non-empty list of samples. *)
+
+val of_ints : int list -> t
+
+val pp : Format.formatter -> t -> unit
+(** Renders ["mean ± ci95 (min..max, n=runs)"]. *)
+
+val within : t -> expected:float -> tol:float -> bool
+(** [within s ~expected ~tol] checks |mean - expected| <= tol; used by tests
+    that compare measured expectations against the paper's formulas. *)

@@ -1,0 +1,29 @@
+let render ~header rows =
+  let cols = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> cols then invalid_arg "Tablefmt.render: ragged row")
+    rows;
+  let widths = Array.make cols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  measure header;
+  List.iter measure rows;
+  let buf = Buffer.create 256 in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        if i < cols - 1 then Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  let rule = List.init cols (fun i -> String.make widths.(i) '-') in
+  emit_row rule;
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ~header rows = print_string (render ~header rows)

@@ -1,0 +1,11 @@
+(** Minimal ASCII table renderer for benchmark output.
+
+    The benchmark harness prints paper-vs-measured comparisons as aligned
+    tables; this keeps the output readable without external dependencies. *)
+
+val render : header:string list -> string list list -> string
+(** [render ~header rows] lays out a table with one space-padded column per
+    header entry.  Every row must have the same arity as [header]. *)
+
+val print : header:string list -> string list list -> unit
+(** [render] followed by [print_string]. *)

@@ -1,0 +1,11 @@
+type t = V0 | V1
+
+let negate = function V0 -> V1 | V1 -> V0
+let of_bool b = if b then V1 else V0
+let to_bool = function V0 -> false | V1 -> true
+let to_int = function V0 -> 0 | V1 -> 1
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+let to_string = function V0 -> "0" | V1 -> "1"
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+let both = [ V0; V1 ]

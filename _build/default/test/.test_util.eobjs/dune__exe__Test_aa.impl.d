@@ -1,0 +1,1 @@
+test/test_aa.ml: Alcotest Array Bca_adversary Bca_coin Bca_core Bca_netsim Bca_test_helpers Bca_util Int64 List Option Printf QCheck2 QCheck_alcotest

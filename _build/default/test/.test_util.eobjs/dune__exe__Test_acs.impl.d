@@ -1,0 +1,1 @@
+test/test_acs.ml: Alcotest Array Bca_acs Bca_core Bca_netsim Bca_util Fun Int64 List Option Printf QCheck2 QCheck_alcotest String

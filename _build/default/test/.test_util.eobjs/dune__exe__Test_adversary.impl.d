@@ -1,0 +1,1 @@
+test/test_adversary.ml: Alcotest Bca_adversary Bca_netsim List

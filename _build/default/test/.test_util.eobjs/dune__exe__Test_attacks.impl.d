@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Bca_adversary Bca_experiments Bca_util List

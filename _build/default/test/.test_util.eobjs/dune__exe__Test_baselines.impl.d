@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Bca_baselines Bca_coin Bca_core Bca_netsim Bca_test_helpers Bca_util Fun Int64 List Option QCheck2 QCheck_alcotest String

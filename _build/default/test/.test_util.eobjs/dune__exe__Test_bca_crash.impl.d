@@ -1,0 +1,1 @@
+test/test_bca_crash.ml: Alcotest Array Bca_adversary Bca_core Bca_netsim Bca_test_helpers Bca_util Fun Int64 List QCheck2 QCheck_alcotest

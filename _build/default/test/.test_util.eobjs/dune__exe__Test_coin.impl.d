@@ -1,0 +1,1 @@
+test/test_coin.ml: Alcotest Bca_coin Bca_util Int64 List QCheck2 QCheck_alcotest

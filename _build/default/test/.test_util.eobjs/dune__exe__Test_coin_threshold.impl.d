@@ -1,0 +1,1 @@
+test/test_coin_threshold.ml: Alcotest Array Bca_coin Bca_util Hashtbl List Option

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Bca_crypto List Option QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Bca_experiments Bca_util Printf

@@ -1,0 +1,1 @@
+test/test_gbca_byz.ml: Alcotest Array Bca_core Bca_netsim Bca_test_helpers Bca_util Fun Int64 List Option QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_gbca_crash.ml: Alcotest Array Bca_adversary Bca_core Bca_netsim Bca_test_helpers Bca_util Int64 List Option QCheck2 QCheck_alcotest

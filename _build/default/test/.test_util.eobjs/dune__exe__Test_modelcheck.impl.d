@@ -1,0 +1,1 @@
+test/test_modelcheck.ml: Alcotest Array Bca_core Bca_modelcheck Bca_util Format List Printf String

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Bca_adversary Bca_netsim Bca_util List QCheck2 QCheck_alcotest

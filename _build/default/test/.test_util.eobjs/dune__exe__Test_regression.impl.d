@@ -1,0 +1,1 @@
+test/test_regression.ml: Alcotest Bca_adversary Bca_core Bca_experiments Bca_util

@@ -1,0 +1,1 @@
+test/test_stacks_unit.ml: Alcotest Array Bca_acs Bca_baselines Bca_coin Bca_core Bca_crypto Bca_util Int64 List Option

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bca_util Format Fun Hashtbl Int64 List QCheck2 QCheck_alcotest String

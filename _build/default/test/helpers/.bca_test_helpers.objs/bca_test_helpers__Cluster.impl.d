@@ -1,0 +1,1 @@
+test/helpers/cluster.ml: Array Bca_adversary Bca_core Bca_netsim Bca_util Fun List Option QCheck2

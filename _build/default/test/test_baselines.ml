@@ -1,0 +1,171 @@
+(* Tests for the baseline protocols: Ben-Or, Bracha RBC, MMR14 and
+   Cachin-Zanolini under honest conditions (the attacks get their own
+   suite). *)
+
+module Value = Bca_util.Value
+module Rng = Bca_util.Rng
+module Types = Bca_core.Types
+module Coin = Bca_coin.Coin
+module Benor = Bca_baselines.Benor
+module Bracha = Bca_baselines.Bracha
+module Mmr = Bca_baselines.Mmr14
+module Cz = Bca_baselines.Cachin_zanolini
+module Async = Bca_netsim.Async_exec
+module Node = Bca_netsim.Node
+module Cluster = Bca_test_helpers.Cluster
+
+(* ------------------------------------------------------------------ *)
+(* Ben-Or                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_benor ~n ~tf ~inputs ~seed =
+  let cfg = Types.cfg ~n ~t:tf in
+  let coin = Coin.create Coin.Local ~n ~degree:0 ~seed:(Int64.add seed 1L) in
+  let params = { Benor.cfg; coin } in
+  let states = Array.make n None in
+  let exec =
+    Async.create ~n ~make:(fun pid ->
+        let st, init = Benor.create params ~me:pid ~input:inputs.(pid) in
+        states.(pid) <- Some st;
+        (Benor.node st, List.map (fun m -> Node.Broadcast m) init))
+  in
+  let rng = Rng.create seed in
+  let outcome = Async.run exec (Async.random_scheduler rng) in
+  (outcome, Array.map (fun st -> Option.bind st Benor.committed) states)
+
+let prop_benor =
+  QCheck2.Test.make ~count:150 ~name:"Ben-Or: agreement + validity + termination"
+    QCheck2.Gen.(pair (Cluster.inputs_gen 5) (int_bound 100_000))
+    (fun (inputs, seed) ->
+      let outcome, commits = run_benor ~n:5 ~tf:2 ~inputs ~seed:(Int64.of_int seed) in
+      if outcome <> `All_terminated then QCheck2.Test.fail_report "no termination";
+      let vs = Array.to_list commits |> List.filter_map Fun.id in
+      if List.length vs <> 5 then QCheck2.Test.fail_report "missing commit";
+      match vs with
+      | v :: rest ->
+        if not (List.for_all (Value.equal v) rest) then
+          QCheck2.Test.fail_report "agreement violated";
+        if Cluster.all_same_inputs inputs then Value.equal v inputs.(0) else true
+      | [] -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Bracha reliable broadcast                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_bracha ~sender_honest ~seed =
+  let n = 4 in
+  let cfg = Types.cfg ~n ~t:1 in
+  let states = Array.make n None in
+  let rng_byz = Rng.create (Int64.add seed 3L) in
+  let exec =
+    Async.create ~n ~make:(fun pid ->
+        if (not sender_honest) && pid = 0 then begin
+          (* equivocating sender: different initial values to different
+             parties *)
+          let node = Node.make ~receive:(fun ~src:_ _ -> []) ~terminated:(fun () -> true) () in
+          let v dst = if dst < 2 then "a" else "b" in
+          (node, List.init n (fun dst -> Node.Unicast (dst, Bracha.Initial (v dst))))
+        end
+        else begin
+          let inst = Bracha.create cfg ~me:pid ~sender:0 in
+          states.(pid) <- Some inst;
+          let init = if pid = 0 then Bracha.broadcast inst "payload" else [] in
+          ( Node.make
+              ~receive:(fun ~src m ->
+                List.map (fun m -> Node.Broadcast m) (Bracha.handle inst ~from:src m))
+              ~terminated:(fun () -> Bracha.delivered inst <> None)
+              (),
+            List.map (fun m -> Node.Broadcast m) init )
+        end)
+  in
+  ignore rng_byz;
+  let rng = Rng.create seed in
+  let outcome = Async.run exec (Async.random_scheduler rng) in
+  (outcome, Array.map (fun st -> Option.bind st Bracha.delivered) states)
+
+let prop_bracha_honest =
+  QCheck2.Test.make ~count:150 ~name:"Bracha: totality + validity, honest sender"
+    QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let outcome, delivered = run_bracha ~sender_honest:true ~seed:(Int64.of_int seed) in
+      outcome = `All_terminated
+      && Array.for_all (fun d -> d = Some "payload") delivered)
+
+let prop_bracha_equivocating =
+  QCheck2.Test.make ~count:150 ~name:"Bracha: agreement under equivocating sender"
+    QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let _, delivered = run_bracha ~sender_honest:false ~seed:(Int64.of_int seed) in
+      (* parties 1..3 are honest; they may or may not deliver, but never
+         deliver differently *)
+      let ds =
+        Array.to_list delivered |> List.filteri (fun i _ -> i > 0) |> List.filter_map Fun.id
+      in
+      match ds with [] -> true | v :: rest -> List.for_all (String.equal v) rest)
+
+(* ------------------------------------------------------------------ *)
+(* MMR14 and CZ under fair schedules (they are safe; the liveness flaw  *)
+(* needs the adaptive schedule of the attack suite).                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_mmr ~inputs ~seed =
+  let cfg = Types.cfg ~n:4 ~t:1 in
+  let coin = Coin.create Coin.Strong ~n:4 ~degree:1 ~seed:(Int64.add seed 1L) in
+  let params = { Mmr.cfg; coin } in
+  let states = Array.make 4 None in
+  let exec =
+    Async.create ~n:4 ~make:(fun pid ->
+        let st, init = Mmr.create params ~me:pid ~input:inputs.(pid) in
+        states.(pid) <- Some st;
+        (Mmr.node st, List.map (fun m -> Node.Broadcast m) init))
+  in
+  let rng = Rng.create seed in
+  let stop exec = Async.deliveries exec > 100_000 in
+  let outcome = Async.run ~stop_when:stop exec (Async.random_scheduler rng) in
+  (outcome, Array.map (fun st -> Option.bind st Mmr.committed) states)
+
+let prop_mmr_fair =
+  QCheck2.Test.make ~count:100 ~name:"MMR14: agreement + termination under fair schedule"
+    QCheck2.Gen.(pair (Cluster.inputs_gen 4) (int_bound 100_000))
+    (fun (inputs, seed) ->
+      let outcome, commits = run_mmr ~inputs ~seed:(Int64.of_int seed) in
+      if outcome <> `All_terminated then QCheck2.Test.fail_report "no termination";
+      let vs = Array.to_list commits |> List.filter_map Fun.id in
+      match vs with
+      | v :: rest -> List.for_all (Value.equal v) rest
+      | [] -> false)
+
+let run_cz ~inputs ~seed =
+  let cfg = Types.cfg ~n:4 ~t:1 in
+  let coin = Coin.create Coin.Strong ~n:4 ~degree:1 ~seed:(Int64.add seed 1L) in
+  let params = { Cz.cfg; coin } in
+  let states = Array.make 4 None in
+  let exec =
+    Async.create ~n:4 ~make:(fun pid ->
+        let st, init = Cz.create params ~me:pid ~input:inputs.(pid) in
+        states.(pid) <- Some st;
+        (Cz.node st, List.map (fun m -> Node.Broadcast m) init))
+  in
+  let rng = Rng.create seed in
+  let outcome = Async.run exec (Async.random_scheduler rng) in
+  (outcome, Array.map (fun st -> Option.bind st Cz.committed) states)
+
+let prop_cz_fair =
+  QCheck2.Test.make ~count:100 ~name:"CZ: agreement + termination under fair schedule"
+    QCheck2.Gen.(pair (Cluster.inputs_gen 4) (int_bound 100_000))
+    (fun (inputs, seed) ->
+      let outcome, commits = run_cz ~inputs ~seed:(Int64.of_int seed) in
+      if outcome <> `All_terminated then QCheck2.Test.fail_report "no termination";
+      let vs = Array.to_list commits |> List.filter_map Fun.id in
+      match vs with
+      | v :: rest -> List.for_all (Value.equal v) rest
+      | [] -> false)
+
+let () =
+  Alcotest.run "baselines"
+    [ ("benor", [ QCheck_alcotest.to_alcotest prop_benor ]);
+      ( "bracha",
+        [ QCheck_alcotest.to_alcotest prop_bracha_honest;
+          QCheck_alcotest.to_alcotest prop_bracha_equivocating ] );
+      ("mmr14", [ QCheck_alcotest.to_alcotest prop_mmr_fair ]);
+      ("cachin-zanolini", [ QCheck_alcotest.to_alcotest prop_cz_fair ]) ]

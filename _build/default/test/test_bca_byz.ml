@@ -1,0 +1,244 @@
+(* Tests for Algorithm 4 (BCA-Byz): unit clause checks, then agreement,
+   validity, termination, round bound and binding under random schedules
+   with randomized Byzantine behaviour. *)
+
+module Value = Bca_util.Value
+module Rng = Bca_util.Rng
+module Types = Bca_core.Types
+module B = Bca_core.Bca_byz
+module Async = Bca_netsim.Async_exec
+module Node = Bca_netsim.Node
+module Cluster = Bca_test_helpers.Cluster
+module H = Cluster.Bca (B)
+module HL = Cluster.Bca_lockstep (B)
+
+let cfg4 = Types.cfg ~n:4 ~t:1
+
+let cfg7 = Types.cfg ~n:7 ~t:2
+
+(* A Byzantine party that sprays random, possibly equivocating protocol
+   messages in reaction to traffic. *)
+let random_msg rng =
+  let v = Value.of_bool (Rng.bool rng) in
+  match Rng.int rng 4 with
+  | 0 -> B.MEcho v
+  | 1 -> B.MEcho2 v
+  | 2 -> B.MEcho3 (Types.Val v)
+  | _ -> B.MEcho3 Types.Bot
+
+let byz_node rng n =
+  Node.make
+    ~receive:(fun ~src:_ _ ->
+      if Rng.int rng 3 = 0 then [ Node.Unicast (Rng.int rng n, random_msg rng) ] else [])
+    ~terminated:(fun () -> true)
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Unit                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let feed p msgs = List.iter (fun (from, m) -> ignore (B.handle p ~from m : B.msg list)) msgs
+
+let test_unit_amplification () =
+  let p = B.create cfg4 ~me:0 in
+  ignore (B.start p ~input:Value.V0 : B.msg list);
+  ignore (B.handle p ~from:1 (B.MEcho Value.V1) : B.msg list);
+  let out = B.handle p ~from:2 (B.MEcho Value.V1) in
+  (* t + 1 = 2 echoes of a value it has not echoed: amplify *)
+  Alcotest.(check bool) "amplifies" true (List.mem (B.MEcho Value.V1) out)
+
+let test_unit_no_self_amplification () =
+  let p = B.create cfg4 ~me:0 in
+  ignore (B.start p ~input:Value.V0 : B.msg list);
+  ignore (B.handle p ~from:1 (B.MEcho Value.V0) : B.msg list);
+  let out = B.handle p ~from:2 (B.MEcho Value.V0) in
+  (* already echoed its input: no duplicate echo, but approval may fire *)
+  Alcotest.(check bool) "no duplicate echo" true (not (List.mem (B.MEcho Value.V0) out))
+
+let test_unit_approval_and_echo2 () =
+  let p = B.create cfg4 ~me:0 in
+  ignore (B.start p ~input:Value.V0 : B.msg list);
+  feed p [ (0, B.MEcho Value.V0); (1, B.MEcho Value.V0) ];
+  Alcotest.(check (list bool)) "not approved yet" []
+    (List.map (fun _ -> true) (B.approved p));
+  let out = B.handle p ~from:2 (B.MEcho Value.V0) in
+  Alcotest.(check bool) "approved" true (List.mem Value.V0 (B.approved p));
+  Alcotest.(check bool) "voted" true (List.mem (B.MEcho2 Value.V0) out)
+
+let test_unit_echo2_single_vote () =
+  let p = B.create cfg4 ~me:0 in
+  ignore (B.start p ~input:Value.V0 : B.msg list);
+  feed p
+    [ (0, B.MEcho Value.V0); (1, B.MEcho Value.V0); (2, B.MEcho Value.V0);
+      (0, B.MEcho Value.V1); (1, B.MEcho Value.V1) ];
+  let out = B.handle p ~from:2 (B.MEcho Value.V1) in
+  (* second approval must not produce a second echo2 vote *)
+  Alcotest.(check bool) "both approved" true (List.length (B.approved p) = 2);
+  Alcotest.(check bool) "no second echo2" true
+    (not (List.exists (function B.MEcho2 _ -> true | _ -> false) out))
+
+let test_unit_echo3_bot_priority () =
+  (* |approvedVals| > 1 is checked before the echo2 quorum (lines 10-12) *)
+  let p = B.create cfg4 ~me:0 in
+  ignore (B.start p ~input:Value.V0 : B.msg list);
+  feed p
+    [ (0, B.MEcho Value.V0); (1, B.MEcho Value.V0); (2, B.MEcho Value.V0);
+      (0, B.MEcho Value.V1); (1, B.MEcho Value.V1); (2, B.MEcho Value.V1) ];
+  Alcotest.(check bool) "echo3 bottom" true
+    (match B.echo3_sent p with Some Types.Bot -> true | _ -> false)
+
+let test_unit_decide_value () =
+  let p = B.create cfg4 ~me:0 in
+  ignore (B.start p ~input:Value.V1 : B.msg list);
+  feed p
+    [ (1, B.MEcho3 (Types.Val Value.V1)); (2, B.MEcho3 (Types.Val Value.V1));
+      (3, B.MEcho3 (Types.Val Value.V1)) ];
+  Alcotest.(check bool) "decided v" true
+    (match B.decision p with Some (Types.Val Value.V1) -> true | _ -> false)
+
+let test_unit_bot_needs_both_approved () =
+  (* n-t echo3 received but only one value approved: no bottom decision -
+     this is what protects validity *)
+  let p = B.create cfg4 ~me:0 in
+  ignore (B.start p ~input:Value.V1 : B.msg list);
+  feed p
+    [ (1, B.MEcho3 Types.Bot); (2, B.MEcho3 Types.Bot); (3, B.MEcho3 (Types.Val Value.V1)) ];
+  Alcotest.(check bool) "no decision yet" true (B.decision p = None)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_with_byz ~cfg ~inputs ~byz_pids ~seed =
+  let rng = Rng.create (Int64.add seed 17L) in
+  let byz = List.map (fun pid -> (pid, byz_node rng cfg.Types.n)) byz_pids in
+  H.run ~params:(fun ~me:_ -> cfg) ~n:cfg.Types.n ~inputs ~byz ~seed ()
+
+let gen4 = QCheck2.Gen.(pair (Cluster.inputs_gen 4) (int_bound 100_000))
+
+let gen7 = QCheck2.Gen.(pair (Cluster.inputs_gen 7) (int_bound 100_000))
+
+let prop_agreement_validity_n4 =
+  QCheck2.Test.make ~count:300 ~name:"n=4 t=1: agreement/validity vs random Byzantine"
+    gen4
+    (fun (inputs, seed) ->
+      let o = run_with_byz ~cfg:cfg4 ~inputs ~byz_pids:[ 3 ] ~seed:(Int64.of_int seed) in
+      if o.H.exec_outcome <> `All_terminated then QCheck2.Test.fail_report "no termination";
+      if not (Cluster.check_crusader_agreement o.H.decisions) then
+        QCheck2.Test.fail_report "agreement violated";
+      (* validity over honest inputs only (slots 0-2) *)
+      let honest_inputs = Array.sub inputs 0 3 in
+      if Array.for_all (Value.equal honest_inputs.(0)) honest_inputs then
+        Array.for_all
+          (fun d ->
+            match d with
+            | Some cv -> Types.cvalue_equal cv (Types.Val honest_inputs.(0))
+            | None -> true)
+          o.H.decisions
+      else true)
+
+let prop_agreement_validity_n7 =
+  QCheck2.Test.make ~count:150 ~name:"n=7 t=2: agreement/validity vs random Byzantine"
+    gen7
+    (fun (inputs, seed) ->
+      let o = run_with_byz ~cfg:cfg7 ~inputs ~byz_pids:[ 5; 6 ] ~seed:(Int64.of_int seed) in
+      if o.H.exec_outcome <> `All_terminated then QCheck2.Test.fail_report "no termination";
+      if not (Cluster.check_crusader_agreement o.H.decisions) then
+        QCheck2.Test.fail_report "agreement violated";
+      let honest_inputs = Array.sub inputs 0 5 in
+      if Array.for_all (Value.equal honest_inputs.(0)) honest_inputs then
+        Array.for_all
+          (fun d ->
+            match d with
+            | Some cv -> Types.cvalue_equal cv (Types.Val honest_inputs.(0))
+            | None -> true)
+          o.H.decisions
+      else true)
+
+let prop_round_bound =
+  QCheck2.Test.make ~count:150 ~name:"all-honest n=4 decides within 4 rounds"
+    (Cluster.inputs_gen 4)
+    (fun inputs ->
+      let res, _ = HL.run ~params:(fun ~me:_ -> cfg4) ~n:4 ~inputs () in
+      res.Bca_netsim.Lockstep.outcome = `All_terminated
+      && res.Bca_netsim.Lockstep.steps <= B.max_broadcast_steps)
+
+(* Binding (Lemma 4.9): at the first honest decision, honest echo3 messages
+   pin the only decidable non-bottom value; the run's remaining decisions
+   must respect it. *)
+let prop_binding =
+  QCheck2.Test.make ~count:300 ~name:"binding vs Byzantine at first decision" gen4
+    (fun (inputs, seed) ->
+      let n = 4 in
+      let q = Types.quorum cfg4 in
+      let rng_byz = Rng.create (Int64.of_int (seed + 3)) in
+      let states : B.t option array = Array.make n None in
+      let make pid =
+        if pid = 3 then (byz_node rng_byz n, [])
+        else begin
+          let inst = B.create cfg4 ~me:pid in
+          states.(pid) <- Some inst;
+          let init = B.start inst ~input:inputs.(pid) in
+          ( Node.make
+              ~receive:(fun ~src m ->
+                List.map (fun m -> Node.Broadcast m) (B.handle inst ~from:src m))
+              ~terminated:(fun () -> B.decision inst <> None)
+              (),
+            List.map (fun m -> Node.Broadcast m) init )
+        end
+      in
+      let exec = Async.create ~n ~make in
+      let rng = Rng.create (Int64.of_int seed) in
+      let someone_decided _ =
+        Array.exists
+          (fun st -> match st with Some st -> B.decision st <> None | None -> false)
+          states
+      in
+      let _ = Async.run ~stop_when:someone_decided exec (Async.random_scheduler rng) in
+      if not (someone_decided exec) then true
+      else begin
+        let honest_states = List.filter_map Fun.id (Array.to_list states) in
+        let echo3 v =
+          List.length
+            (List.filter
+               (fun st ->
+                 match B.echo3_sent st with
+                 | Some cv -> Types.cvalue_equal cv v
+                 | None -> false)
+               honest_states)
+        in
+        if echo3 (Types.Val Value.V0) > 0 && echo3 (Types.Val Value.V1) > 0 then
+          QCheck2.Test.fail_report "two honest echo3 values coexist (Lemma 4.8 broken)";
+        let pending =
+          List.length (List.filter (fun st -> B.echo3_sent st = None) honest_states)
+        in
+        (* v is decidable only if n-t echo3(v) can still assemble, counting
+           the t Byzantine slots as wildcards *)
+        let possible v = echo3 (Types.Val v) + pending + cfg4.Types.t >= q in
+        let allowed = List.filter possible Value.both in
+        if List.length allowed > 1 then QCheck2.Test.fail_report "binding violated at tau";
+        let _ = Async.run exec (Async.random_scheduler rng) in
+        List.for_all
+          (fun st ->
+            match B.decision st with
+            | Some (Types.Val v) -> List.exists (Value.equal v) allowed
+            | Some Types.Bot | None -> true)
+          honest_states
+      end)
+
+let () =
+  Alcotest.run "bca_byz"
+    [ ( "unit",
+        [ Alcotest.test_case "amplification" `Quick test_unit_amplification;
+          Alcotest.test_case "no self amplification" `Quick test_unit_no_self_amplification;
+          Alcotest.test_case "approval and echo2" `Quick test_unit_approval_and_echo2;
+          Alcotest.test_case "echo2 single vote" `Quick test_unit_echo2_single_vote;
+          Alcotest.test_case "echo3 bottom priority" `Quick test_unit_echo3_bot_priority;
+          Alcotest.test_case "decide value" `Quick test_unit_decide_value;
+          Alcotest.test_case "bottom needs both approved" `Quick test_unit_bot_needs_both_approved
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_agreement_validity_n4;
+          QCheck_alcotest.to_alcotest prop_agreement_validity_n7;
+          QCheck_alcotest.to_alcotest prop_round_bound;
+          QCheck_alcotest.to_alcotest prop_binding ] ) ]

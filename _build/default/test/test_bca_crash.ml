@@ -1,0 +1,220 @@
+(* Tests for Algorithm 3 (BCA-Crash): unit-level clause checks, and
+   property tests for agreement, weak validity, termination, round bound,
+   and - the paper's new property - binding, checked at the moment the
+   first party decides. *)
+
+module Value = Bca_util.Value
+module Rng = Bca_util.Rng
+module Types = Bca_core.Types
+module B = Bca_core.Bca_crash
+module Async = Bca_netsim.Async_exec
+module Node = Bca_netsim.Node
+module Cluster = Bca_test_helpers.Cluster
+module H = Cluster.Bca (B)
+
+let cfg = Types.cfg ~n:5 ~t:2
+
+let params ~me:_ = cfg
+
+(* ------------------------------------------------------------------ *)
+(* Unit: drive one party's clauses by hand.                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_unit_echo_on_unanimous_vals () =
+  let p = B.create cfg ~me:0 in
+  let init = B.start p ~input:Value.V0 in
+  Alcotest.(check int) "one initial broadcast" 1 (List.length init);
+  ignore (B.handle p ~from:0 (B.MVal Value.V0) : B.msg list);
+  ignore (B.handle p ~from:1 (B.MVal Value.V0) : B.msg list);
+  Alcotest.(check bool) "no echo before quorum" true (B.echoed p = None);
+  let out = B.handle p ~from:2 (B.MVal Value.V0) in
+  Alcotest.(check bool) "echoes the value" true
+    (match out with [ B.MEcho (Types.Val Value.V0) ] -> true | _ -> false)
+
+let test_unit_echo_bot_on_mixed_vals () =
+  let p = B.create cfg ~me:0 in
+  ignore (B.start p ~input:Value.V0 : B.msg list);
+  ignore (B.handle p ~from:0 (B.MVal Value.V0) : B.msg list);
+  ignore (B.handle p ~from:1 (B.MVal Value.V1) : B.msg list);
+  let out = B.handle p ~from:2 (B.MVal Value.V0) in
+  Alcotest.(check bool) "echoes bottom" true
+    (match out with [ B.MEcho Types.Bot ] -> true | _ -> false)
+
+let test_unit_echo_fires_once () =
+  let p = B.create cfg ~me:0 in
+  ignore (B.start p ~input:Value.V0 : B.msg list);
+  List.iter
+    (fun from -> ignore (B.handle p ~from (B.MVal Value.V0) : B.msg list))
+    [ 0; 1; 2 ];
+  let out = B.handle p ~from:3 (B.MVal Value.V0) in
+  Alcotest.(check int) "no second echo" 0 (List.length out)
+
+let test_unit_decide_value () =
+  let p = B.create cfg ~me:0 in
+  ignore (B.start p ~input:Value.V1 : B.msg list);
+  List.iter
+    (fun from -> ignore (B.handle p ~from (B.MEcho (Types.Val Value.V1)) : B.msg list))
+    [ 1; 2; 3 ];
+  Alcotest.(check bool) "decided v" true
+    (match B.decision p with Some (Types.Val Value.V1) -> true | _ -> false)
+
+let test_unit_decide_bot_on_mixed_echoes () =
+  let p = B.create cfg ~me:0 in
+  ignore (B.start p ~input:Value.V1 : B.msg list);
+  ignore (B.handle p ~from:1 (B.MEcho (Types.Val Value.V1)) : B.msg list);
+  ignore (B.handle p ~from:2 (B.MEcho Types.Bot) : B.msg list);
+  ignore (B.handle p ~from:3 (B.MEcho (Types.Val Value.V1)) : B.msg list);
+  Alcotest.(check bool) "decided bottom" true
+    (match B.decision p with Some Types.Bot -> true | _ -> false)
+
+let test_unit_decision_before_start () =
+  (* all clauses except the initial send are input-independent, so an
+     instance can decide purely from received traffic *)
+  let p = B.create cfg ~me:0 in
+  List.iter
+    (fun from -> ignore (B.handle p ~from (B.MEcho (Types.Val Value.V0)) : B.msg list))
+    [ 1; 2; 3 ];
+  Alcotest.(check bool) "decided pre-start" true (B.decision p <> None)
+
+let test_resilience_check () =
+  Alcotest.(check bool) "n=4 t=2 rejected" true
+    (try
+       ignore (B.create (Types.cfg ~n:4 ~t:2) ~me:0 : B.t);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Properties under random schedules and crashes.                      *)
+(* ------------------------------------------------------------------ *)
+
+let gen_run =
+  QCheck2.Gen.(
+    triple (Cluster.inputs_gen 5) (int_bound 10_000)
+      (list_size (int_bound 2) (pair (int_bound 4) (int_bound 6))))
+
+let dedup_crashes crashes =
+  List.sort_uniq (fun (a, _) (b, _) -> compare a b) crashes
+
+let prop_agreement_validity_termination =
+  QCheck2.Test.make ~count:300 ~name:"agreement + weak validity + termination"
+    gen_run
+    (fun (inputs, seed, crashes) ->
+      let crashes = dedup_crashes crashes in
+      let o = H.run ~params ~n:5 ~inputs ~crashes ~seed:(Int64.of_int seed) () in
+      let decided =
+        Array.to_list o.H.decisions |> List.filter_map Fun.id
+      in
+      let honest_count = 5 - List.length crashes in
+      if o.H.exec_outcome <> `All_terminated then QCheck2.Test.fail_report "no termination";
+      if List.length decided < honest_count then QCheck2.Test.fail_report "missing decision";
+      if not (Cluster.check_crusader_agreement o.H.decisions) then
+        QCheck2.Test.fail_report "agreement violated";
+      (* weak validity: if ALL parties (even crashed ones) share an input,
+         that input is the only decision *)
+      if Cluster.all_same_inputs inputs then
+        List.for_all (fun d -> Types.cvalue_equal d (Types.Val inputs.(0))) decided
+      else true)
+
+module HL = Cluster.Bca_lockstep (B)
+
+let prop_round_bound =
+  (* phase counting needs the lockstep executor: under arbitrary async
+     schedules the knowledge-depth metric legitimately exceeds the phase
+     count (a late echo is emitted after other echoes were heard) *)
+  QCheck2.Test.make ~count:200 ~name:"decides within 2 communication rounds"
+    (Cluster.inputs_gen 5)
+    (fun inputs ->
+      let res, decisions = HL.run ~params ~n:5 ~inputs () in
+      res.Bca_netsim.Lockstep.outcome = `All_terminated
+      && res.Bca_netsim.Lockstep.steps <= B.max_broadcast_steps
+      && Array.for_all (fun d -> d <> None) decisions)
+
+(* Binding (Definition B.1): freeze the execution when the first party
+   decides, compute which values could still gather an n-t echo quorum, and
+   check (a) at most one such value exists, (b) the rest of the run decides
+   only inside the allowed set. *)
+let prop_binding =
+  QCheck2.Test.make ~count:300 ~name:"binding at first decision" gen_run
+    (fun (inputs, seed, crashes) ->
+      let crashes = dedup_crashes crashes in
+      let n = 5 in
+      let q = Types.quorum cfg in
+      let states : B.t option array = Array.make n None in
+      let make pid =
+        let inst = B.create cfg ~me:pid in
+        states.(pid) <- Some inst;
+        let init = B.start inst ~input:inputs.(pid) in
+        let node =
+          Node.make
+            ~receive:(fun ~src m ->
+              List.map (fun m -> Node.Broadcast m) (B.handle inst ~from:src m))
+            ~terminated:(fun () -> B.decision inst <> None)
+            ()
+        in
+        let node =
+          match List.assoc_opt pid crashes with
+          | Some after -> Bca_adversary.Faults.crash_after ~deliveries:after node
+          | None -> node
+        in
+        (node, List.map (fun m -> Node.Broadcast m) init)
+      in
+      let exec = Async.create ~n ~make in
+      let rng = Rng.create (Int64.of_int seed) in
+      let someone_decided _ =
+        Array.exists
+          (fun st -> match st with Some st -> B.decision st <> None | None -> false)
+          states
+      in
+      let _ = Async.run ~stop_when:someone_decided exec (Async.random_scheduler rng) in
+      if not (someone_decided exec) then true (* everyone crashed first *)
+      else begin
+        (* witness computation at time tau *)
+        let crashed pid = List.mem_assoc pid crashes in
+        let echoed v =
+          Array.to_list states
+          |> List.filter (fun st ->
+                 match st with
+                 | Some st -> (match B.echoed st with Some cv -> Types.cvalue_equal cv v | None -> false)
+                 | None -> false)
+          |> List.length
+        in
+        let open_slots =
+          (* parties that may still echo: no echo yet and not crashed (a
+             crashed party may have echoed before crashing - that is already
+             counted in [echoed]) *)
+          List.length
+            (List.filter
+               (fun pid ->
+                 (not (crashed pid))
+                 && match states.(pid) with Some st -> B.echoed st = None | None -> false)
+               (List.init n Fun.id))
+        in
+        let possible v = echoed (Types.Val v) + open_slots >= q in
+        let allowed = List.filter possible Value.both in
+        if List.length allowed > 1 then QCheck2.Test.fail_report "binding violated at tau";
+        let _ = Async.run exec (Async.random_scheduler rng) in
+        Array.for_all
+          (fun st ->
+            match st with
+            | Some st ->
+              (match B.decision st with
+              | Some (Types.Val v) -> List.exists (Value.equal v) allowed
+              | Some Types.Bot | None -> true)
+            | None -> true)
+          states
+      end)
+
+let () =
+  Alcotest.run "bca_crash"
+    [ ( "unit",
+        [ Alcotest.test_case "echo on unanimous vals" `Quick test_unit_echo_on_unanimous_vals;
+          Alcotest.test_case "echo bottom on mixed vals" `Quick test_unit_echo_bot_on_mixed_vals;
+          Alcotest.test_case "echo fires once" `Quick test_unit_echo_fires_once;
+          Alcotest.test_case "decide value" `Quick test_unit_decide_value;
+          Alcotest.test_case "decide bottom" `Quick test_unit_decide_bot_on_mixed_echoes;
+          Alcotest.test_case "decision before start" `Quick test_unit_decision_before_start;
+          Alcotest.test_case "resilience check" `Quick test_resilience_check ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_agreement_validity_termination;
+          QCheck_alcotest.to_alcotest prop_round_bound;
+          QCheck_alcotest.to_alcotest prop_binding ] ) ]

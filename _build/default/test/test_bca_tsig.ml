@@ -1,0 +1,271 @@
+(* Tests for Algorithm 7 (BCA with threshold signatures): the certified
+   pipeline, rejection of forged/mistagged material, and the usual
+   agreement/validity/termination/binding properties against a Byzantine
+   party armed with genuine signing power for its own key. *)
+
+module Value = Bca_util.Value
+module Rng = Bca_util.Rng
+module Types = Bca_core.Types
+module Threshold = Bca_crypto.Threshold
+module B = Bca_core.Bca_tsig
+module Node = Bca_netsim.Node
+module Cluster = Bca_test_helpers.Cluster
+module H = Cluster.Bca (B)
+module HL = Cluster.Bca_lockstep (B)
+
+let cfg = Types.cfg ~n:4 ~t:1
+
+let make_setup seed = Threshold.setup ~n:4 ~seed
+
+let params_of setup keys ~me = { B.cfg; setup; key = keys.(me); id = "test" }
+
+let share keys pid v = Threshold.sign keys.(pid) ~tag:(B.echo_tag ~id:"test" v)
+
+(* ------------------------------------------------------------------ *)
+(* Unit                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_unit_echo2_from_shares () =
+  let setup, keys = make_setup 1L in
+  let p = B.create (params_of setup keys ~me:0) ~me:0 in
+  ignore (B.start p ~input:Value.V0 : B.msg list);
+  ignore (B.handle p ~from:0 (B.MEcho (Value.V0, share keys 0 Value.V0)) : B.msg list);
+  let out = B.handle p ~from:1 (B.MEcho (Value.V0, share keys 1 Value.V0)) in
+  (* t + 1 = 2 valid shares on the same value: combine and vote *)
+  Alcotest.(check bool) "echo2 emitted with certificate" true
+    (match out with
+    | [ B.MEcho2 (Value.V0, sigma) ] ->
+      Threshold.verify setup ~tag:(B.echo_tag ~id:"test" Value.V0) sigma
+    | _ -> false)
+
+let test_unit_bad_share_ignored () =
+  let setup, keys = make_setup 1L in
+  let _, other_keys = make_setup 2L in
+  let p = B.create (params_of setup keys ~me:0) ~me:0 in
+  ignore (B.start p ~input:Value.V0 : B.msg list);
+  ignore (B.handle p ~from:0 (B.MEcho (Value.V0, share keys 0 Value.V0)) : B.msg list);
+  (* a forged share (foreign key) and a mis-attributed share must not count *)
+  let forged = Threshold.sign other_keys.(1) ~tag:(B.echo_tag ~id:"test" Value.V0) in
+  let out1 = B.handle p ~from:1 (B.MEcho (Value.V0, forged)) in
+  Alcotest.(check int) "forged ignored" 0 (List.length out1);
+  let misattributed = share keys 2 Value.V0 in
+  let out2 = B.handle p ~from:1 (B.MEcho (Value.V0, misattributed)) in
+  Alcotest.(check int) "misattributed ignored" 0 (List.length out2)
+
+let test_unit_echo2_relay () =
+  let setup, keys = make_setup 1L in
+  let p = B.create (params_of setup keys ~me:0) ~me:0 in
+  ignore (B.start p ~input:Value.V1 : B.msg list);
+  let sigma =
+    Option.get
+      (Threshold.combine setup ~k:2
+         ~tag:(B.echo_tag ~id:"test" Value.V0)
+         [ share keys 1 Value.V0; share keys 2 Value.V0 ])
+  in
+  let out = B.handle p ~from:1 (B.MEcho2 (Value.V0, sigma)) in
+  Alcotest.(check bool) "relays the first valid echo2" true
+    (List.exists (function B.MEcho2 (Value.V0, _) -> true | _ -> false) out)
+
+let test_unit_echo2_wrong_threshold_rejected () =
+  let setup, keys = make_setup 1L in
+  let p = B.create (params_of setup keys ~me:0) ~me:0 in
+  ignore (B.start p ~input:Value.V1 : B.msg list);
+  (* a 3-of-n certificate is not a valid sigma_echo (which must be t+1) *)
+  let sigma =
+    Option.get
+      (Threshold.combine setup ~k:3
+         ~tag:(B.echo_tag ~id:"test" Value.V0)
+         [ share keys 1 Value.V0; share keys 2 Value.V0; share keys 3 Value.V0 ])
+  in
+  let out = B.handle p ~from:1 (B.MEcho2 (Value.V0, sigma)) in
+  Alcotest.(check int) "rejected" 0 (List.length out)
+
+let test_unit_decide_with_cert () =
+  let setup, keys = make_setup 1L in
+  let p = B.create (params_of setup keys ~me:0) ~me:0 in
+  ignore (B.start p ~input:Value.V1 : B.msg list);
+  let sigma =
+    Option.get
+      (Threshold.combine setup ~k:2
+         ~tag:(B.echo_tag ~id:"test" Value.V1)
+         [ share keys 1 Value.V1; share keys 2 Value.V1 ])
+  in
+  let e3 pid =
+    B.MEcho3
+      ( Types.Val Value.V1,
+        [ sigma ],
+        Some (Threshold.sign keys.(pid) ~tag:(B.echo3_tag ~id:"test" Value.V1)) )
+  in
+  List.iter (fun pid -> ignore (B.handle p ~from:pid (e3 pid) : B.msg list)) [ 1; 2; 3 ];
+  Alcotest.(check bool) "decided" true
+    (match B.decision p with Some (Types.Val Value.V1) -> true | _ -> false);
+  Alcotest.(check bool) "echo3 certificate built" true
+    (match B.echo3_cert p with
+    | Some (v, cert) ->
+      Value.equal v Value.V1
+      && Threshold.verify setup ~tag:(B.echo3_tag ~id:"test" Value.V1) cert
+      && Threshold.threshold_of cert = 3
+    | None -> false)
+
+let test_unit_bot_echo3_needs_both_proofs () =
+  let setup, keys = make_setup 1L in
+  let p = B.create (params_of setup keys ~me:0) ~me:0 in
+  ignore (B.start p ~input:Value.V1 : B.msg list);
+  let sigma0 =
+    Option.get
+      (Threshold.combine setup ~k:2
+         ~tag:(B.echo_tag ~id:"test" Value.V0)
+         [ share keys 1 Value.V0; share keys 2 Value.V0 ])
+  in
+  (* a bottom echo3 carrying only one value's certificate is invalid *)
+  List.iter
+    (fun pid ->
+      ignore (B.handle p ~from:pid (B.MEcho3 (Types.Bot, [ sigma0 ], None)) : B.msg list))
+    [ 1; 2; 3 ];
+  Alcotest.(check bool) "not decided" true (B.decision p = None)
+
+(* ------------------------------------------------------------------ *)
+(* Properties: a Byzantine party that signs with its own genuine key.   *)
+(* ------------------------------------------------------------------ *)
+
+let byz_node rng setup keys n =
+  let tag v = B.echo_tag ~id:"test" v in
+  Node.make
+    ~receive:(fun ~src:_ _ ->
+      if Rng.int rng 3 <> 0 then []
+      else begin
+        let v = Value.of_bool (Rng.bool rng) in
+        let dst = Rng.int rng n in
+        match Rng.int rng 3 with
+        | 0 -> [ Node.Unicast (dst, B.MEcho (v, Threshold.sign keys.(3) ~tag:(tag v))) ]
+        | 1 ->
+          (* try to certify v with only its own share: must be rejected *)
+          (match
+             Threshold.combine setup ~k:2 ~tag:(tag v) [ Threshold.sign keys.(3) ~tag:(tag v) ]
+           with
+          | Some sigma -> [ Node.Unicast (dst, B.MEcho2 (v, sigma)) ]
+          | None -> [])
+        | _ ->
+          [ Node.Unicast
+              ( dst,
+                B.MEcho3
+                  ( Types.Val v,
+                    [],
+                    Some (Threshold.sign keys.(3) ~tag:(B.echo3_tag ~id:"test" v)) ) ) ]
+      end)
+    ~terminated:(fun () -> true)
+    ()
+
+let gen4 = QCheck2.Gen.(pair (Cluster.inputs_gen 4) (int_bound 100_000))
+
+let prop_agreement_validity =
+  QCheck2.Test.make ~count:300 ~name:"agreement/validity vs signing Byzantine" gen4
+    (fun (inputs, seed) ->
+      let setup, keys = make_setup (Int64.of_int (seed + 1)) in
+      let rng = Rng.create (Int64.of_int (seed + 2)) in
+      let o =
+        H.run
+          ~params:(params_of setup keys)
+          ~n:4 ~inputs
+          ~byz:[ (3, byz_node rng setup keys 4) ]
+          ~seed:(Int64.of_int seed) ()
+      in
+      if o.H.exec_outcome <> `All_terminated then QCheck2.Test.fail_report "no termination";
+      if not (Cluster.check_crusader_agreement o.H.decisions) then
+        QCheck2.Test.fail_report "agreement violated";
+      let honest_inputs = Array.sub inputs 0 3 in
+      if Array.for_all (Value.equal honest_inputs.(0)) honest_inputs then
+        Array.for_all
+          (fun d ->
+            match d with
+            | Some cv -> Types.cvalue_equal cv (Types.Val honest_inputs.(0))
+            | None -> true)
+          o.H.decisions
+      else true)
+
+let prop_round_bound =
+  QCheck2.Test.make ~count:100 ~name:"all-honest decides within 3 rounds"
+    (Cluster.inputs_gen 4)
+    (fun inputs ->
+      let setup, keys = make_setup 9L in
+      let res, _ = HL.run ~params:(params_of setup keys) ~n:4 ~inputs () in
+      res.Bca_netsim.Lockstep.outcome = `All_terminated
+      && res.Bca_netsim.Lockstep.steps <= B.max_broadcast_steps)
+
+(* Binding (Lemma F.5): at the first decision, the honest echo3 messages pin
+   the only decidable non-bottom value. *)
+let prop_binding =
+  QCheck2.Test.make ~count:200 ~name:"binding vs signing Byzantine" gen4
+    (fun (inputs, seed) ->
+      let setup, keys = make_setup (Int64.of_int (seed + 11)) in
+      let rng_byz = Rng.create (Int64.of_int (seed + 12)) in
+      let n = 4 in
+      let q = Types.quorum cfg in
+      let states : B.t option array = Array.make n None in
+      let module Async = Bca_netsim.Async_exec in
+      let make pid =
+        if pid = 3 then (byz_node rng_byz setup keys n, [])
+        else begin
+          let inst = B.create (params_of setup keys ~me:pid) ~me:pid in
+          states.(pid) <- Some inst;
+          let init = B.start inst ~input:inputs.(pid) in
+          ( Node.make
+              ~receive:(fun ~src m ->
+                List.map (fun m -> Node.Broadcast m) (B.handle inst ~from:src m))
+              ~terminated:(fun () -> B.decision inst <> None)
+              (),
+            List.map (fun m -> Node.Broadcast m) init )
+        end
+      in
+      let exec = Async.create ~n ~make in
+      let rng = Rng.create (Int64.of_int seed) in
+      let someone_decided _ =
+        Array.exists
+          (fun st -> match st with Some st -> B.decision st <> None | None -> false)
+          states
+      in
+      let _ = Async.run ~stop_when:someone_decided exec (Async.random_scheduler rng) in
+      if not (someone_decided exec) then true
+      else begin
+        let honest_states = List.filter_map Fun.id (Array.to_list states) in
+        let echo3 v =
+          List.length
+            (List.filter
+               (fun st ->
+                 match B.echo3_sent st with
+                 | Some cv -> Types.cvalue_equal cv v
+                 | None -> false)
+               honest_states)
+        in
+        if echo3 (Types.Val Value.V0) > 0 && echo3 (Types.Val Value.V1) > 0 then
+          QCheck2.Test.fail_report "two honest echo3 values coexist (Lemma F.4 broken)";
+        let pending =
+          List.length (List.filter (fun st -> B.echo3_sent st = None) honest_states)
+        in
+        let possible v = echo3 (Types.Val v) + pending + cfg.Types.t >= q in
+        let allowed = List.filter possible Value.both in
+        if List.length allowed > 1 then QCheck2.Test.fail_report "binding violated at tau";
+        let _ = Async.run exec (Async.random_scheduler rng) in
+        List.for_all
+          (fun st ->
+            match B.decision st with
+            | Some (Types.Val v) -> List.exists (Value.equal v) allowed
+            | Some Types.Bot | None -> true)
+          honest_states
+      end)
+
+let () =
+  Alcotest.run "bca_tsig"
+    [ ( "unit",
+        [ Alcotest.test_case "echo2 from shares" `Quick test_unit_echo2_from_shares;
+          Alcotest.test_case "bad share ignored" `Quick test_unit_bad_share_ignored;
+          Alcotest.test_case "echo2 relay" `Quick test_unit_echo2_relay;
+          Alcotest.test_case "wrong threshold rejected" `Quick
+            test_unit_echo2_wrong_threshold_rejected;
+          Alcotest.test_case "decide with certificate" `Quick test_unit_decide_with_cert;
+          Alcotest.test_case "bottom needs both proofs" `Quick
+            test_unit_bot_echo3_needs_both_proofs ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_agreement_validity;
+          QCheck_alcotest.to_alcotest prop_round_bound;
+          QCheck_alcotest.to_alcotest prop_binding ] ) ]

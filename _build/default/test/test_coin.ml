@@ -1,0 +1,177 @@
+(* Tests for the common-coin oracles (Definition 2.1). *)
+
+module Coin = Bca_coin.Coin
+module Value = Bca_util.Value
+
+let n = 7
+
+let test_strong_common () =
+  let coin = Coin.create Coin.Strong ~n ~degree:2 ~seed:5L in
+  for r = 1 to 50 do
+    let v0 = Coin.access coin ~round:r ~pid:0 in
+    for pid = 1 to n - 1 do
+      Alcotest.(check bool) "same value" true (Value.equal v0 (Coin.access coin ~round:r ~pid))
+    done
+  done
+
+let test_strong_balanced () =
+  let coin = Coin.create Coin.Strong ~n ~degree:2 ~seed:6L in
+  let ones = ref 0 in
+  let rounds = 10_000 in
+  for r = 1 to rounds do
+    if Value.to_bool (Coin.access coin ~round:r ~pid:0) then incr ones
+  done;
+  let frac = float_of_int !ones /. float_of_int rounds in
+  Alcotest.(check bool) "fair" true (frac > 0.47 && frac < 0.53)
+
+let test_unpredictability_gate () =
+  let coin = Coin.create Coin.Strong ~n ~degree:2 ~seed:7L in
+  Alcotest.(check bool) "hidden before any access" true (Coin.adversary_peek coin ~round:1 = None);
+  ignore (Coin.access coin ~round:1 ~pid:0 : Value.t);
+  ignore (Coin.access coin ~round:1 ~pid:1 : Value.t);
+  Alcotest.(check bool) "hidden at degree accesses" true (Coin.adversary_peek coin ~round:1 = None);
+  ignore (Coin.access coin ~round:1 ~pid:2 : Value.t);
+  Alcotest.(check bool) "revealed at degree+1" true
+    (match Coin.adversary_peek coin ~round:1 with Some (Coin.All_same _) -> true | _ -> false)
+
+let test_access_idempotent_for_count () =
+  let coin = Coin.create Coin.Strong ~n ~degree:3 ~seed:8L in
+  ignore (Coin.access coin ~round:2 ~pid:4 : Value.t);
+  ignore (Coin.access coin ~round:2 ~pid:4 : Value.t);
+  Alcotest.(check int) "one distinct access" 1 (Coin.accesses coin ~round:2)
+
+let test_eps_goodness_frequency () =
+  let eps = 0.25 in
+  let coin = Coin.create (Coin.Eps eps) ~n ~degree:1 ~seed:9L in
+  let good0 = ref 0 and good1 = ref 0 and adv = ref 0 in
+  let rounds = 20_000 in
+  for r = 1 to rounds do
+    match Coin.unsafe_outcome coin ~round:r with
+    | Coin.All_same Value.V0 -> incr good0
+    | Coin.All_same Value.V1 -> incr good1
+    | Coin.Adversarial -> incr adv
+  done;
+  let f x = float_of_int !x /. float_of_int rounds in
+  Alcotest.(check bool) "P(all 0) ~ eps" true (abs_float (f good0 -. eps) < 0.02);
+  Alcotest.(check bool) "P(all 1) ~ eps" true (abs_float (f good1 -. eps) < 0.02);
+  Alcotest.(check bool) "rest adversarial" true (abs_float (f adv -. 0.5) < 0.02)
+
+let test_eps_adversarial_assignment () =
+  let coin = Coin.create (Coin.Eps 0.1) ~n ~degree:1 ~seed:10L in
+  Coin.set_adversary_choice coin (fun ~round:_ ~pid ->
+      if pid = 0 then Value.V0 else Value.V1);
+  (* find an adversarial round and check the assignment is honored *)
+  let rec find r =
+    if r > 200 then Alcotest.fail "no adversarial round in 200 draws"
+    else
+      match Coin.unsafe_outcome coin ~round:r with
+      | Coin.Adversarial -> r
+      | Coin.All_same _ -> find (r + 1)
+  in
+  let r = find 1 in
+  Alcotest.(check bool) "pid0 assigned V0" true
+    (Value.equal (Coin.access coin ~round:r ~pid:0) Value.V0);
+  Alcotest.(check bool) "pid1 assigned V1" true
+    (Value.equal (Coin.access coin ~round:r ~pid:1) Value.V1)
+
+let test_eps_good_rounds_ignore_adversary () =
+  let coin = Coin.create (Coin.Eps 0.4) ~n ~degree:1 ~seed:11L in
+  Coin.set_adversary_choice coin (fun ~round:_ ~pid ->
+      if pid mod 2 = 0 then Value.V0 else Value.V1);
+  let rec find r =
+    if r > 200 then Alcotest.fail "no good round"
+    else
+      match Coin.unsafe_outcome coin ~round:r with
+      | Coin.All_same v -> (r, v)
+      | Coin.Adversarial -> find (r + 1)
+  in
+  let r, v = find 1 in
+  for pid = 0 to n - 1 do
+    Alcotest.(check bool) "good round uniform" true
+      (Value.equal (Coin.access coin ~round:r ~pid) v)
+  done
+
+let test_local_goodness_rate () =
+  let n = 4 in
+  let coin = Coin.create Coin.Local ~n ~degree:1 ~seed:12L in
+  let good = ref 0 in
+  let rounds = 20_000 in
+  for r = 1 to rounds do
+    match Coin.unsafe_outcome coin ~round:r with
+    | Coin.All_same _ -> incr good
+    | Coin.Adversarial -> ()
+  done;
+  (* P(all equal) = 2 * 2^-n = 1/8 for n = 4 *)
+  let f = float_of_int !good /. float_of_int rounds in
+  Alcotest.(check bool) "local agreement rate ~ 2^(1-n)" true (abs_float (f -. 0.125) < 0.015)
+
+let test_local_independent () =
+  let coin = Coin.create Coin.Local ~n:2 ~degree:0 ~seed:13L in
+  let differ = ref 0 in
+  for r = 1 to 1000 do
+    let a = Coin.access coin ~round:r ~pid:0 and b = Coin.access coin ~round:r ~pid:1 in
+    if not (Value.equal a b) then incr differ
+  done;
+  Alcotest.(check bool) "flips differ about half the time" true (!differ > 400 && !differ < 600)
+
+let test_epsilon_values () =
+  let c1 = Coin.create Coin.Strong ~n ~degree:1 ~seed:1L in
+  let c2 = Coin.create (Coin.Eps 0.125) ~n ~degree:1 ~seed:1L in
+  let c3 = Coin.create Coin.Local ~n ~degree:1 ~seed:1L in
+  Alcotest.(check (float 1e-9)) "strong eps" 0.5 (Coin.epsilon c1 ~n);
+  Alcotest.(check (float 1e-9)) "eps eps" 0.125 (Coin.epsilon c2 ~n);
+  Alcotest.(check (float 1e-9)) "local eps" (2.0 ** -7.0) (Coin.epsilon c3 ~n)
+
+let test_deterministic_across_instances () =
+  (* two oracle objects with the same seed agree on all values: this is what
+     lets every party hold its own oracle handle (e.g. the ACS slots) *)
+  let a = Coin.create Coin.Strong ~n ~degree:1 ~seed:99L in
+  let b = Coin.create Coin.Strong ~n ~degree:1 ~seed:99L in
+  for r = 1 to 50 do
+    Alcotest.(check bool) "same" true
+      (Value.equal (Coin.access a ~round:r ~pid:0) (Coin.access b ~round:r ~pid:1))
+  done
+
+(* Unpredictability as a property: however accesses are ordered and however
+   many repeats occur, the peek opens exactly at degree + 1 distinct
+   accessors. *)
+let prop_unpredictability =
+  QCheck2.Test.make ~count:300 ~name:"peek opens exactly at degree+1 distinct accesses"
+    QCheck2.Gen.(triple (int_range 0 5) (list_size (int_range 1 20) (int_bound 6)) (int_bound 1000))
+    (fun (degree, accessors, seed) ->
+      let coin = Coin.create Coin.Strong ~n:7 ~degree ~seed:(Int64.of_int seed) in
+      let distinct = ref [] in
+      List.for_all
+        (fun pid ->
+          let before_ok =
+            match Coin.adversary_peek coin ~round:1 with
+            | None -> List.length !distinct <= degree
+            | Some _ -> List.length !distinct >= degree + 1
+          in
+          ignore (Coin.access coin ~round:1 ~pid : Value.t);
+          if not (List.mem pid !distinct) then distinct := pid :: !distinct;
+          let after_ok =
+            match Coin.adversary_peek coin ~round:1 with
+            | None -> List.length !distinct <= degree
+            | Some _ -> List.length !distinct >= degree + 1
+          in
+          before_ok && after_ok)
+        accessors)
+
+let () =
+  Alcotest.run "coin"
+    [ ( "strong",
+        [ Alcotest.test_case "common value" `Quick test_strong_common;
+          Alcotest.test_case "balanced" `Quick test_strong_balanced;
+          Alcotest.test_case "unpredictability gate" `Quick test_unpredictability_gate;
+          Alcotest.test_case "access count idempotent" `Quick test_access_idempotent_for_count;
+          Alcotest.test_case "deterministic oracle" `Quick test_deterministic_across_instances ] );
+      ( "eps",
+        [ Alcotest.test_case "goodness frequency" `Quick test_eps_goodness_frequency;
+          Alcotest.test_case "adversarial assignment" `Quick test_eps_adversarial_assignment;
+          Alcotest.test_case "good rounds uniform" `Quick test_eps_good_rounds_ignore_adversary ] );
+      ( "local",
+        [ Alcotest.test_case "goodness rate" `Quick test_local_goodness_rate;
+          Alcotest.test_case "independent flips" `Quick test_local_independent ] );
+      ("epsilon", [ Alcotest.test_case "per kind" `Quick test_epsilon_values ]);
+      ("unpredictability", [ QCheck_alcotest.to_alcotest prop_unpredictability ]) ]

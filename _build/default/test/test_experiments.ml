@@ -1,0 +1,80 @@
+(* The headline reproduction checks: every measured table cell must land on
+   the paper's expectation (tolerances cover Monte-Carlo noise at the
+   reduced run counts used in tests; the benchmark harness runs the full
+   counts). *)
+
+module Summary = Bca_util.Summary
+module Table1 = Bca_experiments.Table1
+module Table2 = Bca_experiments.Table2
+
+let check name summary ~expected ~tol =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: measured %.2f vs expected %.2f (tol %.2f)" name
+       summary.Summary.mean expected tol)
+    true
+    (Summary.within summary ~expected ~tol)
+
+let test_t1_strong () =
+  check "T1 strong" (Table1.strong ~runs:600 ~seed:1L) ~expected:Table1.strong_expected ~tol:0.5
+
+let test_t1_weak () =
+  check "T1 weak e=1/2"
+    (Table1.weak ~eps:0.5 ~runs:600 ~seed:2L)
+    ~expected:(Table1.weak_expected ~eps:0.5)
+    ~tol:0.8;
+  check "T1 weak e=1/4"
+    (Table1.weak ~eps:0.25 ~runs:600 ~seed:3L)
+    ~expected:(Table1.weak_expected ~eps:0.25)
+    ~tol:1.5
+
+let test_t1_local_growth () =
+  (* O(2^n): the measured expected rounds roughly double per added party *)
+  let r3 = (Table1.local_rounds ~n:3 ~runs:300 ~seed:4L).Summary.mean in
+  let r5 = (Table1.local_rounds ~n:5 ~runs:300 ~seed:5L).Summary.mean in
+  Alcotest.(check bool)
+    (Printf.sprintf "rounds grow exponentially: n=3 -> %.1f, n=5 -> %.1f" r3 r5)
+    true
+    (r5 > 2.2 *. r3 && r5 < 8.0 *. r3)
+
+let test_t2_strong_t1 () =
+  check "T2 strong t+1"
+    (Table2.strong_t1 ~runs:600 ~seed:6L)
+    ~expected:Table2.strong_t1_critical_path ~tol:1.0
+
+let test_t2_weak () =
+  check "T2 weak e=1/2"
+    (Table2.weak_t1 ~eps:0.5 ~runs:400 ~seed:7L)
+    ~expected:(Table2.weak_t1_expected ~eps:0.5)
+    ~tol:1.2
+
+let test_t2_strong_2t1 () =
+  check "T2 strong 2t+1 (EVBCA)"
+    (Table2.strong_2t1 ~runs:600 ~seed:8L)
+    ~expected:Table2.strong_2t1_expected ~tol:1.2
+
+let test_t2_tsig () =
+  check "T2 tsig (EVBCA-TSig)" (Table2.tsig ~runs:600 ~seed:9L) ~expected:Table2.tsig_expected
+    ~tol:0.5
+
+let test_ordering_of_winners () =
+  (* the paper's qualitative claim: tsig (9) < EVBCA (13) < plain (17) *)
+  let tsig = (Table2.tsig ~runs:300 ~seed:10L).Summary.mean in
+  let ev = (Table2.strong_2t1 ~runs:300 ~seed:11L).Summary.mean in
+  let plain = (Table2.strong_t1 ~runs:300 ~seed:12L).Summary.mean in
+  Alcotest.(check bool)
+    (Printf.sprintf "9-cell %.1f < 13-cell %.1f < 17-cell %.1f" tsig ev plain)
+    true
+    (tsig < ev && ev < plain)
+
+let () =
+  Alcotest.run "experiments"
+    [ ( "table1",
+        [ Alcotest.test_case "strong = 7" `Quick test_t1_strong;
+          Alcotest.test_case "weak = 3/e+4" `Quick test_t1_weak;
+          Alcotest.test_case "local coin O(2^n)" `Slow test_t1_local_growth ] );
+      ( "table2",
+        [ Alcotest.test_case "strong t+1 (crit. path 15)" `Quick test_t2_strong_t1;
+          Alcotest.test_case "weak = 6/e+6" `Quick test_t2_weak;
+          Alcotest.test_case "strong 2t+1 ~ 13" `Quick test_t2_strong_2t1;
+          Alcotest.test_case "tsig = 9" `Quick test_t2_tsig;
+          Alcotest.test_case "ordering of winners" `Quick test_ordering_of_winners ] ) ]

@@ -1,0 +1,215 @@
+(* Tests for Algorithm 6 (GBCA-Byz): staged pipeline unit checks, graded
+   agreement/validity/termination/binding under random Byzantine noise. *)
+
+module Value = Bca_util.Value
+module Rng = Bca_util.Rng
+module Types = Bca_core.Types
+module G = Bca_core.Gbca_byz
+module Async = Bca_netsim.Async_exec
+module Node = Bca_netsim.Node
+module Cluster = Bca_test_helpers.Cluster
+module H = Cluster.Gbca (G)
+
+module HL = Cluster.Bca_lockstep (struct
+  include G
+
+  let decision t = Option.map Types.gdecision_value (G.decision t)
+end)
+
+let cfg4 = Types.cfg ~n:4 ~t:1
+
+let random_msg rng =
+  let v = Value.of_bool (Rng.bool rng) in
+  match Rng.int rng 6 with
+  | 0 -> G.MEcho v
+  | 1 -> G.MEcho2 v
+  | 2 -> G.MEcho3 (Types.Val v)
+  | 3 -> G.MEcho4 (Types.Val v)
+  | 4 -> G.MEcho5 (Types.Val v)
+  | _ -> G.MEcho5 Types.Bot
+
+let byz_node rng n =
+  Node.make
+    ~receive:(fun ~src:_ _ ->
+      if Rng.int rng 3 = 0 then [ Node.Unicast (Rng.int rng n, random_msg rng) ] else [])
+    ~terminated:(fun () -> true)
+    ()
+
+let feed p msgs = List.iter (fun (from, m) -> ignore (G.handle p ~from m : G.msg list)) msgs
+
+(* ------------------------------------------------------------------ *)
+(* Unit                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_unit_grade2_path () =
+  let p = G.create cfg4 ~me:0 in
+  ignore (G.start p ~input:Value.V0 : G.msg list);
+  feed p
+    [ (1, G.MEcho5 (Types.Val Value.V0)); (2, G.MEcho5 (Types.Val Value.V0));
+      (3, G.MEcho5 (Types.Val Value.V0)) ];
+  Alcotest.(check bool) "grade 2" true
+    (match G.decision p with Some (Types.G2 Value.V0) -> true | _ -> false)
+
+let test_unit_grade1_needs_echo4_backing () =
+  (* condition (2) of lines 25: one echo5(v) among n-t echo5s is not enough
+     without t+1 echo4(v) and both values approved *)
+  let p = G.create cfg4 ~me:0 in
+  ignore (G.start p ~input:Value.V0 : G.msg list);
+  feed p
+    [ (1, G.MEcho5 (Types.Val Value.V0)); (2, G.MEcho5 Types.Bot); (3, G.MEcho5 Types.Bot) ];
+  Alcotest.(check bool) "no decision without backing" true (G.decision p = None);
+  (* provide the echo4 backing and the approvals *)
+  feed p [ (1, G.MEcho4 (Types.Val Value.V0)); (2, G.MEcho4 (Types.Val Value.V0)) ];
+  feed p
+    [ (0, G.MEcho Value.V0); (1, G.MEcho Value.V0); (2, G.MEcho Value.V0);
+      (0, G.MEcho Value.V1); (1, G.MEcho Value.V1); (2, G.MEcho Value.V1) ];
+  Alcotest.(check bool) "grade 1 after backing" true
+    (match G.decision p with Some (Types.G1 Value.V0) -> true | _ -> false)
+
+let test_unit_grade0_needs_both_approved () =
+  let p = G.create cfg4 ~me:0 in
+  ignore (G.start p ~input:Value.V0 : G.msg list);
+  feed p [ (1, G.MEcho5 Types.Bot); (2, G.MEcho5 Types.Bot); (3, G.MEcho5 Types.Bot) ];
+  Alcotest.(check bool) "not yet" true (G.decision p = None);
+  feed p
+    [ (0, G.MEcho Value.V0); (1, G.MEcho Value.V0); (2, G.MEcho Value.V0);
+      (0, G.MEcho Value.V1); (1, G.MEcho Value.V1); (2, G.MEcho Value.V1) ];
+  Alcotest.(check bool) "grade 0" true
+    (match G.decision p with Some Types.G0 -> true | _ -> false)
+
+let test_unit_stage_chain () =
+  (* unanimous echo2 quorum climbs echo3 -> echo4 -> echo5 *)
+  let p = G.create cfg4 ~me:0 in
+  ignore (G.start p ~input:Value.V0 : G.msg list);
+  let out3 = ref [] in
+  List.iter
+    (fun from -> out3 := !out3 @ G.handle p ~from (G.MEcho2 Value.V0))
+    [ 1; 2; 3 ];
+  Alcotest.(check bool) "echo3 emitted" true
+    (List.mem (G.MEcho3 (Types.Val Value.V0)) !out3);
+  let out4 = ref [] in
+  List.iter
+    (fun from -> out4 := !out4 @ G.handle p ~from (G.MEcho3 (Types.Val Value.V0)))
+    [ 1; 2; 3 ];
+  Alcotest.(check bool) "echo4 emitted" true
+    (List.mem (G.MEcho4 (Types.Val Value.V0)) !out4);
+  let out5 = ref [] in
+  List.iter
+    (fun from -> out5 := !out5 @ G.handle p ~from (G.MEcho4 (Types.Val Value.V0)))
+    [ 1; 2; 3 ];
+  Alcotest.(check bool) "echo5 emitted" true
+    (List.mem (G.MEcho5 (Types.Val Value.V0)) !out5)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let gen4 = QCheck2.Gen.(pair (Cluster.inputs_gen 4) (int_bound 100_000))
+
+let prop_graded_agreement_byz =
+  QCheck2.Test.make ~count:300 ~name:"graded agreement/validity vs random Byzantine"
+    gen4
+    (fun (inputs, seed) ->
+      let rng = Rng.create (Int64.of_int (seed + 5)) in
+      let o =
+        H.run
+          ~params:(fun ~me:_ -> cfg4)
+          ~n:4 ~inputs
+          ~byz:[ (3, byz_node rng 4) ]
+          ~seed:(Int64.of_int seed) ()
+      in
+      if o.H.exec_outcome <> `All_terminated then QCheck2.Test.fail_report "no termination";
+      if not (Cluster.check_graded_agreement o.H.decisions) then
+        QCheck2.Test.fail_report "graded agreement violated";
+      let honest_inputs = Array.sub inputs 0 3 in
+      if Array.for_all (Value.equal honest_inputs.(0)) honest_inputs then
+        Array.for_all
+          (fun d ->
+            match d with
+            | Some (Types.G2 v) -> Value.equal v honest_inputs.(0)
+            | None -> true
+            | Some _ -> false)
+          o.H.decisions
+      else true)
+
+let prop_round_bound =
+  QCheck2.Test.make ~count:150 ~name:"all-honest n=4 decides within 6 rounds"
+    (Cluster.inputs_gen 4)
+    (fun inputs ->
+      let res, _ = HL.run ~params:(fun ~me:_ -> cfg4) ~n:4 ~inputs () in
+      res.Bca_netsim.Lockstep.outcome = `All_terminated
+      && res.Bca_netsim.Lockstep.steps <= G.max_broadcast_steps)
+
+(* Graded binding via echo4 (Lemma E.9): at the first decision, the honest
+   echo4 messages pin the only value decidable at grade >= 1. *)
+let prop_graded_binding =
+  QCheck2.Test.make ~count:300 ~name:"graded binding vs Byzantine" gen4
+    (fun (inputs, seed) ->
+      let n = 4 in
+      let rng_byz = Rng.create (Int64.of_int (seed + 7)) in
+      let states : G.t option array = Array.make n None in
+      let make pid =
+        if pid = 3 then (byz_node rng_byz n, [])
+        else begin
+          let inst = G.create cfg4 ~me:pid in
+          states.(pid) <- Some inst;
+          let init = G.start inst ~input:inputs.(pid) in
+          ( Node.make
+              ~receive:(fun ~src m ->
+                List.map (fun m -> Node.Broadcast m) (G.handle inst ~from:src m))
+              ~terminated:(fun () -> G.decision inst <> None)
+              (),
+            List.map (fun m -> Node.Broadcast m) init )
+        end
+      in
+      let exec = Async.create ~n ~make in
+      let rng = Rng.create (Int64.of_int seed) in
+      let someone_decided _ =
+        Array.exists
+          (fun st -> match st with Some st -> G.decision st <> None | None -> false)
+          states
+      in
+      let _ = Async.run ~stop_when:someone_decided exec (Async.random_scheduler rng) in
+      if not (someone_decided exec) then true
+      else begin
+        let honest_states = List.filter_map Fun.id (Array.to_list states) in
+        let echo4 v =
+          List.exists
+            (fun st ->
+              match G.echo4_sent st with
+              | Some cv -> Types.cvalue_equal cv (Types.Val v)
+              | None -> false)
+            honest_states
+        in
+        if echo4 Value.V0 && echo4 Value.V1 then
+          QCheck2.Test.fail_report "two honest echo4 values coexist";
+        let bound =
+          if echo4 Value.V0 then Some Value.V0
+          else if echo4 Value.V1 then Some Value.V1
+          else None
+        in
+        let _ = Async.run exec (Async.random_scheduler rng) in
+        match bound with
+        | None -> true
+        | Some b ->
+          List.for_all
+            (fun st ->
+              match G.decision st with
+              | Some (Types.G2 v | Types.G1 v) -> Value.equal v b
+              | Some Types.G0 | None -> true)
+            honest_states
+      end)
+
+let () =
+  Alcotest.run "gbca_byz"
+    [ ( "unit",
+        [ Alcotest.test_case "grade 2 path" `Quick test_unit_grade2_path;
+          Alcotest.test_case "grade 1 needs echo4 backing" `Quick
+            test_unit_grade1_needs_echo4_backing;
+          Alcotest.test_case "grade 0 needs both approved" `Quick
+            test_unit_grade0_needs_both_approved;
+          Alcotest.test_case "stage chain" `Quick test_unit_stage_chain ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_graded_agreement_byz;
+          QCheck_alcotest.to_alcotest prop_round_bound;
+          QCheck_alcotest.to_alcotest prop_graded_binding ] ) ]

@@ -1,0 +1,196 @@
+(* Tests for Algorithm 5 (GBCA-Crash): grading rules, graded agreement,
+   weak validity, termination, round bound, graded binding. *)
+
+module Value = Bca_util.Value
+module Rng = Bca_util.Rng
+module Types = Bca_core.Types
+module G = Bca_core.Gbca_crash
+module Async = Bca_netsim.Async_exec
+module Node = Bca_netsim.Node
+module Cluster = Bca_test_helpers.Cluster
+module H = Cluster.Gbca (G)
+
+module HL = Cluster.Bca_lockstep (struct
+  (* reuse the BCA lockstep harness by viewing the graded decision as a
+     crusader value *)
+  include G
+
+  let decision t = Option.map Types.gdecision_value (G.decision t)
+end)
+
+let cfg = Types.cfg ~n:5 ~t:2
+
+let params ~me:_ = cfg
+
+(* ------------------------------------------------------------------ *)
+(* Unit: the five buckets of Definition 3.2.                            *)
+(* ------------------------------------------------------------------ *)
+
+let feed p msgs = List.iter (fun (from, m) -> ignore (G.handle p ~from m : G.msg list)) msgs
+
+let test_unit_grade2 () =
+  let p = G.create cfg ~me:0 in
+  ignore (G.start p ~input:Value.V1 : G.msg list);
+  feed p
+    [ (1, G.MEcho2 (Types.Val Value.V1));
+      (2, G.MEcho2 (Types.Val Value.V1));
+      (3, G.MEcho2 (Types.Val Value.V1)) ];
+  Alcotest.(check bool) "grade 2" true
+    (match G.decision p with Some (Types.G2 Value.V1) -> true | _ -> false)
+
+let test_unit_grade1 () =
+  let p = G.create cfg ~me:0 in
+  ignore (G.start p ~input:Value.V1 : G.msg list);
+  feed p
+    [ (1, G.MEcho2 (Types.Val Value.V0)); (2, G.MEcho2 Types.Bot); (3, G.MEcho2 Types.Bot) ];
+  Alcotest.(check bool) "grade 1" true
+    (match G.decision p with Some (Types.G1 Value.V0) -> true | _ -> false)
+
+let test_unit_grade0 () =
+  let p = G.create cfg ~me:0 in
+  ignore (G.start p ~input:Value.V1 : G.msg list);
+  feed p [ (1, G.MEcho2 Types.Bot); (2, G.MEcho2 Types.Bot); (3, G.MEcho2 Types.Bot) ];
+  Alcotest.(check bool) "grade 0" true
+    (match G.decision p with Some Types.G0 -> true | _ -> false)
+
+let test_unit_pipeline () =
+  (* unanimous inputs walk val -> echo -> echo2 -> G2 *)
+  let p = G.create cfg ~me:0 in
+  ignore (G.start p ~input:Value.V0 : G.msg list);
+  feed p [ (0, G.MVal Value.V0); (1, G.MVal Value.V0) ];
+  Alcotest.(check bool) "no echo2 yet" true (G.echo2_sent p = None);
+  let out = G.handle p ~from:2 (G.MVal Value.V0) in
+  Alcotest.(check bool) "echo emitted" true
+    (match out with [ G.MEcho (Types.Val Value.V0) ] -> true | _ -> false);
+  feed p [ (0, G.MEcho (Types.Val Value.V0)); (1, G.MEcho (Types.Val Value.V0)) ];
+  let out = G.handle p ~from:2 (G.MEcho (Types.Val Value.V0)) in
+  Alcotest.(check bool) "echo2 emitted" true
+    (match out with [ G.MEcho2 (Types.Val Value.V0) ] -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Properties.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_run =
+  QCheck2.Gen.(
+    triple (Cluster.inputs_gen 5) (int_bound 10_000)
+      (list_size (int_bound 2) (pair (int_bound 4) (int_bound 8))))
+
+let dedup_crashes crashes =
+  List.sort_uniq (fun (a, _) (b, _) -> compare a b) crashes
+
+let prop_graded_agreement_validity =
+  QCheck2.Test.make ~count:300 ~name:"graded agreement + weak validity + termination"
+    gen_run
+    (fun (inputs, seed, crashes) ->
+      let crashes = dedup_crashes crashes in
+      let o = H.run ~params ~n:5 ~inputs ~crashes ~seed:(Int64.of_int seed) () in
+      if o.H.exec_outcome <> `All_terminated then QCheck2.Test.fail_report "no termination";
+      if not (Cluster.check_graded_agreement o.H.decisions) then
+        QCheck2.Test.fail_report "graded agreement violated";
+      if Cluster.all_same_inputs inputs then
+        Array.for_all
+          (fun d ->
+            match d with
+            | Some (Types.G2 v) -> Value.equal v inputs.(0)
+            | None -> true (* crashed slot *)
+            | Some _ -> false)
+          o.H.decisions
+      else true)
+
+let prop_round_bound =
+  QCheck2.Test.make ~count:200 ~name:"decides within 3 communication rounds"
+    (Cluster.inputs_gen 5)
+    (fun inputs ->
+      let res, _ = HL.run ~params ~n:5 ~inputs () in
+      res.Bca_netsim.Lockstep.outcome = `All_terminated
+      && res.Bca_netsim.Lockstep.steps <= G.max_broadcast_steps)
+
+(* Graded binding (Definition B.2): every party sends at most one echo2 and
+   a non-bottom echo2 needs an n-t echo quorum behind it, so two distinct
+   non-bottom echo2 values can never coexist (Lemma E.4).  At the first
+   decision we read off the bound value from the echo2s already sent and
+   check every later grade >= 1 decision equals it. *)
+let prop_graded_binding =
+  QCheck2.Test.make ~count:300 ~name:"graded binding at first decision" gen_run
+    (fun (inputs, seed, crashes) ->
+      let crashes = dedup_crashes crashes in
+      let n = 5 in
+      let states : G.t option array = Array.make n None in
+      let make pid =
+        let inst = G.create cfg ~me:pid in
+        states.(pid) <- Some inst;
+        let init = G.start inst ~input:inputs.(pid) in
+        let node =
+          Node.make
+            ~receive:(fun ~src m ->
+              List.map (fun m -> Node.Broadcast m) (G.handle inst ~from:src m))
+            ~terminated:(fun () -> G.decision inst <> None)
+            ()
+        in
+        let node =
+          match List.assoc_opt pid crashes with
+          | Some after -> Bca_adversary.Faults.crash_after ~deliveries:after node
+          | None -> node
+        in
+        (node, List.map (fun m -> Node.Broadcast m) init)
+      in
+      let exec = Async.create ~n ~make in
+      let rng = Rng.create (Int64.of_int seed) in
+      let someone_decided _ =
+        Array.exists
+          (fun st -> match st with Some st -> G.decision st <> None | None -> false)
+          states
+      in
+      let _ = Async.run ~stop_when:someone_decided exec (Async.random_scheduler rng) in
+      if not (someone_decided exec) then true
+      else begin
+        let echo2_sent v =
+          Array.exists
+            (fun st ->
+              match st with
+              | Some st ->
+                (match G.echo2_sent st with
+                | Some cv -> Types.cvalue_equal cv (Types.Val v)
+                | None -> false)
+              | None -> false)
+            states
+        in
+        if echo2_sent Value.V0 && echo2_sent Value.V1 then
+          QCheck2.Test.fail_report "two echo2 values coexist (binding broken)";
+        (* at tau, n-t parties sent echo2; deciding v at grade >= 1 requires
+           an echo2(v), and any future echo2 must also carry the already
+           established non-bottom value (echo-quorum intersection); with no
+           non-bottom echo2 at all, only grade 0 remains reachable for the
+           complement-free side *)
+        let bound_value =
+          if echo2_sent Value.V0 then Some Value.V0
+          else if echo2_sent Value.V1 then Some Value.V1
+          else None
+        in
+        let _ = Async.run exec (Async.random_scheduler rng) in
+        match bound_value with
+        | None -> true
+        | Some b ->
+          Array.for_all
+            (fun st ->
+              match st with
+              | Some st ->
+                (match G.decision st with
+                | Some (Types.G2 v | Types.G1 v) -> Value.equal v b
+                | Some Types.G0 | None -> true)
+              | None -> true)
+            states
+      end)
+
+let () =
+  Alcotest.run "gbca_crash"
+    [ ( "unit",
+        [ Alcotest.test_case "grade 2" `Quick test_unit_grade2;
+          Alcotest.test_case "grade 1" `Quick test_unit_grade1;
+          Alcotest.test_case "grade 0" `Quick test_unit_grade0;
+          Alcotest.test_case "pipeline" `Quick test_unit_pipeline ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_graded_agreement_validity;
+          QCheck_alcotest.to_alcotest prop_round_bound;
+          QCheck_alcotest.to_alcotest prop_graded_binding ] ) ]

@@ -1,0 +1,152 @@
+(* Exhaustive model checking: for small systems, every delivery order (and
+   crash placement) is explored and the paper's properties are verified over
+   every reachable configuration - in particular binding's "in any
+   extension" quantifier.  A deliberately broken protocol checks that the
+   checker actually detects violations. *)
+
+module Value = Bca_util.Value
+module Types = Bca_core.Types
+module Models = Bca_modelcheck.Models
+module Modelcheck = Bca_modelcheck.Modelcheck
+
+let v b = if b then Value.V1 else Value.V0
+
+let check_verified name = function
+  | Modelcheck.Verified s ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: verified over %d configurations" name s.Modelcheck.configurations)
+      true true
+  | Modelcheck.Violated reason -> Alcotest.fail (name ^ ": " ^ reason)
+
+let check_verified_complete name = function
+  | Modelcheck.Verified s ->
+    Alcotest.(check bool) (name ^ ": complete (not truncated)") false s.Modelcheck.truncated
+  | Modelcheck.Violated reason -> Alcotest.fail (name ^ ": " ^ reason)
+
+(* n = 3, t = 1, all input vectors up to 0/1 symmetry: complete verification
+   of agreement, weak validity, termination and binding for Algorithm 3. *)
+let test_bca_crash_exhaustive () =
+  List.iter
+    (fun bits ->
+      let inputs = Array.of_list (List.map v bits) in
+      let name =
+        "bca " ^ String.concat "" (List.map (fun b -> if b then "1" else "0") bits)
+      in
+      check_verified_complete name (Models.check_bca_crash ~n:3 ~t:1 ~inputs ()))
+    [ [ false; false; false ]; [ false; false; true ]; [ false; true; true ];
+      [ true; true; true ] ]
+
+(* With one crash allowed at every possible point: bounded verification. *)
+let test_bca_crash_with_crashes () =
+  check_verified "bca mixed + 1 crash"
+    (Models.check_bca_crash ~n:3 ~t:1
+       ~inputs:[| Value.V0; Value.V1; Value.V0 |]
+       ~crashes:1 ~max_configurations:150_000 ())
+
+let test_gbca_crash_bounded () =
+  List.iter
+    (fun inputs ->
+      check_verified "gbca"
+        (Models.check_gbca_crash ~n:3 ~t:1 ~inputs ~max_configurations:150_000 ()))
+    [ [| Value.V0; Value.V0; Value.V0 |]; [| Value.V0; Value.V1; Value.V0 |] ]
+
+(* Mutation check: a "protocol" that decides its first echo violates both
+   agreement and binding; the checker must say so. *)
+module Broken = struct
+  type state = {
+    me : int;
+    mutable decision : Types.cvalue option;
+    mutable echoed : bool;
+    mutable vals : (int * Value.t) list;
+  }
+
+  type msg = Bca_core.Bca_crash.msg
+
+  let n = 3
+
+  let inputs = [| Value.V0; Value.V1; Value.V0 |]
+
+  let init pid =
+    ( { me = pid; decision = None; echoed = false; vals = [] },
+      [ Bca_core.Bca_crash.MVal inputs.(pid) ] )
+
+  let handle st ~from m =
+    match m with
+    | Bca_core.Bca_crash.MVal v ->
+      if not (List.mem_assoc from st.vals) then st.vals <- (from, v) :: st.vals;
+      if (not st.echoed) && List.length st.vals >= 2 then begin
+        st.echoed <- true;
+        [ Bca_core.Bca_crash.MEcho (Types.Val (snd (List.hd st.vals))) ]
+      end
+      else []
+    | Bca_core.Bca_crash.MEcho cv ->
+      (* broken: decide on the very first echo *)
+      if st.decision = None then st.decision <- Some cv;
+      []
+
+  let copy_state st = { st with vals = st.vals }
+
+  let encode_state st =
+    Printf.sprintf "%d:%s:%b:%s" st.me
+      (match st.decision with
+      | Some cv -> Format.asprintf "%a" Types.pp_cvalue cv
+      | None -> "_")
+      st.echoed
+      (String.concat ","
+         (List.sort compare
+            (List.map (fun (p, v) -> Printf.sprintf "%d=%s" p (Value.to_string v)) st.vals)))
+
+  let encode_msg m = Format.asprintf "%a" Bca_core.Bca_crash.pp_msg m
+
+  let decided st = st.decision <> None
+end
+
+let test_detects_agreement_violation () =
+  let module C = Modelcheck.Make (Broken) in
+  let invariant ~alive:_ states =
+    let non_bot =
+      Array.to_list states
+      |> List.filter_map (fun st ->
+             match st.Broken.decision with Some (Types.Val v) -> Some v | _ -> None)
+    in
+    match non_bot with
+    | a :: rest when not (List.for_all (Value.equal a) rest) -> Some "agreement violated"
+    | _ -> None
+  in
+  match C.explore ~invariant ~terminal:(fun ~alive:_ _ -> None) () with
+  | Modelcheck.Violated "agreement violated" -> ()
+  | Modelcheck.Violated other -> Alcotest.fail ("unexpected violation: " ^ other)
+  | Modelcheck.Verified _ -> Alcotest.fail "checker missed a planted agreement violation"
+
+(* Bounded verification of Algorithm 4 with the Byzantine party modelled as
+   one-shot injections. *)
+let test_bca_byz_bounded () =
+  let run inputs =
+    match Models.check_bca_byz ~inputs ~max_configurations:120_000 () with
+    | Modelcheck.Verified _ -> ()
+    | Modelcheck.Violated reason -> Alcotest.fail reason
+  in
+  run [| Value.V0; Value.V1; Value.V0; Value.V0 |];
+  run [| Value.V1; Value.V1; Value.V1; Value.V1 |]
+
+let test_gbca_byz_bounded () =
+  match
+    Models.check_gbca_byz
+      ~inputs:[| Value.V1; Value.V0; Value.V1; Value.V0 |]
+      ~max_configurations:100_000 ()
+  with
+  | Modelcheck.Verified _ -> ()
+  | Modelcheck.Violated reason -> Alcotest.fail reason
+
+let () =
+  Alcotest.run "modelcheck"
+    [ ( "verified",
+        [ Alcotest.test_case "bca n=3 exhaustive, all inputs" `Slow test_bca_crash_exhaustive;
+          Alcotest.test_case "bca n=3 with crashes (bounded)" `Slow test_bca_crash_with_crashes;
+          Alcotest.test_case "gbca n=3 (bounded)" `Slow test_gbca_crash_bounded;
+          Alcotest.test_case "bca-byz with injections (bounded)" `Slow test_bca_byz_bounded;
+          Alcotest.test_case "gbca-byz with injections (bounded)" `Slow test_gbca_byz_bounded ] );
+      ( "mutation",
+        [ Alcotest.test_case "detects planted violation" `Quick
+            test_detects_agreement_violation ] ) ]
+

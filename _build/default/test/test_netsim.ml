@@ -1,0 +1,254 @@
+(* Tests for the network simulator: pool, async executor, lockstep executor. *)
+
+module Pool = Bca_netsim.Pool
+module Node = Bca_netsim.Node
+module Async = Bca_netsim.Async_exec
+module Lockstep = Bca_netsim.Lockstep
+module Rng = Bca_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_basic () =
+  let p = Pool.create () in
+  Alcotest.(check bool) "empty" true (Pool.is_empty p);
+  Pool.add p 1;
+  Pool.add p 2;
+  Pool.add p 3;
+  Alcotest.(check int) "length" 3 (Pool.length p);
+  let x = Pool.swap_remove p 0 in
+  Alcotest.(check int) "removed head" 1 x;
+  Alcotest.(check int) "length after" 2 (Pool.length p);
+  Alcotest.(check (list int)) "rest" [ 2; 3 ] (List.sort compare (Pool.to_list p))
+
+let test_pool_filter () =
+  let p = Pool.create () in
+  List.iter (Pool.add p) [ 1; 2; 3; 4; 5; 6 ];
+  Pool.filter_in_place p (fun x -> x mod 2 = 0);
+  Alcotest.(check (list int)) "evens" [ 2; 4; 6 ] (List.sort compare (Pool.to_list p))
+
+let pool_model =
+  QCheck2.Test.make ~count:300 ~name:"pool swap_remove keeps multiset"
+    QCheck2.Gen.(list (int_bound 100))
+    (fun xs ->
+      let p = Pool.create () in
+      List.iter (Pool.add p) xs;
+      let rng = Rng.create 3L in
+      let removed = ref [] in
+      while Pool.length p > 0 do
+        removed := Pool.swap_remove p (Rng.int rng (Pool.length p)) :: !removed
+      done;
+      List.sort compare !removed = List.sort compare xs)
+
+(* ------------------------------------------------------------------ *)
+(* Async executor: a tiny ping-pong protocol                            *)
+(* ------------------------------------------------------------------ *)
+
+type ping = Ping of int | Pong of int
+
+(* Each party pings once; on a ping it pongs back; terminated after
+   receiving pongs from everyone. *)
+let ping_cluster n =
+  let pongs = Array.make n 0 in
+  let make pid =
+    let node =
+      Node.make
+        ~receive:(fun ~src m ->
+          match m with
+          | Ping k -> [ Node.Unicast (src, Pong k) ]
+          | Pong _ ->
+            pongs.(pid) <- pongs.(pid) + 1;
+            [])
+        ~terminated:(fun () -> pongs.(pid) >= n)
+        ()
+    in
+    (node, [ Node.Broadcast (Ping pid) ])
+  in
+  (Async.create ~n ~make, pongs)
+
+let test_async_ping_pong () =
+  let exec, pongs = ping_cluster 4 in
+  let outcome = Async.run exec (Async.random_scheduler (Rng.create 1L)) in
+  Alcotest.(check bool) "terminated" true (outcome = `All_terminated);
+  Array.iter (fun k -> Alcotest.(check int) "n pongs" 4 k) pongs
+
+let test_async_fifo () =
+  let exec, _ = ping_cluster 3 in
+  let outcome = Async.run exec Async.fifo_scheduler in
+  Alcotest.(check bool) "terminated" true (outcome = `All_terminated)
+
+let test_async_crash () =
+  let exec, pongs = ping_cluster 3 in
+  Async.crash exec 2;
+  let outcome = Async.run exec (Async.random_scheduler (Rng.create 2L)) in
+  (* party 2 never answers, so nobody reaches 3 pongs; network drains *)
+  Alcotest.(check bool) "quiescent" true (outcome = `Quiescent);
+  Alcotest.(check bool) "others got <= 2 pongs" true (pongs.(0) <= 2 && pongs.(1) <= 2)
+
+let test_async_drop_outgoing () =
+  let exec, _ = ping_cluster 3 in
+  Async.crash exec 0;
+  Async.drop_outgoing exec ~src:0 ~keep:(fun _ -> false);
+  let remaining = List.filter (fun (e : _ Async.envelope) -> e.Async.src = 0) (Async.inflight exec) in
+  Alcotest.(check int) "all of p0's sends dropped" 0 (List.length remaining)
+
+let test_async_depth () =
+  (* chain: p0 sends token to p1, p1 to p2: depth at p2 must be 2 *)
+  let n = 3 in
+  let make pid =
+    let node =
+      Node.make
+        ~receive:(fun ~src:_ m ->
+          match m with
+          | Ping k when pid = 1 -> [ Node.Unicast (2, Ping k) ]
+          | _ -> [])
+        ~terminated:(fun () -> false)
+        ()
+    in
+    (node, if pid = 0 then [ Node.Unicast (1, Ping 0) ] else [])
+  in
+  let exec = Async.create ~n ~make in
+  let _ = Async.run ~max_deliveries:100 exec Async.fifo_scheduler in
+  Alcotest.(check int) "p1 depth" 1 (Async.depth_of exec 1);
+  Alcotest.(check int) "p2 depth" 2 (Async.depth_of exec 2);
+  Alcotest.(check int) "max depth" 2 (Async.max_depth exec)
+
+let test_async_skewed_scheduler () =
+  (* the slow party still gets everything eventually, just later *)
+  let exec, pongs = ping_cluster 4 in
+  let rng = Rng.create 21L in
+  let sched = Async.skewed_scheduler rng ~slow:[ 3 ] ~bias:8 in
+  let outcome = Async.run exec sched in
+  Alcotest.(check bool) "terminates" true (outcome = `All_terminated);
+  Array.iter (fun k -> Alcotest.(check int) "n pongs" 4 k) pongs
+
+let test_async_inject () =
+  let exec, pongs = ping_cluster 2 in
+  Async.inject exec ~src:9 [ Node.Unicast (0, Pong 99) ];
+  let _ = Async.run ~max_deliveries:100 exec Async.fifo_scheduler in
+  Alcotest.(check bool) "injected pong counted" true (pongs.(0) >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Lockstep executor                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Relay chain: party 0 emits a token each received token moves to the next
+   pid; terminated when the last party holds it. *)
+let test_lockstep_steps () =
+  let n = 4 in
+  let got = Array.make n false in
+  let make pid =
+    let node =
+      Node.make
+        ~receive:(fun ~src:_ m ->
+          match m with
+          | Ping k ->
+            got.(pid) <- true;
+            if pid + 1 < n then [ Node.Unicast (pid + 1, Ping k) ] else []
+          | Pong _ -> [])
+        ~terminated:(fun () -> got.(n - 1))
+        ()
+    in
+    (node, if pid = 0 then [ Node.Unicast (1, Ping 0) ] else [])
+  in
+  let res = Lockstep.run ~n ~honest:(fun _ -> true) ~make () in
+  Alcotest.(check bool) "terminated" true (res.Lockstep.outcome = `All_terminated);
+  (* three hops on the critical path *)
+  Alcotest.(check int) "steps" 3 res.Lockstep.steps;
+  Alcotest.(check int) "depth" 3 res.Lockstep.depth
+
+let test_lockstep_defer_preserves_depth () =
+  (* deferring the single message for 5 steps must not change its depth *)
+  let n = 2 in
+  let got = ref false in
+  let make pid =
+    let node =
+      Node.make
+        ~receive:(fun ~src:_ _ ->
+          got := true;
+          [])
+        ~terminated:(fun () -> !got)
+        ()
+    in
+    (node, if pid = 0 then [ Node.Unicast (1, Ping 0) ] else [])
+  in
+  let order ~step ~dst:_ envs = if step <= 5 then [] else envs in
+  let res = Lockstep.run ~n ~honest:(fun _ -> true) ~make ~order () in
+  Alcotest.(check bool) "terminated" true (res.Lockstep.outcome = `All_terminated);
+  Alcotest.(check int) "depth still 1" 1 res.Lockstep.depth
+
+let test_lockstep_tick () =
+  (* a Byzantine tick emission is deliverable within the same step *)
+  let n = 2 in
+  let got = ref false in
+  let make pid =
+    if pid = 0 then
+      ( Node.make
+          ~receive:(fun ~src:_ _ -> [])
+          ~terminated:(fun () -> true)
+          ~tick:(fun ~step -> if step = 1 then [ Node.Unicast (1, Ping 7) ] else [])
+          (),
+        [] )
+    else
+      ( Node.make
+          ~receive:(fun ~src:_ _ ->
+            got := true;
+            [])
+          ~terminated:(fun () -> !got)
+          (),
+        [] )
+  in
+  let res = Lockstep.run ~n ~honest:(fun pid -> pid = 1) ~make () in
+  Alcotest.(check bool) "terminated in one step" true
+    (res.Lockstep.outcome = `All_terminated && res.Lockstep.steps = 1)
+
+let test_lockstep_quiescent () =
+  let n = 2 in
+  let make _ =
+    (Node.make ~receive:(fun ~src:_ _ -> []) ~terminated:(fun () -> false) (), [])
+  in
+  let res = Lockstep.run ~n ~honest:(fun _ -> true) ~make () in
+  Alcotest.(check bool) "quiescent" true (res.Lockstep.outcome = `Quiescent)
+
+let test_faults_crash_after () =
+  let received = ref 0 in
+  let inner =
+    Node.make
+      ~receive:(fun ~src:_ _ ->
+        incr received;
+        [ Node.Broadcast (Pong !received) ])
+      ~terminated:(fun () -> false)
+      ()
+  in
+  let wrapped = Bca_adversary.Faults.crash_after ~deliveries:2 ~last_recipients:[ 1 ] inner in
+  let out1 = wrapped.Node.receive ~src:0 (Ping 1) in
+  Alcotest.(check int) "first passes" 1 (List.length out1);
+  let out2 = wrapped.Node.receive ~src:0 (Ping 2) in
+  (* crash mid-broadcast: the final emission reaches only party 1 *)
+  Alcotest.(check bool) "partial last broadcast" true
+    (match out2 with [ Node.Unicast (1, Pong _) ] -> true | _ -> false);
+  let out3 = wrapped.Node.receive ~src:0 (Ping 3) in
+  Alcotest.(check int) "dead after crash" 0 (List.length out3);
+  Alcotest.(check bool) "terminated" true (wrapped.Node.terminated ())
+
+let () =
+  Alcotest.run "netsim"
+    [ ( "pool",
+        [ Alcotest.test_case "basic" `Quick test_pool_basic;
+          Alcotest.test_case "filter" `Quick test_pool_filter;
+          QCheck_alcotest.to_alcotest pool_model ] );
+      ( "async",
+        [ Alcotest.test_case "ping-pong terminates" `Quick test_async_ping_pong;
+          Alcotest.test_case "fifo scheduler" `Quick test_async_fifo;
+          Alcotest.test_case "crash silences a party" `Quick test_async_crash;
+          Alcotest.test_case "drop_outgoing" `Quick test_async_drop_outgoing;
+          Alcotest.test_case "causal depth" `Quick test_async_depth;
+          Alcotest.test_case "inject" `Quick test_async_inject;
+          Alcotest.test_case "skewed scheduler" `Quick test_async_skewed_scheduler ] );
+      ( "lockstep",
+        [ Alcotest.test_case "steps = hops" `Quick test_lockstep_steps;
+          Alcotest.test_case "defer keeps depth" `Quick test_lockstep_defer_preserves_depth;
+          Alcotest.test_case "tick same-step" `Quick test_lockstep_tick;
+          Alcotest.test_case "quiescent" `Quick test_lockstep_quiescent ] );
+      ("faults", [ Alcotest.test_case "crash_after" `Quick test_faults_crash_after ]) ]

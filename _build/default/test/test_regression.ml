@@ -1,0 +1,45 @@
+(* Golden determinism regression: every simulation in this repository is a
+   pure function of its seed, so these exact values must never drift.  A
+   change here means protocol or simulator behaviour changed - intentional
+   changes should update the constants alongside an EXPERIMENTS.md note. *)
+
+module Value = Bca_util.Value
+module Summary = Bca_util.Summary
+module Table1 = Bca_experiments.Table1
+module Table2 = Bca_experiments.Table2
+
+let seed = 4242L
+
+let runs = 60
+
+let check_mean name actual expected =
+  Alcotest.(check (float 1e-6)) name expected actual.Summary.mean
+
+let test_table_cells () =
+  check_mean "table1.strong" (Table1.strong ~runs ~seed) 7.6;
+  check_mean "table1.weak e=1/4" (Table1.weak ~eps:0.25 ~runs ~seed) 16.95;
+  check_mean "table2.strong_t1" (Table2.strong_t1 ~runs ~seed) 16.433333333333333;
+  check_mean "table2.strong_2t1" (Table2.strong_2t1 ~runs ~seed) 14.0;
+  check_mean "table2.tsig" (Table2.tsig ~runs ~seed) 9.6
+
+let test_facade_run () =
+  let cfg = Bca_core.Types.cfg ~n:4 ~t:1 in
+  let inputs = [| Value.V0; Value.V1; Value.V0; Value.V1 |] in
+  match Bca_core.Aba.run ~seed Bca_core.Aba.Byz_strong ~cfg ~inputs with
+  | Ok r ->
+    Alcotest.(check string) "agreed value" "0" (Value.to_string r.Bca_core.Aba.value);
+    Alcotest.(check int) "deliveries" 186 r.Bca_core.Aba.deliveries
+  | Error e -> Alcotest.fail e
+
+let test_attack_replay () =
+  let r = Bca_adversary.Cz_attack.run ~degree:`T ~rounds:10 ~seed in
+  Alcotest.(check bool) "attack outcome stable" true
+    (r.Bca_adversary.Cz_attack.first_commit_round = None
+    && r.Bca_adversary.Cz_attack.rounds_executed = 10)
+
+let () =
+  Alcotest.run "regression"
+    [ ( "golden",
+        [ Alcotest.test_case "table cells" `Quick test_table_cells;
+          Alcotest.test_case "facade run" `Quick test_facade_run;
+          Alcotest.test_case "attack replay" `Quick test_attack_replay ] ) ]

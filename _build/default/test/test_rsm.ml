@@ -1,0 +1,73 @@
+(* Atomic broadcast over repeated ACS: identical logs, no duplication, and
+   re-queuing of rejected proposals. *)
+
+module Rsm = Bca_acs.Rsm
+module Types = Bca_core.Types
+module Async = Bca_netsim.Async_exec
+module Node = Bca_netsim.Node
+module Rng = Bca_util.Rng
+
+let run_rsm ~epochs ~silent ~seed =
+  let n = 4 in
+  let cfg = Types.cfg ~n ~t:1 in
+  let params = { Rsm.cfg; coin_seed = Int64.add seed 31L; epochs } in
+  let states = Array.make n None in
+  let exec =
+    Async.create ~n ~make:(fun pid ->
+        if List.mem pid silent then (Node.silent, [])
+        else begin
+          let st, init = Rsm.create params ~me:pid in
+          states.(pid) <- Some st;
+          (* two client transactions per replica, queued for epoch 1 *)
+          Rsm.submit st (Printf.sprintf "tx-%d-a" pid);
+          Rsm.submit st (Printf.sprintf "tx-%d-b" pid);
+          (Rsm.node st, List.map (fun m -> Node.Broadcast m) init)
+        end)
+  in
+  let rng = Rng.create seed in
+  let outcome = Async.run ~max_deliveries:2_000_000 exec (Async.random_scheduler rng) in
+  (outcome, states)
+
+let check_logs states =
+  let logs =
+    Array.to_list states |> List.filter_map (fun st -> Option.map Rsm.log st)
+  in
+  (match logs with
+  | l :: rest ->
+    List.iter (fun l' -> Alcotest.(check (list string)) "identical logs" l l') rest
+  | [] -> Alcotest.fail "no logs");
+  let l = List.hd logs in
+  Alcotest.(check (list string)) "no duplicates" (List.sort_uniq compare l)
+    (List.sort compare l);
+  l
+
+let test_all_honest () =
+  let outcome, states = run_rsm ~epochs:3 ~silent:[] ~seed:1L in
+  Alcotest.(check bool) "terminated" true (outcome = `All_terminated);
+  let l = check_logs states in
+  Alcotest.(check bool) "transactions committed" true (List.length l >= 6)
+
+let prop_logs_agree =
+  QCheck2.Test.make ~count:25 ~name:"rsm logs identical across seeds"
+    QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let outcome, states = run_rsm ~epochs:2 ~silent:[] ~seed:(Int64.of_int seed) in
+      if outcome <> `All_terminated then QCheck2.Test.fail_report "no termination";
+      ignore (check_logs states : string list);
+      true)
+
+let test_silent_replica () =
+  (* one replica never participates; the rest keep committing *)
+  let outcome, states = run_rsm ~epochs:2 ~silent:[ 3 ] ~seed:2L in
+  Alcotest.(check bool) "terminated" true (outcome = `All_terminated);
+  let l = check_logs states in
+  Alcotest.(check bool) "progress without the silent replica" true (List.length l >= 4);
+  Alcotest.(check bool) "silent replica's txs absent" true
+    (List.for_all (fun tx -> not (String.length tx > 3 && tx.[3] = '3')) l)
+
+let () =
+  Alcotest.run "rsm"
+    [ ( "atomic broadcast",
+        [ Alcotest.test_case "all honest" `Quick test_all_honest;
+          QCheck_alcotest.to_alcotest prop_logs_agree;
+          Alcotest.test_case "silent replica" `Quick test_silent_replica ] ) ]
