@@ -1,11 +1,14 @@
 (* Benchmark harness: regenerates every table of the paper (Tables 1 and 2),
    replays the Appendix A attack experiments, adds a message-complexity
-   scaling sweep, and times the simulator stacks with Bechamel.
+   scaling sweep with a simulator-throughput benchmark (JSON-reported), and
+   times the simulator stacks with Bechamel.
 
    Usage: main.exe [table1|table2|attack|scaling|ablation|bechamel|all]
+                   [--runs K] [--seed S] [--json PATH]
    Default: all.  Monte-Carlo run counts are chosen so the full harness
    completes in well under a minute; EXPERIMENTS.md records a reference
-   output. *)
+   output.  The scaling section always writes per-stack throughput
+   (deliveries/sec and wall-clock) to PATH, default BENCH_netsim.json. *)
 
 module Summary = Bca_util.Summary
 module Tablefmt = Bca_util.Tablefmt
@@ -17,9 +20,17 @@ module Table2 = Bca_experiments.Table2
 module Cz_attack = Bca_adversary.Cz_attack
 module Mmr_attack = Bca_adversary.Mmr_attack
 
-let runs = 4000
+let opt_runs : int option ref = ref None
 
-let seed = 20260706L
+let opt_seed : int64 option ref = ref None
+
+let opt_json : string option ref = ref None
+
+let mc_runs () = match !opt_runs with Some r -> r | None -> 4000
+
+let root_seed () = match !opt_seed with Some s -> s | None -> 20260706L
+
+let json_path () = match !opt_json with Some p -> p | None -> "BENCH_netsim.json"
 
 let fmt_mean s = Printf.sprintf "%.2f ± %.2f" s.Summary.mean s.Summary.ci95
 
@@ -31,6 +42,7 @@ let section title =
 (* ------------------------------------------------------------------ *)
 
 let table1 () =
+  let runs = mc_runs () and seed = root_seed () in
   section "Table 1 - crash faults (n=5, t=2): expected broadcasts to termination";
   let strong = Table1.strong ~runs ~seed in
   let weak eps = Table1.weak ~eps ~runs ~seed:(Int64.add seed 1L) in
@@ -89,6 +101,7 @@ let table1 () =
 (* ------------------------------------------------------------------ *)
 
 let table2 () =
+  let runs = mc_runs () and seed = root_seed () in
   section "Table 2 - Byzantine faults (n=4, t=1): expected broadcasts to termination";
   let s1 = Table2.strong_t1 ~runs ~seed:(Int64.add seed 4L) in
   let s2 = Table2.strong_2t1 ~runs ~seed:(Int64.add seed 5L) in
@@ -124,6 +137,7 @@ let table2 () =
 (* ------------------------------------------------------------------ *)
 
 let attack () =
+  let seed = root_seed () in
   section "Appendix A - adaptive liveness attacks (n=4, t=1, 25 rounds per run)";
   let show name (r : Cz_attack.result) =
     [ name;
@@ -159,51 +173,116 @@ let attack () =
 (* Scaling: message complexity.                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* One throughput measurement: [runs] seeded end-to-end executions of one
+   stack, wall-clocked together.  Deliveries/sec is the simulator's hot-path
+   figure of merit; BENCH_netsim.json records the trajectory across PRs. *)
+type throughput = {
+  tp_stack : string;
+  tp_n : int;
+  tp_t : int;
+  tp_runs : int;
+  tp_deliveries : int;
+  tp_wall_s : float;
+}
+
+let measure_throughput ~seed ~runs spec ~name ~cfg =
+  let inputs =
+    Array.init cfg.Types.n (fun i -> if i mod 2 = 0 then Value.V0 else Value.V1)
+  in
+  let deliveries = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for k = 0 to runs - 1 do
+    match Aba.run ~seed:(Int64.add seed (Int64.of_int (100 + k))) spec ~cfg ~inputs with
+    | Ok r -> deliveries := !deliveries + r.Aba.deliveries
+    | Error _ -> ()
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  { tp_stack = name;
+    tp_n = cfg.Types.n;
+    tp_t = cfg.Types.t;
+    tp_runs = runs;
+    tp_deliveries = !deliveries;
+    tp_wall_s = wall }
+
+let dps tp = float_of_int tp.tp_deliveries /. (if tp.tp_wall_s > 0.0 then tp.tp_wall_s else epsilon_float)
+
+let write_throughput_json path ~seed ~runs tps =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"benchmark\": \"netsim-throughput\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"seed\": %Ld,\n  \"runs_per_point\": %d,\n" seed runs);
+  Buffer.add_string buf "  \"scheduler\": \"random (indexed, O(1) per delivery)\",\n";
+  Buffer.add_string buf "  \"stacks\": [\n";
+  List.iteri
+    (fun i tp ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"stack\": %S, \"n\": %d, \"t\": %d, \"runs\": %d, \"deliveries\": %d, \
+            \"wall_s\": %.6f, \"deliveries_per_sec\": %.1f}%s\n"
+           tp.tp_stack tp.tp_n tp.tp_t tp.tp_runs tp.tp_deliveries tp.tp_wall_s (dps tp)
+           (if i = List.length tps - 1 then "" else ",")))
+    tps;
+  Buffer.add_string buf "  ]\n}\n";
+  match open_out path with
+  | oc ->
+    output_string oc (Buffer.contents buf);
+    close_out oc
+  | exception Sys_error msg ->
+    Printf.eprintf "cannot write throughput JSON: %s\n" msg;
+    exit 1
+
 let scaling () =
+  let seed = root_seed () in
+  let runs = match !opt_runs with Some r -> r | None -> 30 in
   section "Message-complexity scaling (random schedule, messages to global termination)";
-  let sample spec ~cfg =
-    let inputs =
-      Array.init cfg.Types.n (fun i -> if i mod 2 = 0 then Value.V0 else Value.V1)
-    in
-    let samples =
-      List.filter_map
-        (fun k ->
-          match Aba.run ~seed:(Int64.add seed (Int64.of_int (100 + k))) spec ~cfg ~inputs with
-          | Ok r -> Some (float_of_int r.Aba.deliveries)
-          | Error _ -> None)
-        (List.init 30 Fun.id)
-    in
-    Summary.of_floats samples
+  let points =
+    List.concat
+      [ List.map (fun (n, t) -> ("ABA (byz/strong)", Aba.Byz_strong, n, t))
+          [ (4, 1); (7, 2); (10, 3); (13, 4) ];
+        List.map (fun (n, t) -> ("ACA (crash/strong)", Aba.Crash_strong, n, t))
+          [ (5, 2); (9, 4); (13, 6) ] ]
+  in
+  let tps =
+    List.map
+      (fun (name, spec, n, t) ->
+        measure_throughput ~seed ~runs spec ~name ~cfg:(Types.cfg ~n ~t))
+      points
   in
   let rows =
-    List.concat
-      [ List.map
-          (fun (n, t) ->
-            let cfg = Types.cfg ~n ~t in
-            let s = sample Aba.Byz_strong ~cfg in
-            [ "ABA (byz/strong)"; string_of_int n;
-              Printf.sprintf "%.0f" s.Summary.mean;
-              Printf.sprintf "%.1f" (s.Summary.mean /. float_of_int (n * n)) ])
-          [ (4, 1); (7, 2); (10, 3); (13, 4) ];
-        List.map
-          (fun (n, t) ->
-            let cfg = Types.cfg ~n ~t in
-            let s = sample Aba.Crash_strong ~cfg in
-            [ "ACA (crash/strong)"; string_of_int n;
-              Printf.sprintf "%.0f" s.Summary.mean;
-              Printf.sprintf "%.1f" (s.Summary.mean /. float_of_int (n * n)) ])
-          [ (5, 2); (9, 4); (13, 6) ] ]
+    List.map
+      (fun tp ->
+        let mean = float_of_int tp.tp_deliveries /. float_of_int tp.tp_runs in
+        [ tp.tp_stack; string_of_int tp.tp_n;
+          Printf.sprintf "%.0f" mean;
+          Printf.sprintf "%.1f" (mean /. float_of_int (tp.tp_n * tp.tp_n)) ])
+      tps
   in
   Tablefmt.print ~header:[ "protocol"; "n"; "messages (mean)"; "messages / n^2" ] rows;
   print_endline
     "(messages / n^2 stays flat: the O(n^2) message complexity the paper\n\
-     claims as asymptotically optimal [16])"
+     claims as asymptotically optimal [16])";
+  print_newline ();
+  section "Simulator throughput (end-to-end runs, random indexed scheduler)";
+  Tablefmt.print
+    ~header:[ "stack"; "n"; "runs"; "deliveries"; "wall (s)"; "deliveries/sec" ]
+    (List.map
+       (fun tp ->
+         [ tp.tp_stack; string_of_int tp.tp_n; string_of_int tp.tp_runs;
+           string_of_int tp.tp_deliveries;
+           Printf.sprintf "%.4f" tp.tp_wall_s;
+           Printf.sprintf "%.0f" (dps tp) ])
+       tps);
+  let path = json_path () in
+  write_throughput_json path ~seed ~runs tps;
+  Printf.printf "\n(throughput written to %s)\n" path
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: design choices DESIGN.md calls out.                       *)
 (* ------------------------------------------------------------------ *)
 
 let ablation () =
+  let seed = root_seed () in
   section "Ablations (n=4, t=1, mixed inputs, fair lockstep, 2000 runs)";
   let module A = Bca_experiments.Ablation in
   let opt_on, opt_off = A.ev_optimizations ~runs:2000 ~seed:(Int64.add seed 9L) in
@@ -277,8 +356,48 @@ let bechamel () =
         estimates)
     tests
 
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [table1|table2|attack|scaling|ablation|bechamel|all]\n\
+    \       [--runs K] [--seed S] [--json PATH]\n";
+  exit 1
+
+let parse_args () =
+  let which = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+      opt_json := Some path;
+      go rest
+    | "--runs" :: k :: rest ->
+      (match int_of_string_opt k with
+      | Some k when k > 0 -> opt_runs := Some k
+      | _ ->
+        Printf.eprintf "--runs expects a positive integer, got %S\n" k;
+        exit 1);
+      go rest
+    | "--seed" :: s :: rest ->
+      (match Int64.of_string_opt s with
+      | Some s -> opt_seed := Some s
+      | None ->
+        Printf.eprintf "--seed expects an integer, got %S\n" s;
+        exit 1);
+      go rest
+    | [ ("--json" | "--runs" | "--seed") ] -> usage ()
+    | arg :: _ when String.length arg >= 2 && String.sub arg 0 2 = "--" ->
+      Printf.eprintf "unknown flag %S\n" arg;
+      usage ()
+    | arg :: rest ->
+      (match !which with
+      | None -> which := Some arg
+      | Some _ -> usage ());
+      go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  match !which with None -> "all" | Some w -> w
+
 let () =
-  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let which = parse_args () in
   match which with
   | "table1" -> table1 ()
   | "table2" -> table2 ()
@@ -295,4 +414,4 @@ let () =
     bechamel ()
   | other ->
     Printf.eprintf "unknown section %S (table1|table2|attack|scaling|ablation|bechamel|all)\n" other;
-    exit 1
+    usage ()

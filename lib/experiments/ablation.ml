@@ -32,8 +32,8 @@ let ev_once ~optimize ~seed =
   float_of_int (run_lockstep make).Lockstep.depth
 
 let ev_optimizations ~runs ~seed =
-  let on = Montecarlo.summarize ~runs ~seed (fun ~seed -> ev_once ~optimize:true ~seed) in
-  let off = Montecarlo.summarize ~runs ~seed (fun ~seed -> ev_once ~optimize:false ~seed) in
+  let on = Mc.summarize ~runs ~seed (fun ~seed -> ev_once ~optimize:true ~seed) in
+  let off = Mc.summarize ~runs ~seed (fun ~seed -> ev_once ~optimize:false ~seed) in
   (on, off)
 
 let plain_once ~seed =
@@ -59,8 +59,8 @@ let graded_once ~seed =
   float_of_int (run_lockstep make).Lockstep.depth
 
 let graded_vs_plain ~runs ~seed =
-  let plain = Montecarlo.summarize ~runs ~seed (fun ~seed -> plain_once ~seed) in
-  let graded = Montecarlo.summarize ~runs ~seed (fun ~seed -> graded_once ~seed) in
+  let plain = Mc.summarize ~runs ~seed (fun ~seed -> plain_once ~seed) in
+  let graded = Mc.summarize ~runs ~seed (fun ~seed -> graded_once ~seed) in
   (plain, graded)
 
 let termination_once ~seed =
@@ -91,4 +91,4 @@ let termination_once ~seed =
   | None -> 0.0
 
 let termination_layer ~runs ~seed =
-  Montecarlo.summarize ~runs ~seed (fun ~seed -> termination_once ~seed)
+  Mc.summarize ~runs ~seed (fun ~seed -> termination_once ~seed)

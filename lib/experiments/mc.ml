@@ -1,0 +1,49 @@
+module Rng = Bca_util.Rng
+module Summary = Bca_util.Summary
+
+(* Per-run seeds are drawn from the root SplitMix64 stream in run order,
+   exactly as the historical sequential driver did.  Parallelism then only
+   changes who evaluates which pre-assigned (index, seed) pair, so results
+   are bit-identical for any domain count. *)
+let run_seeds ~runs ~seed =
+  let rng = Rng.create seed in
+  let seeds = Array.make (max runs 0) 0L in
+  for i = 0 to runs - 1 do
+    seeds.(i) <- Rng.int64 rng
+  done;
+  seeds
+
+let default_domains () =
+  match Sys.getenv_opt "BCA_DOMAINS" with
+  | Some s ->
+    (match int_of_string_opt s with
+    | Some d when d >= 1 -> d
+    | _ -> invalid_arg "BCA_DOMAINS must be a positive integer")
+  | None -> min 8 (Domain.recommended_domain_count ())
+
+let map ?domains ~runs ~seed f =
+  let seeds = run_seeds ~runs ~seed in
+  let domains = min runs (match domains with Some d -> max 1 d | None -> default_domains ()) in
+  let results = Array.make runs None in
+  let fill lo hi =
+    for i = lo to hi do
+      results.(i) <- Some (f ~seed:seeds.(i))
+    done
+  in
+  if domains <= 1 then fill 0 (runs - 1)
+  else begin
+    (* contiguous chunks, one domain each; distinct indices, so the writes
+       into [results] are race-free *)
+    let chunk = (runs + domains - 1) / domains in
+    let workers =
+      List.init domains (fun k ->
+          let lo = k * chunk in
+          let hi = min runs ((k + 1) * chunk) - 1 in
+          Domain.spawn (fun () -> fill lo hi))
+    in
+    List.iter Domain.join workers
+  end;
+  Array.map (function Some x -> x | None -> assert false) results
+
+let summarize ?domains ~runs ~seed f =
+  Summary.of_floats (Array.to_list (map ?domains ~runs ~seed f))

@@ -1,0 +1,30 @@
+(** Parallel Monte-Carlo driver (OCaml 5 domains).
+
+    Replays a seeded experiment [runs] times and aggregates the samples,
+    fanning the work out over [domains] cores.  Determinism is preserved
+    under parallelism: every run's seed is pre-drawn from the root SplitMix64
+    stream in run order (exactly the derivation the sequential driver used),
+    and each domain evaluates a fixed contiguous block of (index, seed)
+    pairs, so the resulting sample vector is bit-identical for {e any} domain
+    count - including [1], which runs inline without spawning.
+
+    The experiment closure must be self-contained: it is called from multiple
+    domains concurrently and must not touch shared mutable state.  Every
+    experiment in this repository already satisfies this (each run builds its
+    own executor, coin, and protocol stacks from the seed). *)
+
+val run_seeds : runs:int -> seed:int64 -> int64 array
+(** The per-run seed vector derived from [seed]; exposed for tests. *)
+
+val default_domains : unit -> int
+(** Worker count used when [?domains] is omitted:
+    [min 8 (Domain.recommended_domain_count ())], overridable with the
+    [BCA_DOMAINS] environment variable. *)
+
+val map : ?domains:int -> runs:int -> seed:int64 -> (seed:int64 -> 'a) -> 'a array
+(** [map ~runs ~seed f] is [| f ~seed:s0; ...; f ~seed:s_{runs-1} |] with the
+    seeds of {!run_seeds}, evaluated on up to [domains] domains. *)
+
+val summarize :
+  ?domains:int -> runs:int -> seed:int64 -> (seed:int64 -> float) -> Bca_util.Summary.t
+(** Summary statistics over [map]. *)

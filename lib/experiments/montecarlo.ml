@@ -1,4 +1,1 @@
-let summarize ~runs ~seed f =
-  let rng = Bca_util.Rng.create seed in
-  let samples = List.init runs (fun _ -> f ~seed:(Bca_util.Rng.int64 rng)) in
-  Bca_util.Summary.of_floats samples
+let summarize ~runs ~seed f = Mc.summarize ~domains:1 ~runs ~seed f

@@ -1,10 +1,15 @@
-(** Monte-Carlo driver: run a seeded experiment many times and summarize.
+(** Sequential Monte-Carlo driver (compatibility shim over {!Mc}).
 
     The paper's tables report {e expected} broadcast counts against the worst
     adversary; each experiment module provides a [run_once] that plays the
     worst-case strategy from the corresponding proof under one seed, and this
-    driver averages the measured critical-path depth over many seeds. *)
+    driver averages the measured critical-path depth over many seeds.
+
+    Kept as the single-domain entry point; new call sites should use
+    {!Mc.summarize}, which parallelizes over domains and returns bit-identical
+    results for the same [seed]. *)
 
 val summarize : runs:int -> seed:int64 -> (seed:int64 -> float) -> Bca_util.Summary.t
 (** [summarize ~runs ~seed f] evaluates [f] on [runs] seeds derived from
-    [seed] by a SplitMix stream and returns the sample summary. *)
+    [seed] by a SplitMix stream and returns the sample summary.  Equivalent
+    to [Mc.summarize ~domains:1]. *)

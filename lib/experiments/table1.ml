@@ -69,7 +69,7 @@ let strong_once ~n ~tf ~seed =
   float_of_int res.Lockstep.depth
 
 let strong ~runs ~seed =
-  Montecarlo.summarize ~runs ~seed (fun ~seed -> strong_once ~n:5 ~tf:2 ~seed)
+  Mc.summarize ~runs ~seed (fun ~seed -> strong_once ~n:5 ~tf:2 ~seed)
 
 let strong_raw ~runs ~seed =
   let rng = Bca_util.Rng.create seed in
@@ -77,7 +77,7 @@ let strong_raw ~runs ~seed =
 
 let strong_n ~n ~runs ~seed =
   let tf = (n - 1) / 2 in
-  Montecarlo.summarize ~runs ~seed (fun ~seed -> strong_once ~n ~tf ~seed)
+  Mc.summarize ~runs ~seed (fun ~seed -> strong_once ~n ~tf ~seed)
 
 (* ------------------------------------------------------------------ *)
 (* Weak coin cell: Theorem 5.2, keep one grade-1 party per round.      *)
@@ -217,19 +217,19 @@ let weak_generic ~n ~tf ~coin_kind ~seed =
   (res, max_commit_round)
 
 let weak ~eps ~runs ~seed =
-  Montecarlo.summarize ~runs ~seed (fun ~seed ->
+  Mc.summarize ~runs ~seed (fun ~seed ->
       let res, _ = weak_generic ~n:5 ~tf:2 ~coin_kind:(Coin.Eps eps) ~seed in
       float_of_int res.Lockstep.depth)
 
 let weak_n ~n ~eps ~runs ~seed =
   let tf = (n - 1) / 2 in
-  Montecarlo.summarize ~runs ~seed (fun ~seed ->
+  Mc.summarize ~runs ~seed (fun ~seed ->
       let res, _ = weak_generic ~n ~tf ~coin_kind:(Coin.Eps eps) ~seed in
       float_of_int res.Lockstep.depth)
 
 let local_rounds ~n ~runs ~seed =
   let tf = (n - 1) / 2 in
-  Montecarlo.summarize ~runs ~seed (fun ~seed ->
+  Mc.summarize ~runs ~seed (fun ~seed ->
       let _, rounds = weak_generic ~n ~tf ~coin_kind:Coin.Local ~seed in
       float_of_int rounds)
 
@@ -318,4 +318,4 @@ let benor_once ~n ~tf ~seed =
 
 let benor_rounds ~n ~runs ~seed =
   let tf = (n - 1) / 2 in
-  Montecarlo.summarize ~runs ~seed (fun ~seed -> benor_once ~n ~tf ~seed)
+  Mc.summarize ~runs ~seed (fun ~seed -> benor_once ~n ~tf ~seed)

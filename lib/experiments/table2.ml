@@ -147,11 +147,11 @@ let strong_t1_once_general ~tf ~seed =
 
 let strong_t1_once ~seed = strong_t1_once_general ~tf:1 ~seed
 
-let strong_t1 ~runs ~seed = Montecarlo.summarize ~runs ~seed strong_t1_once
+let strong_t1 ~runs ~seed = Mc.summarize ~runs ~seed strong_t1_once
 
 let strong_t1_n ~n:n' ~runs ~seed =
   let tf = (n' - 1) / 3 in
-  Montecarlo.summarize ~runs ~seed (fun ~seed -> strong_t1_once_general ~tf ~seed)
+  Mc.summarize ~runs ~seed (fun ~seed -> strong_t1_once_general ~tf ~seed)
 
 (* ------------------------------------------------------------------ *)
 (* Weak-coin: Theorem 5.4's worst case - one grade-1 party per round.  *)
@@ -241,7 +241,7 @@ let weak_t1_once ~eps ~seed =
   float_of_int res.Lockstep.depth
 
 let weak_t1 ~eps ~runs ~seed =
-  Montecarlo.summarize ~runs ~seed (fun ~seed -> weak_t1_once ~eps ~seed)
+  Mc.summarize ~runs ~seed (fun ~seed -> weak_t1_once ~eps ~seed)
 
 (* ------------------------------------------------------------------ *)
 (* Strong-coin, 2t-unpredictable, EVBCA (Appendix G.1): Lemma G.15.    *)
@@ -426,7 +426,7 @@ let strong_2t1_once ~seed =
   assert (res.Lockstep.outcome = `All_terminated);
   float_of_int res.Lockstep.depth
 
-let strong_2t1 ~runs ~seed = Montecarlo.summarize ~runs ~seed strong_2t1_once
+let strong_2t1 ~runs ~seed = Mc.summarize ~runs ~seed strong_2t1_once
 
 (* ------------------------------------------------------------------ *)
 (* Threshold signatures, EVBCA-TSig (Appendix G.2): Lemma G.25.        *)
@@ -479,4 +479,4 @@ let tsig_once ~seed =
   assert (res.Lockstep.outcome = `All_terminated);
   float_of_int res.Lockstep.depth
 
-let tsig ~runs ~seed = Montecarlo.summarize ~runs ~seed tsig_once
+let tsig ~runs ~seed = Mc.summarize ~runs ~seed tsig_once

@@ -7,11 +7,48 @@ type 'm t = {
   nodes : 'm Node.t array;
   alive : bool array;
   pool : 'm envelope Pool.t;
+  (* eid -> current pool slot, so delivery by id and post-choice removal are
+     O(1) instead of a pool scan.  Built lazily on first use (deliver_eid,
+     FIFO or legacy scheduling) and kept in sync from then on; the pure
+     index-picking schedulers never pay for its maintenance. *)
+  mutable slot_of_eid : (int, int) Hashtbl.t option;
+  (* min-eid heap, built lazily on the first FIFO pick and maintained on
+     every enqueue from then on; entries for already-removed eids are left
+     in place and skipped on pop (lazy deletion) *)
+  mutable fifo_heap : Bca_util.Min_heap.t option;
   depths : int array;
   mutable next_eid : int;
   mutable delivered : int;
   mutable observer : ('m envelope -> unit) option;
 }
+
+let add_env t env =
+  Pool.add t.pool env;
+  (match t.slot_of_eid with
+  | Some ix -> Hashtbl.replace ix env.eid (Pool.length t.pool - 1)
+  | None -> ());
+  match t.fifo_heap with
+  | Some h -> Bca_util.Min_heap.push h env.eid
+  | None -> ()
+
+let ensure_slot_index t =
+  match t.slot_of_eid with
+  | Some ix -> ix
+  | None ->
+    let ix = Hashtbl.create (max 64 (2 * Pool.length t.pool)) in
+    Pool.iteri (fun i env -> Hashtbl.replace ix env.eid i) t.pool;
+    t.slot_of_eid <- Some ix;
+    ix
+
+(* O(1): swap-remove slot [i] and re-index the envelope that filled it. *)
+let remove_slot t i =
+  let env = Pool.swap_remove t.pool i in
+  (match t.slot_of_eid with
+  | Some ix ->
+    Hashtbl.remove ix env.eid;
+    if i < Pool.length t.pool then Hashtbl.replace ix (Pool.get t.pool i).eid i
+  | None -> ());
+  env
 
 let enqueue t ~src emits =
   (* injected traffic may carry an out-of-band source id *)
@@ -22,11 +59,11 @@ let enqueue t ~src emits =
       match emit with
       | Node.Broadcast m ->
         for dst = 0 to t.n - 1 do
-          Pool.add t.pool { eid = t.next_eid; src; dst; payload = m; depth };
+          add_env t { eid = t.next_eid; src; dst; payload = m; depth };
           t.next_eid <- t.next_eid + 1
         done
       | Node.Unicast (dst, m) ->
-        Pool.add t.pool { eid = t.next_eid; src; dst; payload = m; depth };
+        add_env t { eid = t.next_eid; src; dst; payload = m; depth };
         t.next_eid <- t.next_eid + 1)
     emits
 
@@ -37,6 +74,8 @@ let create ~n ~make =
       nodes;
       alive = Array.make n true;
       pool = Pool.create ();
+      slot_of_eid = None;
+      fifo_heap = None;
       depths = Array.make n 0;
       next_eid = 0;
       delivered = 0;
@@ -53,6 +92,10 @@ let inflight t = Pool.to_list t.pool
 
 let inflight_count t = Pool.length t.pool
 
+let pool_size t = Pool.length t.pool
+
+let pool_get t i = Pool.get t.pool i
+
 let deliveries t = t.delivered
 
 let crash t pid = t.alive.(pid) <- false
@@ -60,7 +103,14 @@ let crash t pid = t.alive.(pid) <- false
 let crashed t pid = not t.alive.(pid)
 
 let drop_outgoing t ~src ~keep =
-  Pool.filter_in_place t.pool (fun env -> env.src <> src || keep env)
+  Pool.filter_in_place t.pool (fun env -> env.src <> src || keep env);
+  (* slots shifted arbitrarily: rebuild the eid index if it exists.  The
+     FIFO heap keeps its stale entries; lazy deletion skips them. *)
+  match t.slot_of_eid with
+  | None -> ()
+  | Some ix ->
+    Hashtbl.reset ix;
+    Pool.iteri (fun i env -> Hashtbl.replace ix env.eid i) t.pool
 
 let inject t ~src emits = enqueue t ~src emits
 
@@ -74,46 +124,105 @@ let deliver_env t env =
   end
 
 let deliver_eid t eid =
-  match Pool.find_index (fun env -> env.eid = eid) t.pool with
+  match Hashtbl.find_opt (ensure_slot_index t) eid with
   | None -> false
   | Some i ->
-    let env = Pool.swap_remove t.pool i in
+    let env = remove_slot t i in
     deliver_env t env;
     true
 
-type 'm scheduler = delivered:int -> 'm envelope list -> 'm envelope option
+type 'm list_scheduler = delivered:int -> 'm envelope list -> 'm envelope option
 
-let random_scheduler rng ~delivered:_ = function
-  | [] -> None
-  | envs -> Some (Bca_util.Rng.pick rng envs)
+type 'm scheduler =
+  | Random of Bca_util.Rng.t
+  | Fifo
+  | Skewed of { rng : Bca_util.Rng.t; slow : pid list; bias : int }
+  | Indexed of (delivered:int -> 'm t -> int option)
+  | Legacy of 'm list_scheduler
 
-let skewed_scheduler rng ~slow ~bias ~delivered:_ = function
-  | [] -> None
-  | envs ->
-    (* prefer fast-party deliveries; a slow party's messages are picked with
-       probability 1/bias per round of consideration, but remain eligible so
-       every message is eventually delivered *)
-    let fast = List.filter (fun env -> not (List.mem env.dst slow)) envs in
-    if fast <> [] && (List.length fast = List.length envs || Bca_util.Rng.int rng bias <> 0)
-    then Some (Bca_util.Rng.pick rng fast)
-    else Some (Bca_util.Rng.pick rng envs)
+let random_scheduler rng = Random rng
 
-let fifo_scheduler ~delivered:_ = function
-  | [] -> None
-  | envs -> Some (List.fold_left (fun acc env -> if env.eid < acc.eid then env else acc) (List.hd envs) envs)
+let skewed_scheduler rng ~slow ~bias = Skewed { rng; slow; bias }
+
+let fifo_scheduler = Fifo
+
+let indexed_scheduler f = Indexed f
+
+let of_list_scheduler f = Legacy f
+
+let ensure_heap t =
+  match t.fifo_heap with
+  | Some h -> h
+  | None ->
+    let h = Bca_util.Min_heap.create ~capacity:(max 16 (Pool.length t.pool)) () in
+    Pool.iter (fun env -> Bca_util.Min_heap.push h env.eid) t.pool;
+    t.fifo_heap <- Some h;
+    h
+
+(* Pop heap minima until one is still in flight.  Every in-flight eid is in
+   the heap (seeded from the pool at heap creation, pushed on every enqueue
+   after), so this terminates with an index whenever the pool is non-empty. *)
+let rec fifo_pick t ix h =
+  match Bca_util.Min_heap.pop_min h with
+  | None -> None
+  | Some eid ->
+    (match Hashtbl.find_opt ix eid with
+    | Some i -> Some i
+    | None -> fifo_pick t ix h)
+
+(* The skewed pick makes no allocations: one counting pass over the backing
+   array, then a positional pass to the chosen fast envelope.  The RNG draw
+   sequence matches the historical list-based implementation exactly
+   (optionally [int bias], then one [int] over the candidate count). *)
+let skewed_pick t rng ~slow ~bias =
+  let len = Pool.length t.pool in
+  let is_fast i = not (List.mem (Pool.get t.pool i).dst slow) in
+  let nfast = ref 0 in
+  for i = 0 to len - 1 do
+    if is_fast i then incr nfast
+  done;
+  let nfast = !nfast in
+  if nfast > 0 && (nfast = len || Bca_util.Rng.int rng bias <> 0) then begin
+    let k = Bca_util.Rng.int rng nfast in
+    let rec nth_fast i remaining =
+      if is_fast i then if remaining = 0 then i else nth_fast (i + 1) (remaining - 1)
+      else nth_fast (i + 1) remaining
+    in
+    Some (nth_fast 0 k)
+  end
+  else Some (Bca_util.Rng.int rng len)
+
+(* Choose a pool slot.  Callers guarantee the pool is non-empty. *)
+let choose_slot t = function
+  | Random rng -> Some (Bca_util.Rng.int rng (Pool.length t.pool))
+  | Fifo ->
+    let ix = ensure_slot_index t in
+    fifo_pick t ix (ensure_heap t)
+  | Skewed { rng; slow; bias } -> skewed_pick t rng ~slow ~bias
+  | Indexed f ->
+    (match f ~delivered:t.delivered t with
+    | None -> None
+    | Some i ->
+      if i < 0 || i >= Pool.length t.pool then
+        invalid_arg "Async_exec.step: indexed scheduler chose an out-of-range slot";
+      Some i)
+  | Legacy f ->
+    (match f ~delivered:t.delivered (Pool.to_list t.pool) with
+    | None -> None
+    | Some env ->
+      (match Hashtbl.find_opt (ensure_slot_index t) env.eid with
+      | None -> invalid_arg "Async_exec.step: scheduler chose a non-inflight envelope"
+      | Some i -> Some i))
 
 let step t scheduler =
   if Pool.is_empty t.pool then `Empty
   else
-    match scheduler ~delivered:t.delivered (Pool.to_list t.pool) with
+    match choose_slot t scheduler with
     | None -> `Stopped
-    | Some env ->
-      (match Pool.find_index (fun e -> e.eid = env.eid) t.pool with
-      | None -> invalid_arg "Async_exec.step: scheduler chose a non-inflight envelope"
-      | Some i ->
-        let env = Pool.swap_remove t.pool i in
-        deliver_env t env;
-        `Delivered env)
+    | Some i ->
+      let env = remove_slot t i in
+      deliver_env t env;
+      `Delivered env
 
 let all_terminated t =
   let rec loop pid =

@@ -7,6 +7,13 @@
     valid asynchronous execution; safety properties must hold under all of
     them.
 
+    {b Hot path}: schedulers choose a {e slot index} into the in-flight pool
+    rather than receiving a materialized list, so one delivery costs O(1)
+    (random), O(log m) amortized (FIFO, via a min-eid heap) or one
+    allocation-free pass (skewed) instead of the former O(m) list snapshot
+    per step.  The legacy list-based scheduler type is kept behind
+    {!of_list_scheduler} and produces identical delivery traces.
+
     Crash faults are modelled by {!crash}: the party stops receiving and
     emitting.  [crash] can be combined with {!drop_outgoing} to model a party
     that crashed in the middle of a broadcast, so only a subset of recipients
@@ -33,9 +40,19 @@ val create : n:int -> make:(pid -> 'm Node.t * 'm Node.emit list) -> 'm t
 val n : 'm t -> int
 
 val inflight : 'm t -> 'm envelope list
-(** Snapshot of undelivered envelopes (unspecified order). *)
+(** Snapshot of undelivered envelopes (unspecified order).  O(m); meant for
+    attack drivers and tests, not for scheduler hot paths - those should use
+    {!pool_size} and {!pool_get}. *)
 
 val inflight_count : 'm t -> int
+
+val pool_size : 'm t -> int
+(** Number of in-flight envelopes, O(1).  Same as {!inflight_count}. *)
+
+val pool_get : 'm t -> int -> 'm envelope
+(** [pool_get t i] is the in-flight envelope in slot [i], [0 <= i <
+    pool_size t], O(1).  Slots are reshuffled by removals (swap-remove);
+    only the current multiset of envelopes is meaningful across steps. *)
 
 val deliveries : 'm t -> int
 (** Total number of envelopes delivered so far. *)
@@ -56,27 +73,48 @@ val inject : 'm t -> src:pid -> 'm Node.emit list -> unit
     Byzantine attack drivers. *)
 
 val deliver_eid : 'm t -> int -> bool
-(** Deliver the envelope with this id.  Returns [false] if it is no longer in
-    flight.  Delivery to a crashed party consumes the envelope silently. *)
+(** Deliver the envelope with this id, O(1).  Returns [false] if it is no
+    longer in flight.  Delivery to a crashed party consumes the envelope
+    silently. *)
 
-type 'm scheduler = delivered:int -> 'm envelope list -> 'm envelope option
-(** Given the number of deliveries so far and the in-flight pool (never
-    empty), choose the next envelope, or [None] to stop the run early. *)
+type 'm list_scheduler = delivered:int -> 'm envelope list -> 'm envelope option
+(** The legacy scheduler signature: given the number of deliveries so far and
+    a list snapshot of the in-flight pool (never empty), choose the next
+    envelope, or [None] to stop the run early.  Adapt with
+    {!of_list_scheduler}; every call materializes the pool, so prefer
+    {!indexed_scheduler} for new code. *)
+
+type 'm scheduler
+(** A delivery policy.  Built-in policies pick a pool slot directly and are
+    interpreted by the executor without materializing the in-flight set. *)
 
 val random_scheduler : Bca_util.Rng.t -> 'm scheduler
 (** Uniformly random delivery order - the canonical fair adversary used by
-    property tests. *)
+    property tests.  O(1) per pick; draws the same RNG stream (and therefore
+    produces the same delivery trace) as the historical list-based
+    implementation. *)
 
 val skewed_scheduler :
   Bca_util.Rng.t -> slow:(pid list) -> bias:int -> 'm scheduler
 (** A random scheduler that starves the [slow] parties: deliveries to them
     are only considered with probability [1/bias] per pick.  Still fair
     (every message is eventually delivered) - models persistently laggy
-    replicas. *)
+    replicas.  Allocation-free: one counting pass over the pool per pick. *)
 
 val fifo_scheduler : 'm scheduler
 (** Deliver in send order (lowest [eid] first): the most synchronous-looking
-    schedule. *)
+    schedule.  Backed by a min-eid binary heap maintained beside the pool,
+    O(log m) amortized per pick. *)
+
+val indexed_scheduler : (delivered:int -> 'm t -> int option) -> 'm scheduler
+(** Custom policy over the indexed API: inspect the pool via {!pool_size} /
+    {!pool_get} and return a slot in [\[0, pool_size t)], or [None] to stop.
+    The chooser must not mutate the execution. *)
+
+val of_list_scheduler : 'm list_scheduler -> 'm scheduler
+(** Compatibility adapter for legacy list-based schedulers.  The returned
+    envelope is located by id in O(1), but the list snapshot itself costs
+    O(m) per step. *)
 
 val step : 'm t -> 'm scheduler -> [ `Delivered of 'm envelope | `Stopped | `Empty ]
 (** One scheduling decision. *)

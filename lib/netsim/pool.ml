@@ -45,6 +45,11 @@ let iter f t =
     f t.data.(i)
   done
 
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
 let find_index p t =
   let rec loop i = if i >= t.len then None else if p t.data.(i) then Some i else loop (i + 1) in
   loop 0

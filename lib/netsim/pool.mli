@@ -25,4 +25,9 @@ val filter_in_place : 'a t -> ('a -> bool) -> unit
 (** Keep only elements satisfying the predicate. *)
 
 val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+(** [iteri f t] calls [f i x] for every element [x] at slot [i], in slot
+    order - the order {!get} indexes and schedulers see. *)
+
 val find_index : ('a -> bool) -> 'a t -> int option

@@ -1,0 +1,53 @@
+type t = { mutable a : int array; mutable len : int }
+
+let create ?(capacity = 16) () = { a = Array.make (max 1 capacity) 0; len = 0 }
+
+let length h = h.len
+
+let is_empty h = h.len = 0
+
+let grow h =
+  let ndata = Array.make (2 * Array.length h.a) 0 in
+  Array.blit h.a 0 ndata 0 h.len;
+  h.a <- ndata
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.a.(i) < h.a.(parent) then begin
+      let tmp = h.a.(i) in
+      h.a.(i) <- h.a.(parent);
+      h.a.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let push h x =
+  if h.len = Array.length h.a then grow h;
+  h.a.(h.len) <- x;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && h.a.(l) < h.a.(!smallest) then smallest := l;
+  if r < h.len && h.a.(r) < h.a.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = h.a.(i) in
+    h.a.(i) <- h.a.(!smallest);
+    h.a.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let peek_min h = if h.len = 0 then None else Some h.a.(0)
+
+let pop_min h =
+  if h.len = 0 then None
+  else begin
+    let min = h.a.(0) in
+    h.len <- h.len - 1;
+    h.a.(0) <- h.a.(h.len);
+    if h.len > 0 then sift_down h 0;
+    Some min
+  end

@@ -1,0 +1,19 @@
+(** Binary min-heap of ints (array-backed, unboxed).
+
+    Used by the FIFO scheduler of the asynchronous executor to track the
+    minimum in-flight envelope id in O(log m) per operation instead of an
+    O(m) scan.  Supports lazy deletion: callers may leave stale entries in
+    the heap and skip them on pop. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val is_empty : t -> bool
+val push : t -> int -> unit
+
+val peek_min : t -> int option
+(** Smallest element without removing it. *)
+
+val pop_min : t -> int option
+(** Remove and return the smallest element. *)

@@ -1,13 +1,29 @@
-type 'v t = { tbl : (int, 'v list) Hashtbl.t }
+type 'v t = {
+  tbl : (int, 'v list) Hashtbl.t;
+  (* per-value sender tallies, maintained incrementally on every credited
+     message so the threshold tests protocols run after each delivery are
+     O(#distinct values) instead of a fold over all senders.  Protocol values
+     are tiny variants (two or three distinct possibilities), so an
+     association list beats any hashed structure here. *)
+  mutable tallies : ('v * int ref) list;
+}
 
-let create () = { tbl = Hashtbl.create 16 }
+let create () = { tbl = Hashtbl.create 16; tallies = [] }
 
-let copy t = { tbl = Hashtbl.copy t.tbl }
+let copy t =
+  { tbl = Hashtbl.copy t.tbl;
+    tallies = List.map (fun (v, r) -> (v, ref !r)) t.tallies }
+
+let bump t v =
+  match List.assoc_opt v t.tallies with
+  | Some r -> incr r
+  | None -> t.tallies <- (v, ref 1) :: t.tallies
 
 let add_first t ~pid v =
   if Hashtbl.mem t.tbl pid then false
   else begin
     Hashtbl.replace t.tbl pid [ v ];
+    bump t v;
     true
   end
 
@@ -15,31 +31,28 @@ let add_value t ~pid v =
   match Hashtbl.find_opt t.tbl pid with
   | None ->
     Hashtbl.replace t.tbl pid [ v ];
+    bump t v;
     true
   | Some vs ->
     if List.mem v vs then false
     else begin
       Hashtbl.replace t.tbl pid (v :: vs);
+      bump t v;
       true
     end
 
 let count t v =
-  Hashtbl.fold (fun _ vs acc -> if List.mem v vs then acc + 1 else acc) t.tbl 0
+  match List.assoc_opt v t.tallies with Some r -> !r | None -> 0
 
 let count_if t p =
   Hashtbl.fold (fun _ vs acc -> if List.exists p vs then acc + 1 else acc) t.tbl 0
 
 let senders t = Hashtbl.length t.tbl
 
-let values t =
-  Hashtbl.fold
-    (fun _ vs acc -> List.fold_left (fun acc v -> if List.mem v acc then acc else v :: acc) acc vs)
-    t.tbl []
+let values t = List.map fst t.tallies
 
 let all_equal t =
-  match values t with
-  | [ v ] -> Some v
-  | _ -> None
+  match t.tallies with [ (v, _) ] -> Some v | _ -> None
 
 let senders_of t v =
   Hashtbl.fold (fun pid vs acc -> if List.mem v vs then pid :: acc else acc) t.tbl []

@@ -25,6 +25,21 @@ let int t bound =
   let r = Int64.to_int (Int64.logand (int64 t) mask) in
   r mod bound
 
+(* Rejection sampling: accept draws below the largest multiple of [bound]
+   representable in 63 bits, so every residue is equally likely.  [int] keeps
+   its (negligibly) biased modulo reduction because seeded expectations all
+   over the test suite depend on its exact output stream. *)
+let int_unbiased t bound =
+  assert (bound > 0);
+  let b = Int64.of_int bound in
+  let lim = Int64.mul (Int64.div (Int64.of_int max_int) b) b in
+  let mask = Int64.of_int max_int in
+  let rec draw () =
+    let r = Int64.logand (int64 t) mask in
+    if r < lim then Int64.to_int (Int64.rem r b) else draw ()
+  in
+  draw ()
+
 let bool t = Int64.logand (int64 t) 1L = 1L
 
 let float t =
@@ -34,6 +49,11 @@ let float t =
 let pick t = function
   | [] -> invalid_arg "Rng.pick: empty list"
   | xs -> List.nth xs (int t (List.length xs))
+
+let pick_arr t a =
+  let len = Array.length a in
+  if len = 0 then invalid_arg "Rng.pick_arr: empty array";
+  a.(int t len)
 
 let shuffle t xs =
   let a = Array.of_list xs in

@@ -26,7 +26,16 @@ val int64 : t -> int64
 (** Next raw 64-bit output. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive.
+    Reduces modulo [bound], so bounds that are not a power of two carry a
+    bias of at most [bound/2^63] - negligible, but kept for stream
+    compatibility with existing seeded expectations.  New code that needs
+    exact uniformity should use {!int_unbiased}. *)
+
+val int_unbiased : t -> int -> int
+(** [int_unbiased t bound] is exactly uniform in [\[0, bound)] via rejection
+    sampling.  May consume more than one raw output (with probability
+    [< bound/2^63] per draw); its stream therefore differs from {!int}. *)
 
 val bool : t -> bool
 (** Uniform coin flip. *)
@@ -35,7 +44,14 @@ val float : t -> float
 (** Uniform in [\[0, 1)], with 53 bits of precision. *)
 
 val pick : t -> 'a list -> 'a
-(** [pick t xs] selects a uniformly random element. [xs] must be non-empty. *)
+(** [pick t xs] selects a uniformly random element. [xs] must be non-empty.
+    O(n) in the list length ([List.nth]); hot paths over arrays should use
+    {!pick_arr}. *)
+
+val pick_arr : t -> 'a array -> 'a
+(** [pick_arr t a] selects a uniformly random element in O(1).  [a] must be
+    non-empty.  Consumes the stream exactly like [pick] on a list of the
+    same length. *)
 
 val shuffle : t -> 'a list -> 'a list
 (** [shuffle t xs] is a uniformly random permutation of [xs]

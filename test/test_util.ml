@@ -56,6 +56,61 @@ let test_rng_shuffle_permutation () =
   let ys = Rng.shuffle rng xs in
   Alcotest.(check (list int)) "same multiset" xs (List.sort compare ys)
 
+let test_rng_pick_arr_matches_pick () =
+  (* pick_arr must consume the stream exactly like pick on the same data *)
+  let a = Rng.create 77L and b = Rng.create 77L in
+  let xs = List.init 23 Fun.id in
+  let arr = Array.of_list xs in
+  for _ = 1 to 200 do
+    Alcotest.(check int) "same element" (Rng.pick a xs) (Rng.pick_arr b arr)
+  done
+
+let test_rng_int_unbiased_bounds () =
+  let rng = Rng.create 31L in
+  List.iter
+    (fun bound ->
+      for _ = 1 to 500 do
+        let x = Rng.int_unbiased rng bound in
+        Alcotest.(check bool) "in range" true (x >= 0 && x < bound)
+      done)
+    [ 1; 2; 7; 17; 1 lsl 30; max_int ]
+
+let test_rng_int_unbiased_uniform () =
+  (* 3 buckets, 30k draws: each bucket within 5% of a third *)
+  let rng = Rng.create 5L in
+  let counts = Array.make 3 0 in
+  let total = 30_000 in
+  for _ = 1 to total do
+    let k = Rng.int_unbiased rng 3 in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = float_of_int c /. float_of_int total in
+      Alcotest.(check bool) "roughly a third" true (frac > 0.30 && frac < 0.37))
+    counts
+
+let test_min_heap () =
+  let module H = Bca_util.Min_heap in
+  let h = H.create () in
+  Alcotest.(check bool) "empty" true (H.is_empty h);
+  List.iter (H.push h) [ 5; 1; 9; 3; 7; 0; 8; 2; 6; 4 ];
+  Alcotest.(check int) "length" 10 (H.length h);
+  Alcotest.(check (option int)) "peek" (Some 0) (H.peek_min h);
+  let drained = List.init 10 (fun _ -> Option.get (H.pop_min h)) in
+  Alcotest.(check (list int)) "sorted drain" (List.init 10 Fun.id) drained;
+  Alcotest.(check (option int)) "drained" None (H.pop_min h)
+
+let heap_model =
+  QCheck2.Test.make ~count:300 ~name:"min-heap drains sorted"
+    QCheck2.Gen.(list (int_bound 1000))
+    (fun xs ->
+      let module H = Bca_util.Min_heap in
+      let h = H.create ~capacity:1 () in
+      List.iter (H.push h) xs;
+      let rec drain acc = match H.pop_min h with None -> List.rev acc | Some x -> drain (x :: acc) in
+      drain [] = List.sort compare xs)
+
 let test_value_negate () =
   Alcotest.(check bool) "negate 0" true (Value.equal (Value.negate Value.V0) Value.V1);
   Alcotest.(check bool) "negate 1" true (Value.equal (Value.negate Value.V1) Value.V0);
@@ -175,7 +230,13 @@ let () =
           Alcotest.test_case "bool balance" `Quick test_rng_bool_balance;
           Alcotest.test_case "float range" `Quick test_rng_float_range;
           Alcotest.test_case "split independent" `Quick test_rng_split_independent;
-          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation ] );
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "pick_arr matches pick" `Quick test_rng_pick_arr_matches_pick;
+          Alcotest.test_case "int_unbiased bounds" `Quick test_rng_int_unbiased_bounds;
+          Alcotest.test_case "int_unbiased uniform" `Quick test_rng_int_unbiased_uniform ] );
+      ( "min_heap",
+        [ Alcotest.test_case "basic" `Quick test_min_heap;
+          QCheck_alcotest.to_alcotest heap_model ] );
       ( "value",
         [ Alcotest.test_case "negate" `Quick test_value_negate;
           Alcotest.test_case "bool roundtrip" `Quick test_value_bool_roundtrip ] );
