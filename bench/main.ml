@@ -3,12 +3,14 @@
    scaling sweep with a simulator-throughput benchmark (JSON-reported), and
    times the simulator stacks with Bechamel.
 
-   Usage: main.exe [table1|table2|attack|scaling|ablation|bechamel|all]
+   Usage: main.exe [table1|table2|attack|scaling|chaos|ablation|bechamel|all]
                    [--runs K] [--seed S] [--json PATH]
    Default: all.  Monte-Carlo run counts are chosen so the full harness
    completes in well under a minute; EXPERIMENTS.md records a reference
-   output.  The scaling section always writes per-stack throughput
-   (deliveries/sec and wall-clock) to PATH, default BENCH_netsim.json. *)
+   output.  The scaling and chaos sections write per-stack throughput
+   (deliveries/sec and wall-clock) to PATH, default BENCH_netsim.json; the
+   chaos section exits non-zero on any safety violation, so it doubles as
+   the CI chaos smoke job. *)
 
 module Summary = Bca_util.Summary
 module Tablefmt = Bca_util.Tablefmt
@@ -19,6 +21,7 @@ module Table1 = Bca_experiments.Table1
 module Table2 = Bca_experiments.Table2
 module Cz_attack = Bca_adversary.Cz_attack
 module Mmr_attack = Bca_adversary.Mmr_attack
+module Campaign = Bca_experiments.Chaos_campaign
 
 let opt_runs : int option ref = ref None
 
@@ -206,7 +209,24 @@ let measure_throughput ~seed ~runs spec ~name ~cfg =
 
 let dps tp = float_of_int tp.tp_deliveries /. (if tp.tp_wall_s > 0.0 then tp.tp_wall_s else epsilon_float)
 
-let write_throughput_json path ~seed ~runs tps =
+(* One chaos-campaign measurement: the stack's throughput under randomized
+   fault plans plus the campaign's outcome split. *)
+type chaos_row = {
+  cz_tp : throughput;
+  cz_committed : int;
+  cz_stalled : int;
+  cz_failures : int;
+}
+
+(* The scaling and chaos sections both contribute to the JSON report; they
+   accumulate here and the file is written once, after all sections ran. *)
+let scaling_acc : throughput list ref = ref []
+
+let chaos_acc : chaos_row list ref = ref []
+
+let chaos_failed = ref false
+
+let write_throughput_json path ~seed ~runs ~chaos tps =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"benchmark\": \"netsim-throughput\",\n";
@@ -223,6 +243,20 @@ let write_throughput_json path ~seed ~runs tps =
            tp.tp_stack tp.tp_n tp.tp_t tp.tp_runs tp.tp_deliveries tp.tp_wall_s (dps tp)
            (if i = List.length tps - 1 then "" else ",")))
     tps;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"chaos\": [\n";
+  List.iteri
+    (fun i row ->
+      let tp = row.cz_tp in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"stack\": %S, \"n\": %d, \"t\": %d, \"runs\": %d, \"committed\": %d, \
+            \"stalled\": %d, \"safety_failures\": %d, \"deliveries\": %d, \
+            \"wall_s\": %.6f, \"deliveries_per_sec\": %.1f}%s\n"
+           tp.tp_stack tp.tp_n tp.tp_t tp.tp_runs row.cz_committed row.cz_stalled
+           row.cz_failures tp.tp_deliveries tp.tp_wall_s (dps tp)
+           (if i = List.length chaos - 1 then "" else ",")))
+    chaos;
   Buffer.add_string buf "  ]\n}\n";
   match open_out path with
   | oc ->
@@ -273,9 +307,74 @@ let scaling () =
            Printf.sprintf "%.4f" tp.tp_wall_s;
            Printf.sprintf "%.0f" (dps tp) ])
        tps);
-  let path = json_path () in
-  write_throughput_json path ~seed ~runs tps;
-  Printf.printf "\n(throughput written to %s)\n" path
+  scaling_acc := tps
+
+(* ------------------------------------------------------------------ *)
+(* Chaos campaign: randomized fault plans against the six stacks.       *)
+(* ------------------------------------------------------------------ *)
+
+let chaos () =
+  let seed = root_seed () in
+  let runs = match !opt_runs with Some r -> r | None -> 40 in
+  section
+    (Printf.sprintf
+       "Chaos campaign - randomized drop/dup/partition/crash plans (%d plans per stack)"
+       runs);
+  let rows =
+    List.mapi
+      (fun i (name, spec, cfg) ->
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Campaign.run_stack ~name ~spec ~cfg ~runs
+            ~seed:(Int64.add seed (Int64.of_int i))
+            ()
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        ( r,
+          { cz_tp =
+              { tp_stack = name;
+                tp_n = cfg.Types.n;
+                tp_t = cfg.Types.t;
+                tp_runs = runs;
+                tp_deliveries = r.Campaign.total_deliveries;
+                tp_wall_s = wall };
+            cz_committed = r.Campaign.committed;
+            cz_stalled = r.Campaign.stalled;
+            cz_failures = List.length r.Campaign.failures } ))
+      Campaign.six_stacks
+  in
+  Tablefmt.print
+    ~header:
+      [ "stack"; "plans"; "committed"; "stalled"; "safety fails"; "deliveries";
+        "wall (s)"; "deliveries/sec" ]
+    (List.map
+       (fun ((r : Campaign.stack_report), row) ->
+         let tp = row.cz_tp in
+         [ r.Campaign.stack; string_of_int r.Campaign.runs;
+           string_of_int r.Campaign.committed; string_of_int r.Campaign.stalled;
+           string_of_int row.cz_failures; string_of_int tp.tp_deliveries;
+           Printf.sprintf "%.4f" tp.tp_wall_s; Printf.sprintf "%.0f" (dps tp) ])
+       rows);
+  print_endline
+    "(stalled runs dropped an honest message within the fairness budget -\n\
+     a legal liveness loss for protocols without retransmission; any\n\
+     safety failure below is a bug and fails this process)";
+  List.iter
+    (fun ((r : Campaign.stack_report), _) ->
+      if r.Campaign.failures <> [] then begin
+        chaos_failed := true;
+        Format.printf "@.%a@." Campaign.pp_stack_report r
+      end)
+    rows;
+  chaos_acc := List.map snd rows
+
+let flush_json () =
+  if !scaling_acc <> [] || !chaos_acc <> [] then begin
+    let path = json_path () in
+    let runs = match !opt_runs with Some r -> r | None -> 30 in
+    write_throughput_json path ~seed:(root_seed ()) ~runs ~chaos:!chaos_acc !scaling_acc;
+    Printf.printf "\n(throughput written to %s)\n" path
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: design choices DESIGN.md calls out.                       *)
@@ -358,7 +457,7 @@ let bechamel () =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [table1|table2|attack|scaling|ablation|bechamel|all]\n\
+    "usage: main.exe [table1|table2|attack|scaling|chaos|ablation|bechamel|all]\n\
     \       [--runs K] [--seed S] [--json PATH]\n";
   exit 1
 
@@ -398,11 +497,12 @@ let parse_args () =
 
 let () =
   let which = parse_args () in
-  match which with
+  (match which with
   | "table1" -> table1 ()
   | "table2" -> table2 ()
   | "attack" -> attack ()
   | "scaling" -> scaling ()
+  | "chaos" -> chaos ()
   | "ablation" -> ablation ()
   | "bechamel" -> bechamel ()
   | "all" ->
@@ -410,8 +510,13 @@ let () =
     table2 ();
     attack ();
     scaling ();
+    chaos ();
     ablation ();
     bechamel ()
   | other ->
-    Printf.eprintf "unknown section %S (table1|table2|attack|scaling|ablation|bechamel|all)\n" other;
-    usage ()
+    Printf.eprintf
+      "unknown section %S (table1|table2|attack|scaling|chaos|ablation|bechamel|all)\n"
+      other;
+    usage ());
+  flush_json ();
+  if !chaos_failed then exit 1

@@ -1,0 +1,352 @@
+module Async = Bca_netsim.Async_exec
+module Rng = Bca_util.Rng
+
+type pid = int
+
+type link = { p_drop : float; p_dup : float; p_delay : float }
+
+let reliable = { p_drop = 0.; p_dup = 0.; p_delay = 0. }
+
+type partition = { from_delivery : int; heal_delivery : int; side : bool array }
+
+type crash = { victim : pid; at_delivery : int; last_recipients : pid list }
+
+type plan = {
+  chaos_seed : int64;
+  n : int;
+  default_link : link;
+  link_overrides : ((pid * pid) * link) list;
+  partitions : partition list;
+  crashes : crash list;
+  corrupt : pid list;
+  p_corrupt : float;
+  fairness : int;
+}
+
+let silent ~n =
+  { chaos_seed = 0L;
+    n;
+    default_link = reliable;
+    link_overrides = [];
+    partitions = [];
+    crashes = [];
+    corrupt = [];
+    p_corrupt = 0.;
+    fairness = 0 }
+
+let faulty_parties plan =
+  List.sort_uniq compare (List.map (fun c -> c.victim) plan.crashes @ plan.corrupt)
+
+(* ------------------------------------------------------------------ *)
+(* Random plan generation                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Scales chosen so a typical agreement run (hundreds to a few thousand
+   deliveries at n <= 13) meets every scheduled event, yet drops stay rare
+   enough that most runs still terminate. *)
+let gen rng ~n ~max_faults ~allow_corrupt =
+  let chaos_seed = Rng.int64 rng in
+  let pfloat hi = float_of_int (Rng.int rng 1000) /. 1000.0 *. hi in
+  let default_link =
+    { p_drop = pfloat 0.01; p_dup = pfloat 0.05; p_delay = pfloat 0.3 }
+  in
+  let distinct_pids k =
+    let rec draw acc k =
+      if k = 0 then acc
+      else
+        let p = Rng.int rng n in
+        if List.mem p acc then draw acc k else draw (p :: acc) (k - 1)
+    in
+    draw [] (min k n)
+  in
+  let link_overrides =
+    List.init (Rng.int rng 4) (fun _ ->
+        let src = Rng.int rng n and dst = Rng.int rng n in
+        ((src, dst), { p_drop = pfloat 0.15; p_dup = pfloat 0.3; p_delay = pfloat 0.8 }))
+  in
+  let partitions =
+    List.init (Rng.int rng 3) (fun _ ->
+        let from_delivery = Rng.int rng 400 in
+        let side = Array.init n (fun _ -> Rng.bool rng) in
+        (* never a trivial cut: force at least one party on each side *)
+        side.(0) <- true;
+        side.(n - 1) <- false;
+        { from_delivery;
+          heal_delivery = from_delivery + 30 + Rng.int rng 370;
+          side })
+  in
+  let faulty = distinct_pids (if max_faults <= 0 then 0 else Rng.int rng (max_faults + 1)) in
+  let corrupt, crash_victims =
+    if allow_corrupt then List.partition (fun _ -> Rng.bool rng) faulty else ([], faulty)
+  in
+  let crashes =
+    List.map
+      (fun victim ->
+        { victim;
+          at_delivery = Rng.int rng 500;
+          last_recipients = List.filter (fun _ -> Rng.bool rng) (List.init n Fun.id) })
+      crash_victims
+  in
+  { chaos_seed;
+    n;
+    default_link;
+    link_overrides;
+    partitions;
+    crashes;
+    corrupt;
+    p_corrupt = (if corrupt = [] then 0. else 0.05 +. pfloat 0.25);
+    fairness = Rng.int rng 3 }
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let pp_link ppf l =
+  Format.fprintf ppf "drop=%.3f dup=%.3f delay=%.3f" l.p_drop l.p_dup l.p_delay
+
+let pp ppf plan =
+  Format.fprintf ppf "@[<v>chaos plan (n=%d, seed=%Ld):" plan.n plan.chaos_seed;
+  Format.fprintf ppf "@,  default link: %a; fairness budget %d/link" pp_link
+    plan.default_link plan.fairness;
+  List.iter
+    (fun ((s, d), l) -> Format.fprintf ppf "@,  link %d->%d: %a" s d pp_link l)
+    plan.link_overrides;
+  List.iter
+    (fun p ->
+      let side b =
+        Array.to_list p.side
+        |> List.mapi (fun i x -> if x = b then Some i else None)
+        |> List.filter_map Fun.id
+        |> List.map string_of_int |> String.concat ","
+      in
+      Format.fprintf ppf "@,  partition [%d, %d): {%s} | {%s}" p.from_delivery
+        p.heal_delivery (side true) (side false))
+    plan.partitions;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "@,  crash p%d at delivery %d (last recipients: %s)" c.victim
+        c.at_delivery
+        (String.concat "," (List.map string_of_int c.last_recipients)))
+    plan.crashes;
+  if plan.corrupt <> [] then
+    Format.fprintf ppf "@,  corrupt parties {%s} at rate %.3f"
+      (String.concat "," (List.map string_of_int plan.corrupt))
+      plan.p_corrupt;
+  Format.fprintf ppf "@]"
+
+let to_string plan = Format.asprintf "%a" pp plan
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type 'm t = {
+  plan : plan;
+  exec : 'm Async.t;
+  rng : Rng.t;
+  links : link array;  (* n*n, row-major [src * n + dst] *)
+  crash_done : bool array;
+  healed : bool array;  (* per partition: healed early *)
+  budget : int array;  (* n*n remaining honest-traffic drop+dup events *)
+  corrupt_mask : bool array;
+  mutable drops : int;
+  mutable dups : int;
+  mutable corruptions : int;
+  mutable forced_heals : int;
+}
+
+let start plan exec =
+  if Async.n exec <> plan.n then invalid_arg "Chaos.start: plan.n <> execution n";
+  let n = plan.n in
+  let links = Array.make (n * n) plan.default_link in
+  List.iter
+    (fun ((src, dst), l) ->
+      if src >= 0 && src < n && dst >= 0 && dst < n then links.((src * n) + dst) <- l)
+    plan.link_overrides;
+  let corrupt_mask = Array.make n false in
+  List.iter (fun p -> if p >= 0 && p < n then corrupt_mask.(p) <- true) plan.corrupt;
+  { plan;
+    exec;
+    rng = Rng.create plan.chaos_seed;
+    links;
+    crash_done = Array.make (List.length plan.crashes) false;
+    healed = Array.make (List.length plan.partitions) false;
+    budget = Array.make (n * n) plan.fairness;
+    corrupt_mask;
+    drops = 0;
+    dups = 0;
+    corruptions = 0;
+    forced_heals = 0 }
+
+let link_of t ~src ~dst =
+  if src >= 0 && src < t.plan.n then t.links.((src * t.plan.n) + dst)
+  else t.plan.default_link
+
+(* Unbounded drop/dup is only legal against traffic of faulty parties:
+   already-crashed senders and corrupt (Byzantine) senders.  Out-of-band
+   sources (injected adversary traffic) are faulty by construction. *)
+let faulty_src t src =
+  src < 0 || src >= t.plan.n || t.corrupt_mask.(src) || Async.crashed t.exec src
+
+(* Spend one unit of the link's fairness budget, or fail. *)
+let spend_budget t ~src ~dst =
+  let i = (src * t.plan.n) + dst in
+  if t.budget.(i) > 0 then begin
+    t.budget.(i) <- t.budget.(i) - 1;
+    true
+  end
+  else false
+
+let may_unfair t ~src ~dst =
+  faulty_src t src || spend_budget t ~src ~dst
+
+let fire_due_crashes t =
+  let delivered = Async.deliveries t.exec in
+  List.iteri
+    (fun i c ->
+      if (not t.crash_done.(i)) && delivered >= c.at_delivery then begin
+        t.crash_done.(i) <- true;
+        Async.crash t.exec c.victim;
+        Async.drop_outgoing t.exec ~src:c.victim ~keep:(fun env ->
+            List.mem env.Async.dst c.last_recipients)
+      end)
+    t.plan.crashes
+
+let crosses_cut t (env : _ Async.envelope) =
+  let delivered = Async.deliveries t.exec in
+  let src_in_range = env.src >= 0 && env.src < t.plan.n in
+  src_in_range
+  && List.exists Fun.id
+       (List.mapi
+          (fun i p ->
+            (not t.healed.(i))
+            && delivered >= p.from_delivery
+            && delivered < p.heal_delivery
+            && p.side.(env.src) <> p.side.(env.dst))
+          t.plan.partitions)
+
+(* Uniform reservoir pick over the partition-eligible slots: one pass, no
+   allocation.  Draws one [Rng.int] per eligible slot, so the plan's event
+   stream (and thus the whole run) is a pure function of the seed. *)
+let pick_eligible t =
+  let len = Async.pool_size t.exec in
+  let chosen = ref (-1) in
+  let count = ref 0 in
+  for i = 0 to len - 1 do
+    if not (crosses_cut t (Async.pool_get t.exec i)) then begin
+      incr count;
+      if Rng.int t.rng !count = 0 then chosen := i
+    end
+  done;
+  if !count = 0 then None else Some !chosen
+
+(* Everything in flight crosses an active cut: heal the earliest active
+   partition so the execution keeps its asynchronous-model guarantee that
+   every message is eventually delivered. *)
+let force_heal t =
+  let delivered = Async.deliveries t.exec in
+  let rec earliest i best =
+    match List.nth_opt t.plan.partitions i with
+    | None -> best
+    | Some p ->
+      let active =
+        (not t.healed.(i)) && delivered >= p.from_delivery && delivered < p.heal_delivery
+      in
+      let best =
+        match best with
+        | Some (_, bp) when active && p.from_delivery >= bp.from_delivery -> best
+        | _ when active -> Some (i, p)
+        | _ -> best
+      in
+      earliest (i + 1) best
+  in
+  match earliest 0 None with
+  | Some (i, _) ->
+    t.healed.(i) <- true;
+    t.forced_heals <- t.forced_heals + 1;
+    true
+  | None -> false
+
+let scheduler t =
+  Async.indexed_scheduler (fun ~delivered:_ _ ->
+      match pick_eligible t with
+      | Some i -> Some i
+      | None -> if force_heal t then pick_eligible t else None)
+
+(* Corrupt one envelope of a faulty sender: either redirect it to a random
+   party or swap its payload with another in-flight message of the same
+   sender (a type-agnostic equivocation).  Returns true if anything
+   changed. *)
+let corrupt_env t (env : _ Async.envelope) =
+  if Rng.bool t.rng then Async.redirect_eid t.exec env.eid ~dst:(Rng.int t.rng t.plan.n)
+  else begin
+    let len = Async.pool_size t.exec in
+    let other = ref None in
+    let count = ref 0 in
+    for i = 0 to len - 1 do
+      let e = Async.pool_get t.exec i in
+      if e.Async.src = env.src && e.Async.eid <> env.eid then begin
+        incr count;
+        if Rng.int t.rng !count = 0 then other := Some e.Async.eid
+      end
+    done;
+    match !other with
+    | Some eid -> Async.swap_payloads t.exec env.eid eid
+    | None -> false
+  end
+
+type event = [ `Delivered | `Dropped | `Empty ]
+
+let rec step t : event =
+  fire_due_crashes t;
+  if Async.pool_size t.exec = 0 then `Empty
+  else
+    match pick_eligible t with
+    | None -> if force_heal t then step t else `Empty
+    | Some slot ->
+      let env = Async.pool_get t.exec slot in
+      (* extra delay: prefer a different eligible message this step *)
+      let env =
+        let l = link_of t ~src:env.Async.src ~dst:env.Async.dst in
+        if l.p_delay > 0. && Rng.float t.rng < l.p_delay then
+          match pick_eligible t with
+          | Some slot' -> Async.pool_get t.exec slot'
+          | None -> env
+        else env
+      in
+      let src = env.Async.src and dst = env.Async.dst in
+      let l = link_of t ~src ~dst in
+      if l.p_drop > 0. && Rng.float t.rng < l.p_drop && may_unfair t ~src ~dst then begin
+        ignore (Async.drop_eid t.exec env.Async.eid : _ option);
+        t.drops <- t.drops + 1;
+        `Dropped
+      end
+      else begin
+        if l.p_dup > 0. && Rng.float t.rng < l.p_dup && may_unfair t ~src ~dst then
+          if Async.duplicate_eid t.exec env.Async.eid then t.dups <- t.dups + 1;
+        if
+          src >= 0 && src < t.plan.n
+          && t.corrupt_mask.(src)
+          && t.plan.p_corrupt > 0.
+          && Rng.float t.rng < t.plan.p_corrupt
+        then if corrupt_env t env then t.corruptions <- t.corruptions + 1;
+        ignore (Async.deliver_eid t.exec env.Async.eid : bool);
+        `Delivered
+      end
+
+let run ?(max_deliveries = 1_000_000) ?(stop_when = fun _ -> false) t =
+  let rec loop () =
+    if Async.all_terminated t.exec then `All_terminated
+    else if stop_when t.exec then `Stopped
+    else if Async.deliveries t.exec >= max_deliveries then `Limit
+    else
+      match step t with
+      | `Empty -> `Quiescent
+      | `Delivered | `Dropped -> loop ()
+  in
+  loop ()
+
+type stats = { drops : int; dups : int; corruptions : int; forced_heals : int }
+
+let stats (t : _ t) =
+  { drops = t.drops; dups = t.dups; corruptions = t.corruptions; forced_heals = t.forced_heals }

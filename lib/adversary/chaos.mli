@@ -1,0 +1,129 @@
+(** Declarative, seeded fault plans: the chaos layer.
+
+    A {!plan} is a single value describing everything an execution-level
+    adversary may do to a run, beyond reordering (which schedulers already
+    model): per-link message drop / duplication / extra-delay
+    probabilities, scheduled network partitions with heal points, a crash
+    schedule, and corruption of faulty parties' traffic.  Plans are plain
+    data - they can be generated from a seed ({!gen}), printed
+    ({!to_string}) into a violation report, and replayed exactly.
+
+    {b Fault model honesty.}  The paper assumes reliable authenticated
+    links between honest parties; a fault layer that silently voids that
+    assumption would "find" violations that are artifacts of a different
+    model.  The chaos layer therefore gates itself:
+
+    - {e Partitions} only delay messages and always heal (at
+      [heal_delivery], or early if every in-flight message crosses the
+      cut), so they stay inside the adversary's legal delay power.
+    - {e Drops and duplicates} are unrestricted only against faulty
+      parties' traffic (crashed parties and [corrupt] parties).  Against
+      honest links they consume a per-link budget of [fairness] events;
+      once exhausted, the link is reliable again.  Bounded drops model
+      omission glitches, but because the protocols here never retransmit,
+      a dropped honest message can legally void {e liveness} (not safety):
+      campaigns account stalls separately.
+    - {e Corruption} (payload swaps between one sender's messages, and
+      redirects) applies only to [corrupt] parties - it makes those
+      parties Byzantine, so campaigns must count them against [t] and
+      exclude them from honest-party checks. *)
+
+type pid = int
+
+type link = {
+  p_drop : float;  (** per-pick probability of dropping the message *)
+  p_dup : float;  (** per-delivery probability of re-enqueuing a copy *)
+  p_delay : float;  (** per-pick probability of preferring another message *)
+}
+
+val reliable : link
+(** [{ p_drop = 0.; p_dup = 0.; p_delay = 0. }]. *)
+
+type partition = {
+  from_delivery : int;  (** activates when this many deliveries happened *)
+  heal_delivery : int;  (** heals at this delivery count (exclusive) *)
+  side : bool array;  (** [side.(pid)]: which side of the cut [pid] is on *)
+}
+
+type crash = {
+  victim : pid;
+  at_delivery : int;  (** crash once this many deliveries happened *)
+  last_recipients : pid list;
+      (** in-flight messages of the victim survive only towards these
+          parties: a crash in mid-broadcast *)
+}
+
+type plan = {
+  chaos_seed : int64;  (** seed of the plan's own event stream *)
+  n : int;
+  default_link : link;
+  link_overrides : ((pid * pid) * link) list;  (** (src, dst) exceptions *)
+  partitions : partition list;
+  crashes : crash list;
+  corrupt : pid list;  (** parties whose traffic may be corrupted *)
+  p_corrupt : float;  (** per-delivery corruption probability for them *)
+  fairness : int;  (** per-link drop+dup budget against honest traffic *)
+}
+
+val silent : n:int -> plan
+(** The no-fault plan: chaos reduces to a uniformly random fair schedule
+    driven by the plan's seed. *)
+
+val faulty_parties : plan -> pid list
+(** Sorted union of crash victims and corrupt parties - the set a campaign
+    must keep within the protocol's resilience bound [t]. *)
+
+val gen :
+  Bca_util.Rng.t -> n:int -> max_faults:int -> allow_corrupt:bool -> plan
+(** Draw a random plan.  At most [max_faults] parties are faulty (crashes
+    plus corrupt parties combined); [allow_corrupt] enables Byzantine-style
+    corruption (pass [false] for crash-model stacks).  Partitions always
+    carry a heal point; probabilities and budgets are drawn small enough
+    that runs terminate in reasonable delivery counts. *)
+
+val pp : Format.formatter -> plan -> unit
+val to_string : plan -> string
+(** One-line-per-clause serialization, embedded in violation reports so a
+    failure is reproducible from (root seed, plan) alone. *)
+
+(** {2 Executing a plan} *)
+
+type 'm t
+(** A plan instantiated against one execution: tracks which crashes fired,
+    which partitions healed, and the remaining per-link fairness budgets. *)
+
+val start : plan -> 'm Bca_netsim.Async_exec.t -> 'm t
+(** [start plan exec] arms the plan.  [plan.n] must equal the execution's
+    party count. *)
+
+val scheduler : 'm t -> 'm Bca_netsim.Async_exec.scheduler
+(** The partition-aware delivery policy alone, as an indexed scheduler:
+    picks uniformly (from the plan's stream) among in-flight messages that
+    do not cross an active cut.  Usable with {!Bca_netsim.Async_exec.run}
+    directly when only partition/delay behaviour is wanted; {!step} adds
+    the drop/dup/crash/corruption events. *)
+
+type event = [ `Delivered | `Dropped | `Empty ]
+
+val step : 'm t -> event
+(** One chaos decision: fire due crashes, pick a partition-eligible
+    message (force-healing a partition if everything in flight crosses
+    it), then drop, duplicate, corrupt, or deliver it according to the
+    plan.  [`Dropped] consumed a message without delivering it. *)
+
+val run :
+  ?max_deliveries:int ->
+  ?stop_when:('m Bca_netsim.Async_exec.t -> bool) ->
+  'm t ->
+  Bca_netsim.Async_exec.outcome
+(** Drive {!step} with the usual termination conditions (default
+    [max_deliveries] 1_000_000). *)
+
+type stats = {
+  drops : int;
+  dups : int;
+  corruptions : int;
+  forced_heals : int;  (** partitions healed early to preserve progress *)
+}
+
+val stats : 'm t -> stats

@@ -29,6 +29,10 @@ let crash_after ~deliveries ?(last_recipients = []) (inner : 'm Node.t) =
         else emits
       end)
     ~terminated:(fun () -> !crashed || inner.Node.terminated ())
+    ~tick:(fun ~step ->
+      (* the party is alive until its crash: lockstep tick emissions pass
+         through untouched; afterwards it is silent *)
+      if !crashed || deliveries = 0 then [] else inner.Node.tick ~step)
     ()
 
 let mute (inner : 'm Node.t) =
@@ -37,4 +41,8 @@ let mute (inner : 'm Node.t) =
       ignore (inner.Node.receive ~src m : 'm Node.emit list);
       [])
     ~terminated:inner.Node.terminated
+    ~tick:(fun ~step ->
+      (* state still advances on ticks; the outgoing link stays dead *)
+      ignore (inner.Node.tick ~step : 'm Node.emit list);
+      [])
     ()

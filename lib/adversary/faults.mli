@@ -18,8 +18,14 @@ val crash_after :
     and uniform-agreement definitions of ACA exist for.
 
     [deliveries = 0] crashes the party before it processes anything (it
-    still performs its initial sends unless the caller withholds them). *)
+    still performs its initial sends unless the caller withholds them).
+
+    The wrapped node's [tick] behaviour is preserved until the crash: a
+    lockstep-driven party keeps emitting on its own clock while alive and
+    falls silent afterwards. *)
 
 val mute : 'm Bca_netsim.Node.t -> 'm Bca_netsim.Node.t
 (** A party that receives and updates state but never sends: models a crash
-    of the outgoing link only; used in liveness stress tests. *)
+    of the outgoing link only; used in liveness stress tests.  [tick]s are
+    still delivered to the inner node (its state advances) but their
+    emissions are swallowed like every other send. *)

@@ -31,6 +31,14 @@ let default_coin_degree spec ~t =
   | Byz_tsig -> 2 * t
   | Crash_strong | Crash_weak _ | Crash_local | Byz_strong | Byz_weak _ -> t
 
+let spec_mode = function
+  | Crash_strong | Crash_weak _ | Crash_local -> `Crash
+  | Byz_strong | Byz_weak _ | Byz_tsig -> `Byz
+
+let spec_commits_on_coin = function
+  | Crash_strong | Byz_strong | Byz_tsig -> true
+  | Crash_weak _ | Crash_local | Byz_weak _ -> false
+
 type result = {
   value : Value.t;
   commits : Value.t array;
@@ -38,47 +46,38 @@ type result = {
   rounds : int;
 }
 
-(* One party as the generic runner sees it: its simulator node, initial
-   broadcasts, and state accessors.  The five stacks only differ in how this
-   view is constructed. *)
+(* One party as a generic runner sees it: protocol state accessors over the
+   erased stack type.  The six stacks only differ in how this view is
+   constructed. *)
+type party = {
+  committed : unit -> Value.t option;
+  commit_round : unit -> int option;
+  round : unit -> int;
+}
+
+type 'r driver = {
+  drive : 'm. coin:Bca_coin.Coin.t -> 'm Async.t -> party array -> 'r;
+}
+
+(* Internal construction view: the party plus its node and initial sends. *)
 type 'm party_view = {
   v_node : 'm Bca_netsim.Node.t;
   v_initial : 'm list;
-  v_committed : unit -> Value.t option;
-  v_round : unit -> int;
+  v_party : party;
 }
 
-let run_generic ~n ~seed (mk : Types.pid -> 'm party_view) =
-  let rng = Rng.create seed in
+let build_and_drive (type r) ~n ~coin ~(driver : r driver) (mk : Types.pid -> 'm party_view)
+    : r =
   let parties = Array.init n mk in
   let exec =
     Async.create ~n ~make:(fun pid ->
         let p = parties.(pid) in
         (p.v_node, List.map (fun m -> Bca_netsim.Node.Broadcast m) p.v_initial))
   in
-  match Async.run exec (Async.random_scheduler rng) with
-  | `All_terminated ->
-    let commits =
-      Array.map
-        (fun p ->
-          match p.v_committed () with
-          | Some v -> v
-          | None -> invalid_arg "terminated without commit")
-        parties
-    in
-    let value = commits.(0) in
-    if Array.for_all (Value.equal value) commits then
-      Ok
-        { value;
-          commits;
-          deliveries = Async.deliveries exec;
-          rounds = Array.fold_left (fun acc p -> max acc (p.v_round ())) 0 parties }
-    else Error "agreement violated (bug)"
-  | `Quiescent -> Error "network quiesced before termination (liveness bug)"
-  | `Limit -> Error "delivery limit reached before termination"
-  | `Stopped -> Error "scheduler stopped"
+  driver.drive ~coin exec (Array.map (fun p -> p.v_party) parties)
 
-let run ?(seed = 0xB0CA1L) spec ~cfg ~inputs =
+let run_custom (type r) ?(seed = 0xB0CA1L) spec ~cfg ~inputs ~(driver : r driver) :
+    (r, string) Stdlib.result =
   let n = cfg.Types.n in
   if Array.length inputs <> n then Error "inputs must have length n"
   else begin
@@ -92,12 +91,15 @@ let run ?(seed = 0xB0CA1L) spec ~cfg ~inputs =
         let params =
           { Crash_strong_stack.cfg; mode = `Crash; coin; bca_params = (fun ~round:_ -> cfg) }
         in
-        run_generic ~n ~seed (fun pid ->
-            let t, initial = Crash_strong_stack.create params ~me:pid ~input:inputs.(pid) in
-            { v_node = Crash_strong_stack.node t;
-              v_initial = initial;
-              v_committed = (fun () -> Crash_strong_stack.committed t);
-              v_round = (fun () -> Crash_strong_stack.current_round t) })
+        Ok
+          (build_and_drive ~n ~coin ~driver (fun pid ->
+               let t, initial = Crash_strong_stack.create params ~me:pid ~input:inputs.(pid) in
+               { v_node = Crash_strong_stack.node t;
+                 v_initial = initial;
+                 v_party =
+                   { committed = (fun () -> Crash_strong_stack.committed t);
+                     commit_round = (fun () -> Crash_strong_stack.commit_round t);
+                     round = (fun () -> Crash_strong_stack.current_round t) } }))
       | Crash_weak _ | Crash_local ->
         Types.check_crash_resilience cfg;
         let kind =
@@ -109,49 +111,93 @@ let run ?(seed = 0xB0CA1L) spec ~cfg ~inputs =
         let params =
           { Crash_weak_stack.cfg; mode = `Crash; coin; bca_params = (fun ~round:_ -> cfg) }
         in
-        run_generic ~n ~seed (fun pid ->
-            let t, initial = Crash_weak_stack.create params ~me:pid ~input:inputs.(pid) in
-            { v_node = Crash_weak_stack.node t;
-              v_initial = initial;
-              v_committed = (fun () -> Crash_weak_stack.committed t);
-              v_round = (fun () -> Crash_weak_stack.current_round t) })
+        Ok
+          (build_and_drive ~n ~coin ~driver (fun pid ->
+               let t, initial = Crash_weak_stack.create params ~me:pid ~input:inputs.(pid) in
+               { v_node = Crash_weak_stack.node t;
+                 v_initial = initial;
+                 v_party =
+                   { committed = (fun () -> Crash_weak_stack.committed t);
+                     commit_round = (fun () -> Crash_weak_stack.commit_round t);
+                     round = (fun () -> Crash_weak_stack.current_round t) } }))
       | Byz_strong ->
         Types.check_byz_resilience cfg;
         let coin = Coin.create Coin.Strong ~n ~degree ~seed:coin_seed in
         let params =
           { Byz_strong_stack.cfg; mode = `Byz; coin; bca_params = (fun ~round:_ -> cfg) }
         in
-        run_generic ~n ~seed (fun pid ->
-            let t, initial = Byz_strong_stack.create params ~me:pid ~input:inputs.(pid) in
-            { v_node = Byz_strong_stack.node t;
-              v_initial = initial;
-              v_committed = (fun () -> Byz_strong_stack.committed t);
-              v_round = (fun () -> Byz_strong_stack.current_round t) })
+        Ok
+          (build_and_drive ~n ~coin ~driver (fun pid ->
+               let t, initial = Byz_strong_stack.create params ~me:pid ~input:inputs.(pid) in
+               { v_node = Byz_strong_stack.node t;
+                 v_initial = initial;
+                 v_party =
+                   { committed = (fun () -> Byz_strong_stack.committed t);
+                     commit_round = (fun () -> Byz_strong_stack.commit_round t);
+                     round = (fun () -> Byz_strong_stack.current_round t) } }))
       | Byz_weak eps ->
         Types.check_byz_resilience cfg;
         let coin = Coin.create (Coin.Eps eps) ~n ~degree ~seed:coin_seed in
         let params =
           { Byz_weak_stack.cfg; mode = `Byz; coin; bca_params = (fun ~round:_ -> cfg) }
         in
-        run_generic ~n ~seed (fun pid ->
-            let t, initial = Byz_weak_stack.create params ~me:pid ~input:inputs.(pid) in
-            { v_node = Byz_weak_stack.node t;
-              v_initial = initial;
-              v_committed = (fun () -> Byz_weak_stack.committed t);
-              v_round = (fun () -> Byz_weak_stack.current_round t) })
+        Ok
+          (build_and_drive ~n ~coin ~driver (fun pid ->
+               let t, initial = Byz_weak_stack.create params ~me:pid ~input:inputs.(pid) in
+               { v_node = Byz_weak_stack.node t;
+                 v_initial = initial;
+                 v_party =
+                   { committed = (fun () -> Byz_weak_stack.committed t);
+                     commit_round = (fun () -> Byz_weak_stack.commit_round t);
+                     round = (fun () -> Byz_weak_stack.current_round t) } }))
       | Byz_tsig ->
         Types.check_byz_resilience cfg;
         let coin = Coin.create Coin.Strong ~n ~degree ~seed:coin_seed in
         let setup, keys = Threshold.setup ~n ~seed:(Int64.add seed 0xC4F7L) in
-        run_generic ~n ~seed (fun pid ->
-            let bca_params ~round =
-              { Bca_tsig.cfg; setup; key = keys.(pid); id = Printf.sprintf "aba/%d" round }
-            in
-            let params = { Byz_tsig_stack.cfg; mode = `Byz; coin; bca_params } in
-            let t, initial = Byz_tsig_stack.create params ~me:pid ~input:inputs.(pid) in
-            { v_node = Byz_tsig_stack.node t;
-              v_initial = initial;
-              v_committed = (fun () -> Byz_tsig_stack.committed t);
-              v_round = (fun () -> Byz_tsig_stack.current_round t) })
+        Ok
+          (build_and_drive ~n ~coin ~driver (fun pid ->
+               let bca_params ~round =
+                 { Bca_tsig.cfg; setup; key = keys.(pid); id = Printf.sprintf "aba/%d" round }
+               in
+               let params = { Byz_tsig_stack.cfg; mode = `Byz; coin; bca_params } in
+               let t, initial = Byz_tsig_stack.create params ~me:pid ~input:inputs.(pid) in
+               { v_node = Byz_tsig_stack.node t;
+                 v_initial = initial;
+                 v_party =
+                   { committed = (fun () -> Byz_tsig_stack.committed t);
+                     commit_round = (fun () -> Byz_tsig_stack.commit_round t);
+                     round = (fun () -> Byz_tsig_stack.current_round t) } }))
     with Invalid_argument msg -> Error msg
   end
+
+let random_run_driver ~seed : (result, string) Stdlib.result driver =
+  { drive =
+      (fun ~coin:_ exec parties ->
+        let rng = Rng.create seed in
+        match Async.run exec (Async.random_scheduler rng) with
+        | `All_terminated ->
+          let commits =
+            Array.map
+              (fun p ->
+                match p.committed () with
+                | Some v -> v
+                | None -> invalid_arg "terminated without commit")
+              parties
+          in
+          let value = commits.(0) in
+          if Array.for_all (Value.equal value) commits then
+            Ok
+              { value;
+                commits;
+                deliveries = Async.deliveries exec;
+                rounds = Array.fold_left (fun acc p -> max acc (p.round ())) 0 parties }
+          else Error "agreement violated (bug)"
+        | `Quiescent -> Error "network quiesced before termination (liveness bug)"
+        | `Limit -> Error "delivery limit reached before termination"
+        | `Stopped -> Error "scheduler stopped")
+  }
+
+let run ?(seed = 0xB0CA1L) spec ~cfg ~inputs =
+  match run_custom ~seed spec ~cfg ~inputs ~driver:(random_run_driver ~seed) with
+  | Ok r -> r
+  | Error _ as e -> e

@@ -50,6 +50,16 @@ val default_coin_degree : spec -> t:int -> int
 (** The coin unpredictability degree each theorem assumes: [2t] for
     [Byz_tsig], [t] otherwise. *)
 
+val spec_mode : spec -> [ `Crash | `Byz ]
+(** The fault model of the stack: which resilience bound applies and which
+    fault behaviours (corruption) a harness may inject against it. *)
+
+val spec_commits_on_coin : spec -> bool
+(** Whether the stack's framework is Algorithm 1 (commit only when the BCA
+    decision matches the round coin) - the stacks for which a monitor may
+    check a commit against the coin value at the commit round.  Graded
+    (Algorithm 2) stacks commit at grade 2 without consulting the coin. *)
+
 type result = {
   value : Bca_util.Value.t;  (** the agreed value *)
   commits : Bca_util.Value.t array;  (** per-party committed values *)
@@ -66,3 +76,31 @@ val run :
 (** Simulate an all-honest cluster to termination under a random
     asynchronous schedule.  [inputs] must have length [cfg.n].  Errors
     report resilience violations or (never expected) liveness failures. *)
+
+type party = {
+  committed : unit -> Bca_util.Value.t option;
+  commit_round : unit -> int option;
+  round : unit -> int;
+}
+(** One party's protocol state, erased of its stack-specific type: the
+    accessors a generic harness (chaos campaign, invariant monitor) needs. *)
+
+type 'r driver = {
+  drive : 'm. coin:Bca_coin.Coin.t -> 'm Bca_netsim.Async_exec.t -> party array -> 'r;
+}
+(** A polymorphic execution driver: receives the assembled cluster (the
+    coin oracle, the executor with every party's initial sends already in
+    flight, and the per-party state accessors) and runs it however it
+    wants - custom schedulers, fault plans, observers. *)
+
+val run_custom :
+  ?seed:int64 ->
+  spec ->
+  cfg:Types.cfg ->
+  inputs:Bca_util.Value.t array ->
+  driver:'r driver ->
+  ('r, string) Stdlib.result
+(** Assemble the stack for [spec] exactly as {!run} does (same coin seeds
+    and per-party construction for a given [seed]) but hand control of the
+    execution to [driver].  [Error] reports resilience violations or an
+    [Invalid_argument] escaping the driver. *)

@@ -1,0 +1,219 @@
+module Value = Bca_util.Value
+module Rng = Bca_util.Rng
+module Coin = Bca_coin.Coin
+module Types = Bca_core.Types
+module Aba = Bca_core.Aba
+module Async = Bca_netsim.Async_exec
+module Node = Bca_netsim.Node
+module Monitor = Bca_netsim.Monitor
+module Chaos = Bca_adversary.Chaos
+
+type outcome = [ `Committed | `Stalled ]
+
+type run_report = {
+  run_seed : int64;
+  plan : Chaos.plan;
+  outcome : outcome;
+  deliveries : int;
+  chaos : Chaos.stats;
+  violations : Monitor.violation list;
+}
+
+let safety_violations r =
+  List.filter (function Monitor.Stalled _ -> false | _ -> true) r.violations
+
+let pp_run_report ppf r =
+  Format.fprintf ppf "@[<v>seed=0x%LxL outcome=%s deliveries=%d%a@,plan:@,  @[<v>%a@]"
+    r.run_seed
+    (match r.outcome with `Committed -> "committed" | `Stalled -> "stalled")
+    r.deliveries
+    (fun ppf (s : Chaos.stats) ->
+      if s.drops + s.dups + s.corruptions + s.forced_heals > 0 then
+        Format.fprintf ppf " drops=%d dups=%d corruptions=%d forced-heals=%d" s.drops
+          s.dups s.corruptions s.forced_heals)
+    r.chaos Chaos.pp r.plan;
+  List.iter
+    (fun v -> Format.fprintf ppf "@,VIOLATION: %a" Monitor.pp_violation v)
+    r.violations;
+  Format.fprintf ppf "@]"
+
+type stack_report = {
+  stack : string;
+  runs : int;
+  committed : int;
+  stalled : int;
+  total_deliveries : int;
+  failures : run_report list;
+}
+
+let pp_stack_report ppf s =
+  Format.fprintf ppf "@[<v>%-22s %d runs: %d committed, %d stalled, %d deliveries, %d safety failure(s)"
+    s.stack s.runs s.committed s.stalled s.total_deliveries (List.length s.failures);
+  List.iter (fun r -> Format.fprintf ppf "@,  @[<v>%a@]" pp_run_report r) s.failures;
+  Format.fprintf ppf "@]"
+
+let six_stacks =
+  let crash = Types.cfg ~n:5 ~t:2 in
+  let byz = Types.cfg ~n:4 ~t:1 in
+  [ ("crash/strong", Aba.Crash_strong, crash);
+    ("crash/weak-0.25", Aba.Crash_weak 0.25, crash);
+    ("crash/local", Aba.Crash_local, crash);
+    ("byz/strong", Aba.Byz_strong, byz);
+    ("byz/weak-0.25", Aba.Byz_weak 0.25, byz);
+    ("byz/tsig", Aba.Byz_tsig, byz) ]
+
+(* Stall windows scale with n: the measure below moves on every round entry
+   or commit, so this many deliveries without any of either is decisive. *)
+let stall_window n = 4_000 * n
+let max_deliveries = 400_000
+
+let run_once ~spec ~cfg ~seed =
+  let n = cfg.Types.n in
+  let rng = Rng.create seed in
+  let inputs = Array.init n (fun _ -> Value.of_bool (Rng.bool rng)) in
+  let allow_corrupt = Aba.spec_mode spec = `Byz in
+  let plan = Chaos.gen rng ~n ~max_faults:cfg.Types.t ~allow_corrupt in
+  let corrupt = Array.make n false in
+  List.iter (fun p -> corrupt.(p) <- true) plan.Chaos.corrupt;
+  let driver =
+    { Aba.drive =
+        (fun ~coin exec parties ->
+          let progress () =
+            Array.fold_left
+              (fun acc (p : Aba.party) ->
+                acc + p.round () + if p.committed () = None then 0 else 1000)
+              0 parties
+          in
+          let monitor =
+            Monitor.create ~n
+              ~honest:(fun p -> not corrupt.(p))
+              ~inputs
+              ~decision:(fun p -> parties.(p).Aba.committed ())
+              ~commit_round:(fun p -> parties.(p).Aba.commit_round ())
+              ?coin_value:
+                (if Aba.spec_commits_on_coin spec then
+                   Some (fun ~round ~pid -> Coin.value_for coin ~round ~pid)
+                 else None)
+              ~progress ~stall_window:(stall_window n) ()
+          in
+          Monitor.attach monitor exec;
+          let ch = Chaos.start plan exec in
+          let all_honest_done exec =
+            let ok = ref true in
+            Array.iteri
+              (fun p (party : Aba.party) ->
+                if
+                  (not corrupt.(p))
+                  && (not (Async.crashed exec p))
+                  && party.Aba.committed () = None
+                then ok := false)
+              parties;
+            !ok
+          in
+          let (_ : Async.outcome) =
+            Chaos.run ~max_deliveries ~stop_when:all_honest_done ch
+          in
+          { run_seed = seed;
+            plan;
+            outcome = (if all_honest_done exec then `Committed else `Stalled);
+            deliveries = Async.deliveries exec;
+            chaos = Chaos.stats ch;
+            violations = Monitor.violations monitor })
+    }
+  in
+  match Aba.run_custom ~seed spec ~cfg ~inputs ~driver with
+  | Ok r -> r
+  | Error msg -> invalid_arg ("chaos run_once: " ^ msg)
+
+let run_stack ?domains ~name ~spec ~cfg ~runs ~seed () =
+  let reports = Mc.map ?domains ~runs ~seed (fun ~seed -> run_once ~spec ~cfg ~seed) in
+  let committed = ref 0 and stalled = ref 0 and total = ref 0 and failures = ref [] in
+  Array.iter
+    (fun r ->
+      (match r.outcome with
+      | `Committed -> incr committed
+      | `Stalled -> incr stalled);
+      total := !total + r.deliveries;
+      if safety_violations r <> [] then failures := r :: !failures)
+    reports;
+  { stack = name;
+    runs;
+    committed = !committed;
+    stalled = !stalled;
+    total_deliveries = !total;
+    failures = List.rev !failures }
+
+let run_all ?domains ~runs ~seed () =
+  List.mapi
+    (fun i (name, spec, cfg) ->
+      run_stack ?domains ~name ~spec ~cfg ~runs
+        ~seed:(Int64.add seed (Int64.of_int i))
+        ())
+    six_stacks
+
+(* Monitor self-test: a crash/strong cluster where party 0 equivocates the
+   termination layer.  In crash mode one [committed(v)] message makes the
+   receiver commit v, so delivering committed(0) to p1 and committed(1) to
+   p2 forces an agreement violation the monitor must flag.  Assembled by
+   hand (not through [run_custom]) because the lie needs the stack's
+   concrete message type. *)
+module S = Aba.Crash_strong_stack
+
+let broken_run ~seed =
+  let cfg = Types.cfg ~n:5 ~t:2 in
+  let n = cfg.Types.n in
+  let rng = Rng.create seed in
+  let inputs = Array.init n (fun _ -> Value.of_bool (Rng.bool rng)) in
+  let plan = Chaos.gen rng ~n ~max_faults:0 ~allow_corrupt:false in
+  let coin =
+    Coin.create Coin.Strong ~n ~degree:cfg.Types.t ~seed:(Int64.add seed 0x5EEDL)
+  in
+  let params = { S.cfg; mode = `Crash; coin; bca_params = (fun ~round:_ -> cfg) } in
+  let states = Array.make n None in
+  let exec =
+    Async.create ~n ~make:(fun pid ->
+        let t, initial = S.create params ~me:pid ~input:inputs.(pid) in
+        states.(pid) <- Some t;
+        (S.node t, List.map (fun m -> Node.Broadcast m) initial))
+  in
+  let state pid = Option.get states.(pid) in
+  let monitor =
+    Monitor.create ~n ~inputs
+      ~decision:(fun p -> S.committed (state p))
+      ~commit_round:(fun p -> S.commit_round (state p))
+      ~coin_value:(fun ~round ~pid -> Coin.value_for coin ~round ~pid)
+      ~progress:(fun () ->
+        let acc = ref 0 in
+        for p = 0 to n - 1 do
+          acc := !acc + S.current_round (state p);
+          if S.committed (state p) <> None then acc := !acc + 1000
+        done;
+        !acc)
+      ~stall_window:(stall_window n) ()
+  in
+  Monitor.attach monitor exec;
+  Async.inject exec ~src:0
+    [ Node.Unicast (1, S.Committed Value.V0); Node.Unicast (2, S.Committed Value.V1) ];
+  (* Deliver the two lies first so the violation does not depend on the
+     schedule racing honest committed broadcasts. *)
+  List.iter
+    (fun (e : _ Async.envelope) ->
+      match e.payload with
+      | S.Committed _ when e.src = 0 -> ignore (Async.deliver_eid exec e.eid : bool)
+      | _ -> ())
+    (Async.inflight exec);
+  let ch = Chaos.start plan exec in
+  let all_done exec =
+    let ok = ref true in
+    for p = 0 to n - 1 do
+      if (not (Async.crashed exec p)) && S.committed (state p) = None then ok := false
+    done;
+    !ok
+  in
+  let (_ : Async.outcome) = Chaos.run ~max_deliveries ~stop_when:all_done ch in
+  { run_seed = seed;
+    plan;
+    outcome = (if all_done exec then `Committed else `Stalled);
+    deliveries = Async.deliveries exec;
+    chaos = Chaos.stats ch;
+    violations = Monitor.violations monitor }

@@ -114,6 +114,47 @@ let drop_outgoing t ~src ~keep =
 
 let inject t ~src emits = enqueue t ~src emits
 
+(* ---- fault primitives (chaos layer) ------------------------------- *)
+(* These are raw adversary powers over the in-flight pool.  They do not
+   enforce any fault-model policy themselves: the chaos layer
+   (Bca_adversary.Chaos) gates them so that honest links only suffer
+   bounded unfairness.  All of them locate envelopes by id through the
+   slot index, so they are O(1) and safe to interleave with any
+   scheduler (the FIFO heap tolerates both removals, via lazy deletion,
+   and in-place rewrites, which keep the eid). *)
+
+let drop_eid t eid =
+  match Hashtbl.find_opt (ensure_slot_index t) eid with
+  | None -> None
+  | Some i -> Some (remove_slot t i)
+
+let duplicate_eid t eid =
+  match Hashtbl.find_opt (ensure_slot_index t) eid with
+  | None -> false
+  | Some i ->
+    let env = Pool.get t.pool i in
+    add_env t { env with eid = t.next_eid };
+    t.next_eid <- t.next_eid + 1;
+    true
+
+let redirect_eid t eid ~dst =
+  if dst < 0 || dst >= t.n then invalid_arg "Async_exec.redirect_eid: dst out of range";
+  match Hashtbl.find_opt (ensure_slot_index t) eid with
+  | None -> false
+  | Some i ->
+    Pool.set t.pool i { (Pool.get t.pool i) with dst };
+    true
+
+let swap_payloads t eid1 eid2 =
+  let ix = ensure_slot_index t in
+  match (Hashtbl.find_opt ix eid1, Hashtbl.find_opt ix eid2) with
+  | Some i, Some j when eid1 <> eid2 ->
+    let a = Pool.get t.pool i and b = Pool.get t.pool j in
+    Pool.set t.pool i { a with payload = b.payload };
+    Pool.set t.pool j { b with payload = a.payload };
+    true
+  | _ -> false
+
 let deliver_env t env =
   t.delivered <- t.delivered + 1;
   (match t.observer with Some f -> f env | None -> ());
@@ -133,16 +174,27 @@ let deliver_eid t eid =
 
 type 'm list_scheduler = delivered:int -> 'm envelope list -> 'm envelope option
 
+(* [sk_mask] caches [slow] as a pid-indexed bitmap, sized on first pick from
+   the execution's [n] - the per-slot membership test is then one array read
+   instead of an O(|slow|) list scan. *)
+type skewed = {
+  sk_rng : Bca_util.Rng.t;
+  sk_slow : pid list;
+  sk_bias : int;
+  mutable sk_mask : bool array;
+}
+
 type 'm scheduler =
   | Random of Bca_util.Rng.t
   | Fifo
-  | Skewed of { rng : Bca_util.Rng.t; slow : pid list; bias : int }
+  | Skewed of skewed
   | Indexed of (delivered:int -> 'm t -> int option)
   | Legacy of 'm list_scheduler
 
 let random_scheduler rng = Random rng
 
-let skewed_scheduler rng ~slow ~bias = Skewed { rng; slow; bias }
+let skewed_scheduler rng ~slow ~bias =
+  Skewed { sk_rng = rng; sk_slow = slow; sk_bias = bias; sk_mask = [||] }
 
 let fifo_scheduler = Fifo
 
@@ -170,13 +222,24 @@ let rec fifo_pick t ix h =
     | Some i -> Some i
     | None -> fifo_pick t ix h)
 
-(* The skewed pick makes no allocations: one counting pass over the backing
-   array, then a positional pass to the chosen fast envelope.  The RNG draw
+(* The skewed pick makes no steady-state allocations: one counting pass over
+   the backing array, then a positional pass to the chosen fast envelope.
+   Slowness is a bitmap lookup (O(1) per slot, O(len) per pick); the RNG draw
    sequence matches the historical list-based implementation exactly
    (optionally [int bias], then one [int] over the candidate count). *)
-let skewed_pick t rng ~slow ~bias =
+let skewed_mask t sk =
+  if Array.length sk.sk_mask < t.n then begin
+    let mask = Array.make t.n false in
+    List.iter (fun pid -> if pid >= 0 && pid < t.n then mask.(pid) <- true) sk.sk_slow;
+    sk.sk_mask <- mask
+  end;
+  sk.sk_mask
+
+let skewed_pick t sk =
+  let rng = sk.sk_rng and bias = sk.sk_bias in
+  let mask = skewed_mask t sk in
   let len = Pool.length t.pool in
-  let is_fast i = not (List.mem (Pool.get t.pool i).dst slow) in
+  let is_fast i = not mask.((Pool.get t.pool i).dst) in
   let nfast = ref 0 in
   for i = 0 to len - 1 do
     if is_fast i then incr nfast
@@ -198,7 +261,7 @@ let choose_slot t = function
   | Fifo ->
     let ix = ensure_slot_index t in
     fifo_pick t ix (ensure_heap t)
-  | Skewed { rng; slow; bias } -> skewed_pick t rng ~slow ~bias
+  | Skewed sk -> skewed_pick t sk
   | Indexed f ->
     (match f ~delivered:t.delivered t with
     | None -> None

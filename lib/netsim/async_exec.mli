@@ -77,6 +77,35 @@ val deliver_eid : 'm t -> int -> bool
     longer in flight.  Delivery to a crashed party consumes the envelope
     silently. *)
 
+(** {2 Fault primitives}
+
+    Raw adversary powers over the in-flight pool, all O(1) by envelope id.
+    They enforce no fault-model policy themselves: unrestricted use against
+    honest links breaks the paper's reliable-link assumption, so callers
+    must gate them - {!Bca_adversary.Chaos} only applies them to faulty
+    parties' traffic or within a per-link fairness budget.  All primitives
+    keep every scheduler consistent (removals rely on the FIFO heap's lazy
+    deletion; rewrites keep the envelope's id and slot). *)
+
+val drop_eid : 'm t -> int -> 'm envelope option
+(** Remove the envelope from flight without delivering it; returns it, or
+    [None] if it was no longer in flight.  A message-omission fault. *)
+
+val duplicate_eid : 'm t -> int -> bool
+(** Put a copy of the envelope (fresh id, same src/dst/payload/depth) in
+    flight.  Models at-least-once links / replayed packets; protocols must
+    be idempotent against it.  [false] if the id is not in flight. *)
+
+val redirect_eid : 'm t -> int -> dst:pid -> bool
+(** Rewrite the envelope's destination in place (id preserved).  Only
+    meaningful against a faulty sender's traffic. *)
+
+val swap_payloads : 'm t -> int -> int -> bool
+(** Exchange the payloads of two in-flight envelopes (ids preserved) - a
+    type-agnostic corruption: applied to two messages of one faulty sender
+    it models equivocation-style reordering of that sender's traffic.
+    [false] unless both ids are in flight and distinct. *)
+
 type 'm list_scheduler = delivered:int -> 'm envelope list -> 'm envelope option
 (** The legacy scheduler signature: given the number of deliveries so far and
     a list snapshot of the in-flight pool (never empty), choose the next
@@ -99,7 +128,9 @@ val skewed_scheduler :
 (** A random scheduler that starves the [slow] parties: deliveries to them
     are only considered with probability [1/bias] per pick.  Still fair
     (every message is eventually delivered) - models persistently laggy
-    replicas.  Allocation-free: one counting pass over the pool per pick. *)
+    replicas.  Allocation-free in steady state: slowness is a pid-indexed
+    bitmap (built on first pick), one counting pass over the pool per
+    pick. *)
 
 val fifo_scheduler : 'm scheduler
 (** Deliver in send order (lowest [eid] first): the most synchronous-looking

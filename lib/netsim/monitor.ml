@@ -1,0 +1,144 @@
+module Value = Bca_util.Value
+
+type pid = int
+
+type violation =
+  | Agreement of { p : pid; vp : Value.t; q : pid; vq : Value.t }
+  | Validity of { p : pid; decided : Value.t; unanimous : Value.t }
+  | Binding of { p : pid; round : int; decided : Value.t; coin : Value.t }
+  | Stalled of { deliveries : int; window : int }
+
+let pp_violation ppf = function
+  | Agreement { p; vp; q; vq } ->
+    Format.fprintf ppf "agreement: p%d decided %a but p%d decided %a" p Value.pp vp q
+      Value.pp vq
+  | Validity { p; decided; unanimous } ->
+    Format.fprintf ppf "validity: unanimous input %a but p%d decided %a" Value.pp
+      unanimous p Value.pp decided
+  | Binding { p; round; decided; coin } ->
+    Format.fprintf ppf
+      "binding: p%d committed %a in round %d against its round coin %a" p Value.pp
+      decided round Value.pp coin
+  | Stalled { deliveries; window } ->
+    Format.fprintf ppf "stalled: no progress for %d deliveries (at delivery %d)"
+      window deliveries
+
+type t = {
+  n : int;
+  honest : pid -> bool;
+  unanimous : Value.t option;  (* the unanimous honest input, if any *)
+  decision : pid -> Value.t option;
+  commit_round : pid -> int option;
+  coin_value : (round:int -> pid:pid -> Value.t) option;
+  progress : (unit -> int) option;
+  stall_window : int;
+  seen : Value.t option array;  (* decisions already checked, per pid *)
+  mutable first : (pid * Value.t * int) option;
+  mutable deliveries : int;
+  mutable last_progress : int;
+  mutable since_progress : int;
+  mutable stalled : bool;  (* report Stalled at most once *)
+  mutable violations : violation list;  (* reverse detection order *)
+}
+
+let create ~n ?(honest = fun _ -> true) ~inputs ~decision ?(commit_round = fun _ -> None)
+    ?coin_value ?progress ?(stall_window = 10_000) () =
+  let unanimous =
+    let rec scan pid acc =
+      if pid >= n then acc
+      else if not (honest pid) then scan (pid + 1) acc
+      else
+        match acc with
+        | None -> scan (pid + 1) (Some inputs.(pid))
+        | Some u -> if Value.equal u inputs.(pid) then scan (pid + 1) acc else None
+    in
+    scan 0 None
+  in
+  { n;
+    honest;
+    unanimous;
+    decision;
+    commit_round;
+    coin_value;
+    progress;
+    stall_window;
+    seen = Array.make n None;
+    first = None;
+    deliveries = 0;
+    last_progress = (match progress with Some f -> f () | None -> 0);
+    since_progress = 0;
+    stalled = false;
+    violations = [] }
+
+let report t v = t.violations <- v :: t.violations
+
+(* A party decided: compare against the first recorded decision (agreement
+   is transitive over equality, so one reference decision suffices) and the
+   unanimous input if any.  The coin check applies only to the *first*
+   decision observed: the system's first commit is necessarily a coin-path
+   commit (termination-layer commits require a [committed] message from an
+   earlier committer), whereas a laggard adopting a relayed commit records
+   its own - possibly earlier - round, whose coin may legitimately
+   differ. *)
+let check_new_decision t pid v =
+  let is_first = t.first = None in
+  (match t.first with
+  | None -> t.first <- Some (pid, v, t.deliveries)
+  | Some (q, vq, _) ->
+    if not (Value.equal v vq) then report t (Agreement { p = pid; vp = v; q; vq }));
+  (match t.unanimous with
+  | Some u when not (Value.equal v u) ->
+    report t (Validity { p = pid; decided = v; unanimous = u })
+  | _ -> ());
+  if is_first then
+    match (t.coin_value, t.commit_round pid) with
+    | Some coin, Some round ->
+      let c = coin ~round ~pid in
+      if not (Value.equal v c) then
+        report t (Binding { p = pid; round; decided = v; coin = c })
+    | _ -> ()
+
+let poll_decisions t =
+  for pid = 0 to t.n - 1 do
+    if t.honest pid && t.seen.(pid) = None then
+      match t.decision pid with
+      | None -> ()
+      | Some v ->
+        t.seen.(pid) <- Some v;
+        check_new_decision t pid v
+  done
+
+let watchdog t =
+  match t.progress with
+  | None -> ()
+  | Some f ->
+    let p = f () in
+    if p > t.last_progress then begin
+      t.last_progress <- p;
+      t.since_progress <- 0
+    end
+    else begin
+      t.since_progress <- t.since_progress + 1;
+      if t.since_progress >= t.stall_window && not t.stalled then begin
+        t.stalled <- true;
+        report t (Stalled { deliveries = t.deliveries; window = t.stall_window })
+      end
+    end
+
+let on_delivery t =
+  t.deliveries <- t.deliveries + 1;
+  poll_decisions t;
+  watchdog t
+
+let attach t exec = Async_exec.set_observer exec (fun _ -> on_delivery t)
+
+let violations t = List.rev t.violations
+
+let ok t = t.violations = []
+
+let safety_ok t =
+  List.for_all (function Stalled _ -> true | _ -> false) t.violations
+
+let first_decision t = t.first
+
+let deliveries_seen t = t.deliveries

@@ -22,6 +22,10 @@ let get t i =
   if i < 0 || i >= t.len then invalid_arg "Pool.get";
   t.data.(i)
 
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Pool.set";
+  t.data.(i) <- x
+
 let swap_remove t i =
   let x = get t i in
   t.len <- t.len - 1;

@@ -16,6 +16,11 @@ val add : 'a t -> 'a -> unit
 val get : 'a t -> int -> 'a
 (** [get t i] for [0 <= i < length t]. *)
 
+val set : 'a t -> int -> 'a -> unit
+(** [set t i x] replaces the element in slot [i] without disturbing slot
+    order - in-place envelope rewrites (corruption hooks) that must not
+    perturb any scheduler's view of the pool. *)
+
 val swap_remove : 'a t -> int -> 'a
 (** Remove and return element [i], moving the last element into its slot. *)
 

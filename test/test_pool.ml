@@ -186,6 +186,49 @@ let test_fifo_order_with_drops () =
   Alcotest.(check bool) "fifo resumes in eid order" true
     (List.sort compare fifo_part = fifo_part)
 
+let test_fifo_drop_exactly_once () =
+  (* drop_outgoing x the FIFO heap's lazy deletion: stale heap entries must
+     be skipped, a dropped envelope must never surface, and no envelope may
+     be delivered twice (the heap keeps its own copy of every eid, so a
+     stale-entry bug would replay one) *)
+  let exec = ping_cluster 6 in
+  let delivered = ref [] in
+  Async.set_observer exec (fun env -> delivered := env.Async.eid :: !delivered);
+  (* seed the heap with everything in flight, then mutate behind its back *)
+  for _ = 1 to 8 do
+    ignore (Async.step exec Async.fifo_scheduler)
+  done;
+  let dropped = ref [] in
+  List.iter
+    (fun (e : _ Async.envelope) ->
+      if e.Async.src = 1 || e.Async.src = 4 then dropped := e.Async.eid :: !dropped)
+    (Async.inflight exec);
+  Async.drop_outgoing exec ~src:1 ~keep:(fun _ -> false);
+  Async.drop_outgoing exec ~src:4 ~keep:(fun _ -> false);
+  (* a few more FIFO steps, then a second drop wave, so stale entries sit
+     both at the heap's top and in its middle *)
+  for _ = 1 to 5 do
+    ignore (Async.step exec Async.fifo_scheduler)
+  done;
+  (match Async.inflight exec with
+  | (e : _ Async.envelope) :: _ ->
+    dropped := e.Async.eid :: !dropped;
+    Alcotest.(check bool) "drop_eid removes" true (Async.drop_eid exec e.Async.eid <> None);
+    Alcotest.(check bool) "double drop fails" true (Async.drop_eid exec e.Async.eid = None)
+  | [] -> ());
+  let outcome = Async.run exec Async.fifo_scheduler in
+  Alcotest.(check bool) "drains or terminates" true
+    (outcome = `All_terminated || outcome = `Quiescent);
+  let trace = List.rev !delivered in
+  List.iter
+    (fun eid ->
+      Alcotest.(check bool)
+        (Printf.sprintf "dropped eid %d never delivered" eid)
+        false (List.mem eid trace))
+    !dropped;
+  Alcotest.(check int) "no eid delivered twice" (List.length trace)
+    (List.length (List.sort_uniq compare trace))
+
 let test_indexed_scheduler_api () =
   (* a custom indexed policy: always deliver slot 0 *)
   let exec = ping_cluster 3 in
@@ -211,5 +254,6 @@ let () =
           QCheck_alcotest.to_alcotest skewed_matches_legacy;
           Alcotest.test_case "fifo == legacy fifo" `Quick test_fifo_matches_legacy;
           Alcotest.test_case "fifo with drops" `Quick test_fifo_order_with_drops;
+          Alcotest.test_case "fifo drop exactly-once" `Quick test_fifo_drop_exactly_once;
           Alcotest.test_case "indexed policy api" `Quick test_indexed_scheduler_api;
           Alcotest.test_case "deliver_eid consumes" `Quick test_deliver_eid_consumes ] ) ]
