@@ -4,13 +4,23 @@
    times the simulator stacks with Bechamel.
 
    Usage: main.exe [table1|table2|attack|scaling|chaos|ablation|bechamel|all]
-                   [--runs K] [--seed S] [--json PATH]
+                   [--runs K] [--seed S] [--json PATH] [--metrics] [--trace PATH]
    Default: all.  Monte-Carlo run counts are chosen so the full harness
    completes in well under a minute; EXPERIMENTS.md records a reference
    output.  The scaling and chaos sections write per-stack throughput
    (deliveries/sec and wall-clock) to PATH, default BENCH_netsim.json; the
    chaos section exits non-zero on any safety violation, so it doubles as
-   the CI chaos smoke job. *)
+   the CI chaos smoke job.
+
+   --metrics additionally runs every stack under instrumented chaos plans
+   and reports per-round / per-phase aggregates (Bca_obs.Metrics), merged
+   into the JSON report.  --trace PATH captures the broken_run violation
+   as a JSONL event log at PATH, then parses and replays it, failing the
+   process unless the replayed trace is bit-identical.
+
+   Any section that raises prints the reproducing seed before the process
+   exits non-zero: every number in the harness derives from --seed, so
+   re-running with the printed value reproduces the failure exactly. *)
 
 module Summary = Bca_util.Summary
 module Tablefmt = Bca_util.Tablefmt
@@ -22,12 +32,19 @@ module Table2 = Bca_experiments.Table2
 module Cz_attack = Bca_adversary.Cz_attack
 module Mmr_attack = Bca_adversary.Mmr_attack
 module Campaign = Bca_experiments.Chaos_campaign
+module Mc = Bca_experiments.Mc
+module Metrics = Bca_obs.Metrics
+module Trace = Bca_obs.Trace
 
 let opt_runs : int option ref = ref None
 
 let opt_seed : int64 option ref = ref None
 
 let opt_json : string option ref = ref None
+
+let opt_metrics = ref false
+
+let opt_trace : string option ref = ref None
 
 let mc_runs () = match !opt_runs with Some r -> r | None -> 4000
 
@@ -224,9 +241,13 @@ let scaling_acc : throughput list ref = ref []
 
 let chaos_acc : chaos_row list ref = ref []
 
+let metrics_acc : (string * Metrics.t) list ref = ref []
+
 let chaos_failed = ref false
 
-let write_throughput_json path ~seed ~runs ~chaos tps =
+let section_failed = ref false
+
+let write_throughput_json path ~seed ~runs ~chaos ~metrics tps =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"benchmark\": \"netsim-throughput\",\n";
@@ -257,13 +278,27 @@ let write_throughput_json path ~seed ~runs ~chaos tps =
            row.cz_failures tp.tp_deliveries tp.tp_wall_s (dps tp)
            (if i = List.length chaos - 1 then "" else ",")))
     chaos;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"metrics\": [\n";
+  List.iteri
+    (fun i (name, m) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"stack\": %S, \"aggregate\": %s}%s\n" name
+           (Metrics.to_json m)
+           (if i = List.length metrics - 1 then "" else ",")))
+    metrics;
   Buffer.add_string buf "  ]\n}\n";
-  match open_out path with
-  | oc ->
-    output_string oc (Buffer.contents buf);
-    close_out oc
+  (* any I/O failure here must fail the process: a benchmark run whose
+     report silently went missing reads as a healthy run *)
+  match
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Buffer.contents buf))
+  with
+  | () -> ()
   | exception Sys_error msg ->
-    Printf.eprintf "cannot write throughput JSON: %s\n" msg;
+    Printf.eprintf "cannot write throughput JSON to %S: %s\n" path msg;
     exit 1
 
 let scaling () =
@@ -368,11 +403,115 @@ let chaos () =
     rows;
   chaos_acc := List.map snd rows
 
+(* ------------------------------------------------------------------ *)
+(* Observability: per-round / per-phase metrics and trace capture.      *)
+(* ------------------------------------------------------------------ *)
+
+let metrics () =
+  let seed = root_seed () in
+  let runs = match !opt_runs with Some r -> min r 200 | None -> 25 in
+  section
+    (Printf.sprintf
+       "Observability metrics - instrumented chaos runs (%d per stack)" runs);
+  let rows =
+    List.mapi
+      (fun i (name, spec, cfg) ->
+        (* one buffering trace per run, folded into the pure aggregate;
+           merge is associative, so the fold is domain-count independent *)
+        let m =
+          Mc.map_fold ~runs
+            ~seed:(Int64.add seed (Int64.of_int (60 + i)))
+            ~init:Metrics.empty ~merge:Metrics.merge
+            (fun ~seed ->
+              let tracer = Trace.create () in
+              let (_ : Campaign.run_report) =
+                Campaign.run_once ~tracer ~spec ~cfg ~seed ()
+              in
+              Metrics.add_run Metrics.empty (Trace.events tracer))
+        in
+        (name, m))
+      Campaign.six_stacks
+  in
+  Tablefmt.print
+    ~header:
+      [ "stack"; "runs"; "decided"; "sends"; "deliveries"; "drops";
+        "decision round p50/p99"; "violations" ]
+    (List.map
+       (fun (name, m) ->
+         let h = Metrics.rounds_histogram m in
+         [ name;
+           string_of_int (Metrics.runs m);
+           string_of_int (Metrics.decided_runs m);
+           string_of_int (Metrics.sends m);
+           string_of_int (Metrics.deliveries m);
+           string_of_int (Metrics.drops m);
+           (if Metrics.decided_runs m = 0 then "-"
+            else
+              Printf.sprintf "%d / %d"
+                (Bca_util.Histogram.percentile h 0.50)
+                (Bca_util.Histogram.percentile h 0.99));
+           string_of_int (Metrics.violations m) ])
+       rows);
+  List.iter
+    (fun (name, m) ->
+      Format.printf "@.%s:@.%a@." name Metrics.pp m)
+    rows;
+  metrics_acc := rows
+
+let trace_capture path =
+  let seed = root_seed () in
+  section "Trace capture - broken_run violation, JSONL export, replay";
+  let tracer = Trace.create () in
+  let report = Campaign.broken_run ~tracer ~seed () in
+  let events = Trace.events tracer in
+  Printf.printf "captured %d events (%d safety violations) from seed %Ld\n"
+    (Array.length events)
+    (List.length (Campaign.safety_violations report))
+    seed;
+  (match
+     let oc = open_out path in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> Trace.output oc tracer)
+   with
+  | () -> Printf.printf "exported to %s\n" path
+  | exception Sys_error msg ->
+    Printf.eprintf "cannot write trace to %S: %s\n" path msg;
+    exit 1);
+  match Trace.load path with
+  | Error msg ->
+    Printf.eprintf "trace re-import failed: %s\n" msg;
+    exit 1
+  | Ok reloaded ->
+    if reloaded <> events then begin
+      Printf.eprintf "trace JSONL round-trip is not identity\n";
+      exit 1
+    end;
+    (match Campaign.replay_broken ~seed reloaded with
+    | Error msg ->
+      Printf.eprintf "replay diverged: %s\n" msg;
+      exit 1
+    | Ok (report', replayed) ->
+      if replayed <> events then begin
+        Printf.eprintf "replayed trace differs from the captured one\n";
+        exit 1
+      end;
+      if
+        List.length (Campaign.safety_violations report')
+        <> List.length (Campaign.safety_violations report)
+      then begin
+        Printf.eprintf "replay did not reproduce the violations\n";
+        exit 1
+      end;
+      Printf.printf "replayed %d events bit-identically; violation reproduced\n"
+        (Array.length replayed))
+
 let flush_json () =
-  if !scaling_acc <> [] || !chaos_acc <> [] then begin
+  if !scaling_acc <> [] || !chaos_acc <> [] || !metrics_acc <> [] then begin
     let path = json_path () in
     let runs = match !opt_runs with Some r -> r | None -> 30 in
-    write_throughput_json path ~seed:(root_seed ()) ~runs ~chaos:!chaos_acc !scaling_acc;
+    write_throughput_json path ~seed:(root_seed ()) ~runs ~chaos:!chaos_acc
+      ~metrics:!metrics_acc !scaling_acc;
     Printf.printf "\n(throughput written to %s)\n" path
   end
 
@@ -458,7 +597,7 @@ let bechamel () =
 let usage () =
   Printf.eprintf
     "usage: main.exe [table1|table2|attack|scaling|chaos|ablation|bechamel|all]\n\
-    \       [--runs K] [--seed S] [--json PATH]\n";
+    \       [--runs K] [--seed S] [--json PATH] [--metrics] [--trace PATH]\n";
   exit 1
 
 let parse_args () =
@@ -467,6 +606,12 @@ let parse_args () =
     | [] -> ()
     | "--json" :: path :: rest ->
       opt_json := Some path;
+      go rest
+    | "--metrics" :: rest ->
+      opt_metrics := true;
+      go rest
+    | "--trace" :: path :: rest ->
+      opt_trace := Some path;
       go rest
     | "--runs" :: k :: rest ->
       (match int_of_string_opt k with
@@ -482,7 +627,7 @@ let parse_args () =
         Printf.eprintf "--seed expects an integer, got %S\n" s;
         exit 1);
       go rest
-    | [ ("--json" | "--runs" | "--seed") ] -> usage ()
+    | [ ("--json" | "--runs" | "--seed" | "--trace") ] -> usage ()
     | arg :: _ when String.length arg >= 2 && String.sub arg 0 2 = "--" ->
       Printf.eprintf "unknown flag %S\n" arg;
       usage ()
@@ -495,28 +640,42 @@ let parse_args () =
   go (List.tl (Array.to_list Sys.argv));
   match !which with None -> "all" | Some w -> w
 
+(* Run one section; on any exception print the reproducing seed (the whole
+   harness is a deterministic function of it) and keep going so the other
+   sections still report, then fail the process at the end. *)
+let run_section name f =
+  try f ()
+  with exn ->
+    section_failed := true;
+    Printf.eprintf
+      "\nsection %s FAILED: %s\n(reproduce with: main.exe %s --seed %Ld --runs %d)\n"
+      name (Printexc.to_string exn) name (root_seed ())
+      (match !opt_runs with Some r -> r | None -> 0)
+
 let () =
   let which = parse_args () in
   (match which with
-  | "table1" -> table1 ()
-  | "table2" -> table2 ()
-  | "attack" -> attack ()
-  | "scaling" -> scaling ()
-  | "chaos" -> chaos ()
-  | "ablation" -> ablation ()
-  | "bechamel" -> bechamel ()
+  | "table1" -> run_section "table1" table1
+  | "table2" -> run_section "table2" table2
+  | "attack" -> run_section "attack" attack
+  | "scaling" -> run_section "scaling" scaling
+  | "chaos" -> run_section "chaos" chaos
+  | "ablation" -> run_section "ablation" ablation
+  | "bechamel" -> run_section "bechamel" bechamel
   | "all" ->
-    table1 ();
-    table2 ();
-    attack ();
-    scaling ();
-    chaos ();
-    ablation ();
-    bechamel ()
+    run_section "table1" table1;
+    run_section "table2" table2;
+    run_section "attack" attack;
+    run_section "scaling" scaling;
+    run_section "chaos" chaos;
+    run_section "ablation" ablation;
+    run_section "bechamel" bechamel
   | other ->
     Printf.eprintf
       "unknown section %S (table1|table2|attack|scaling|chaos|ablation|bechamel|all)\n"
       other;
     usage ());
+  if !opt_metrics then run_section "metrics" metrics;
+  (match !opt_trace with Some path -> run_section "trace" (fun () -> trace_capture path) | None -> ());
   flush_json ();
-  if !chaos_failed then exit 1
+  if !chaos_failed || !section_failed then exit 1

@@ -7,7 +7,7 @@
 
     Construction ([n >= 3t + 1]):
 
-    + each party reliably broadcasts its proposal (one {!Bca_baselines.Bracha}
+    + each party reliably broadcasts its proposal (one [Bca_baselines.Bracha]
       instance per proposer);
     + party [i] inputs 1 to ABA_j as soon as RBC_j delivers, and 0 to every
       not-yet-started ABA once [n - t] ABAs have decided 1;

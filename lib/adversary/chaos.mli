@@ -8,6 +8,12 @@
     data - they can be generated from a seed ({!gen}), printed
     ({!to_string}) into a violation report, and replayed exactly.
 
+    In paper terms this randomizes over the adversary powers of the
+    Section 2 model (message scheduling, crashes, Byzantine corruption up
+    to [t]) that the scripted Appendix A attacks
+    ([Bca_adversary.Cz_attack], [Bca_adversary.Mmr_attack]) exercise
+    deliberately.
+
     {b Fault model honesty.}  The paper assumes reliable authenticated
     links between honest parties; a fault layer that silently voids that
     assumption would "find" violations that are artifacts of a different
@@ -99,7 +105,7 @@ val start : plan -> 'm Bca_netsim.Async_exec.t -> 'm t
 val scheduler : 'm t -> 'm Bca_netsim.Async_exec.scheduler
 (** The partition-aware delivery policy alone, as an indexed scheduler:
     picks uniformly (from the plan's stream) among in-flight messages that
-    do not cross an active cut.  Usable with {!Bca_netsim.Async_exec.run}
+    do not cross an active cut.  Usable with [Bca_netsim.Async_exec.run]
     directly when only partition/delay behaviour is wanted; {!step} adds
     the drop/dup/crash/corruption events. *)
 

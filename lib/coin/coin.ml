@@ -19,13 +19,20 @@ type t = {
   seed : int64;
   rounds : (int, round_state) Hashtbl.t;
   mutable adversary_choice : (round:int -> pid:int -> Value.t) option;
+  mutable observer : (round:int -> pid:int -> Value.t -> unit) option;
 }
 
 let create kind ~n ~degree ~seed =
   (match kind with
   | Eps e when not (e > 0.0 && e <= 0.5) -> invalid_arg "Coin.create: Eps out of (0, 1/2]"
   | _ -> ());
-  { kind; n; degree; seed; rounds = Hashtbl.create 16; adversary_choice = None }
+  { kind;
+    n;
+    degree;
+    seed;
+    rounds = Hashtbl.create 16;
+    adversary_choice = None;
+    observer = None }
 
 let kind t = t.kind
 
@@ -96,9 +103,12 @@ let access t ~round ~pid =
   let st = round_state t round in
   if not st.accessed.(pid) then begin
     st.accessed.(pid) <- true;
-    st.naccessed <- st.naccessed + 1
+    st.naccessed <- st.naccessed + 1;
+    match t.observer with Some f -> f ~round ~pid st.per_party.(pid) | None -> ()
   end;
   st.per_party.(pid)
+
+let set_observer t f = t.observer <- Some f
 
 let accesses t ~round =
   match Hashtbl.find_opt t.rounds round with None -> 0 | Some st -> st.naccessed

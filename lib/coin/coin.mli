@@ -51,6 +51,12 @@ val access : t -> round:int -> pid:int -> Bca_util.Value.t
 val accesses : t -> round:int -> int
 (** Number of distinct parties that have accessed round [round]. *)
 
+val set_observer : t -> (round:int -> pid:int -> Bca_util.Value.t -> unit) -> unit
+(** Install a reveal observer: called once per (round, party) pair, at the
+    moment of that party's {e first} access to the round's coin, with the
+    value it saw.  Observability hook (coin-reveal trace events); it sees
+    exactly the accesses {!accesses} counts. *)
+
 val adversary_peek : t -> round:int -> outcome option
 (** What a (legitimate) adaptive adversary can currently see of round
     [round]: [None] before [degree + 1] parties accessed the round's coin.

@@ -170,4 +170,9 @@ module Make (B : Bca_intf.BCA) = struct
       ()
 
   let instance t ~round = Hashtbl.find_opt t.instances round
+
+  let current_phase t =
+    match Hashtbl.find_opt t.instances t.round with
+    | Some inst -> B.phase inst
+    | None -> "init"
 end

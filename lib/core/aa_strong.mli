@@ -63,4 +63,9 @@ module Make (B : Bca_intf.BCA) : sig
 
   val instance : t -> round:int -> B.t option
   (** Read a round's BCA instance - test oracles and adversaries only. *)
+
+  val current_phase : t -> string
+  (** The phase label of the current round's BCA instance (see
+      [Bca_intf.BCA.phase]); ["init"] before the instance exists.
+      Observability hook. *)
 end

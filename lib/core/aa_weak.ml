@@ -163,4 +163,9 @@ module Make (G : Bca_intf.GBCA) = struct
       ()
 
   let instance t ~round = Hashtbl.find_opt t.instances round
+
+  let current_phase t =
+    match Hashtbl.find_opt t.instances t.round with
+    | Some inst -> G.phase inst
+    | None -> "init"
 end

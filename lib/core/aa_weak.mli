@@ -44,4 +44,9 @@ module Make (G : Bca_intf.GBCA) : sig
   val commit_round : t -> int option
   val node : t -> msg Bca_netsim.Node.t
   val instance : t -> round:int -> G.t option
+
+  val current_phase : t -> string
+  (** The phase label of the current round's GBCA instance (see
+      [Bca_intf.GBCA.phase]); ["init"] before the instance exists.
+      Observability hook. *)
 end

@@ -53,6 +53,7 @@ type party = {
   committed : unit -> Value.t option;
   commit_round : unit -> int option;
   round : unit -> int;
+  phase : unit -> string;
 }
 
 type 'r driver = {
@@ -66,18 +67,21 @@ type 'm party_view = {
   v_party : party;
 }
 
-let build_and_drive (type r) ~n ~coin ~(driver : r driver) (mk : Types.pid -> 'm party_view)
-    : r =
+let build_and_drive (type r) ~tracer ~n ~coin ~(driver : r driver)
+    (mk : Types.pid -> 'm party_view) : r =
+  if Bca_obs.Trace.enabled tracer then
+    Coin.set_observer coin (fun ~round ~pid value ->
+        Bca_obs.Trace.emit tracer (Bca_obs.Event.Coin_reveal { pid; round; value }));
   let parties = Array.init n mk in
   let exec =
-    Async.create ~n ~make:(fun pid ->
+    Async.create_traced ~tracer ~n ~make:(fun pid ->
         let p = parties.(pid) in
         (p.v_node, List.map (fun m -> Bca_netsim.Node.Broadcast m) p.v_initial))
   in
   driver.drive ~coin exec (Array.map (fun p -> p.v_party) parties)
 
-let run_custom (type r) ?(seed = 0xB0CA1L) spec ~cfg ~inputs ~(driver : r driver) :
-    (r, string) Stdlib.result =
+let run_custom (type r) ?(seed = 0xB0CA1L) ?(tracer = Bca_obs.Trace.null) spec ~cfg ~inputs
+    ~(driver : r driver) : (r, string) Stdlib.result =
   let n = cfg.Types.n in
   if Array.length inputs <> n then Error "inputs must have length n"
   else begin
@@ -92,14 +96,15 @@ let run_custom (type r) ?(seed = 0xB0CA1L) spec ~cfg ~inputs ~(driver : r driver
           { Crash_strong_stack.cfg; mode = `Crash; coin; bca_params = (fun ~round:_ -> cfg) }
         in
         Ok
-          (build_and_drive ~n ~coin ~driver (fun pid ->
+          (build_and_drive ~tracer ~n ~coin ~driver (fun pid ->
                let t, initial = Crash_strong_stack.create params ~me:pid ~input:inputs.(pid) in
                { v_node = Crash_strong_stack.node t;
                  v_initial = initial;
                  v_party =
                    { committed = (fun () -> Crash_strong_stack.committed t);
                      commit_round = (fun () -> Crash_strong_stack.commit_round t);
-                     round = (fun () -> Crash_strong_stack.current_round t) } }))
+                     round = (fun () -> Crash_strong_stack.current_round t);
+                     phase = (fun () -> Crash_strong_stack.current_phase t) } }))
       | Crash_weak _ | Crash_local ->
         Types.check_crash_resilience cfg;
         let kind =
@@ -112,14 +117,15 @@ let run_custom (type r) ?(seed = 0xB0CA1L) spec ~cfg ~inputs ~(driver : r driver
           { Crash_weak_stack.cfg; mode = `Crash; coin; bca_params = (fun ~round:_ -> cfg) }
         in
         Ok
-          (build_and_drive ~n ~coin ~driver (fun pid ->
+          (build_and_drive ~tracer ~n ~coin ~driver (fun pid ->
                let t, initial = Crash_weak_stack.create params ~me:pid ~input:inputs.(pid) in
                { v_node = Crash_weak_stack.node t;
                  v_initial = initial;
                  v_party =
                    { committed = (fun () -> Crash_weak_stack.committed t);
                      commit_round = (fun () -> Crash_weak_stack.commit_round t);
-                     round = (fun () -> Crash_weak_stack.current_round t) } }))
+                     round = (fun () -> Crash_weak_stack.current_round t);
+                     phase = (fun () -> Crash_weak_stack.current_phase t) } }))
       | Byz_strong ->
         Types.check_byz_resilience cfg;
         let coin = Coin.create Coin.Strong ~n ~degree ~seed:coin_seed in
@@ -127,14 +133,15 @@ let run_custom (type r) ?(seed = 0xB0CA1L) spec ~cfg ~inputs ~(driver : r driver
           { Byz_strong_stack.cfg; mode = `Byz; coin; bca_params = (fun ~round:_ -> cfg) }
         in
         Ok
-          (build_and_drive ~n ~coin ~driver (fun pid ->
+          (build_and_drive ~tracer ~n ~coin ~driver (fun pid ->
                let t, initial = Byz_strong_stack.create params ~me:pid ~input:inputs.(pid) in
                { v_node = Byz_strong_stack.node t;
                  v_initial = initial;
                  v_party =
                    { committed = (fun () -> Byz_strong_stack.committed t);
                      commit_round = (fun () -> Byz_strong_stack.commit_round t);
-                     round = (fun () -> Byz_strong_stack.current_round t) } }))
+                     round = (fun () -> Byz_strong_stack.current_round t);
+                     phase = (fun () -> Byz_strong_stack.current_phase t) } }))
       | Byz_weak eps ->
         Types.check_byz_resilience cfg;
         let coin = Coin.create (Coin.Eps eps) ~n ~degree ~seed:coin_seed in
@@ -142,20 +149,21 @@ let run_custom (type r) ?(seed = 0xB0CA1L) spec ~cfg ~inputs ~(driver : r driver
           { Byz_weak_stack.cfg; mode = `Byz; coin; bca_params = (fun ~round:_ -> cfg) }
         in
         Ok
-          (build_and_drive ~n ~coin ~driver (fun pid ->
+          (build_and_drive ~tracer ~n ~coin ~driver (fun pid ->
                let t, initial = Byz_weak_stack.create params ~me:pid ~input:inputs.(pid) in
                { v_node = Byz_weak_stack.node t;
                  v_initial = initial;
                  v_party =
                    { committed = (fun () -> Byz_weak_stack.committed t);
                      commit_round = (fun () -> Byz_weak_stack.commit_round t);
-                     round = (fun () -> Byz_weak_stack.current_round t) } }))
+                     round = (fun () -> Byz_weak_stack.current_round t);
+                     phase = (fun () -> Byz_weak_stack.current_phase t) } }))
       | Byz_tsig ->
         Types.check_byz_resilience cfg;
         let coin = Coin.create Coin.Strong ~n ~degree ~seed:coin_seed in
         let setup, keys = Threshold.setup ~n ~seed:(Int64.add seed 0xC4F7L) in
         Ok
-          (build_and_drive ~n ~coin ~driver (fun pid ->
+          (build_and_drive ~tracer ~n ~coin ~driver (fun pid ->
                let bca_params ~round =
                  { Bca_tsig.cfg; setup; key = keys.(pid); id = Printf.sprintf "aba/%d" round }
                in
@@ -166,7 +174,8 @@ let run_custom (type r) ?(seed = 0xB0CA1L) spec ~cfg ~inputs ~(driver : r driver
                  v_party =
                    { committed = (fun () -> Byz_tsig_stack.committed t);
                      commit_round = (fun () -> Byz_tsig_stack.commit_round t);
-                     round = (fun () -> Byz_tsig_stack.current_round t) } }))
+                     round = (fun () -> Byz_tsig_stack.current_round t);
+                     phase = (fun () -> Byz_tsig_stack.current_phase t) } }))
     with Invalid_argument msg -> Error msg
   end
 

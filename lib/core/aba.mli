@@ -9,7 +9,7 @@
     For adversarial schedules, faulty parties, lockstep round accounting, or
     driving the protocols message by message, use the underlying modules
     directly ({!Aa_strong}, {!Aa_weak}, the BCA implementations, and
-    {!Bca_netsim}); the [bca_adversary] and [bca_experiments] libraries show how. *)
+    [Bca_netsim]); the [bca_adversary] and [bca_experiments] libraries show how. *)
 
 (** The assembled stacks, exposed for callers that need message-level
     access (tracing, custom fault injection, adversaries). *)
@@ -81,9 +81,12 @@ type party = {
   committed : unit -> Bca_util.Value.t option;
   commit_round : unit -> int option;
   round : unit -> int;
+  phase : unit -> string;
+      (** current round's (G)BCA phase label (see [Bca_intf.BCA.phase]) *)
 }
 (** One party's protocol state, erased of its stack-specific type: the
-    accessors a generic harness (chaos campaign, invariant monitor) needs. *)
+    accessors a generic harness (chaos campaign, invariant monitor,
+    observability probe) needs. *)
 
 type 'r driver = {
   drive : 'm. coin:Bca_coin.Coin.t -> 'm Bca_netsim.Async_exec.t -> party array -> 'r;
@@ -95,6 +98,7 @@ type 'r driver = {
 
 val run_custom :
   ?seed:int64 ->
+  ?tracer:Bca_obs.Trace.t ->
   spec ->
   cfg:Types.cfg ->
   inputs:Bca_util.Value.t array ->
@@ -103,4 +107,11 @@ val run_custom :
 (** Assemble the stack for [spec] exactly as {!run} does (same coin seeds
     and per-party construction for a given [seed]) but hand control of the
     execution to [driver].  [Error] reports resilience violations or an
-    [Invalid_argument] escaping the driver. *)
+    [Invalid_argument] escaping the driver.
+
+    With [tracer] (default [Bca_obs.Trace.null]), the executor is built with
+    [Bca_netsim.Async_exec.create_traced] - so every network-level event of
+    the run is recorded - and the coin emits [Coin_reveal] events on each
+    party's first access to a round's coin.  Protocol milestones
+    (round entries, phase quorums, commits) are polled by a [Probe] the
+    driver installs; see {!Probe.create}. *)

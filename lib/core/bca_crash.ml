@@ -54,6 +54,10 @@ let handle t ~from msg =
 
 let decision t = t.decision
 
+let phase t =
+  if t.decision <> None then "decide" else if t.echoed <> None then "echo" else "init"
+
+
 let echoed t = t.echoed
 
 let debug_copy t =

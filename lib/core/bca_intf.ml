@@ -41,6 +41,12 @@ module type BCA = sig
   val decision : t -> Types.cvalue option
   (** The crusader decision, once reached. *)
 
+  val phase : t -> string
+  (** The furthest protocol phase this instance has completed, as a short
+      protocol-specific label (["init"], ["echo"], ["echo2"], ..,
+      ["decide"]).  Monotone along each protocol's phase ladder; used by the
+      observability probes to label quorum events. *)
+
   val max_broadcast_steps : int
   (** The protocol's worst-case communication rounds per instance, as stated
       by its theorem (e.g. 2 for Algorithm 3, 4 for Algorithm 4). Used by
@@ -64,6 +70,9 @@ module type GBCA = sig
 
   val decision : t -> Types.gdecision option
   (** The graded decision (Definition 3.2), once reached. *)
+
+  val phase : t -> string
+  (** Furthest completed phase label; see {!BCA.phase}. *)
 
   val max_broadcast_steps : int
 end

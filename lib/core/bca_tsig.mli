@@ -13,7 +13,7 @@
 
     Messages failing signature validation are dropped, which is what confines
     the simulated Byzantine parties to exactly the power of a computationally
-    bounded adversary (see {!Bca_crypto.Threshold}). *)
+    bounded adversary (see [Bca_crypto.Threshold]). *)
 
 type msg =
   | MEcho of Bca_util.Value.t * Bca_crypto.Threshold.share

@@ -165,6 +165,16 @@ let handle t ~from msg =
 
 let decision t = t.decision
 
+let phase t =
+  if t.decision <> None then "decide"
+  else if t.echo5_sent <> None then "echo5"
+  else if t.echo4_sent <> None then "echo4"
+  else if t.echo3_sent <> None then "echo3"
+  else if t.sent_echo2 then "echo2"
+  else if t.my_echoes <> [] then "echo"
+  else "init"
+
+
 let approved t = t.approved
 
 let echo4_sent t = t.echo4_sent

@@ -79,6 +79,13 @@ let handle t ~from msg =
 
 let decision t = t.decision
 
+let phase t =
+  if t.decision <> None then "decide"
+  else if t.echo2_sent <> None then "echo2"
+  else if t.echoed <> None then "echo"
+  else "init"
+
+
 let echo2_sent t = t.echo2_sent
 
 let debug_copy t =

@@ -1,0 +1,52 @@
+module Trace = Bca_obs.Trace
+module Event = Bca_obs.Event
+
+type t = {
+  tracer : Trace.t;
+  parties : Aba.party array;
+  last_round : int array;
+  last_phase : string array;
+  commit_done : bool array;
+}
+
+let create ~tracer parties =
+  let n = Array.length parties in
+  let t =
+    { tracer;
+      parties;
+      last_round = Array.make n 1;
+      last_phase = Array.make n "init";
+      commit_done = Array.make n false }
+  in
+  if Trace.enabled tracer then
+    Array.iteri
+      (fun pid _ -> Trace.emit tracer (Event.Round_enter { pid; round = 1 }))
+      parties;
+  t
+
+let poll t =
+  if Trace.enabled t.tracer then
+    Array.iteri
+      (fun pid p ->
+        let r = p.Aba.round () in
+        if r > t.last_round.(pid) then begin
+          for round = t.last_round.(pid) + 1 to r do
+            Trace.emit t.tracer (Event.Round_enter { pid; round })
+          done;
+          t.last_round.(pid) <- r;
+          (* a new round's instance starts back at "init" *)
+          t.last_phase.(pid) <- "init"
+        end;
+        let phase = p.Aba.phase () in
+        if phase <> t.last_phase.(pid) then begin
+          t.last_phase.(pid) <- phase;
+          if phase <> "init" then Trace.emit t.tracer (Event.Quorum { pid; round = r; phase })
+        end;
+        if not t.commit_done.(pid) then
+          match p.Aba.committed () with
+          | Some value ->
+            t.commit_done.(pid) <- true;
+            let round = Option.value (p.Aba.commit_round ()) ~default:r in
+            Trace.emit t.tracer (Event.Commit { pid; round; value })
+          | None -> ())
+      t.parties

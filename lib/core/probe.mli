@@ -1,0 +1,30 @@
+(** Protocol-milestone probe: polls party state into trace events.
+
+    The protocols themselves are instrumentation-free; a probe observes
+    their erased state accessors ({!Aba.party}) from the outside and turns
+    state {e changes} into events: [Round_enter] when a party's current
+    round advances, [Quorum] when its current (G)BCA instance's phase label
+    changes (each label change means a quorum-gated "upon" clause of
+    Algorithms 3-7 fired - "echo", "echo2", ... in the paper's naming),
+    and [Commit] when it first reports a committed value.
+
+    Drivers call {!poll} after every delivery (typically from the
+    executor's observer hook, chained with the invariant monitor's) and
+    once more after the run ends - the final poll catches milestones caused
+    by the last delivery, since the executor notifies observers {e before}
+    the receiving node processes the envelope.
+
+    Polling is idempotent: each milestone is emitted exactly once, however
+    often {!poll} runs.  Because the emission point is a poll rather than
+    the protocol transition itself, milestone events are ordered relative
+    to deliveries only up to one polling interval - but identically so in a
+    live run and its replay, which is what trace-identity needs. *)
+
+type t
+
+val create : tracer:Bca_obs.Trace.t -> Aba.party array -> t
+(** Start probing.  Emits a [Round_enter] for round 1 of every party (all
+    parties are constructed in round 1, before any delivery). *)
+
+val poll : t -> unit
+(** Emit events for every milestone reached since the previous poll. *)

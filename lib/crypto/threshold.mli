@@ -70,7 +70,7 @@ val threshold_of : signature -> int
 val fingerprint : signature -> int64
 (** A deterministic 64-bit condensation of the signature, equal for every
     combiner and uncomputable without [k] shares - the randomness source of
-    the Cachin-Kursawe-Shoup threshold coin ({!Bca_coin.Threshold_coin}). *)
+    the Cachin-Kursawe-Shoup threshold coin ([Bca_coin.Threshold_coin]). *)
 
 val pp_share : Format.formatter -> share -> unit
 val pp_signature : Format.formatter -> signature -> unit

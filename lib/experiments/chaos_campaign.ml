@@ -7,6 +7,8 @@ module Async = Bca_netsim.Async_exec
 module Node = Bca_netsim.Node
 module Monitor = Bca_netsim.Monitor
 module Chaos = Bca_adversary.Chaos
+module Trace = Bca_obs.Trace
+module Probe = Bca_core.Probe
 
 type outcome = [ `Committed | `Stalled ]
 
@@ -67,7 +69,7 @@ let six_stacks =
 let stall_window n = 4_000 * n
 let max_deliveries = 400_000
 
-let run_once ~spec ~cfg ~seed =
+let run_once ?(tracer = Trace.null) ~spec ~cfg ~seed () =
   let n = cfg.Types.n in
   let rng = Rng.create seed in
   let inputs = Array.init n (fun _ -> Value.of_bool (Rng.bool rng)) in
@@ -94,9 +96,12 @@ let run_once ~spec ~cfg ~seed =
                 (if Aba.spec_commits_on_coin spec then
                    Some (fun ~round ~pid -> Coin.value_for coin ~round ~pid)
                  else None)
-              ~progress ~stall_window:(stall_window n) ()
+              ~progress ~stall_window:(stall_window n) ~tracer ()
           in
-          Monitor.attach monitor exec;
+          let probe = Probe.create ~tracer parties in
+          Async.set_observer exec (fun _ ->
+              Monitor.on_delivery monitor;
+              Probe.poll probe);
           let ch = Chaos.start plan exec in
           let all_honest_done exec =
             let ok = ref true in
@@ -113,6 +118,9 @@ let run_once ~spec ~cfg ~seed =
           let (_ : Async.outcome) =
             Chaos.run ~max_deliveries ~stop_when:all_honest_done ch
           in
+          (* milestones caused by the last delivery are only visible now *)
+          Probe.poll probe;
+          Monitor.final_check monitor;
           { run_seed = seed;
             plan;
             outcome = (if all_honest_done exec then `Committed else `Stalled);
@@ -121,12 +129,12 @@ let run_once ~spec ~cfg ~seed =
             violations = Monitor.violations monitor })
     }
   in
-  match Aba.run_custom ~seed spec ~cfg ~inputs ~driver with
+  match Aba.run_custom ~seed ~tracer spec ~cfg ~inputs ~driver with
   | Ok r -> r
   | Error msg -> invalid_arg ("chaos run_once: " ^ msg)
 
 let run_stack ?domains ~name ~spec ~cfg ~runs ~seed () =
-  let reports = Mc.map ?domains ~runs ~seed (fun ~seed -> run_once ~spec ~cfg ~seed) in
+  let reports = Mc.map ?domains ~runs ~seed (fun ~seed -> run_once ~spec ~cfg ~seed ()) in
   let committed = ref 0 and stalled = ref 0 and total = ref 0 and failures = ref [] in
   Array.iter
     (fun r ->
@@ -159,7 +167,21 @@ let run_all ?domains ~runs ~seed () =
    concrete message type. *)
 module S = Aba.Crash_strong_stack
 
-let broken_run ~seed =
+(* Everything up to (but excluding) the first delivery, shared between the
+   live run and its replay: rebuilding this from the same seed yields a
+   cluster in the same state with the same pending envelope ids, which is
+   the precondition of the replay determinism contract (DESIGN.md
+   section 10). *)
+type broken = {
+  b_exec : S.msg Async.t;
+  b_monitor : Monitor.t;
+  b_probe : Probe.t;
+  b_plan : Chaos.plan;
+  b_state : int -> S.t;
+  b_n : int;
+}
+
+let broken_setup ~tracer ~seed =
   let cfg = Types.cfg ~n:5 ~t:2 in
   let n = cfg.Types.n in
   let rng = Rng.create seed in
@@ -168,15 +190,25 @@ let broken_run ~seed =
   let coin =
     Coin.create Coin.Strong ~n ~degree:cfg.Types.t ~seed:(Int64.add seed 0x5EEDL)
   in
+  if Trace.enabled tracer then
+    Coin.set_observer coin (fun ~round ~pid value ->
+        Trace.emit tracer (Bca_obs.Event.Coin_reveal { pid; round; value }));
   let params = { S.cfg; mode = `Crash; coin; bca_params = (fun ~round:_ -> cfg) } in
   let states = Array.make n None in
   let exec =
-    Async.create ~n ~make:(fun pid ->
+    Async.create_traced ~tracer ~n ~make:(fun pid ->
         let t, initial = S.create params ~me:pid ~input:inputs.(pid) in
         states.(pid) <- Some t;
         (S.node t, List.map (fun m -> Node.Broadcast m) initial))
   in
   let state pid = Option.get states.(pid) in
+  let parties =
+    Array.init n (fun pid ->
+        { Aba.committed = (fun () -> S.committed (state pid));
+          commit_round = (fun () -> S.commit_round (state pid));
+          round = (fun () -> S.current_round (state pid));
+          phase = (fun () -> S.current_phase (state pid)) })
+  in
   let monitor =
     Monitor.create ~n ~inputs
       ~decision:(fun p -> S.committed (state p))
@@ -189,11 +221,37 @@ let broken_run ~seed =
           if S.committed (state p) <> None then acc := !acc + 1000
         done;
         !acc)
-      ~stall_window:(stall_window n) ()
+      ~stall_window:(stall_window n) ~tracer ()
   in
-  Monitor.attach monitor exec;
+  let probe = Probe.create ~tracer parties in
+  Async.set_observer exec (fun _ ->
+      Monitor.on_delivery monitor;
+      Probe.poll probe);
   Async.inject exec ~src:0
     [ Node.Unicast (1, S.Committed Value.V0); Node.Unicast (2, S.Committed Value.V1) ];
+  { b_exec = exec; b_monitor = monitor; b_probe = probe; b_plan = plan;
+    b_state = state; b_n = n }
+
+let broken_all_done b exec =
+  let ok = ref true in
+  for p = 0 to b.b_n - 1 do
+    if (not (Async.crashed exec p)) && S.committed (b.b_state p) = None then ok := false
+  done;
+  !ok
+
+let broken_report b ~seed ~chaos =
+  Probe.poll b.b_probe;
+  Monitor.final_check b.b_monitor;
+  { run_seed = seed;
+    plan = b.b_plan;
+    outcome = (if broken_all_done b b.b_exec then `Committed else `Stalled);
+    deliveries = Async.deliveries b.b_exec;
+    chaos;
+    violations = Monitor.violations b.b_monitor }
+
+let broken_run ?(tracer = Trace.null) ~seed () =
+  let b = broken_setup ~tracer ~seed in
+  let exec = b.b_exec in
   (* Deliver the two lies first so the violation does not depend on the
      schedule racing honest committed broadcasts. *)
   List.iter
@@ -202,18 +260,21 @@ let broken_run ~seed =
       | S.Committed _ when e.src = 0 -> ignore (Async.deliver_eid exec e.eid : bool)
       | _ -> ())
     (Async.inflight exec);
-  let ch = Chaos.start plan exec in
-  let all_done exec =
-    let ok = ref true in
-    for p = 0 to n - 1 do
-      if (not (Async.crashed exec p)) && S.committed (state p) = None then ok := false
-    done;
-    !ok
+  let ch = Chaos.start b.b_plan exec in
+  let (_ : Async.outcome) =
+    Chaos.run ~max_deliveries ~stop_when:(broken_all_done b) ch
   in
-  let (_ : Async.outcome) = Chaos.run ~max_deliveries ~stop_when:all_done ch in
-  { run_seed = seed;
-    plan;
-    outcome = (if all_done exec then `Committed else `Stalled);
-    deliveries = Async.deliveries exec;
-    chaos = Chaos.stats ch;
-    violations = Monitor.violations monitor }
+  broken_report b ~seed ~chaos:(Chaos.stats ch)
+
+let replay_broken ~seed events =
+  let tracer = Trace.create ~capacity:(Array.length events) () in
+  let b = broken_setup ~tracer ~seed in
+  match Async.replay b.b_exec events with
+  | Error _ as e -> e
+  | Ok () ->
+    (* the chaos decisions are baked into the action log; no chaos engine
+       runs during replay, so its counters are vacuously zero *)
+    let chaos = { Chaos.drops = 0; dups = 0; corruptions = 0; forced_heals = 0 } in
+    (* the final-poll events belong to the trace: snapshot only after *)
+    let report = broken_report b ~seed ~chaos in
+    Ok (report, Trace.events tracer)

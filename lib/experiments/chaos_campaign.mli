@@ -1,9 +1,9 @@
 (** Chaos Monte-Carlo campaign: randomized fault plans against every stack.
 
     Each run derives, from one 64-bit seed, the party inputs, a random
-    {!Bca_adversary.Chaos} fault plan (within the stack's fault model and
+    [Bca_adversary.Chaos] fault plan (within the stack's fault model and
     resilience bound), and the chaos event stream; executes the stack under
-    that plan with a {!Bca_netsim.Monitor} attached; and reports any
+    that plan with a [Bca_netsim.Monitor] attached; and reports any
     agreement / validity / binding violation together with the seed and the
     serialized plan, so a failure replays exactly.  Runs fan out over
     domains through {!Mc.map}, so campaign results are bit-identical for
@@ -49,10 +49,17 @@ val six_stacks : (string * Bca_core.Aba.spec * Bca_core.Types.cfg) list
     t=1. *)
 
 val run_once :
-  spec:Bca_core.Aba.spec -> cfg:Bca_core.Types.cfg -> seed:int64 -> run_report
+  ?tracer:Bca_obs.Trace.t ->
+  spec:Bca_core.Aba.spec ->
+  cfg:Bca_core.Types.cfg ->
+  seed:int64 ->
+  unit ->
+  run_report
 (** One seeded chaos run.  The fault plan keeps crashes plus corrupted
     parties within [cfg.t]; corruption is drawn only for Byzantine-model
-    stacks. *)
+    stacks.  With [tracer] (default disabled) the full execution is
+    recorded: network events from the executor, coin reveals, protocol
+    milestones from a [Bca_core.Probe], and monitor violations. *)
 
 val run_stack :
   ?domains:int ->
@@ -70,9 +77,24 @@ val run_all : ?domains:int -> runs:int -> seed:int64 -> unit -> stack_report lis
     [i] uses root seed [seed + i] so adding a stack never reshuffles the
     others' plans. *)
 
-val broken_run : seed:int64 -> run_report
+val broken_run : ?tracer:Bca_obs.Trace.t -> seed:int64 -> unit -> run_report
 (** Monitor self-test: a crash/strong cluster with an injected safety bug
     (party 0 equivocates the termination layer, telling one peer
     [committed(0)] and another [committed(1)]).  The monitor must flag an
     agreement violation; the report carries the reproducing seed and
-    plan. *)
+    plan.  With [tracer] the violating execution is recorded and can be
+    re-executed bit-identically by {!replay_broken}. *)
+
+val replay_broken :
+  seed:int64 ->
+  Bca_obs.Event.timed array ->
+  (run_report * Bca_obs.Event.timed array, string) result
+(** Replay a {!broken_run} capture: rebuild the same cluster from [seed]
+    (the scenario), re-apply the recorded action events
+    ([Bca_netsim.Async_exec.replay]), and return the reproduced report
+    together with the freshly recorded trace.  For a faithful capture the
+    returned trace equals the original event-for-event, violation
+    included; the report's [chaos] counters are zero (the chaos engine's
+    decisions are baked into the action log, so it does not run during
+    replay).  [Error] means the log does not fit the rebuilt scenario -
+    wrong seed or a tampered capture. *)

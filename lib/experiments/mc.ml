@@ -47,3 +47,10 @@ let map ?domains ~runs ~seed f =
 
 let summarize ?domains ~runs ~seed f =
   Summary.of_floats (Array.to_list (map ?domains ~runs ~seed f))
+
+(* The per-run results arrive in run order regardless of which domain
+   computed them, so any associative [merge] with identity [init] makes the
+   fold domain-count independent: [map] fixes the sample vector, and folding
+   a fixed vector left-to-right is deterministic. *)
+let map_fold ?domains ~runs ~seed ~init ~merge f =
+  Array.fold_left merge init (map ?domains ~runs ~seed f)

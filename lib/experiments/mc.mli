@@ -28,3 +28,17 @@ val map : ?domains:int -> runs:int -> seed:int64 -> (seed:int64 -> 'a) -> 'a arr
 val summarize :
   ?domains:int -> runs:int -> seed:int64 -> (seed:int64 -> float) -> Bca_util.Summary.t
 (** Summary statistics over [map]. *)
+
+val map_fold :
+  ?domains:int ->
+  runs:int ->
+  seed:int64 ->
+  init:'b ->
+  merge:('b -> 'a -> 'b) ->
+  (seed:int64 -> 'a) ->
+  'b
+(** [map_fold ~init ~merge f] folds the {!map} result vector in run order.
+    When [merge] is associative (with [init] an identity) the outcome is
+    independent of the domain count - the contract [Bca_obs.Metrics]
+    satisfies, so per-run metrics can be aggregated from a parallel
+    campaign deterministically. *)

@@ -20,9 +20,16 @@ type 'm t = {
   mutable next_eid : int;
   mutable delivered : int;
   mutable observer : ('m envelope -> unit) option;
+  tracer : Bca_obs.Trace.t;
+  (* cached [Trace.enabled tracer]: instrumentation sites test one bool and
+     skip event construction entirely when tracing is off *)
+  tracing : bool;
 }
 
 let add_env t env =
+  if t.tracing then
+    Bca_obs.Trace.emit t.tracer
+      (Bca_obs.Event.Send { eid = env.eid; src = env.src; dst = env.dst; depth = env.depth });
   Pool.add t.pool env;
   (match t.slot_of_eid with
   | Some ix -> Hashtbl.replace ix env.eid (Pool.length t.pool - 1)
@@ -67,7 +74,7 @@ let enqueue t ~src emits =
         t.next_eid <- t.next_eid + 1)
     emits
 
-let create ~n ~make =
+let create_traced ~tracer ~n ~make =
   let nodes = Array.make n Node.silent in
   let t =
     { n;
@@ -79,12 +86,16 @@ let create ~n ~make =
       depths = Array.make n 0;
       next_eid = 0;
       delivered = 0;
-      observer = None }
+      observer = None;
+      tracer;
+      tracing = Bca_obs.Trace.enabled tracer }
   in
   let initial = Array.init n (fun pid -> make pid) in
   Array.iteri (fun pid (node, _) -> t.nodes.(pid) <- node) initial;
   Array.iteri (fun pid (_, emits) -> enqueue t ~src:pid emits) initial;
   t
+
+let create ~n ~make = create_traced ~tracer:Bca_obs.Trace.null ~n ~make
 
 let n t = t.n
 
@@ -98,11 +109,21 @@ let pool_get t i = Pool.get t.pool i
 
 let deliveries t = t.delivered
 
-let crash t pid = t.alive.(pid) <- false
+let crash t pid =
+  if t.tracing then Bca_obs.Trace.emit t.tracer (Bca_obs.Event.Crash { pid });
+  t.alive.(pid) <- false
 
 let crashed t pid = not t.alive.(pid)
 
 let drop_outgoing t ~src ~keep =
+  (* when tracing, record the victims before the destructive filter *)
+  if t.tracing then
+    Pool.iter
+      (fun env ->
+        if env.src = src && not (keep env) then
+          Bca_obs.Trace.emit t.tracer
+            (Bca_obs.Event.Drop { eid = env.eid; src = env.src; dst = env.dst }))
+      t.pool;
   Pool.filter_in_place t.pool (fun env -> env.src <> src || keep env);
   (* slots shifted arbitrarily: rebuild the eid index if it exists.  The
      FIFO heap keeps its stale entries; lazy deletion skips them. *)
@@ -126,13 +147,20 @@ let inject t ~src emits = enqueue t ~src emits
 let drop_eid t eid =
   match Hashtbl.find_opt (ensure_slot_index t) eid with
   | None -> None
-  | Some i -> Some (remove_slot t i)
+  | Some i ->
+    let env = remove_slot t i in
+    if t.tracing then
+      Bca_obs.Trace.emit t.tracer
+        (Bca_obs.Event.Drop { eid = env.eid; src = env.src; dst = env.dst });
+    Some env
 
 let duplicate_eid t eid =
   match Hashtbl.find_opt (ensure_slot_index t) eid with
   | None -> false
   | Some i ->
     let env = Pool.get t.pool i in
+    if t.tracing then
+      Bca_obs.Trace.emit t.tracer (Bca_obs.Event.Duplicate { eid; copy = t.next_eid });
     add_env t { env with eid = t.next_eid };
     t.next_eid <- t.next_eid + 1;
     true
@@ -142,6 +170,7 @@ let redirect_eid t eid ~dst =
   match Hashtbl.find_opt (ensure_slot_index t) eid with
   | None -> false
   | Some i ->
+    if t.tracing then Bca_obs.Trace.emit t.tracer (Bca_obs.Event.Redirect { eid; dst });
     Pool.set t.pool i { (Pool.get t.pool i) with dst };
     true
 
@@ -149,6 +178,7 @@ let swap_payloads t eid1 eid2 =
   let ix = ensure_slot_index t in
   match (Hashtbl.find_opt ix eid1, Hashtbl.find_opt ix eid2) with
   | Some i, Some j when eid1 <> eid2 ->
+    if t.tracing then Bca_obs.Trace.emit t.tracer (Bca_obs.Event.Swap { eid1; eid2 });
     let a = Pool.get t.pool i and b = Pool.get t.pool j in
     Pool.set t.pool i { a with payload = b.payload };
     Pool.set t.pool j { b with payload = a.payload };
@@ -157,6 +187,9 @@ let swap_payloads t eid1 eid2 =
 
 let deliver_env t env =
   t.delivered <- t.delivered + 1;
+  if t.tracing then
+    Bca_obs.Trace.emit t.tracer
+      (Bca_obs.Event.Deliver { eid = env.eid; src = env.src; dst = env.dst; depth = env.depth });
   (match t.observer with Some f -> f env | None -> ());
   if t.alive.(env.dst) then begin
     t.depths.(env.dst) <- max t.depths.(env.dst) env.depth;
@@ -171,6 +204,53 @@ let deliver_eid t eid =
     let env = remove_slot t i in
     deliver_env t env;
     true
+
+(* ---- replay -------------------------------------------------------- *)
+(* Nodes are deterministic state machines and eids are assigned from a
+   monotone counter, so a cluster rebuilt exactly as the original (same
+   construction, same injections) plus the original run's action log is a
+   complete description of the execution: re-applying the actions in order
+   reproduces it bit for bit.  Non-action events (sends, protocol
+   milestones, violations) are consequences and re-emerge on their own -
+   which is what lets a replayed trace be compared to the original for
+   identity. *)
+
+let apply t (ev : Bca_obs.Event.t) =
+  match ev with
+  | Bca_obs.Event.Deliver { eid; _ } -> deliver_eid t eid
+  | Bca_obs.Event.Drop { eid; _ } -> drop_eid t eid <> None
+  | Bca_obs.Event.Duplicate { eid; copy } ->
+    (* the copy's eid comes from [next_eid]; a mismatch means the replayed
+       cluster has diverged from the one that produced the log *)
+    t.next_eid = copy && duplicate_eid t eid
+  | Bca_obs.Event.Redirect { eid; dst } ->
+    dst >= 0 && dst < t.n && redirect_eid t eid ~dst
+  | Bca_obs.Event.Swap { eid1; eid2 } -> swap_payloads t eid1 eid2
+  | Bca_obs.Event.Crash { pid } ->
+    pid >= 0 && pid < t.n
+    && begin
+         crash t pid;
+         true
+       end
+  | Bca_obs.Event.Send _ | Bca_obs.Event.Round_enter _ | Bca_obs.Event.Quorum _
+  | Bca_obs.Event.Coin_reveal _ | Bca_obs.Event.Commit _ | Bca_obs.Event.Violation _ ->
+    (* not an action: nothing to apply *)
+    true
+
+let replay t events =
+  let n = Array.length events in
+  let rec go i =
+    if i >= n then Ok ()
+    else
+      let { Bca_obs.Event.ev; _ } = events.(i) in
+      if not (Bca_obs.Event.is_action ev) then go (i + 1)
+      else if apply t ev then go (i + 1)
+      else
+        Error
+          (Format.asprintf "replay diverged at event %d: %a is not applicable" i
+             Bca_obs.Event.pp ev)
+  in
+  go 0
 
 type 'm list_scheduler = delivered:int -> 'm envelope list -> 'm envelope option
 

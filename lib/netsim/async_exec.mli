@@ -35,7 +35,20 @@ type 'm t
 val create : n:int -> make:(pid -> 'm Node.t * 'm Node.emit list) -> 'm t
 (** Build an execution with [n] parties.  [make pid] returns the party's node
     and its initial sends (the "send <val, x> to all" first line of every
-    protocol). *)
+    protocol).  Tracing is disabled; same as [create_traced
+    ~tracer:Bca_obs.Trace.null]. *)
+
+val create_traced :
+  tracer:Bca_obs.Trace.t ->
+  n:int ->
+  make:(pid -> 'm Node.t * 'm Node.emit list) ->
+  'm t
+(** Like {!create}, but every network-level event (send, deliver, drop,
+    duplicate, redirect, swap, crash) is emitted to [tracer], including the
+    initial sends performed during construction.  Pass
+    [Bca_obs.Trace.null] to disable: instrumentation sites test a cached
+    boolean and build no event values, so a null-traced execution costs one
+    predictable branch per site (see DESIGN.md section 10). *)
 
 val n : 'm t -> int
 
@@ -82,7 +95,7 @@ val deliver_eid : 'm t -> int -> bool
     Raw adversary powers over the in-flight pool, all O(1) by envelope id.
     They enforce no fault-model policy themselves: unrestricted use against
     honest links breaks the paper's reliable-link assumption, so callers
-    must gate them - {!Bca_adversary.Chaos} only applies them to faulty
+    must gate them - [Bca_adversary.Chaos] only applies them to faulty
     parties' traffic or within a per-link fairness budget.  All primitives
     keep every scheduler consistent (removals rely on the FIFO heap's lazy
     deletion; rewrites keep the envelope's id and slot). *)
@@ -105,6 +118,32 @@ val swap_payloads : 'm t -> int -> int -> bool
     type-agnostic corruption: applied to two messages of one faulty sender
     it models equivocation-style reordering of that sender's traffic.
     [false] unless both ids are in flight and distinct. *)
+
+(** {2 Replay}
+
+    An execution is determined by its construction plus the sequence of
+    {e actions} performed on it: nodes are deterministic state machines and
+    envelope ids come from a monotone counter, so rebuilding the cluster the
+    same way (same [n], same [make], same injections) and re-applying a
+    recorded action log reproduces the original run bit for bit.  The action
+    subset of the event taxonomy is exactly [Bca_obs.Event.is_action]; see
+    DESIGN.md section 10 for the full determinism contract. *)
+
+val apply : 'm t -> Bca_obs.Event.t -> bool
+(** Re-apply one recorded event.  Action events perform the corresponding
+    executor operation ([Deliver] -> {!deliver_eid}, [Drop] -> {!drop_eid},
+    [Duplicate] -> {!duplicate_eid} after checking that the copy's id matches
+    the executor's next id, [Redirect] -> {!redirect_eid}, [Swap] ->
+    {!swap_payloads}, [Crash] -> {!crash}); non-action events are no-ops.
+    Returns [false] if the event is not applicable - the replayed cluster has
+    diverged from the one that produced the log. *)
+
+val replay : 'm t -> Bca_obs.Event.timed array -> (unit, string) result
+(** Re-apply a full recorded event stream in order, skipping non-action
+    events.  Stops at the first inapplicable action with an error naming the
+    offending event.  If the execution was built with {!create_traced}, the
+    replay emits a fresh trace that can be compared with the original for
+    bit-for-bit identity. *)
 
 type 'm list_scheduler = delivered:int -> 'm envelope list -> 'm envelope option
 (** The legacy scheduler signature: given the number of deliveries so far and

@@ -39,10 +39,11 @@ type t = {
   mutable since_progress : int;
   mutable stalled : bool;  (* report Stalled at most once *)
   mutable violations : violation list;  (* reverse detection order *)
+  tracer : Bca_obs.Trace.t;
 }
 
 let create ~n ?(honest = fun _ -> true) ~inputs ~decision ?(commit_round = fun _ -> None)
-    ?coin_value ?progress ?(stall_window = 10_000) () =
+    ?coin_value ?progress ?(stall_window = 10_000) ?(tracer = Bca_obs.Trace.null) () =
   let unanimous =
     let rec scan pid acc =
       if pid >= n then acc
@@ -68,9 +69,21 @@ let create ~n ?(honest = fun _ -> true) ~inputs ~decision ?(commit_round = fun _
     last_progress = (match progress with Some f -> f () | None -> 0);
     since_progress = 0;
     stalled = false;
-    violations = [] }
+    violations = [];
+    tracer }
 
-let report t v = t.violations <- v :: t.violations
+let violation_kind = function
+  | Agreement _ -> "agreement"
+  | Validity _ -> "validity"
+  | Binding _ -> "binding"
+  | Stalled _ -> "stalled"
+
+let report t v =
+  t.violations <- v :: t.violations;
+  if Bca_obs.Trace.enabled t.tracer then
+    Bca_obs.Trace.emit t.tracer
+      (Bca_obs.Event.Violation
+         { kind = violation_kind v; detail = Format.asprintf "%a" pp_violation v })
 
 (* A party decided: compare against the first recorded decision (agreement
    is transitive over equality, so one reference decision suffices) and the
@@ -131,6 +144,10 @@ let on_delivery t =
   watchdog t
 
 let attach t exec = Async_exec.set_observer exec (fun _ -> on_delivery t)
+
+(* End-of-run check: catch decisions caused by the very last delivery (the
+   observer fires before the receiving node processes the envelope). *)
+let final_check t = poll_decisions t
 
 let violations t = List.rev t.violations
 

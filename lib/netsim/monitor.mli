@@ -61,13 +61,16 @@ val create :
   ?coin_value:(round:int -> pid:pid -> Bca_util.Value.t) ->
   ?progress:(unit -> int) ->
   ?stall_window:int ->
+  ?tracer:Bca_obs.Trace.t ->
   unit ->
   t
 (** [honest] defaults to everyone (crash faults are honest; exclude only
     Byzantine/corrupted parties).  [inputs] are the honest input values
     (slots of non-honest parties are ignored).  [progress] must be a
     monotone measure of execution progress (e.g. decisions made plus rounds
-    entered); [stall_window] defaults to 10_000. *)
+    entered); [stall_window] defaults to 10_000.  With [tracer] (default
+    [Bca_obs.Trace.null]) every violation is additionally emitted as a
+    [Violation] trace event at the logical time it was detected. *)
 
 val on_delivery : t -> unit
 (** Record one delivery and re-check the invariants incrementally: only
@@ -77,6 +80,12 @@ val on_delivery : t -> unit
 val attach : t -> 'm Async_exec.t -> unit
 (** Install {!on_delivery} as the execution's observer (replaces any
     observer set before; callers needing both should chain manually). *)
+
+val final_check : t -> unit
+(** Re-check decisions once more without counting a delivery.  Call after
+    the run ends: the executor notifies observers {e before} the receiving
+    node processes an envelope, so a decision caused by the very last
+    delivery is only visible to this call. *)
 
 val violations : t -> violation list
 (** All violations found so far, in detection order.  Each invariant class

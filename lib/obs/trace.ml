@@ -1,0 +1,77 @@
+type sink = Null | Buffer | Stream of (Event.timed -> unit)
+
+type t = {
+  sink : sink;
+  mutable buf : Event.timed array;
+  mutable len : int;
+  mutable clock : int;
+}
+
+let dummy : Event.timed = { ts = 0; ev = Event.Crash { pid = -1 } }
+
+let null = { sink = Null; buf = [||]; len = 0; clock = 0 }
+
+let create ?(capacity = 1024) () =
+  { sink = Buffer; buf = Array.make (max 1 capacity) dummy; len = 0; clock = 0 }
+
+let stream f = { sink = Stream f; buf = [||]; len = 0; clock = 0 }
+
+let enabled t = t.sink <> Null
+
+let push t timed =
+  if t.len = Array.length t.buf then begin
+    let bigger = Array.make (2 * max 1 t.len) dummy in
+    Array.blit t.buf 0 bigger 0 t.len;
+    t.buf <- bigger
+  end;
+  t.buf.(t.len) <- timed;
+  t.len <- t.len + 1
+
+let emit t ev =
+  match t.sink with
+  | Null -> ()
+  | Buffer | Stream _ ->
+    (match ev with Event.Deliver _ -> t.clock <- t.clock + 1 | _ -> ());
+    let timed = { Event.ts = t.clock; ev } in
+    (match t.sink with
+    | Buffer -> push t timed
+    | Stream f -> f timed
+    | Null -> ())
+
+let now t = t.clock
+
+let length t = t.len
+
+let events t = Array.sub t.buf 0 t.len
+
+let events_to_jsonl evs =
+  let buf = Buffer.create (128 * (1 + Array.length evs)) in
+  Array.iter
+    (fun e ->
+      Buffer.add_string buf (Event.to_json e);
+      Buffer.add_char buf '\n')
+    evs;
+  Buffer.contents buf
+
+let to_jsonl t = events_to_jsonl (events t)
+
+let of_jsonl s =
+  let lines = String.split_on_char '\n' s in
+  let rec go acc lineno = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | line :: rest ->
+      let trimmed = String.trim line in
+      if trimmed = "" then go acc (lineno + 1) rest
+      else
+        (match Event.of_json trimmed with
+        | Ok e -> go (e :: acc) (lineno + 1) rest
+        | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  go [] 1 lines
+
+let output oc t = output_string oc (to_jsonl t)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> of_jsonl contents
+  | exception Sys_error msg -> Error msg

@@ -293,8 +293,8 @@ let test_campaign_all_stacks_safe () =
     reports
 
 let test_campaign_deterministic () =
-  let a = Campaign.run_once ~spec:Aba.Byz_strong ~cfg:(Types.cfg ~n:4 ~t:1) ~seed:123L in
-  let b = Campaign.run_once ~spec:Aba.Byz_strong ~cfg:(Types.cfg ~n:4 ~t:1) ~seed:123L in
+  let a = Campaign.run_once ~spec:Aba.Byz_strong ~cfg:(Types.cfg ~n:4 ~t:1) ~seed:123L () in
+  let b = Campaign.run_once ~spec:Aba.Byz_strong ~cfg:(Types.cfg ~n:4 ~t:1) ~seed:123L () in
   Alcotest.(check bool) "same seed, same report" true (a = b)
 
 let test_campaign_parallel_matches_sequential () =
@@ -305,7 +305,7 @@ let test_campaign_parallel_matches_sequential () =
   Alcotest.(check bool) "domain count does not change results" true (run 1 = run 3)
 
 let test_broken_stack_caught () =
-  let r = Campaign.broken_run ~seed:7L in
+  let r = Campaign.broken_run ~seed:7L () in
   let safety = Campaign.safety_violations r in
   Alcotest.(check bool) "violations found" true (safety <> []);
   Alcotest.(check bool) "an agreement violation among them" true
@@ -315,7 +315,7 @@ let test_broken_stack_caught () =
   Alcotest.(check bool) "report embeds the plan" true (contains report "plan:");
   Alcotest.(check bool) "report shows the violation" true (contains report "VIOLATION");
   Alcotest.(check bool) "replayable: same seed, same violations" true
-    (Campaign.broken_run ~seed:7L = r)
+    (Campaign.broken_run ~seed:7L () = r)
 
 let () =
   Alcotest.run "chaos"

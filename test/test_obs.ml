@@ -1,0 +1,292 @@
+(* Observability layer tests: the event JSONL codec, the trace's logical
+   clock, replay bit-identity of a captured violation, metrics aggregation
+   laws (associativity / identity, hence domain-count independence), and
+   the tracing-disabled noninterference guarantee. *)
+
+module Value = Bca_util.Value
+module Event = Bca_obs.Event
+module Trace = Bca_obs.Trace
+module Metrics = Bca_obs.Metrics
+module Types = Bca_core.Types
+module Aba = Bca_core.Aba
+module Mc = Bca_experiments.Mc
+module Campaign = Bca_experiments.Chaos_campaign
+
+(* ------------------------------------------------------------------ *)
+(* Event codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* one of each constructor, plus hostile strings in the free-text fields *)
+let sample_events : Event.t list =
+  [ Send { eid = 0; src = 0; dst = 3; depth = 1 };
+    Deliver { eid = 7; src = 2; dst = 1; depth = 4 };
+    Drop { eid = 12; src = 1; dst = 0 };
+    Duplicate { eid = 3; copy = 44 };
+    Redirect { eid = 9; dst = 2 };
+    Swap { eid1 = 5; eid2 = 6 };
+    Crash { pid = 4 };
+    Round_enter { pid = 0; round = 17 };
+    Quorum { pid = 1; round = 2; phase = "echo2" };
+    Coin_reveal { pid = 3; round = 5; value = Value.V1 };
+    Commit { pid = 2; round = 3; value = Value.V0 };
+    Violation { kind = "agreement"; detail = "p1 decided 0, p2 decided 1" };
+    Violation
+      { kind = "binding";
+        detail = "quote \" backslash \\ newline \n tab \t ctrl \x01 end" };
+    Quorum { pid = 0; round = 1; phase = "" } ]
+
+let test_json_roundtrip () =
+  List.iteri
+    (fun i ev ->
+      let timed = { Event.ts = i * 3; ev } in
+      let line = Event.to_json timed in
+      Alcotest.(check bool)
+        (Printf.sprintf "event %d is one line" i)
+        false
+        (String.contains line '\n');
+      match Event.of_json line with
+      | Error msg -> Alcotest.failf "event %d did not parse: %s (%s)" i msg line
+      | Ok timed' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "event %d round-trips" i)
+          true
+          (Event.equal_timed timed timed'))
+    sample_events
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun line ->
+      match Event.of_json line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted garbage: %s" line)
+    [ ""; "{}"; "not json"; {|{"ts":1}|}; {|{"type":"send"}|};
+      {|{"ts":1,"type":"warp","eid":0}|}; {|{"ts":1,"type":"send","eid":0|} ]
+
+let test_jsonl_roundtrip () =
+  let evs =
+    Array.of_list (List.mapi (fun i ev -> { Event.ts = i; ev }) sample_events)
+  in
+  match Trace.of_jsonl (Trace.events_to_jsonl evs) with
+  | Error msg -> Alcotest.failf "JSONL did not parse: %s" msg
+  | Ok evs' -> Alcotest.(check bool) "JSONL round-trip" true (evs = evs')
+
+let test_jsonl_error_pinpoints_line () =
+  let text = Event.to_json { ts = 0; ev = Crash { pid = 1 } } ^ "\nbroken\n" in
+  match Trace.of_jsonl text with
+  | Ok _ -> Alcotest.fail "accepted a broken line"
+  | Error msg ->
+    Alcotest.(check bool)
+      "error names line 2" true
+      (let re = "line 2" in
+       let nh = String.length msg and nn = String.length re in
+       let rec go i = i + nn <= nh && (String.sub msg i nn = re || go (i + 1)) in
+       go 0)
+
+(* qcheck: arbitrary events round-trip through the codec *)
+
+let gen_string = QCheck2.Gen.(string_size ~gen:(char_range '\x00' '\xff') (int_bound 20))
+
+let gen_value = QCheck2.Gen.(map (fun b -> if b then Value.V1 else Value.V0) bool)
+
+let gen_event : Event.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let i = int_bound 10_000 in
+  oneof
+    [ map (fun ((eid, src), (dst, depth)) -> Event.Send { eid; src; dst; depth })
+        (pair (pair i i) (pair i i));
+      map (fun ((eid, src), (dst, depth)) -> Event.Deliver { eid; src; dst; depth })
+        (pair (pair i i) (pair i i));
+      map (fun (eid, (src, dst)) -> Event.Drop { eid; src; dst }) (pair i (pair i i));
+      map (fun (eid, copy) -> Event.Duplicate { eid; copy }) (pair i i);
+      map (fun (eid, dst) -> Event.Redirect { eid; dst }) (pair i i);
+      map (fun (eid1, eid2) -> Event.Swap { eid1; eid2 }) (pair i i);
+      map (fun pid -> Event.Crash { pid }) i;
+      map (fun (pid, round) -> Event.Round_enter { pid; round }) (pair i i);
+      map (fun ((pid, round), phase) -> Event.Quorum { pid; round; phase })
+        (pair (pair i i) gen_string);
+      map (fun ((pid, round), value) -> Event.Coin_reveal { pid; round; value })
+        (pair (pair i i) gen_value);
+      map (fun ((pid, round), value) -> Event.Commit { pid; round; value })
+        (pair (pair i i) gen_value);
+      map (fun (kind, detail) -> Event.Violation { kind; detail })
+        (pair gen_string gen_string) ]
+
+let gen_timed = QCheck2.Gen.(map2 (fun ts ev -> { Event.ts; ev }) (int_bound 100_000) gen_event)
+
+let prop_codec_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"event JSON codec round-trips" gen_timed
+    (fun timed ->
+      match Event.of_json (Event.to_json timed) with
+      | Ok timed' -> Event.equal_timed timed timed'
+      | Error msg -> QCheck2.Test.fail_reportf "parse failed: %s" msg)
+
+(* ------------------------------------------------------------------ *)
+(* Trace clock                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_clock () =
+  let tr = Trace.create () in
+  let deliver eid = Trace.emit tr (Deliver { eid; src = 0; dst = 1; depth = 1 }) in
+  Trace.emit tr (Send { eid = 0; src = 0; dst = 1; depth = 1 });
+  deliver 0;
+  Trace.emit tr (Crash { pid = 2 });
+  deliver 1;
+  deliver 2;
+  let ts = Array.map (fun (e : Event.timed) -> e.ts) (Trace.events tr) in
+  Alcotest.(check (array int)) "deliver stamps its own 1-based index"
+    [| 0; 1; 1; 2; 3 |] ts;
+  Alcotest.(check int) "now = deliveries" 3 (Trace.now tr)
+
+let test_null_trace_inert () =
+  Alcotest.(check bool) "null disabled" false (Trace.enabled Trace.null);
+  Trace.emit Trace.null (Crash { pid = 0 });
+  Alcotest.(check int) "null records nothing" 0 (Trace.length Trace.null);
+  Alcotest.(check int) "null clock frozen" 0 (Trace.now Trace.null)
+
+(* ------------------------------------------------------------------ *)
+(* Capture and replay                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_broken_replay_identical () =
+  let seed = 0xD15EA5EL in
+  let tracer = Trace.create () in
+  let report = Campaign.broken_run ~tracer ~seed () in
+  let events = Trace.events tracer in
+  Alcotest.(check bool) "live run violates" true
+    (Campaign.safety_violations report <> []);
+  Alcotest.(check bool) "trace non-trivial" true (Array.length events > 10);
+  (* the export format itself must survive the trip *)
+  (match Trace.of_jsonl (Trace.to_jsonl tracer) with
+  | Error msg -> Alcotest.failf "capture did not re-parse: %s" msg
+  | Ok evs -> Alcotest.(check bool) "export/import is identity" true (evs = events));
+  match Campaign.replay_broken ~seed events with
+  | Error msg -> Alcotest.failf "replay refused: %s" msg
+  | Ok (report', events') ->
+    Alcotest.(check bool) "replayed trace bit-identical" true (events' = events);
+    Alcotest.(check int) "same violation count"
+      (List.length (Campaign.safety_violations report))
+      (List.length (Campaign.safety_violations report'));
+    Alcotest.(check int) "same deliveries" report.deliveries report'.deliveries
+
+let test_replay_rejects_wrong_seed () =
+  let tracer = Trace.create () in
+  let (_ : Campaign.run_report) = Campaign.broken_run ~tracer ~seed:1L () in
+  (* a different seed reshuffles the chaos plan, so the logged actions stop
+     fitting the rebuilt scenario at some point; divergence must be an
+     [Error], never a silent wrong answer *)
+  match Campaign.replay_broken ~seed:99L (Trace.events tracer) with
+  | Error _ -> ()
+  | Ok (_, events') ->
+    Alcotest.(check bool) "wrong seed cannot reproduce the trace" false
+      (events' = Trace.events tracer)
+
+(* ------------------------------------------------------------------ *)
+(* Tracing must not perturb the execution                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_tracing_noninterference () =
+  let _, spec, cfg = List.hd Campaign.six_stacks in
+  List.iter
+    (fun seed ->
+      let plain = Campaign.run_once ~spec ~cfg ~seed () in
+      let tracer = Trace.create () in
+      let traced = Campaign.run_once ~tracer ~spec ~cfg ~seed () in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %Ld: identical report with and without tracer" seed)
+        true
+        (plain = traced))
+    [ 5L; 6L; 7L ]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics aggregation laws                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Metrics.t is abstract; its full JSON rendering is a faithful observer
+   of everything the module reports, so law-checking compares those. *)
+let metrics_equal a b = Metrics.to_json a = Metrics.to_json b
+
+(* a plausible little run: rounds advance, messages flow, someone commits *)
+let gen_run : Event.timed array QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* rounds = int_range 1 4 in
+  let* per_round = int_range 1 6 in
+  let* commit_round = int_range 1 rounds in
+  let buf = ref [] in
+  let ts = ref 0 in
+  let push ev = buf := { Event.ts = !ts; ev } :: !buf in
+  for r = 1 to rounds do
+    push (Round_enter { pid = 0; round = r });
+    for k = 0 to per_round - 1 do
+      push (Send { eid = (r * 100) + k; src = 0; dst = 1; depth = r });
+      incr ts;
+      push (Deliver { eid = (r * 100) + k; src = 0; dst = 1; depth = r })
+    done;
+    push (Coin_reveal { pid = 0; round = r; value = Value.V0 });
+    if r = commit_round then push (Commit { pid = 0; round = r; value = Value.V0 })
+  done;
+  return (Array.of_list (List.rev !buf))
+
+let prop_merge_associative =
+  QCheck2.Test.make ~count:200 ~name:"metrics merge is associative with identity"
+    QCheck2.Gen.(triple gen_run gen_run gen_run)
+    (fun (ra, rb, rc) ->
+      let m r = Metrics.add_run Metrics.empty r in
+      let a = m ra and b = m rb and c = m rc in
+      metrics_equal (Metrics.merge a (Metrics.merge b c))
+        (Metrics.merge (Metrics.merge a b) c)
+      && metrics_equal (Metrics.merge Metrics.empty a) a
+      && metrics_equal (Metrics.merge a Metrics.empty) a
+      (* fold-shape independence: one aggregate accumulating runs equals
+         merged per-run aggregates *)
+      && metrics_equal
+           (Metrics.add_run (Metrics.add_run a rb) rc)
+           (Metrics.merge a (Metrics.merge b c)))
+
+let test_map_fold_domain_independent () =
+  let _, spec, cfg = List.hd Campaign.six_stacks in
+  let aggregate domains =
+    Mc.map_fold ~domains ~runs:6 ~seed:11L ~init:Metrics.empty ~merge:Metrics.merge
+      (fun ~seed ->
+        let tracer = Trace.create () in
+        let (_ : Campaign.run_report) = Campaign.run_once ~tracer ~spec ~cfg ~seed () in
+        Metrics.add_run Metrics.empty (Trace.events tracer))
+  in
+  Alcotest.(check bool) "1 domain == 3 domains" true
+    (metrics_equal (aggregate 1) (aggregate 3))
+
+let test_metrics_counts () =
+  let tracer = Trace.create () in
+  let (_ : Campaign.run_report) = Campaign.broken_run ~tracer ~seed:7L () in
+  let m = Metrics.add_run Metrics.empty (Trace.events tracer) in
+  Alcotest.(check int) "one run" 1 (Metrics.runs m);
+  Alcotest.(check int) "deliveries match the trace clock"
+    (Trace.now tracer) (Metrics.deliveries m);
+  Alcotest.(check bool) "violations surfaced" true (Metrics.violations m > 0);
+  Alcotest.(check int) "the broken run decides" 1 (Metrics.decided_runs m);
+  Alcotest.(check bool) "per-round table non-empty" true (Metrics.per_round m <> [])
+
+let () =
+  Alcotest.run "obs"
+    [ ( "codec",
+        [ Alcotest.test_case "sample events round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick test_json_rejects_garbage;
+          Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "jsonl error pinpoints line" `Quick
+            test_jsonl_error_pinpoints_line;
+          QCheck_alcotest.to_alcotest prop_codec_roundtrip ] );
+      ( "trace",
+        [ Alcotest.test_case "logical clock" `Quick test_trace_clock;
+          Alcotest.test_case "null sink inert" `Quick test_null_trace_inert ] );
+      ( "replay",
+        [ Alcotest.test_case "broken_run replays bit-identically" `Quick
+            test_broken_replay_identical;
+          Alcotest.test_case "wrong seed rejected" `Quick
+            test_replay_rejects_wrong_seed ] );
+      ( "noninterference",
+        [ Alcotest.test_case "tracer does not perturb runs" `Quick
+            test_tracing_noninterference ] );
+      ( "metrics",
+        [ QCheck_alcotest.to_alcotest prop_merge_associative;
+          Alcotest.test_case "map_fold domain independent" `Quick
+            test_map_fold_domain_independent;
+          Alcotest.test_case "broken-run counters" `Quick test_metrics_counts ] ) ]
