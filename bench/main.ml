@@ -35,6 +35,7 @@ module Campaign = Bca_experiments.Chaos_campaign
 module Mc = Bca_experiments.Mc
 module Metrics = Bca_obs.Metrics
 module Trace = Bca_obs.Trace
+module Cluster = Bca_transport.Cluster
 
 let opt_runs : int option ref = ref None
 
@@ -235,21 +236,41 @@ type chaos_row = {
   cz_failures : int;
 }
 
-(* The scaling and chaos sections both contribute to the JSON report; they
-   accumulate here and the file is written once, after all sections ran. *)
+(* One wire-cost measurement: cumulative on-wire traffic of [wr_runs]
+   loopback-cluster decisions of one stack, every hop through the real
+   codec.  bytes/words per decision is the paper's communication-complexity
+   unit, measured instead of counted. *)
+type wire_row = {
+  wr_stack : string;
+  wr_n : int;
+  wr_t : int;
+  wr_runs : int;
+  wr_frames : int;
+  wr_bytes : int;
+  wr_words : int;
+}
+
+(* The scaling, chaos and wire sections all contribute to the JSON report;
+   they accumulate here and the file is written once, after all sections
+   ran. *)
 let scaling_acc : throughput list ref = ref []
 
 let chaos_acc : chaos_row list ref = ref []
 
 let metrics_acc : (string * Metrics.t) list ref = ref []
 
+let wire_acc : wire_row list ref = ref []
+
 let chaos_failed = ref false
 
 let section_failed = ref false
 
-let write_throughput_json path ~seed ~runs ~chaos ~metrics tps =
+let write_throughput_json path ~seed ~runs ~chaos ~metrics ~wire tps =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
+  (* schema 2: adds the "wire" array (per-decision on-wire traffic per
+     stack); consumers of schema 1 reports should treat it as optional *)
+  Buffer.add_string buf "  \"schema\": 2,\n";
   Buffer.add_string buf "  \"benchmark\": \"netsim-throughput\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"seed\": %Ld,\n  \"runs_per_point\": %d,\n" seed runs);
@@ -278,6 +299,20 @@ let write_throughput_json path ~seed ~runs ~chaos ~metrics tps =
            row.cz_failures tp.tp_deliveries tp.tp_wall_s (dps tp)
            (if i = List.length chaos - 1 then "" else ",")))
     chaos;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"wire\": [\n";
+  List.iteri
+    (fun i w ->
+      let per d = float_of_int d /. float_of_int (max 1 w.wr_runs) in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"stack\": %S, \"n\": %d, \"t\": %d, \"decisions\": %d, \"frames\": %d, \
+            \"bytes\": %d, \"words\": %d, \"frames_per_decision\": %.1f, \
+            \"bytes_sent_per_decision\": %.1f, \"words_sent_per_decision\": %.1f}%s\n"
+           w.wr_stack w.wr_n w.wr_t w.wr_runs w.wr_frames w.wr_bytes w.wr_words
+           (per w.wr_frames) (per w.wr_bytes) (per w.wr_words)
+           (if i = List.length wire - 1 then "" else ",")))
+    wire;
   Buffer.add_string buf "  ],\n";
   Buffer.add_string buf "  \"metrics\": [\n";
   List.iteri
@@ -404,6 +439,68 @@ let chaos () =
   chaos_acc := List.map snd rows
 
 (* ------------------------------------------------------------------ *)
+(* Wire cost: measured on-wire traffic per decision, per stack.         *)
+(* ------------------------------------------------------------------ *)
+
+let wire () =
+  let seed = root_seed () in
+  let runs = match !opt_runs with Some r -> min r 200 | None -> 25 in
+  section
+    (Printf.sprintf
+       "Wire cost - loopback cluster, every hop through the codec (%d decisions per stack)"
+       runs);
+  let rows =
+    List.mapi
+      (fun i (name, spec) ->
+        let byz =
+          match spec with
+          | Aba.Crash_strong | Aba.Crash_weak _ | Aba.Crash_local -> false
+          | _ -> true
+        in
+        let n = if byz then 4 else 5 in
+        let cfg = Types.cfg ~n ~t:(if byz then (n - 1) / 3 else (n - 1) / 2) in
+        let inputs =
+          Array.init n (fun p -> if p mod 2 = 0 then Value.V0 else Value.V1)
+        in
+        let frames = ref 0 and bytes = ref 0 and words = ref 0 in
+        for k = 0 to runs - 1 do
+          match
+            Cluster.run_loopback
+              ~seed:(Int64.add seed (Int64.of_int ((1000 * i) + k)))
+              spec ~cfg ~inputs
+          with
+          | Ok (_, st) ->
+            frames := !frames + st.Cluster.frames;
+            bytes := !bytes + st.Cluster.bytes;
+            words := !words + st.Cluster.words
+          | Error e -> failwith (Printf.sprintf "%s: loopback run %d failed: %s" name k e)
+        done;
+        { wr_stack = name;
+          wr_n = n;
+          wr_t = cfg.Types.t;
+          wr_runs = runs;
+          wr_frames = !frames;
+          wr_bytes = !bytes;
+          wr_words = !words })
+      (Cluster.all_stacks ())
+  in
+  Tablefmt.print
+    ~header:
+      [ "stack"; "n"; "decisions"; "frames/decision"; "bytes/decision"; "words/decision" ]
+    (List.map
+       (fun w ->
+         let per d = float_of_int d /. float_of_int w.wr_runs in
+         [ w.wr_stack; string_of_int w.wr_n; string_of_int w.wr_runs;
+           Printf.sprintf "%.1f" (per w.wr_frames);
+           Printf.sprintf "%.1f" (per w.wr_bytes);
+           Printf.sprintf "%.1f" (per w.wr_words) ])
+       rows);
+  print_endline
+    "(on-wire bytes include the 14-byte frame header; words = ceil(bytes/8),\n\
+     the unit the paper's communication-complexity claims use)";
+  wire_acc := rows
+
+(* ------------------------------------------------------------------ *)
 (* Observability: per-round / per-phase metrics and trace capture.      *)
 (* ------------------------------------------------------------------ *)
 
@@ -507,11 +604,12 @@ let trace_capture path =
         (Array.length replayed))
 
 let flush_json () =
-  if !scaling_acc <> [] || !chaos_acc <> [] || !metrics_acc <> [] then begin
+  if !scaling_acc <> [] || !chaos_acc <> [] || !metrics_acc <> [] || !wire_acc <> []
+  then begin
     let path = json_path () in
     let runs = match !opt_runs with Some r -> r | None -> 30 in
     write_throughput_json path ~seed:(root_seed ()) ~runs ~chaos:!chaos_acc
-      ~metrics:!metrics_acc !scaling_acc;
+      ~metrics:!metrics_acc ~wire:!wire_acc !scaling_acc;
     Printf.printf "\n(throughput written to %s)\n" path
   end
 
@@ -596,7 +694,7 @@ let bechamel () =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [table1|table2|attack|scaling|chaos|ablation|bechamel|all]\n\
+    "usage: main.exe [table1|table2|attack|scaling|chaos|wire|ablation|bechamel|all]\n\
     \       [--runs K] [--seed S] [--json PATH] [--metrics] [--trace PATH]\n";
   exit 1
 
@@ -660,6 +758,7 @@ let () =
   | "attack" -> run_section "attack" attack
   | "scaling" -> run_section "scaling" scaling
   | "chaos" -> run_section "chaos" chaos
+  | "wire" -> run_section "wire" wire
   | "ablation" -> run_section "ablation" ablation
   | "bechamel" -> run_section "bechamel" bechamel
   | "all" ->
@@ -668,11 +767,12 @@ let () =
     run_section "attack" attack;
     run_section "scaling" scaling;
     run_section "chaos" chaos;
+    run_section "wire" wire;
     run_section "ablation" ablation;
     run_section "bechamel" bechamel
   | other ->
     Printf.eprintf
-      "unknown section %S (table1|table2|attack|scaling|chaos|ablation|bechamel|all)\n"
+      "unknown section %S (table1|table2|attack|scaling|chaos|wire|ablation|bechamel|all)\n"
       other;
     usage ());
   if !opt_metrics then run_section "metrics" metrics;

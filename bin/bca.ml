@@ -1,6 +1,7 @@
 (* Command-line interface for the library.
 
      bca run     - run one binary agreement over a simulated cluster
+     bca cluster - run one binary agreement as n real processes over sockets
      bca tables  - print the Table 1 / Table 2 reproductions
      bca attack  - replay the Appendix A adaptive liveness attacks
      bca acs     - run the HoneyBadger-style common-subset demo
@@ -12,6 +13,9 @@ module Value = Bca_util.Value
 module Types = Bca_core.Types
 module Aba = Bca_core.Aba
 module Summary = Bca_util.Summary
+module Monitor = Bca_netsim.Monitor
+module Async = Bca_netsim.Async_exec
+module Cluster = Bca_transport.Cluster
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                     *)
@@ -24,15 +28,58 @@ let seed_arg =
 (* bca run                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let spec_of_string s eps =
-  match s with
-  | "crash-strong" -> Ok Aba.Crash_strong
-  | "crash-weak" -> Ok (Aba.Crash_weak eps)
-  | "crash-local" -> Ok Aba.Crash_local
-  | "byz-strong" -> Ok Aba.Byz_strong
-  | "byz-weak" -> Ok (Aba.Byz_weak eps)
-  | "byz-tsig" -> Ok Aba.Byz_tsig
-  | other -> Error (Printf.sprintf "unknown stack %S" other)
+let spec_of_string s eps = Cluster.parse_stack ~eps s
+
+(* The same execution [Aba.run ~seed] performs (same RNG stream, so same
+   delivery schedule and results), but with the runtime invariant monitor
+   attached: [bca run] must exit non-zero - with a clear message - if the
+   monitor detects disagreement, not just print a wrong answer. *)
+let run_monitored ~seed spec ~cfg ~inputs =
+  let driver =
+    { Aba.drive =
+        (fun ~coin ~wire:_ exec parties ->
+          let n = Async.n exec in
+          let monitor =
+            Monitor.create ~n ~inputs
+              ~decision:(fun p -> parties.(p).Aba.committed ())
+              ~commit_round:(fun p -> parties.(p).Aba.commit_round ())
+              ?coin_value:
+                (if Aba.spec_commits_on_coin spec then
+                   Some (fun ~round ~pid -> Bca_coin.Coin.value_for coin ~round ~pid)
+                 else None)
+              ()
+          in
+          Monitor.attach monitor exec;
+          let rng = Bca_util.Rng.create seed in
+          let res =
+            match Async.run exec (Async.random_scheduler rng) with
+            | `All_terminated ->
+              let commits =
+                Array.map
+                  (fun (p : Aba.party) ->
+                    match p.committed () with
+                    | Some v -> v
+                    | None -> invalid_arg "terminated without commit")
+                  parties
+              in
+              let value = commits.(0) in
+              if Array.for_all (Value.equal value) commits then
+                Ok
+                  { Aba.value;
+                    commits;
+                    deliveries = Async.deliveries exec;
+                    rounds =
+                      Array.fold_left (fun acc (p : Aba.party) -> max acc (p.round ())) 0 parties }
+              else Error "agreement violated (bug)"
+            | `Quiescent -> Error "network quiesced before termination (liveness bug)"
+            | `Limit -> Error "delivery limit reached before termination"
+            | `Stopped -> Error "scheduler stopped"
+          in
+          Monitor.final_check monitor;
+          (res, Monitor.violations monitor))
+    }
+  in
+  Aba.run_custom ~seed spec ~cfg ~inputs ~driver
 
 let run_cmd =
   let stack =
@@ -71,20 +118,142 @@ let run_cmd =
       let input_arr =
         Array.init n (fun i -> Value.of_bool (inputs.[i] = '1'))
       in
-      (match Aba.run ~seed spec ~cfg ~inputs:input_arr with
+      (match run_monitored ~seed spec ~cfg ~inputs:input_arr with
+      | Error e ->
+        prerr_endline e;
+        exit 1
+      | Ok (res, violations) ->
+        List.iter
+          (fun v -> Format.eprintf "MONITOR: %a@." Monitor.pp_violation v)
+          violations;
+        (match res with
+        | Ok r ->
+          Format.printf "stack:      %a (n=%d, t=%d)@." Aba.pp_spec spec n t;
+          Format.printf "inputs:     %s@." inputs;
+          Format.printf "agreed:     %a@." Value.pp r.Aba.value;
+          Format.printf "messages:   %d@." r.Aba.deliveries;
+          Format.printf "coin rounds:%d@." r.Aba.rounds;
+          if violations <> [] then begin
+            Format.eprintf "bca run: the invariant monitor flagged %d violation(s) above@."
+              (List.length violations);
+            exit 2
+          end
+        | Error e ->
+          prerr_endline e;
+          exit (if violations <> [] then 2 else 1)))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one binary agreement over a simulated honest cluster.")
+    Term.(const action $ stack $ eps $ inputs $ t_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bca cluster                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let cluster_cmd =
+  let stack =
+    Arg.(
+      value
+      & opt string "byz-strong"
+      & info [ "stack" ]
+          ~doc:
+            "Protocol stack: crash-strong | crash-weak | crash-local | byz-strong | \
+             byz-weak | byz-tsig.")
+  in
+  let eps =
+    Arg.(value & opt float 0.25 & info [ "eps" ] ~doc:"Coin goodness for the weak stacks.")
+  in
+  let inputs =
+    Arg.(
+      value
+      & opt string "0110"
+      & info [ "inputs" ] ~docv:"BITS" ~doc:"One input bit per party; length fixes n.")
+  in
+  let t_arg =
+    Arg.(value & opt (some int) None & info [ "t" ] ~doc:"Fault bound (default: maximal).")
+  in
+  let transport =
+    Arg.(
+      value & opt string "unix"
+      & info [ "transport" ] ~doc:"unix (Unix-domain sockets) or tcp (loopback TCP).")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 60.
+      & info [ "timeout" ] ~doc:"Seconds before surviving node processes are killed.")
+  in
+  let node_exe_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "node-exe" ]
+          ~doc:
+            "Path to the bca_node executable (default: next to this binary; the BCA_NODE \
+             environment variable overrides).")
+  in
+  let action stack eps inputs t_opt transport timeout node_exe seed =
+    match spec_of_string stack eps with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok spec ->
+      let n = String.length inputs in
+      let byz =
+        match spec with Aba.Crash_strong | Aba.Crash_weak _ | Aba.Crash_local -> false | _ -> true
+      in
+      let t =
+        match t_opt with Some t -> t | None -> if byz then (n - 1) / 3 else (n - 1) / 2
+      in
+      let cfg = Types.cfg ~n ~t in
+      let input_arr = Array.init n (fun i -> Value.of_bool (inputs.[i] = '1')) in
+      let transport =
+        match transport with
+        | "unix" -> `Unix
+        | "tcp" -> `Tcp
+        | other ->
+          Printf.eprintf "unknown transport %S (expected unix or tcp)\n" other;
+          exit 1
+      in
+      let node_exe =
+        match node_exe with
+        | Some p -> p
+        | None -> (
+          match Sys.getenv_opt "BCA_NODE" with
+          | Some p -> p
+          | None -> Filename.concat (Filename.dirname Sys.executable_name) "bca_node.exe")
+      in
+      if not (Sys.file_exists node_exe) then begin
+        Printf.eprintf "node executable %s not found (build it, or pass --node-exe / BCA_NODE)\n"
+          node_exe;
+        exit 1
+      end;
+      (match
+         Cluster.spawn_cluster ~timeout_s:timeout ~node_exe ~stack ~eps ~cfg ~seed
+           ~inputs:input_arr ~transport ()
+       with
       | Ok r ->
-        Format.printf "stack:      %a (n=%d, t=%d)@." Aba.pp_spec spec n t;
+        Format.printf "cluster:    %a over %s (n=%d processes, t=%d)@." Aba.pp_spec spec
+          (match transport with `Unix -> "unix sockets" | `Tcp -> "tcp")
+          n t;
         Format.printf "inputs:     %s@." inputs;
-        Format.printf "agreed:     %a@." Value.pp r.Aba.value;
-        Format.printf "messages:   %d@." r.Aba.deliveries;
-        Format.printf "coin rounds:%d@." r.Aba.rounds
+        Format.printf "agreed:     %a@." Value.pp r.Cluster.c_value;
+        Format.printf "rounds:     %s@."
+          (String.concat " "
+             (Array.to_list (Array.map string_of_int r.Cluster.c_rounds)));
+        Format.printf "traffic:    %d frames, %d bytes (%d words)@." r.Cluster.c_stats.frames
+          r.Cluster.c_stats.bytes r.Cluster.c_stats.words
       | Error e ->
         prerr_endline e;
         exit 1)
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Run one binary agreement over a simulated honest cluster.")
-    Term.(const action $ stack $ eps $ inputs $ t_arg $ seed_arg)
+    (Cmd.info "cluster"
+       ~doc:
+         "Run one binary agreement as n real node processes exchanging wire frames over \
+          Unix-domain or TCP sockets.")
+    Term.(
+      const action $ stack $ eps $ inputs $ t_arg $ transport $ timeout $ node_exe_arg
+      $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bca tables                                                           *)
@@ -304,7 +473,10 @@ let verify_cmd =
 
 let () =
   let info =
-    Cmd.info "bca" ~version:"1.0.0"
+    Cmd.info "bca" ~version:Version.v
       ~doc:"Binding Crusader Agreement: adaptively secure asynchronous binary agreement."
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; tables_cmd; attack_cmd; acs_cmd; verify_cmd; trace_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; cluster_cmd; tables_cmd; attack_cmd; acs_cmd; verify_cmd; trace_cmd ]))

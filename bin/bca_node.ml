@@ -1,0 +1,91 @@
+(* One party of a multi-process (G)BCA cluster.
+
+   Spawned n times (once per pid) by `bca cluster` or by
+   Bca_transport.Cluster.spawn_cluster; every process is handed the same
+   stack, seed and input vector, rebuilds the identical deterministic
+   cluster assembly, and drives only its own party over the socket
+   transport.  On success prints exactly one
+
+     DECIDED pid=<me> value=<0|1> round=<r> frames=<sent> bytes=<sent>
+
+   line on stdout and exits 0; any failure (timeout, no decision, bad
+   arguments) goes to stderr with a non-zero exit. *)
+
+module Types = Bca_core.Types
+module Value = Bca_util.Value
+module Cluster = Bca_transport.Cluster
+module Transport = Bca_transport.Transport
+
+let usage = "bca_node --stack S --n N --t T --me I --seed SEED --inputs BITS \
+             --transport unix|tcp --addrs a0,a1,... [--eps E] [--timeout S] [--linger S]"
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("bca_node: " ^ msg); exit 2) fmt
+
+let parse_tcp_addr s =
+  match String.rindex_opt s ':' with
+  | None -> die "bad tcp address %S (expected host:port)" s
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | None -> die "bad port in %S" s
+    | Some port -> (
+      try Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+      with Failure _ -> die "bad host in %S" s))
+
+let () =
+  let stack = ref "byz-strong" in
+  let eps = ref 0.25 in
+  let n = ref 0 in
+  let t = ref (-1) in
+  let me = ref (-1) in
+  let seed = ref 1L in
+  let inputs = ref "" in
+  let transport = ref "unix" in
+  let addrs = ref "" in
+  let timeout = ref 30.0 in
+  let linger = ref 1.0 in
+  let spec_list =
+    [ ("--stack", Arg.Set_string stack, "Protocol stack (crash-strong .. byz-tsig)");
+      ("--eps", Arg.Set_float eps, "Coin goodness for the weak stacks");
+      ("--n", Arg.Set_int n, "Cluster size");
+      ("--t", Arg.Set_int t, "Fault bound");
+      ("--me", Arg.Set_int me, "This party's pid");
+      ("--seed", Arg.String (fun s -> seed := Int64.of_string s), "Deterministic seed");
+      ("--inputs", Arg.Set_string inputs, "One input bit per party");
+      ("--transport", Arg.Set_string transport, "unix | tcp");
+      ("--addrs", Arg.Set_string addrs, "Comma-separated address table, index = pid");
+      ("--timeout", Arg.Set_float timeout, "Seconds before giving up");
+      ("--linger", Arg.Set_float linger, "Seconds to keep answering peers after deciding") ]
+  in
+  Arg.parse spec_list (fun a -> die "unexpected argument %S" a) usage;
+  if !n = 0 then n := String.length !inputs;
+  if String.length !inputs <> !n then die "--inputs length %d <> n=%d" (String.length !inputs) !n;
+  if !me < 0 || !me >= !n then die "--me %d out of range for n=%d" !me !n;
+  if !t < 0 then die "--t is required";
+  String.iter (fun c -> if c <> '0' && c <> '1' then die "bad input bit %C" c) !inputs;
+  let addr_list = if !addrs = "" then [] else String.split_on_char ',' !addrs in
+  if List.length addr_list <> !n then
+    die "--addrs has %d entries, expected n=%d" (List.length addr_list) !n;
+  let addr_arr =
+    match !transport with
+    | "unix" -> Array.of_list (List.map (fun p -> Unix.ADDR_UNIX p) addr_list)
+    | "tcp" -> Array.of_list (List.map parse_tcp_addr addr_list)
+    | other -> die "unknown transport %S (expected unix or tcp)" other
+  in
+  match Cluster.parse_stack ~eps:!eps !stack with
+  | Error e -> die "%s" e
+  | Ok spec ->
+    let cfg = Types.cfg ~n:!n ~t:!t in
+    let input_arr = Array.init !n (fun i -> Value.of_bool (!inputs.[i] = '1')) in
+    let net = Transport.Socket.endpoint ~addrs:addr_arr ~me:!me () in
+    let result =
+      Cluster.run_node ~seed:!seed ~timeout_s:!timeout ~linger_s:!linger spec ~cfg
+        ~inputs:input_arr ~net
+    in
+    net.Transport.close ();
+    (match result with
+    | Ok d -> Cluster.print_decision d
+    | Error e ->
+      prerr_endline ("bca_node: " ^ e);
+      exit 1)

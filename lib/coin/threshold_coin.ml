@@ -15,6 +15,10 @@ let share t ~round = Threshold.sign t.key ~tag:(round_tag round)
 
 let share_pid = Threshold.share_signer
 
+let share_to_threshold s = s
+
+let share_of_threshold s = s
+
 let validate t ~round s = Threshold.share_validate t.setup ~tag:(round_tag round) s
 
 (* The coin bit is the low bit of the unique combined signature.  Uniqueness

@@ -37,6 +37,15 @@ val share : t -> round:int -> share
 
 val share_pid : share -> int
 
+val share_to_threshold : share -> Bca_crypto.Threshold.share
+(** A coin share {e is} a threshold-signature share on the round tag;
+    this exposes it for the binary wire codec ([Bca_core.Wirefmt]). *)
+
+val share_of_threshold : Bca_crypto.Threshold.share -> share
+(** Rebuild a coin share from deserialized (untrusted) bytes.  Not
+    validated here: {!validate} / {!Collector.add} reject tampering, same
+    as for shares that arrived by memory. *)
+
 val validate : t -> round:int -> share -> bool
 (** Whether the share is a genuine round-[round] coin share of its claimed
     sender. *)

@@ -57,7 +57,8 @@ type party = {
 }
 
 type 'r driver = {
-  drive : 'm. coin:Bca_coin.Coin.t -> 'm Async.t -> party array -> 'r;
+  drive :
+    'm. coin:Bca_coin.Coin.t -> wire:'m Bca_wire.Wire.codec -> 'm Async.t -> party array -> 'r;
 }
 
 (* Internal construction view: the party plus its node and initial sends. *)
@@ -67,7 +68,7 @@ type 'm party_view = {
   v_party : party;
 }
 
-let build_and_drive (type r) ~tracer ~n ~coin ~(driver : r driver)
+let build_and_drive (type r) ~tracer ~n ~coin ~wire ~(driver : r driver)
     (mk : Types.pid -> 'm party_view) : r =
   if Bca_obs.Trace.enabled tracer then
     Coin.set_observer coin (fun ~round ~pid value ->
@@ -78,7 +79,7 @@ let build_and_drive (type r) ~tracer ~n ~coin ~(driver : r driver)
         let p = parties.(pid) in
         (p.v_node, List.map (fun m -> Bca_netsim.Node.Broadcast m) p.v_initial))
   in
-  driver.drive ~coin exec (Array.map (fun p -> p.v_party) parties)
+  driver.drive ~coin ~wire exec (Array.map (fun p -> p.v_party) parties)
 
 let run_custom (type r) ?(seed = 0xB0CA1L) ?(tracer = Bca_obs.Trace.null) spec ~cfg ~inputs
     ~(driver : r driver) : (r, string) Stdlib.result =
@@ -96,7 +97,7 @@ let run_custom (type r) ?(seed = 0xB0CA1L) ?(tracer = Bca_obs.Trace.null) spec ~
           { Crash_strong_stack.cfg; mode = `Crash; coin; bca_params = (fun ~round:_ -> cfg) }
         in
         Ok
-          (build_and_drive ~tracer ~n ~coin ~driver (fun pid ->
+          (build_and_drive ~tracer ~n ~coin ~wire:Wirefmt.crash_strong ~driver (fun pid ->
                let t, initial = Crash_strong_stack.create params ~me:pid ~input:inputs.(pid) in
                { v_node = Crash_strong_stack.node t;
                  v_initial = initial;
@@ -117,7 +118,7 @@ let run_custom (type r) ?(seed = 0xB0CA1L) ?(tracer = Bca_obs.Trace.null) spec ~
           { Crash_weak_stack.cfg; mode = `Crash; coin; bca_params = (fun ~round:_ -> cfg) }
         in
         Ok
-          (build_and_drive ~tracer ~n ~coin ~driver (fun pid ->
+          (build_and_drive ~tracer ~n ~coin ~wire:Wirefmt.crash_weak ~driver (fun pid ->
                let t, initial = Crash_weak_stack.create params ~me:pid ~input:inputs.(pid) in
                { v_node = Crash_weak_stack.node t;
                  v_initial = initial;
@@ -133,7 +134,7 @@ let run_custom (type r) ?(seed = 0xB0CA1L) ?(tracer = Bca_obs.Trace.null) spec ~
           { Byz_strong_stack.cfg; mode = `Byz; coin; bca_params = (fun ~round:_ -> cfg) }
         in
         Ok
-          (build_and_drive ~tracer ~n ~coin ~driver (fun pid ->
+          (build_and_drive ~tracer ~n ~coin ~wire:Wirefmt.byz_strong ~driver (fun pid ->
                let t, initial = Byz_strong_stack.create params ~me:pid ~input:inputs.(pid) in
                { v_node = Byz_strong_stack.node t;
                  v_initial = initial;
@@ -149,7 +150,7 @@ let run_custom (type r) ?(seed = 0xB0CA1L) ?(tracer = Bca_obs.Trace.null) spec ~
           { Byz_weak_stack.cfg; mode = `Byz; coin; bca_params = (fun ~round:_ -> cfg) }
         in
         Ok
-          (build_and_drive ~tracer ~n ~coin ~driver (fun pid ->
+          (build_and_drive ~tracer ~n ~coin ~wire:Wirefmt.byz_weak ~driver (fun pid ->
                let t, initial = Byz_weak_stack.create params ~me:pid ~input:inputs.(pid) in
                { v_node = Byz_weak_stack.node t;
                  v_initial = initial;
@@ -163,7 +164,7 @@ let run_custom (type r) ?(seed = 0xB0CA1L) ?(tracer = Bca_obs.Trace.null) spec ~
         let coin = Coin.create Coin.Strong ~n ~degree ~seed:coin_seed in
         let setup, keys = Threshold.setup ~n ~seed:(Int64.add seed 0xC4F7L) in
         Ok
-          (build_and_drive ~tracer ~n ~coin ~driver (fun pid ->
+          (build_and_drive ~tracer ~n ~coin ~wire:Wirefmt.byz_tsig ~driver (fun pid ->
                let bca_params ~round =
                  { Bca_tsig.cfg; setup; key = keys.(pid); id = Printf.sprintf "aba/%d" round }
                in
@@ -181,7 +182,7 @@ let run_custom (type r) ?(seed = 0xB0CA1L) ?(tracer = Bca_obs.Trace.null) spec ~
 
 let random_run_driver ~seed : (result, string) Stdlib.result driver =
   { drive =
-      (fun ~coin:_ exec parties ->
+      (fun ~coin:_ ~wire:_ exec parties ->
         let rng = Rng.create seed in
         match Async.run exec (Async.random_scheduler rng) with
         | `All_terminated ->

@@ -89,12 +89,21 @@ type party = {
     observability probe) needs. *)
 
 type 'r driver = {
-  drive : 'm. coin:Bca_coin.Coin.t -> 'm Bca_netsim.Async_exec.t -> party array -> 'r;
+  drive :
+    'm.
+    coin:Bca_coin.Coin.t ->
+    wire:'m Bca_wire.Wire.codec ->
+    'm Bca_netsim.Async_exec.t ->
+    party array ->
+    'r;
 }
 (** A polymorphic execution driver: receives the assembled cluster (the
-    coin oracle, the executor with every party's initial sends already in
-    flight, and the per-party state accessors) and runs it however it
-    wants - custom schedulers, fault plans, observers. *)
+    coin oracle, the wire codec for the stack's message type, the executor
+    with every party's initial sends already in flight, and the per-party
+    state accessors) and runs it however it wants - custom schedulers,
+    fault plans, observers, or real transports ([wire] is how a driver
+    moves the otherwise-abstract ['m] messages across process
+    boundaries; see [Bca_transport.Cluster]). *)
 
 val run_custom :
   ?seed:int64 ->

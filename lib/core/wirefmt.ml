@@ -1,0 +1,276 @@
+module Wire = Bca_wire.Wire
+module Put = Wire.Put
+module Get = Wire.Get
+module Value = Bca_util.Value
+module Threshold = Bca_crypto.Threshold
+
+(* The same functor applications Aba exposes; OCaml's applicative functor
+   paths make these message types equal to the stack types by construction. *)
+module Crash_strong = Aa_strong.Make (Bca_crash)
+module Crash_weak = Aa_weak.Make (Gbca_crash)
+module Byz_strong = Aa_strong.Make (Bca_byz)
+module Byz_weak = Aa_weak.Make (Gbca_byz)
+module Byz_tsig = Aa_strong.Make (Bca_tsig)
+
+let malformed fmt = Printf.ksprintf (fun msg -> raise (Get.Malformed msg)) fmt
+
+(* ---- shared field encodings ---------------------------------------- *)
+
+let put_cvalue buf = function
+  | Types.Bot -> Put.u8 buf 0
+  | Types.Val Value.V0 -> Put.u8 buf 1
+  | Types.Val Value.V1 -> Put.u8 buf 2
+
+let get_cvalue g =
+  match Get.u8 g with
+  | 0 -> Types.Bot
+  | 1 -> Types.Val Value.V0
+  | 2 -> Types.Val Value.V1
+  | v -> malformed "invalid crusader-value byte %d" v
+
+let put_share buf s =
+  let signer, tag, mac = Threshold.share_repr s in
+  Put.varint buf signer;
+  Put.string buf tag;
+  Put.i64 buf mac
+
+let get_share g =
+  let signer = Get.varint g in
+  let tag = Get.string g in
+  let mac = Get.i64 g in
+  Threshold.share_unsafe_of_repr ~signer ~tag ~mac
+
+let put_signature buf s =
+  let tag, k, cert = Threshold.signature_repr s in
+  Put.string buf tag;
+  Put.varint buf k;
+  Put.i64 buf cert
+
+let get_signature g =
+  let tag = Get.string g in
+  let k = Get.varint g in
+  let cert = Get.i64 g in
+  Threshold.signature_unsafe_of_repr ~tag ~k ~cert
+
+(* A serialized signature is at least 10 bytes (1 length + 1 varint + 8
+   cert), so a list count is bounded by the remaining body size - reject
+   counts that could not possibly fit instead of pre-allocating for them. *)
+let get_list g ~min_item_bytes get_item =
+  let count = Get.varint g in
+  if count > Get.remaining g / min_item_bytes then
+    malformed "list count %d exceeds body size" count;
+  List.init count (fun _ -> get_item g)
+
+(* ---- per-stack codecs ---------------------------------------------- *)
+
+(* Body grammar: [tag:u8] then, for round-scoped BCA messages,
+   [round:varint] and the constructor fields.  Tag 0 is always the
+   termination-layer [Committed] message. *)
+
+let crash_strong : Crash_strong.msg Wire.codec =
+  { Wire.id = 1;
+    name = "crash-strong";
+    enc =
+      (fun buf -> function
+        | Crash_strong.Committed v ->
+          Put.u8 buf 0;
+          Put.value buf v
+        | Crash_strong.Bca (r, Bca_crash.MVal v) ->
+          Put.u8 buf 1;
+          Put.varint buf r;
+          Put.value buf v
+        | Crash_strong.Bca (r, Bca_crash.MEcho cv) ->
+          Put.u8 buf 2;
+          Put.varint buf r;
+          put_cvalue buf cv);
+    dec =
+      (fun g ->
+        match Get.u8 g with
+        | 0 -> Crash_strong.Committed (Get.value g)
+        | 1 ->
+          let r = Get.varint g in
+          Crash_strong.Bca (r, Bca_crash.MVal (Get.value g))
+        | 2 ->
+          let r = Get.varint g in
+          Crash_strong.Bca (r, Bca_crash.MEcho (get_cvalue g))
+        | t -> malformed "unknown crash-strong tag %d" t) }
+
+let crash_weak : Crash_weak.msg Wire.codec =
+  { Wire.id = 2;
+    name = "crash-weak";
+    enc =
+      (fun buf -> function
+        | Crash_weak.Committed v ->
+          Put.u8 buf 0;
+          Put.value buf v
+        | Crash_weak.Gbca (r, Gbca_crash.MVal v) ->
+          Put.u8 buf 1;
+          Put.varint buf r;
+          Put.value buf v
+        | Crash_weak.Gbca (r, Gbca_crash.MEcho cv) ->
+          Put.u8 buf 2;
+          Put.varint buf r;
+          put_cvalue buf cv
+        | Crash_weak.Gbca (r, Gbca_crash.MEcho2 cv) ->
+          Put.u8 buf 3;
+          Put.varint buf r;
+          put_cvalue buf cv);
+    dec =
+      (fun g ->
+        match Get.u8 g with
+        | 0 -> Crash_weak.Committed (Get.value g)
+        | 1 ->
+          let r = Get.varint g in
+          Crash_weak.Gbca (r, Gbca_crash.MVal (Get.value g))
+        | 2 ->
+          let r = Get.varint g in
+          Crash_weak.Gbca (r, Gbca_crash.MEcho (get_cvalue g))
+        | 3 ->
+          let r = Get.varint g in
+          Crash_weak.Gbca (r, Gbca_crash.MEcho2 (get_cvalue g))
+        | t -> malformed "unknown crash-weak tag %d" t) }
+
+let byz_strong : Byz_strong.msg Wire.codec =
+  { Wire.id = 3;
+    name = "byz-strong";
+    enc =
+      (fun buf -> function
+        | Byz_strong.Committed v ->
+          Put.u8 buf 0;
+          Put.value buf v
+        | Byz_strong.Bca (r, Bca_byz.MEcho v) ->
+          Put.u8 buf 1;
+          Put.varint buf r;
+          Put.value buf v
+        | Byz_strong.Bca (r, Bca_byz.MEcho2 v) ->
+          Put.u8 buf 2;
+          Put.varint buf r;
+          Put.value buf v
+        | Byz_strong.Bca (r, Bca_byz.MEcho3 cv) ->
+          Put.u8 buf 3;
+          Put.varint buf r;
+          put_cvalue buf cv);
+    dec =
+      (fun g ->
+        match Get.u8 g with
+        | 0 -> Byz_strong.Committed (Get.value g)
+        | 1 ->
+          let r = Get.varint g in
+          Byz_strong.Bca (r, Bca_byz.MEcho (Get.value g))
+        | 2 ->
+          let r = Get.varint g in
+          Byz_strong.Bca (r, Bca_byz.MEcho2 (Get.value g))
+        | 3 ->
+          let r = Get.varint g in
+          Byz_strong.Bca (r, Bca_byz.MEcho3 (get_cvalue g))
+        | t -> malformed "unknown byz-strong tag %d" t) }
+
+let byz_weak : Byz_weak.msg Wire.codec =
+  { Wire.id = 4;
+    name = "byz-weak";
+    enc =
+      (fun buf -> function
+        | Byz_weak.Committed v ->
+          Put.u8 buf 0;
+          Put.value buf v
+        | Byz_weak.Gbca (r, m) ->
+          let tag, put =
+            match m with
+            | Gbca_byz.MEcho v -> (1, fun () -> Put.value buf v)
+            | Gbca_byz.MEcho2 v -> (2, fun () -> Put.value buf v)
+            | Gbca_byz.MEcho3 cv -> (3, fun () -> put_cvalue buf cv)
+            | Gbca_byz.MEcho4 cv -> (4, fun () -> put_cvalue buf cv)
+            | Gbca_byz.MEcho5 cv -> (5, fun () -> put_cvalue buf cv)
+          in
+          Put.u8 buf tag;
+          Put.varint buf r;
+          put ());
+    dec =
+      (fun g ->
+        match Get.u8 g with
+        | 0 -> Byz_weak.Committed (Get.value g)
+        | (1 | 2 | 3 | 4 | 5) as tag ->
+          let r = Get.varint g in
+          let m =
+            match tag with
+            | 1 -> Gbca_byz.MEcho (Get.value g)
+            | 2 -> Gbca_byz.MEcho2 (Get.value g)
+            | 3 -> Gbca_byz.MEcho3 (get_cvalue g)
+            | 4 -> Gbca_byz.MEcho4 (get_cvalue g)
+            | _ -> Gbca_byz.MEcho5 (get_cvalue g)
+          in
+          Byz_weak.Gbca (r, m)
+        | t -> malformed "unknown byz-weak tag %d" t) }
+
+let byz_tsig : Byz_tsig.msg Wire.codec =
+  { Wire.id = 5;
+    name = "byz-tsig";
+    enc =
+      (fun buf -> function
+        | Byz_tsig.Committed v ->
+          Put.u8 buf 0;
+          Put.value buf v
+        | Byz_tsig.Bca (r, Bca_tsig.MEcho (v, share)) ->
+          Put.u8 buf 1;
+          Put.varint buf r;
+          Put.value buf v;
+          put_share buf share
+        | Byz_tsig.Bca (r, Bca_tsig.MEcho2 (v, cert)) ->
+          Put.u8 buf 2;
+          Put.varint buf r;
+          Put.value buf v;
+          put_signature buf cert
+        | Byz_tsig.Bca (r, Bca_tsig.MEcho3 (cv, certs, share_opt)) ->
+          Put.u8 buf 3;
+          Put.varint buf r;
+          put_cvalue buf cv;
+          Put.varint buf (List.length certs);
+          List.iter (put_signature buf) certs;
+          (match share_opt with
+          | None -> Put.u8 buf 0
+          | Some s ->
+            Put.u8 buf 1;
+            put_share buf s));
+    dec =
+      (fun g ->
+        match Get.u8 g with
+        | 0 -> Byz_tsig.Committed (Get.value g)
+        | 1 ->
+          let r = Get.varint g in
+          let v = Get.value g in
+          Byz_tsig.Bca (r, Bca_tsig.MEcho (v, get_share g))
+        | 2 ->
+          let r = Get.varint g in
+          let v = Get.value g in
+          Byz_tsig.Bca (r, Bca_tsig.MEcho2 (v, get_signature g))
+        | 3 ->
+          let r = Get.varint g in
+          let cv = get_cvalue g in
+          let certs = get_list g ~min_item_bytes:10 get_signature in
+          let share_opt =
+            match Get.u8 g with
+            | 0 -> None
+            | 1 -> Some (get_share g)
+            | b -> malformed "invalid option byte %d" b
+          in
+          Byz_tsig.Bca (r, Bca_tsig.MEcho3 (cv, certs, share_opt))
+        | t -> malformed "unknown byz-tsig tag %d" t) }
+
+let coin_share : Bca_coin.Threshold_coin.share Wire.codec =
+  { Wire.id = 6;
+    name = "coin-share";
+    enc = (fun buf s -> put_share buf (Bca_coin.Threshold_coin.share_to_threshold s));
+    dec = (fun g -> Bca_coin.Threshold_coin.share_of_threshold (get_share g)) }
+
+let codec_id_of_spec_name = function
+  | "crash-strong" -> Some crash_strong.Wire.id
+  | "crash-weak" | "crash-local" -> Some crash_weak.Wire.id
+  | "byz-strong" -> Some byz_strong.Wire.id
+  | "byz-weak" -> Some byz_weak.Wire.id
+  | "byz-tsig" -> Some byz_tsig.Wire.id
+  | _ -> None
+
+let body_words codec m =
+  let buf = Buffer.create 32 in
+  codec.Wire.enc buf m;
+  Wire.words_of_bytes (Buffer.length buf)

@@ -54,6 +54,14 @@ let threshold_of signature = signature.s_k
 
 let fingerprint signature = signature.cert
 
+let share_repr s = (s.signer, s.tag, s.mac)
+
+let share_unsafe_of_repr ~signer ~tag ~mac = { signer; tag; mac }
+
+let signature_repr s = (s.s_tag, s.s_k, s.cert)
+
+let signature_unsafe_of_repr ~tag ~k ~cert = { s_tag = tag; s_k = k; cert }
+
 let pp_share ppf s = Format.fprintf ppf "share(%d, %s)" s.signer s.tag
 
 let pp_signature ppf s = Format.fprintf ppf "tsig(%d-of-n, %s)" s.s_k s.s_tag

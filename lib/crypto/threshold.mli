@@ -74,3 +74,24 @@ val fingerprint : signature -> int64
 
 val pp_share : Format.formatter -> share -> unit
 val pp_signature : Format.formatter -> signature -> unit
+
+(** {2 Wire representation}
+
+    Field-level access for the binary codec ([Bca_core.Wirefmt]).  The
+    [unsafe_of_repr] constructors rebuild values from untrusted network
+    bytes {e without} validating them - exactly what a real deployment
+    does when it deserializes a signature it has not yet checked.  Nothing
+    is lost: a tampered share still fails {!share_validate} and a forged
+    signature still fails {!verify}, so unforgeability-by-construction is
+    preserved (the MAC/certificate cannot be computed without the secrets,
+    whether the value arrived by memory or by wire). *)
+
+val share_repr : share -> int * string * int64
+(** [(signer, tag, mac)]. *)
+
+val share_unsafe_of_repr : signer:int -> tag:string -> mac:int64 -> share
+
+val signature_repr : signature -> string * int * int64
+(** [(tag, k, cert)]. *)
+
+val signature_unsafe_of_repr : tag:string -> k:int -> cert:int64 -> signature

@@ -79,7 +79,7 @@ let run_once ?(tracer = Trace.null) ~spec ~cfg ~seed () =
   List.iter (fun p -> corrupt.(p) <- true) plan.Chaos.corrupt;
   let driver =
     { Aba.drive =
-        (fun ~coin exec parties ->
+        (fun ~coin ~wire:_ exec parties ->
           let progress () =
             Array.fold_left
               (fun acc (p : Aba.party) ->

@@ -233,7 +233,8 @@ let apply t (ev : Bca_obs.Event.t) =
          true
        end
   | Bca_obs.Event.Send _ | Bca_obs.Event.Round_enter _ | Bca_obs.Event.Quorum _
-  | Bca_obs.Event.Coin_reveal _ | Bca_obs.Event.Commit _ | Bca_obs.Event.Violation _ ->
+  | Bca_obs.Event.Coin_reveal _ | Bca_obs.Event.Commit _ | Bca_obs.Event.Violation _
+  | Bca_obs.Event.Transport _ ->
     (* not an action: nothing to apply *)
     true
 

@@ -15,12 +15,14 @@ type t =
   | Coin_reveal of { pid : pid; round : int; value : Value.t }
   | Commit of { pid : pid; round : int; value : Value.t }
   | Violation of { kind : string; detail : string }
+  | Transport of { pid : pid; peer : pid; op : string; bytes : int }
 
 type timed = { ts : int; ev : t }
 
 let is_action = function
   | Deliver _ | Drop _ | Duplicate _ | Redirect _ | Swap _ | Crash _ -> true
-  | Send _ | Round_enter _ | Quorum _ | Coin_reveal _ | Commit _ | Violation _ -> false
+  | Send _ | Round_enter _ | Quorum _ | Coin_reveal _ | Commit _ | Violation _ | Transport _ ->
+    false
 
 let equal (a : t) (b : t) = a = b
 
@@ -44,6 +46,8 @@ let pp ppf = function
   | Commit { pid; round; value } ->
     Format.fprintf ppf "commit p%d r%d %a" pid round Value.pp value
   | Violation { kind; detail } -> Format.fprintf ppf "VIOLATION %s: %s" kind detail
+  | Transport { pid; peer; op; bytes } ->
+    Format.fprintf ppf "transport p%d peer=%d %s bytes=%d" pid peer op bytes
 
 let pp_timed ppf { ts; ev } = Format.fprintf ppf "[%d] %a" ts pp ev
 
@@ -107,7 +111,10 @@ let to_json { ts; ev } =
     fint "pid" pid; fint "round" round; fint "value" (Value.to_int value)
   | Violation { kind; detail } ->
     Buffer.add_string buf "\"violation\"";
-    fstr "kind" kind; fstr "detail" detail);
+    fstr "kind" kind; fstr "detail" detail
+  | Transport { pid; peer; op; bytes } ->
+    Buffer.add_string buf "\"transport\"";
+    fint "pid" pid; fint "peer" peer; fstr "op" op; fint "bytes" bytes);
   Buffer.add_char buf '}';
   Buffer.contents buf
 
@@ -248,6 +255,8 @@ let of_json line =
            Coin_reveal { pid = int "pid"; round = int "round"; value = value "value" }
          | "commit" -> Commit { pid = int "pid"; round = int "round"; value = value "value" }
          | "violation" -> Violation { kind = str "kind"; detail = str "detail" }
+         | "transport" ->
+           Transport { pid = int "pid"; peer = int "peer"; op = str "op"; bytes = int "bytes" }
          | other -> raise (Parse (Printf.sprintf "unknown event type %S" other))
        in
        { ts; ev }

@@ -52,6 +52,13 @@ type t =
       (** party [pid] committed [value] in round [round] *)
   | Violation of { kind : string; detail : string }
       (** the runtime monitor flagged an invariant violation *)
+  | Transport of { pid : pid; peer : pid; op : string; bytes : int }
+      (** a real-transport endpoint ([Bca_transport]) performed [op] toward
+          [peer]: ["connect"], ["accept"], ["retry"], ["give_up"],
+          ["close"], ["tx"] / ["rx"] (with the frame's byte count), or
+          ["drop"] (frame discarded: corrupt stream or dead peer).  Not an
+          action - real-network timing is outside the replay determinism
+          contract *)
 
 type timed = { ts : int; ev : t }
 (** An event stamped with the logical time (deliveries so far) at which it

@@ -108,7 +108,8 @@ let add_run t events =
         acc :=
           { a with per_round = touch_round a.per_round round
                        (fun rs -> { rs with commits = rs.commits + 1 }) }
-      | Event.Violation _ -> acc := { a with violations = a.violations + 1 })
+      | Event.Violation _ -> acc := { a with violations = a.violations + 1 }
+      | Event.Transport _ -> ())
     events;
   let a = !acc in
   (* Per-round latency: deliveries between consecutive first entries. *)

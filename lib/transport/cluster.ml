@@ -1,0 +1,423 @@
+module Aba = Bca_core.Aba
+module Types = Bca_core.Types
+module Async = Bca_netsim.Async_exec
+module Node = Bca_netsim.Node
+module Wire = Bca_wire.Wire
+module Value = Bca_util.Value
+
+let parse_stack ?(eps = 0.25) = function
+  | "crash-strong" -> Ok Aba.Crash_strong
+  | "crash-weak" -> Ok (Aba.Crash_weak eps)
+  | "crash-local" -> Ok Aba.Crash_local
+  | "byz-strong" -> Ok Aba.Byz_strong
+  | "byz-weak" -> Ok (Aba.Byz_weak eps)
+  | "byz-tsig" -> Ok Aba.Byz_tsig
+  | s ->
+    Error
+      (Printf.sprintf
+         "unknown stack %S (expected crash-strong | crash-weak | crash-local | byz-strong \
+          | byz-weak | byz-tsig)"
+         s)
+
+let stack_name = function
+  | Aba.Crash_strong -> "crash-strong"
+  | Aba.Crash_weak _ -> "crash-weak"
+  | Aba.Crash_local -> "crash-local"
+  | Aba.Byz_strong -> "byz-strong"
+  | Aba.Byz_weak _ -> "byz-weak"
+  | Aba.Byz_tsig -> "byz-tsig"
+
+let all_stacks ?(eps = 0.25) () =
+  [ ("crash-strong", Aba.Crash_strong);
+    ("crash-weak", Aba.Crash_weak eps);
+    ("crash-local", Aba.Crash_local);
+    ("byz-strong", Aba.Byz_strong);
+    ("byz-weak", Aba.Byz_weak eps);
+    ("byz-tsig", Aba.Byz_tsig) ]
+
+type net_stats = { frames : int; bytes : int; words : int }
+
+(* ---- single-process loopback cluster -------------------------------- *)
+
+(* Bit-identity with [Aba.run ~seed]: the netsim random scheduler draws one
+   [Rng.int rng (pool length)] per delivery over a swap-remove pool that
+   grows in send order (broadcasts append dst 0, 1, ..., n-1).  The hub
+   below is seeded with the same [seed], its pool is populated in the same
+   order (initial envelopes replayed by eid, then each delivery's emits in
+   emission order), and [Loopback.step] draws the same way - so the frame
+   chosen at step [k] is the envelope the simulator would have delivered at
+   step [k], and the protocol states evolve identically even though every
+   hop here round-trips through the binary codec. *)
+let run_loopback ?(seed = 0xB0CA1L) spec ~cfg ~inputs =
+  let max_deliveries = 1_000_000 in
+  let driver =
+    { Aba.drive =
+        (fun ~coin:_ ~wire exec parties ->
+          let n = Async.n exec in
+          let hub = Transport.Loopback.create_hub ~seed ~n () in
+          let ends = Array.init n (fun me -> Transport.Loopback.endpoint hub ~me) in
+          let words = ref 0 in
+          let ship ~src ~dst s =
+            ends.(src).Transport.send ~dst s;
+            words := !words + Wire.words_of_bytes (String.length s)
+          in
+          let init =
+            List.sort
+              (fun a b -> compare a.Async.eid b.Async.eid)
+              (Async.inflight exec)
+          in
+          List.iter
+            (fun e ->
+              ship ~src:e.Async.src ~dst:e.Async.dst
+                (Wire.encode wire ~sender:e.Async.src e.Async.payload))
+            init;
+          let delivered = ref 0 in
+          let do_emits src emits =
+            List.iter
+              (fun emit ->
+                match emit with
+                | Node.Broadcast m ->
+                  let s = Wire.encode wire ~sender:src m in
+                  for d = 0 to n - 1 do
+                    ship ~src ~dst:d s
+                  done
+                | Node.Unicast (d, m) -> ship ~src ~dst:d (Wire.encode wire ~sender:src m))
+              emits
+          in
+          let rec loop () =
+            if Async.all_terminated exec then Ok ()
+            else if !delivered >= max_deliveries then
+              Error "delivery limit reached before termination"
+            else
+              match Transport.Loopback.step hub with
+              | None -> Error "network quiesced before termination (liveness bug)"
+              | Some (dst, f) -> (
+                incr delivered;
+                match Wire.decode_body wire f with
+                | Error e ->
+                  Error (Printf.sprintf "codec failure in flight: %s" (Wire.error_to_string e))
+                | Ok m ->
+                  do_emits dst ((Async.node_of exec dst).Node.receive ~src:f.Wire.sender m);
+                  loop ())
+          in
+          match loop () with
+          | Error _ as e -> e
+          | Ok () ->
+            let commits =
+              Array.map
+                (fun (p : Aba.party) ->
+                  match p.committed () with
+                  | Some v -> v
+                  | None -> invalid_arg "terminated without commit")
+                parties
+            in
+            let value = commits.(0) in
+            if not (Array.for_all (Value.equal value) commits) then
+              Error "agreement violated (bug)"
+            else begin
+              let frames = Array.fold_left (fun a e -> a + e.Transport.stats.frames_out) 0 ends in
+              let bytes = Array.fold_left (fun a e -> a + e.Transport.stats.bytes_out) 0 ends in
+              Ok
+                ( { Aba.value;
+                    commits;
+                    deliveries = !delivered;
+                    rounds =
+                      Array.fold_left (fun acc (p : Aba.party) -> max acc (p.round ())) 0 parties },
+                  { frames; bytes; words = !words } )
+            end)
+    }
+  in
+  match Aba.run_custom ~seed spec ~cfg ~inputs ~driver with
+  | Error _ as e -> e
+  | Ok r -> r
+
+(* ---- one party over a socket transport ------------------------------ *)
+
+type decision = {
+  d_pid : int;
+  d_value : Value.t;
+  d_round : int;
+  d_frames : int;
+  d_bytes : int;
+}
+
+let print_decision d =
+  Printf.printf "DECIDED pid=%d value=%d round=%d frames=%d bytes=%d\n%!" d.d_pid
+    (Value.to_int d.d_value) d.d_round d.d_frames d.d_bytes
+
+let parse_decision line =
+  match
+    Scanf.sscanf line "DECIDED pid=%d value=%d round=%d frames=%d bytes=%d"
+      (fun pid v round frames bytes -> (pid, v, round, frames, bytes))
+  with
+  | pid, v, round, frames, bytes when v = 0 || v = 1 ->
+    Some
+      { d_pid = pid;
+        d_value = Value.of_bool (v = 1);
+        d_round = round;
+        d_frames = frames;
+        d_bytes = bytes }
+  | _ | (exception Scanf.Scan_failure _) | (exception End_of_file) | (exception Failure _) ->
+    None
+
+let run_node ?(seed = 0xB0CA1L) ?(timeout_s = 30.) ?(linger_s = 1.0)
+    ?(tracer = Bca_obs.Trace.null) spec ~cfg ~inputs ~(net : Transport.t) =
+  let driver =
+    { Aba.drive =
+        (fun ~coin:_ ~wire exec parties ->
+          let n = Async.n exec in
+          let me = net.Transport.me in
+          if n <> net.Transport.n then invalid_arg "Cluster.run_node: transport size mismatch";
+          let node = Async.node_of exec me in
+          let party = parties.(me) in
+          (* self-addressed messages never touch the network: FIFO local
+             delivery, a valid asynchronous schedule *)
+          let local : (int * _) Queue.t = Queue.create () in
+          let do_emits emits =
+            List.iter
+              (fun emit ->
+                match emit with
+                | Node.Broadcast m ->
+                  let s = Wire.encode wire ~sender:me m in
+                  for d = 0 to n - 1 do
+                    if d = me then Queue.push (me, m) local else net.Transport.send ~dst:d s
+                  done
+                | Node.Unicast (d, m) ->
+                  if d = me then Queue.push (me, m) local
+                  else net.Transport.send ~dst:d (Wire.encode wire ~sender:me m))
+              emits
+          in
+          (* our initial sends are the src=me envelopes of the assembled
+             cluster, in send (eid) order *)
+          List.iter
+            (fun e ->
+              if e.Async.src = me then
+                if e.Async.dst = me then Queue.push (me, e.Async.payload) local
+                else
+                  net.Transport.send ~dst:e.Async.dst
+                    (Wire.encode wire ~sender:me e.Async.payload))
+            (List.sort (fun a b -> compare a.Async.eid b.Async.eid) (Async.inflight exec));
+          let deliver_frame f =
+            match Wire.decode_body wire f with
+            | Ok m -> do_emits (node.Node.receive ~src:f.Wire.sender m)
+            | Error _ -> net.Transport.stats.drops <- net.Transport.stats.drops + 1
+          in
+          let drain_local () =
+            while not (Queue.is_empty local) do
+              let src, m = Queue.pop local in
+              do_emits (node.Node.receive ~src m)
+            done
+          in
+          let deadline = Unix.gettimeofday () +. timeout_s in
+          let rec loop () =
+            if node.Node.terminated () then Ok ()
+            else if not (Queue.is_empty local) then begin
+              let src, m = Queue.pop local in
+              do_emits (node.Node.receive ~src m);
+              loop ()
+            end
+            else
+              match net.Transport.recv ~timeout_s:0.05 with
+              | Some f ->
+                deliver_frame f;
+                loop ()
+              | None ->
+                if Unix.gettimeofday () >= deadline then
+                  Error
+                    (Printf.sprintf "node %d timed out after %.1fs without terminating" me
+                       timeout_s)
+                else loop ()
+          in
+          match loop () with
+          | Error _ as e -> e
+          | Ok () ->
+            (* stay responsive while peers finish: our termination message
+               is out, but laggards may still need replies relayed *)
+            let linger_until = Unix.gettimeofday () +. linger_s in
+            ignore (net.Transport.flush ~timeout_s:linger_s);
+            let rec linger () =
+              let now = Unix.gettimeofday () in
+              if now < linger_until then begin
+                (match net.Transport.recv ~timeout_s:(Float.min 0.05 (linger_until -. now)) with
+                | Some f -> deliver_frame f
+                | None -> ());
+                drain_local ();
+                linger ()
+              end
+            in
+            linger ();
+            ignore (net.Transport.flush ~timeout_s:0.5);
+            (match party.Aba.committed () with
+            | Some v ->
+              Ok
+                { d_pid = me;
+                  d_value = v;
+                  d_round = (match party.Aba.commit_round () with Some r -> r | None -> 0);
+                  d_frames = net.Transport.stats.frames_out;
+                  d_bytes = net.Transport.stats.bytes_out }
+            | None -> Error (Printf.sprintf "node %d terminated without committing" me)))
+    }
+  in
+  match Aba.run_custom ~seed ~tracer spec ~cfg ~inputs ~driver with
+  | Error _ as e -> e
+  | Ok r -> r
+
+(* ---- multi-process launcher ----------------------------------------- *)
+
+type cluster_result = {
+  c_value : Value.t;
+  c_rounds : int array;
+  c_stats : net_stats;
+}
+
+let cluster_counter = ref 0
+
+let rm_rf_dir dir =
+  match Sys.readdir dir with
+  | entries ->
+    Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ()) entries;
+    (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  | exception Sys_error _ -> ()
+
+let inputs_to_string inputs =
+  String.init (Array.length inputs) (fun i -> if Value.to_int inputs.(i) = 1 then '1' else '0')
+
+let spawn_cluster ?(timeout_s = 60.) ~node_exe ~stack ~eps ~cfg ~seed ~inputs ~transport () =
+  let n = cfg.Types.n in
+  if Array.length inputs <> n then Error "inputs must have length n"
+  else begin
+    incr cluster_counter;
+    let cleanup = ref (fun () -> ()) in
+    let kind, addrs_arg =
+      match transport with
+      | `Unix ->
+        let dir =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "bca-cluster-%d-%d" (Unix.getpid ()) !cluster_counter)
+        in
+        Unix.mkdir dir 0o700;
+        cleanup := (fun () -> rm_rf_dir dir);
+        ( "unix",
+          String.concat ","
+            (List.init n (fun i -> Filename.concat dir (Printf.sprintf "node-%d.sock" i))) )
+      | `Tcp ->
+        let ports = Transport.Socket.pick_tcp_ports ~n in
+        ( "tcp",
+          String.concat ","
+            (Array.to_list (Array.map (fun p -> Printf.sprintf "127.0.0.1:%d" p) ports)) )
+    in
+    let spawn me =
+      let r, w = Unix.pipe () in
+      Unix.set_close_on_exec r;
+      let argv =
+        [| node_exe;
+           "--stack"; stack;
+           "--eps"; Printf.sprintf "%g" eps;
+           "--n"; string_of_int n;
+           "--t"; string_of_int cfg.Types.t;
+           "--me"; string_of_int me;
+           "--seed"; Int64.to_string seed;
+           "--inputs"; inputs_to_string inputs;
+           "--transport"; kind;
+           "--addrs"; addrs_arg;
+           "--timeout"; Printf.sprintf "%g" (Float.max 1. (timeout_s -. 5.)) |]
+      in
+      let pid = Unix.create_process node_exe argv Unix.stdin w Unix.stderr in
+      Unix.close w;
+      (pid, r)
+    in
+    let children = Array.init n spawn in
+    let bufs = Array.init n (fun _ -> Buffer.create 256) in
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    let open_fds = ref (Array.to_list (Array.mapi (fun i (_, r) -> (i, r)) children)) in
+    let chunk = Bytes.create 4096 in
+    (* gather stdout from every node until EOF everywhere or the deadline *)
+    while !open_fds <> [] && Unix.gettimeofday () < deadline do
+      let fds = List.map snd !open_fds in
+      match Unix.select fds [] [] 0.2 with
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | readable, _, _ ->
+        List.iter
+          (fun (i, fd) ->
+            if List.memq fd readable then
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 ->
+                Unix.close fd;
+                open_fds := List.filter (fun (j, _) -> j <> i) !open_fds
+              | k -> Buffer.add_subbytes bufs.(i) chunk 0 k
+              | exception Unix.Unix_error (EINTR, _, _) -> ())
+          !open_fds
+    done;
+    List.iter (fun (_, fd) -> try Unix.close fd with Unix.Unix_error _ -> ()) !open_fds;
+    let timed_out = !open_fds <> [] in
+    (* reap: give exited children a moment, then kill survivors *)
+    let reap_deadline = Unix.gettimeofday () +. if timed_out then 0. else 5. in
+    let statuses =
+      Array.map
+        (fun (pid, _) ->
+          let rec wait () =
+            match Unix.waitpid [ Unix.WNOHANG ] pid with
+            | 0, _ ->
+              if Unix.gettimeofday () >= reap_deadline then begin
+                (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+                let _, st = Unix.waitpid [] pid in
+                st
+              end
+              else begin
+                ignore (Unix.select [] [] [] 0.05);
+                wait ()
+              end
+            | _, st -> st
+          in
+          wait ())
+        children
+    in
+    !cleanup ();
+    let decisions =
+      Array.map
+        (fun buf ->
+          String.split_on_char '\n' (Buffer.contents buf)
+          |> List.find_map parse_decision)
+        bufs
+    in
+    let missing =
+      Array.to_list decisions
+      |> List.mapi (fun i d -> (i, d))
+      |> List.filter_map (fun (i, d) -> if d = None then Some i else None)
+    in
+    if timed_out then
+      Error (Printf.sprintf "cluster timed out after %.1fs (nodes still running killed)" timeout_s)
+    else if missing <> [] then
+      Error
+        (Printf.sprintf "node(s) %s exited without deciding (statuses: %s)"
+           (String.concat ", " (List.map string_of_int missing))
+           (String.concat ", "
+              (Array.to_list
+                 (Array.map
+                    (function
+                      | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+                      | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+                      | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s)
+                    statuses))))
+    else begin
+      let ds = Array.map (fun d -> Option.get d) decisions in
+      let value = ds.(0).d_value in
+      if not (Array.for_all (fun d -> Value.equal d.d_value value) ds) then
+        Error
+          (Printf.sprintf "DISAGREEMENT: decisions [%s] - protocol bug"
+             (String.concat "; "
+                (Array.to_list
+                   (Array.map
+                      (fun d -> Printf.sprintf "pid %d -> %d" d.d_pid (Value.to_int d.d_value))
+                      ds))))
+      else begin
+        let frames = Array.fold_left (fun a d -> a + d.d_frames) 0 ds in
+        let bytes = Array.fold_left (fun a d -> a + d.d_bytes) 0 ds in
+        Ok
+          { c_value = value;
+            c_rounds = Array.map (fun d -> d.d_round) ds;
+            c_stats = { frames; bytes; words = Wire.words_of_bytes bytes } }
+      end
+    end
+  end

@@ -1,0 +1,105 @@
+(** Run the six (G)BCA stacks to decision over a real transport.
+
+    Three entry points, all built on [Bca_core.Aba.run_custom] (the cluster
+    assembly - coin seeding, threshold-key setup, per-party construction -
+    is byte-for-byte the one the simulator uses; only message movement
+    differs):
+
+    - {!run_loopback}: the whole cluster in one process over
+      {!Transport.Loopback}, every message encoded and decoded on each hop.
+      {b Determinism contract}: for a given [seed] the run is bit-identical
+      to [Bca_core.Aba.run ~seed] - same decision values, commit rounds,
+      delivery count - because the loopback hub replays the netsim random
+      scheduler's exact RNG stream over an identically-ordered frame pool
+      (checked in [test/test_transport.ml]; DESIGN.md section 11).
+    - {!run_node}: ONE party, driven over a socket {!Transport.t} - what
+      [bca_node] executes, one process per party.
+    - {!spawn_cluster}: the launcher - forks [n] [bca_node] processes over
+      Unix-domain sockets or TCP, collects their decisions, checks
+      agreement. *)
+
+val parse_stack : ?eps:float -> string -> (Bca_core.Aba.spec, string) result
+(** [crash-strong], [crash-weak], [crash-local], [byz-strong], [byz-weak],
+    [byz-tsig] (the weak stacks take their coin goodness from [eps],
+    default 0.25) - same names [bca run] accepts. *)
+
+val stack_name : Bca_core.Aba.spec -> string
+(** Canonical name, [parse_stack]-compatible. *)
+
+val all_stacks : ?eps:float -> unit -> (string * Bca_core.Aba.spec) list
+(** The six stacks by canonical name. *)
+
+type net_stats = {
+  frames : int;  (** frames sent cluster-wide *)
+  bytes : int;  (** on-wire bytes sent, headers included *)
+  words : int;  (** [bytes] in 64-bit words - the paper's complexity unit *)
+}
+
+val run_loopback :
+  ?seed:int64 ->
+  Bca_core.Aba.spec ->
+  cfg:Bca_core.Types.cfg ->
+  inputs:Bca_util.Value.t array ->
+  (Bca_core.Aba.result * net_stats, string) result
+(** Single-process cluster over the in-memory hub; see the determinism
+    contract above.  This is also how the bench report measures
+    per-decision bytes/words per stack. *)
+
+type decision = {
+  d_pid : int;
+  d_value : Bca_util.Value.t;
+  d_round : int;  (** commit round *)
+  d_frames : int;  (** frames this node sent *)
+  d_bytes : int;  (** bytes this node sent *)
+}
+
+val print_decision : decision -> unit
+(** The one-line [DECIDED pid=... value=... round=... frames=... bytes=...]
+    record [bca_node] emits on stdout and {!spawn_cluster} parses back. *)
+
+val parse_decision : string -> decision option
+
+val run_node :
+  ?seed:int64 ->
+  ?timeout_s:float ->
+  ?linger_s:float ->
+  ?tracer:Bca_obs.Trace.t ->
+  Bca_core.Aba.spec ->
+  cfg:Bca_core.Types.cfg ->
+  inputs:Bca_util.Value.t array ->
+  net:Transport.t ->
+  (decision, string) result
+(** Drive party [net.me] to termination over [net]: broadcast its initial
+    sends, then deliver inbound frames (and its own self-addressed
+    messages, FIFO) to the protocol node, shipping every emitted message
+    back out encoded.  [inputs] must be the full cluster's input vector -
+    determinism of the assembly requires every process to build the same
+    cluster.  After terminating, flushes the outbound queues and keeps
+    answering peers for [linger_s] (default 1.0) seconds so laggards can
+    finish; gives up after [timeout_s] (default 30.0) seconds without
+    termination.  Does not close [net]. *)
+
+type cluster_result = {
+  c_value : Bca_util.Value.t;
+  c_rounds : int array;  (** per-pid commit round *)
+  c_stats : net_stats;  (** cluster-wide traffic totals *)
+}
+
+val spawn_cluster :
+  ?timeout_s:float ->
+  node_exe:string ->
+  stack:string ->
+  eps:float ->
+  cfg:Bca_core.Types.cfg ->
+  seed:int64 ->
+  inputs:Bca_util.Value.t array ->
+  transport:[ `Unix | `Tcp ] ->
+  unit ->
+  (cluster_result, string) result
+(** Fork one [node_exe] process per party ([`Unix]: sockets in a fresh
+    temporary directory, removed afterwards; [`Tcp]: loopback TCP on
+    {!Transport.Socket.pick_tcp_ports} ports), parse each node's [DECIDED]
+    line, and check they all decided the same value.  [Error] on
+    disagreement (a protocol bug), on any node exiting without deciding,
+    and on [timeout_s] (default 60.0) elapsing - surviving processes are
+    killed. *)

@@ -1,0 +1,499 @@
+module Wire = Bca_wire.Wire
+module Rng = Bca_util.Rng
+module Pool = Bca_netsim.Pool
+module Trace = Bca_obs.Trace
+module Event = Bca_obs.Event
+
+type stats = {
+  mutable frames_out : int;
+  mutable bytes_out : int;
+  mutable frames_in : int;
+  mutable bytes_in : int;
+  mutable retries : int;
+  mutable drops : int;
+}
+
+let stats_zero () =
+  { frames_out = 0; bytes_out = 0; frames_in = 0; bytes_in = 0; retries = 0; drops = 0 }
+
+type t = {
+  me : int;
+  n : int;
+  kind : string;
+  send : dst:int -> string -> unit;
+  recv : timeout_s:float -> Wire.frame option;
+  flush : timeout_s:float -> bool;
+  close : unit -> unit;
+  stats : stats;
+}
+
+(* ---- in-memory loopback -------------------------------------------- *)
+
+module Loopback = struct
+  type hub = {
+    h_n : int;
+    h_rng : Rng.t;
+    h_pool : (int * Wire.frame) Pool.t;
+    h_stats : stats array;
+  }
+
+  let create_hub ?(seed = 0xB0CA1L) ~n () =
+    { h_n = n;
+      h_rng = Rng.create seed;
+      h_pool = Pool.create ();
+      h_stats = Array.init n (fun _ -> stats_zero ()) }
+
+  let pending h = Pool.length h.h_pool
+
+  let record_in h ~dst f =
+    let st = h.h_stats.(dst) in
+    st.frames_in <- st.frames_in + 1;
+    st.bytes_in <- st.bytes_in + Wire.frame_bytes f
+
+  let step h =
+    if Pool.is_empty h.h_pool then None
+    else begin
+      let i = Rng.int h.h_rng (Pool.length h.h_pool) in
+      let ((dst, f) as slot) = Pool.swap_remove h.h_pool i in
+      record_in h ~dst f;
+      Some slot
+    end
+
+  let endpoint h ~me =
+    if me < 0 || me >= h.h_n then invalid_arg "Transport.Loopback.endpoint: pid out of range";
+    let st = h.h_stats.(me) in
+    let send ~dst s =
+      if dst < 0 || dst >= h.h_n then invalid_arg "Transport.Loopback.send: dst out of range";
+      st.frames_out <- st.frames_out + 1;
+      st.bytes_out <- st.bytes_out + String.length s;
+      match Wire.decode_frame s ~pos:0 with
+      | Ok (f, _) -> Pool.add h.h_pool (dst, f)
+      | Error _ -> st.drops <- st.drops + 1
+    in
+    let recv ~timeout_s:_ =
+      (* uniformly random among the frames destined to [me], same RNG as
+         [step] - a deterministic single-party delivery schedule *)
+      let len = Pool.length h.h_pool in
+      let mine = ref 0 in
+      for i = 0 to len - 1 do
+        if fst (Pool.get h.h_pool i) = me then incr mine
+      done;
+      if !mine = 0 then None
+      else begin
+        let k = ref (Rng.int h.h_rng !mine) in
+        let slot = ref (-1) in
+        (try
+           for i = 0 to len - 1 do
+             if fst (Pool.get h.h_pool i) = me then
+               if !k = 0 then begin
+                 slot := i;
+                 raise Exit
+               end
+               else decr k
+           done
+         with Exit -> ());
+        let _, f = Pool.swap_remove h.h_pool !slot in
+        record_in h ~dst:me f;
+        Some f
+      end
+    in
+    { me;
+      n = h.h_n;
+      kind = "loopback";
+      send;
+      recv;
+      flush = (fun ~timeout_s:_ -> true);
+      close = (fun () -> ());
+      stats = st }
+end
+
+(* ---- socket engine (Unix-domain and TCP) ---------------------------- *)
+
+module Socket = struct
+  type out_state =
+    | Idle  (** no connection; will (re)connect when there is data *)
+    | Connecting of Unix.file_descr
+    | Up of Unix.file_descr
+    | Dead  (** given up after [max_retries]; sends to it are dropped *)
+
+  type peer = {
+    p_pid : int;
+    p_addr : Unix.sockaddr;
+    mutable p_state : out_state;
+    p_q : string Queue.t;
+    mutable p_q_bytes : int;  (** unsent bytes across the queue *)
+    mutable p_head_off : int;  (** bytes of the head frame already written *)
+    mutable p_retries : int;
+    mutable p_next_attempt : float;
+  }
+
+  type conn = { c_fd : Unix.file_descr; c_reader : Wire.Reader.t }
+
+  type sock = {
+    s_me : int;
+    s_n : int;
+    s_listen : Unix.file_descr;
+    s_peers : peer array;
+    mutable s_conns : conn list;
+    s_inbox : Wire.frame Queue.t;
+    s_stats : stats;
+    s_tracer : Trace.t;
+    s_tracing : bool;
+    s_read_buf : Bytes.t;
+    s_max_body : int;
+    s_max_queue : int;
+    s_backoff_base : float;
+    s_backoff_cap : float;
+    s_max_retries : int;
+    s_unix_path : string option;
+    mutable s_closed : bool;
+  }
+
+  let trace s ~peer ~op ~bytes =
+    if s.s_tracing then
+      Trace.emit s.s_tracer (Event.Transport { pid = s.s_me; peer; op; bytes })
+
+  let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+  let set_nodelay fd =
+    (* best effort: meaningless (and an error) on Unix-domain sockets *)
+    try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ()
+
+  let give_up s p =
+    p.p_state <- Dead;
+    s.s_stats.drops <- s.s_stats.drops + Queue.length p.p_q;
+    Queue.clear p.p_q;
+    p.p_q_bytes <- 0;
+    p.p_head_off <- 0;
+    trace s ~peer:p.p_pid ~op:"give_up" ~bytes:0
+
+  let backoff s ~retries =
+    let d = s.s_backoff_base *. (2. ** float_of_int (retries - 1)) in
+    Float.min d s.s_backoff_cap
+
+  (* The connection failed (connect error, write error, refused): close it,
+     rewind the partially written head frame so the next connection resends
+     it whole, and either schedule a delayed reattempt or give the peer up. *)
+  let schedule_retry s p ~now =
+    (match p.p_state with
+    | Connecting fd | Up fd -> close_fd fd
+    | Idle | Dead -> ());
+    p.p_q_bytes <- p.p_q_bytes + p.p_head_off;
+    p.p_head_off <- 0;
+    p.p_retries <- p.p_retries + 1;
+    if p.p_retries > s.s_max_retries then give_up s p
+    else begin
+      p.p_state <- Idle;
+      s.s_stats.retries <- s.s_stats.retries + 1;
+      p.p_next_attempt <- now +. backoff s ~retries:p.p_retries;
+      trace s ~peer:p.p_pid ~op:"retry" ~bytes:0
+    end
+
+  let rec try_write s p ~now =
+    match p.p_state with
+    | Up fd when not (Queue.is_empty p.p_q) -> begin
+      let head = Queue.peek p.p_q in
+      let len = String.length head - p.p_head_off in
+      match Unix.write_substring fd head p.p_head_off len with
+      | k ->
+        p.p_head_off <- p.p_head_off + k;
+        p.p_q_bytes <- p.p_q_bytes - k;
+        if p.p_head_off = String.length head then begin
+          ignore (Queue.pop p.p_q);
+          p.p_head_off <- 0
+        end;
+        if k = len then try_write s p ~now
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+      | exception Unix.Unix_error (_, _, _) -> schedule_retry s p ~now
+    end
+    | Idle | Connecting _ | Up _ | Dead -> ()
+
+  let start_connect s p ~now =
+    let fd = Unix.socket (Unix.domain_of_sockaddr p.p_addr) Unix.SOCK_STREAM 0 in
+    Unix.set_nonblock fd;
+    set_nodelay fd;
+    match Unix.connect fd p.p_addr with
+    | () ->
+      p.p_state <- Up fd;
+      p.p_retries <- 0;
+      trace s ~peer:p.p_pid ~op:"connect" ~bytes:0
+    | exception Unix.Unix_error ((EINPROGRESS | EWOULDBLOCK | EAGAIN), _, _) ->
+      p.p_state <- Connecting fd
+    | exception Unix.Unix_error (_, _, _) ->
+      p.p_state <- Connecting fd;
+      (* reuse the retry path: it closes the fd and applies backoff *)
+      schedule_retry s p ~now
+
+  let drop_conn s c ~op =
+    close_fd c.c_fd;
+    s.s_conns <- List.filter (fun c' -> c'.c_fd != c.c_fd) s.s_conns;
+    trace s ~peer:(-1) ~op ~bytes:0
+
+  let rec drain_reader s c =
+    match Wire.Reader.next c.c_reader with
+    | Ok None -> ()
+    | Ok (Some f) ->
+      if f.Wire.sender < 0 || f.Wire.sender >= s.s_n || f.Wire.sender = s.s_me then begin
+        s.s_stats.drops <- s.s_stats.drops + 1;
+        trace s ~peer:f.Wire.sender ~op:"drop" ~bytes:(Wire.frame_bytes f)
+      end
+      else begin
+        s.s_stats.frames_in <- s.s_stats.frames_in + 1;
+        s.s_stats.bytes_in <- s.s_stats.bytes_in + Wire.frame_bytes f;
+        trace s ~peer:f.Wire.sender ~op:"rx" ~bytes:(Wire.frame_bytes f);
+        Queue.push f s.s_inbox
+      end;
+      drain_reader s c
+    | Error _ ->
+      (* framing on a corrupt stream cannot be trusted: drop the
+         connection, the sender's reconnect logic re-establishes it *)
+      s.s_stats.drops <- s.s_stats.drops + 1;
+      drop_conn s c ~op:"drop"
+
+  let read_conn s c =
+    let cap = Bytes.length s.s_read_buf in
+    match Unix.read c.c_fd s.s_read_buf 0 cap with
+    | 0 -> drop_conn s c ~op:"close"
+    | k ->
+      Wire.Reader.feed c.c_reader (Bytes.sub_string s.s_read_buf 0 k) ~pos:0 ~len:k;
+      drain_reader s c
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> drop_conn s c ~op:"close"
+
+  let rec accept_loop s =
+    match Unix.accept s.s_listen with
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      set_nodelay fd;
+      s.s_conns <- { c_fd = fd; c_reader = Wire.Reader.create ~max_body:s.s_max_body () } :: s.s_conns;
+      trace s ~peer:(-1) ~op:"accept" ~bytes:0;
+      accept_loop s
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> ()
+
+  (* One [select] round: complete / start connections, accept, read, write.
+     All network progress happens here - [send]/[recv]/[flush] are loops
+     around this. *)
+  let pump s ~timeout_s =
+    if not s.s_closed then begin
+      let now = Unix.gettimeofday () in
+      Array.iter
+        (fun p ->
+          if
+            p.p_pid <> s.s_me && p.p_state = Idle
+            && (not (Queue.is_empty p.p_q))
+            && now >= p.p_next_attempt
+          then start_connect s p ~now)
+        s.s_peers;
+      (* never sleep past the earliest pending reconnect *)
+      let tmo =
+        Array.fold_left
+          (fun acc p ->
+            match p.p_state with
+            | Idle when not (Queue.is_empty p.p_q) ->
+              Float.min acc (Float.max 0. (p.p_next_attempt -. now))
+            | _ -> acc)
+          (Float.max 0. timeout_s) s.s_peers
+      in
+      let reads = s.s_listen :: List.map (fun c -> c.c_fd) s.s_conns in
+      let writes =
+        Array.fold_left
+          (fun acc p ->
+            match p.p_state with
+            | Connecting fd -> fd :: acc
+            | Up fd when not (Queue.is_empty p.p_q) -> fd :: acc
+            | _ -> acc)
+          [] s.s_peers
+      in
+      match Unix.select reads writes [] tmo with
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | r, w, _ ->
+        if List.memq s.s_listen r then accept_loop s;
+        List.iter (fun c -> if List.memq c.c_fd r then read_conn s c) s.s_conns;
+        let now = Unix.gettimeofday () in
+        Array.iter
+          (fun p ->
+            match p.p_state with
+            | Connecting fd when List.memq fd w -> begin
+              match Unix.getsockopt_error fd with
+              | None ->
+                p.p_state <- Up fd;
+                p.p_retries <- 0;
+                trace s ~peer:p.p_pid ~op:"connect" ~bytes:0;
+                try_write s p ~now
+              | Some _ -> schedule_retry s p ~now
+            end
+            | Up fd when List.memq fd w -> try_write s p ~now
+            | _ -> ())
+          s.s_peers
+    end
+
+  let all_flushed s =
+    Array.for_all
+      (fun p -> p.p_pid = s.s_me || p.p_state = Dead || Queue.is_empty p.p_q)
+      s.s_peers
+
+  let kind_of_addr = function
+    | Unix.ADDR_UNIX _ -> "unix"
+    | Unix.ADDR_INET _ -> "tcp"
+
+  let endpoint ?(tracer = Trace.null) ?(max_body = Wire.default_max_body)
+      ?(max_queue_bytes = 1 lsl 20) ?(backoff_base_s = 0.01) ?(backoff_cap_s = 2.0)
+      ?(max_retries = 20) ~addrs ~me () =
+    (* a peer closing its end must surface as EPIPE on write (handled by the
+       reconnect logic), not kill the process *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+    let n = Array.length addrs in
+    if me < 0 || me >= n then invalid_arg "Transport.Socket.endpoint: pid out of range";
+    let addr = addrs.(me) in
+    let unix_path =
+      match addr with
+      | Unix.ADDR_UNIX path ->
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        Some path
+      | Unix.ADDR_INET _ -> None
+    in
+    let listen_fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    Unix.set_nonblock listen_fd;
+    (match addr with
+    | Unix.ADDR_INET _ -> Unix.setsockopt listen_fd Unix.SO_REUSEADDR true
+    | Unix.ADDR_UNIX _ -> ());
+    Unix.bind listen_fd addr;
+    Unix.listen listen_fd (max 8 (2 * n));
+    let s =
+      { s_me = me;
+        s_n = n;
+        s_listen = listen_fd;
+        s_peers =
+          Array.init n (fun pid ->
+              { p_pid = pid;
+                p_addr = addrs.(pid);
+                p_state = Idle;
+                p_q = Queue.create ();
+                p_q_bytes = 0;
+                p_head_off = 0;
+                p_retries = 0;
+                p_next_attempt = 0. });
+        s_conns = [];
+        s_inbox = Queue.create ();
+        s_stats = stats_zero ();
+        s_tracer = tracer;
+        s_tracing = Trace.enabled tracer;
+        s_read_buf = Bytes.create 65536;
+        s_max_body = max_body;
+        s_max_queue = max_queue_bytes;
+        s_backoff_base = backoff_base_s;
+        s_backoff_cap = backoff_cap_s;
+        s_max_retries = max_retries;
+        s_unix_path = unix_path;
+        s_closed = false }
+    in
+    let send ~dst frame_str =
+      if dst < 0 || dst >= n then invalid_arg "Transport.Socket.send: dst out of range";
+      let len = String.length frame_str in
+      s.s_stats.frames_out <- s.s_stats.frames_out + 1;
+      s.s_stats.bytes_out <- s.s_stats.bytes_out + len;
+      trace s ~peer:dst ~op:"tx" ~bytes:len;
+      if dst = me then begin
+        match Wire.decode_frame frame_str ~pos:0 with
+        | Ok (f, _) ->
+          s.s_stats.frames_in <- s.s_stats.frames_in + 1;
+          s.s_stats.bytes_in <- s.s_stats.bytes_in + len;
+          Queue.push f s.s_inbox
+        | Error _ -> s.s_stats.drops <- s.s_stats.drops + 1
+      end
+      else begin
+        let p = s.s_peers.(dst) in
+        match p.p_state with
+        | Dead ->
+          s.s_stats.drops <- s.s_stats.drops + 1;
+          trace s ~peer:dst ~op:"drop" ~bytes:len
+        | _ ->
+          Queue.push frame_str p.p_q;
+          p.p_q_bytes <- p.p_q_bytes + len;
+          (* backpressure: a slow or absent peer stalls the sender (with a
+             bounded memory footprint) until it drains or is given up *)
+          while p.p_q_bytes > s.s_max_queue && p.p_state <> Dead do
+            pump s ~timeout_s:0.02
+          done
+      end
+    in
+    let recv ~timeout_s =
+      let deadline = Unix.gettimeofday () +. timeout_s in
+      let rec loop () =
+        if not (Queue.is_empty s.s_inbox) then Some (Queue.pop s.s_inbox)
+        else begin
+          let now = Unix.gettimeofday () in
+          if now >= deadline then None
+          else begin
+            pump s ~timeout_s:(Float.min 0.05 (deadline -. now));
+            loop ()
+          end
+        end
+      in
+      match loop () with
+      | Some _ as r -> r
+      | None ->
+        (* one zero-timeout pump so [recv ~timeout_s:0.] still polls *)
+        pump s ~timeout_s:0.;
+        if Queue.is_empty s.s_inbox then None else Some (Queue.pop s.s_inbox)
+    in
+    let flush ~timeout_s =
+      let deadline = Unix.gettimeofday () +. timeout_s in
+      let rec loop () =
+        if all_flushed s then true
+        else if Unix.gettimeofday () >= deadline then false
+        else begin
+          pump s ~timeout_s:0.05;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let close () =
+      if not s.s_closed then begin
+        s.s_closed <- true;
+        trace s ~peer:(-1) ~op:"close" ~bytes:0;
+        close_fd s.s_listen;
+        List.iter (fun c -> close_fd c.c_fd) s.s_conns;
+        s.s_conns <- [];
+        Array.iter
+          (fun p ->
+            match p.p_state with
+            | Connecting fd | Up fd -> close_fd fd
+            | Idle | Dead -> ())
+          s.s_peers;
+        match s.s_unix_path with
+        | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+        | None -> ()
+      end
+    in
+    { me; n; kind = kind_of_addr addr; send; recv; flush; close; stats = s.s_stats }
+
+  let unix_addrs ~dir ~n =
+    Array.init n (fun pid -> Unix.ADDR_UNIX (Filename.concat dir (Printf.sprintf "node-%d.sock" pid)))
+
+  let tcp_addrs ~ports =
+    Array.map (fun port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)) ports
+
+  let pick_tcp_ports ~n =
+    (* bind them all before closing any, so the kernel can't hand the same
+       ephemeral port out twice *)
+    let fds =
+      Array.init n (fun _ ->
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.setsockopt fd Unix.SO_REUSEADDR true;
+          Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+          fd)
+    in
+    let ports =
+      Array.map
+        (fun fd ->
+          match Unix.getsockname fd with
+          | Unix.ADDR_INET (_, port) -> port
+          | Unix.ADDR_UNIX _ -> assert false)
+        fds
+    in
+    Array.iter close_fd fds;
+    ports
+end

@@ -1,0 +1,300 @@
+module Value = Bca_util.Value
+
+let version = 1
+
+let header_bytes = 14
+
+let default_max_body = 1 lsl 20
+
+let max_sender = 0xFFFF
+
+let magic0 = '\xBC'
+
+let magic1 = '\xA1'
+
+(* ---- CRC-32 (IEEE 802.3, reflected) -------------------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun i ->
+         let c = ref (Int32.of_int i) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Wire.crc32: slice out of bounds";
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  for i = pos to pos + len - 1 do
+    let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code s.[i]))) 0xFFl) in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ---- body primitives ----------------------------------------------- *)
+
+module Put = struct
+  let u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+  let u16 buf v =
+    u8 buf (v lsr 8);
+    u8 buf v
+
+  let u32 buf v =
+    u8 buf (v lsr 24);
+    u8 buf (v lsr 16);
+    u8 buf (v lsr 8);
+    u8 buf v
+
+  let i64 buf v =
+    for shift = 7 downto 0 do
+      u8 buf (Int64.to_int (Int64.shift_right_logical v (8 * shift)))
+    done
+
+  let varint buf v =
+    if v < 0 then invalid_arg "Wire.Put.varint: negative";
+    let rec go v =
+      if v < 0x80 then u8 buf v
+      else begin
+        u8 buf (0x80 lor (v land 0x7F));
+        go (v lsr 7)
+      end
+    in
+    go v
+
+  let string buf s =
+    varint buf (String.length s);
+    Buffer.add_string buf s
+
+  let value buf v = u8 buf (Value.to_int v)
+end
+
+module Get = struct
+  type t = { src : string; mutable pos : int; limit : int }
+
+  exception Malformed of string
+
+  let fail msg = raise (Malformed msg)
+
+  let create src ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > String.length src then
+      invalid_arg "Wire.Get.create: slice out of bounds";
+    { src; pos; limit = pos + len }
+
+  let remaining t = t.limit - t.pos
+
+  let u8 t =
+    if t.pos >= t.limit then fail "truncated (u8)";
+    let v = Char.code t.src.[t.pos] in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    let hi = u8 t in
+    let lo = u8 t in
+    (hi lsl 8) lor lo
+
+  let u32 t =
+    let a = u16 t in
+    let b = u16 t in
+    (a lsl 16) lor b
+
+  let i64 t =
+    let v = ref 0L in
+    for _ = 0 to 7 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (u8 t))
+    done;
+    !v
+
+  let varint t =
+    let rec go shift acc =
+      if shift > 56 then fail "varint too long"
+      else
+        let b = u8 t in
+        let acc = acc lor ((b land 0x7F) lsl shift) in
+        if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let string t =
+    let len = varint t in
+    if len > remaining t then fail "string length exceeds body";
+    let s = String.sub t.src t.pos len in
+    t.pos <- t.pos + len;
+    s
+
+  let value t =
+    match u8 t with
+    | 0 -> Value.V0
+    | 1 -> Value.V1
+    | v -> fail (Printf.sprintf "invalid value byte %d" v)
+
+  let expect_end t =
+    if t.pos <> t.limit then
+      fail (Printf.sprintf "%d trailing body bytes" (t.limit - t.pos))
+end
+
+(* ---- codecs and frames --------------------------------------------- *)
+
+type 'm codec = {
+  id : int;
+  name : string;
+  enc : Buffer.t -> 'm -> unit;
+  dec : Get.t -> 'm;
+}
+
+type frame = { codec_id : int; sender : int; body : string }
+
+type error =
+  | Truncated of { need : int; have : int }
+  | Bad_magic
+  | Unsupported_version of int
+  | Oversized of { len : int; limit : int }
+  | Bad_crc of { expected : int32; actual : int32 }
+  | Wrong_codec of { expected : int; got : int }
+  | Malformed_body of string
+
+let pp_error ppf = function
+  | Truncated { need; have } -> Format.fprintf ppf "truncated frame: need %d bytes, have %d" need have
+  | Bad_magic -> Format.pp_print_string ppf "bad magic"
+  | Unsupported_version v -> Format.fprintf ppf "unsupported wire version %d" v
+  | Oversized { len; limit } -> Format.fprintf ppf "oversized body: %d bytes (limit %d)" len limit
+  | Bad_crc { expected; actual } ->
+    Format.fprintf ppf "CRC mismatch: header says %08lx, body hashes to %08lx" expected actual
+  | Wrong_codec { expected; got } ->
+    Format.fprintf ppf "wrong codec id: expected %d, got %d" expected got
+  | Malformed_body msg -> Format.fprintf ppf "malformed body: %s" msg
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let encode_raw ~codec_id ~sender body =
+  if sender < 0 || sender > max_sender then invalid_arg "Wire.encode: sender out of range";
+  if codec_id < 0 || codec_id > 0xFF then invalid_arg "Wire.encode: codec id out of range";
+  let len = String.length body in
+  let buf = Buffer.create (header_bytes + len) in
+  Buffer.add_char buf magic0;
+  Buffer.add_char buf magic1;
+  Put.u8 buf version;
+  Put.u8 buf codec_id;
+  Put.u16 buf sender;
+  Put.u32 buf len;
+  let crc = crc32 body ~pos:0 ~len in
+  Put.u32 buf (Int32.to_int (Int32.logand crc 0xFFFFFFFFl) land 0xFFFFFFFF);
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+let encode codec ~sender m =
+  let body = Buffer.create 32 in
+  codec.enc body m;
+  encode_raw ~codec_id:codec.id ~sender (Buffer.contents body)
+
+(* Header parse shared by the one-shot decoder and the stream reader.
+   [have] is how many bytes are available from [pos]; the caller guarantees
+   [pos + have <= String.length s]. *)
+let decode_frame ?(max_body = default_max_body) s ~pos =
+  let have = String.length s - pos in
+  if pos < 0 || pos > String.length s then invalid_arg "Wire.decode_frame: pos out of bounds";
+  if have < header_bytes then Error (Truncated { need = header_bytes; have })
+  else if s.[pos] <> magic0 || s.[pos + 1] <> magic1 then Error Bad_magic
+  else
+    let byte i = Char.code s.[pos + i] in
+    let v = byte 2 in
+    if v <> version then Error (Unsupported_version v)
+    else
+      let codec_id = byte 3 in
+      let sender = (byte 4 lsl 8) lor byte 5 in
+      let len = (byte 6 lsl 24) lor (byte 7 lsl 16) lor (byte 8 lsl 8) lor byte 9 in
+      if len > max_body then Error (Oversized { len; limit = max_body })
+      else if have < header_bytes + len then
+        Error (Truncated { need = header_bytes + len; have })
+      else
+        let expected =
+          Int32.logor
+            (Int32.shift_left (Int32.of_int ((byte 10 lsl 8) lor byte 11)) 16)
+            (Int32.of_int ((byte 12 lsl 8) lor byte 13))
+        in
+        let actual = crc32 s ~pos:(pos + header_bytes) ~len in
+        if not (Int32.equal expected actual) then Error (Bad_crc { expected; actual })
+        else
+          let body = String.sub s (pos + header_bytes) len in
+          Ok ({ codec_id; sender; body }, header_bytes + len)
+
+let decode_body codec frame =
+  if frame.codec_id <> codec.id then
+    Error (Wrong_codec { expected = codec.id; got = frame.codec_id })
+  else
+    let cur = Get.create frame.body ~pos:0 ~len:(String.length frame.body) in
+    match
+      let m = codec.dec cur in
+      Get.expect_end cur;
+      m
+    with
+    | m -> Ok m
+    | exception Get.Malformed msg -> Error (Malformed_body msg)
+
+let decode codec s =
+  match decode_frame s ~pos:0 with
+  | Error e -> Error e
+  | Ok (frame, consumed) ->
+    if consumed <> String.length s then
+      Error (Malformed_body (Printf.sprintf "%d trailing frame bytes" (String.length s - consumed)))
+    else (
+      match decode_body codec frame with
+      | Ok m -> Ok (m, frame)
+      | Error e -> Error e)
+
+let frame_bytes f = header_bytes + String.length f.body
+
+let words_of_bytes b = (b + 7) / 8
+
+let frame_words f = words_of_bytes (frame_bytes f)
+
+(* ---- stream reassembly --------------------------------------------- *)
+
+module Reader = struct
+  type t = {
+    max_body : int;
+    buf : Buffer.t;
+    (* consumed prefix of [buf]; compacted once it outgrows the tail *)
+    mutable off : int;
+    mutable poison : error option;
+  }
+
+  let create ?(max_body = default_max_body) () =
+    { max_body; buf = Buffer.create 4096; off = 0; poison = None }
+
+  let feed t s ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > String.length s then
+      invalid_arg "Wire.Reader.feed: slice out of bounds";
+    Buffer.add_substring t.buf s pos len
+
+  let buffered t = Buffer.length t.buf - t.off
+
+  let compact t =
+    if t.off > 4096 && t.off * 2 > Buffer.length t.buf then begin
+      let tail = Buffer.sub t.buf t.off (Buffer.length t.buf - t.off) in
+      Buffer.clear t.buf;
+      Buffer.add_string t.buf tail;
+      t.off <- 0
+    end
+
+  let next t =
+    match t.poison with
+    | Some e -> Error e
+    | None -> (
+      let s = Buffer.contents t.buf in
+      match decode_frame ~max_body:t.max_body s ~pos:t.off with
+      | Ok (frame, consumed) ->
+        t.off <- t.off + consumed;
+        compact t;
+        Ok (Some frame)
+      | Error (Truncated _) -> Ok None
+      | Error e ->
+        t.poison <- Some e;
+        Error e)
+end

@@ -188,7 +188,7 @@ let run_with_plan spec cfg plan ~seed =
   let inputs = Array.init n (fun i -> Value.of_bool (i mod 2 = 0)) in
   let driver =
     { Aba.drive =
-        (fun ~coin:_ exec parties ->
+        (fun ~coin:_ ~wire:_ exec parties ->
           let monitor =
             Monitor.create ~n ~inputs ~decision:(fun p -> parties.(p).Aba.committed ()) ()
           in

@@ -33,6 +33,8 @@ let sample_events : Event.t list =
     Violation
       { kind = "binding";
         detail = "quote \" backslash \\ newline \n tab \t ctrl \x01 end" };
+    Transport { pid = 2; peer = 0; op = "tx"; bytes = 23 };
+    Transport { pid = 1; peer = 3; op = "give_up"; bytes = 0 };
     Quorum { pid = 0; round = 1; phase = "" } ]
 
 let test_json_roundtrip () =
@@ -109,7 +111,9 @@ let gen_event : Event.t QCheck2.Gen.t =
       map (fun ((pid, round), value) -> Event.Commit { pid; round; value })
         (pair (pair i i) gen_value);
       map (fun (kind, detail) -> Event.Violation { kind; detail })
-        (pair gen_string gen_string) ]
+        (pair gen_string gen_string);
+      map (fun ((pid, peer), (op, bytes)) -> Event.Transport { pid; peer; op; bytes })
+        (pair (pair i i) (pair gen_string i)) ]
 
 let gen_timed = QCheck2.Gen.(map2 (fun ts ev -> { Event.ts; ev }) (int_bound 100_000) gen_event)
 

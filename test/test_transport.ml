@@ -1,0 +1,161 @@
+(* Transport tests.
+
+   1. Loopback determinism contract: for every stack and seed,
+      [Cluster.run_loopback] - where every message is encoded to a wire
+      frame, pooled in the hub, and decoded on delivery - is bit-identical
+      to the netsim run [Aba.run] with the same seed: same decision, same
+      per-party commits, same delivery count, same round count.
+
+   2. Multi-process clusters: a 4-node (5 for crash stacks) cluster of
+      real [bca_node] processes over Unix-domain sockets reaches agreement
+      on all six stacks; one TCP spot check.  Every process rebuilds the
+      deterministic cluster assembly from the shared seed and drives only
+      its own party over the sockets. *)
+
+module Value = Bca_util.Value
+module Types = Bca_core.Types
+module Aba = Bca_core.Aba
+module Cluster = Bca_transport.Cluster
+module Transport = Bca_transport.Transport
+
+let node_exe =
+  match Sys.getenv_opt "BCA_NODE" with
+  | Some p -> p
+  | None -> Filename.concat (Filename.concat ".." "bin") "bca_node.exe"
+
+let cfg_of spec =
+  let byz =
+    match spec with
+    | Aba.Crash_strong | Aba.Crash_weak _ | Aba.Crash_local -> false
+    | _ -> true
+  in
+  let n = if byz then 4 else 5 in
+  Types.cfg ~n ~t:(if byz then (n - 1) / 3 else (n - 1) / 2)
+
+let mixed_inputs n = Array.init n (fun i -> if i mod 2 = 0 then Value.V0 else Value.V1)
+
+(* ------------------------------------------------------------------ *)
+(* Loopback bit-identity                                                *)
+(* ------------------------------------------------------------------ *)
+
+let check_identical name seed (sim : Aba.result) (loop : Aba.result) =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s seed=%Ld: same decision" name seed)
+    true
+    (Value.equal sim.Aba.value loop.Aba.value);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s seed=%Ld: same per-party commits" name seed)
+    true
+    (Array.for_all2 Value.equal sim.Aba.commits loop.Aba.commits);
+  Alcotest.(check int)
+    (Printf.sprintf "%s seed=%Ld: same delivery count" name seed)
+    sim.Aba.deliveries loop.Aba.deliveries;
+  Alcotest.(check int)
+    (Printf.sprintf "%s seed=%Ld: same round count" name seed)
+    sim.Aba.rounds loop.Aba.rounds
+
+let test_loopback_bit_identical () =
+  List.iter
+    (fun (name, spec) ->
+      let cfg = cfg_of spec in
+      let inputs = mixed_inputs cfg.Types.n in
+      List.iter
+        (fun seed ->
+          match (Aba.run ~seed spec ~cfg ~inputs, Cluster.run_loopback ~seed spec ~cfg ~inputs) with
+          | Ok sim, Ok (loop, stats) ->
+            check_identical name seed sim loop;
+            Alcotest.(check bool)
+              (Printf.sprintf "%s seed=%Ld: traffic accounted" name seed)
+              true
+              (stats.Cluster.frames > 0
+              && stats.Cluster.bytes > stats.Cluster.frames
+              && stats.Cluster.words > 0)
+          | Error e, _ -> Alcotest.failf "%s seed=%Ld: netsim run failed: %s" name seed e
+          | _, Error e -> Alcotest.failf "%s seed=%Ld: loopback run failed: %s" name seed e)
+        [ 1L; 42L; 20260806L ])
+    (Cluster.all_stacks ())
+
+(* The hub really moves encoded frames: a loopback endpoint's outbound
+   traffic is decodable and the per-endpoint stats add up. *)
+let test_loopback_endpoint_stats () =
+  List.iter
+    (fun (name, spec) ->
+      let cfg = cfg_of spec in
+      match Cluster.run_loopback ~seed:7L spec ~cfg ~inputs:(mixed_inputs cfg.Types.n) with
+      | Error e -> Alcotest.failf "%s: %s" name e
+      | Ok (_, stats) ->
+        (* words are rounded up per frame, so the sum is bounded below by
+           the whole-run rounding and above by the byte count *)
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: words consistent with bytes" name)
+          true
+          (stats.Cluster.words >= Bca_wire.Wire.words_of_bytes stats.Cluster.bytes
+          && stats.Cluster.words <= stats.Cluster.bytes))
+    (Cluster.all_stacks ())
+
+(* ------------------------------------------------------------------ *)
+(* Multi-process clusters over real sockets                             *)
+(* ------------------------------------------------------------------ *)
+
+let spawn name spec ~transport ~seed =
+  let cfg = cfg_of spec in
+  let inputs = mixed_inputs cfg.Types.n in
+  match
+    Cluster.spawn_cluster ~timeout_s:60. ~node_exe ~stack:name ~eps:0.25 ~cfg ~seed
+      ~inputs ~transport ()
+  with
+  | Error e -> Alcotest.failf "%s over %s: %s" name
+                 (match transport with `Unix -> "unix" | `Tcp -> "tcp")
+                 e
+  | Ok r -> (cfg, r)
+
+let test_unix_cluster_all_stacks () =
+  Alcotest.(check bool) "bca_node built" true (Sys.file_exists node_exe);
+  List.iter
+    (fun (name, spec) ->
+      let cfg, r = spawn name spec ~transport:`Unix ~seed:11L in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: one commit round per party" name)
+        cfg.Types.n
+        (Array.length r.Cluster.c_rounds);
+      Array.iter
+        (fun round ->
+          Alcotest.(check bool) (Printf.sprintf "%s: positive round" name) true (round >= 1))
+        r.Cluster.c_rounds;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: traffic flowed" name)
+        true
+        (r.Cluster.c_stats.Cluster.frames > 0 && r.Cluster.c_stats.Cluster.bytes > 0))
+    (Cluster.all_stacks ())
+
+(* A socket cluster decides the same value as the deterministic loopback
+   run of the same seed: the decision is a function of the seed, not of
+   socket scheduling. *)
+let test_unix_cluster_matches_loopback () =
+  let spec = Aba.Byz_strong in
+  let cfg = cfg_of spec in
+  let seed = 5L in
+  match Cluster.run_loopback ~seed spec ~cfg ~inputs:(mixed_inputs cfg.Types.n) with
+  | Error e -> Alcotest.failf "loopback: %s" e
+  | Ok (loop, _) ->
+    let _, r = spawn "byz-strong" spec ~transport:`Unix ~seed in
+    Alcotest.(check bool) "same decision as loopback" true
+      (Value.equal loop.Aba.value r.Cluster.c_value)
+
+let test_tcp_cluster () =
+  let _, r = spawn "byz-strong" Aba.Byz_strong ~transport:`Tcp ~seed:3L in
+  Alcotest.(check bool) "tcp cluster decided" true
+    (r.Cluster.c_stats.Cluster.frames > 0)
+
+let () =
+  Alcotest.run "transport"
+    [ ( "loopback",
+        [ Alcotest.test_case "bit-identical to netsim on all six stacks" `Quick
+            test_loopback_bit_identical;
+          Alcotest.test_case "stats words/bytes consistent" `Quick test_loopback_endpoint_stats ] );
+      ( "cluster",
+        [ Alcotest.test_case "unix sockets: all six stacks agree" `Slow
+            test_unix_cluster_all_stacks;
+          Alcotest.test_case "unix sockets: decision matches loopback" `Slow
+            test_unix_cluster_matches_loopback;
+          Alcotest.test_case "tcp: byz-strong decides" `Slow test_tcp_cluster ] ) ]

@@ -1,0 +1,376 @@
+(* Wire-format tests: canonical round-trips for every constructor of every
+   codec, frame accounting, and adversarial decoding - random bytes,
+   truncations, flipped CRCs, future versions, wrong codec ids - which must
+   yield typed errors, never exceptions.  Also the stream Reader: chunked
+   reassembly is split-point independent and a corrupted stream poisons the
+   reader permanently. *)
+
+module W = Bca_wire.Wire
+module Wf = Bca_core.Wirefmt
+module Value = Bca_util.Value
+module Types = Bca_core.Types
+module Threshold = Bca_crypto.Threshold
+module Tcoin = Bca_coin.Threshold_coin
+
+(* The same applicative functor paths Wirefmt uses, so the message types
+   are equal by construction. *)
+module Crash_strong = Bca_core.Aa_strong.Make (Bca_core.Bca_crash)
+module Crash_weak = Bca_core.Aa_weak.Make (Bca_core.Gbca_crash)
+module Byz_strong = Bca_core.Aa_strong.Make (Bca_core.Bca_byz)
+module Byz_weak = Bca_core.Aa_weak.Make (Bca_core.Gbca_byz)
+module Byz_tsig = Bca_core.Aa_strong.Make (Bca_core.Bca_tsig)
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                           *)
+(* ------------------------------------------------------------------ *)
+
+open QCheck2
+
+let gen_value = Gen.(map Value.of_bool bool)
+
+let gen_cvalue =
+  Gen.oneofl [ Types.Bot; Types.Val Value.V0; Types.Val Value.V1 ]
+
+let gen_round = Gen.int_bound 100_000
+
+let gen_tag_string = Gen.(string_size ~gen:(char_range '\x00' '\xff') (int_bound 24))
+
+let gen_i64 = Gen.(map Int64.of_int int)
+
+let gen_share =
+  Gen.map
+    (fun ((signer, tag), mac) -> Threshold.share_unsafe_of_repr ~signer ~tag ~mac)
+    Gen.(pair (pair (int_bound 1000) gen_tag_string) gen_i64)
+
+let gen_signature =
+  Gen.map
+    (fun ((tag, k), cert) -> Threshold.signature_unsafe_of_repr ~tag ~k ~cert)
+    Gen.(pair (pair gen_tag_string (int_bound 1000)) gen_i64)
+
+let gen_crash_strong : Crash_strong.msg Gen.t =
+  Gen.oneof
+    [ Gen.map (fun v -> Crash_strong.Committed v) gen_value;
+      Gen.map2 (fun r v -> Crash_strong.Bca (r, Bca_core.Bca_crash.MVal v)) gen_round gen_value;
+      Gen.map2
+        (fun r cv -> Crash_strong.Bca (r, Bca_core.Bca_crash.MEcho cv))
+        gen_round gen_cvalue ]
+
+let gen_crash_weak : Crash_weak.msg Gen.t =
+  Gen.oneof
+    [ Gen.map (fun v -> Crash_weak.Committed v) gen_value;
+      Gen.map2 (fun r v -> Crash_weak.Gbca (r, Bca_core.Gbca_crash.MVal v)) gen_round gen_value;
+      Gen.map2
+        (fun r cv -> Crash_weak.Gbca (r, Bca_core.Gbca_crash.MEcho cv))
+        gen_round gen_cvalue;
+      Gen.map2
+        (fun r cv -> Crash_weak.Gbca (r, Bca_core.Gbca_crash.MEcho2 cv))
+        gen_round gen_cvalue ]
+
+let gen_byz_strong : Byz_strong.msg Gen.t =
+  Gen.oneof
+    [ Gen.map (fun v -> Byz_strong.Committed v) gen_value;
+      Gen.map2 (fun r v -> Byz_strong.Bca (r, Bca_core.Bca_byz.MEcho v)) gen_round gen_value;
+      Gen.map2 (fun r v -> Byz_strong.Bca (r, Bca_core.Bca_byz.MEcho2 v)) gen_round gen_value;
+      Gen.map2
+        (fun r cv -> Byz_strong.Bca (r, Bca_core.Bca_byz.MEcho3 cv))
+        gen_round gen_cvalue ]
+
+let gen_byz_weak : Byz_weak.msg Gen.t =
+  Gen.oneof
+    [ Gen.map (fun v -> Byz_weak.Committed v) gen_value;
+      Gen.map2 (fun r v -> Byz_weak.Gbca (r, Bca_core.Gbca_byz.MEcho v)) gen_round gen_value;
+      Gen.map2 (fun r v -> Byz_weak.Gbca (r, Bca_core.Gbca_byz.MEcho2 v)) gen_round gen_value;
+      Gen.map2
+        (fun r cv -> Byz_weak.Gbca (r, Bca_core.Gbca_byz.MEcho3 cv))
+        gen_round gen_cvalue;
+      Gen.map2
+        (fun r cv -> Byz_weak.Gbca (r, Bca_core.Gbca_byz.MEcho4 cv))
+        gen_round gen_cvalue;
+      Gen.map2
+        (fun r cv -> Byz_weak.Gbca (r, Bca_core.Gbca_byz.MEcho5 cv))
+        gen_round gen_cvalue ]
+
+let gen_byz_tsig : Byz_tsig.msg Gen.t =
+  Gen.oneof
+    [ Gen.map (fun v -> Byz_tsig.Committed v) gen_value;
+      Gen.map2
+        (fun r (v, s) -> Byz_tsig.Bca (r, Bca_core.Bca_tsig.MEcho (v, s)))
+        gen_round (Gen.pair gen_value gen_share);
+      Gen.map2
+        (fun r (v, c) -> Byz_tsig.Bca (r, Bca_core.Bca_tsig.MEcho2 (v, c)))
+        gen_round (Gen.pair gen_value gen_signature);
+      Gen.map2
+        (fun r ((cv, certs), share_opt) ->
+          Byz_tsig.Bca (r, Bca_core.Bca_tsig.MEcho3 (cv, certs, share_opt)))
+        gen_round
+        (Gen.pair
+           (Gen.pair gen_cvalue (Gen.list_size (Gen.int_bound 4) gen_signature))
+           (Gen.option gen_share)) ]
+
+let gen_coin_share : Tcoin.share Gen.t = Gen.map Tcoin.share_of_threshold gen_share
+
+let gen_sender = Gen.int_bound W.max_sender
+
+(* ------------------------------------------------------------------ *)
+(* Round-trips                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let body_of codec m =
+  let buf = Buffer.create 64 in
+  codec.W.enc buf m;
+  Buffer.contents buf
+
+(* encode -> decode -> re-encode must be the identity on bytes (canonical
+   encoding), and the header fields must survive.  Byte equality of the
+   re-encoding implies message equality without needing polymorphic
+   compare on abstract crypto values. *)
+let roundtrip_test name codec gen =
+  Test.make ~count:400 ~name:(name ^ " round-trips") (Gen.pair gen gen_sender)
+    (fun (m, sender) ->
+      let s = W.encode codec ~sender m in
+      match W.decode codec s with
+      | Error e -> Test.fail_reportf "decode failed: %s" (W.error_to_string e)
+      | Ok (m', f) ->
+        if f.W.sender <> sender then Test.fail_reportf "sender %d became %d" sender f.W.sender;
+        if f.W.codec_id <> codec.W.id then Test.fail_report "codec id mangled";
+        if not (String.equal (body_of codec m') (body_of codec m)) then
+          Test.fail_report "re-encoding differs (decode is not inverse)";
+        if W.frame_bytes f <> String.length s then Test.fail_report "frame_bytes mismatch";
+        if W.frame_words f <> W.words_of_bytes (String.length s) then
+          Test.fail_report "frame_words mismatch";
+        true)
+
+let roundtrips =
+  [ roundtrip_test "crash-strong" Wf.crash_strong gen_crash_strong;
+    roundtrip_test "crash-weak" Wf.crash_weak gen_crash_weak;
+    roundtrip_test "byz-strong" Wf.byz_strong gen_byz_strong;
+    roundtrip_test "byz-weak" Wf.byz_weak gen_byz_weak;
+    roundtrip_test "byz-tsig" Wf.byz_tsig gen_byz_tsig;
+    roundtrip_test "coin-share" Wf.coin_share gen_coin_share ]
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial decoding: typed errors, never exceptions                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Exercise every decode entry point on arbitrary bytes; the property is
+   only "no exception escapes" - random bytes occasionally form a valid
+   frame and that is fine. *)
+let decode_everything s =
+  (match W.decode_frame s ~pos:0 with
+  | Ok (f, _) ->
+    ignore (W.decode_body Wf.crash_strong f : (_, W.error) result);
+    ignore (W.decode_body Wf.byz_tsig f : (_, W.error) result)
+  | Error (_ : W.error) -> ());
+  ignore (W.decode Wf.byz_strong s : (_, W.error) result);
+  let r = W.Reader.create () in
+  W.Reader.feed r s ~pos:0 ~len:(String.length s);
+  let rec drain () =
+    match W.Reader.next r with
+    | Ok (Some _) -> drain ()
+    | Ok None | Error (_ : W.error) -> ()
+  in
+  drain ()
+
+let prop_random_bytes_never_raise =
+  Test.make ~count:1000 ~name:"random bytes decode to typed errors, never raise"
+    Gen.(string_size ~gen:(char_range '\x00' '\xff') (int_bound 120))
+    (fun s ->
+      decode_everything s;
+      true)
+
+(* A valid frame with one byte flipped must still decode without raising;
+   flips outside the sender field cannot silently succeed (magic, version,
+   length, CRC or body all tie the bytes down). *)
+let prop_single_byte_flip =
+  Test.make ~count:600 ~name:"one-byte corruption of a valid frame never raises"
+    (Gen.pair (Gen.pair gen_byz_tsig gen_sender) (Gen.pair (Gen.int_bound 10_000) (Gen.int_range 1 255))
+    )
+    (fun ((m, sender), (pos_seed, xor)) ->
+      let s = W.encode Wf.byz_tsig ~sender m in
+      let pos = pos_seed mod String.length s in
+      let b = Bytes.of_string s in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor xor));
+      let s' = Bytes.to_string b in
+      decode_everything s';
+      (match W.decode Wf.byz_tsig s' with
+      | Ok _ when pos = 4 || pos = 5 -> () (* sender bytes are not covered by the CRC *)
+      | Ok _ -> Test.fail_reportf "corruption at offset %d went undetected" pos
+      | Error (_ : W.error) -> ());
+      true)
+
+let prop_truncation =
+  Test.make ~count:200 ~name:"every proper prefix is Truncated, never an exception"
+    (Gen.pair gen_byz_weak gen_sender)
+    (fun (m, sender) ->
+      let s = W.encode Wf.byz_weak ~sender m in
+      for len = 0 to String.length s - 1 do
+        match W.decode_frame (String.sub s 0 len) ~pos:0 with
+        | Ok _ -> Test.fail_reportf "prefix of %d/%d bytes decoded" len (String.length s)
+        | Error (W.Truncated _) -> ()
+        | Error e ->
+          Test.fail_reportf "prefix of %d bytes: unexpected %s" len (W.error_to_string e)
+      done;
+      true)
+
+let patch s pos c =
+  let b = Bytes.of_string s in
+  Bytes.set b pos c;
+  Bytes.to_string b
+
+let test_flipped_crc () =
+  let s = W.encode Wf.crash_strong ~sender:2 (Crash_strong.Committed Value.V1) in
+  (* flip a CRC byte (offsets 10-13) and, separately, a body byte *)
+  List.iter
+    (fun pos ->
+      let s' = patch s pos (Char.chr (Char.code s.[pos] lxor 0x40)) in
+      match W.decode Wf.crash_strong s' with
+      | Error (W.Bad_crc _) -> ()
+      | Error e -> Alcotest.failf "flip at %d: expected Bad_crc, got %s" pos (W.error_to_string e)
+      | Ok _ -> Alcotest.failf "flip at %d went undetected" pos)
+    [ 10; 13; W.header_bytes; String.length s - 1 ]
+
+let test_future_version () =
+  let s = W.encode Wf.byz_strong ~sender:0 (Byz_strong.Committed Value.V0) in
+  let s' = patch s 2 (Char.chr (W.version + 1)) in
+  match W.decode_frame s' ~pos:0 with
+  | Error (W.Unsupported_version v) ->
+    Alcotest.(check int) "reported version" (W.version + 1) v
+  | Error e -> Alcotest.failf "expected Unsupported_version, got %s" (W.error_to_string e)
+  | Ok _ -> Alcotest.fail "future version accepted"
+
+let test_bad_magic () =
+  let s = W.encode Wf.byz_strong ~sender:0 (Byz_strong.Committed Value.V0) in
+  match W.decode_frame (patch s 0 '\x00') ~pos:0 with
+  | Error W.Bad_magic -> ()
+  | Error e -> Alcotest.failf "expected Bad_magic, got %s" (W.error_to_string e)
+  | Ok _ -> Alcotest.fail "bad magic accepted"
+
+let test_wrong_codec () =
+  let s = W.encode Wf.crash_strong ~sender:1 (Crash_strong.Committed Value.V0) in
+  match W.decode Wf.byz_strong s with
+  | Error (W.Wrong_codec { expected; got }) ->
+    Alcotest.(check int) "expected id" Wf.byz_strong.W.id expected;
+    Alcotest.(check int) "got id" Wf.crash_strong.W.id got
+  | Error e -> Alcotest.failf "expected Wrong_codec, got %s" (W.error_to_string e)
+  | Ok _ -> Alcotest.fail "wrong codec accepted"
+
+let test_oversized () =
+  (* hand-build a header claiming a body one past the decoder's limit *)
+  let buf = Buffer.create W.header_bytes in
+  Buffer.add_char buf '\xBC';
+  Buffer.add_char buf '\xA1';
+  Buffer.add_char buf (Char.chr W.version);
+  Buffer.add_char buf '\x03';
+  W.Put.u16 buf 0;
+  W.Put.u32 buf (W.default_max_body + 1);
+  W.Put.u32 buf 0;
+  match W.decode_frame (Buffer.contents buf) ~pos:0 with
+  | Error (W.Oversized { len; limit }) ->
+    Alcotest.(check int) "claimed len" (W.default_max_body + 1) len;
+    Alcotest.(check int) "limit" W.default_max_body limit
+  | Error e -> Alcotest.failf "expected Oversized, got %s" (W.error_to_string e)
+  | Ok _ -> Alcotest.fail "oversized frame accepted"
+
+let test_trailing_body_bytes () =
+  let body = body_of Wf.byz_strong (Byz_strong.Committed Value.V1) ^ "\x00" in
+  let s = W.encode_raw ~codec_id:Wf.byz_strong.W.id ~sender:0 body in
+  match W.decode Wf.byz_strong s with
+  | Error (W.Malformed_body _) -> ()
+  | Error e -> Alcotest.failf "expected Malformed_body, got %s" (W.error_to_string e)
+  | Ok _ -> Alcotest.fail "trailing body bytes accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Stream reassembly                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Concatenated frames split at arbitrary chunk boundaries reassemble to
+   the same frame sequence. *)
+let prop_reader_chunking =
+  Test.make ~count:200 ~name:"Reader reassembly is split-point independent"
+    (Gen.pair (Gen.list_size (Gen.int_range 1 8) gen_byz_weak) (Gen.int_range 1 13))
+    (fun (msgs, chunk) ->
+      let stream =
+        String.concat "" (List.mapi (fun i m -> W.encode Wf.byz_weak ~sender:(i mod 4) m) msgs)
+      in
+      let r = W.Reader.create () in
+      let got = ref [] in
+      let drain () =
+        let rec go () =
+          match W.Reader.next r with
+          | Ok (Some f) ->
+            got := f :: !got;
+            go ()
+          | Ok None -> ()
+          | Error e -> Test.fail_reportf "reader error: %s" (W.error_to_string e)
+        in
+        go ()
+      in
+      let pos = ref 0 in
+      while !pos < String.length stream do
+        let len = min chunk (String.length stream - !pos) in
+        W.Reader.feed r stream ~pos:!pos ~len;
+        pos := !pos + len;
+        drain ()
+      done;
+      if W.Reader.buffered r <> 0 then Test.fail_report "bytes left buffered";
+      let frames = List.rev !got in
+      if List.length frames <> List.length msgs then
+        Test.fail_reportf "got %d frames for %d messages" (List.length frames) (List.length msgs);
+      List.iteri
+        (fun i (f : W.frame) ->
+          match W.decode_body Wf.byz_weak f with
+          | Error e -> Test.fail_reportf "frame %d body: %s" i (W.error_to_string e)
+          | Ok m ->
+            if not (String.equal (body_of Wf.byz_weak m) (body_of Wf.byz_weak (List.nth msgs i)))
+            then Test.fail_reportf "frame %d decoded to a different message" i)
+        frames;
+      true)
+
+let test_reader_poisoned () =
+  let good = W.encode Wf.byz_strong ~sender:1 (Byz_strong.Committed Value.V0) in
+  let bad = patch good 12 (Char.chr (Char.code good.[12] lxor 1)) in
+  let r = W.Reader.create () in
+  W.Reader.feed r bad ~pos:0 ~len:(String.length bad);
+  (match W.Reader.next r with
+  | Error (W.Bad_crc _) -> ()
+  | Error e -> Alcotest.failf "expected Bad_crc, got %s" (W.error_to_string e)
+  | Ok _ -> Alcotest.fail "corrupt frame extracted");
+  (* sticky: even after feeding a pristine frame the reader stays dead *)
+  W.Reader.feed r good ~pos:0 ~len:(String.length good);
+  match W.Reader.next r with
+  | Error (_ : W.error) -> ()
+  | Ok _ -> Alcotest.fail "poisoned reader recovered"
+
+let test_codec_ids_distinct () =
+  let ids =
+    List.map
+      (fun (name, id) -> ignore name; id)
+      [ ("crash-strong", Wf.crash_strong.W.id); ("crash-weak", Wf.crash_weak.W.id);
+        ("byz-strong", Wf.byz_strong.W.id); ("byz-weak", Wf.byz_weak.W.id);
+        ("byz-tsig", Wf.byz_tsig.W.id); ("coin-share", Wf.coin_share.W.id) ]
+  in
+  Alcotest.(check int) "all codec ids distinct" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun name ->
+      match Wf.codec_id_of_spec_name name with
+      | Some _ -> ()
+      | None -> Alcotest.failf "no codec id for %s" name)
+    [ "crash-strong"; "crash-weak"; "crash-local"; "byz-strong"; "byz-weak"; "byz-tsig" ]
+
+let () =
+  Alcotest.run "wire"
+    [ ("roundtrip", List.map QCheck_alcotest.to_alcotest roundtrips);
+      ( "adversarial",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_random_bytes_never_raise; prop_single_byte_flip; prop_truncation ]
+        @ [ Alcotest.test_case "flipped CRC" `Quick test_flipped_crc;
+            Alcotest.test_case "future version" `Quick test_future_version;
+            Alcotest.test_case "bad magic" `Quick test_bad_magic;
+            Alcotest.test_case "wrong codec id" `Quick test_wrong_codec;
+            Alcotest.test_case "oversized length" `Quick test_oversized;
+            Alcotest.test_case "trailing body bytes" `Quick test_trailing_body_bytes ] );
+      ( "reader",
+        List.map QCheck_alcotest.to_alcotest [ prop_reader_chunking ]
+        @ [ Alcotest.test_case "poisoned reader stays poisoned" `Quick test_reader_poisoned;
+            Alcotest.test_case "codec ids distinct" `Quick test_codec_ids_distinct ] ) ]
