@@ -19,10 +19,10 @@ type params = { cfg : Types.cfg; coin : Coin.t }
 
 type round_state = {
   values : Value.t Quorum.t;  (* per (sender, value) *)
-  mutable auxs : (Types.pid * Value.t) list;  (* arrival order, per (sender, value) *)
+  mutable auxs : (Types.pid * Value.t) list;  (* arrival order, first per sender *)
   mutable relayed : Value.t list;
   mutable delivered : Value.t list;
-  mutable aux_sent : Value.t list;
+  mutable aux_sent : bool;
   mutable released : bool;
   mutable view : Value.t list option;
   releases : unit Quorum.t;
@@ -50,7 +50,7 @@ let round_state t r =
         auxs = [];
         relayed = [];
         delivered = [];
-        aux_sent = [];
+        aux_sent = false;
         released = false;
         view = None;
         releases = Quorum.create ();
@@ -61,15 +61,18 @@ let round_state t r =
 
 (* Line 30's batch: the first [n - t] distinct AUX senders (arrival order)
    whose values are all among the delivered ones; the distinct values of
-   the collected entries form the frozen view B. *)
+   the collected entries form the frozen view B.  One entry per sender -
+   each honest party AUXes exactly once per round, which is what makes two
+   singleton views necessarily agree (any two [n - t] sender sets share an
+   honest party, and that party's unique AUX value is in both views). *)
 let line30_view t rs =
   let q = Types.quorum t.p.cfg in
   let rec take seen vals = function
     | [] -> None
     | (pid, v) :: rest ->
-      if not (List.mem v rs.delivered) then take seen vals rest
+      if List.mem pid seen || not (List.mem v rs.delivered) then take seen vals rest
       else begin
-        let seen = if List.mem pid seen then seen else pid :: seen in
+        let seen = pid :: seen in
         let vals = if List.mem v vals then vals else v :: vals in
         if List.length seen >= q then Some vals else take seen vals rest
       end
@@ -91,16 +94,20 @@ let rec progress t =
               out := !out @ [ MValue (r, v) ]
             end;
             if Quorum.count rs.values v >= (2 * tt) + 1 && not (List.mem v rs.delivered)
-            then begin
-              rs.delivered <- v :: rs.delivered;
-              if not (List.mem v rs.aux_sent) then begin
-                rs.aux_sent <- v :: rs.aux_sent;
-                out := !out @ [ MAux (r, v) ]
-              end
-            end)
+            then rs.delivered <- v :: rs.delivered)
           Value.both)
       t.rounds;
     let rs = round_state t t.round in
+    (* AUX for the first abv-delivered value, once per round.  One AUX per
+       party is what the agreement argument needs: auxing every delivered
+       value separately lets two honest parties freeze disjoint singleton
+       views (their [n - t] batches can close before the other value's AUX
+       arrives) and commit different values in different rounds. *)
+    if (not rs.aux_sent) && rs.delivered <> [] then begin
+      rs.aux_sent <- true;
+      let v = List.nth rs.delivered (List.length rs.delivered - 1) in
+      out := !out @ [ MAux (t.round, v) ]
+    end;
     (* Line 30: freeze the view and release the coin. *)
     if not rs.released then begin
       match line30_view t rs with
@@ -156,7 +163,7 @@ let handle t ~from msg =
       progress t
     | MAux (r, v) ->
       let rs = round_state t r in
-      if not (List.exists (fun (p, v') -> p = from && Value.equal v v') rs.auxs) then
+      if not (List.exists (fun (p, _) -> p = from) rs.auxs) then
         rs.auxs <- (from, v) :: rs.auxs;
       progress t
     | MRelease r ->

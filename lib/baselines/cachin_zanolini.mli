@@ -6,7 +6,9 @@
 
     + broadcast [(VALUE, r, est)]; relay a value received from [t + 1]
       distinct parties; {e abv-deliver} it at [2t + 1] and broadcast
-      [(AUX, r, v)] for every delivered value;
+      [(AUX, r, v)] once per round, carrying the first delivered value
+      (one AUX per party per round - the view-intersection lemma behind
+      agreement needs each sender to contribute a single value);
     + once AUX messages from [n - t] distinct parties, with values among the
       delivered ones, have arrived (line 30 of [9]), broadcast
       [RELEASE-COIN]; the view [B] - the value set of that first consistent

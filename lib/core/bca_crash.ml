@@ -60,6 +60,8 @@ let phase t =
 
 let echoed t = t.echoed
 
+let val_count t v = Quorum.count t.vals v
+
 let debug_copy t =
   { t with vals = Quorum.copy t.vals; echoes = Quorum.copy t.echoes }
 

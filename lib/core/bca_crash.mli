@@ -21,6 +21,11 @@ val echoed : t -> Types.cvalue option
 (** The echo this party sent, if any - exposed for binding-witness checks in
     tests. *)
 
+val val_count : t -> Bca_util.Value.t -> int
+(** How many [val v] messages this party has received so far - exposed, with
+    [echoed], for the binding-witness computation in tests: a party that has
+    already received a [val] for the other value can never echo [v]. *)
+
 val debug_copy : t -> t
 (** Independent deep copy - the model checker clones configurations. *)
 

@@ -395,7 +395,7 @@ module Socket = struct
       s.s_stats.bytes_out <- s.s_stats.bytes_out + len;
       trace s ~peer:dst ~op:"tx" ~bytes:len;
       if dst = me then begin
-        match Wire.decode_frame frame_str ~pos:0 with
+        match Wire.decode_frame ~max_body:s.s_max_body frame_str ~pos:0 with
         | Ok (f, _) ->
           s.s_stats.frames_in <- s.s_stats.frames_in + 1;
           s.s_stats.bytes_in <- s.s_stats.bytes_in + len;
@@ -412,9 +412,22 @@ module Socket = struct
           Queue.push frame_str p.p_q;
           p.p_q_bytes <- p.p_q_bytes + len;
           (* backpressure: a slow or absent peer stalls the sender (with a
-             bounded memory footprint) until it drains or is given up *)
+             bounded memory footprint) until it drains or is given up.  The
+             stall deadline covers the case the retry counter cannot: a peer
+             whose connection is Up but that never reads, so writes only ever
+             hit EAGAIN and no error fires [schedule_retry].  Deadline is
+             2x backoff_cap so an Idle peer sitting out its longest backoff
+             window is not given up while retries remain. *)
+          let stall_s = 2. *. s.s_backoff_cap in
+          let deadline = ref (Unix.gettimeofday () +. stall_s) in
+          let low_water = ref p.p_q_bytes in
           while p.p_q_bytes > s.s_max_queue && p.p_state <> Dead do
-            pump s ~timeout_s:0.02
+            pump s ~timeout_s:0.02;
+            if p.p_q_bytes < !low_water then begin
+              low_water := p.p_q_bytes;
+              deadline := Unix.gettimeofday () +. stall_s
+            end
+            else if Unix.gettimeofday () >= !deadline then give_up s p
           done
       end
     in

@@ -109,7 +109,10 @@ module Socket : sig
       outbound queue - [send] pumps until below the bound (backpressure);
       reconnects start at [backoff_base_s] (10 ms) doubling to
       [backoff_cap_s] (2 s); after [max_retries] (20) failed attempts the
-      peer is given up and its queued frames are dropped. *)
+      peer is given up and its queued frames are dropped.  A peer whose
+      queue makes no write progress for [2 * backoff_cap_s] while over the
+      bound (connected but never reading) is likewise given up, so [send]
+      cannot block indefinitely. *)
 
   val unix_addrs : dir:string -> n:int -> Unix.sockaddr array
   (** [dir/node-<pid>.sock] for each pid. *)

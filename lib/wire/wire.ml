@@ -117,13 +117,18 @@ module Get = struct
       else
         let b = u8 t in
         let acc = acc lor ((b land 0x7F) lsl shift) in
-        if b land 0x80 = 0 then acc else go (shift + 7) acc
+        (* bit 62 of the payload is OCaml's int sign bit: a 9-byte encoding
+           with 0x40 set in the last byte would wrap negative and sail
+           through downstream [len > remaining]-style guards *)
+        if acc < 0 then fail "varint overflows 63-bit int"
+        else if b land 0x80 = 0 then acc
+        else go (shift + 7) acc
     in
     go 0 0
 
   let string t =
     let len = varint t in
-    if len > remaining t then fail "string length exceeds body";
+    if len < 0 || len > remaining t then fail "string length exceeds body";
     let s = String.sub t.src t.pos len in
     t.pos <- t.pos + len;
     s
@@ -262,32 +267,47 @@ module Reader = struct
     buf : Buffer.t;
     (* consumed prefix of [buf]; compacted once it outgrows the tail *)
     mutable off : int;
+    (* cached [Buffer.contents buf]: [Buffer.contents] copies the whole
+       buffered stream, so taking it per [next] call makes a drain loop
+       O(n^2) in buffered bytes; refresh only after [feed] appends *)
+    mutable snap : string;
+    mutable snap_stale : bool;
     mutable poison : error option;
   }
 
   let create ?(max_body = default_max_body) () =
-    { max_body; buf = Buffer.create 4096; off = 0; poison = None }
+    { max_body; buf = Buffer.create 4096; off = 0; snap = ""; snap_stale = false; poison = None }
 
   let feed t s ~pos ~len =
     if pos < 0 || len < 0 || pos + len > String.length s then
       invalid_arg "Wire.Reader.feed: slice out of bounds";
-    Buffer.add_substring t.buf s pos len
+    Buffer.add_substring t.buf s pos len;
+    if len > 0 then t.snap_stale <- true
 
   let buffered t = Buffer.length t.buf - t.off
+
+  let snapshot t =
+    if t.snap_stale then begin
+      t.snap <- Buffer.contents t.buf;
+      t.snap_stale <- false
+    end;
+    t.snap
 
   let compact t =
     if t.off > 4096 && t.off * 2 > Buffer.length t.buf then begin
       let tail = Buffer.sub t.buf t.off (Buffer.length t.buf - t.off) in
       Buffer.clear t.buf;
       Buffer.add_string t.buf tail;
-      t.off <- 0
+      t.off <- 0;
+      t.snap <- tail;
+      t.snap_stale <- false
     end
 
   let next t =
     match t.poison with
     | Some e -> Error e
     | None -> (
-      let s = Buffer.contents t.buf in
+      let s = snapshot t in
       match decode_frame ~max_body:t.max_body s ~pos:t.off with
       | Ok (frame, consumed) ->
         t.off <- t.off + consumed;

@@ -80,8 +80,10 @@ module Get : sig
   val i64 : t -> int64
 
   val varint : t -> int
-  (** Unsigned LEB128, at most 9 bytes (63 bits); rejects non-minimal
-      encodings longer than that. *)
+  (** Unsigned LEB128, at most 9 bytes; rejects longer encodings and any
+      value exceeding [max_int] (which would wrap negative in OCaml's
+      63-bit int and defeat length guards downstream).  The result is
+      always non-negative. *)
 
   val string : t -> string
   (** Varint length + bytes; the length must fit the remaining input. *)

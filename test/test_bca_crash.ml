@@ -132,7 +132,16 @@ let prop_round_bound =
 (* Binding (Definition B.1): freeze the execution when the first party
    decides, compute which values could still gather an n-t echo quorum, and
    check (a) at most one such value exists, (b) the rest of the run decides
-   only inside the allowed set. *)
+   only inside the allowed set.
+
+   The witness must model what a party can still do exactly.  A party can
+   still contribute an echo of [v] iff it has not echoed, has not crashed
+   {e yet} (a party scheduled to crash later than tau is still live at
+   tau), has received no [val] for the other value (echoes fire on its
+   first [n - t] vals, so one contrary val pins it to bottom or the other
+   value), and at least [n - t] parties hold input [v] at all (every val
+   is broadcast at start, before any crash, so input counts bound what any
+   party can ever collect). *)
 let prop_binding =
   QCheck2.Test.make ~count:300 ~name:"binding at first decision" gen_run
     (fun (inputs, seed, crashes) ->
@@ -140,6 +149,7 @@ let prop_binding =
       let n = 5 in
       let q = Types.quorum cfg in
       let states : B.t option array = Array.make n None in
+      let recv_count = Array.make n 0 in
       let make pid =
         let inst = B.create cfg ~me:pid in
         states.(pid) <- Some inst;
@@ -156,6 +166,15 @@ let prop_binding =
           | Some after -> Bca_adversary.Faults.crash_after ~deliveries:after node
           | None -> node
         in
+        (* count every delivery, crashed or not, so the witness knows which
+           scheduled crashes have actually happened by tau *)
+        let node =
+          { node with
+            Node.receive =
+              (fun ~src m ->
+                recv_count.(pid) <- recv_count.(pid) + 1;
+                node.Node.receive ~src m) }
+        in
         (node, List.map (fun m -> Node.Broadcast m) init)
       in
       let exec = Async.create ~n ~make in
@@ -169,7 +188,11 @@ let prop_binding =
       if not (someone_decided exec) then true (* everyone crashed first *)
       else begin
         (* witness computation at time tau *)
-        let crashed pid = List.mem_assoc pid crashes in
+        let crashed_by_tau pid =
+          match List.assoc_opt pid crashes with
+          | Some after -> recv_count.(pid) >= after
+          | None -> false
+        in
         let echoed v =
           Array.to_list states
           |> List.filter (fun st ->
@@ -178,18 +201,22 @@ let prop_binding =
                  | None -> false)
           |> List.length
         in
-        let open_slots =
-          (* parties that may still echo: no echo yet and not crashed (a
-             crashed party may have echoed before crashing - that is already
-             counted in [echoed]) *)
-          List.length
-            (List.filter
-               (fun pid ->
-                 (not (crashed pid))
-                 && match states.(pid) with Some st -> B.echoed st = None | None -> false)
-               (List.init n Fun.id))
+        let input_count v =
+          Array.fold_left (fun acc i -> if Value.equal i v then acc + 1 else acc) 0 inputs
         in
-        let possible v = echoed (Types.Val v) + open_slots >= q in
+        let can_still_echo pid v =
+          (not (crashed_by_tau pid))
+          && (match states.(pid) with
+             | Some st -> B.echoed st = None && B.val_count st (Value.negate v) = 0
+             | None -> false)
+          && input_count v >= q
+        in
+        let possible v =
+          let open_for_v =
+            List.length (List.filter (fun pid -> can_still_echo pid v) (List.init n Fun.id))
+          in
+          echoed (Types.Val v) + open_for_v >= q
+        in
         let allowed = List.filter possible Value.both in
         if List.length allowed > 1 then QCheck2.Test.fail_report "binding violated at tau";
         let _ = Async.run exec (Async.random_scheduler rng) in

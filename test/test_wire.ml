@@ -271,6 +271,42 @@ let test_oversized () =
   | Error e -> Alcotest.failf "expected Oversized, got %s" (W.error_to_string e)
   | Ok _ -> Alcotest.fail "oversized frame accepted"
 
+(* 9-byte LEB128 with payload bit 62 set: the value wraps OCaml's 63-bit
+   int negative.  A CRC-valid frame carrying it as a string length (or a
+   list count) must decode to Malformed_body, not raise out of the
+   decoder (regression: String.sub / List.init Invalid_argument escaped). *)
+let overflow_varint = "\x80\x80\x80\x80\x80\x80\x80\x80\x40"
+
+let test_varint_overflow_string_len () =
+  (* byz-tsig MEcho: tag 1, round 0, value V0, share signer 0, then the
+     share's tag-string length is the overflowing varint *)
+  let body = "\x01\x00\x00\x00" ^ overflow_varint in
+  let s = W.encode_raw ~codec_id:Wf.byz_tsig.W.id ~sender:0 body in
+  decode_everything s;
+  match W.decode Wf.byz_tsig s with
+  | Error (W.Malformed_body _) -> ()
+  | Error e -> Alcotest.failf "expected Malformed_body, got %s" (W.error_to_string e)
+  | Ok _ -> Alcotest.fail "overflowing varint accepted"
+
+let test_varint_overflow_list_count () =
+  (* byz-tsig MEcho3: tag 3, round 0, cvalue Bot, then the cert-list count
+     is the overflowing varint *)
+  let body = "\x03\x00\x00" ^ overflow_varint in
+  let s = W.encode_raw ~codec_id:Wf.byz_tsig.W.id ~sender:0 body in
+  decode_everything s;
+  match W.decode Wf.byz_tsig s with
+  | Error (W.Malformed_body _) -> ()
+  | Error e -> Alcotest.failf "expected Malformed_body, got %s" (W.error_to_string e)
+  | Ok _ -> Alcotest.fail "overflowing list count accepted"
+
+let test_varint_max_int () =
+  (* the largest value that does NOT overflow still round-trips *)
+  let buf = Buffer.create 16 in
+  W.Put.varint buf max_int;
+  let s = Buffer.contents buf in
+  let g = W.Get.create s ~pos:0 ~len:(String.length s) in
+  Alcotest.(check int) "max_int round-trips" max_int (W.Get.varint g)
+
 let test_trailing_body_bytes () =
   let body = body_of Wf.byz_strong (Byz_strong.Committed Value.V1) ^ "\x00" in
   let s = W.encode_raw ~codec_id:Wf.byz_strong.W.id ~sender:0 body in
@@ -369,6 +405,9 @@ let () =
             Alcotest.test_case "bad magic" `Quick test_bad_magic;
             Alcotest.test_case "wrong codec id" `Quick test_wrong_codec;
             Alcotest.test_case "oversized length" `Quick test_oversized;
+            Alcotest.test_case "varint overflow (string len)" `Quick test_varint_overflow_string_len;
+            Alcotest.test_case "varint overflow (list count)" `Quick test_varint_overflow_list_count;
+            Alcotest.test_case "varint max_int round-trip" `Quick test_varint_max_int;
             Alcotest.test_case "trailing body bytes" `Quick test_trailing_body_bytes ] );
       ( "reader",
         List.map QCheck_alcotest.to_alcotest [ prop_reader_chunking ]
