@@ -265,12 +265,23 @@ let chaos_failed = ref false
 
 let section_failed = ref false
 
-let write_throughput_json path ~seed ~runs ~chaos ~metrics ~wire tps =
+let write_throughput_json path ~seed ~runs ~chaos ~metrics ~wire ~lint tps =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
-  (* schema 2: adds the "wire" array (per-decision on-wire traffic per
-     stack); consumers of schema 1 reports should treat it as optional *)
-  Buffer.add_string buf "  \"schema\": 2,\n";
+  (* schema 3: adds the "lint" object (static-analysis health of lib/ at
+     report time); schema 2 added the "wire" array (per-decision on-wire
+     traffic per stack).  Consumers of older schemas should treat both as
+     optional *)
+  Buffer.add_string buf "  \"schema\": 3,\n";
+  (match lint with
+  | Some (r : Bca_lint.Lint.report) ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"lint\": {\"rules\": %d, \"files_scanned\": %d, \"findings\": %d, \
+          \"suppressed\": %d, \"suppression_comments\": %d},\n"
+         (List.length r.rules_run) r.files_scanned (List.length r.findings) r.suppressed
+         r.suppression_comments)
+  | None -> ());
   Buffer.add_string buf "  \"benchmark\": \"netsim-throughput\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"seed\": %Ld,\n  \"runs_per_point\": %d,\n" seed runs);
@@ -603,13 +614,24 @@ let trace_capture path =
       Printf.printf "replayed %d events bit-identically; violation reproduced\n"
         (Array.length replayed))
 
+(* Static-analysis health of the lib/ tree, folded into the report so a
+   benchmark JSON also records whether the sources it measured were lint
+   clean.  Benchmarks normally run from the repo root; when lib/ is not
+   there (installed binary, odd cwd) the section is simply omitted. *)
+let lint_summary () =
+  if Sys.file_exists "lib" && Sys.is_directory "lib" then
+    match Bca_lint.Lint.run ~rules:Bca_lint.Rules.all ~paths:[ "lib" ] () with
+    | report -> Some report
+    | exception _ -> None
+  else None
+
 let flush_json () =
   if !scaling_acc <> [] || !chaos_acc <> [] || !metrics_acc <> [] || !wire_acc <> []
   then begin
     let path = json_path () in
     let runs = match !opt_runs with Some r -> r | None -> 30 in
     write_throughput_json path ~seed:(root_seed ()) ~runs ~chaos:!chaos_acc
-      ~metrics:!metrics_acc ~wire:!wire_acc !scaling_acc;
+      ~metrics:!metrics_acc ~wire:!wire_acc ~lint:(lint_summary ()) !scaling_acc;
     Printf.printf "\n(throughput written to %s)\n" path
   end
 

@@ -5,6 +5,7 @@
      bca tables  - print the Table 1 / Table 2 reproductions
      bca attack  - replay the Appendix A adaptive liveness attacks
      bca acs     - run the HoneyBadger-style common-subset demo
+     bca lint    - static determinism / protocol-invariant checks over the sources
 
    All runs are deterministic in the --seed argument. *)
 
@@ -413,6 +414,46 @@ let trace_cmd =
     Term.(const action $ limit $ inputs $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
+(* bca lint                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let paths =
+    Arg.(
+      value
+      & pos_all string [ "lib" ]
+      & info [] ~docv:"PATHS" ~doc:"Files or directories to lint (default: lib).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
+  let rules =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rules" ] ~docv:"RULES"
+          ~doc:
+            "Comma-separated subset of rules to run (determinism, poly-compare, quorum, \
+             total-decoding, wire-coverage).")
+  in
+  let action paths json rules =
+    let module Lint = Bca_lint.Lint in
+    let only = Option.map (String.split_on_char ',') rules in
+    match Lint.run ~rules:Bca_lint.Rules.all ?only ~paths () with
+    | report ->
+      if json then print_string (Lint.to_json report)
+      else Format.printf "%a" Lint.pp_text report;
+      if Lint.has_errors report then exit 1
+    | exception Invalid_argument e ->
+      prerr_endline e;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically check the sources for determinism, protocol-invariant and wire-coverage \
+          violations; exits non-zero on any unsuppressed finding.")
+    Term.(const action $ paths $ json $ rules)
+
+(* ------------------------------------------------------------------ *)
 (* bca verify                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -479,4 +520,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; cluster_cmd; tables_cmd; attack_cmd; acs_cmd; verify_cmd; trace_cmd ]))
+          [ run_cmd; cluster_cmd; tables_cmd; attack_cmd; acs_cmd; verify_cmd; trace_cmd;
+            lint_cmd ]))

@@ -60,7 +60,7 @@ let decided_one t =
   Array.fold_left
     (fun acc slot ->
       match slot.aba with
-      | Some aba when Aba_slot.committed aba = Some Value.V1 -> acc + 1
+      | Some aba when (match Aba_slot.committed aba with Some v -> Value.to_bool v | None -> false) -> acc + 1
       | Some _ | None -> acc)
     0 t.slots
 
@@ -110,13 +110,13 @@ let output t =
     Array.iteri
       (fun j slot ->
         match slot.aba with
-        | Some aba when Aba_slot.committed aba = Some Value.V1 ->
+        | Some aba when (match Aba_slot.committed aba with Some v -> Value.to_bool v | None -> false) ->
           (match Bracha.delivered slot.rbc with
           | Some payload -> accepted := (j, payload) :: !accepted
           | None -> missing := true)
         | Some _ | None -> ())
       t.slots;
-    if !missing then None else Some (List.sort compare !accepted)
+    if !missing then None else Some (List.sort (fun (a, _) (b, _) -> Int.compare a b) !accepted)
   end
 
 let all_slots_terminated t =

@@ -35,7 +35,7 @@ let silent ~n =
     fairness = 0 }
 
 let faulty_parties plan =
-  List.sort_uniq compare (List.map (fun c -> c.victim) plan.crashes @ plan.corrupt)
+  List.sort_uniq Int.compare (List.map (fun c -> c.victim) plan.crashes @ plan.corrupt)
 
 (* ------------------------------------------------------------------ *)
 (* Random plan generation                                              *)

@@ -16,7 +16,7 @@ let to_ordering rule ~step ~dst envs =
   let sorted =
     List.stable_sort
       (fun (p1, (e1 : _ Lockstep.envelope)) (p2, e2) ->
-        if p1 <> p2 then compare p1 p2 else compare e1.Lockstep.eid e2.Lockstep.eid)
+        if p1 <> p2 then Int.compare p1 p2 else Int.compare e1.Lockstep.eid e2.Lockstep.eid)
       scored
   in
   List.map snd sorted

@@ -61,7 +61,7 @@ let rec progress t =
     end;
     if Quorum.senders rs.proposals >= q then begin
       let decided =
-        List.find_opt (fun v -> Quorum.count rs.proposals (Some v) >= tt + 1) Value.both
+        List.find_opt (fun v -> Quorum.count rs.proposals (Some v) >= Quorum.plurality ~t:tt) Value.both
       in
       let present =
         List.find_opt (fun v -> Quorum.count rs.proposals (Some v) >= 1) Value.both

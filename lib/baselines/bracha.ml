@@ -42,18 +42,19 @@ let progress t =
   let tt = t.cfg.Types.t in
   let out = ref [] in
   let candidates =
+    (* lint: allow poly-compare -- the payload is a type parameter here; the structural order is the only total order available for dedup *)
     List.sort_uniq compare (Quorum.values t.echoes @ Quorum.values t.readies)
   in
   List.iter
     (fun x ->
       if
         (not t.readied)
-        && (Quorum.count t.echoes x >= q || Quorum.count t.readies x >= tt + 1)
+        && (Quorum.count t.echoes x >= q || Quorum.count t.readies x >= Quorum.plurality ~t:tt)
       then begin
         t.readied <- true;
         out := !out @ [ Ready x ]
       end;
-      if t.delivered = None && Quorum.count t.readies x >= (2 * tt) + 1 then
+      if t.delivered = None && Quorum.count t.readies x >= Quorum.supermajority ~t:tt then
         t.delivered <- Some x)
     candidates;
   !out

@@ -2,6 +2,7 @@ module Value = Bca_util.Value
 module Quorum = Bca_util.Quorum
 module Coin = Bca_coin.Coin
 module Types = Bca_core.Types
+module Det = Bca_util.Det
 
 type msg =
   | MValue of int * Value.t
@@ -85,15 +86,15 @@ let rec progress t =
     let tt = t.p.cfg.Types.t in
     let out = ref [] in
     (* BV-broadcast relays, deliveries and per-value AUX, on every round. *)
-    Hashtbl.iter
+    Det.iter_sorted ~compare:Int.compare
       (fun r rs ->
         List.iter
           (fun v ->
-            if Quorum.count rs.values v >= tt + 1 && not (List.mem v rs.relayed) then begin
+            if Quorum.count rs.values v >= Quorum.plurality ~t:tt && not (List.mem v rs.relayed) then begin
               rs.relayed <- v :: rs.relayed;
               out := !out @ [ MValue (r, v) ]
             end;
-            if Quorum.count rs.values v >= (2 * tt) + 1 && not (List.mem v rs.delivered)
+            if Quorum.count rs.values v >= Quorum.supermajority ~t:tt && not (List.mem v rs.delivered)
             then rs.delivered <- v :: rs.delivered)
           Value.both)
       t.rounds;
@@ -176,14 +177,14 @@ let handle t ~from msg =
       List.iter
         (fun v' ->
           let c = Quorum.count t.committed_msgs v' in
-          if c >= tt + 1 && t.committed = None then begin
+          if c >= Quorum.plurality ~t:tt && t.committed = None then begin
             t.committed <- Some v';
             if not t.sent_committed then begin
               t.sent_committed <- true;
               out := !out @ [ Committed v' ]
             end
           end;
-          if c >= (2 * tt) + 1 then t.terminated <- true)
+          if c >= Quorum.supermajority ~t:tt then t.terminated <- true)
         Value.both;
       ignore v;
       !out

@@ -1,6 +1,7 @@
 module Value = Bca_util.Value
 module Coin = Bca_coin.Coin
 module Threshold = Bca_crypto.Threshold
+module Quorum = Bca_util.Quorum
 
 type msg =
   | Bca of int * Evbca_tsig.msg
@@ -117,7 +118,7 @@ let create p ~me ~input =
 let handle_decide t ~round v sigma =
   let valid =
     Threshold.verify t.p.setup ~tag:(Evbca_tsig.echo3_tag ~round v) sigma
-    && Threshold.threshold_of sigma = (2 * t.p.cfg.Types.t) + 1
+    && Threshold.threshold_of sigma = Quorum.supermajority ~t:t.p.cfg.Types.t
     && Value.equal (Coin.access t.p.coin ~round ~pid:t.me) v
   in
   if not valid then []

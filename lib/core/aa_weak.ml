@@ -124,7 +124,7 @@ module Make (G : Bca_intf.GBCA) = struct
       List.iter
         (fun v' ->
           let c = Quorum.count t.committed_msgs v' in
-          if c >= tt + 1 && t.committed = None then begin
+          if c >= Quorum.plurality ~t:tt && t.committed = None then begin
             t.committed <- Some v';
             t.commit_round <- Some t.round;
             if not t.sent_committed then begin
@@ -132,7 +132,7 @@ module Make (G : Bca_intf.GBCA) = struct
               out := !out @ [ Committed v' ]
             end
           end;
-          if c >= (2 * tt) + 1 then t.terminated <- true)
+          if c >= Quorum.supermajority ~t:tt then t.terminated <- true)
         Value.both;
       !out
 

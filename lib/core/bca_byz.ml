@@ -56,7 +56,7 @@ let progress t =
   (* Lines 3-4: amplification. *)
   List.iter
     (fun v ->
-      if Quorum.count t.echoes v >= t.cfg.Types.t + 1 && not (List.mem v t.my_echoes)
+      if Quorum.count t.echoes v >= Quorum.plurality ~t:t.cfg.Types.t && not (List.mem v t.my_echoes)
       then begin
         t.my_echoes <- v :: t.my_echoes;
         out := !out @ [ MEcho v ]
@@ -134,9 +134,9 @@ let debug_encode t =
   let cv = function Types.Val x -> v x | Types.Bot -> "b" in
   let quorum pp entries =
     String.concat ","
-      (List.sort compare (List.map (fun (p, x) -> Printf.sprintf "%d=%s" p (pp x)) entries))
+      (List.sort String.compare (List.map (fun (p, x) -> Printf.sprintf "%d=%s" p (pp x)) entries))
   in
-  let set xs = String.concat "" (List.sort compare (List.map v xs)) in
+  let set xs = String.concat "" (List.sort String.compare (List.map v xs)) in
   Printf.sprintf "e[%s]f[%s]g[%s]my:%s ap:%s s2:%b s3:%s d:%s"
     (quorum v (Quorum.entries t.echoes))
     (quorum v (Quorum.entries t.echo2s))

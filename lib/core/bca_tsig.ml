@@ -1,5 +1,6 @@
 module Value = Bca_util.Value
 module Threshold = Bca_crypto.Threshold
+module Quorum = Bca_util.Quorum
 
 type msg =
   | MEcho of Value.t * Threshold.share
@@ -54,7 +55,7 @@ let start t ~input =
 (* Valid sigma_echo certificate for value v: threshold t+1 on the echo tag. *)
 let valid_echo_cert t v sigma =
   Threshold.verify t.p.setup ~tag:(echo_tag ~id:t.p.id v) sigma
-  && Threshold.threshold_of sigma = t.p.cfg.Types.t + 1
+  && Threshold.threshold_of sigma = Quorum.plurality ~t:t.p.cfg.Types.t
 
 let progress t =
   let q = Types.quorum t.p.cfg in
@@ -67,7 +68,7 @@ let progress t =
       List.find_opt
         (fun v ->
           List.length (List.filter (fun (_, v', _) -> Value.equal v v') t.pending_echo)
-          >= tt + 1)
+          >= Quorum.plurality ~t:tt)
         Value.both
     in
     match candidate with
@@ -77,7 +78,7 @@ let progress t =
           (fun (_, v', s) -> if Value.equal v v' then Some s else None)
           t.pending_echo
       in
-      (match Threshold.combine t.p.setup ~k:(tt + 1) ~tag:(echo_tag ~id:t.p.id v) shares with
+      (match Threshold.combine t.p.setup ~k:(Quorum.plurality ~t:tt) ~tag:(echo_tag ~id:t.p.id v) shares with
       | Some sigma ->
         t.sent_echo2 <- true;
         out := !out @ [ MEcho2 (v, sigma) ]
@@ -87,7 +88,7 @@ let progress t =
   (* Lines 14-19: aggregate n-t echo2 votes into an echo3 message. *)
   if t.echo3_sent = None && List.length t.pending_echo2 >= q then begin
     let values =
-      List.sort_uniq compare (List.map (fun (_, v, _) -> v) t.pending_echo2)
+      List.sort_uniq Value.compare (List.map (fun (_, v, _) -> v) t.pending_echo2)
     in
     match values with
     | [ v ] ->
@@ -110,7 +111,7 @@ let progress t =
   (* Lines 25-31: decide on n-t valid echo3 messages. *)
   if t.decision = None && List.length t.pending_echo3 >= q then begin
     let values =
-      List.sort_uniq compare (List.map (fun (_, cv, _) -> cv) t.pending_echo3)
+      List.sort_uniq Types.cvalue_compare (List.map (fun (_, cv, _) -> cv) t.pending_echo3)
     in
     match values with
     | [ Types.Val v ] ->
@@ -118,7 +119,7 @@ let progress t =
         List.filter_map (fun (_, _, share) -> share) t.pending_echo3
       in
       (match
-         Threshold.combine t.p.setup ~k:((2 * tt) + 1) ~tag:(echo3_tag ~id:t.p.id v) shares
+         Threshold.combine t.p.setup ~k:(Quorum.supermajority ~t:tt) ~tag:(echo3_tag ~id:t.p.id v) shares
        with
       | Some sigma ->
         t.echo3_cert <- Some (v, sigma);

@@ -60,7 +60,7 @@ let progress t =
   let out = ref [] in
   List.iter
     (fun v ->
-      if Quorum.count t.echoes v >= t.cfg.Types.t + 1 && not (List.mem v t.my_echoes)
+      if Quorum.count t.echoes v >= Quorum.plurality ~t:t.cfg.Types.t && not (List.mem v t.my_echoes)
       then begin
         t.my_echoes <- v :: t.my_echoes;
         out := !out @ [ MEcho v ]

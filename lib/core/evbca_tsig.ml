@@ -1,5 +1,6 @@
 module Value = Bca_util.Value
 module Threshold = Bca_crypto.Threshold
+module Quorum = Bca_util.Quorum
 
 type proof = Direct of Threshold.signature | Prev of Threshold.signature
 
@@ -54,11 +55,11 @@ let create p ~me:_ =
 let valid_proof t v = function
   | Direct sigma ->
     Threshold.verify t.p.setup ~tag:(echo_tag ~round:t.p.round v) sigma
-    && Threshold.threshold_of sigma = t.p.cfg.Types.t + 1
+    && Threshold.threshold_of sigma = Quorum.plurality ~t:t.p.cfg.Types.t
   | Prev sigma ->
     t.p.round > 1
     && Threshold.verify t.p.setup ~tag:(echo3_tag ~round:(t.p.round - 1) v) sigma
-    && Threshold.threshold_of sigma = (2 * t.p.cfg.Types.t) + 1
+    && Threshold.threshold_of sigma = Quorum.supermajority ~t:t.p.cfg.Types.t
 
 let progress t =
   let q = Types.quorum t.p.cfg in
@@ -69,7 +70,7 @@ let progress t =
       List.find_opt
         (fun v ->
           List.length (List.filter (fun (_, v', _) -> Value.equal v v') t.pending_echo)
-          >= tt + 1)
+          >= Quorum.plurality ~t:tt)
         Value.both
     in
     match candidate with
@@ -79,7 +80,7 @@ let progress t =
           (fun (_, v', s) -> if Value.equal v v' then Some s else None)
           t.pending_echo
       in
-      (match Threshold.combine t.p.setup ~k:(tt + 1) ~tag:(echo_tag ~round:t.p.round v) shares with
+      (match Threshold.combine t.p.setup ~k:(Quorum.plurality ~t:tt) ~tag:(echo_tag ~round:t.p.round v) shares with
       | Some sigma ->
         t.sent_echo2 <- true;
         out := !out @ [ MEcho2 (v, Direct sigma) ]
@@ -88,7 +89,7 @@ let progress t =
   end;
   if t.echo3_sent = None && List.length t.pending_echo2 >= q then begin
     let values =
-      List.sort_uniq compare (List.map (fun (_, v, _) -> v) t.pending_echo2)
+      List.sort_uniq Value.compare (List.map (fun (_, v, _) -> v) t.pending_echo2)
     in
     match values with
     | [ v ] ->
@@ -106,13 +107,13 @@ let progress t =
   end;
   if t.decision = None && List.length t.pending_echo3 >= q then begin
     let values =
-      List.sort_uniq compare (List.map (fun (_, cv, _) -> cv) t.pending_echo3)
+      List.sort_uniq Types.cvalue_compare (List.map (fun (_, cv, _) -> cv) t.pending_echo3)
     in
     match values with
     | [ Types.Val v ] ->
       let shares = List.filter_map (fun (_, _, share) -> share) t.pending_echo3 in
       (match
-         Threshold.combine t.p.setup ~k:((2 * tt) + 1) ~tag:(echo3_tag ~round:t.p.round v)
+         Threshold.combine t.p.setup ~k:(Quorum.supermajority ~t:tt) ~tag:(echo3_tag ~round:t.p.round v)
            shares
        with
       | Some sigma ->

@@ -81,7 +81,7 @@ let progress t =
   (* Amplification (lines 3-4). *)
   List.iter
     (fun v ->
-      if Quorum.count t.echoes v >= tt + 1 && not (List.mem v t.my_echoes) then begin
+      if Quorum.count t.echoes v >= Quorum.plurality ~t:tt && not (List.mem v t.my_echoes) then begin
         t.my_echoes <- v :: t.my_echoes;
         out := !out @ [ MEcho v ]
       end)
@@ -142,7 +142,7 @@ let progress t =
           List.find_opt
             (fun v ->
               Quorum.count t.echo5s (Types.Val v) >= 1
-              && Quorum.count t.echo4s (Types.Val v) >= tt + 1)
+              && Quorum.count t.echo4s (Types.Val v) >= Quorum.plurality ~t:tt)
             Value.both
         else None
       in
@@ -197,9 +197,9 @@ let debug_encode t =
   in
   let quorum pp entries =
     String.concat ","
-      (List.sort compare (List.map (fun (p, x) -> Printf.sprintf "%d=%s" p (pp x)) entries))
+      (List.sort String.compare (List.map (fun (p, x) -> Printf.sprintf "%d=%s" p (pp x)) entries))
   in
-  let set xs = String.concat "" (List.sort compare (List.map v xs)) in
+  let set xs = String.concat "" (List.sort String.compare (List.map v xs)) in
   Printf.sprintf "e[%s]f[%s]g[%s]h[%s]i[%s]my:%s ap:%s s2:%b s3:%s s4:%s s5:%s d:%s"
     (quorum v (Quorum.entries t.echoes))
     (quorum v (Quorum.entries t.echo2s))

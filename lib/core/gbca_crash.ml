@@ -98,7 +98,7 @@ let debug_encode t =
   let cv = function Types.Val v -> Value.to_string v | Types.Bot -> "b" in
   let quorum pp entries =
     String.concat ","
-      (List.sort compare (List.map (fun (p, v) -> Printf.sprintf "%d=%s" p (pp v)) entries))
+      (List.sort String.compare (List.map (fun (p, v) -> Printf.sprintf "%d=%s" p (pp v)) entries))
   in
   let g = function
     | Types.G2 v -> "2" ^ Value.to_string v

@@ -9,14 +9,15 @@ let cfg ~n ~t =
   if t < 0 || t >= n then invalid_arg "Types.cfg: need 0 <= t < n";
   { n; t }
 
-let quorum cfg = cfg.n - cfg.t
+let quorum cfg = Bca_util.Quorum.available ~n:cfg.n ~t:cfg.t
 
 let check_crash_resilience cfg =
-  if cfg.n < (2 * cfg.t) + 1 then
+  if cfg.n < Bca_util.Quorum.supermajority ~t:cfg.t then
     invalid_arg
       (Printf.sprintf "crash resilience requires n >= 2t+1 (got n=%d t=%d)" cfg.n cfg.t)
 
 let check_byz_resilience cfg =
+  (* lint: allow quorum -- n >= 3t+1 is the resilience precondition on the configuration, not a message-counting threshold *)
   if cfg.n < (3 * cfg.t) + 1 then
     invalid_arg
       (Printf.sprintf "Byzantine resilience requires n >= 3t+1 (got n=%d t=%d)" cfg.n cfg.t)
@@ -28,6 +29,13 @@ let cvalue_equal a b =
   | Val x, Val y -> Value.equal x y
   | Bot, Bot -> true
   | Val _, Bot | Bot, Val _ -> false
+
+let cvalue_compare a b =
+  match (a, b) with
+  | Val x, Val y -> Bca_util.Value.compare x y
+  | Bot, Bot -> 0
+  | Bot, Val _ -> -1
+  | Val _, Bot -> 1
 
 let pp_cvalue ppf = function
   | Val v -> Value.pp ppf v

@@ -29,6 +29,10 @@ val check_byz_resilience : cfg -> unit
 type cvalue = Val of Bca_util.Value.t | Bot
 
 val cvalue_equal : cvalue -> cvalue -> bool
+
+val cvalue_compare : cvalue -> cvalue -> int
+(** Total order: [Bot] first, then values in {!Bca_util.Value.compare} order. *)
+
 val pp_cvalue : Format.formatter -> cvalue -> unit
 
 (** A graded decision, Definition 3.2's five buckets: [G2 v] = "v grade 2"

@@ -42,7 +42,7 @@ let cert_for t ~k ~tag = keyed_hash t.dealer_secret (Printf.sprintf "%d|%s" k ta
 
 let combine t ~k ~tag shares =
   let valid = List.filter (share_validate t ~tag) shares in
-  let signers = List.sort_uniq compare (List.map share_signer valid) in
+  let signers = List.sort_uniq Int.compare (List.map share_signer valid) in
   if List.length signers >= k then Some { s_tag = tag; s_k = k; cert = cert_for t ~k ~tag }
   else None
 

@@ -23,7 +23,7 @@ let interleave_classes xs ys =
   go xs ys
 
 let rounds_of extract envs =
-  List.sort_uniq compare (List.filter_map extract envs)
+  List.sort_uniq Int.compare (List.filter_map extract envs)
 
 (* ------------------------------------------------------------------ *)
 (* Strong coin cell: Theorem 4.2's "strategy 1".                       *)
@@ -57,8 +57,8 @@ let strong_once ~n ~tf ~seed =
     let ordered =
       List.concat_map
         (fun r ->
-          let mine = List.filter (fun e -> val_round e = Some r) vals in
-          let v0s, v1s = List.partition (fun e -> val_value e = Some Value.V0) mine in
+          let mine = List.filter (fun e -> (match val_round e with Some r' -> r' = r | None -> false)) vals in
+          let v0s, v1s = List.partition (fun e -> (match val_value e with Some v -> Value.equal v Value.V0 | None -> false)) mine in
           interleave_classes v0s v1s)
         (rounds_of val_round vals)
     in
@@ -199,7 +199,7 @@ let weak_generic ~n ~tf ~coin_kind ~seed =
     let rounds = rounds_of round_of envs in
     let no_round = List.filter (fun e -> round_of e = None) envs in
     List.concat_map
-      (fun r -> reorder_round r (List.filter (fun e -> round_of e = Some r) envs))
+      (fun r -> reorder_round r (List.filter (fun e -> (match round_of e with Some r' -> r' = r | None -> false)) envs))
       rounds
     @ no_round
   in
@@ -295,11 +295,11 @@ let benor_once ~n ~tf ~seed =
           | Benor.Proposal (_, None) -> if dst = 0 then 1 else 0
           | Benor.Committed _ -> 0
         in
-        List.stable_sort (fun a b -> compare (score a) (score b)) mine
+        List.stable_sort (fun a b -> Int.compare (score a) (score b)) mine
     in
     let rounds = rounds_of round_of envs in
     let no_round = List.filter (fun e -> round_of e = None) envs in
-    List.concat_map (fun r -> reorder r (List.filter (fun e -> round_of e = Some r) envs)) rounds
+    List.concat_map (fun r -> reorder r (List.filter (fun e -> (match round_of e with Some r' -> r' = r | None -> false)) envs)) rounds
     @ no_round
   in
   let res =

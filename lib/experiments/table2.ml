@@ -46,9 +46,11 @@ let honest pid = pid <> b_pid
    decider, parties 1..t are the honest voters steered to the bound value,
    parties t+1..2t decide bottom, and 2t+1..3t are Byzantine. *)
 let strong_t1_once_general ~tf ~seed =
+  (* lint: allow quorum -- constructing the n = 3t+1 configuration under test, not checking a threshold *)
   let n = (3 * tf) + 1 in
   let x = 0 in
   let ys = List.init tf (fun i -> 1 + i) in
+  (* lint: allow quorum -- pid block offsets into the party numbering, not a threshold *)
   let ss = List.init tf (fun i -> 1 + tf + i) in
   (* Byzantine bloc: pids 2t+1 .. 3t, driven by byz_tick below *)
   let honest_pids = (x :: ys) @ ss in
@@ -234,7 +236,7 @@ let weak_t1_once ~eps ~seed =
         | None -> 0)
       | _ -> 0
     in
-    List.stable_sort (fun a b -> compare (score a) (score b)) envs
+    List.stable_sort (fun a b -> Int.compare (score a) (score b)) envs
   in
   let res = Lockstep.run ~n ~honest ~make ~order ~max_steps:20_000 () in
   assert (res.Lockstep.outcome = `All_terminated);
@@ -386,7 +388,9 @@ let strong_2t1_once ~seed =
   let order ~step ~dst envs =
     if not (ready ()) then envs
     else
-      List.stable_sort (fun a b -> compare (kind_rank a) (kind_rank b))
+      List.stable_sort (fun a b ->
+        let xa, ya = kind_rank a and xb, yb = kind_rank b in
+        match Int.compare xa xb with 0 -> Int.compare ya yb | c -> c)
       @@ List.filter
         (fun (env : _ Lockstep.envelope) ->
           stale ~step env
@@ -472,7 +476,7 @@ let tsig_once ~seed =
         | Aa_evt.Bca (1, Evt.MEcho (v, _)) -> if Value.equal v w1 then 0 else 1
         | _ -> 0
       in
-      List.stable_sort (fun a b -> compare (score a) (score b)) envs
+      List.stable_sort (fun a b -> Int.compare (score a) (score b)) envs
     end
   in
   let res = Lockstep.run ~n ~honest ~make ~order ~max_steps:2000 () in

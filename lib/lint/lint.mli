@@ -1,0 +1,93 @@
+(** AST-level static analysis over the repository's [.ml] sources.
+
+    The engine parses each file with the compiler's own front end
+    (compiler-libs), hands the parsetree to a set of {!type-rule}s, and
+    collects source-located {!type-finding}s.  Rules are scoped by a
+    per-directory {!type-profile}: the replay-critical directories
+    ([lib/core], [lib/wire], [lib/netsim], [lib/transport]) get the
+    strictest checking, the rest of [lib/] the standard set, and
+    everything else is relaxed.
+
+    Deliberate exceptions are annotated in the source itself:
+
+    {v (* lint: allow <rule>[,<rule>...] <reason> *) v}
+
+    suppresses matching findings on the same line or the line directly
+    below, and
+
+    {v (* lint: allow-file <rule>[,<rule>...] <reason> *) v}
+
+    suppresses a rule for the whole file.  The reason is mandatory; a
+    suppression without one (or naming an unknown rule) is itself
+    reported as a finding and cannot be suppressed. *)
+
+type severity = Error | Warning
+
+type profile =
+  | Strict  (** replay-critical: lib/core, lib/wire, lib/netsim, lib/transport *)
+  | Standard  (** the rest of lib/ *)
+  | Relaxed  (** tests, binaries, examples *)
+
+type finding = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler diagnostics *)
+  message : string;
+}
+
+(** One parsed source file, as handed to each rule. *)
+type source = {
+  path : string;
+  profile : profile;
+  ast : Parsetree.structure;
+}
+
+type rule = {
+  name : string;  (** kebab-case identifier used by [--rules] and suppressions *)
+  doc : string;  (** one-line description for reports and documentation *)
+  severity : severity;
+  applies : path:string -> profile -> bool;
+  check : source -> finding list;
+}
+
+type report = {
+  findings : finding list;  (** unsuppressed, sorted by file/line/col/rule *)
+  suppressed : int;  (** findings silenced by an allow comment *)
+  suppression_comments : int;  (** allow/allow-file comments seen *)
+  files_scanned : int;
+  rules_run : string list;
+}
+
+val segments : string -> string list
+(** Non-empty path components, with separators and [.] removed. *)
+
+val has_pair : string -> string -> string list -> bool
+(** [has_pair a b segs] is true when [a] is directly followed by [b]
+    somewhere in [segs] - e.g. [lib] then [wire]. *)
+
+val profile_of_path : string -> profile
+(** Classify a path by its [lib/...] directory segments. *)
+
+val parse_file : string -> (Parsetree.structure, string) result
+(** Parse one [.ml] file with the compiler front end; the error case
+    carries a printable reason (syntax error, unreadable file, ...). *)
+
+val run : rules:rule list -> ?only:string list -> paths:string list -> unit -> report
+(** Lint every [.ml] file under [paths] (files or directories; [_build]
+    and dot-directories are skipped) with the applicable subset of
+    [rules].  [only] restricts to the named rules.
+    @raise Invalid_argument if [only] names an unknown rule. *)
+
+val has_errors : report -> bool
+(** True when any unsuppressed finding has severity {!Error}. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+
+val pp_text : Format.formatter -> report -> unit
+(** Human-readable report: one [file:line:col: [rule] message] per
+    finding, then a one-line summary. *)
+
+val to_json : report -> string
+(** The report as a JSON object (findings, counts, rules). *)

@@ -103,7 +103,7 @@ module Make (M : MODEL) = struct
 
   let enabled cfg =
     let deliveries =
-      List.sort_uniq compare (List.map (fun env -> env.key) cfg.inflight)
+      List.sort_uniq String.compare (List.map (fun env -> env.key) cfg.inflight)
     in
     let crashes =
       if cfg.crash_budget > 0 then
@@ -133,7 +133,7 @@ module Make (M : MODEL) = struct
       (fun k ->
         Buffer.add_string buf k;
         Buffer.add_char buf ';')
-      (List.sort compare (List.map (fun env -> env.key) cfg.inflight));
+      (List.sort String.compare (List.map (fun env -> env.key) cfg.inflight));
     Buffer.contents buf
 
   exception Stop of string

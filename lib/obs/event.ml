@@ -183,7 +183,7 @@ let parse_fields line =
   let parse_int () =
     skip_ws ();
     let start = !pos in
-    if peek () = Some '-' then incr pos;
+    if (match peek () with Some '-' -> true | _ -> false) then incr pos;
     while !pos < n && (match line.[!pos] with '0' .. '9' -> true | _ -> false) do
       incr pos
     done;
@@ -195,7 +195,7 @@ let parse_fields line =
   expect '{';
   let fields = ref [] in
   skip_ws ();
-  if peek () = Some '}' then incr pos
+  if (match peek () with Some '}' -> true | _ -> false) then incr pos
   else begin
     let rec members () =
       let key = (skip_ws (); parse_string ()) in

@@ -16,7 +16,7 @@ let create ?(capacity = 1024) () =
 
 let stream f = { sink = Stream f; buf = [||]; len = 0; clock = 0 }
 
-let enabled t = t.sink <> Null
+let enabled t = match t.sink with Null -> false | Buffer | Stream _ -> true
 
 let push t timed =
   if t.len = Array.length t.buf then begin

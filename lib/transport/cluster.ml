@@ -1,3 +1,4 @@
+(* lint: allow-file determinism -- real-process cluster driver; wall-clock deadlines bound socket waits and child reaping and never feed protocol state *)
 module Aba = Bca_core.Aba
 module Types = Bca_core.Types
 module Async = Bca_netsim.Async_exec
@@ -63,7 +64,7 @@ let run_loopback ?(seed = 0xB0CA1L) spec ~cfg ~inputs =
           in
           let init =
             List.sort
-              (fun a b -> compare a.Async.eid b.Async.eid)
+              (fun a b -> Int.compare a.Async.eid b.Async.eid)
               (Async.inflight exec)
           in
           List.iter
@@ -196,7 +197,7 @@ let run_node ?(seed = 0xB0CA1L) ?(timeout_s = 30.) ?(linger_s = 1.0)
                 else
                   net.Transport.send ~dst:e.Async.dst
                     (Wire.encode wire ~sender:me e.Async.payload))
-            (List.sort (fun a b -> compare a.Async.eid b.Async.eid) (Async.inflight exec));
+            (List.sort (fun a b -> Int.compare a.Async.eid b.Async.eid) (Async.inflight exec));
           let deliver_frame f =
             match Wire.decode_body wire f with
             | Ok m -> do_emits (node.Node.receive ~src:f.Wire.sender m)

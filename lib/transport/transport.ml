@@ -1,3 +1,4 @@
+(* lint: allow-file determinism -- real-socket transport; wall-clock deadlines bound connect retries, flushes and receive timeouts and never feed protocol state *)
 module Wire = Bca_wire.Wire
 module Rng = Bca_util.Rng
 module Pool = Bca_netsim.Pool
@@ -280,7 +281,7 @@ module Socket = struct
       Array.iter
         (fun p ->
           if
-            p.p_pid <> s.s_me && p.p_state = Idle
+            p.p_pid <> s.s_me && (match p.p_state with Idle -> true | _ -> false)
             && (not (Queue.is_empty p.p_q))
             && now >= p.p_next_attempt
           then start_connect s p ~now)
@@ -330,7 +331,7 @@ module Socket = struct
 
   let all_flushed s =
     Array.for_all
-      (fun p -> p.p_pid = s.s_me || p.p_state = Dead || Queue.is_empty p.p_q)
+      (fun p -> p.p_pid = s.s_me || (match p.p_state with Dead -> true | _ -> false) || Queue.is_empty p.p_q)
       s.s_peers
 
   let kind_of_addr = function
@@ -421,7 +422,7 @@ module Socket = struct
           let stall_s = 2. *. s.s_backoff_cap in
           let deadline = ref (Unix.gettimeofday () +. stall_s) in
           let low_water = ref p.p_q_bytes in
-          while p.p_q_bytes > s.s_max_queue && p.p_state <> Dead do
+          while p.p_q_bytes > s.s_max_queue && (match p.p_state with Dead -> false | _ -> true) do
             pump s ~timeout_s:0.02;
             if p.p_q_bytes < !low_water then begin
               low_water := p.p_q_bytes;

@@ -1,0 +1,28 @@
+(* Deterministic views of hash tables.
+
+   Hashtbl iteration order is unspecified and must never influence
+   protocol output, trace content or anything else that is replayed
+   bit-for-bit from a seed; the lint determinism rule therefore bans
+   Hashtbl.iter/fold outside this module.  Code that genuinely needs to
+   walk a table goes through these helpers, which fix the order by
+   sorting on the key. *)
+
+(* lint: allow-file determinism -- this module is the single authorized
+   Hashtbl iteration site; every traversal below is made deterministic
+   by sorting on the key before it is exposed. *)
+
+let bindings ~compare:cmp tbl =
+  List.sort
+    (fun (k1, _) (k2, _) -> cmp k1 k2)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let keys ~compare:cmp tbl =
+  List.sort cmp (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+let iter_sorted ~compare:cmp f tbl =
+  List.iter (fun (k, v) -> f k v) (bindings ~compare:cmp tbl)
+
+(* Order-insensitive reduction: the combining function must be
+   commutative and associative (counts, sums, maxima), which makes the
+   traversal order unobservable. *)
+let fold_commutative f tbl acc = Hashtbl.fold f tbl acc

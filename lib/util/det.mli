@@ -1,0 +1,23 @@
+(** Deterministic views of hash tables.
+
+    Hashtbl iteration order is unspecified; in a codebase whose whole
+    test story is bit-identical seeded replay, letting it leak into any
+    output is a bug.  The lint [determinism] rule bans [Hashtbl.iter]
+    and [Hashtbl.fold] everywhere in [lib/]; traversals go through this
+    module instead, which fixes the order by sorting on keys. *)
+
+val bindings : compare:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> ('k * 'v) list
+(** All bindings, sorted by key.  With [Hashtbl.replace]-style tables
+    (one binding per key) this is a deterministic snapshot. *)
+
+val keys : compare:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> 'k list
+(** All keys, sorted. *)
+
+val iter_sorted : compare:('k -> 'k -> int) -> ('k -> 'v -> unit) -> ('k, 'v) Hashtbl.t -> unit
+(** Iterate in ascending key order. *)
+
+val fold_commutative : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) Hashtbl.t -> 'acc -> 'acc
+(** Unordered fold for combining functions that are commutative and
+    associative (counts, sums, maxima), where traversal order is
+    unobservable.  Using it with an order-sensitive function is exactly
+    the bug the determinism rule exists to catch - don't. *)

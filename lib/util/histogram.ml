@@ -7,7 +7,7 @@ let of_floats samples =
       let k = int_of_float x in
       Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
     samples;
-  let buckets = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []) in
+  let buckets = Det.bindings ~compare:Int.compare tbl in
   { buckets; total = List.length samples }
 
 let pp ppf t =

@@ -50,10 +50,27 @@ val all_equal : 'v t -> 'v option
     recorded message carries [v]. *)
 
 val senders_of : 'v t -> 'v -> int list
-(** The distinct senders credited with value [v]. *)
+(** The distinct senders credited with value [v], in ascending pid order. *)
 
 val mem_sender : 'v t -> pid:int -> bool
 (** Whether any message from [pid] has been credited. *)
 
 val entries : 'v t -> (int * 'v) list
-(** All credited (sender, value) pairs. *)
+(** All credited (sender, value) pairs, in ascending pid order. *)
+
+(** {1 Thresholds}
+
+    The paper's quorum vocabulary, spelled once.  The lint [quorum] rule
+    bans raw [t + 1] / [2*t + 1] / [n - t] arithmetic everywhere else, so
+    that a mistyped threshold cannot hide inside a protocol body. *)
+
+val plurality : t:int -> int
+(** [t + 1]: any set this large contains at least one honest party. *)
+
+val supermajority : t:int -> int
+(** [2t + 1]: any two sets this large intersect in an honest party
+    (for [n = 3t + 1]). *)
+
+val available : n:int -> t:int -> int
+(** [n - t]: the most messages a party can wait for without risking a
+    deadlock on the [t] potentially silent parties. *)

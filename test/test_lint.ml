@@ -1,0 +1,362 @@
+(* Tests for the bca_lint static-analysis engine: every shipped rule must
+   flag its known-bad fixture and pass its known-good twin, directory
+   profiles must scope the rules, the suppression grammar must behave,
+   and lib/ itself must lint clean. *)
+
+module Lint = Bca_lint.Lint
+module Rules = Bca_lint.Rules
+
+(* ------------------------------------------------------------------ *)
+(* Fixture plumbing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    Sys.mkdir d 0o755
+  end
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let fresh_root () =
+  let f = Filename.temp_file "bca_lint_fixture" "" in
+  Sys.remove f;
+  Sys.mkdir f 0o755;
+  f
+
+let write_file ~root subpath content =
+  let path = Filename.concat root subpath in
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+(* Lint a one-file (or multi-file) fixture tree and return the report. *)
+let lint_fixture files =
+  let root = fresh_root () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf root)
+    (fun () ->
+      List.iter (fun (subpath, content) -> write_file ~root subpath content) files;
+      Lint.run ~rules:Rules.all ~paths:[ root ] ())
+
+let count_rule rule (report : Lint.report) =
+  List.length
+    (List.filter (fun (f : Lint.finding) -> String.equal f.rule rule) report.findings)
+
+let check_flags ~rule ~subpath content =
+  let report = lint_fixture [ (subpath, content) ] in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s flags %s" rule subpath)
+    true
+    (count_rule rule report > 0);
+  Alcotest.(check bool) "bad fixture makes the report fail" true (Lint.has_errors report)
+
+let check_clean ~rule ~subpath content =
+  let report = lint_fixture [ (subpath, content) ] in
+  Alcotest.(check int)
+    (Printf.sprintf "%s passes %s" rule subpath)
+    0 (count_rule rule report)
+
+(* ------------------------------------------------------------------ *)
+(* Profiles                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_profiles () =
+  let is_strict p = match Lint.profile_of_path p with Lint.Strict -> true | _ -> false in
+  let is_standard p = match Lint.profile_of_path p with Lint.Standard -> true | _ -> false in
+  let is_relaxed p = match Lint.profile_of_path p with Lint.Relaxed -> true | _ -> false in
+  List.iter
+    (fun p -> Alcotest.(check bool) (p ^ " strict") true (is_strict p))
+    [ "lib/core/bca_byz.ml"; "/abs/repo/lib/wire/get.ml"; "_build/default/lib/netsim/async.ml";
+      "lib/transport/cluster.ml" ];
+  Alcotest.(check bool) "lib/util standard" true (is_standard "lib/util/rng.ml");
+  Alcotest.(check bool) "bench relaxed" true (is_relaxed "bench/main.ml");
+  Alcotest.(check bool) "core outside lib relaxed" true (is_relaxed "tools/core.ml")
+
+(* ------------------------------------------------------------------ *)
+(* determinism                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_determinism_flags () =
+  check_flags ~rule:"determinism" ~subpath:"lib/core/x.ml"
+    "let f h = Hashtbl.iter (fun _ _ -> ()) h\n";
+  check_flags ~rule:"determinism" ~subpath:"lib/core/x.ml"
+    "let f h = Hashtbl.fold (fun _ _ a -> a) h 0\n";
+  check_flags ~rule:"determinism" ~subpath:"lib/util/x.ml" "let now () = Unix.gettimeofday ()\n";
+  check_flags ~rule:"determinism" ~subpath:"lib/core/x.ml" "let r () = Random.int 2\n";
+  check_flags ~rule:"determinism" ~subpath:"lib/core/x.ml"
+    "let m x = Marshal.to_string x []\n"
+
+let test_determinism_clean () =
+  check_clean ~rule:"determinism" ~subpath:"lib/core/x.ml"
+    "let f h = Det.iter_sorted ~compare:Int.compare (fun _ _ -> ()) h\n\
+     let r st = Random.State.int st 2\n\
+     let m tbl = Hashtbl.replace tbl 0 1\n";
+  (* relaxed directories are out of scope for the determinism rule *)
+  check_clean ~rule:"determinism" ~subpath:"tools/x.ml"
+    "let f h = Hashtbl.iter (fun _ _ -> ()) h\n"
+
+(* ------------------------------------------------------------------ *)
+(* poly-compare                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_poly_compare_flags () =
+  check_flags ~rule:"poly-compare" ~subpath:"lib/core/x.ml" "let f a b = compare a b\n";
+  check_flags ~rule:"poly-compare" ~subpath:"lib/core/x.ml"
+    "let f l = List.sort compare l\n";
+  check_flags ~rule:"poly-compare" ~subpath:"lib/core/x.ml" "let g x = x = Some 1\n";
+  check_flags ~rule:"poly-compare" ~subpath:"lib/core/x.ml" "let g x = x <> (1, 2)\n";
+  check_flags ~rule:"poly-compare" ~subpath:"lib/core/x.ml"
+    "type v = A | B\nlet g x = x = A\n"
+
+let test_poly_compare_clean () =
+  check_clean ~rule:"poly-compare" ~subpath:"lib/core/x.ml"
+    "let f a b = Int.compare a b\n\
+     let g x = x = None\n\
+     let h x = x = []\n\
+     let i x = x = 3\n\
+     let j a b = a = b\n\
+     let k l = List.sort String.compare l\n"
+
+(* ------------------------------------------------------------------ *)
+(* quorum                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_quorum_flags () =
+  check_flags ~rule:"quorum" ~subpath:"lib/core/x.ml" "let q tt = tt + 1\n";
+  check_flags ~rule:"quorum" ~subpath:"lib/core/x.ml" "let q tt = (2 * tt) + 1\n";
+  check_flags ~rule:"quorum" ~subpath:"lib/core/x.ml"
+    "type cfg = { n : int; t : int }\nlet q cfg = cfg.n - cfg.t\n"
+
+let test_quorum_clean () =
+  check_clean ~rule:"quorum" ~subpath:"lib/core/x.ml"
+    "let q tt = Quorum.plurality ~t:tt\n\
+     let deg tf = 2 * tf\n\
+     let w n = n - 1\n\
+     let s xs = List.length xs + 1\n";
+  (* the one exempt file: the vocabulary's own definitions *)
+  check_clean ~rule:"quorum" ~subpath:"lib/util/quorum.ml"
+    "let plurality ~t = t + 1\nlet supermajority ~t = (2 * t) + 1\n"
+
+(* ------------------------------------------------------------------ *)
+(* total-decoding                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_total_decoding_flags () =
+  check_flags ~rule:"total-decoding" ~subpath:"lib/wire/get.ml"
+    "let f () = failwith \"nope\"\n";
+  check_flags ~rule:"total-decoding" ~subpath:"lib/wire/get.ml" "let f l = List.hd l\n";
+  check_flags ~rule:"total-decoding" ~subpath:"lib/wire/get.ml" "let f o = Option.get o\n";
+  check_flags ~rule:"total-decoding" ~subpath:"lib/wire/get.ml"
+    "let f = function 0 -> 1 | _ -> assert false\n"
+
+let test_total_decoding_clean () =
+  check_clean ~rule:"total-decoding" ~subpath:"lib/wire/get.ml"
+    "exception Malformed of string\n\
+     let f = function [] -> Error (Malformed \"empty\") | x :: _ -> Ok x\n";
+  (* the rule only applies to wire decode paths *)
+  check_clean ~rule:"total-decoding" ~subpath:"lib/core/x.ml"
+    "let f () = failwith \"not a decode path\"\n"
+
+(* ------------------------------------------------------------------ *)
+(* wire-coverage                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let wire_fixture ~wirefmt =
+  [ ("lib/wire/proto.ml", "type msg = A of int | B\n");
+    ("lib/wire/stack.ml",
+     "module Make (M : sig end) = struct\n  type msg = Wrap of int\nend\n");
+    ("lib/wire/wirefmt.ml", wirefmt) ]
+
+let covered_wirefmt =
+  "module S = Stack.Make (Proto)\n\
+   let encode = function S.Wrap i -> i\n\
+   let decode i = S.Wrap i\n\
+   let encode_p = function Proto.A i -> i | Proto.B -> 0\n\
+   let decode_p = function 0 -> Proto.B | i -> Proto.A i\n"
+
+let test_wire_coverage_flags () =
+  (* decoder never rebuilds Proto.B *)
+  let report =
+    lint_fixture
+      (wire_fixture
+         ~wirefmt:
+           "module S = Stack.Make (Proto)\n\
+            let encode = function S.Wrap i -> i\n\
+            let decode i = S.Wrap i\n\
+            let encode_p = function Proto.A i -> i | Proto.B -> 0\n\
+            let decode_p i = Proto.A i\n")
+  in
+  Alcotest.(check bool) "missing decode branch flagged" true (count_rule "wire-coverage" report > 0);
+  (* encoder never matches S.Wrap *)
+  let report =
+    lint_fixture
+      (wire_fixture
+         ~wirefmt:
+           "module S = Stack.Make (Proto)\n\
+            let decode i = S.Wrap i\n\
+            let encode_p = function Proto.A i -> i | Proto.B -> 0\n\
+            let decode_p = function 0 -> Proto.B | i -> Proto.A i\n")
+  in
+  Alcotest.(check bool) "missing encode branch flagged" true (count_rule "wire-coverage" report > 0);
+  (* a wirefmt.ml with no codec bindings at all is itself a finding *)
+  let report = lint_fixture [ ("lib/wire/wirefmt.ml", "let x = 1\n") ] in
+  Alcotest.(check bool) "no bindings flagged" true (count_rule "wire-coverage" report > 0)
+
+let test_wire_coverage_clean () =
+  let report = lint_fixture (wire_fixture ~wirefmt:covered_wirefmt) in
+  Alcotest.(check int) "covered wirefmt is clean" 0 (count_rule "wire-coverage" report)
+
+(* ------------------------------------------------------------------ *)
+(* Suppressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_suppression_valid () =
+  let report =
+    lint_fixture
+      [ ("lib/core/x.ml",
+         "(* lint: allow determinism -- fixture exercising the suppression grammar *)\n\
+          let f h = Hashtbl.iter (fun _ _ -> ()) h\n") ]
+  in
+  Alcotest.(check int) "no findings" 0 (List.length report.findings);
+  Alcotest.(check int) "one silenced" 1 report.suppressed;
+  Alcotest.(check int) "one comment" 1 report.suppression_comments
+
+let test_suppression_file_level () =
+  let report =
+    lint_fixture
+      [ ("lib/core/x.ml",
+         "(* lint: allow-file determinism -- whole-file fixture *)\n\
+          let pad = ()\nlet pad2 = ()\n\
+          let f h = Hashtbl.iter (fun _ _ -> ()) h\n") ]
+  in
+  Alcotest.(check int) "no findings" 0 (List.length report.findings);
+  Alcotest.(check int) "one silenced" 1 report.suppressed
+
+let test_suppression_needs_reason () =
+  let report =
+    lint_fixture
+      [ ("lib/core/x.ml",
+         "(* lint: allow determinism *)\nlet f h = Hashtbl.iter (fun _ _ -> ()) h\n") ]
+  in
+  Alcotest.(check bool) "reasonless suppression is a finding" true
+    (count_rule "suppression" report > 0);
+  Alcotest.(check bool) "and does not silence" true (count_rule "determinism" report > 0)
+
+let test_suppression_unknown_rule () =
+  let report =
+    lint_fixture
+      [ ("lib/core/x.ml", "(* lint: allow nosuchrule -- reason here *)\nlet x = 1\n") ]
+  in
+  Alcotest.(check bool) "unknown rule is a finding" true (count_rule "suppression" report > 0)
+
+let test_suppression_wrong_line () =
+  (* a line suppression covers its own line and the next one, not the
+     whole file *)
+  let report =
+    lint_fixture
+      [ ("lib/core/x.ml",
+         "(* lint: allow determinism -- too far away *)\n\
+          let pad = ()\n\
+          let f h = Hashtbl.iter (fun _ _ -> ()) h\n") ]
+  in
+  Alcotest.(check bool) "out-of-range suppression does not silence" true
+    (count_rule "determinism" report > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Engine: rule selection and reporters                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_only_filter () =
+  let root = fresh_root () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf root)
+    (fun () ->
+      write_file ~root "lib/core/x.ml" "let f h = Hashtbl.iter (fun _ _ -> ()) h\n";
+      let report = Lint.run ~rules:Rules.all ~only:[ "quorum" ] ~paths:[ root ] () in
+      Alcotest.(check int) "determinism not run" 0 (List.length report.findings);
+      Alcotest.(check bool) "unknown rule name rejected" true
+        (match Lint.run ~rules:Rules.all ~only:[ "bogus" ] ~paths:[ root ] () with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+
+let contains s affix =
+  let n = String.length s and m = String.length affix in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) affix || go (i + 1)) in
+  go 0
+
+let test_reporters () =
+  let report =
+    lint_fixture [ ("lib/core/x.ml", "let f h = Hashtbl.iter (fun _ _ -> ()) h\n") ]
+  in
+  let text = Format.asprintf "%a" Lint.pp_text report in
+  Alcotest.(check bool) "text names the rule" true
+    (contains text "[determinism]");
+  let json = Lint.to_json report in
+  Alcotest.(check bool) "json has findings" true
+    (contains json "\"rule\": \"determinism\"");
+  Alcotest.(check bool) "json counts files" true
+    (contains json "\"files_scanned\": 1")
+
+let test_parse_error () =
+  let report = lint_fixture [ ("lib/core/x.ml", "let f = (\n") ] in
+  Alcotest.(check bool) "syntax error surfaces" true (count_rule "parse-error" report > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Self-clean gate: the repository's own lib/ tree must lint clean      *)
+(* ------------------------------------------------------------------ *)
+
+let test_self_clean () =
+  (* cwd is _build/default/test under `dune runtest` (the source_tree dep
+     stages lib/ next to it) and the repo root under `dune exec` *)
+  let lib =
+    List.find_opt
+      (fun p -> Sys.file_exists (Filename.concat p "util"))
+      [ "../lib"; "lib" ]
+    |> function
+    | Some p -> p
+    | None -> Alcotest.fail "lib/ not found from the test's working directory"
+  in
+  let report = Lint.run ~rules:Rules.all ~paths:[ lib ] () in
+  Alcotest.(check string) "lib/ lints clean" ""
+    (Format.asprintf "%a"
+       (fun ppf -> List.iter (Format.fprintf ppf "%a@." Lint.pp_finding))
+       report.findings);
+  Alcotest.(check bool) "a useful number of files scanned" true (report.files_scanned > 40)
+
+let () =
+  Alcotest.run "lint"
+    [ ("profiles", [ Alcotest.test_case "directory profiles" `Quick test_profiles ]);
+      ( "determinism",
+        [ Alcotest.test_case "flags bad" `Quick test_determinism_flags;
+          Alcotest.test_case "passes good" `Quick test_determinism_clean ] );
+      ( "poly-compare",
+        [ Alcotest.test_case "flags bad" `Quick test_poly_compare_flags;
+          Alcotest.test_case "passes good" `Quick test_poly_compare_clean ] );
+      ( "quorum",
+        [ Alcotest.test_case "flags bad" `Quick test_quorum_flags;
+          Alcotest.test_case "passes good" `Quick test_quorum_clean ] );
+      ( "total-decoding",
+        [ Alcotest.test_case "flags bad" `Quick test_total_decoding_flags;
+          Alcotest.test_case "passes good" `Quick test_total_decoding_clean ] );
+      ( "wire-coverage",
+        [ Alcotest.test_case "flags bad" `Quick test_wire_coverage_flags;
+          Alcotest.test_case "passes good" `Quick test_wire_coverage_clean ] );
+      ( "suppressions",
+        [ Alcotest.test_case "valid line" `Quick test_suppression_valid;
+          Alcotest.test_case "valid file" `Quick test_suppression_file_level;
+          Alcotest.test_case "needs reason" `Quick test_suppression_needs_reason;
+          Alcotest.test_case "unknown rule" `Quick test_suppression_unknown_rule;
+          Alcotest.test_case "out of range" `Quick test_suppression_wrong_line ] );
+      ( "engine",
+        [ Alcotest.test_case "--rules filter" `Quick test_only_filter;
+          Alcotest.test_case "reporters" `Quick test_reporters;
+          Alcotest.test_case "parse error" `Quick test_parse_error ] );
+      ("self", [ Alcotest.test_case "lib/ lints clean" `Quick test_self_clean ]) ]
