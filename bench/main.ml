@@ -47,6 +47,8 @@ let opt_metrics = ref false
 
 let opt_trace : string option ref = ref None
 
+let opt_floor : float option ref = ref None
+
 let mc_runs () = match !opt_runs with Some r -> r | None -> 4000
 
 let root_seed () = match !opt_seed with Some s -> s | None -> 20260706L
@@ -250,10 +252,39 @@ type wire_row = {
   wr_words : int;
 }
 
+(* One cluster-throughput measurement: [cl_instances] byz-strong decisions
+   over real sockets in one process, one row per (transport, wire mode).
+   "per-message" runs the decisions sequentially, one frame per protocol
+   message, one write per frame - the seed's wire path.  "pipelined" runs
+   them concurrently over one endpoint set but still frame-per-message;
+   "batched" adds frame batching and coalesced writes - the full hot
+   path.  decisions/sec across the modes is the tentpole figure of merit. *)
+type cluster_row = {
+  cl_transport : string;
+  cl_mode : string;
+  cl_n : int;
+  cl_t : int;
+  cl_instances : int;
+  cl_wall_s : float;
+  cl_frames : int;
+  cl_bytes : int;
+  cl_writes : int;
+  cl_batches : int;
+  cl_records : int;
+  cl_max_occupancy : int;
+  cl_alloc_words : float;
+}
+
+let cluster_dps row =
+  float_of_int row.cl_instances
+  /. (if row.cl_wall_s > 0.0 then row.cl_wall_s else epsilon_float)
+
 (* The scaling, chaos and wire sections all contribute to the JSON report;
    they accumulate here and the file is written once, after all sections
    ran. *)
 let scaling_acc : throughput list ref = ref []
+
+let cluster_acc : cluster_row list ref = ref []
 
 let chaos_acc : chaos_row list ref = ref []
 
@@ -265,14 +296,16 @@ let chaos_failed = ref false
 
 let section_failed = ref false
 
-let write_throughput_json path ~seed ~runs ~chaos ~metrics ~wire ~lint tps =
+let write_throughput_json path ~seed ~runs ~chaos ~metrics ~wire ~cluster ~lint tps =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
-  (* schema 3: adds the "lint" object (static-analysis health of lib/ at
-     report time); schema 2 added the "wire" array (per-decision on-wire
-     traffic per stack).  Consumers of older schemas should treat both as
+  (* schema 4: adds the "cluster" array (decisions/sec of the batched
+     socket hot path vs the per-message baseline); schema 3 added the
+     "lint" object (static-analysis health of lib/ at report time);
+     schema 2 added the "wire" array (per-decision on-wire traffic per
+     stack).  Consumers of older schemas should treat all three as
      optional *)
-  Buffer.add_string buf "  \"schema\": 3,\n";
+  Buffer.add_string buf "  \"schema\": 4,\n";
   (match lint with
   | Some (r : Bca_lint.Lint.report) ->
     Buffer.add_string buf
@@ -324,6 +357,23 @@ let write_throughput_json path ~seed ~runs ~chaos ~metrics ~wire ~lint tps =
            (per w.wr_frames) (per w.wr_bytes) (per w.wr_words)
            (if i = List.length wire - 1 then "" else ",")))
     wire;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"cluster\": [\n";
+  List.iteri
+    (fun i c ->
+      let per d = float_of_int d /. float_of_int (max 1 c.cl_instances) in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"stack\": \"byz-strong\", \"transport\": %S, \"mode\": %S, \"n\": %d, \
+            \"t\": %d, \"decisions\": %d, \"wall_s\": %.6f, \"decisions_per_sec\": %.1f, \
+            \"frames\": %d, \"bytes\": %d, \"writes\": %d, \"batches\": %d, \
+            \"records\": %d, \"max_occupancy\": %d, \"alloc_words\": %.0f, \
+            \"frames_per_decision\": %.1f, \"bytes_per_decision\": %.1f}%s\n"
+           c.cl_transport c.cl_mode c.cl_n c.cl_t c.cl_instances c.cl_wall_s (cluster_dps c)
+           c.cl_frames c.cl_bytes c.cl_writes c.cl_batches c.cl_records c.cl_max_occupancy
+           c.cl_alloc_words (per c.cl_frames) (per c.cl_bytes)
+           (if i = List.length cluster - 1 then "" else ",")))
+    cluster;
   Buffer.add_string buf "  ],\n";
   Buffer.add_string buf "  \"metrics\": [\n";
   List.iteri
@@ -512,6 +562,133 @@ let wire () =
   wire_acc := rows
 
 (* ------------------------------------------------------------------ *)
+(* Cluster throughput: the batched socket hot path vs its baselines.    *)
+(* ------------------------------------------------------------------ *)
+
+let cluster_bench () =
+  let seed = root_seed () in
+  let instances = 64 in
+  let cfg = Types.cfg ~n:4 ~t:1 in
+  let spec = Aba.Byz_strong in
+  section
+    (Printf.sprintf
+       "Cluster throughput - %d byz-strong decisions, n=4 endpoints over real sockets"
+       instances);
+  let measure ~transport ~mode =
+    let tname = match transport with `Unix -> "unix" | `Tcp -> "tcp" in
+    let mname =
+      match mode with
+      | `Per_message -> "per-message"
+      | `Pipelined -> "pipelined"
+      | `Batched -> "batched"
+    in
+    let frames = ref 0 and bytes = ref 0 and writes = ref 0 in
+    let batches = ref 0 and records = ref 0 and occ = ref 0 in
+    let add (r : Cluster.inproc_result) =
+      frames := !frames + r.Cluster.ir_frames;
+      bytes := !bytes + r.Cluster.ir_bytes;
+      writes := !writes + r.Cluster.ir_writes;
+      batches := !batches + r.Cluster.ir_batches;
+      records := !records + r.Cluster.ir_records;
+      occ := max !occ r.Cluster.ir_max_occupancy
+    in
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    (match mode with
+    | `Per_message ->
+      (* the seed's path: one decision at a time, fresh endpoints each,
+         one frame per message, one write per frame.  Seeded so decision k
+         is exactly instance k of the concurrent modes. *)
+      for k = 0 to instances - 1 do
+        let s = if k = 0 then seed else Cluster.instance_seed ~seed (k - 1) in
+        match
+          Cluster.run_inproc_cluster ~seed:s ~policy:Bca_transport.Batcher.immediate
+            ~coalesce:false ~timeout_s:60. spec ~cfg ~instances:1 ~transport
+        with
+        | Ok r -> add r
+        | Error e ->
+          failwith (Printf.sprintf "cluster (%s, %s, decision %d): %s" tname mname k e)
+      done
+    | `Pipelined | `Batched -> (
+      let policy =
+        match mode with `Pipelined -> Some Bca_transport.Batcher.immediate | _ -> None
+      in
+      let coalesce = (match mode with `Pipelined -> false | _ -> true) in
+      match
+        Cluster.run_inproc_cluster ~seed ?policy ~coalesce ~timeout_s:120. spec ~cfg
+          ~instances ~transport
+      with
+      | Ok r -> add r
+      | Error e -> failwith (Printf.sprintf "cluster (%s, %s): %s" tname mname e)));
+    let wall = Unix.gettimeofday () -. t0 in
+    let alloc = (Gc.allocated_bytes () -. a0) /. 8.0 in
+    { cl_transport = tname;
+      cl_mode = mname;
+      cl_n = cfg.Types.n;
+      cl_t = cfg.Types.t;
+      cl_instances = instances;
+      cl_wall_s = wall;
+      cl_frames = !frames;
+      cl_bytes = !bytes;
+      cl_writes = !writes;
+      cl_batches = !batches;
+      cl_records = !records;
+      cl_max_occupancy = !occ;
+      cl_alloc_words = alloc }
+  in
+  let rows =
+    List.concat_map
+      (fun transport ->
+        List.map (fun mode -> measure ~transport ~mode) [ `Per_message; `Pipelined; `Batched ])
+      [ `Unix; `Tcp ]
+  in
+  Tablefmt.print
+    ~header:
+      [ "transport"; "mode"; "decisions"; "wall (s)"; "decisions/sec"; "frames"; "bytes";
+        "writes"; "max occ"; "Mwords alloc" ]
+    (List.map
+       (fun c ->
+         [ c.cl_transport; c.cl_mode; string_of_int c.cl_instances;
+           Printf.sprintf "%.4f" c.cl_wall_s;
+           Printf.sprintf "%.0f" (cluster_dps c);
+           string_of_int c.cl_frames; string_of_int c.cl_bytes; string_of_int c.cl_writes;
+           string_of_int c.cl_max_occupancy;
+           Printf.sprintf "%.2f" (c.cl_alloc_words /. 1e6) ])
+       rows);
+  let find tname mname =
+    List.find_opt (fun c -> c.cl_transport = tname && c.cl_mode = mname) rows
+  in
+  List.iter
+    (fun tname ->
+      match (find tname "per-message", find tname "batched") with
+      | Some base, Some batched ->
+        Printf.printf
+          "%s: batched hot path decides %.1fx faster than the per-message baseline\n\
+          \     (%.1f vs %.1f decisions/sec; %.1fx fewer frames, %.1fx fewer bytes, %.1fx \
+           fewer writes)\n"
+          tname
+          (cluster_dps batched /. cluster_dps base)
+          (cluster_dps batched) (cluster_dps base)
+          (float_of_int base.cl_frames /. float_of_int (max 1 batched.cl_frames))
+          (float_of_int base.cl_bytes /. float_of_int (max 1 batched.cl_bytes))
+          (float_of_int base.cl_writes /. float_of_int (max 1 batched.cl_writes))
+      | _ -> ())
+    [ "unix"; "tcp" ];
+  (match !opt_floor with
+  | None -> ()
+  | Some floor -> (
+    match find "tcp" "batched" with
+    | Some batched when cluster_dps batched < floor ->
+      Printf.eprintf "cluster throughput FLOOR VIOLATED: tcp batched %.1f decisions/sec < %.1f\n"
+        (cluster_dps batched) floor;
+      section_failed := true
+    | Some batched ->
+      Printf.printf "(floor ok: tcp batched %.1f >= %.1f decisions/sec)\n" (cluster_dps batched)
+        floor
+    | None -> ()));
+  cluster_acc := rows
+
+(* ------------------------------------------------------------------ *)
 (* Observability: per-round / per-phase metrics and trace capture.      *)
 (* ------------------------------------------------------------------ *)
 
@@ -626,12 +803,15 @@ let lint_summary () =
   else None
 
 let flush_json () =
-  if !scaling_acc <> [] || !chaos_acc <> [] || !metrics_acc <> [] || !wire_acc <> []
+  if
+    !scaling_acc <> [] || !chaos_acc <> [] || !metrics_acc <> [] || !wire_acc <> []
+    || !cluster_acc <> []
   then begin
     let path = json_path () in
     let runs = match !opt_runs with Some r -> r | None -> 30 in
     write_throughput_json path ~seed:(root_seed ()) ~runs ~chaos:!chaos_acc
-      ~metrics:!metrics_acc ~wire:!wire_acc ~lint:(lint_summary ()) !scaling_acc;
+      ~metrics:!metrics_acc ~wire:!wire_acc ~cluster:!cluster_acc ~lint:(lint_summary ())
+      !scaling_acc;
     Printf.printf "\n(throughput written to %s)\n" path
   end
 
@@ -716,8 +896,8 @@ let bechamel () =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [table1|table2|attack|scaling|chaos|wire|ablation|bechamel|all]\n\
-    \       [--runs K] [--seed S] [--json PATH] [--metrics] [--trace PATH]\n";
+    "usage: main.exe [table1|table2|attack|scaling|chaos|wire|cluster|ablation|bechamel|all]\n\
+    \       [--runs K] [--seed S] [--json PATH] [--metrics] [--trace PATH] [--floor DPS]\n";
   exit 1
 
 let parse_args () =
@@ -747,7 +927,14 @@ let parse_args () =
         Printf.eprintf "--seed expects an integer, got %S\n" s;
         exit 1);
       go rest
-    | [ ("--json" | "--runs" | "--seed" | "--trace") ] -> usage ()
+    | "--floor" :: f :: rest ->
+      (match float_of_string_opt f with
+      | Some f when f > 0.0 -> opt_floor := Some f
+      | _ ->
+        Printf.eprintf "--floor expects a positive number (decisions/sec), got %S\n" f;
+        exit 1);
+      go rest
+    | [ ("--json" | "--runs" | "--seed" | "--trace" | "--floor") ] -> usage ()
     | arg :: _ when String.length arg >= 2 && String.sub arg 0 2 = "--" ->
       Printf.eprintf "unknown flag %S\n" arg;
       usage ()
@@ -781,6 +968,7 @@ let () =
   | "scaling" -> run_section "scaling" scaling
   | "chaos" -> run_section "chaos" chaos
   | "wire" -> run_section "wire" wire
+  | "cluster" -> run_section "cluster" cluster_bench
   | "ablation" -> run_section "ablation" ablation
   | "bechamel" -> run_section "bechamel" bechamel
   | "all" ->
@@ -790,11 +978,13 @@ let () =
     run_section "scaling" scaling;
     run_section "chaos" chaos;
     run_section "wire" wire;
+    run_section "cluster" cluster_bench;
     run_section "ablation" ablation;
     run_section "bechamel" bechamel
   | other ->
     Printf.eprintf
-      "unknown section %S (table1|table2|attack|scaling|chaos|wire|ablation|bechamel|all)\n"
+      "unknown section %S \
+       (table1|table2|attack|scaling|chaos|wire|cluster|ablation|bechamel|all)\n"
       other;
     usage ());
   if !opt_metrics then run_section "metrics" metrics;

@@ -192,7 +192,26 @@ let cluster_cmd =
             "Path to the bca_node executable (default: next to this binary; the BCA_NODE \
              environment variable overrides).")
   in
-  let action stack eps inputs t_opt transport timeout node_exe seed =
+  let instances_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "instances" ] ~docv:"B"
+          ~doc:
+            "Concurrent agreement instances per node (pipelined executor with frame \
+             batching; inputs are derived from the seed, --inputs only fixes n).")
+  in
+  let batch_records_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "batch-records" ] ~doc:"Flush an open batch at this many records.")
+  in
+  let batch_bytes_arg =
+    Arg.(
+      value & opt int (32 * 1024)
+      & info [ "batch-bytes" ] ~doc:"... or when its record region reaches this size.")
+  in
+  let action stack eps inputs t_opt transport timeout node_exe seed instances batch_records
+      batch_bytes =
     match spec_of_string stack eps with
     | Error e ->
       prerr_endline e;
@@ -228,33 +247,65 @@ let cluster_cmd =
           node_exe;
         exit 1
       end;
-      (match
-         Cluster.spawn_cluster ~timeout_s:timeout ~node_exe ~stack ~eps ~cfg ~seed
-           ~inputs:input_arr ~transport ()
-       with
-      | Ok r ->
+      let header () =
         Format.printf "cluster:    %a over %s (n=%d processes, t=%d)@." Aba.pp_spec spec
           (match transport with `Unix -> "unix sockets" | `Tcp -> "tcp")
-          n t;
-        Format.printf "inputs:     %s@." inputs;
-        Format.printf "agreed:     %a@." Value.pp r.Cluster.c_value;
-        Format.printf "rounds:     %s@."
-          (String.concat " "
-             (Array.to_list (Array.map string_of_int r.Cluster.c_rounds)));
-        Format.printf "traffic:    %d frames, %d bytes (%d words)@." r.Cluster.c_stats.frames
-          r.Cluster.c_stats.bytes r.Cluster.c_stats.words
-      | Error e ->
-        prerr_endline e;
-        exit 1)
+          n t
+      in
+      if instances > 1 then begin
+        let policy =
+          try Bca_transport.Batcher.policy ~max_records:batch_records ~max_bytes:batch_bytes ()
+          with Invalid_argument e ->
+            prerr_endline e;
+            exit 1
+        in
+        match
+          Cluster.spawn_cluster_multi ~timeout_s:timeout ~policy ~node_exe ~stack ~eps ~cfg
+            ~seed ~instances ~transport ()
+        with
+        | Ok r ->
+          header ();
+          Format.printf "instances:  %d (inputs derived from seed %Ld)@." instances seed;
+          Format.printf "agreed:     %s@."
+            (String.init instances (fun k ->
+                 if Value.to_int r.Cluster.mc_values.(k) = 1 then '1' else '0'));
+          Format.printf "rounds:     %s@."
+            (String.concat " " (Array.to_list (Array.map string_of_int r.Cluster.mc_rounds)));
+          Format.printf "traffic:    %d batch frames carrying %d records, %d bytes (%d words)@."
+            r.Cluster.mc_batches r.Cluster.mc_records r.Cluster.mc_stats.bytes
+            r.Cluster.mc_stats.words
+        | Error e ->
+          prerr_endline e;
+          exit 1
+      end
+      else begin
+        match
+          Cluster.spawn_cluster ~timeout_s:timeout ~node_exe ~stack ~eps ~cfg ~seed
+            ~inputs:input_arr ~transport ()
+        with
+        | Ok r ->
+          header ();
+          Format.printf "inputs:     %s@." inputs;
+          Format.printf "agreed:     %a@." Value.pp r.Cluster.c_value;
+          Format.printf "rounds:     %s@."
+            (String.concat " "
+               (Array.to_list (Array.map string_of_int r.Cluster.c_rounds)));
+          Format.printf "traffic:    %d frames, %d bytes (%d words)@." r.Cluster.c_stats.frames
+            r.Cluster.c_stats.bytes r.Cluster.c_stats.words
+        | Error e ->
+          prerr_endline e;
+          exit 1
+      end
   in
   Cmd.v
     (Cmd.info "cluster"
        ~doc:
          "Run one binary agreement as n real node processes exchanging wire frames over \
-          Unix-domain or TCP sockets.")
+          Unix-domain or TCP sockets (with --instances B, a batched pipelined executor \
+          runs B agreements per node over one endpoint pair).")
     Term.(
       const action $ stack $ eps $ inputs $ t_arg $ transport $ timeout $ node_exe_arg
-      $ seed_arg)
+      $ seed_arg $ instances_arg $ batch_records_arg $ batch_bytes_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bca tables                                                           *)

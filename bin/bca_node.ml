@@ -8,16 +8,26 @@
 
      DECIDED pid=<me> value=<0|1> round=<r> frames=<sent> bytes=<sent>
 
-   line on stdout and exits 0; any failure (timeout, no decision, bad
-   arguments) goes to stderr with a non-zero exit. *)
+   line on stdout and exits 0.  With --instances B > 1 it runs the
+   pipelined multi-instance executor instead (inputs derived from the
+   seed, messages batched per destination) and prints one
+
+     MDECIDED pid=<me> values=<bits> rounds=<csv> frames=.. bytes=.. batches=.. records=..
+
+   line.  Any failure (timeout, no decision, bad arguments) goes to
+   stderr with a non-zero exit; losing a TCP bind race (EADDRINUSE) exits
+   with the dedicated code the launcher retries on. *)
 
 module Types = Bca_core.Types
 module Value = Bca_util.Value
 module Cluster = Bca_transport.Cluster
 module Transport = Bca_transport.Transport
+module Batcher = Bca_transport.Batcher
 
 let usage = "bca_node --stack S --n N --t T --me I --seed SEED --inputs BITS \
-             --transport unix|tcp --addrs a0,a1,... [--eps E] [--timeout S] [--linger S]"
+             --transport unix|tcp --addrs a0,a1,... [--eps E] [--timeout S] [--linger S] \
+             [--instances B] [--batch-records R] [--batch-bytes BY] \
+             [--sndbuf BY] [--rcvbuf BY] [--no-coalesce]"
 
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("bca_node: " ^ msg); exit 2) fmt
 
@@ -45,6 +55,12 @@ let () =
   let addrs = ref "" in
   let timeout = ref 30.0 in
   let linger = ref 1.0 in
+  let instances = ref 1 in
+  let batch_records = ref 64 in
+  let batch_bytes = ref (32 * 1024) in
+  let sndbuf = ref 0 in
+  let rcvbuf = ref 0 in
+  let no_coalesce = ref false in
   let spec_list =
     [ ("--stack", Arg.Set_string stack, "Protocol stack (crash-strong .. byz-tsig)");
       ("--eps", Arg.Set_float eps, "Coin goodness for the weak stacks");
@@ -52,18 +68,33 @@ let () =
       ("--t", Arg.Set_int t, "Fault bound");
       ("--me", Arg.Set_int me, "This party's pid");
       ("--seed", Arg.String (fun s -> seed := Int64.of_string s), "Deterministic seed");
-      ("--inputs", Arg.Set_string inputs, "One input bit per party");
+      ("--inputs", Arg.Set_string inputs, "One input bit per party (single-instance mode)");
       ("--transport", Arg.Set_string transport, "unix | tcp");
       ("--addrs", Arg.Set_string addrs, "Comma-separated address table, index = pid");
       ("--timeout", Arg.Set_float timeout, "Seconds before giving up");
-      ("--linger", Arg.Set_float linger, "Seconds to keep answering peers after deciding") ]
+      ("--linger", Arg.Set_float linger, "Seconds to keep answering peers after deciding");
+      ("--instances", Arg.Set_int instances, "Concurrent agreement instances (default 1)");
+      ("--batch-records", Arg.Set_int batch_records, "Flush a batch at this many records");
+      ("--batch-bytes", Arg.Set_int batch_bytes, "... or at this many record bytes");
+      ("--sndbuf", Arg.Set_int sndbuf, "SO_SNDBUF for every socket (0 = kernel default)");
+      ("--rcvbuf", Arg.Set_int rcvbuf, "SO_RCVBUF for every socket (0 = kernel default)");
+      ("--no-coalesce", Arg.Set no_coalesce, "Write frame-at-a-time (per-message baseline)") ]
   in
   Arg.parse spec_list (fun a -> die "unexpected argument %S" a) usage;
-  if !n = 0 then n := String.length !inputs;
-  if String.length !inputs <> !n then die "--inputs length %d <> n=%d" (String.length !inputs) !n;
+  let multi = !instances > 1 in
+  if !instances < 1 then die "--instances must be >= 1";
+  if multi then begin
+    if !inputs <> "" then die "--inputs is meaningless with --instances > 1 (inputs are derived)";
+    if !n = 0 then die "--n is required with --instances > 1"
+  end
+  else begin
+    if !n = 0 then n := String.length !inputs;
+    if String.length !inputs <> !n then
+      die "--inputs length %d <> n=%d" (String.length !inputs) !n;
+    String.iter (fun c -> if c <> '0' && c <> '1' then die "bad input bit %C" c) !inputs
+  end;
   if !me < 0 || !me >= !n then die "--me %d out of range for n=%d" !me !n;
   if !t < 0 then die "--t is required";
-  String.iter (fun c -> if c <> '0' && c <> '1' then die "bad input bit %C" c) !inputs;
   let addr_list = if !addrs = "" then [] else String.split_on_char ',' !addrs in
   if List.length addr_list <> !n then
     die "--addrs has %d entries, expected n=%d" (List.length addr_list) !n;
@@ -77,15 +108,42 @@ let () =
   | Error e -> die "%s" e
   | Ok spec ->
     let cfg = Types.cfg ~n:!n ~t:!t in
-    let input_arr = Array.init !n (fun i -> Value.of_bool (!inputs.[i] = '1')) in
-    let net = Transport.Socket.endpoint ~addrs:addr_arr ~me:!me () in
+    let opt r = if !r > 0 then Some !r else None in
+    let net =
+      try
+        Transport.Socket.endpoint ~coalesce:(not !no_coalesce) ?sndbuf_bytes:(opt sndbuf)
+          ?rcvbuf_bytes:(opt rcvbuf) ~addrs:addr_arr ~me:!me ()
+      with Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
+        prerr_endline
+          (Printf.sprintf "bca_node: address in use binding node %d (lost the port race)" !me);
+        exit Cluster.addr_in_use_exit
+    in
     let result =
-      Cluster.run_node ~seed:!seed ~timeout_s:!timeout ~linger_s:!linger spec ~cfg
-        ~inputs:input_arr ~net
+      if multi then begin
+        let policy =
+          try Ok (Batcher.policy ~max_records:!batch_records ~max_bytes:!batch_bytes ())
+          with Invalid_argument e -> Error e
+        in
+        match policy with
+        | Error e -> Error e
+        | Ok policy ->
+          Result.map
+            (fun d -> `Multi d)
+            (Cluster.run_node_multi ~seed:!seed ~timeout_s:!timeout ~linger_s:!linger ~policy
+               spec ~cfg ~instances:!instances ~net)
+      end
+      else begin
+        let input_arr = Array.init !n (fun i -> Value.of_bool (!inputs.[i] = '1')) in
+        Result.map
+          (fun d -> `Single d)
+          (Cluster.run_node ~seed:!seed ~timeout_s:!timeout ~linger_s:!linger spec ~cfg
+             ~inputs:input_arr ~net)
+      end
     in
     net.Transport.close ();
     (match result with
-    | Ok d -> Cluster.print_decision d
+    | Ok (`Single d) -> Cluster.print_decision d
+    | Ok (`Multi d) -> Cluster.print_multi_decision d
     | Error e ->
       prerr_endline ("bca_node: " ^ e);
       exit 1)

@@ -68,103 +68,132 @@ type 'm party_view = {
   v_party : party;
 }
 
-let build_and_drive (type r) ~tracer ~n ~coin ~wire ~(driver : r driver)
-    (mk : Types.pid -> 'm party_view) : r =
-  if Bca_obs.Trace.enabled tracer then
-    Coin.set_observer coin (fun ~round ~pid value ->
-        Bca_obs.Trace.emit tracer (Bca_obs.Event.Coin_reveal { pid; round; value }));
-  let parties = Array.init n mk in
-  let exec =
-    Async.create_traced ~tracer ~n ~make:(fun pid ->
-        let p = parties.(pid) in
-        (p.v_node, List.map (fun m -> Bca_netsim.Node.Broadcast m) p.v_initial))
-  in
-  driver.drive ~coin ~wire exec (Array.map (fun p -> p.v_party) parties)
+type 'm built = {
+  b_coin : Coin.t;
+  b_exec : 'm Async.t;
+  b_parties : party array;
+}
 
-let run_custom (type r) ?(seed = 0xB0CA1L) ?(tracer = Bca_obs.Trace.null) spec ~cfg ~inputs
-    ~(driver : r driver) : (r, string) Stdlib.result =
+type 'r spec_handler = {
+  handle :
+    'm.
+    wire:'m Bca_wire.Wire.codec ->
+    mk_instance:(seed:int64 -> inputs:Value.t array -> 'm built) ->
+    'r;
+}
+
+(* The six-way match is done once; everything seed-dependent (coin,
+   threshold keys, per-party state) lives behind [mk_instance], so a
+   handler can assemble any number of independent instances of the same
+   stack - all sharing the message type and wire codec.  [run_custom] is
+   the one-instance special case. *)
+let with_spec (type r) ?(tracer = Bca_obs.Trace.null) spec ~cfg ~(handler : r spec_handler) :
+    (r, string) Stdlib.result =
   let n = cfg.Types.n in
-  if Array.length inputs <> n then Error "inputs must have length n"
-  else begin
-    let coin_seed = Int64.add seed 0x5EEDL in
-    let degree = default_coin_degree spec ~t:cfg.Types.t in
-    try
-      match spec with
-      | Crash_strong ->
-        Types.check_crash_resilience cfg;
-        let coin = Coin.create Coin.Strong ~n ~degree ~seed:coin_seed in
-        let params =
-          { Crash_strong_stack.cfg; mode = `Crash; coin; bca_params = (fun ~round:_ -> cfg) }
-        in
-        Ok
-          (build_and_drive ~tracer ~n ~coin ~wire:Wirefmt.crash_strong ~driver (fun pid ->
-               let t, initial = Crash_strong_stack.create params ~me:pid ~input:inputs.(pid) in
-               { v_node = Crash_strong_stack.node t;
-                 v_initial = initial;
-                 v_party =
-                   { committed = (fun () -> Crash_strong_stack.committed t);
-                     commit_round = (fun () -> Crash_strong_stack.commit_round t);
-                     round = (fun () -> Crash_strong_stack.current_round t);
-                     phase = (fun () -> Crash_strong_stack.current_phase t) } }))
-      | Crash_weak _ | Crash_local ->
-        Types.check_crash_resilience cfg;
-        let kind =
-          match spec with
-          | Crash_weak eps -> Coin.Eps eps
-          | _ -> Coin.Local
-        in
-        let coin = Coin.create kind ~n ~degree ~seed:coin_seed in
-        let params =
-          { Crash_weak_stack.cfg; mode = `Crash; coin; bca_params = (fun ~round:_ -> cfg) }
-        in
-        Ok
-          (build_and_drive ~tracer ~n ~coin ~wire:Wirefmt.crash_weak ~driver (fun pid ->
-               let t, initial = Crash_weak_stack.create params ~me:pid ~input:inputs.(pid) in
-               { v_node = Crash_weak_stack.node t;
-                 v_initial = initial;
-                 v_party =
-                   { committed = (fun () -> Crash_weak_stack.committed t);
-                     commit_round = (fun () -> Crash_weak_stack.commit_round t);
-                     round = (fun () -> Crash_weak_stack.current_round t);
-                     phase = (fun () -> Crash_weak_stack.current_phase t) } }))
-      | Byz_strong ->
-        Types.check_byz_resilience cfg;
-        let coin = Coin.create Coin.Strong ~n ~degree ~seed:coin_seed in
-        let params =
-          { Byz_strong_stack.cfg; mode = `Byz; coin; bca_params = (fun ~round:_ -> cfg) }
-        in
-        Ok
-          (build_and_drive ~tracer ~n ~coin ~wire:Wirefmt.byz_strong ~driver (fun pid ->
-               let t, initial = Byz_strong_stack.create params ~me:pid ~input:inputs.(pid) in
-               { v_node = Byz_strong_stack.node t;
-                 v_initial = initial;
-                 v_party =
-                   { committed = (fun () -> Byz_strong_stack.committed t);
-                     commit_round = (fun () -> Byz_strong_stack.commit_round t);
-                     round = (fun () -> Byz_strong_stack.current_round t);
-                     phase = (fun () -> Byz_strong_stack.current_phase t) } }))
-      | Byz_weak eps ->
-        Types.check_byz_resilience cfg;
-        let coin = Coin.create (Coin.Eps eps) ~n ~degree ~seed:coin_seed in
-        let params =
-          { Byz_weak_stack.cfg; mode = `Byz; coin; bca_params = (fun ~round:_ -> cfg) }
-        in
-        Ok
-          (build_and_drive ~tracer ~n ~coin ~wire:Wirefmt.byz_weak ~driver (fun pid ->
-               let t, initial = Byz_weak_stack.create params ~me:pid ~input:inputs.(pid) in
-               { v_node = Byz_weak_stack.node t;
-                 v_initial = initial;
-                 v_party =
-                   { committed = (fun () -> Byz_weak_stack.committed t);
-                     commit_round = (fun () -> Byz_weak_stack.commit_round t);
-                     round = (fun () -> Byz_weak_stack.current_round t);
-                     phase = (fun () -> Byz_weak_stack.current_phase t) } }))
-      | Byz_tsig ->
-        Types.check_byz_resilience cfg;
-        let coin = Coin.create Coin.Strong ~n ~degree ~seed:coin_seed in
-        let setup, keys = Threshold.setup ~n ~seed:(Int64.add seed 0xC4F7L) in
-        Ok
-          (build_and_drive ~tracer ~n ~coin ~wire:Wirefmt.byz_tsig ~driver (fun pid ->
+  let degree = default_coin_degree spec ~t:cfg.Types.t in
+  let assemble (type m) ~(wire : m Bca_wire.Wire.codec)
+      ~(mk_coin : seed:int64 -> Coin.t)
+      (mk_parties :
+        coin:Coin.t -> seed:int64 -> inputs:Value.t array -> Types.pid -> m party_view) : r =
+    let mk_instance ~seed ~inputs =
+      if Array.length inputs <> n then invalid_arg "inputs must have length n";
+      let coin = mk_coin ~seed:(Int64.add seed 0x5EEDL) in
+      if Bca_obs.Trace.enabled tracer then
+        Coin.set_observer coin (fun ~round ~pid value ->
+            Bca_obs.Trace.emit tracer (Bca_obs.Event.Coin_reveal { pid; round; value }));
+      let parties = Array.init n (mk_parties ~coin ~seed ~inputs) in
+      let exec =
+        Async.create_traced ~tracer ~n ~make:(fun pid ->
+            let p = parties.(pid) in
+            (p.v_node, List.map (fun m -> Bca_netsim.Node.Broadcast m) p.v_initial))
+      in
+      { b_coin = coin; b_exec = exec; b_parties = Array.map (fun p -> p.v_party) parties }
+    in
+    handler.handle ~wire ~mk_instance
+  in
+  try
+    match spec with
+    | Crash_strong ->
+      Types.check_crash_resilience cfg;
+      Ok
+        (assemble ~wire:Wirefmt.crash_strong
+           ~mk_coin:(fun ~seed -> Coin.create Coin.Strong ~n ~degree ~seed)
+           (fun ~coin ~seed:_ ~inputs pid ->
+             let params =
+               { Crash_strong_stack.cfg; mode = `Crash; coin; bca_params = (fun ~round:_ -> cfg) }
+             in
+             let t, initial = Crash_strong_stack.create params ~me:pid ~input:inputs.(pid) in
+             { v_node = Crash_strong_stack.node t;
+               v_initial = initial;
+               v_party =
+                 { committed = (fun () -> Crash_strong_stack.committed t);
+                   commit_round = (fun () -> Crash_strong_stack.commit_round t);
+                   round = (fun () -> Crash_strong_stack.current_round t);
+                   phase = (fun () -> Crash_strong_stack.current_phase t) } }))
+    | Crash_weak _ | Crash_local ->
+      Types.check_crash_resilience cfg;
+      let kind =
+        match spec with
+        | Crash_weak eps -> Coin.Eps eps
+        | _ -> Coin.Local
+      in
+      Ok
+        (assemble ~wire:Wirefmt.crash_weak
+           ~mk_coin:(fun ~seed -> Coin.create kind ~n ~degree ~seed)
+           (fun ~coin ~seed:_ ~inputs pid ->
+             let params =
+               { Crash_weak_stack.cfg; mode = `Crash; coin; bca_params = (fun ~round:_ -> cfg) }
+             in
+             let t, initial = Crash_weak_stack.create params ~me:pid ~input:inputs.(pid) in
+             { v_node = Crash_weak_stack.node t;
+               v_initial = initial;
+               v_party =
+                 { committed = (fun () -> Crash_weak_stack.committed t);
+                   commit_round = (fun () -> Crash_weak_stack.commit_round t);
+                   round = (fun () -> Crash_weak_stack.current_round t);
+                   phase = (fun () -> Crash_weak_stack.current_phase t) } }))
+    | Byz_strong ->
+      Types.check_byz_resilience cfg;
+      Ok
+        (assemble ~wire:Wirefmt.byz_strong
+           ~mk_coin:(fun ~seed -> Coin.create Coin.Strong ~n ~degree ~seed)
+           (fun ~coin ~seed:_ ~inputs pid ->
+             let params =
+               { Byz_strong_stack.cfg; mode = `Byz; coin; bca_params = (fun ~round:_ -> cfg) }
+             in
+             let t, initial = Byz_strong_stack.create params ~me:pid ~input:inputs.(pid) in
+             { v_node = Byz_strong_stack.node t;
+               v_initial = initial;
+               v_party =
+                 { committed = (fun () -> Byz_strong_stack.committed t);
+                   commit_round = (fun () -> Byz_strong_stack.commit_round t);
+                   round = (fun () -> Byz_strong_stack.current_round t);
+                   phase = (fun () -> Byz_strong_stack.current_phase t) } }))
+    | Byz_weak eps ->
+      Types.check_byz_resilience cfg;
+      Ok
+        (assemble ~wire:Wirefmt.byz_weak
+           ~mk_coin:(fun ~seed -> Coin.create (Coin.Eps eps) ~n ~degree ~seed)
+           (fun ~coin ~seed:_ ~inputs pid ->
+             let params =
+               { Byz_weak_stack.cfg; mode = `Byz; coin; bca_params = (fun ~round:_ -> cfg) }
+             in
+             let t, initial = Byz_weak_stack.create params ~me:pid ~input:inputs.(pid) in
+             { v_node = Byz_weak_stack.node t;
+               v_initial = initial;
+               v_party =
+                 { committed = (fun () -> Byz_weak_stack.committed t);
+                   commit_round = (fun () -> Byz_weak_stack.commit_round t);
+                   round = (fun () -> Byz_weak_stack.current_round t);
+                   phase = (fun () -> Byz_weak_stack.current_phase t) } }))
+    | Byz_tsig ->
+      Types.check_byz_resilience cfg;
+      Ok
+        (assemble ~wire:Wirefmt.byz_tsig
+           ~mk_coin:(fun ~seed -> Coin.create Coin.Strong ~n ~degree ~seed)
+           (fun ~coin ~seed ~inputs ->
+             let setup, keys = Threshold.setup ~n ~seed:(Int64.add seed 0xC4F7L) in
+             fun pid ->
                let bca_params ~round =
                  { Bca_tsig.cfg; setup; key = keys.(pid); id = Printf.sprintf "aba/%d" round }
                in
@@ -177,8 +206,55 @@ let run_custom (type r) ?(seed = 0xB0CA1L) ?(tracer = Bca_obs.Trace.null) spec ~
                      commit_round = (fun () -> Byz_tsig_stack.commit_round t);
                      round = (fun () -> Byz_tsig_stack.current_round t);
                      phase = (fun () -> Byz_tsig_stack.current_phase t) } }))
-    with Invalid_argument msg -> Error msg
-  end
+  with Invalid_argument msg -> Error msg
+
+let run_custom (type r) ?(seed = 0xB0CA1L) ?(tracer = Bca_obs.Trace.null) spec ~cfg ~inputs
+    ~(driver : r driver) : (r, string) Stdlib.result =
+  if Array.length inputs <> cfg.Types.n then Error "inputs must have length n"
+  else
+    with_spec ~tracer spec ~cfg
+      ~handler:
+        { handle =
+            (fun ~wire ~mk_instance ->
+              let b = mk_instance ~seed ~inputs in
+              driver.drive ~coin:b.b_coin ~wire b.b_exec b.b_parties) }
+
+type 'm instance = {
+  i_id : int;
+  i_seed : int64;
+  i_coin : Coin.t;
+  i_exec : 'm Async.t;
+  i_parties : party array;
+}
+
+type 'r many_driver = {
+  drive_many : 'm. wire:'m Bca_wire.Wire.codec -> 'm instance array -> 'r;
+}
+
+let run_custom_many (type r) ?(tracer = Bca_obs.Trace.null) spec ~cfg ~seeds ~inputs
+    ~(driver : r many_driver) : (r, string) Stdlib.result =
+  if Array.length seeds < 1 then Error "run_custom_many: no instances"
+  else if Array.length seeds <> Array.length inputs then
+    Error "run_custom_many: seeds and inputs length mismatch"
+  else if Array.exists (fun iv -> Array.length iv <> cfg.Types.n) inputs then
+    Error "inputs must have length n"
+  else
+    with_spec ~tracer spec ~cfg
+      ~handler:
+        { handle =
+            (fun ~wire ~mk_instance ->
+              let insts =
+                Array.mapi
+                  (fun k seed ->
+                    let b = mk_instance ~seed ~inputs:inputs.(k) in
+                    { i_id = k;
+                      i_seed = seed;
+                      i_coin = b.b_coin;
+                      i_exec = b.b_exec;
+                      i_parties = b.b_parties })
+                  seeds
+              in
+              driver.drive_many ~wire insts) }
 
 let random_run_driver ~seed : (result, string) Stdlib.result driver =
   { drive =

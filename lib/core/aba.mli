@@ -124,3 +124,70 @@ val run_custom :
     party's first access to a round's coin.  Protocol milestones
     (round entries, phase quorums, commits) are polled by a [Probe] the
     driver installs; see {!Probe.create}. *)
+
+(** {1 Multi-instance assembly}
+
+    The pipelined cluster executor ([Bca_transport.Cluster]) runs B
+    independent agreement instances of one stack concurrently, multiplexed
+    over one transport.  All B instances share the message type and wire
+    codec; each has its own seed, coin, inputs, parties and executor.
+    {!with_spec} splits stack selection from instance construction so that
+    a driver can assemble as many instances as it wants under one
+    existential ['m]. *)
+
+type 'm built = {
+  b_coin : Bca_coin.Coin.t;
+  b_exec : 'm Bca_netsim.Async_exec.t;
+  b_parties : party array;
+}
+(** One assembled instance: the executor carries every party's initial
+    sends in flight, exactly as [run_custom] hands its driver. *)
+
+type 'r spec_handler = {
+  handle :
+    'm.
+    wire:'m Bca_wire.Wire.codec ->
+    mk_instance:(seed:int64 -> inputs:Bca_util.Value.t array -> 'm built) ->
+    'r;
+}
+(** Receives the stack's wire codec and an instance factory.  [mk_instance]
+    reproduces [run_custom]'s assembly byte for byte for a given seed -
+    same coin seed derivation, same threshold-key setup, same per-party
+    construction - and raises [Invalid_argument] on a bad input vector
+    (caught by {!with_spec}). *)
+
+val with_spec :
+  ?tracer:Bca_obs.Trace.t ->
+  spec ->
+  cfg:Types.cfg ->
+  handler:'r spec_handler ->
+  ('r, string) Stdlib.result
+(** Resolve [spec] to its stack (checking resilience) and hand the handler
+    the means to build instances.  {!run_custom} is the one-instance
+    wrapper; [run_custom_many] the B-instance one. *)
+
+type 'm instance = {
+  i_id : int;  (** index in the [seeds] array - the wire instance id *)
+  i_seed : int64;
+  i_coin : Bca_coin.Coin.t;
+  i_exec : 'm Bca_netsim.Async_exec.t;
+  i_parties : party array;
+}
+
+type 'r many_driver = {
+  drive_many : 'm. wire:'m Bca_wire.Wire.codec -> 'm instance array -> 'r;
+}
+
+val run_custom_many :
+  ?tracer:Bca_obs.Trace.t ->
+  spec ->
+  cfg:Types.cfg ->
+  seeds:int64 array ->
+  inputs:Bca_util.Value.t array array ->
+  driver:'r many_driver ->
+  ('r, string) Stdlib.result
+(** Assemble [Array.length seeds] independent instances of the same stack
+    (instance [k] built exactly as [run_custom ~seed:seeds.(k)
+    ~inputs:inputs.(k)] would) and hand them all to the driver.  [Error] on
+    zero instances, mismatched array lengths, a bad input vector, or a
+    resilience violation. *)

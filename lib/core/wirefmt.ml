@@ -273,7 +273,13 @@ let codec_id_of_spec_name = function
   | "byz-tsig" -> Some byz_tsig.Wire.id
   | _ -> None
 
+(* One reusable scratch encoding per process: word accounting runs once
+   per delivered message in the netsim metrics path, and a fresh buffer
+   per call was measurable there.  Not reentrant - fine, codec encoders
+   never call back into accounting. *)
+let body_words_scratch = Buffer.create 256
+
 let body_words codec m =
-  let buf = Buffer.create 32 in
-  codec.Wire.enc buf m;
-  Wire.words_of_bytes (Buffer.length buf)
+  Buffer.clear body_words_scratch;
+  codec.Wire.enc body_words_scratch m;
+  Wire.words_of_bytes (Buffer.length body_words_scratch)

@@ -55,5 +55,6 @@ val codec_id_of_spec_name : string -> int option
 
 val body_words : 'm Bca_wire.Wire.codec -> 'm -> int
 (** Paper-style word count of one message: its encoded body rounded up to
-    64-bit words.  Allocates a scratch encoding; bench/accounting use, not
-    a hot path. *)
+    64-bit words.  Encodes into one process-wide scratch buffer (reused,
+    never returned), so the accounting path allocates nothing per call.
+    Not reentrant; bench/accounting use. *)

@@ -30,12 +30,18 @@ type t = {
   drops : int;
   violations : int;
   decided_runs : int;
+  tx_frames : int;
+  tx_bytes : int;
+  rx_frames : int;
+  rx_bytes : int;
   per_round : round_stats IMap.t;
   phases : int SMap.t;
   (* bucket maps: key -> how many samples fell in that bucket *)
   decision_rounds : int IMap.t;  (* first-commit round, one sample per deciding run *)
   round_latency : int IMap.t;  (* deliveries between consecutive round entries *)
   coin_commit_gap : int IMap.t;  (* deliveries from commit-round coin reveal to commit *)
+  flush_bytes : int IMap.t;  (* batch frame sizes, one sample per batcher flush *)
+  batch_occupancy : int IMap.t;  (* records per batch frame, one sample per flush *)
 }
 
 let empty =
@@ -46,11 +52,17 @@ let empty =
     drops = 0;
     violations = 0;
     decided_runs = 0;
+    tx_frames = 0;
+    tx_bytes = 0;
+    rx_frames = 0;
+    rx_bytes = 0;
     per_round = IMap.empty;
     phases = SMap.empty;
     decision_rounds = IMap.empty;
     round_latency = IMap.empty;
     coin_commit_gap = IMap.empty;
+    flush_bytes = IMap.empty;
+    batch_occupancy = IMap.empty;
   }
 
 let bump map key = IMap.update key (fun c -> Some (1 + Option.value c ~default:0)) map
@@ -109,7 +121,15 @@ let add_run t events =
           { a with per_round = touch_round a.per_round round
                        (fun rs -> { rs with commits = rs.commits + 1 }) }
       | Event.Violation _ -> acc := { a with violations = a.violations + 1 }
-      | Event.Transport _ -> ())
+      | Event.Transport { op; bytes; _ } -> (
+        (* ops the socket transport and the batcher emit; anything else
+           (connect/retry/close/...) is connection bookkeeping, not traffic *)
+        match op with
+        | "tx" -> acc := { a with tx_frames = a.tx_frames + 1; tx_bytes = a.tx_bytes + bytes }
+        | "rx" -> acc := { a with rx_frames = a.rx_frames + 1; rx_bytes = a.rx_bytes + bytes }
+        | "flush" -> acc := { a with flush_bytes = bump a.flush_bytes bytes }
+        | "batch" -> acc := { a with batch_occupancy = bump a.batch_occupancy bytes }
+        | _ -> ()))
     events;
   let a = !acc in
   (* Per-round latency: deliveries between consecutive first entries. *)
@@ -142,12 +162,19 @@ let merge a b =
     drops = a.drops + b.drops;
     violations = a.violations + b.violations;
     decided_runs = a.decided_runs + b.decided_runs;
+    tx_frames = a.tx_frames + b.tx_frames;
+    tx_bytes = a.tx_bytes + b.tx_bytes;
+    rx_frames = a.rx_frames + b.rx_frames;
+    rx_bytes = a.rx_bytes + b.rx_bytes;
     per_round = IMap.union (fun _ x y -> Some (rs_add x y)) a.per_round b.per_round;
     phases = SMap.union (fun _ x y -> Some (x + y)) a.phases b.phases;
     decision_rounds = IMap.union (fun _ x y -> Some (x + y)) a.decision_rounds b.decision_rounds;
     round_latency = IMap.union (fun _ x y -> Some (x + y)) a.round_latency b.round_latency;
     coin_commit_gap =
       IMap.union (fun _ x y -> Some (x + y)) a.coin_commit_gap b.coin_commit_gap;
+    flush_bytes = IMap.union (fun _ x y -> Some (x + y)) a.flush_bytes b.flush_bytes;
+    batch_occupancy =
+      IMap.union (fun _ x y -> Some (x + y)) a.batch_occupancy b.batch_occupancy;
   }
 
 let runs t = t.runs
@@ -172,6 +199,10 @@ let hist_of_buckets buckets =
 let rounds_histogram t = hist_of_buckets t.decision_rounds
 let round_latency_histogram t = hist_of_buckets t.round_latency
 let coin_commit_gap_histogram t = hist_of_buckets t.coin_commit_gap
+let tx t = (t.tx_frames, t.tx_bytes)
+let rx t = (t.rx_frames, t.rx_bytes)
+let flush_bytes_histogram t = hist_of_buckets t.flush_bytes
+let batch_occupancy_histogram t = hist_of_buckets t.batch_occupancy
 
 let bucket_total buckets = IMap.fold (fun _ c acc -> acc + c) buckets 0
 
@@ -198,6 +229,15 @@ let pp ppf t =
   if bucket_total t.coin_commit_gap > 0 then
     Format.fprintf ppf "coin-reveal -> first-commit gap (deliveries) distribution:@,%a@,"
       Bca_util.Histogram.pp (coin_commit_gap_histogram t);
+  if t.tx_frames > 0 || t.rx_frames > 0 then
+    Format.fprintf ppf "transport: tx %d frames / %d bytes, rx %d frames / %d bytes@,"
+      t.tx_frames t.tx_bytes t.rx_frames t.rx_bytes;
+  if bucket_total t.flush_bytes > 0 then
+    Format.fprintf ppf "batch flush size (bytes) distribution:@,%a@," Bca_util.Histogram.pp
+      (flush_bytes_histogram t);
+  if bucket_total t.batch_occupancy > 0 then
+    Format.fprintf ppf "batch occupancy (records/frame) distribution:@,%a@,"
+      Bca_util.Histogram.pp (batch_occupancy_histogram t);
   Format.fprintf ppf "@]"
 
 let json_escape s =
@@ -255,5 +295,13 @@ let to_json t =
   Buffer.add_string buf (dist_json "round_latency_deliveries" t.round_latency);
   Buffer.add_char buf ',';
   Buffer.add_string buf (dist_json "coin_commit_gap_deliveries" t.coin_commit_gap);
+  Buffer.add_string buf
+    (Printf.sprintf
+       ",\"transport\":{\"tx_frames\":%d,\"tx_bytes\":%d,\"rx_frames\":%d,\"rx_bytes\":%d,"
+       t.tx_frames t.tx_bytes t.rx_frames t.rx_bytes);
+  Buffer.add_string buf (dist_json "flush_bytes" t.flush_bytes);
+  Buffer.add_char buf ',';
+  Buffer.add_string buf (dist_json "batch_occupancy_records" t.batch_occupancy);
+  Buffer.add_char buf '}';
   Buffer.add_char buf '}';
   Buffer.contents buf

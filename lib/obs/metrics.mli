@@ -74,6 +74,21 @@ val coin_commit_gap_histogram : t -> Bca_util.Histogram.t
     the observable window in which the paper's binding property is doing
     its work. *)
 
+val tx : t -> int * int
+(** Socket-transport frames and bytes sent ([Event.Transport] op ["tx"]).
+    All transport aggregates are zero for purely simulated runs. *)
+
+val rx : t -> int * int
+(** Socket-transport frames and bytes received (op ["rx"]). *)
+
+val flush_bytes_histogram : t -> Bca_util.Histogram.t
+(** Distribution of framed batch sizes in bytes, one sample per batcher
+    flush (op ["flush"] from [Bca_transport.Batcher]). *)
+
+val batch_occupancy_histogram : t -> Bca_util.Histogram.t
+(** Distribution of records per batch frame (op ["batch"]) - how full the
+    batches the flush policy produced actually were. *)
+
 val pp : Format.formatter -> t -> unit
 (** Human-readable report: totals, per-round table, phase counts, and the
     three distributions. *)

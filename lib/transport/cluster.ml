@@ -4,7 +4,9 @@ module Types = Bca_core.Types
 module Async = Bca_netsim.Async_exec
 module Node = Bca_netsim.Node
 module Wire = Bca_wire.Wire
+module Batch = Bca_wire.Batch
 module Value = Bca_util.Value
+module Rng = Bca_util.Rng
 
 let parse_stack ?(eps = 0.25) = function
   | "crash-strong" -> Ok Aba.Crash_strong
@@ -38,99 +40,207 @@ let all_stacks ?(eps = 0.25) () =
 
 type net_stats = { frames : int; bytes : int; words : int }
 
+(* ---- instance derivation -------------------------------------------- *)
+
+(* Weyl sequence over the golden-ratio constant: B well-separated seeds
+   from one, [k = 0] already distinct from [seed] itself so a multi run
+   never aliases the single run it is compared against. *)
+let instance_seed ~seed k =
+  Int64.add seed (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (k + 1)))
+
+let instance_inputs ~seed ~n k =
+  let rng = Rng.create (Int64.add (instance_seed ~seed k) 0x1B17L) in
+  Array.init n (fun _ -> Value.of_bool (Rng.bool rng))
+
 (* ---- single-process loopback cluster -------------------------------- *)
+
+let max_deliveries = 1_000_000
 
 (* Bit-identity with [Aba.run ~seed]: the netsim random scheduler draws one
    [Rng.int rng (pool length)] per delivery over a swap-remove pool that
-   grows in send order (broadcasts append dst 0, 1, ..., n-1).  The hub
+   grows in send order (broadcasts append dst 0, 1, ..., n-1).  The engine
    below is seeded with the same [seed], its pool is populated in the same
    order (initial envelopes replayed by eid, then each delivery's emits in
    emission order), and [Loopback.step] draws the same way - so the frame
    chosen at step [k] is the envelope the simulator would have delivered at
    step [k], and the protocol states evolve identically even though every
-   hop here round-trips through the binary codec. *)
+   hop here round-trips through the binary codec.
+
+   The engine is resumable one delivery at a time so that
+   [run_loopback_multi] can interleave B of them round-robin: each engine
+   owns its hub (and hence its RNG), executor and scratch buffer, so the
+   per-instance delivery sequence is independent of the interleaving. *)
+type 'm loop_engine = {
+  le_hub : Transport.Loopback.hub;
+  le_ends : Transport.t array;
+  le_wire : 'm Wire.codec;
+  le_exec : 'm Async.t;
+  le_parties : Aba.party array;
+  le_scratch : Buffer.t;
+  mutable le_delivered : int;
+  mutable le_words : int;
+}
+
+let loop_ship eng ~src ~dst s =
+  eng.le_ends.(src).Transport.send ~dst s;
+  eng.le_words <- eng.le_words + Wire.words_of_bytes (String.length s)
+
+let loop_emits eng src emits =
+  let n = Array.length eng.le_ends in
+  List.iter
+    (fun emit ->
+      match emit with
+      | Node.Broadcast m ->
+        let s = Wire.encode_buf eng.le_wire ~sender:src ~scratch:eng.le_scratch m in
+        for d = 0 to n - 1 do
+          loop_ship eng ~src ~dst:d s
+        done
+      | Node.Unicast (d, m) ->
+        loop_ship eng ~src ~dst:d
+          (Wire.encode_buf eng.le_wire ~sender:src ~scratch:eng.le_scratch m))
+    emits
+
+let loop_make ~seed ~wire ~exec ~parties =
+  let n = Async.n exec in
+  let hub = Transport.Loopback.create_hub ~seed ~n () in
+  let eng =
+    { le_hub = hub;
+      le_ends = Array.init n (fun me -> Transport.Loopback.endpoint hub ~me);
+      le_wire = wire;
+      le_exec = exec;
+      le_parties = parties;
+      le_scratch = Buffer.create 256;
+      le_delivered = 0;
+      le_words = 0 }
+  in
+  List.iter
+    (fun e ->
+      loop_ship eng ~src:e.Async.src ~dst:e.Async.dst
+        (Wire.encode_buf wire ~sender:e.Async.src ~scratch:eng.le_scratch e.Async.payload))
+    (List.sort (fun a b -> Int.compare a.Async.eid b.Async.eid) (Async.inflight exec));
+  eng
+
+(* One delivery.  [Ok true]: still running; [Ok false]: all terminated. *)
+let loop_step eng =
+  if Async.all_terminated eng.le_exec then Ok false
+  else
+    match Transport.Loopback.step eng.le_hub with
+    | None -> Error "network quiesced before termination (liveness bug)"
+    | Some (dst, f) -> (
+      eng.le_delivered <- eng.le_delivered + 1;
+      match Wire.decode_body eng.le_wire f with
+      | Error e ->
+        Error (Printf.sprintf "codec failure in flight: %s" (Wire.error_to_string e))
+      | Ok m ->
+        loop_emits eng dst ((Async.node_of eng.le_exec dst).Node.receive ~src:f.Wire.sender m);
+        Ok true)
+
+let loop_finish eng =
+  let parties = eng.le_parties in
+  let missing = ref false in
+  let commits =
+    Array.map
+      (fun (p : Aba.party) ->
+        match p.committed () with
+        | Some v -> v
+        | None ->
+          missing := true;
+          Value.of_bool false)
+      parties
+  in
+  if !missing then Error "terminated without commit (bug)"
+  else begin
+    let value = commits.(0) in
+    if not (Array.for_all (Value.equal value) commits) then Error "agreement violated (bug)"
+    else begin
+      let frames = Array.fold_left (fun a e -> a + e.Transport.stats.frames_out) 0 eng.le_ends in
+      let bytes = Array.fold_left (fun a e -> a + e.Transport.stats.bytes_out) 0 eng.le_ends in
+      Ok
+        ( { Aba.value;
+            commits;
+            deliveries = eng.le_delivered;
+            rounds =
+              Array.fold_left (fun acc (p : Aba.party) -> max acc (p.round ())) 0 parties },
+          { frames; bytes; words = eng.le_words } )
+    end
+  end
+
 let run_loopback ?(seed = 0xB0CA1L) spec ~cfg ~inputs =
-  let max_deliveries = 1_000_000 in
   let driver =
     { Aba.drive =
         (fun ~coin:_ ~wire exec parties ->
-          let n = Async.n exec in
-          let hub = Transport.Loopback.create_hub ~seed ~n () in
-          let ends = Array.init n (fun me -> Transport.Loopback.endpoint hub ~me) in
-          let words = ref 0 in
-          let ship ~src ~dst s =
-            ends.(src).Transport.send ~dst s;
-            words := !words + Wire.words_of_bytes (String.length s)
-          in
-          let init =
-            List.sort
-              (fun a b -> Int.compare a.Async.eid b.Async.eid)
-              (Async.inflight exec)
-          in
-          List.iter
-            (fun e ->
-              ship ~src:e.Async.src ~dst:e.Async.dst
-                (Wire.encode wire ~sender:e.Async.src e.Async.payload))
-            init;
-          let delivered = ref 0 in
-          let do_emits src emits =
-            List.iter
-              (fun emit ->
-                match emit with
-                | Node.Broadcast m ->
-                  let s = Wire.encode wire ~sender:src m in
-                  for d = 0 to n - 1 do
-                    ship ~src ~dst:d s
-                  done
-                | Node.Unicast (d, m) -> ship ~src ~dst:d (Wire.encode wire ~sender:src m))
-              emits
-          in
-          let rec loop () =
-            if Async.all_terminated exec then Ok ()
-            else if !delivered >= max_deliveries then
+          let eng = loop_make ~seed ~wire ~exec ~parties in
+          let rec go () =
+            if eng.le_delivered >= max_deliveries then
               Error "delivery limit reached before termination"
             else
-              match Transport.Loopback.step hub with
-              | None -> Error "network quiesced before termination (liveness bug)"
-              | Some (dst, f) -> (
-                incr delivered;
-                match Wire.decode_body wire f with
-                | Error e ->
-                  Error (Printf.sprintf "codec failure in flight: %s" (Wire.error_to_string e))
-                | Ok m ->
-                  do_emits dst ((Async.node_of exec dst).Node.receive ~src:f.Wire.sender m);
-                  loop ())
+              match loop_step eng with
+              | Error _ as e -> e
+              | Ok true -> go ()
+              | Ok false -> loop_finish eng
           in
-          match loop () with
-          | Error _ as e -> e
-          | Ok () ->
-            let commits =
-              Array.map
-                (fun (p : Aba.party) ->
-                  match p.committed () with
-                  | Some v -> v
-                  | None -> invalid_arg "terminated without commit")
-                parties
-            in
-            let value = commits.(0) in
-            if not (Array.for_all (Value.equal value) commits) then
-              Error "agreement violated (bug)"
-            else begin
-              let frames = Array.fold_left (fun a e -> a + e.Transport.stats.frames_out) 0 ends in
-              let bytes = Array.fold_left (fun a e -> a + e.Transport.stats.bytes_out) 0 ends in
-              Ok
-                ( { Aba.value;
-                    commits;
-                    deliveries = !delivered;
-                    rounds =
-                      Array.fold_left (fun acc (p : Aba.party) -> max acc (p.round ())) 0 parties },
-                  { frames; bytes; words = !words } )
-            end)
+          go ())
     }
   in
   match Aba.run_custom ~seed spec ~cfg ~inputs ~driver with
   | Error _ as e -> e
   | Ok r -> r
+
+let run_loopback_multi ?(seed = 0xB0CA1L) spec ~cfg ~instances =
+  if instances < 1 then Error "instances must be >= 1"
+  else begin
+    let n = cfg.Types.n in
+    let seeds = Array.init instances (instance_seed ~seed) in
+    let inputs = Array.init instances (instance_inputs ~seed ~n) in
+    let driver =
+      { Aba.drive_many =
+          (fun ~wire insts ->
+            let engines =
+              Array.map
+                (fun (inst : _ Aba.instance) ->
+                  loop_make ~seed:inst.Aba.i_seed ~wire ~exec:inst.Aba.i_exec
+                    ~parties:inst.Aba.i_parties)
+                insts
+            in
+            let b = Array.length engines in
+            let running = Array.make b true in
+            let live = ref b in
+            let err = ref None in
+            (* round-robin, one delivery per live engine per sweep *)
+            while !live > 0 && !err = None do
+              Array.iteri
+                (fun k eng ->
+                  if running.(k) && !err = None then
+                    if eng.le_delivered >= max_deliveries then
+                      err :=
+                        Some
+                          (Printf.sprintf "instance %d: delivery limit reached before termination" k)
+                    else
+                      match loop_step eng with
+                      | Error e -> err := Some (Printf.sprintf "instance %d: %s" k e)
+                      | Ok true -> ()
+                      | Ok false ->
+                        running.(k) <- false;
+                        decr live)
+                engines
+            done;
+            match !err with
+            | Some e -> Error e
+            | None ->
+              let rec collect k acc =
+                if k < 0 then Ok (Array.of_list acc)
+                else
+                  match loop_finish engines.(k) with
+                  | Error e -> Error (Printf.sprintf "instance %d: %s" k e)
+                  | Ok r -> collect (k - 1) (r :: acc)
+              in
+              collect (b - 1) [])
+      }
+    in
+    match Aba.run_custom_many spec ~cfg ~seeds ~inputs ~driver with
+    | Error _ as e -> e
+    | Ok r -> r
+  end
 
 (* ---- one party over a socket transport ------------------------------ *)
 
@@ -171,6 +281,7 @@ let run_node ?(seed = 0xB0CA1L) ?(timeout_s = 30.) ?(linger_s = 1.0)
           if n <> net.Transport.n then invalid_arg "Cluster.run_node: transport size mismatch";
           let node = Async.node_of exec me in
           let party = parties.(me) in
+          let scratch = Buffer.create 256 in
           (* self-addressed messages never touch the network: FIFO local
              delivery, a valid asynchronous schedule *)
           let local : (int * _) Queue.t = Queue.create () in
@@ -179,13 +290,13 @@ let run_node ?(seed = 0xB0CA1L) ?(timeout_s = 30.) ?(linger_s = 1.0)
               (fun emit ->
                 match emit with
                 | Node.Broadcast m ->
-                  let s = Wire.encode wire ~sender:me m in
+                  let s = Wire.encode_buf wire ~sender:me ~scratch m in
                   for d = 0 to n - 1 do
                     if d = me then Queue.push (me, m) local else net.Transport.send ~dst:d s
                   done
                 | Node.Unicast (d, m) ->
                   if d = me then Queue.push (me, m) local
-                  else net.Transport.send ~dst:d (Wire.encode wire ~sender:me m))
+                  else net.Transport.send ~dst:d (Wire.encode_buf wire ~sender:me ~scratch m))
               emits
           in
           (* our initial sends are the src=me envelopes of the assembled
@@ -196,7 +307,7 @@ let run_node ?(seed = 0xB0CA1L) ?(timeout_s = 30.) ?(linger_s = 1.0)
                 if e.Async.dst = me then Queue.push (me, e.Async.payload) local
                 else
                   net.Transport.send ~dst:e.Async.dst
-                    (Wire.encode wire ~sender:me e.Async.payload))
+                    (Wire.encode_buf wire ~sender:me ~scratch e.Async.payload))
             (List.sort (fun a b -> Int.compare a.Async.eid b.Async.eid) (Async.inflight exec));
           let deliver_frame f =
             match Wire.decode_body wire f with
@@ -263,12 +374,256 @@ let run_node ?(seed = 0xB0CA1L) ?(timeout_s = 30.) ?(linger_s = 1.0)
   | Error _ as e -> e
   | Ok r -> r
 
-(* ---- multi-process launcher ----------------------------------------- *)
+(* ---- pipelined multi-instance node ---------------------------------- *)
 
-type cluster_result = {
-  c_value : Value.t;
-  c_rounds : int array;
-  c_stats : net_stats;
+(* One process driving party [me] of B concurrent instances over one
+   endpoint: every outbound message is a record in a per-destination batch
+   ([Batcher]); every inbound frame is a batch demultiplexed by instance
+   id.  A batch is validated in full - instance ids in range, every record
+   decoding with the stack codec, inner id matching - before any message is
+   delivered, so a corrupt batch is dropped atomically. *)
+type 'm mnode = {
+  mn_me : int;
+  mn_wire : 'm Wire.codec;
+  mn_insts : 'm Aba.instance array;
+  mn_nodes : 'm Node.t array;  (** party [mn_me] of each instance *)
+  mn_net : Transport.t;
+  mn_bat : Batcher.t;
+  mn_local : (int * int * 'm) Queue.t;  (** (instance, src, message) *)
+  mn_done : bool array;
+  mutable mn_undecided : int;
+}
+
+let mnode_emits mn k emits =
+  let wire = mn.mn_wire in
+  List.iter
+    (fun emit ->
+      match emit with
+      | Node.Broadcast m ->
+        Queue.push (k, mn.mn_me, m) mn.mn_local;
+        Batcher.broadcast ~except:mn.mn_me mn.mn_bat ~instance:k ~enc:(fun b -> wire.Wire.enc b m)
+      | Node.Unicast (d, m) ->
+        if d = mn.mn_me then Queue.push (k, mn.mn_me, m) mn.mn_local
+        else Batcher.send mn.mn_bat ~dst:d ~instance:k ~enc:(fun b -> wire.Wire.enc b m))
+    emits
+
+let mnode_check_done mn k =
+  if (not mn.mn_done.(k)) && mn.mn_nodes.(k).Node.terminated () then begin
+    mn.mn_done.(k) <- true;
+    mn.mn_undecided <- mn.mn_undecided - 1
+  end
+
+let mnode_deliver mn ~instance:k ~src m =
+  mnode_emits mn k (mn.mn_nodes.(k).Node.receive ~src m);
+  mnode_check_done mn k
+
+let mnode_dispatch mn (v : Wire.view) =
+  let drop () = mn.mn_net.Transport.stats.drops <- mn.mn_net.Transport.stats.drops + 1 in
+  if v.Wire.v_codec_id <> Batch.codec_id then drop ()
+  else begin
+    let src = v.Wire.v_sender in
+    let batch = ref [] in
+    match
+      Batch.iter_view v ~record:(fun ~instance g ->
+          if instance >= Array.length mn.mn_nodes then
+            raise (Wire.Get.Malformed "batch record: instance id out of range");
+          let m = mn.mn_wire.Wire.dec g in
+          Wire.Get.expect_end g;
+          batch := (instance, m) :: !batch)
+    with
+    | Ok (inner, _count) when inner = mn.mn_wire.Wire.id ->
+      List.iter (fun (k, m) -> mnode_deliver mn ~instance:k ~src m) (List.rev !batch)
+    | Ok _ | Error _ -> drop ()
+  end
+
+let mnode_make ?tracer ?policy ~wire ~(insts : _ Aba.instance array) ~(net : Transport.t) () =
+  let me = net.Transport.me in
+  let b = Array.length insts in
+  let mn =
+    { mn_me = me;
+      mn_wire = wire;
+      mn_insts = insts;
+      mn_nodes = Array.map (fun (inst : _ Aba.instance) -> Async.node_of inst.Aba.i_exec me) insts;
+      mn_net = net;
+      mn_bat = Batcher.create ?tracer ?policy ~inner_codec_id:wire.Wire.id net;
+      mn_local = Queue.create ();
+      mn_done = Array.make b false;
+      mn_undecided = b }
+  in
+  (* ship every instance's initial src=me envelopes, in send (eid) order *)
+  Array.iteri
+    (fun k (inst : _ Aba.instance) ->
+      List.iter
+        (fun e ->
+          if e.Async.src = me then
+            if e.Async.dst = me then Queue.push (k, me, e.Async.payload) mn.mn_local
+            else
+              Batcher.send mn.mn_bat ~dst:e.Async.dst ~instance:k
+                ~enc:(fun buf -> wire.Wire.enc buf e.Async.payload))
+        (List.sort (fun a b -> Int.compare a.Async.eid b.Async.eid) (Async.inflight inst.Aba.i_exec));
+      mnode_check_done mn k)
+    insts;
+  mn
+
+(* One scheduling slice: drain local self-delivery, take at most one
+   inbound batch, drain again, then flush the open batches so nothing
+   waits on future traffic.  Returns whether any message moved. *)
+let mnode_step mn ~timeout_s =
+  let progressed = ref false in
+  let drain () =
+    while not (Queue.is_empty mn.mn_local) do
+      let k, src, m = Queue.pop mn.mn_local in
+      mnode_deliver mn ~instance:k ~src m;
+      progressed := true
+    done
+  in
+  drain ();
+  (match mn.mn_net.Transport.recv_view ~timeout_s with
+  | Some v ->
+    mnode_dispatch mn v;
+    progressed := true;
+    drain ()
+  | None -> ());
+  Batcher.flush mn.mn_bat;
+  !progressed
+
+type multi_decision = {
+  md_pid : int;
+  md_values : Value.t array;
+  md_rounds : int array;
+  md_frames : int;
+  md_bytes : int;
+  md_batches : int;
+  md_records : int;
+}
+
+let print_multi_decision d =
+  Printf.printf "MDECIDED pid=%d values=%s rounds=%s frames=%d bytes=%d batches=%d records=%d\n%!"
+    d.md_pid
+    (String.init (Array.length d.md_values) (fun i ->
+         if Value.to_int d.md_values.(i) = 1 then '1' else '0'))
+    (String.concat "," (Array.to_list (Array.map string_of_int d.md_rounds)))
+    d.md_frames d.md_bytes d.md_batches d.md_records
+
+let parse_multi_decision line =
+  match
+    Scanf.sscanf line "MDECIDED pid=%d values=%s rounds=%s frames=%d bytes=%d batches=%d records=%d"
+      (fun pid values rounds frames bytes batches records ->
+        (pid, values, rounds, frames, bytes, batches, records))
+  with
+  | exception Scanf.Scan_failure _ -> None
+  | exception End_of_file -> None
+  | exception Failure _ -> None
+  | pid, values, rounds, frames, bytes, batches, records ->
+    if values = "" || not (String.for_all (fun c -> c = '0' || c = '1') values) then None
+    else begin
+      let round_list = String.split_on_char ',' rounds |> List.map int_of_string_opt in
+      if List.exists (fun r -> r = None) round_list then None
+      else begin
+        let md_rounds = Array.of_list (List.filter_map Fun.id round_list) in
+        if Array.length md_rounds <> String.length values then None
+        else
+          Some
+            { md_pid = pid;
+              md_values =
+                Array.init (String.length values) (fun i -> Value.of_bool (values.[i] = '1'));
+              md_rounds;
+              md_frames = frames;
+              md_bytes = bytes;
+              md_batches = batches;
+              md_records = records }
+      end
+    end
+
+let mnode_collect mn =
+  let me = mn.mn_me in
+  let b = Array.length mn.mn_insts in
+  let values = Array.make b (Value.of_bool false) in
+  let rounds = Array.make b 0 in
+  let missing = ref [] in
+  Array.iteri
+    (fun k (inst : _ Aba.instance) ->
+      let p = inst.Aba.i_parties.(me) in
+      match p.Aba.committed () with
+      | Some v ->
+        values.(k) <- v;
+        rounds.(k) <- (match p.Aba.commit_round () with Some r -> r | None -> 0)
+      | None -> missing := k :: !missing)
+    mn.mn_insts;
+  if !missing <> [] then
+    Error
+      (Printf.sprintf "node %d: instance(s) %s terminated without committing" me
+         (String.concat ", " (List.rev_map string_of_int !missing)))
+  else begin
+    let bst = Batcher.stats mn.mn_bat in
+    Ok
+      { md_pid = me;
+        md_values = values;
+        md_rounds = rounds;
+        md_frames = mn.mn_net.Transport.stats.frames_out;
+        md_bytes = mn.mn_net.Transport.stats.bytes_out;
+        md_batches = bst.Batcher.batches;
+        md_records = bst.Batcher.records }
+  end
+
+let run_node_multi ?(seed = 0xB0CA1L) ?(timeout_s = 30.) ?(linger_s = 1.0)
+    ?(tracer = Bca_obs.Trace.null) ?policy spec ~cfg ~instances ~(net : Transport.t) =
+  if instances < 1 then Error "instances must be >= 1"
+  else begin
+    let n = cfg.Types.n in
+    let seeds = Array.init instances (instance_seed ~seed) in
+    let inputs = Array.init instances (instance_inputs ~seed ~n) in
+    let driver =
+      { Aba.drive_many =
+          (fun ~wire insts ->
+            if n <> net.Transport.n then
+              invalid_arg "Cluster.run_node_multi: transport size mismatch";
+            let mn = mnode_make ~tracer ?policy ~wire ~insts ~net () in
+            let deadline = Unix.gettimeofday () +. timeout_s in
+            let rec loop () =
+              if mn.mn_undecided = 0 then Ok ()
+              else if Unix.gettimeofday () >= deadline then
+                Error
+                  (Printf.sprintf "node %d timed out after %.1fs with %d/%d instances undecided"
+                     mn.mn_me timeout_s mn.mn_undecided instances)
+              else begin
+                ignore (mnode_step mn ~timeout_s:0.02);
+                loop ()
+              end
+            in
+            match loop () with
+            | Error _ as e -> e
+            | Ok () ->
+              let linger_until = Unix.gettimeofday () +. linger_s in
+              ignore (net.Transport.flush ~timeout_s:linger_s);
+              let rec linger () =
+                let now = Unix.gettimeofday () in
+                if now < linger_until then begin
+                  ignore (mnode_step mn ~timeout_s:(Float.min 0.05 (linger_until -. now)));
+                  linger ()
+                end
+              in
+              linger ();
+              ignore (net.Transport.flush ~timeout_s:0.5);
+              mnode_collect mn)
+      }
+    in
+    match Aba.run_custom_many ~tracer spec ~cfg ~seeds ~inputs ~driver with
+    | Error _ as e -> e
+    | Ok r -> r
+  end
+
+(* ---- in-process socket cluster (the bench harness) ------------------ *)
+
+type inproc_result = {
+  ir_values : Value.t array;
+  ir_rounds : int array;
+  ir_frames : int;
+  ir_bytes : int;
+  ir_writes : int;
+  ir_batches : int;
+  ir_records : int;
+  ir_max_occupancy : int;
 }
 
 let cluster_counter = ref 0
@@ -280,145 +635,428 @@ let rm_rf_dir dir =
     (try Unix.rmdir dir with Unix.Unix_error _ -> ())
   | exception Sys_error _ -> ()
 
+let fresh_unix_dir () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bca-cluster-%d-%d" (Unix.getpid ()) !cluster_counter)
+  in
+  Unix.mkdir dir 0o700;
+  dir
+
+(* Build all [n] endpoints or none: a failure mid-way (a bound port stolen
+   between pick and bind) closes the ones already open before re-raising,
+   so a retry starts clean. *)
+let make_endpoints ~coalesce ?sndbuf_bytes ?rcvbuf_bytes ~addrs ~n () =
+  let ends = ref [] in
+  (try
+     for me = 0 to n - 1 do
+       ends :=
+         Transport.Socket.endpoint ~coalesce ?sndbuf_bytes ?rcvbuf_bytes
+           ~max_queue_bytes:(8 * 1024 * 1024) ~addrs ~me ()
+         :: !ends
+     done
+   with e ->
+     List.iter (fun (ep : Transport.t) -> ep.Transport.close ()) !ends;
+     raise e);
+  Array.of_list (List.rev !ends)
+
+let run_inproc_cluster ?(seed = 0xB0CA1L) ?policy ?(coalesce = true) ?sndbuf_bytes ?rcvbuf_bytes
+    ?(timeout_s = 60.) spec ~cfg ~instances ~transport =
+  if instances < 1 then Error "instances must be >= 1"
+  else begin
+    let n = cfg.Types.n in
+    let seeds = Array.init instances (instance_seed ~seed) in
+    let inputs = Array.init instances (instance_inputs ~seed ~n) in
+    let attempt () =
+      incr cluster_counter;
+      let cleanup = ref (fun () -> ()) in
+      let addrs =
+        match transport with
+        | `Unix ->
+          let dir = fresh_unix_dir () in
+          cleanup := (fun () -> rm_rf_dir dir);
+          Transport.Socket.unix_addrs ~dir ~n
+        | `Tcp -> Transport.Socket.tcp_addrs ~ports:(Transport.Socket.pick_tcp_ports ~n)
+      in
+      let driver =
+        { Aba.drive_many =
+            (fun ~wire insts ->
+              let ends =
+                try Ok (make_endpoints ~coalesce ?sndbuf_bytes ?rcvbuf_bytes ~addrs ~n ())
+                with Unix.Unix_error (e, fn, _) ->
+                  Error (`Bind (e, Printf.sprintf "%s: %s" fn (Unix.error_message e)))
+              in
+              match ends with
+              | Error _ as e -> e
+              | Ok ends ->
+                let mns = Array.map (fun net -> mnode_make ?policy ~wire ~insts ~net ()) ends in
+                let finish () =
+                  Array.iter (fun (ep : Transport.t) -> ignore (ep.Transport.flush ~timeout_s:0.5)) ends;
+                  Array.iter (fun (ep : Transport.t) -> ep.Transport.close ()) ends
+                in
+                let deadline = Unix.gettimeofday () +. timeout_s in
+                let rec loop () =
+                  if Array.for_all (fun mn -> mn.mn_undecided = 0) mns then Ok ()
+                  else if Unix.gettimeofday () >= deadline then
+                    Error
+                      (`Run
+                        (Printf.sprintf "in-process cluster timed out after %.1fs (%d/%d undecided at node 0)"
+                           timeout_s mns.(0).mn_undecided instances))
+                  else begin
+                    let progressed = ref false in
+                    Array.iter
+                      (fun mn -> if mnode_step mn ~timeout_s:0. then progressed := true)
+                      mns;
+                    if not !progressed then ignore (Unix.select [] [] [] 0.001);
+                    loop ()
+                  end
+                in
+                let outcome = loop () in
+                finish ();
+                (match outcome with
+                | Error _ as e -> e
+                | Ok () ->
+                  (* every mnode decided every instance: check cluster-wide
+                     agreement per instance across the shared parties *)
+                  let values = Array.make instances (Value.of_bool false) in
+                  let rounds = Array.make instances 0 in
+                  let bad = ref None in
+                  Array.iteri
+                    (fun k (inst : _ Aba.instance) ->
+                      let commits =
+                        Array.map
+                          (fun (p : Aba.party) ->
+                            match p.Aba.committed () with Some v -> Some v | None -> None)
+                          inst.Aba.i_parties
+                      in
+                      if Array.exists (fun c -> c = None) commits then begin
+                        if !bad = None then
+                          bad := Some (Printf.sprintf "instance %d: party terminated without commit" k)
+                      end
+                      else begin
+                        let cs = Array.to_list commits |> List.filter_map Fun.id in
+                        match cs with
+                        | [] -> if !bad = None then bad := Some "empty cluster"
+                        | v0 :: rest ->
+                          if not (List.for_all (Value.equal v0) rest) then begin
+                            if !bad = None then
+                              bad := Some (Printf.sprintf "instance %d: DISAGREEMENT - protocol bug" k)
+                          end
+                          else begin
+                            values.(k) <- v0;
+                            rounds.(k) <-
+                              Array.fold_left
+                                (fun acc (p : Aba.party) ->
+                                  max acc (match p.Aba.commit_round () with Some r -> r | None -> 0))
+                                0 inst.Aba.i_parties
+                          end
+                      end)
+                    insts;
+                  (match !bad with
+                  | Some e -> Error (`Run e)
+                  | None ->
+                    let frames =
+                      Array.fold_left (fun a (ep : Transport.t) -> a + ep.Transport.stats.frames_out) 0 ends
+                    in
+                    let bytes =
+                      Array.fold_left (fun a (ep : Transport.t) -> a + ep.Transport.stats.bytes_out) 0 ends
+                    in
+                    let writes =
+                      Array.fold_left (fun a (ep : Transport.t) -> a + ep.Transport.stats.writes) 0 ends
+                    in
+                    let batches = ref 0 and records = ref 0 and occ = ref 0 in
+                    Array.iter
+                      (fun mn ->
+                        let st = Batcher.stats mn.mn_bat in
+                        batches := !batches + st.Batcher.batches;
+                        records := !records + st.Batcher.records;
+                        occ := max !occ st.Batcher.max_occupancy)
+                      mns;
+                    Ok
+                      { ir_values = values;
+                        ir_rounds = rounds;
+                        ir_frames = frames;
+                        ir_bytes = bytes;
+                        ir_writes = writes;
+                        ir_batches = !batches;
+                        ir_records = !records;
+                        ir_max_occupancy = !occ })))
+        }
+      in
+      let r = Aba.run_custom_many spec ~cfg ~seeds ~inputs ~driver in
+      !cleanup ();
+      r
+    in
+    (* a picked TCP port can be stolen between pick and bind: retry the
+       whole attempt (fresh ports, fresh assembly) a couple of times *)
+    let rec go tries =
+      match attempt () with
+      | Ok (Ok r) -> Ok r
+      | Ok (Error (`Run e)) -> Error e
+      | Ok (Error (`Bind (Unix.EADDRINUSE, _))) when transport = `Tcp && tries < 3 ->
+        go (tries + 1)
+      | Ok (Error (`Bind (_, msg))) -> Error (Printf.sprintf "endpoint setup failed: %s" msg)
+      | Error e -> Error e
+    in
+    go 1
+  end
+
+(* ---- multi-process launcher ----------------------------------------- *)
+
+type cluster_result = {
+  c_value : Value.t;
+  c_rounds : int array;
+  c_stats : net_stats;
+}
+
 let inputs_to_string inputs =
   String.init (Array.length inputs) (fun i -> if Value.to_int inputs.(i) = 1 then '1' else '0')
+
+(* Exit code [bca_node] uses for a bind failure (EADDRINUSE): the launcher
+   retries the whole spawn with fresh ports when it sees it. *)
+let addr_in_use_exit = 3
+
+let make_cluster_addr_arg ~n ~transport ~cleanup =
+  match transport with
+  | `Unix ->
+    let dir = fresh_unix_dir () in
+    cleanup := (fun () -> rm_rf_dir dir);
+    ( "unix",
+      String.concat ","
+        (List.init n (fun i -> Filename.concat dir (Printf.sprintf "node-%d.sock" i))) )
+  | `Tcp ->
+    let ports = Transport.Socket.pick_tcp_ports ~n in
+    ( "tcp",
+      String.concat ","
+        (Array.to_list (Array.map (fun p -> Printf.sprintf "127.0.0.1:%d" p) ports)) )
+
+(* Fork one child per party, gather each stdout to EOF or the deadline,
+   then reap (SIGKILL after a grace period).  Returns per-child output and
+   exit status, and whether the deadline cut the gather short. *)
+let spawn_and_gather ~timeout_s ~spawn ~n =
+  let children = Array.init n spawn in
+  let bufs = Array.init n (fun _ -> Buffer.create 256) in
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let open_fds = ref (Array.to_list (Array.mapi (fun i (_, r) -> (i, r)) children)) in
+  let chunk = Bytes.create 4096 in
+  while !open_fds <> [] && Unix.gettimeofday () < deadline do
+    let fds = List.map snd !open_fds in
+    match Unix.select fds [] [] 0.2 with
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | readable, _, _ ->
+      List.iter
+        (fun (i, fd) ->
+          if List.memq fd readable then
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 ->
+              Unix.close fd;
+              open_fds := List.filter (fun (j, _) -> j <> i) !open_fds
+            | k -> Buffer.add_subbytes bufs.(i) chunk 0 k
+            | exception Unix.Unix_error (EINTR, _, _) -> ())
+        !open_fds
+  done;
+  List.iter (fun (_, fd) -> try Unix.close fd with Unix.Unix_error _ -> ()) !open_fds;
+  let timed_out = !open_fds <> [] in
+  (* reap: give exited children a moment, then kill survivors *)
+  let reap_deadline = Unix.gettimeofday () +. if timed_out then 0. else 5. in
+  let statuses =
+    Array.map
+      (fun (pid, _) ->
+        let rec wait () =
+          match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ ->
+            if Unix.gettimeofday () >= reap_deadline then begin
+              (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+              let _, st = Unix.waitpid [] pid in
+              st
+            end
+            else begin
+              ignore (Unix.select [] [] [] 0.05);
+              wait ()
+            end
+          | _, st -> st
+        in
+        wait ())
+      children
+  in
+  (bufs, statuses, timed_out)
+
+let status_string = function
+  | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+  | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s
+
+let node_argv ~node_exe ~stack ~eps ~cfg ~seed ~kind ~addrs_arg ~timeout_s ~extra me =
+  Array.of_list
+    ([ node_exe;
+       "--stack"; stack;
+       "--eps"; Printf.sprintf "%g" eps;
+       "--n"; string_of_int cfg.Types.n;
+       "--t"; string_of_int cfg.Types.t;
+       "--me"; string_of_int me;
+       "--seed"; Int64.to_string seed;
+       "--transport"; kind;
+       "--addrs"; addrs_arg;
+       "--timeout"; Printf.sprintf "%g" (Float.max 1. (timeout_s -. 5.)) ]
+    @ extra)
+
+let spawn_child ~node_exe argv =
+  let r, w = Unix.pipe () in
+  Unix.set_close_on_exec r;
+  let pid = Unix.create_process node_exe argv Unix.stdin w Unix.stderr in
+  Unix.close w;
+  (pid, r)
+
+let port_clash ~transport ~timed_out statuses =
+  (not timed_out) && transport = `Tcp
+  && Array.exists (function Unix.WEXITED c -> c = addr_in_use_exit | _ -> false) statuses
+
+(* One spawn attempt: fresh rendezvous, fork, gather, cleanup.  The
+   continuation turns raw child output into the caller's result; a TCP
+   port clash (a child lost the bind race and exited [addr_in_use_exit])
+   retries the whole attempt with fresh ports. *)
+let with_spawn_attempts ~timeout_s ~transport ~n ~argv_for k =
+  let rec go tries =
+    incr cluster_counter;
+    let cleanup = ref (fun () -> ()) in
+    let kind, addrs_arg = make_cluster_addr_arg ~n ~transport ~cleanup in
+    let bufs, statuses, timed_out =
+      spawn_and_gather ~timeout_s ~spawn:(fun me -> argv_for ~kind ~addrs_arg me) ~n
+    in
+    !cleanup ();
+    if port_clash ~transport ~timed_out statuses && tries < 3 then go (tries + 1)
+    else k ~bufs ~statuses ~timed_out
+  in
+  go 1
 
 let spawn_cluster ?(timeout_s = 60.) ~node_exe ~stack ~eps ~cfg ~seed ~inputs ~transport () =
   let n = cfg.Types.n in
   if Array.length inputs <> n then Error "inputs must have length n"
-  else begin
-    incr cluster_counter;
-    let cleanup = ref (fun () -> ()) in
-    let kind, addrs_arg =
-      match transport with
-      | `Unix ->
-        let dir =
-          Filename.concat
-            (Filename.get_temp_dir_name ())
-            (Printf.sprintf "bca-cluster-%d-%d" (Unix.getpid ()) !cluster_counter)
+  else
+    with_spawn_attempts ~timeout_s ~transport ~n
+      ~argv_for:(fun ~kind ~addrs_arg me ->
+        spawn_child ~node_exe
+          (node_argv ~node_exe ~stack ~eps ~cfg ~seed ~kind ~addrs_arg ~timeout_s
+             ~extra:[ "--inputs"; inputs_to_string inputs ]
+             me))
+      (fun ~bufs ~statuses ~timed_out ->
+        let decisions =
+          Array.map
+            (fun buf ->
+              String.split_on_char '\n' (Buffer.contents buf) |> List.find_map parse_decision)
+            bufs
         in
-        Unix.mkdir dir 0o700;
-        cleanup := (fun () -> rm_rf_dir dir);
-        ( "unix",
-          String.concat ","
-            (List.init n (fun i -> Filename.concat dir (Printf.sprintf "node-%d.sock" i))) )
-      | `Tcp ->
-        let ports = Transport.Socket.pick_tcp_ports ~n in
-        ( "tcp",
-          String.concat ","
-            (Array.to_list (Array.map (fun p -> Printf.sprintf "127.0.0.1:%d" p) ports)) )
-    in
-    let spawn me =
-      let r, w = Unix.pipe () in
-      Unix.set_close_on_exec r;
-      let argv =
-        [| node_exe;
-           "--stack"; stack;
-           "--eps"; Printf.sprintf "%g" eps;
-           "--n"; string_of_int n;
-           "--t"; string_of_int cfg.Types.t;
-           "--me"; string_of_int me;
-           "--seed"; Int64.to_string seed;
-           "--inputs"; inputs_to_string inputs;
-           "--transport"; kind;
-           "--addrs"; addrs_arg;
-           "--timeout"; Printf.sprintf "%g" (Float.max 1. (timeout_s -. 5.)) |]
-      in
-      let pid = Unix.create_process node_exe argv Unix.stdin w Unix.stderr in
-      Unix.close w;
-      (pid, r)
-    in
-    let children = Array.init n spawn in
-    let bufs = Array.init n (fun _ -> Buffer.create 256) in
-    let deadline = Unix.gettimeofday () +. timeout_s in
-    let open_fds = ref (Array.to_list (Array.mapi (fun i (_, r) -> (i, r)) children)) in
-    let chunk = Bytes.create 4096 in
-    (* gather stdout from every node until EOF everywhere or the deadline *)
-    while !open_fds <> [] && Unix.gettimeofday () < deadline do
-      let fds = List.map snd !open_fds in
-      match Unix.select fds [] [] 0.2 with
-      | exception Unix.Unix_error (EINTR, _, _) -> ()
-      | readable, _, _ ->
-        List.iter
-          (fun (i, fd) ->
-            if List.memq fd readable then
-              match Unix.read fd chunk 0 (Bytes.length chunk) with
-              | 0 ->
-                Unix.close fd;
-                open_fds := List.filter (fun (j, _) -> j <> i) !open_fds
-              | k -> Buffer.add_subbytes bufs.(i) chunk 0 k
-              | exception Unix.Unix_error (EINTR, _, _) -> ())
-          !open_fds
-    done;
-    List.iter (fun (_, fd) -> try Unix.close fd with Unix.Unix_error _ -> ()) !open_fds;
-    let timed_out = !open_fds <> [] in
-    (* reap: give exited children a moment, then kill survivors *)
-    let reap_deadline = Unix.gettimeofday () +. if timed_out then 0. else 5. in
-    let statuses =
-      Array.map
-        (fun (pid, _) ->
-          let rec wait () =
-            match Unix.waitpid [ Unix.WNOHANG ] pid with
-            | 0, _ ->
-              if Unix.gettimeofday () >= reap_deadline then begin
-                (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
-                let _, st = Unix.waitpid [] pid in
-                st
-              end
-              else begin
-                ignore (Unix.select [] [] [] 0.05);
-                wait ()
-              end
-            | _, st -> st
-          in
-          wait ())
-        children
-    in
-    !cleanup ();
-    let decisions =
-      Array.map
-        (fun buf ->
-          String.split_on_char '\n' (Buffer.contents buf)
-          |> List.find_map parse_decision)
-        bufs
-    in
-    let missing =
-      Array.to_list decisions
-      |> List.mapi (fun i d -> (i, d))
-      |> List.filter_map (fun (i, d) -> if d = None then Some i else None)
-    in
-    if timed_out then
-      Error (Printf.sprintf "cluster timed out after %.1fs (nodes still running killed)" timeout_s)
-    else if missing <> [] then
-      Error
-        (Printf.sprintf "node(s) %s exited without deciding (statuses: %s)"
-           (String.concat ", " (List.map string_of_int missing))
-           (String.concat ", "
-              (Array.to_list
-                 (Array.map
-                    (function
-                      | Unix.WEXITED c -> Printf.sprintf "exit %d" c
-                      | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
-                      | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s)
-                    statuses))))
-    else begin
-      let ds = Array.map (fun d -> Option.get d) decisions in
-      let value = ds.(0).d_value in
-      if not (Array.for_all (fun d -> Value.equal d.d_value value) ds) then
-        Error
-          (Printf.sprintf "DISAGREEMENT: decisions [%s] - protocol bug"
-             (String.concat "; "
-                (Array.to_list
-                   (Array.map
-                      (fun d -> Printf.sprintf "pid %d -> %d" d.d_pid (Value.to_int d.d_value))
-                      ds))))
-      else begin
-        let frames = Array.fold_left (fun a d -> a + d.d_frames) 0 ds in
-        let bytes = Array.fold_left (fun a d -> a + d.d_bytes) 0 ds in
-        Ok
-          { c_value = value;
-            c_rounds = Array.map (fun d -> d.d_round) ds;
-            c_stats = { frames; bytes; words = Wire.words_of_bytes bytes } }
-      end
-    end
+        let missing =
+          Array.to_list decisions
+          |> List.mapi (fun i d -> (i, d))
+          |> List.filter_map (fun (i, d) -> if d = None then Some i else None)
+        in
+        if timed_out then
+          Error
+            (Printf.sprintf "cluster timed out after %.1fs (nodes still running killed)" timeout_s)
+        else if missing <> [] then
+          Error
+            (Printf.sprintf "node(s) %s exited without deciding (statuses: %s)"
+               (String.concat ", " (List.map string_of_int missing))
+               (String.concat ", " (Array.to_list (Array.map status_string statuses))))
+        else begin
+          let ds = Array.of_list (List.filter_map Fun.id (Array.to_list decisions)) in
+          if Array.length ds <> n then Error "internal: decision extraction mismatch"
+          else begin
+            let value = ds.(0).d_value in
+            if not (Array.for_all (fun d -> Value.equal d.d_value value) ds) then
+              Error
+                (Printf.sprintf "DISAGREEMENT: decisions [%s] - protocol bug"
+                   (String.concat "; "
+                      (Array.to_list
+                         (Array.map
+                            (fun d ->
+                              Printf.sprintf "pid %d -> %d" d.d_pid (Value.to_int d.d_value))
+                            ds))))
+            else begin
+              let frames = Array.fold_left (fun a d -> a + d.d_frames) 0 ds in
+              let bytes = Array.fold_left (fun a d -> a + d.d_bytes) 0 ds in
+              Ok
+                { c_value = value;
+                  c_rounds = Array.map (fun d -> d.d_round) ds;
+                  c_stats = { frames; bytes; words = Wire.words_of_bytes bytes } }
+            end
+          end
+        end)
+
+type multi_cluster_result = {
+  mc_values : Value.t array;
+  mc_rounds : int array;
+  mc_stats : net_stats;
+  mc_batches : int;
+  mc_records : int;
+}
+
+let spawn_cluster_multi ?(timeout_s = 60.) ?policy ~node_exe ~stack ~eps ~cfg ~seed ~instances
+    ~transport () =
+  let n = cfg.Types.n in
+  if instances < 1 then Error "instances must be >= 1"
+  else begin
+    let pol = match policy with Some p -> p | None -> Batcher.policy () in
+    with_spawn_attempts ~timeout_s ~transport ~n
+      ~argv_for:(fun ~kind ~addrs_arg me ->
+        spawn_child ~node_exe
+          (node_argv ~node_exe ~stack ~eps ~cfg ~seed ~kind ~addrs_arg ~timeout_s
+             ~extra:
+               [ "--instances"; string_of_int instances;
+                 "--batch-records"; string_of_int pol.Batcher.max_records;
+                 "--batch-bytes"; string_of_int pol.Batcher.max_bytes ]
+             me))
+      (fun ~bufs ~statuses ~timed_out ->
+        let decisions =
+          Array.map
+            (fun buf ->
+              String.split_on_char '\n' (Buffer.contents buf)
+              |> List.find_map parse_multi_decision)
+            bufs
+        in
+        let missing =
+          Array.to_list decisions
+          |> List.mapi (fun i d -> (i, d))
+          |> List.filter_map (fun (i, d) -> if d = None then Some i else None)
+        in
+        if timed_out then
+          Error
+            (Printf.sprintf "cluster timed out after %.1fs (nodes still running killed)" timeout_s)
+        else if missing <> [] then
+          Error
+            (Printf.sprintf "node(s) %s exited without deciding (statuses: %s)"
+               (String.concat ", " (List.map string_of_int missing))
+               (String.concat ", " (Array.to_list (Array.map status_string statuses))))
+        else begin
+          let ds = Array.of_list (List.filter_map Fun.id (Array.to_list decisions)) in
+          if Array.length ds <> n then Error "internal: decision extraction mismatch"
+          else if Array.exists (fun d -> Array.length d.md_values <> instances) ds then
+            Error "node reported a wrong instance count"
+          else begin
+            let disagreements = ref [] in
+            for k = instances - 1 downto 0 do
+              let v = ds.(0).md_values.(k) in
+              if not (Array.for_all (fun d -> Value.equal d.md_values.(k) v) ds) then
+                disagreements := k :: !disagreements
+            done;
+            if !disagreements <> [] then
+              Error
+                (Printf.sprintf "DISAGREEMENT on instance(s) %s - protocol bug"
+                   (String.concat ", " (List.map string_of_int !disagreements)))
+            else begin
+              let frames = Array.fold_left (fun a d -> a + d.md_frames) 0 ds in
+              let bytes = Array.fold_left (fun a d -> a + d.md_bytes) 0 ds in
+              Ok
+                { mc_values = Array.map (fun v -> v) ds.(0).md_values;
+                  mc_rounds =
+                    Array.init instances (fun k ->
+                        Array.fold_left (fun acc d -> max acc d.md_rounds.(k)) 0 ds);
+                  mc_stats = { frames; bytes; words = Wire.words_of_bytes bytes };
+                  mc_batches = Array.fold_left (fun a d -> a + d.md_batches) 0 ds;
+                  mc_records = Array.fold_left (fun a d -> a + d.md_records) 0 ds }
+            end
+          end
+        end)
   end

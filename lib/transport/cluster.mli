@@ -1,9 +1,9 @@
 (** Run the six (G)BCA stacks to decision over a real transport.
 
-    Three entry points, all built on [Bca_core.Aba.run_custom] (the cluster
-    assembly - coin seeding, threshold-key setup, per-party construction -
-    is byte-for-byte the one the simulator uses; only message movement
-    differs):
+    All entry points are built on [Bca_core.Aba.run_custom] /
+    [Aba.run_custom_many] (the cluster assembly - coin seeding,
+    threshold-key setup, per-party construction - is byte-for-byte the one
+    the simulator uses; only message movement differs):
 
     - {!run_loopback}: the whole cluster in one process over
       {!Transport.Loopback}, every message encoded and decoded on each hop.
@@ -12,11 +12,20 @@
       delivery count - because the loopback hub replays the netsim random
       scheduler's exact RNG stream over an identically-ordered frame pool
       (checked in [test/test_transport.ml]; DESIGN.md section 11).
+    - {!run_loopback_multi}: B independent instances of the same stack
+      interleaved round-robin in one process.  Each instance owns its hub
+      (and RNG), so instance [k] is bit-identical to [run_loopback
+      ~seed:(instance_seed ~seed k)] run alone.
     - {!run_node}: ONE party, driven over a socket {!Transport.t} - what
       [bca_node] executes, one process per party.
-    - {!spawn_cluster}: the launcher - forks [n] [bca_node] processes over
-      Unix-domain sockets or TCP, collects their decisions, checks
-      agreement. *)
+    - {!run_node_multi}: one party of B concurrent instances, multiplexed
+      over ONE endpoint with per-destination frame batching ({!Batcher}) -
+      the pipelined executor [bca_node --instances] runs.
+    - {!run_inproc_cluster}: all [n] multi-instance parties in one process
+      over real sockets - the cluster-throughput bench harness.
+    - {!spawn_cluster} / {!spawn_cluster_multi}: the launchers - fork [n]
+      [bca_node] processes over Unix-domain sockets or TCP, collect their
+      decisions, check agreement. *)
 
 val parse_stack : ?eps:float -> string -> (Bca_core.Aba.spec, string) result
 (** [crash-strong], [crash-weak], [crash-local], [byz-strong], [byz-weak],
@@ -35,6 +44,21 @@ type net_stats = {
   words : int;  (** [bytes] in 64-bit words - the paper's complexity unit *)
 }
 
+(** {1 Instance derivation}
+
+    Multi-instance runs derive every instance's seed and input vector from
+    one cluster seed, so every process (and the tests and the bench)
+    reconstructs identical instances without shipping B input vectors
+    around. *)
+
+val instance_seed : seed:int64 -> int -> int64
+(** Seed of instance [k]: a Weyl step of the golden-ratio constant per
+    instance, never equal to [seed] itself. *)
+
+val instance_inputs : seed:int64 -> n:int -> int -> Bca_util.Value.t array
+(** Input vector of instance [k]: [n] coin flips from an RNG seeded off
+    {!instance_seed}. *)
+
 val run_loopback :
   ?seed:int64 ->
   Bca_core.Aba.spec ->
@@ -44,6 +68,18 @@ val run_loopback :
 (** Single-process cluster over the in-memory hub; see the determinism
     contract above.  This is also how the bench report measures
     per-decision bytes/words per stack. *)
+
+val run_loopback_multi :
+  ?seed:int64 ->
+  Bca_core.Aba.spec ->
+  cfg:Bca_core.Types.cfg ->
+  instances:int ->
+  ((Bca_core.Aba.result * net_stats) array, string) result
+(** [instances] loopback clusters of the same stack (instance [k] seeded
+    with [instance_seed ~seed k], inputs from [instance_inputs]),
+    interleaved one delivery at a time round-robin.  Per-instance results
+    are bit-identical to solo {!run_loopback} runs of the same derived
+    seed - the executor-correctness oracle for the batched socket path. *)
 
 type decision = {
   d_pid : int;
@@ -79,11 +115,90 @@ val run_node :
     finish; gives up after [timeout_s] (default 30.0) seconds without
     termination.  Does not close [net]. *)
 
+(** {1 Pipelined multi-instance execution} *)
+
+type multi_decision = {
+  md_pid : int;
+  md_values : Bca_util.Value.t array;  (** per instance *)
+  md_rounds : int array;  (** per-instance commit round of this party *)
+  md_frames : int;  (** frames this node sent (batch frames, not records) *)
+  md_bytes : int;  (** bytes this node sent *)
+  md_batches : int;  (** batch frames assembled *)
+  md_records : int;  (** protocol messages carried in them *)
+}
+
+val print_multi_decision : multi_decision -> unit
+(** The one-line [MDECIDED pid=... values=<bitstring> rounds=<csv> ...]
+    record [bca_node --instances] emits and {!spawn_cluster_multi} parses
+    back. *)
+
+val parse_multi_decision : string -> multi_decision option
+
+val run_node_multi :
+  ?seed:int64 ->
+  ?timeout_s:float ->
+  ?linger_s:float ->
+  ?tracer:Bca_obs.Trace.t ->
+  ?policy:Batcher.policy ->
+  Bca_core.Aba.spec ->
+  cfg:Bca_core.Types.cfg ->
+  instances:int ->
+  net:Transport.t ->
+  (multi_decision, string) result
+(** Drive party [net.me] of [instances] concurrent instances (seeds and
+    inputs derived per {!instance_seed} / {!instance_inputs}) over one
+    endpoint.  Outbound messages from all instances are batched per
+    destination under [policy] (default [Batcher.policy ()]) and flushed
+    at the end of every scheduling slice; inbound batch frames are
+    validated whole, then demultiplexed by instance id.  Decides when every
+    instance has terminated; then lingers as {!run_node} does. *)
+
+(** {1 In-process socket cluster (bench harness)} *)
+
+type inproc_result = {
+  ir_values : Bca_util.Value.t array;  (** per-instance agreed value *)
+  ir_rounds : int array;  (** per-instance max commit round *)
+  ir_frames : int;  (** frames sent cluster-wide (batches, not records) *)
+  ir_bytes : int;  (** on-wire bytes sent cluster-wide *)
+  ir_writes : int;  (** [write] syscalls cluster-wide - the coalescing win *)
+  ir_batches : int;
+  ir_records : int;
+  ir_max_occupancy : int;  (** largest record count seen in one batch *)
+}
+
+val run_inproc_cluster :
+  ?seed:int64 ->
+  ?policy:Batcher.policy ->
+  ?coalesce:bool ->
+  ?sndbuf_bytes:int ->
+  ?rcvbuf_bytes:int ->
+  ?timeout_s:float ->
+  Bca_core.Aba.spec ->
+  cfg:Bca_core.Types.cfg ->
+  instances:int ->
+  transport:[ `Unix | `Tcp ] ->
+  (inproc_result, string) result
+(** All [n] multi-instance parties in ONE process over real sockets
+    ([`Unix]: a fresh temporary directory; [`Tcp]: loopback on picked
+    ports, retried on a lost bind race), stepped round-robin to decision.
+    One shared assembly keeps setup cheap and lets the harness check
+    agreement directly on the party states.  This is the cluster-throughput
+    bench harness: [policy]/[coalesce]/[sndbuf_bytes]/[rcvbuf_bytes] select
+    the batched hot path (defaults) or the per-message baseline
+    ([policy = Batcher.immediate], [coalesce:false]). *)
+
+(** {1 Multi-process launchers} *)
+
 type cluster_result = {
   c_value : Bca_util.Value.t;
   c_rounds : int array;  (** per-pid commit round *)
   c_stats : net_stats;  (** cluster-wide traffic totals *)
 }
+
+val addr_in_use_exit : int
+(** Exit code (3) [bca_node] reserves for a bind failure (EADDRINUSE):
+    the launchers see it and retry the whole spawn with fresh ports, so
+    parallel CI runs cannot race each other's rendezvous. *)
 
 val spawn_cluster :
   ?timeout_s:float ->
@@ -102,4 +217,31 @@ val spawn_cluster :
     line, and check they all decided the same value.  [Error] on
     disagreement (a protocol bug), on any node exiting without deciding,
     and on [timeout_s] (default 60.0) elapsing - surviving processes are
-    killed. *)
+    killed.  A TCP spawn where a node exits {!addr_in_use_exit} (lost the
+    port race) is retried with fresh ports, up to 3 attempts. *)
+
+type multi_cluster_result = {
+  mc_values : Bca_util.Value.t array;  (** per-instance agreed value *)
+  mc_rounds : int array;  (** per-instance max commit round over nodes *)
+  mc_stats : net_stats;  (** cluster-wide traffic totals (batch frames) *)
+  mc_batches : int;
+  mc_records : int;
+}
+
+val spawn_cluster_multi :
+  ?timeout_s:float ->
+  ?policy:Batcher.policy ->
+  node_exe:string ->
+  stack:string ->
+  eps:float ->
+  cfg:Bca_core.Types.cfg ->
+  seed:int64 ->
+  instances:int ->
+  transport:[ `Unix | `Tcp ] ->
+  unit ->
+  (multi_cluster_result, string) result
+(** {!spawn_cluster} for the pipelined executor: each node runs
+    [node_exe --instances B] (inputs derived in-process, so none are passed),
+    emits an [MDECIDED] line, and the launcher checks per-instance
+    agreement across nodes.  Same timeout, cleanup and port-race retry
+    behavior as {!spawn_cluster}. *)

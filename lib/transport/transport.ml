@@ -10,12 +10,13 @@ type stats = {
   mutable bytes_out : int;
   mutable frames_in : int;
   mutable bytes_in : int;
+  mutable writes : int;
   mutable retries : int;
   mutable drops : int;
 }
 
 let stats_zero () =
-  { frames_out = 0; bytes_out = 0; frames_in = 0; bytes_in = 0; retries = 0; drops = 0 }
+  { frames_out = 0; bytes_out = 0; frames_in = 0; bytes_in = 0; writes = 0; retries = 0; drops = 0 }
 
 type t = {
   me : int;
@@ -23,6 +24,7 @@ type t = {
   kind : string;
   send : dst:int -> string -> unit;
   recv : timeout_s:float -> Wire.frame option;
+  recv_view : timeout_s:float -> Wire.view option;
   flush : timeout_s:float -> bool;
   close : unit -> unit;
   stats : stats;
@@ -103,6 +105,7 @@ module Loopback = struct
       kind = "loopback";
       send;
       recv;
+      recv_view = (fun ~timeout_s -> Option.map Wire.view_of_frame (recv ~timeout_s));
       flush = (fun ~timeout_s:_ -> true);
       close = (fun () -> ());
       stats = st }
@@ -117,16 +120,54 @@ module Socket = struct
     | Up of Unix.file_descr
     | Dead  (** given up after [max_retries]; sends to it are dropped *)
 
+  (* Outbound frames for one peer live contiguously in [p_out]:
+
+       [p_start - p_head_sent, p_start)   sent prefix of the head frame,
+                                          kept for rewind on reconnect
+       [p_start, p_end)                   unsent bytes
+
+     [p_lens] holds the length of every frame with at least one unsent
+     byte, head first.  A coalescing flush hands the kernel the whole
+     [p_start, p_end) span in one [write]; the per-frame accounting only
+     pops [p_lens] as frame boundaries are crossed. *)
   type peer = {
     p_pid : int;
     p_addr : Unix.sockaddr;
     mutable p_state : out_state;
-    p_q : string Queue.t;
-    mutable p_q_bytes : int;  (** unsent bytes across the queue *)
-    mutable p_head_off : int;  (** bytes of the head frame already written *)
+    mutable p_out : Bytes.t;
+    mutable p_start : int;
+    mutable p_end : int;
+    p_lens : int Queue.t;
+    mutable p_head_sent : int;  (** bytes of the head frame already written *)
     mutable p_retries : int;
     mutable p_next_attempt : float;
   }
+
+  let unsent p = p.p_end - p.p_start
+
+  let enqueue p s =
+    let len = String.length s in
+    let keep_from = p.p_start - p.p_head_sent in
+    if p.p_end + len > Bytes.length p.p_out then begin
+      let live = p.p_end - keep_from in
+      if live + len <= Bytes.length p.p_out then
+        (* compact: slide the live region to the front *)
+        Bytes.blit p.p_out keep_from p.p_out 0 live
+      else begin
+        let cap = ref (max 4096 (2 * Bytes.length p.p_out)) in
+        while live + len > !cap do
+          cap := 2 * !cap
+        done;
+        let nb = Bytes.create !cap in
+        Bytes.blit p.p_out keep_from nb 0 live;
+        p.p_out <- nb
+      end;
+      p.p_start <- p.p_head_sent;
+      p.p_end <- live
+    end;
+    Bytes.blit_string s 0 p.p_out p.p_end len;
+    p.p_end <- p.p_end + len;
+    Queue.push len p.p_lens
 
   type conn = { c_fd : Unix.file_descr; c_reader : Wire.Reader.t }
 
@@ -136,11 +177,14 @@ module Socket = struct
     s_listen : Unix.file_descr;
     s_peers : peer array;
     mutable s_conns : conn list;
-    s_inbox : Wire.frame Queue.t;
+    s_inbox : Wire.view Queue.t;
     s_stats : stats;
     s_tracer : Trace.t;
     s_tracing : bool;
     s_read_buf : Bytes.t;
+    s_coalesce : bool;
+    s_sndbuf : int option;
+    s_rcvbuf : int option;
     s_max_body : int;
     s_max_queue : int;
     s_backoff_base : float;
@@ -162,10 +206,11 @@ module Socket = struct
 
   let give_up s p =
     p.p_state <- Dead;
-    s.s_stats.drops <- s.s_stats.drops + Queue.length p.p_q;
-    Queue.clear p.p_q;
-    p.p_q_bytes <- 0;
-    p.p_head_off <- 0;
+    s.s_stats.drops <- s.s_stats.drops + Queue.length p.p_lens;
+    Queue.clear p.p_lens;
+    p.p_start <- 0;
+    p.p_end <- 0;
+    p.p_head_sent <- 0;
     trace s ~peer:p.p_pid ~op:"give_up" ~bytes:0
 
   let backoff s ~retries =
@@ -179,8 +224,8 @@ module Socket = struct
     (match p.p_state with
     | Connecting fd | Up fd -> close_fd fd
     | Idle | Dead -> ());
-    p.p_q_bytes <- p.p_q_bytes + p.p_head_off;
-    p.p_head_off <- 0;
+    p.p_start <- p.p_start - p.p_head_sent;
+    p.p_head_sent <- 0;
     p.p_retries <- p.p_retries + 1;
     if p.p_retries > s.s_max_retries then give_up s p
     else begin
@@ -192,27 +237,57 @@ module Socket = struct
 
   let rec try_write s p ~now =
     match p.p_state with
-    | Up fd when not (Queue.is_empty p.p_q) -> begin
-      let head = Queue.peek p.p_q in
-      let len = String.length head - p.p_head_off in
-      match Unix.write_substring fd head p.p_head_off len with
+    | Up fd when unsent p > 0 -> begin
+      (* coalesced: the whole pending span in one syscall; per-message
+         mode (the bench baseline) stops at the head frame's boundary *)
+      let chunk =
+        if s.s_coalesce then unsent p
+        else
+          match Queue.peek_opt p.p_lens with
+          | Some head_len -> min (unsent p) (head_len - p.p_head_sent)
+          | None -> unsent p
+      in
+      match Unix.write fd p.p_out p.p_start chunk with
       | k ->
-        p.p_head_off <- p.p_head_off + k;
-        p.p_q_bytes <- p.p_q_bytes - k;
-        if p.p_head_off = String.length head then begin
-          ignore (Queue.pop p.p_q);
-          p.p_head_off <- 0
+        p.p_start <- p.p_start + k;
+        s.s_stats.writes <- s.s_stats.writes + 1;
+        (* cross off every frame the span completed *)
+        let sent = ref (p.p_head_sent + k) in
+        let crossing = ref true in
+        while !crossing do
+          match Queue.peek_opt p.p_lens with
+          | Some head_len when !sent >= head_len ->
+            ignore (Queue.pop p.p_lens);
+            sent := !sent - head_len
+          | Some _ | None -> crossing := false
+        done;
+        p.p_head_sent <- !sent;
+        if Queue.is_empty p.p_lens then begin
+          p.p_start <- 0;
+          p.p_end <- 0;
+          p.p_head_sent <- 0
         end;
-        if k = len then try_write s p ~now
+        if k = chunk && unsent p > 0 then try_write s p ~now
       | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
       | exception Unix.Unix_error (_, _, _) -> schedule_retry s p ~now
     end
     | Idle | Connecting _ | Up _ | Dead -> ()
 
+  let set_bufsizes ?sndbuf_bytes ?rcvbuf_bytes fd =
+    (* best effort, like nodelay: a refused size is a tuning miss, not an
+       error the protocol can do anything about *)
+    (match sndbuf_bytes with
+    | Some b -> ( try Unix.setsockopt_int fd Unix.SO_SNDBUF b with Unix.Unix_error _ -> ())
+    | None -> ());
+    match rcvbuf_bytes with
+    | Some b -> ( try Unix.setsockopt_int fd Unix.SO_RCVBUF b with Unix.Unix_error _ -> ())
+    | None -> ()
+
   let start_connect s p ~now =
     let fd = Unix.socket (Unix.domain_of_sockaddr p.p_addr) Unix.SOCK_STREAM 0 in
     Unix.set_nonblock fd;
     set_nodelay fd;
+    set_bufsizes ?sndbuf_bytes:s.s_sndbuf ?rcvbuf_bytes:s.s_rcvbuf fd;
     match Unix.connect fd p.p_addr with
     | () ->
       p.p_state <- Up fd;
@@ -231,18 +306,18 @@ module Socket = struct
     trace s ~peer:(-1) ~op ~bytes:0
 
   let rec drain_reader s c =
-    match Wire.Reader.next c.c_reader with
+    match Wire.Reader.next_view c.c_reader with
     | Ok None -> ()
-    | Ok (Some f) ->
-      if f.Wire.sender < 0 || f.Wire.sender >= s.s_n || f.Wire.sender = s.s_me then begin
+    | Ok (Some v) ->
+      if v.Wire.v_sender < 0 || v.Wire.v_sender >= s.s_n || v.Wire.v_sender = s.s_me then begin
         s.s_stats.drops <- s.s_stats.drops + 1;
-        trace s ~peer:f.Wire.sender ~op:"drop" ~bytes:(Wire.frame_bytes f)
+        trace s ~peer:v.Wire.v_sender ~op:"drop" ~bytes:(Wire.view_bytes v)
       end
       else begin
         s.s_stats.frames_in <- s.s_stats.frames_in + 1;
-        s.s_stats.bytes_in <- s.s_stats.bytes_in + Wire.frame_bytes f;
-        trace s ~peer:f.Wire.sender ~op:"rx" ~bytes:(Wire.frame_bytes f);
-        Queue.push f s.s_inbox
+        s.s_stats.bytes_in <- s.s_stats.bytes_in + Wire.view_bytes v;
+        trace s ~peer:v.Wire.v_sender ~op:"rx" ~bytes:(Wire.view_bytes v);
+        Queue.push v s.s_inbox
       end;
       drain_reader s c
     | Error _ ->
@@ -266,6 +341,7 @@ module Socket = struct
     | fd, _ ->
       Unix.set_nonblock fd;
       set_nodelay fd;
+      set_bufsizes ?sndbuf_bytes:s.s_sndbuf ?rcvbuf_bytes:s.s_rcvbuf fd;
       s.s_conns <- { c_fd = fd; c_reader = Wire.Reader.create ~max_body:s.s_max_body () } :: s.s_conns;
       trace s ~peer:(-1) ~op:"accept" ~bytes:0;
       accept_loop s
@@ -282,7 +358,7 @@ module Socket = struct
         (fun p ->
           if
             p.p_pid <> s.s_me && (match p.p_state with Idle -> true | _ -> false)
-            && (not (Queue.is_empty p.p_q))
+            && unsent p > 0
             && now >= p.p_next_attempt
           then start_connect s p ~now)
         s.s_peers;
@@ -291,7 +367,7 @@ module Socket = struct
         Array.fold_left
           (fun acc p ->
             match p.p_state with
-            | Idle when not (Queue.is_empty p.p_q) ->
+            | Idle when unsent p > 0 ->
               Float.min acc (Float.max 0. (p.p_next_attempt -. now))
             | _ -> acc)
           (Float.max 0. timeout_s) s.s_peers
@@ -302,7 +378,7 @@ module Socket = struct
           (fun acc p ->
             match p.p_state with
             | Connecting fd -> fd :: acc
-            | Up fd when not (Queue.is_empty p.p_q) -> fd :: acc
+            | Up fd when unsent p > 0 -> fd :: acc
             | _ -> acc)
           [] s.s_peers
       in
@@ -331,7 +407,7 @@ module Socket = struct
 
   let all_flushed s =
     Array.for_all
-      (fun p -> p.p_pid = s.s_me || (match p.p_state with Dead -> true | _ -> false) || Queue.is_empty p.p_q)
+      (fun p -> p.p_pid = s.s_me || (match p.p_state with Dead -> true | _ -> false) || unsent p = 0)
       s.s_peers
 
   let kind_of_addr = function
@@ -340,7 +416,7 @@ module Socket = struct
 
   let endpoint ?(tracer = Trace.null) ?(max_body = Wire.default_max_body)
       ?(max_queue_bytes = 1 lsl 20) ?(backoff_base_s = 0.01) ?(backoff_cap_s = 2.0)
-      ?(max_retries = 20) ~addrs ~me () =
+      ?(max_retries = 20) ?(coalesce = true) ?sndbuf_bytes ?rcvbuf_bytes ~addrs ~me () =
     (* a peer closing its end must surface as EPIPE on write (handled by the
        reconnect logic), not kill the process *)
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -359,6 +435,7 @@ module Socket = struct
     (match addr with
     | Unix.ADDR_INET _ -> Unix.setsockopt listen_fd Unix.SO_REUSEADDR true
     | Unix.ADDR_UNIX _ -> ());
+    set_bufsizes ?sndbuf_bytes ?rcvbuf_bytes listen_fd;
     Unix.bind listen_fd addr;
     Unix.listen listen_fd (max 8 (2 * n));
     let s =
@@ -370,9 +447,11 @@ module Socket = struct
               { p_pid = pid;
                 p_addr = addrs.(pid);
                 p_state = Idle;
-                p_q = Queue.create ();
-                p_q_bytes = 0;
-                p_head_off = 0;
+                p_out = Bytes.create 4096;
+                p_start = 0;
+                p_end = 0;
+                p_lens = Queue.create ();
+                p_head_sent = 0;
                 p_retries = 0;
                 p_next_attempt = 0. });
         s_conns = [];
@@ -381,6 +460,9 @@ module Socket = struct
         s_tracer = tracer;
         s_tracing = Trace.enabled tracer;
         s_read_buf = Bytes.create 65536;
+        s_coalesce = coalesce;
+        s_sndbuf = sndbuf_bytes;
+        s_rcvbuf = rcvbuf_bytes;
         s_max_body = max_body;
         s_max_queue = max_queue_bytes;
         s_backoff_base = backoff_base_s;
@@ -396,11 +478,11 @@ module Socket = struct
       s.s_stats.bytes_out <- s.s_stats.bytes_out + len;
       trace s ~peer:dst ~op:"tx" ~bytes:len;
       if dst = me then begin
-        match Wire.decode_frame ~max_body:s.s_max_body frame_str ~pos:0 with
-        | Ok (f, _) ->
+        match Wire.decode_frame_view ~max_body:s.s_max_body frame_str ~pos:0 with
+        | Ok (v, _) ->
           s.s_stats.frames_in <- s.s_stats.frames_in + 1;
           s.s_stats.bytes_in <- s.s_stats.bytes_in + len;
-          Queue.push f s.s_inbox
+          Queue.push v s.s_inbox
         | Error _ -> s.s_stats.drops <- s.s_stats.drops + 1
       end
       else begin
@@ -410,8 +492,7 @@ module Socket = struct
           s.s_stats.drops <- s.s_stats.drops + 1;
           trace s ~peer:dst ~op:"drop" ~bytes:len
         | _ ->
-          Queue.push frame_str p.p_q;
-          p.p_q_bytes <- p.p_q_bytes + len;
+          enqueue p frame_str;
           (* backpressure: a slow or absent peer stalls the sender (with a
              bounded memory footprint) until it drains or is given up.  The
              stall deadline covers the case the retry counter cannot: a peer
@@ -421,18 +502,18 @@ module Socket = struct
              window is not given up while retries remain. *)
           let stall_s = 2. *. s.s_backoff_cap in
           let deadline = ref (Unix.gettimeofday () +. stall_s) in
-          let low_water = ref p.p_q_bytes in
-          while p.p_q_bytes > s.s_max_queue && (match p.p_state with Dead -> false | _ -> true) do
+          let low_water = ref (unsent p) in
+          while unsent p > s.s_max_queue && (match p.p_state with Dead -> false | _ -> true) do
             pump s ~timeout_s:0.02;
-            if p.p_q_bytes < !low_water then begin
-              low_water := p.p_q_bytes;
+            if unsent p < !low_water then begin
+              low_water := unsent p;
               deadline := Unix.gettimeofday () +. stall_s
             end
             else if Unix.gettimeofday () >= !deadline then give_up s p
           done
       end
     in
-    let recv ~timeout_s =
+    let recv_view ~timeout_s =
       let deadline = Unix.gettimeofday () +. timeout_s in
       let rec loop () =
         if not (Queue.is_empty s.s_inbox) then Some (Queue.pop s.s_inbox)
@@ -452,6 +533,7 @@ module Socket = struct
         pump s ~timeout_s:0.;
         if Queue.is_empty s.s_inbox then None else Some (Queue.pop s.s_inbox)
     in
+    let recv ~timeout_s = Option.map Wire.frame_of_view (recv_view ~timeout_s) in
     let flush ~timeout_s =
       let deadline = Unix.gettimeofday () +. timeout_s in
       let rec loop () =
@@ -482,7 +564,7 @@ module Socket = struct
         | None -> ()
       end
     in
-    { me; n; kind = kind_of_addr addr; send; recv; flush; close; stats = s.s_stats }
+    { me; n; kind = kind_of_addr addr; send; recv; recv_view; flush; close; stats = s.s_stats }
 
   let unix_addrs ~dir ~n =
     Array.init n (fun pid -> Unix.ADDR_UNIX (Filename.concat dir (Printf.sprintf "node-%d.sock" pid)))
@@ -505,7 +587,7 @@ module Socket = struct
         (fun fd ->
           match Unix.getsockname fd with
           | Unix.ADDR_INET (_, port) -> port
-          | Unix.ADDR_UNIX _ -> assert false)
+          | Unix.ADDR_UNIX _ -> invalid_arg "pick_tcp_ports: INET socket with unix name")
         fds
     in
     Array.iter close_fd fds;

@@ -35,6 +35,10 @@ type stats = {
   mutable bytes_out : int;  (** on-wire bytes enqueued, headers included *)
   mutable frames_in : int;
   mutable bytes_in : int;
+  mutable writes : int;
+      (** [write] syscalls that moved bytes - with coalescing, one write
+          covers every frame pending for a peer, so [frames_out / writes]
+          measures how well the output ring amortizes syscalls *)
   mutable retries : int;  (** reconnect attempts after a failure *)
   mutable drops : int;
       (** frames abandoned: peer given up, corrupt stream, or undecodable *)
@@ -55,6 +59,11 @@ type t = {
       (** Next well-formed inbound frame, from any peer; [None] after
           [timeout_s] seconds without one.  Pumps the network while
           waiting. *)
+  recv_view : timeout_s:float -> Bca_wire.Wire.view option;
+      (** [recv] without the body copy: the view aliases the connection
+          reader's immutable snapshot (or, for self-delivery, the sent
+          frame string), so the body is decoded in place.  [recv] and
+          [recv_view] drain the same inbox; use either. *)
   flush : timeout_s:float -> bool;
       (** Pump until every outbound queue is empty or dead, or the timeout
           elapses; [true] if everything was flushed. *)
@@ -97,6 +106,9 @@ module Socket : sig
     ?backoff_base_s:float ->
     ?backoff_cap_s:float ->
     ?max_retries:int ->
+    ?coalesce:bool ->
+    ?sndbuf_bytes:int ->
+    ?rcvbuf_bytes:int ->
     addrs:Unix.sockaddr array ->
     me:int ->
     unit ->
@@ -112,7 +124,16 @@ module Socket : sig
       peer is given up and its queued frames are dropped.  A peer whose
       queue makes no write progress for [2 * backoff_cap_s] while over the
       bound (connected but never reading) is likewise given up, so [send]
-      cannot block indefinitely. *)
+      cannot block indefinitely.
+
+      Hot-path knobs: with [coalesce] (the default) a writable peer gets
+      its whole pending span - every queued frame - in one [write]
+      syscall; [coalesce:false] restores the seed's frame-at-a-time writes
+      (the bench's per-message baseline).  [sndbuf_bytes]/[rcvbuf_bytes]
+      set SO_SNDBUF/SO_RCVBUF on every socket (best effort; the kernel
+      rounds and caps), for workloads whose bursts outgrow the defaults.
+      TCP_NODELAY is always set on TCP sockets - the small-frame protocol
+      traffic must not sit out Nagle windows. *)
 
   val unix_addrs : dir:string -> n:int -> Unix.sockaddr array
   (** [dir/node-<pid>.sock] for each pid. *)

@@ -1,0 +1,59 @@
+type t = {
+  p_initial_capacity : int;
+  mutable p_free : Buffer.t list;
+  mutable p_created : int;
+  mutable p_acquired : int;
+  mutable p_released : int;
+  mutable p_live : int;
+  mutable p_peak_live : int;
+}
+
+type stats = {
+  created : int;
+  acquired : int;
+  released : int;
+  live : int;
+  peak_live : int;
+}
+
+let create ?(initial_capacity = 4096) () =
+  if initial_capacity < 1 then invalid_arg "Bufpool.create: initial_capacity < 1";
+  { p_initial_capacity = initial_capacity;
+    p_free = [];
+    p_created = 0;
+    p_acquired = 0;
+    p_released = 0;
+    p_live = 0;
+    p_peak_live = 0 }
+
+let acquire t =
+  t.p_acquired <- t.p_acquired + 1;
+  t.p_live <- t.p_live + 1;
+  if t.p_live > t.p_peak_live then t.p_peak_live <- t.p_live;
+  match t.p_free with
+  | b :: rest ->
+    t.p_free <- rest;
+    b
+  | [] ->
+    t.p_created <- t.p_created + 1;
+    Buffer.create t.p_initial_capacity
+
+let release t b =
+  (* [Buffer.clear] keeps the grown backing storage, which is the point:
+     a buffer that once held a large batch serves later batches without
+     reallocating *)
+  Buffer.clear b;
+  t.p_released <- t.p_released + 1;
+  t.p_live <- t.p_live - 1;
+  t.p_free <- b :: t.p_free
+
+let with_buf t f =
+  let b = acquire t in
+  Fun.protect ~finally:(fun () -> release t b) (fun () -> f b)
+
+let stats t =
+  { created = t.p_created;
+    acquired = t.p_acquired;
+    released = t.p_released;
+    live = t.p_live;
+    peak_live = t.p_peak_live }

@@ -1,0 +1,38 @@
+(** A free-list of reusable [Buffer.t]s for the wire hot path.
+
+    Encoding a message allocates a staging buffer; at cluster throughput
+    (thousands of batches a second) per-message [Buffer.create] churn is
+    pure garbage-collector load.  A pool hands the same cleared buffers out
+    over and over - [Buffer.clear] keeps the grown backing storage, so a
+    steady-state workload stops allocating entirely.
+
+    Not thread-safe (the transport engine is single-threaded by design).
+    Buffers must go back to the pool they came from; releasing a buffer
+    twice without re-acquiring it corrupts the free list - prefer
+    {!with_buf} where scoping allows. *)
+
+type t
+
+type stats = {
+  created : int;  (** buffers ever allocated (cache misses) *)
+  acquired : int;  (** total acquisitions *)
+  released : int;
+  live : int;  (** currently checked out *)
+  peak_live : int;  (** high-water mark of [live] - the pool's real size *)
+}
+
+val create : ?initial_capacity:int -> unit -> t
+(** Fresh empty pool; buffers it allocates start at [initial_capacity]
+    (default 4096) bytes. *)
+
+val acquire : t -> Buffer.t
+(** A cleared buffer: reused from the free list, or freshly allocated when
+    the list is empty. *)
+
+val release : t -> Buffer.t -> unit
+(** Clear the buffer and return it to the free list. *)
+
+val with_buf : t -> (Buffer.t -> 'a) -> 'a
+(** [acquire]/[release] around a scope, exception-safe. *)
+
+val stats : t -> stats

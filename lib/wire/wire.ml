@@ -139,6 +139,18 @@ module Get = struct
     | 1 -> Value.V1
     | v -> fail (Printf.sprintf "invalid value byte %d" v)
 
+  let sub t len =
+    if len < 0 || len > remaining t then fail "sub-cursor exceeds input";
+    let s = { src = t.src; pos = t.pos; limit = t.pos + len } in
+    t.pos <- t.pos + len;
+    s
+
+  let take t len =
+    if len < 0 || len > remaining t then fail "take exceeds input";
+    let s = String.sub t.src t.pos len in
+    t.pos <- t.pos + len;
+    s
+
   let expect_end t =
     if t.pos <> t.limit then
       fail (Printf.sprintf "%d trailing body bytes" (t.limit - t.pos))
@@ -154,6 +166,14 @@ type 'm codec = {
 }
 
 type frame = { codec_id : int; sender : int; body : string }
+
+type view = {
+  v_codec_id : int;
+  v_sender : int;
+  v_src : string;
+  v_pos : int;  (** body offset in [v_src] *)
+  v_len : int;  (** body length *)
+}
 
 type error =
   | Truncated of { need : int; have : int }
@@ -198,12 +218,19 @@ let encode codec ~sender m =
   codec.enc body m;
   encode_raw ~codec_id:codec.id ~sender (Buffer.contents body)
 
+let encode_buf codec ~sender ~scratch m =
+  Buffer.clear scratch;
+  codec.enc scratch m;
+  encode_raw ~codec_id:codec.id ~sender (Buffer.contents scratch)
+
 (* Header parse shared by the one-shot decoder and the stream reader.
    [have] is how many bytes are available from [pos]; the caller guarantees
-   [pos + have <= String.length s]. *)
-let decode_frame ?(max_body = default_max_body) s ~pos =
+   [pos + have <= String.length s].  Returns a zero-copy view: the body
+   stays in [s], only offsets travel.  [s] is an immutable string, so views
+   remain valid whatever the caller does next. *)
+let decode_frame_view ?(max_body = default_max_body) s ~pos =
   let have = String.length s - pos in
-  if pos < 0 || pos > String.length s then invalid_arg "Wire.decode_frame: pos out of bounds";
+  if pos < 0 || pos > String.length s then invalid_arg "Wire.decode_frame_view: pos out of bounds";
   if have < header_bytes then Error (Truncated { need = header_bytes; have })
   else if s.[pos] <> magic0 || s.[pos + 1] <> magic1 then Error Bad_magic
   else
@@ -226,14 +253,43 @@ let decode_frame ?(max_body = default_max_body) s ~pos =
         let actual = crc32 s ~pos:(pos + header_bytes) ~len in
         if not (Int32.equal expected actual) then Error (Bad_crc { expected; actual })
         else
-          let body = String.sub s (pos + header_bytes) len in
-          Ok ({ codec_id; sender; body }, header_bytes + len)
+          Ok
+            ( { v_codec_id = codec_id; v_sender = sender; v_src = s; v_pos = pos + header_bytes; v_len = len },
+              header_bytes + len )
+
+let view_body v = String.sub v.v_src v.v_pos v.v_len
+
+let frame_of_view v = { codec_id = v.v_codec_id; sender = v.v_sender; body = view_body v }
+
+let view_of_frame f =
+  { v_codec_id = f.codec_id; v_sender = f.sender; v_src = f.body; v_pos = 0; v_len = String.length f.body }
+
+let view_bytes v = header_bytes + v.v_len
+
+let cursor_of_view v = Get.create v.v_src ~pos:v.v_pos ~len:v.v_len
+
+let decode_frame ?max_body s ~pos =
+  match decode_frame_view ?max_body s ~pos with
+  | Error _ as e -> e
+  | Ok (v, consumed) -> Ok (frame_of_view v, consumed)
 
 let decode_body codec frame =
   if frame.codec_id <> codec.id then
     Error (Wrong_codec { expected = codec.id; got = frame.codec_id })
   else
     let cur = Get.create frame.body ~pos:0 ~len:(String.length frame.body) in
+    match
+      let m = codec.dec cur in
+      Get.expect_end cur;
+      m
+    with
+    | m -> Ok m
+    | exception Get.Malformed msg -> Error (Malformed_body msg)
+
+let decode_body_view codec v =
+  if v.v_codec_id <> codec.id then Error (Wrong_codec { expected = codec.id; got = v.v_codec_id })
+  else
+    let cur = cursor_of_view v in
     match
       let m = codec.dec cur in
       Get.expect_end cur;
@@ -303,18 +359,26 @@ module Reader = struct
       t.snap_stale <- false
     end
 
-  let next t =
+  let next_view t =
     match t.poison with
     | Some e -> Error e
     | None -> (
       let s = snapshot t in
-      match decode_frame ~max_body:t.max_body s ~pos:t.off with
-      | Ok (frame, consumed) ->
+      match decode_frame_view ~max_body:t.max_body s ~pos:t.off with
+      | Ok (view, consumed) ->
         t.off <- t.off + consumed;
+        (* the view aliases the pre-compaction snapshot string, which is
+           immutable: compacting only swaps [t.snap] for a fresh string *)
         compact t;
-        Ok (Some frame)
+        Ok (Some view)
       | Error (Truncated _) -> Ok None
       | Error e ->
         t.poison <- Some e;
         Error e)
+
+  let next t =
+    match next_view t with
+    | Error _ as e -> e
+    | Ok None -> Ok None
+    | Ok (Some v) -> Ok (Some (frame_of_view v))
 end

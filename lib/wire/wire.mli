@@ -92,6 +92,16 @@ module Get : sig
 
   val remaining : t -> int
 
+  val sub : t -> int -> t
+  (** [sub t len] is a cursor over the next [len] bytes of [t], advancing
+      [t] past them - no copy, both cursors alias the same string.  How the
+      batch decoder ({!Batch.iter_view}) bounds each record's body without
+      substring allocation. *)
+
+  val take : t -> int -> string
+  (** [take t len] copies the next [len] raw bytes and advances - the
+      copying counterpart of {!sub}, for callers that keep the bytes. *)
+
   val expect_end : t -> unit
   (** Raises {!Malformed} unless the cursor consumed its whole slice -
       frames with trailing body bytes are rejected. *)
@@ -118,6 +128,20 @@ type frame = {
     is decoded separately ({!decode_body}) so transports can route frames
     without knowing the message type. *)
 
+type view = {
+  v_codec_id : int;
+  v_sender : int;
+  v_src : string;  (** the buffer the frame was decoded from *)
+  v_pos : int;  (** body offset in [v_src] *)
+  v_len : int;  (** body length in bytes *)
+}
+(** A zero-copy frame: header fields plus the body's {e location} in the
+    source buffer, instead of a substring copy.  Valid forever - [v_src] is
+    an immutable string - so the hot receive path ({!Reader.next_view},
+    [Bca_transport]) hands views around and decodes bodies in place with
+    {!cursor_of_view}; {!frame_of_view} materializes a {!frame} when the
+    copy is wanted. *)
+
 type error =
   | Truncated of { need : int; have : int }
       (** fewer bytes than a complete header + body *)
@@ -140,18 +164,45 @@ val encode : 'm codec -> sender:int -> 'm -> string
 (** One complete frame.  Raises [Invalid_argument] if [sender] is outside
     [0..max_sender] (an encoder bug, not an input condition). *)
 
+val encode_buf : 'm codec -> sender:int -> scratch:Buffer.t -> 'm -> string
+(** {!encode} staging the body in a caller-owned [scratch] buffer (cleared
+    first) instead of allocating a fresh one per message - the pooled
+    encode of the transport hot path.  Same bytes as {!encode}. *)
+
 val encode_raw : codec_id:int -> sender:int -> string -> string
 (** Frame an already-encoded body - used by tests to build adversarial
-    frames with arbitrary contents. *)
+    frames with arbitrary contents, and by the batch path to frame an
+    assembled batch body. *)
 
 val decode_frame : ?max_body:int -> string -> pos:int -> (frame * int, error) result
 (** Parse one frame starting at [pos]; on success also returns the number
     of bytes consumed, so consecutive frames can be peeled off a buffer.
     Never raises, whatever the input bytes. *)
 
+val decode_frame_view : ?max_body:int -> string -> pos:int -> (view * int, error) result
+(** {!decode_frame} without the body copy: header checks (magic, version,
+    bound, CRC) are identical, but the body stays in place as a {!view}. *)
+
+val view_body : view -> string
+(** Copy the body bytes out of a view. *)
+
+val frame_of_view : view -> frame
+
+val view_of_frame : frame -> view
+(** A view aliasing the frame's own body string (offset 0). *)
+
+val view_bytes : view -> int
+(** Total on-wire size of the viewed frame (header + body). *)
+
+val cursor_of_view : view -> Get.t
+(** A bounded read cursor over the body, in place. *)
+
 val decode_body : 'm codec -> frame -> ('m, error) result
 (** Decode a frame's body with [codec], checking the codec id first.
     Strict: trailing bytes are an error.  Never raises. *)
+
+val decode_body_view : 'm codec -> view -> ('m, error) result
+(** {!decode_body} straight off a view - no substring allocation. *)
 
 val decode : 'm codec -> string -> ('m * frame, error) result
 (** [decode_frame] + [decode_body] over a whole string: the string must
@@ -186,6 +237,12 @@ module Reader : sig
   (** [Ok None] = need more bytes; [Ok (Some f)] = one frame extracted;
       [Error _] = stream corrupt (sticky: every later call returns the same
       error). *)
+
+  val next_view : t -> (view option, error) result
+  (** {!next} without the body copy: the view aliases the reader's internal
+      snapshot string, which is immutable and therefore stays valid across
+      later [feed]/[next] calls (compaction swaps in a new string, it never
+      mutates the old one).  The transport receive path uses this. *)
 
   val buffered : t -> int
   (** Bytes fed but not yet consumed as frames. *)

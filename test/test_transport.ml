@@ -17,6 +17,10 @@ module Types = Bca_core.Types
 module Aba = Bca_core.Aba
 module Cluster = Bca_transport.Cluster
 module Transport = Bca_transport.Transport
+module Batcher = Bca_transport.Batcher
+module W = Bca_wire.Wire
+module Batch = Bca_wire.Batch
+module Wf = Bca_core.Wirefmt
 
 let node_exe =
   match Sys.getenv_opt "BCA_NODE" with
@@ -94,6 +98,186 @@ let test_loopback_endpoint_stats () =
     (Cluster.all_stacks ())
 
 (* ------------------------------------------------------------------ *)
+(* Batcher flush policies                                               *)
+(* ------------------------------------------------------------------ *)
+
+let batcher_pair ?policy () =
+  let hub = Transport.Loopback.create_hub ~n:2 () in
+  let ep0 = Transport.Loopback.endpoint hub ~me:0 in
+  let ep1 = Transport.Loopback.endpoint hub ~me:1 in
+  let bat = Batcher.create ?policy ~inner_codec_id:Wf.byz_strong.Bca_wire.Wire.id ep0 in
+  (bat, ep1)
+
+let body_bytes = "0123456789" (* 10-byte record bodies *)
+
+let send_one bat ~instance = Batcher.send bat ~dst:1 ~instance ~enc:(fun buf ->
+    Buffer.add_string buf body_bytes)
+
+(* Drain every batch frame pending at [ep] into a flat (instance, body)
+   list.  Batches may arrive in any order (the loopback hub delivers
+   randomly), so callers compare sorted lists. *)
+let drain_records ep =
+  let records = ref [] in
+  let rec go () =
+    match ep.Transport.recv_view ~timeout_s:0.05 with
+    | None -> ()
+    | Some v ->
+      (match
+         Batch.iter_view v ~record:(fun ~instance g ->
+             records := (instance, W.Get.take g (W.Get.remaining g)) :: !records)
+       with
+      | Ok (inner, _) ->
+        Alcotest.(check int) "inner codec id" Wf.byz_strong.W.id inner
+      | Error e -> Alcotest.failf "batch decode: %s" (W.error_to_string e));
+      go ()
+  in
+  go ();
+  List.sort compare !records
+
+let test_batcher_count_trigger () =
+  let bat, ep1 = batcher_pair ~policy:(Batcher.policy ~max_records:3 ~max_bytes:1_000_000 ()) () in
+  for i = 0 to 6 do
+    send_one bat ~instance:i
+  done;
+  let st = Batcher.stats bat in
+  Alcotest.(check int) "count flushes after 7 sends" 2 st.Batcher.count_flushes;
+  Alcotest.(check int) "batches" 2 st.Batcher.batches;
+  Alcotest.(check int) "records" 7 st.Batcher.records;
+  Alcotest.(check int) "one record still open" 1 (Batcher.pending bat);
+  Batcher.flush bat;
+  Alcotest.(check int) "explicit flush" 1 st.Batcher.explicit_flushes;
+  Alcotest.(check int) "nothing pending" 0 (Batcher.pending bat);
+  Alcotest.(check int) "max occupancy" 3 st.Batcher.max_occupancy;
+  (* a second flush of empty slots is a no-op *)
+  Batcher.flush bat;
+  Alcotest.(check int) "empty flush is a no-op" 3 st.Batcher.batches;
+  let expect = List.init 7 (fun i -> (i, body_bytes)) in
+  Alcotest.(check bool) "every record delivered exactly once" true (drain_records ep1 = expect)
+
+let test_batcher_size_trigger () =
+  (* each record is 12 bytes (two 1-byte varints + 10-byte body), so the
+     64-byte bound fires on the 6th record *)
+  let bat, ep1 = batcher_pair ~policy:(Batcher.policy ~max_records:1_000 ~max_bytes:64 ()) () in
+  for i = 0 to 5 do
+    send_one bat ~instance:i
+  done;
+  let st = Batcher.stats bat in
+  Alcotest.(check int) "size flush on 6th record" 1 st.Batcher.size_flushes;
+  Alcotest.(check int) "count trigger never fired" 0 st.Batcher.count_flushes;
+  Alcotest.(check int) "occupancy = records per size batch" 6 st.Batcher.max_occupancy;
+  Alcotest.(check int) "records delivered" 6 (List.length (drain_records ep1))
+
+let test_batcher_immediate () =
+  let bat, ep1 = batcher_pair ~policy:Batcher.immediate () in
+  for i = 0 to 4 do
+    send_one bat ~instance:i
+  done;
+  let st = Batcher.stats bat in
+  Alcotest.(check int) "one batch per record" 5 st.Batcher.batches;
+  Alcotest.(check int) "never more than one record per frame" 1 st.Batcher.max_occupancy;
+  Alcotest.(check int) "nothing ever pends" 0 (Batcher.pending bat);
+  Alcotest.(check int) "records delivered" 5 (List.length (drain_records ep1))
+
+let test_batcher_broadcast_except () =
+  let hub = Transport.Loopback.create_hub ~n:3 () in
+  let ep0 = Transport.Loopback.endpoint hub ~me:0 in
+  let bat = Batcher.create ~policy:(Batcher.policy ~max_records:100 ())
+      ~inner_codec_id:Wf.byz_strong.W.id ep0 in
+  Batcher.broadcast ~except:0 bat ~instance:3 ~enc:(fun buf -> Buffer.add_string buf body_bytes);
+  Alcotest.(check int) "one record per other destination" 2 (Batcher.pending bat);
+  Batcher.flush bat;
+  Alcotest.(check int) "one batch per destination" 2 (Batcher.stats bat).Batcher.batches;
+  Alcotest.(check int) "hub saw both frames" 2 (Transport.Loopback.pending hub)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-instance executors                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The multi-instance oracle: instance [k] of a round-robin interleaved
+   run is bit-identical to a solo loopback run of the derived seed. *)
+let test_loopback_multi_bit_identical () =
+  let seed = 99L in
+  List.iter
+    (fun (name, spec) ->
+      let cfg = cfg_of spec in
+      let instances = 5 in
+      match Cluster.run_loopback_multi ~seed spec ~cfg ~instances with
+      | Error e -> Alcotest.failf "%s: multi run failed: %s" name e
+      | Ok results ->
+        Alcotest.(check int) "one result per instance" instances (Array.length results);
+        Array.iteri
+          (fun k (multi, mstats) ->
+            let kseed = Cluster.instance_seed ~seed k in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: instance seed %d differs from cluster seed" name k)
+              true (kseed <> seed);
+            let inputs = Cluster.instance_inputs ~seed ~n:cfg.Types.n k in
+            match Cluster.run_loopback ~seed:kseed spec ~cfg ~inputs with
+            | Error e -> Alcotest.failf "%s: solo run of instance %d failed: %s" name k e
+            | Ok (solo, sstats) ->
+              check_identical (Printf.sprintf "%s instance %d" name k) kseed solo multi;
+              Alcotest.(check bool)
+                (Printf.sprintf "%s instance %d: same traffic" name k)
+                true
+                (sstats.Cluster.frames = mstats.Cluster.frames
+                && sstats.Cluster.bytes = mstats.Cluster.bytes))
+          results)
+    [ ("byz-strong", Aba.Byz_strong); ("crash-weak", Aba.Crash_weak 0.25) ]
+
+(* The in-process socket cluster (the bench harness) decides exactly what
+   the loopback oracle says each instance must decide - over both the
+   batched hot path and the per-message baseline. *)
+let test_inproc_cluster_matches_loopback_multi () =
+  let spec = Aba.Byz_strong in
+  let cfg = cfg_of spec in
+  let seed = 23L in
+  let instances = 8 in
+  match Cluster.run_loopback_multi ~seed spec ~cfg ~instances with
+  | Error e -> Alcotest.failf "loopback multi: %s" e
+  | Ok oracle ->
+    List.iter
+      (fun (label, policy, coalesce) ->
+        match
+          Cluster.run_inproc_cluster ~seed ~policy ~coalesce spec ~cfg ~instances
+            ~transport:`Unix
+        with
+        | Error e -> Alcotest.failf "%s: %s" label e
+        | Ok r ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s: one value per instance" label)
+            instances
+            (Array.length r.Cluster.ir_values);
+          Array.iteri
+            (fun k v ->
+              let (solo, _) = oracle.(k) in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: instance %d decides the oracle value" label k)
+                true
+                (Value.equal solo.Aba.value v))
+            r.Cluster.ir_values;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: traffic flowed" label)
+            true
+            (r.Cluster.ir_frames > 0 && r.Cluster.ir_bytes > 0 && r.Cluster.ir_writes > 0))
+      [ ("batched", Batcher.policy (), true);
+        ("per-message", Batcher.immediate, false) ];
+    (* batching strictly reduces frames and writes on the same workload *)
+    (match
+       ( Cluster.run_inproc_cluster ~seed ~policy:(Batcher.policy ()) ~coalesce:true spec ~cfg
+           ~instances ~transport:`Unix,
+         Cluster.run_inproc_cluster ~seed ~policy:Batcher.immediate ~coalesce:false spec ~cfg
+           ~instances ~transport:`Unix )
+     with
+    | Ok batched, Ok unbatched ->
+      Alcotest.(check bool) "batched sends fewer frames" true
+        (batched.Cluster.ir_frames < unbatched.Cluster.ir_frames);
+      Alcotest.(check bool) "batched issues fewer writes" true
+        (batched.Cluster.ir_writes < unbatched.Cluster.ir_writes);
+      Alcotest.(check bool) "batched occupancy above one" true
+        (batched.Cluster.ir_max_occupancy > 1)
+    | Error e, _ | _, Error e -> Alcotest.failf "comparison rerun: %s" e)
+
+(* ------------------------------------------------------------------ *)
 (* Multi-process clusters over real sockets                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -147,15 +331,58 @@ let test_tcp_cluster () =
   Alcotest.(check bool) "tcp cluster decided" true
     (r.Cluster.c_stats.Cluster.frames > 0)
 
+(* Real multi-instance processes: n nodes, each running [bca_node
+   --instances B], agree per instance on exactly the loopback oracle's
+   values. *)
+let test_unix_cluster_multi () =
+  let spec = Aba.Byz_strong in
+  let cfg = cfg_of spec in
+  let seed = 17L in
+  let instances = 8 in
+  match
+    ( Cluster.run_loopback_multi ~seed spec ~cfg ~instances,
+      Cluster.spawn_cluster_multi ~timeout_s:60. ~node_exe ~stack:"byz-strong" ~eps:0.25 ~cfg
+        ~seed ~instances ~transport:`Unix () )
+  with
+  | Error e, _ -> Alcotest.failf "loopback multi: %s" e
+  | _, Error e -> Alcotest.failf "spawned multi cluster: %s" e
+  | Ok oracle, Ok r ->
+    Alcotest.(check int) "one value per instance" instances (Array.length r.Cluster.mc_values);
+    Array.iteri
+      (fun k v ->
+        let solo, _ = oracle.(k) in
+        Alcotest.(check bool)
+          (Printf.sprintf "instance %d matches the loopback oracle" k)
+          true
+          (Value.equal solo.Aba.value v))
+      r.Cluster.mc_values;
+    Array.iter
+      (fun round -> Alcotest.(check bool) "positive round" true (round >= 1))
+      r.Cluster.mc_rounds;
+    Alcotest.(check bool) "batch frames carried the records" true
+      (r.Cluster.mc_batches > 0 && r.Cluster.mc_records > r.Cluster.mc_batches)
+
 let () =
   Alcotest.run "transport"
     [ ( "loopback",
         [ Alcotest.test_case "bit-identical to netsim on all six stacks" `Quick
             test_loopback_bit_identical;
           Alcotest.test_case "stats words/bytes consistent" `Quick test_loopback_endpoint_stats ] );
+      ( "batcher",
+        [ Alcotest.test_case "count trigger" `Quick test_batcher_count_trigger;
+          Alcotest.test_case "size trigger" `Quick test_batcher_size_trigger;
+          Alcotest.test_case "immediate policy" `Quick test_batcher_immediate;
+          Alcotest.test_case "broadcast skips except" `Quick test_batcher_broadcast_except ] );
+      ( "multi",
+        [ Alcotest.test_case "loopback multi bit-identical to solo runs" `Quick
+            test_loopback_multi_bit_identical;
+          Alcotest.test_case "inproc socket cluster matches the oracle" `Slow
+            test_inproc_cluster_matches_loopback_multi ] );
       ( "cluster",
         [ Alcotest.test_case "unix sockets: all six stacks agree" `Slow
             test_unix_cluster_all_stacks;
           Alcotest.test_case "unix sockets: decision matches loopback" `Slow
             test_unix_cluster_matches_loopback;
-          Alcotest.test_case "tcp: byz-strong decides" `Slow test_tcp_cluster ] ) ]
+          Alcotest.test_case "tcp: byz-strong decides" `Slow test_tcp_cluster;
+          Alcotest.test_case "unix sockets: multi-instance nodes match the oracle" `Slow
+            test_unix_cluster_multi ] ) ]

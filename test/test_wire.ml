@@ -316,6 +316,229 @@ let test_trailing_body_bytes () =
   | Ok _ -> Alcotest.fail "trailing body bytes accepted"
 
 (* ------------------------------------------------------------------ *)
+(* Batch frames                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module B = Bca_wire.Batch
+
+let gen_record_body = Gen.(string_size ~gen:(char_range '\x00' '\xff') (int_bound 48))
+
+let gen_records = Gen.(list_size (int_range 1 12) (pair (int_bound 100_000) gen_record_body))
+
+let iter_view_records v =
+  let got = ref [] in
+  match
+    B.iter_view v ~record:(fun ~instance g ->
+        got := (instance, W.Get.take g (W.Get.remaining g)) :: !got)
+  with
+  | Ok (inner, count) -> Ok (inner, count, List.rev !got)
+  | Error e -> Error e
+
+(* Both decode paths - the copying [decode] and the in-place [iter_view] -
+   must be exact inverses of [encode], agreeing with each other on every
+   record. *)
+let prop_batch_roundtrip =
+  Test.make ~count:400 ~name:"batch frames round-trip (decode and iter_view)"
+    (Gen.pair gen_records gen_sender)
+    (fun (records, sender) ->
+      let s = B.encode ~inner_codec_id:Wf.byz_strong.W.id ~sender records in
+      (match B.decode s with
+      | Error e -> Test.fail_reportf "decode: %s" (W.error_to_string e)
+      | Ok d ->
+        if d.B.sender <> sender then Test.fail_report "sender mangled";
+        if d.B.inner_codec_id <> Wf.byz_strong.W.id then Test.fail_report "inner id mangled";
+        if d.B.records <> records then Test.fail_report "decode: records differ");
+      (match W.decode_frame_view s ~pos:0 with
+      | Error e -> Test.fail_reportf "frame view: %s" (W.error_to_string e)
+      | Ok (v, used) ->
+        if used <> String.length s then Test.fail_report "frame shorter than string";
+        (match iter_view_records v with
+        | Error e -> Test.fail_reportf "iter_view: %s" (W.error_to_string e)
+        | Ok (inner, count, got) ->
+          if inner <> Wf.byz_strong.W.id then Test.fail_report "iter_view: inner id mangled";
+          if count <> List.length records then Test.fail_report "iter_view: count mangled";
+          if got <> records then Test.fail_report "iter_view: records differ"));
+      true)
+
+(* Batch records carrying real protocol messages decode back to the same
+   messages in place - the receive path the multi-instance executor runs. *)
+let prop_batch_protocol_records =
+  Test.make ~count:200 ~name:"batch records decode in place with the stack codec"
+    (Gen.list_size (Gen.int_range 1 8) (Gen.pair (Gen.int_bound 63) gen_byz_weak))
+    (fun msgs ->
+      let records = List.map (fun (k, m) -> (k, body_of Wf.byz_weak m)) msgs in
+      let s = B.encode ~inner_codec_id:Wf.byz_weak.W.id ~sender:1 records in
+      match W.decode_frame_view s ~pos:0 with
+      | Error e -> Test.fail_reportf "frame view: %s" (W.error_to_string e)
+      | Ok (v, _) ->
+        let got = ref [] in
+        (match
+           B.iter_view v ~record:(fun ~instance g ->
+               let m = Wf.byz_weak.W.dec g in
+               W.Get.expect_end g;
+               got := (instance, m) :: !got)
+         with
+        | Error e -> Test.fail_reportf "iter_view: %s" (W.error_to_string e)
+        | Ok (_, _) ->
+          List.iter2
+            (fun (k, m) (k', m') ->
+              if k <> k' then Test.fail_report "instance id mangled";
+              if not (String.equal (body_of Wf.byz_weak m) (body_of Wf.byz_weak m')) then
+                Test.fail_report "record decoded to a different message")
+            msgs (List.rev !got));
+        true)
+
+let prop_batch_truncation =
+  Test.make ~count:100 ~name:"batch frame prefixes are Truncated, never an exception"
+    gen_records
+    (fun records ->
+      let s = B.encode ~inner_codec_id:Wf.byz_strong.W.id ~sender:0 records in
+      for len = 0 to String.length s - 1 do
+        match B.decode (String.sub s 0 len) with
+        | Ok _ -> Test.fail_reportf "prefix of %d/%d bytes decoded" len (String.length s)
+        | Error (W.Truncated _) -> ()
+        | Error e ->
+          Test.fail_reportf "prefix of %d bytes: unexpected %s" len (W.error_to_string e)
+      done;
+      true)
+
+let sample_batch () =
+  B.encode ~inner_codec_id:Wf.byz_strong.W.id ~sender:2
+    [ (0, body_of Wf.byz_strong (Byz_strong.Committed Value.V0));
+      (7, body_of Wf.byz_strong (Byz_strong.Committed Value.V1)) ]
+
+let test_batch_crc_flip () =
+  let s = sample_batch () in
+  (* a flip anywhere in the body (including a record) dies on the outer CRC
+     before any record is touched *)
+  List.iter
+    (fun pos ->
+      let s' = patch s pos (Char.chr (Char.code s.[pos] lxor 0x20)) in
+      match B.decode s' with
+      | Error (W.Bad_crc _) -> ()
+      | Error e -> Alcotest.failf "flip at %d: expected Bad_crc, got %s" pos (W.error_to_string e)
+      | Ok _ -> Alcotest.failf "flip at %d went undetected" pos)
+    [ 10; W.header_bytes; W.header_bytes + 2; String.length s - 1 ]
+
+(* Hand-build a batch body (version, inner id, count, then raw record
+   region) and frame it under a valid CRC - structural violations past the
+   outer framing. *)
+let raw_batch ?(version = B.batch_version) ?(inner = Wf.byz_strong.W.id) ~count region =
+  let buf = Buffer.create 32 in
+  W.Put.u8 buf version;
+  W.Put.u8 buf inner;
+  W.Put.varint buf count;
+  Buffer.add_string buf region;
+  W.encode_raw ~codec_id:B.codec_id ~sender:0 (Buffer.contents buf)
+
+let record ~instance body =
+  let buf = Buffer.create 16 in
+  B.add_record buf ~instance body;
+  Buffer.contents buf
+
+let check_malformed what s =
+  (match B.decode s with
+  | Error (W.Malformed_body _) -> ()
+  | Error e -> Alcotest.failf "%s: expected Malformed_body, got %s" what (W.error_to_string e)
+  | Ok _ -> Alcotest.failf "%s: accepted" what);
+  match W.decode_frame_view s ~pos:0 with
+  | Error e -> Alcotest.failf "%s: outer frame rejected: %s" what (W.error_to_string e)
+  | Ok (v, _) -> (
+    match iter_view_records v with
+    | Error (W.Malformed_body _) -> ()
+    | Error e ->
+      Alcotest.failf "%s: iter_view expected Malformed_body, got %s" what (W.error_to_string e)
+    | Ok _ -> Alcotest.failf "%s: iter_view accepted" what)
+
+let test_batch_empty () = check_malformed "empty batch (count=0)" (raw_batch ~count:0 "")
+
+let test_batch_future_version () =
+  check_malformed "future batch version"
+    (raw_batch ~version:(B.batch_version + 1) ~count:1 (record ~instance:0 "x"))
+
+let test_batch_nested () =
+  check_malformed "nested batch inner id"
+    (raw_batch ~inner:B.codec_id ~count:1 (record ~instance:0 "x"));
+  (* the builder refuses to construct one, and rejects empty batches *)
+  (match B.make_body ~inner_codec_id:B.codec_id ~count:1 (Buffer.create 0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "make_body accepted a nested batch id");
+  match B.make_body ~inner_codec_id:Wf.byz_strong.W.id ~count:0 (Buffer.create 0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "make_body accepted count=0"
+
+let test_batch_inflated_count () =
+  check_malformed "count exceeds records"
+    (raw_batch ~count:3 (record ~instance:0 "a" ^ record ~instance:1 "b"))
+
+let test_batch_record_overrun () =
+  (* record claims 200 body bytes, only 3 present *)
+  let buf = Buffer.create 16 in
+  W.Put.varint buf 5;
+  W.Put.varint buf 200;
+  Buffer.add_string buf "abc";
+  check_malformed "record overruns body" (raw_batch ~count:1 (Buffer.contents buf))
+
+let test_batch_trailing () =
+  check_malformed "trailing bytes after last record"
+    (raw_batch ~count:1 (record ~instance:0 "x" ^ "\x00"))
+
+let test_batch_oversize () =
+  let s = sample_batch () in
+  match B.decode ~max_body:4 s with
+  | Error (W.Oversized _) -> ()
+  | Error e -> Alcotest.failf "expected Oversized, got %s" (W.error_to_string e)
+  | Ok _ -> Alcotest.fail "oversized batch accepted"
+
+let test_batch_wrong_codec () =
+  let s = W.encode Wf.byz_strong ~sender:0 (Byz_strong.Committed Value.V0) in
+  (match B.decode s with
+  | Error (W.Wrong_codec { expected; got }) ->
+    Alcotest.(check int) "expected id" B.codec_id expected;
+    Alcotest.(check int) "got id" Wf.byz_strong.W.id got
+  | Error e -> Alcotest.failf "expected Wrong_codec, got %s" (W.error_to_string e)
+  | Ok _ -> Alcotest.fail "non-batch frame decoded as batch");
+  match W.decode_frame_view s ~pos:0 with
+  | Error e -> Alcotest.failf "outer frame: %s" (W.error_to_string e)
+  | Ok (v, _) -> (
+    match iter_view_records v with
+    | Error (W.Wrong_codec _) -> ()
+    | Error e -> Alcotest.failf "iter_view expected Wrong_codec, got %s" (W.error_to_string e)
+    | Ok _ -> Alcotest.fail "iter_view accepted a non-batch frame")
+
+(* A [record] callback rejecting its record (as the executor's instance
+   range check and codec decode do) surfaces as the batch's own decode
+   error - the collect-then-deliver contract. *)
+let test_batch_record_callback_rejects () =
+  let s = sample_batch () in
+  match W.decode_frame_view s ~pos:0 with
+  | Error e -> Alcotest.failf "outer frame: %s" (W.error_to_string e)
+  | Ok (v, _) -> (
+    match
+      B.iter_view v ~record:(fun ~instance g ->
+          ignore (W.Get.take g (W.Get.remaining g) : string);
+          if instance = 7 then raise (W.Get.Malformed "instance out of range"))
+    with
+    | Error (W.Malformed_body _) -> ()
+    | Error e -> Alcotest.failf "expected Malformed_body, got %s" (W.error_to_string e)
+    | Ok _ -> Alcotest.fail "rejecting callback did not fail the batch")
+
+let batch_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_batch_roundtrip; prop_batch_protocol_records; prop_batch_truncation ]
+  @ [ Alcotest.test_case "CRC flip caught before records" `Quick test_batch_crc_flip;
+      Alcotest.test_case "empty batch rejected" `Quick test_batch_empty;
+      Alcotest.test_case "future batch version rejected" `Quick test_batch_future_version;
+      Alcotest.test_case "nested batch rejected" `Quick test_batch_nested;
+      Alcotest.test_case "inflated count rejected" `Quick test_batch_inflated_count;
+      Alcotest.test_case "record overrun rejected" `Quick test_batch_record_overrun;
+      Alcotest.test_case "trailing record bytes rejected" `Quick test_batch_trailing;
+      Alcotest.test_case "oversized batch rejected" `Quick test_batch_oversize;
+      Alcotest.test_case "wrong codec id rejected" `Quick test_batch_wrong_codec;
+      Alcotest.test_case "record callback rejection fails the batch" `Quick
+        test_batch_record_callback_rejects ]
+
+(* ------------------------------------------------------------------ *)
 (* Stream reassembly                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -409,6 +632,7 @@ let () =
             Alcotest.test_case "varint overflow (list count)" `Quick test_varint_overflow_list_count;
             Alcotest.test_case "varint max_int round-trip" `Quick test_varint_max_int;
             Alcotest.test_case "trailing body bytes" `Quick test_trailing_body_bytes ] );
+      ("batch", batch_tests);
       ( "reader",
         List.map QCheck_alcotest.to_alcotest [ prop_reader_chunking ]
         @ [ Alcotest.test_case "poisoned reader stays poisoned" `Quick test_reader_poisoned;
