@@ -3,7 +3,8 @@
    scaling sweep with a simulator-throughput benchmark (JSON-reported), and
    times the simulator stacks with Bechamel.
 
-   Usage: main.exe [table1|table2|attack|scaling|chaos|ablation|bechamel|all]
+   Usage: main.exe [table1|table2|attack|scaling|chaos|wire|cluster|recovery|
+                    ablation|bechamel|all]
                    [--runs K] [--seed S] [--json PATH] [--metrics] [--trace PATH]
    Default: all.  Monte-Carlo run counts are chosen so the full harness
    completes in well under a minute; EXPERIMENTS.md records a reference
@@ -279,12 +280,40 @@ let cluster_dps row =
   float_of_int row.cl_instances
   /. (if row.cl_wall_s > 0.0 then row.cl_wall_s else epsilon_float)
 
+(* One crash-recovery measurement: [rc_decisions] supervised byz-strong
+   clusters of real node processes with durable WALs, every k-th run arming
+   one node to SIGKILL itself at its first round-1 coin reveal; the
+   supervisor restarts it with --recover and the run must still decide
+   unanimously.  Figures of merit: decisions/sec under the kill regime,
+   WAL bytes per decision (the durability tax), and per-recovery replay
+   cost (records and wall time from the RECOVERED line). *)
+type recovery_row = {
+  rc_transport : string;
+  rc_n : int;
+  rc_t : int;
+  rc_decisions : int;
+  rc_kills : int;
+  rc_restarts : int;
+  rc_recoveries : int;
+  rc_replayed_records : int;
+  rc_replayed_bytes : int;
+  rc_replay_s : float;
+  rc_wal_bytes : int;
+  rc_wall_s : float;
+}
+
+let recovery_dps row =
+  float_of_int row.rc_decisions
+  /. (if row.rc_wall_s > 0.0 then row.rc_wall_s else epsilon_float)
+
 (* The scaling, chaos and wire sections all contribute to the JSON report;
    they accumulate here and the file is written once, after all sections
    ran. *)
 let scaling_acc : throughput list ref = ref []
 
 let cluster_acc : cluster_row list ref = ref []
+
+let recovery_acc : recovery_row list ref = ref []
 
 let chaos_acc : chaos_row list ref = ref []
 
@@ -296,16 +325,19 @@ let chaos_failed = ref false
 
 let section_failed = ref false
 
-let write_throughput_json path ~seed ~runs ~chaos ~metrics ~wire ~cluster ~lint tps =
+let write_throughput_json path ~seed ~runs ~chaos ~metrics ~wire ~cluster ~recovery ~lint
+    tps =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
-  (* schema 4: adds the "cluster" array (decisions/sec of the batched
-     socket hot path vs the per-message baseline); schema 3 added the
-     "lint" object (static-analysis health of lib/ at report time);
-     schema 2 added the "wire" array (per-decision on-wire traffic per
-     stack).  Consumers of older schemas should treat all three as
-     optional *)
-  Buffer.add_string buf "  \"schema\": 4,\n";
+  (* schema 5: adds the "recovery" array (supervised crash-recovery
+     clusters: decisions/sec with a kill every k decisions, WAL bytes per
+     decision, replay cost); schema 4 added the "cluster" array
+     (decisions/sec of the batched socket hot path vs the per-message
+     baseline); schema 3 added the "lint" object (static-analysis health
+     of lib/ at report time); schema 2 added the "wire" array
+     (per-decision on-wire traffic per stack).  Consumers of older
+     schemas should treat all four as optional *)
+  Buffer.add_string buf "  \"schema\": 5,\n";
   (match lint with
   | Some (r : Bca_lint.Lint.report) ->
     Buffer.add_string buf
@@ -374,6 +406,23 @@ let write_throughput_json path ~seed ~runs ~chaos ~metrics ~wire ~cluster ~lint 
            c.cl_alloc_words (per c.cl_frames) (per c.cl_bytes)
            (if i = List.length cluster - 1 then "" else ",")))
     cluster;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"recovery\": [\n";
+  List.iteri
+    (fun i r ->
+      let per d = float_of_int d /. float_of_int (max 1 r.rc_decisions) in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"stack\": \"byz-strong\", \"transport\": %S, \"n\": %d, \"t\": %d, \
+            \"decisions\": %d, \"kills\": %d, \"restarts\": %d, \"recoveries\": %d, \
+            \"replayed_records\": %d, \"replayed_bytes\": %d, \"replay_s\": %.6f, \
+            \"wal_bytes\": %d, \"wall_s\": %.6f, \"decisions_per_sec\": %.2f, \
+            \"wal_bytes_per_decision\": %.1f}%s\n"
+           r.rc_transport r.rc_n r.rc_t r.rc_decisions r.rc_kills r.rc_restarts
+           r.rc_recoveries r.rc_replayed_records r.rc_replayed_bytes r.rc_replay_s
+           r.rc_wal_bytes r.rc_wall_s (recovery_dps r) (per r.rc_wal_bytes)
+           (if i = List.length recovery - 1 then "" else ",")))
+    recovery;
   Buffer.add_string buf "  ],\n";
   Buffer.add_string buf "  \"metrics\": [\n";
   List.iteri
@@ -689,6 +738,131 @@ let cluster_bench () =
   cluster_acc := rows
 
 (* ------------------------------------------------------------------ *)
+(* Crash recovery: supervised clusters under periodic SIGKILLs.         *)
+(* ------------------------------------------------------------------ *)
+
+(* The recovery section forks real node processes, so it needs the
+   bca_node binary: $BCA_NODE, or the sibling bin/ directory of this
+   executable inside _build.  When neither exists (installed binary, odd
+   layout) the section is skipped rather than failed - it measures the
+   launcher, not the protocol. *)
+let bench_node_exe () =
+  match Sys.getenv_opt "BCA_NODE" with
+  | Some p -> if Sys.file_exists p then Some p else None
+  | None ->
+    let p =
+      Filename.concat
+        (Filename.concat (Filename.dirname (Filename.dirname Sys.executable_name)) "bin")
+        "bca_node.exe"
+    in
+    if Sys.file_exists p then Some p else None
+
+let recovery_bench () =
+  let seed = root_seed () in
+  let runs = match !opt_runs with Some r -> min r 20 | None -> 4 in
+  let kill_every = 2 in
+  let cfg = Types.cfg ~n:4 ~t:1 in
+  let inputs = Array.init 4 (fun p -> if p mod 2 = 0 then Value.V0 else Value.V1) in
+  section
+    (Printf.sprintf
+       "Crash recovery - supervised byz-strong clusters, SIGKILL at the round-1 coin \
+        reveal on every %dth decision (%d decisions per transport)"
+       kill_every runs);
+  match bench_node_exe () with
+  | None ->
+    print_endline "(skipped: bca_node.exe not found; set BCA_NODE or run `dune build bin`)"
+  | Some node_exe ->
+    let measure transport =
+      let tname = match transport with `Unix -> "unix" | `Tcp -> "tcp" in
+      let kills = ref 0 and restarts = ref 0 and wal_bytes = ref 0 in
+      let recoveries = ref 0 and rec_records = ref 0 and rec_bytes = ref 0 in
+      let replay_s = ref 0.0 in
+      let t0 = Unix.gettimeofday () in
+      for k = 0 to runs - 1 do
+        let wal_dir =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "bca-bench-wal-%d-%s-%d" (Unix.getpid ()) tname k)
+        in
+        Unix.mkdir wal_dir 0o700;
+        let cleanup () =
+          (match Sys.readdir wal_dir with
+          | entries ->
+            Array.iter
+              (fun f -> try Sys.remove (Filename.concat wal_dir f) with Sys_error _ -> ())
+              entries
+          | exception Sys_error _ -> ());
+          try Unix.rmdir wal_dir with Unix.Unix_error _ -> ()
+        in
+        let kill_at = if k mod kill_every = 0 then Some (2, "coin:1") else None in
+        if kill_at <> None then incr kills;
+        let outcome =
+          Fun.protect ~finally:cleanup (fun () ->
+              Cluster.spawn_cluster_supervised ~timeout_s:30. ?kill_at ~node_exe
+                ~stack:"byz-strong" ~eps:0.25 ~cfg
+                ~seed:(Int64.add seed (Int64.of_int (3000 + k)))
+                ~inputs ~wal_dir ~transport ())
+        in
+        match outcome with
+        | Ok r ->
+          restarts := !restarts + r.Cluster.s_restarts;
+          wal_bytes := !wal_bytes + r.Cluster.s_wal_bytes;
+          List.iter
+            (fun ri ->
+              incr recoveries;
+              rec_records := !rec_records + ri.Cluster.ri_records;
+              rec_bytes := !rec_bytes + ri.Cluster.ri_wal_bytes;
+              replay_s := !replay_s +. ri.Cluster.ri_replay_s)
+            r.Cluster.s_recoveries
+        | Error e -> failwith (Printf.sprintf "recovery (%s, decision %d): %s" tname k e)
+      done;
+      let wall = Unix.gettimeofday () -. t0 in
+      { rc_transport = tname;
+        rc_n = cfg.Types.n;
+        rc_t = cfg.Types.t;
+        rc_decisions = runs;
+        rc_kills = !kills;
+        rc_restarts = !restarts;
+        rc_recoveries = !recoveries;
+        rc_replayed_records = !rec_records;
+        rc_replayed_bytes = !rec_bytes;
+        rc_replay_s = !replay_s;
+        rc_wal_bytes = !wal_bytes;
+        rc_wall_s = wall }
+    in
+    let rows = List.map measure [ `Unix; `Tcp ] in
+    Tablefmt.print
+      ~header:
+        [ "transport"; "decisions"; "kills"; "restarts"; "recoveries"; "wall (s)";
+          "decisions/sec"; "WAL B/decision"; "replay ms (mean)"; "records replayed" ]
+      (List.map
+         (fun r ->
+           [ r.rc_transport; string_of_int r.rc_decisions; string_of_int r.rc_kills;
+             string_of_int r.rc_restarts; string_of_int r.rc_recoveries;
+             Printf.sprintf "%.3f" r.rc_wall_s;
+             Printf.sprintf "%.2f" (recovery_dps r);
+             Printf.sprintf "%.1f"
+               (float_of_int r.rc_wal_bytes /. float_of_int (max 1 r.rc_decisions));
+             (if r.rc_recoveries = 0 then "-"
+              else
+                Printf.sprintf "%.2f"
+                  (1000. *. r.rc_replay_s /. float_of_int r.rc_recoveries));
+             string_of_int r.rc_replayed_records ])
+         rows);
+    print_endline
+      "(every killed node must come back through its WAL: a kill without a\n\
+       matching recovery below fails this process)";
+    List.iter
+      (fun r ->
+        if r.rc_recoveries < r.rc_kills then begin
+          section_failed := true;
+          Printf.eprintf "recovery (%s): %d kills but only %d WAL recoveries\n"
+            r.rc_transport r.rc_kills r.rc_recoveries
+        end)
+      rows;
+    recovery_acc := rows
+
+(* ------------------------------------------------------------------ *)
 (* Observability: per-round / per-phase metrics and trace capture.      *)
 (* ------------------------------------------------------------------ *)
 
@@ -805,13 +979,13 @@ let lint_summary () =
 let flush_json () =
   if
     !scaling_acc <> [] || !chaos_acc <> [] || !metrics_acc <> [] || !wire_acc <> []
-    || !cluster_acc <> []
+    || !cluster_acc <> [] || !recovery_acc <> []
   then begin
     let path = json_path () in
     let runs = match !opt_runs with Some r -> r | None -> 30 in
     write_throughput_json path ~seed:(root_seed ()) ~runs ~chaos:!chaos_acc
-      ~metrics:!metrics_acc ~wire:!wire_acc ~cluster:!cluster_acc ~lint:(lint_summary ())
-      !scaling_acc;
+      ~metrics:!metrics_acc ~wire:!wire_acc ~cluster:!cluster_acc ~recovery:!recovery_acc
+      ~lint:(lint_summary ()) !scaling_acc;
     Printf.printf "\n(throughput written to %s)\n" path
   end
 
@@ -896,7 +1070,7 @@ let bechamel () =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [table1|table2|attack|scaling|chaos|wire|cluster|ablation|bechamel|all]\n\
+    "usage: main.exe [table1|table2|attack|scaling|chaos|wire|cluster|recovery|ablation|bechamel|all]\n\
     \       [--runs K] [--seed S] [--json PATH] [--metrics] [--trace PATH] [--floor DPS]\n";
   exit 1
 
@@ -969,6 +1143,7 @@ let () =
   | "chaos" -> run_section "chaos" chaos
   | "wire" -> run_section "wire" wire
   | "cluster" -> run_section "cluster" cluster_bench
+  | "recovery" -> run_section "recovery" recovery_bench
   | "ablation" -> run_section "ablation" ablation
   | "bechamel" -> run_section "bechamel" bechamel
   | "all" ->
@@ -979,12 +1154,13 @@ let () =
     run_section "chaos" chaos;
     run_section "wire" wire;
     run_section "cluster" cluster_bench;
+    run_section "recovery" recovery_bench;
     run_section "ablation" ablation;
     run_section "bechamel" bechamel
   | other ->
     Printf.eprintf
       "unknown section %S \
-       (table1|table2|attack|scaling|chaos|wire|cluster|ablation|bechamel|all)\n"
+       (table1|table2|attack|scaling|chaos|wire|cluster|recovery|ablation|bechamel|all)\n"
       other;
     usage ());
   if !opt_metrics then run_section "metrics" metrics;

@@ -210,8 +210,39 @@ let cluster_cmd =
       value & opt int (32 * 1024)
       & info [ "batch-bytes" ] ~doc:"... or when its record region reaches this size.")
   in
+  let supervise_arg =
+    Arg.(
+      value & flag
+      & info [ "supervise" ]
+          ~doc:
+            "Run the crash-recovery supervisor: nodes keep durable WALs and a dead node is \
+             restarted with --recover (single-instance mode only).")
+  in
+  let wal_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory for the per-node write-ahead logs (default with --supervise: a fresh \
+             temporary directory, removed afterwards).")
+  in
+  let kill_at_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kill-at" ] ~docv:"PID:TRIGGER"
+          ~doc:
+            "With --supervise: SIGKILL node PID at TRIGGER (coin:R or round:R), e.g. \
+             2:coin:1 kills node 2 at its first access of round 1's coin.")
+  in
+  let max_restarts_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "max-restarts" ] ~doc:"With --supervise: restart budget per node.")
+  in
   let action stack eps inputs t_opt transport timeout node_exe seed instances batch_records
-      batch_bytes =
+      batch_bytes supervise wal_dir kill_at max_restarts =
     match spec_of_string stack eps with
     | Error e ->
       prerr_endline e;
@@ -252,7 +283,75 @@ let cluster_cmd =
           (match transport with `Unix -> "unix sockets" | `Tcp -> "tcp")
           n t
       in
-      if instances > 1 then begin
+      if supervise then begin
+        if instances > 1 then begin
+          prerr_endline "--supervise requires the single-instance executor";
+          exit 1
+        end;
+        let kill_at =
+          Option.map
+            (fun s ->
+              match String.index_opt s ':' with
+              | Some i when int_of_string_opt (String.sub s 0 i) <> None ->
+                ( int_of_string (String.sub s 0 i),
+                  String.sub s (i + 1) (String.length s - i - 1) )
+              | _ ->
+                prerr_endline "bad --kill-at (expected PID:coin:R or PID:round:R)";
+                exit 1)
+            kill_at
+        in
+        let wal_dir, cleanup =
+          match wal_dir with
+          | Some dir -> (dir, fun () -> ())
+          | None ->
+            let dir =
+              Filename.concat
+                (Filename.get_temp_dir_name ())
+                (Printf.sprintf "bca-wal-%d" (Unix.getpid ()))
+            in
+            Unix.mkdir dir 0o700;
+            ( dir,
+              fun () ->
+                (match Sys.readdir dir with
+                | entries ->
+                  Array.iter
+                    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+                    entries
+                | exception Sys_error _ -> ());
+                try Unix.rmdir dir with Unix.Unix_error _ -> () )
+        in
+        let outcome =
+          Fun.protect
+            ~finally:(fun () -> cleanup ())
+            (fun () ->
+              Cluster.spawn_cluster_supervised ~timeout_s:timeout ~max_restarts ?kill_at
+                ~node_exe ~stack ~eps ~cfg ~seed ~inputs:input_arr ~wal_dir ~transport ())
+        in
+        match outcome with
+        | Ok r ->
+          header ();
+          Format.printf "inputs:     %s@." inputs;
+          Format.printf "agreed:     %a@." Value.pp r.Cluster.s_result.Cluster.c_value;
+          Format.printf "rounds:     %s@."
+            (String.concat " "
+               (Array.to_list (Array.map string_of_int r.Cluster.s_result.Cluster.c_rounds)));
+          Format.printf "traffic:    %d frames, %d bytes (%d words)@."
+            r.Cluster.s_result.Cluster.c_stats.frames r.Cluster.s_result.Cluster.c_stats.bytes
+            r.Cluster.s_result.Cluster.c_stats.words;
+          Format.printf "restarts:   %d (wal bytes: %d)@." r.Cluster.s_restarts
+            r.Cluster.s_wal_bytes;
+          List.iter
+            (fun ri ->
+              Format.printf
+                "recovered:  node %d replayed %d records (%d bytes) in %.3f s@."
+                ri.Cluster.ri_pid ri.Cluster.ri_records ri.Cluster.ri_wal_bytes
+                ri.Cluster.ri_replay_s)
+            r.Cluster.s_recoveries
+        | Error e ->
+          prerr_endline e;
+          exit 1
+      end
+      else if instances > 1 then begin
         let policy =
           try Bca_transport.Batcher.policy ~max_records:batch_records ~max_bytes:batch_bytes ()
           with Invalid_argument e ->
@@ -305,7 +404,8 @@ let cluster_cmd =
           runs B agreements per node over one endpoint pair).")
     Term.(
       const action $ stack $ eps $ inputs $ t_arg $ transport $ timeout $ node_exe_arg
-      $ seed_arg $ instances_arg $ batch_records_arg $ batch_bytes_arg)
+      $ seed_arg $ instances_arg $ batch_records_arg $ batch_bytes_arg $ supervise_arg
+      $ wal_dir_arg $ kill_at_arg $ max_restarts_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bca tables                                                           *)

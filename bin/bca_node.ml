@@ -16,7 +16,16 @@
 
    line.  Any failure (timeout, no decision, bad arguments) goes to
    stderr with a non-zero exit; losing a TCP bind race (EADDRINUSE) exits
-   with the dedicated code the launcher retries on. *)
+   with the dedicated code the launcher retries on.
+
+   Crash recovery (single-instance only): --wal-dir makes the node keep a
+   durable write-ahead log; --recover replays it and rejoins the cluster
+   mid-flight, printing a
+
+     RECOVERED pid=<me> records=<k> wal_bytes=<b> replay_s=<s>
+
+   line before the DECIDED line; --kill-at coin:R|round:R makes the node
+   SIGKILL itself at that milestone (the supervisor's chaos trigger). *)
 
 module Types = Bca_core.Types
 module Value = Bca_util.Value
@@ -27,9 +36,37 @@ module Batcher = Bca_transport.Batcher
 let usage = "bca_node --stack S --n N --t T --me I --seed SEED --inputs BITS \
              --transport unix|tcp --addrs a0,a1,... [--eps E] [--timeout S] [--linger S] \
              [--instances B] [--batch-records R] [--batch-bytes BY] \
-             [--sndbuf BY] [--rcvbuf BY] [--no-coalesce]"
+             [--sndbuf BY] [--rcvbuf BY] [--no-coalesce] \
+             [--wal-dir DIR] [--recover] [--kill-at coin:R|round:R]"
 
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("bca_node: " ^ msg); exit 2) fmt
+
+(* --kill-at: SIGKILL ourselves the moment the trigger event fires -
+   "coin:R" at our first access of round R's coin (the instant the paper's
+   binding property must already hold), "round:R" at our entry into round
+   R.  Implemented as a streaming tracer so the kill happens mid-receive,
+   after the triggering delivery was WAL'd but before its consequences hit
+   the wire - the worst torn state recovery must handle. *)
+let parse_kill_at s =
+  match String.index_opt s ':' with
+  | None -> die "bad --kill-at %S (expected coin:R or round:R)" s
+  | Some i -> (
+    let kind = String.sub s 0 i in
+    let arg = String.sub s (i + 1) (String.length s - i - 1) in
+    match (kind, int_of_string_opt arg) with
+    | "coin", Some r -> `Coin r
+    | "round", Some r -> `Round r
+    | _ -> die "bad --kill-at %S (expected coin:R or round:R)" s)
+
+let kill_tracer ~me trigger =
+  Bca_obs.Trace.stream (fun { Bca_obs.Event.ev; _ } ->
+      let fire =
+        match (trigger, ev) with
+        | `Coin r, Bca_obs.Event.Coin_reveal { pid; round; _ } -> pid = me && round = r
+        | `Round r, Bca_obs.Event.Round_enter { pid; round } -> pid = me && round = r
+        | _ -> false
+      in
+      if fire then Unix.kill (Unix.getpid ()) Sys.sigkill)
 
 let parse_tcp_addr s =
   match String.rindex_opt s ':' with
@@ -61,6 +98,9 @@ let () =
   let sndbuf = ref 0 in
   let rcvbuf = ref 0 in
   let no_coalesce = ref false in
+  let wal_dir = ref "" in
+  let recover = ref false in
+  let kill_at = ref "" in
   let spec_list =
     [ ("--stack", Arg.Set_string stack, "Protocol stack (crash-strong .. byz-tsig)");
       ("--eps", Arg.Set_float eps, "Coin goodness for the weak stacks");
@@ -78,11 +118,18 @@ let () =
       ("--batch-bytes", Arg.Set_int batch_bytes, "... or at this many record bytes");
       ("--sndbuf", Arg.Set_int sndbuf, "SO_SNDBUF for every socket (0 = kernel default)");
       ("--rcvbuf", Arg.Set_int rcvbuf, "SO_RCVBUF for every socket (0 = kernel default)");
-      ("--no-coalesce", Arg.Set no_coalesce, "Write frame-at-a-time (per-message baseline)") ]
+      ("--no-coalesce", Arg.Set no_coalesce, "Write frame-at-a-time (per-message baseline)");
+      ("--wal-dir", Arg.Set_string wal_dir, "Keep a durable write-ahead log in this directory");
+      ("--recover", Arg.Set recover, "Replay the WAL and rejoin the cluster mid-flight");
+      ("--kill-at", Arg.Set_string kill_at,
+       "SIGKILL self at a milestone (coin:R or round:R; crash-recovery testing)") ]
   in
   Arg.parse spec_list (fun a -> die "unexpected argument %S" a) usage;
   let multi = !instances > 1 in
   if !instances < 1 then die "--instances must be >= 1";
+  if multi && (!wal_dir <> "" || !recover || !kill_at <> "") then
+    die "--wal-dir / --recover / --kill-at require the single-instance executor";
+  if !recover && !wal_dir = "" then die "--recover requires --wal-dir";
   if multi then begin
     if !inputs <> "" then die "--inputs is meaningless with --instances > 1 (inputs are derived)";
     if !n = 0 then die "--n is required with --instances > 1"
@@ -134,9 +181,15 @@ let () =
       end
       else begin
         let input_arr = Array.init !n (fun i -> Value.of_bool (!inputs.[i] = '1')) in
+        let tracer =
+          if !kill_at = "" then Bca_obs.Trace.null
+          else kill_tracer ~me:!me (parse_kill_at !kill_at)
+        in
+        let wal_dir = if !wal_dir = "" then None else Some !wal_dir in
         Result.map
           (fun d -> `Single d)
-          (Cluster.run_node ~seed:!seed ~timeout_s:!timeout ~linger_s:!linger spec ~cfg
+          (Cluster.run_node ~seed:!seed ~timeout_s:!timeout ~linger_s:!linger ~tracer
+             ?wal_dir ~recover:!recover ~on_recover:Cluster.print_recovered spec ~cfg
              ~inputs:input_arr ~net)
       end
     in

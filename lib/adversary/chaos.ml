@@ -11,6 +11,8 @@ type partition = { from_delivery : int; heal_delivery : int; side : bool array }
 
 type crash = { victim : pid; at_delivery : int; last_recipients : pid list }
 
+type kill = { k_victim : pid; k_at_delivery : int; k_restart_delta : int }
+
 type plan = {
   chaos_seed : int64;
   n : int;
@@ -18,6 +20,7 @@ type plan = {
   link_overrides : ((pid * pid) * link) list;
   partitions : partition list;
   crashes : crash list;
+  kills : kill list;
   corrupt : pid list;
   p_corrupt : float;
   fairness : int;
@@ -30,12 +33,15 @@ let silent ~n =
     link_overrides = [];
     partitions = [];
     crashes = [];
+    kills = [];
     corrupt = [];
     p_corrupt = 0.;
     fairness = 0 }
 
 let faulty_parties plan =
   List.sort_uniq Int.compare (List.map (fun c -> c.victim) plan.crashes @ plan.corrupt)
+
+let kill_victims plan = List.sort_uniq Int.compare (List.map (fun k -> k.k_victim) plan.kills)
 
 (* ------------------------------------------------------------------ *)
 (* Random plan generation                                              *)
@@ -44,7 +50,7 @@ let faulty_parties plan =
 (* Scales chosen so a typical agreement run (hundreds to a few thousand
    deliveries at n <= 13) meets every scheduled event, yet drops stay rare
    enough that most runs still terminate. *)
-let gen rng ~n ~max_faults ~allow_corrupt =
+let gen ?(kills = 0) rng ~n ~max_faults ~allow_corrupt =
   let chaos_seed = Rng.int64 rng in
   let pfloat hi = float_of_int (Rng.int rng 1000) /. 1000.0 *. hi in
   let default_link =
@@ -87,15 +93,42 @@ let gen rng ~n ~max_faults ~allow_corrupt =
           last_recipients = List.filter (fun _ -> Rng.bool rng) (List.init n Fun.id) })
       crash_victims
   in
+  let p_corrupt = if corrupt = [] then 0. else 0.05 +. pfloat 0.25 in
+  let fairness = Rng.int rng 3 in
+  (* kill/restart faults last, and only when asked for: with [kills = 0]
+     no RNG draw happens here, so pre-existing seeded plans are
+     bit-identical.  Victims are honest - they must be disjoint from the
+     faulty set - and every kill carries a bounded restart point. *)
+  let kill_faults =
+    if kills <= 0 then []
+    else begin
+      let candidates = List.filter (fun p -> not (List.mem p faulty)) (List.init n Fun.id) in
+      let rec draw acc pool k =
+        if k = 0 || pool = [] then acc
+        else
+          let i = Rng.int rng (List.length pool) in
+          let v = List.nth pool i in
+          draw (v :: acc) (List.filter (fun p -> p <> v) pool) (k - 1)
+      in
+      let victims = draw [] candidates (min kills (List.length candidates)) in
+      List.map
+        (fun k_victim ->
+          { k_victim;
+            k_at_delivery = Rng.int rng 600;
+            k_restart_delta = 1 + Rng.int rng 400 })
+        victims
+    end
+  in
   { chaos_seed;
     n;
     default_link;
     link_overrides;
     partitions;
     crashes;
+    kills = kill_faults;
     corrupt;
-    p_corrupt = (if corrupt = [] then 0. else 0.05 +. pfloat 0.25);
-    fairness = Rng.int rng 3 }
+    p_corrupt;
+    fairness }
 
 (* ------------------------------------------------------------------ *)
 (* Serialization                                                       *)
@@ -128,6 +161,11 @@ let pp ppf plan =
         c.at_delivery
         (String.concat "," (List.map string_of_int c.last_recipients)))
     plan.crashes;
+  List.iter
+    (fun k ->
+      Format.fprintf ppf "@,  kill/restart p%d at delivery %d, restart +%d" k.k_victim
+        k.k_at_delivery k.k_restart_delta)
+    plan.kills;
   if plan.corrupt <> [] then
     Format.fprintf ppf "@,  corrupt parties {%s} at rate %.3f"
       (String.concat "," (List.map string_of_int plan.corrupt))
@@ -140,12 +178,26 @@ let to_string plan = Format.asprintf "%a" pp plan
 (* Execution                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Per-kill runtime state.  While the victim is down the engine buffers
+   every message the network would have lost - its in-flight inbound
+   traffic at the kill, anything addressed to it while dead, and the
+   out-ring sends the SIGKILL tore away - and re-injects all of it at the
+   restart, modelling the rejoin handshake (peers resend their history,
+   the victim re-announces).  [kl_*] lists are kept reversed. *)
+type 'm kill_state = {
+  mutable kl_phase : [ `Pending | `Down | `Done ];
+  mutable kl_restart_at : int;
+  mutable kl_lost_in : (pid * 'm) list;  (* (src, payload) addressed to victim *)
+  mutable kl_lost_out : (pid * 'm) list;  (* (dst, payload) from victim *)
+}
+
 type 'm t = {
   plan : plan;
   exec : 'm Async.t;
   rng : Rng.t;
   links : link array;  (* n*n, row-major [src * n + dst] *)
   crash_done : bool array;
+  kill_states : 'm kill_state array;  (* parallel to plan.kills *)
   healed : bool array;  (* per partition: healed early *)
   budget : int array;  (* n*n remaining honest-traffic drop+dup events *)
   corrupt_mask : bool array;
@@ -153,6 +205,9 @@ type 'm t = {
   mutable dups : int;
   mutable corruptions : int;
   mutable forced_heals : int;
+  mutable kills_fired : int;
+  mutable restarts : int;
+  mutable kill_buffered : int;
 }
 
 let start plan exec =
@@ -170,13 +225,19 @@ let start plan exec =
     rng = Rng.create plan.chaos_seed;
     links;
     crash_done = Array.make (List.length plan.crashes) false;
+    kill_states =
+      Array.init (List.length plan.kills) (fun _ ->
+          { kl_phase = `Pending; kl_restart_at = 0; kl_lost_in = []; kl_lost_out = [] });
     healed = Array.make (List.length plan.partitions) false;
     budget = Array.make (n * n) plan.fairness;
     corrupt_mask;
     drops = 0;
     dups = 0;
     corruptions = 0;
-    forced_heals = 0 }
+    forced_heals = 0;
+    kills_fired = 0;
+    restarts = 0;
+    kill_buffered = 0 }
 
 let link_of t ~src ~dst =
   if src >= 0 && src < t.plan.n then t.links.((src * t.plan.n) + dst)
@@ -211,6 +272,113 @@ let fire_due_crashes t =
             List.mem env.Async.dst c.last_recipients)
       end)
     t.plan.crashes
+
+(* ---- kill/restart (crash-recovery) faults ------------------------- *)
+
+let fire_due_kills t =
+  let delivered = Async.deliveries t.exec in
+  List.iteri
+    (fun i k ->
+      let ks = t.kill_states.(i) in
+      match ks.kl_phase with
+      | `Down | `Done -> ()
+      | `Pending ->
+        if delivered >= k.k_at_delivery && not (Async.crashed t.exec k.k_victim) then begin
+          ks.kl_phase <- `Down;
+          ks.kl_restart_at <- delivered + max 1 k.k_restart_delta;
+          t.kills_fired <- t.kills_fired + 1;
+          Async.crash t.exec k.k_victim;
+          (* the SIGKILL empties the victim's kernel receive buffer and
+             tears its half-flushed output ring: buffer all inbound
+             in-flight traffic for the rejoin resend, and tear away (but
+             buffer for re-announcement) each outbound in-flight frame
+             with probability 1/2 *)
+          let inbound = ref [] and outbound = ref [] in
+          let len = Async.pool_size t.exec in
+          for s = 0 to len - 1 do
+            let env = Async.pool_get t.exec s in
+            if env.Async.dst = k.k_victim then inbound := env.Async.eid :: !inbound
+            else if env.Async.src = k.k_victim && Rng.bool t.rng then
+              outbound := env.Async.eid :: !outbound
+          done;
+          let buffer_into store keep_end env =
+            store := keep_end env :: !store;
+            t.kill_buffered <- t.kill_buffered + 1
+          in
+          let lost_in = ref [] and lost_out = ref [] in
+          List.iter
+            (fun eid ->
+              match Async.drop_eid t.exec eid with
+              | Some env -> buffer_into lost_in (fun e -> (e.Async.src, e.Async.payload)) env
+              | None -> ())
+            (List.rev !inbound);
+          List.iter
+            (fun eid ->
+              match Async.drop_eid t.exec eid with
+              | Some env -> buffer_into lost_out (fun e -> (e.Async.dst, e.Async.payload)) env
+              | None -> ())
+            (List.rev !outbound);
+          ks.kl_lost_in <- !lost_in @ ks.kl_lost_in;
+          ks.kl_lost_out <- !lost_out @ ks.kl_lost_out
+        end)
+    t.plan.kills
+
+(* Restart = the supervisor respawned the victim with --recover: the WAL
+   replay restores exactly the pre-kill state (Async.revive), then the
+   rejoin handshake re-delivers what the network lost - peers resend their
+   history toward the victim, the victim re-announces its torn sends. *)
+let restart_kill t i =
+  let k = List.nth t.plan.kills i in
+  let ks = t.kill_states.(i) in
+  ks.kl_phase <- `Done;
+  t.restarts <- t.restarts + 1;
+  Async.revive t.exec k.k_victim;
+  List.iter
+    (fun (src, m) -> Async.inject t.exec ~src [ Bca_netsim.Node.Unicast (k.k_victim, m) ])
+    (List.rev ks.kl_lost_in);
+  List.iter
+    (fun (dst, m) -> Async.inject t.exec ~src:k.k_victim [ Bca_netsim.Node.Unicast (dst, m) ])
+    (List.rev ks.kl_lost_out);
+  ks.kl_lost_in <- [];
+  ks.kl_lost_out <- []
+
+let fire_due_restarts t =
+  let delivered = Async.deliveries t.exec in
+  Array.iteri
+    (fun i ks ->
+      match ks.kl_phase with
+      | `Down when delivered >= ks.kl_restart_at -> restart_kill t i
+      | _ -> ())
+    t.kill_states
+
+(* The pool can only progress through a pending restart (everything else
+   is quiescent): the supervisor's backoff always eventually elapses, so
+   fire the earliest-due restart now instead of reporting a false
+   quiescence. *)
+let force_restart t =
+  let idx = ref (-1) in
+  Array.iteri
+    (fun i ks ->
+      match ks.kl_phase with
+      | `Down ->
+        if !idx < 0 || ks.kl_restart_at < t.kill_states.(!idx).kl_restart_at then idx := i
+      | _ -> ())
+    t.kill_states;
+  if !idx >= 0 then begin
+    restart_kill t !idx;
+    true
+  end
+  else false
+
+(* Index of the kill keeping [pid] down right now, if any. *)
+let down_kill t pid =
+  let idx = ref (-1) in
+  List.iteri
+    (fun i k ->
+      if k.k_victim = pid then
+        match t.kill_states.(i).kl_phase with `Down -> idx := i | `Pending | `Done -> ())
+    t.plan.kills;
+  if !idx >= 0 then Some !idx else None
 
 let crosses_cut t (env : _ Async.envelope) =
   let delivered = Async.deliveries t.exec in
@@ -299,10 +467,12 @@ type event = [ `Delivered | `Dropped | `Empty ]
 
 let rec step t : event =
   fire_due_crashes t;
-  if Async.pool_size t.exec = 0 then `Empty
+  fire_due_kills t;
+  fire_due_restarts t;
+  if Async.pool_size t.exec = 0 then if force_restart t then step t else `Empty
   else
     match pick_eligible t with
-    | None -> if force_heal t then step t else `Empty
+    | None -> if force_heal t || force_restart t then step t else `Empty
     | Some slot ->
       let env = Async.pool_get t.exec slot in
       (* extra delay: prefer a different eligible message this step *)
@@ -315,9 +485,31 @@ let rec step t : event =
         else env
       in
       let src = env.Async.src and dst = env.Async.dst in
+      match down_kill t dst with
+      | Some i ->
+        (* addressed to a killed-but-not-restarted victim: what a live
+           network would buffer in retry queues and resend at rejoin *)
+        (match Async.drop_eid t.exec env.Async.eid with
+        | Some e ->
+          let ks = t.kill_states.(i) in
+          ks.kl_lost_in <- (e.Async.src, e.Async.payload) :: ks.kl_lost_in;
+          t.kill_buffered <- t.kill_buffered + 1
+        | None -> ());
+        `Dropped
+      | None ->
       let l = link_of t ~src ~dst in
       if l.p_drop > 0. && Rng.float t.rng < l.p_drop && may_unfair t ~src ~dst then begin
-        ignore (Async.drop_eid t.exec env.Async.eid : _ option);
+        (match Async.drop_eid t.exec env.Async.eid with
+        | Some e -> (
+          (* a down victim's own traffic stays recoverable: it will be
+             re-announced at the restart *)
+          match down_kill t src with
+          | Some i ->
+            let ks = t.kill_states.(i) in
+            ks.kl_lost_out <- (e.Async.dst, e.Async.payload) :: ks.kl_lost_out;
+            t.kill_buffered <- t.kill_buffered + 1
+          | None -> ())
+        | None -> ());
         t.drops <- t.drops + 1;
         `Dropped
       end
@@ -346,7 +538,21 @@ let run ?(max_deliveries = 1_000_000) ?(stop_when = fun _ -> false) t =
   in
   loop ()
 
-type stats = { drops : int; dups : int; corruptions : int; forced_heals : int }
+type stats = {
+  drops : int;
+  dups : int;
+  corruptions : int;
+  forced_heals : int;
+  kills_fired : int;
+  restarts : int;
+  kill_buffered : int;
+}
 
 let stats (t : _ t) =
-  { drops = t.drops; dups = t.dups; corruptions = t.corruptions; forced_heals = t.forced_heals }
+  { drops = t.drops;
+    dups = t.dups;
+    corruptions = t.corruptions;
+    forced_heals = t.forced_heals;
+    kills_fired = t.kills_fired;
+    restarts = t.restarts;
+    kill_buffered = t.kill_buffered }

@@ -59,6 +59,26 @@ type crash = {
           parties: a crash in mid-broadcast *)
 }
 
+type kill = {
+  k_victim : pid;
+  k_at_delivery : int;  (** SIGKILL once this many deliveries happened *)
+  k_restart_delta : int;
+      (** restart (revive + rejoin) after this many further deliveries *)
+}
+(** A process-level kill/restart fault: the simulated counterpart of the
+    cluster supervisor SIGKILLing a node and restarting it with
+    [bca_node --recover].  Unlike a {!crash}, the victim stays {e honest}:
+    it comes back with exactly its pre-kill state (the write-ahead log
+    makes recovered state equal pre-crash state, see [Bca_recovery.Wal])
+    and must still satisfy agreement and validity.  While it is down, the
+    chaos engine buffers what the network would have lost - messages that
+    were in its kernel receive buffer at the kill, messages addressed to
+    it while dead, and the out-ring sends the SIGKILL tore away - and
+    re-injects them at the restart, modelling the rejoin handshake: peers
+    resend their per-destination history, the victim re-announces its own
+    last messages.  Kill victims must be disjoint from {!crash} victims
+    and [corrupt] parties ({!gen} guarantees this). *)
+
 type plan = {
   chaos_seed : int64;  (** seed of the plan's own event stream *)
   n : int;
@@ -66,6 +86,7 @@ type plan = {
   link_overrides : ((pid * pid) * link) list;  (** (src, dst) exceptions *)
   partitions : partition list;
   crashes : crash list;
+  kills : kill list;  (** kill/restart (crash-recovery) faults *)
   corrupt : pid list;  (** parties whose traffic may be corrupted *)
   p_corrupt : float;  (** per-delivery corruption probability for them *)
   fairness : int;  (** per-link drop+dup budget against honest traffic *)
@@ -77,15 +98,24 @@ val silent : n:int -> plan
 
 val faulty_parties : plan -> pid list
 (** Sorted union of crash victims and corrupt parties - the set a campaign
-    must keep within the protocol's resilience bound [t]. *)
+    must keep within the protocol's resilience bound [t].  Kill/restart
+    victims are {e not} faulty: crash-recovery nodes stay honest. *)
+
+val kill_victims : plan -> pid list
+(** Sorted kill/restart victims - honest parties the campaign must still
+    hold to agreement and validity. *)
 
 val gen :
+  ?kills:int ->
   Bca_util.Rng.t -> n:int -> max_faults:int -> allow_corrupt:bool -> plan
 (** Draw a random plan.  At most [max_faults] parties are faulty (crashes
     plus corrupt parties combined); [allow_corrupt] enables Byzantine-style
     corruption (pass [false] for crash-model stacks).  Partitions always
     carry a heal point; probabilities and budgets are drawn small enough
-    that runs terminate in reasonable delivery counts. *)
+    that runs terminate in reasonable delivery counts.  [kills] (default 0)
+    additionally draws up to that many kill/restart faults against parties
+    {e outside} the faulty set; passing [0] performs no extra RNG draws, so
+    plans generated before this parameter existed are bit-identical. *)
 
 val pp : Format.formatter -> plan -> unit
 val to_string : plan -> string
@@ -112,10 +142,15 @@ val scheduler : 'm t -> 'm Bca_netsim.Async_exec.scheduler
 type event = [ `Delivered | `Dropped | `Empty ]
 
 val step : 'm t -> event
-(** One chaos decision: fire due crashes, pick a partition-eligible
-    message (force-healing a partition if everything in flight crosses
-    it), then drop, duplicate, corrupt, or deliver it according to the
-    plan.  [`Dropped] consumed a message without delivering it. *)
+(** One chaos decision: fire due crashes, kills and restarts, pick a
+    partition-eligible message (force-healing a partition if everything in
+    flight crosses it), then drop, duplicate, corrupt, or deliver it
+    according to the plan.  [`Dropped] consumed a message without
+    delivering it - including messages addressed to a killed-but-not-yet-
+    restarted victim, which are buffered and re-injected at its restart.
+    If the pool can only progress via a pending restart, the restart is
+    forced early rather than reporting [`Empty], mirroring how a real
+    supervisor's backoff always eventually elapses. *)
 
 val run :
   ?max_deliveries:int ->
@@ -130,6 +165,11 @@ type stats = {
   dups : int;
   corruptions : int;
   forced_heals : int;  (** partitions healed early to preserve progress *)
+  kills_fired : int;  (** kill/restart faults that fired *)
+  restarts : int;  (** victims revived (includes forced early restarts) *)
+  kill_buffered : int;
+      (** messages buffered while a victim was down and re-injected at its
+          restart *)
 }
 
 val stats : 'm t -> stats

@@ -32,7 +32,10 @@ let pp_run_report ppf r =
     (fun ppf (s : Chaos.stats) ->
       if s.drops + s.dups + s.corruptions + s.forced_heals > 0 then
         Format.fprintf ppf " drops=%d dups=%d corruptions=%d forced-heals=%d" s.drops
-          s.dups s.corruptions s.forced_heals)
+          s.dups s.corruptions s.forced_heals;
+      if s.kills_fired + s.restarts > 0 then
+        Format.fprintf ppf " kills=%d restarts=%d buffered=%d" s.kills_fired s.restarts
+          s.kill_buffered)
     r.chaos Chaos.pp r.plan;
   List.iter
     (fun v -> Format.fprintf ppf "@,VIOLATION: %a" Monitor.pp_violation v)
@@ -69,12 +72,12 @@ let six_stacks =
 let stall_window n = 4_000 * n
 let max_deliveries = 400_000
 
-let run_once ?(tracer = Trace.null) ~spec ~cfg ~seed () =
+let run_once ?(tracer = Trace.null) ?(kills = 0) ~spec ~cfg ~seed () =
   let n = cfg.Types.n in
   let rng = Rng.create seed in
   let inputs = Array.init n (fun _ -> Value.of_bool (Rng.bool rng)) in
   let allow_corrupt = Aba.spec_mode spec = `Byz in
-  let plan = Chaos.gen rng ~n ~max_faults:cfg.Types.t ~allow_corrupt in
+  let plan = Chaos.gen ~kills rng ~n ~max_faults:cfg.Types.t ~allow_corrupt in
   let corrupt = Array.make n false in
   List.iter (fun p -> corrupt.(p) <- true) plan.Chaos.corrupt;
   let driver =
@@ -133,8 +136,10 @@ let run_once ?(tracer = Trace.null) ~spec ~cfg ~seed () =
   | Ok r -> r
   | Error msg -> invalid_arg ("chaos run_once: " ^ msg)
 
-let run_stack ?domains ~name ~spec ~cfg ~runs ~seed () =
-  let reports = Mc.map ?domains ~runs ~seed (fun ~seed -> run_once ~spec ~cfg ~seed ()) in
+let run_stack ?domains ?(kills = 0) ~name ~spec ~cfg ~runs ~seed () =
+  let reports =
+    Mc.map ?domains ~runs ~seed (fun ~seed -> run_once ~kills ~spec ~cfg ~seed ())
+  in
   let committed = ref 0 and stalled = ref 0 and total = ref 0 and failures = ref [] in
   Array.iter
     (fun r ->
@@ -151,10 +156,10 @@ let run_stack ?domains ~name ~spec ~cfg ~runs ~seed () =
     total_deliveries = !total;
     failures = List.rev !failures }
 
-let run_all ?domains ~runs ~seed () =
+let run_all ?domains ?(kills = 0) ~runs ~seed () =
   List.mapi
     (fun i (name, spec, cfg) ->
-      run_stack ?domains ~name ~spec ~cfg ~runs
+      run_stack ?domains ~kills ~name ~spec ~cfg ~runs
         ~seed:(Int64.add seed (Int64.of_int i))
         ())
     six_stacks
@@ -274,7 +279,15 @@ let replay_broken ~seed events =
   | Ok () ->
     (* the chaos decisions are baked into the action log; no chaos engine
        runs during replay, so its counters are vacuously zero *)
-    let chaos = { Chaos.drops = 0; dups = 0; corruptions = 0; forced_heals = 0 } in
+    let chaos =
+      { Chaos.drops = 0;
+        dups = 0;
+        corruptions = 0;
+        forced_heals = 0;
+        kills_fired = 0;
+        restarts = 0;
+        kill_buffered = 0 }
+    in
     (* the final-poll events belong to the trace: snapshot only after *)
     let report = broken_report b ~seed ~chaos in
     Ok (report, Trace.events tracer)

@@ -50,6 +50,7 @@ val six_stacks : (string * Bca_core.Aba.spec * Bca_core.Types.cfg) list
 
 val run_once :
   ?tracer:Bca_obs.Trace.t ->
+  ?kills:int ->
   spec:Bca_core.Aba.spec ->
   cfg:Bca_core.Types.cfg ->
   seed:int64 ->
@@ -57,12 +58,19 @@ val run_once :
   run_report
 (** One seeded chaos run.  The fault plan keeps crashes plus corrupted
     parties within [cfg.t]; corruption is drawn only for Byzantine-model
-    stacks.  With [tracer] (default disabled) the full execution is
-    recorded: network events from the executor, coin reveals, protocol
-    milestones from a [Bca_core.Probe], and monitor violations. *)
+    stacks.  [kills] (default 0) additionally draws up to that many
+    kill/restart faults ([Bca_adversary.Chaos.kill]) against honest
+    parties: each victim is SIGKILL-modelled mid-run and later revived
+    with exactly its pre-kill state, and the monitor holds it to agreement
+    and validity like any other honest party - the simulated counterpart
+    of the cluster supervisor's SIGKILL + [--recover] cycle.  With
+    [tracer] (default disabled) the full execution is recorded: network
+    events from the executor, coin reveals, protocol milestones from a
+    [Bca_core.Probe], and monitor violations. *)
 
 val run_stack :
   ?domains:int ->
+  ?kills:int ->
   name:string ->
   spec:Bca_core.Aba.spec ->
   cfg:Bca_core.Types.cfg ->
@@ -72,7 +80,8 @@ val run_stack :
   stack_report
 (** [runs] seeded chaos runs of one stack via {!Mc.map}. *)
 
-val run_all : ?domains:int -> runs:int -> seed:int64 -> unit -> stack_report list
+val run_all :
+  ?domains:int -> ?kills:int -> runs:int -> seed:int64 -> unit -> stack_report list
 (** The full campaign over {!six_stacks}, [runs] plans per stack; stack
     [i] uses root seed [seed + i] so adding a stack never reshuffles the
     others' plans. *)

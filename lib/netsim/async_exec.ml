@@ -115,6 +115,8 @@ let crash t pid =
 
 let crashed t pid = not t.alive.(pid)
 
+let revive t pid = t.alive.(pid) <- true
+
 let drop_outgoing t ~src ~keep =
   (* when tracing, record the victims before the destructive filter *)
   if t.tracing then

@@ -76,6 +76,16 @@ val crash : 'm t -> pid -> unit
 
 val crashed : 'm t -> pid -> bool
 
+val revive : 'm t -> pid -> unit
+(** Undo {!crash}: party [pid] resumes receiving and emitting with the state
+    it had when it halted - the crash-{e recovery} model, where a killed
+    process restarts from a durable log that reconstructs exactly its
+    pre-crash state (see [Bca_recovery.Wal]).  Messages consumed while the
+    party was down stay lost; the chaos layer re-injects them to model the
+    rejoin handshake's history resend.  Revival is outside the action-replay
+    determinism contract: [replay] of a trace containing a [Crash] leaves
+    the party down. *)
+
 val drop_outgoing : 'm t -> src:pid -> keep:('m envelope -> bool) -> unit
 (** Remove a subset of [src]'s in-flight messages, modelling sends that never
     happened because the party crashed mid-broadcast.  Only meaningful

@@ -34,6 +34,11 @@ type t = {
   tx_bytes : int;
   rx_frames : int;
   rx_bytes : int;
+  resends : int;
+  resend_bytes : int;
+  recoveries : int;
+  recovery_wal_bytes : int;
+  revives : int;
   per_round : round_stats IMap.t;
   phases : int SMap.t;
   (* bucket maps: key -> how many samples fell in that bucket *)
@@ -56,6 +61,11 @@ let empty =
     tx_bytes = 0;
     rx_frames = 0;
     rx_bytes = 0;
+    resends = 0;
+    resend_bytes = 0;
+    recoveries = 0;
+    recovery_wal_bytes = 0;
+    revives = 0;
     per_round = IMap.empty;
     phases = SMap.empty;
     decision_rounds = IMap.empty;
@@ -129,6 +139,13 @@ let add_run t events =
         | "rx" -> acc := { a with rx_frames = a.rx_frames + 1; rx_bytes = a.rx_bytes + bytes }
         | "flush" -> acc := { a with flush_bytes = bump a.flush_bytes bytes }
         | "batch" -> acc := { a with batch_occupancy = bump a.batch_occupancy bytes }
+        | "resend" ->
+          acc := { a with resends = a.resends + 1; resend_bytes = a.resend_bytes + bytes }
+        | "recover" ->
+          acc :=
+            { a with recoveries = a.recoveries + 1;
+                     recovery_wal_bytes = a.recovery_wal_bytes + bytes }
+        | "revive" -> acc := { a with revives = a.revives + 1 }
         | _ -> ()))
     events;
   let a = !acc in
@@ -166,6 +183,11 @@ let merge a b =
     tx_bytes = a.tx_bytes + b.tx_bytes;
     rx_frames = a.rx_frames + b.rx_frames;
     rx_bytes = a.rx_bytes + b.rx_bytes;
+    resends = a.resends + b.resends;
+    resend_bytes = a.resend_bytes + b.resend_bytes;
+    recoveries = a.recoveries + b.recoveries;
+    recovery_wal_bytes = a.recovery_wal_bytes + b.recovery_wal_bytes;
+    revives = a.revives + b.revives;
     per_round = IMap.union (fun _ x y -> Some (rs_add x y)) a.per_round b.per_round;
     phases = SMap.union (fun _ x y -> Some (x + y)) a.phases b.phases;
     decision_rounds = IMap.union (fun _ x y -> Some (x + y)) a.decision_rounds b.decision_rounds;
@@ -201,6 +223,9 @@ let round_latency_histogram t = hist_of_buckets t.round_latency
 let coin_commit_gap_histogram t = hist_of_buckets t.coin_commit_gap
 let tx t = (t.tx_frames, t.tx_bytes)
 let rx t = (t.rx_frames, t.rx_bytes)
+let resends t = (t.resends, t.resend_bytes)
+let recoveries t = (t.recoveries, t.recovery_wal_bytes)
+let revives t = t.revives
 let flush_bytes_histogram t = hist_of_buckets t.flush_bytes
 let batch_occupancy_histogram t = hist_of_buckets t.batch_occupancy
 
@@ -232,6 +257,10 @@ let pp ppf t =
   if t.tx_frames > 0 || t.rx_frames > 0 then
     Format.fprintf ppf "transport: tx %d frames / %d bytes, rx %d frames / %d bytes@,"
       t.tx_frames t.tx_bytes t.rx_frames t.rx_bytes;
+  if t.recoveries + t.resends + t.revives > 0 then
+    Format.fprintf ppf
+      "recovery: %d WAL replays (%d bytes), %d history resends (%d bytes), %d peer revivals@,"
+      t.recoveries t.recovery_wal_bytes t.resends t.resend_bytes t.revives;
   if bucket_total t.flush_bytes > 0 then
     Format.fprintf ppf "batch flush size (bytes) distribution:@,%a@," Bca_util.Histogram.pp
       (flush_bytes_histogram t);
@@ -295,6 +324,10 @@ let to_json t =
   Buffer.add_string buf (dist_json "round_latency_deliveries" t.round_latency);
   Buffer.add_char buf ',';
   Buffer.add_string buf (dist_json "coin_commit_gap_deliveries" t.coin_commit_gap);
+  Buffer.add_string buf
+    (Printf.sprintf
+       ",\"recovery\":{\"wal_replays\":%d,\"wal_replay_bytes\":%d,\"resends\":%d,\"resend_bytes\":%d,\"revives\":%d}"
+       t.recoveries t.recovery_wal_bytes t.resends t.resend_bytes t.revives);
   Buffer.add_string buf
     (Printf.sprintf
        ",\"transport\":{\"tx_frames\":%d,\"tx_bytes\":%d,\"rx_frames\":%d,\"rx_bytes\":%d,"

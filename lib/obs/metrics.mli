@@ -81,6 +81,21 @@ val tx : t -> int * int
 val rx : t -> int * int
 (** Socket-transport frames and bytes received (op ["rx"]). *)
 
+val resends : t -> int * int
+(** Crash-recovery history resends (op ["resend"] from
+    [Bca_transport.Cluster.run_node]): how many HELLO-triggered (or
+    rejoin-initiated) full-history replays happened, and the protocol
+    bytes they pushed. *)
+
+val recoveries : t -> int * int
+(** WAL replays (op ["recover"]): recoveries observed and the valid WAL
+    bytes they replayed. *)
+
+val revives : t -> int
+(** Dead peers resurrected by an inbound frame (op ["revive"] from
+    [Bca_transport.Transport]) - a restarted process reconnecting after
+    its peer had given it up. *)
+
 val flush_bytes_histogram : t -> Bca_util.Histogram.t
 (** Distribution of framed batch sizes in bytes, one sample per batcher
     flush (op ["flush"] from [Bca_transport.Batcher]). *)

@@ -1,0 +1,210 @@
+(* Durable per-node write-ahead log: CRC'd self-delimiting records over an
+   append-only fd, strict total decoding of possibly-torn tails.  See
+   wal.mli for the format and the recovery safety argument. *)
+
+module Wire = Bca_wire.Wire
+module Event = Bca_obs.Event
+
+type meta = {
+  w_stack : string;
+  w_eps : float;
+  w_n : int;
+  w_t : int;
+  w_me : int;
+  w_seed : int64;
+  w_input : Bca_util.Value.t;
+}
+
+type record =
+  | Meta of meta
+  | Recv of string
+  | Sent of { dst : int; frame : string }
+  | Note of Bca_obs.Event.timed
+
+type torn = { torn_off : int; torn_reason : string }
+
+let tag_meta = 1
+let tag_recv = 2
+let tag_sent = 3
+let tag_note = 4
+
+(* a single WAL record body can carry at most one wire frame plus small
+   framing overhead; anything larger in a length field is corruption *)
+let max_record_body = Wire.default_max_body + 1024
+
+let record_header_bytes = 9 (* tag u8 + len u32 + crc u32 *)
+
+let crc_of s = Int32.to_int (Wire.crc32 s ~pos:0 ~len:(String.length s)) land 0xFFFFFFFF
+
+let encode_record buf r =
+  let body = Buffer.create 64 in
+  let tag =
+    match r with
+    | Meta m ->
+      Wire.Put.string body m.w_stack;
+      Wire.Put.i64 body (Int64.bits_of_float m.w_eps);
+      Wire.Put.varint body m.w_n;
+      Wire.Put.varint body m.w_t;
+      Wire.Put.varint body m.w_me;
+      Wire.Put.i64 body m.w_seed;
+      Wire.Put.value body m.w_input;
+      tag_meta
+    | Recv frame ->
+      Buffer.add_string body frame;
+      tag_recv
+    | Sent { dst; frame } ->
+      Wire.Put.varint body dst;
+      Buffer.add_string body frame;
+      tag_sent
+    | Note ev ->
+      Buffer.add_string body (Event.to_json ev);
+      tag_note
+  in
+  let s = Buffer.contents body in
+  Wire.Put.u8 buf tag;
+  Wire.Put.u32 buf (String.length s);
+  Wire.Put.u32 buf (crc_of s);
+  Buffer.add_string buf s
+
+(* Body decoders: operate on the exact body slice, raise Get.Malformed on
+   any violation - the record loop below turns that into a torn tail. *)
+
+let decode_meta body =
+  let g = Wire.Get.create body ~pos:0 ~len:(String.length body) in
+  let w_stack = Wire.Get.string g in
+  let w_eps = Int64.float_of_bits (Wire.Get.i64 g) in
+  let w_n = Wire.Get.varint g in
+  let w_t = Wire.Get.varint g in
+  let w_me = Wire.Get.varint g in
+  let w_seed = Wire.Get.i64 g in
+  let w_input = Wire.Get.value g in
+  Wire.Get.expect_end g;
+  { w_stack; w_eps; w_n; w_t; w_me; w_seed; w_input }
+
+let decode_sent body =
+  let g = Wire.Get.create body ~pos:0 ~len:(String.length body) in
+  let dst = Wire.Get.varint g in
+  let frame = Wire.Get.take g (Wire.Get.remaining g) in
+  Sent { dst; frame }
+
+(* One record starting at [pos]; Ok (record, next_pos) or Error reason.
+   Total: every failure mode is a typed stop, nothing escapes. *)
+let decode_one s ~pos =
+  let len = String.length s in
+  if len - pos < record_header_bytes then Error "truncated record header"
+  else
+    let g = Wire.Get.create s ~pos ~len:record_header_bytes in
+    let tag = Wire.Get.u8 g in
+    let body_len = Wire.Get.u32 g in
+    let crc = Wire.Get.u32 g in
+    if tag < tag_meta || tag > tag_note then Error (Printf.sprintf "bad record tag %d" tag)
+    else if body_len > max_record_body then
+      Error (Printf.sprintf "oversized record body (%d bytes)" body_len)
+    else if len - pos - record_header_bytes < body_len then Error "truncated record body"
+    else
+      let body = String.sub s (pos + record_header_bytes) body_len in
+      if crc_of body <> crc then Error "record CRC mismatch"
+      else
+        let record =
+          try
+            if tag = tag_meta then Ok (Meta (decode_meta body))
+            else if tag = tag_recv then Ok (Recv body)
+            else if tag = tag_sent then Ok (decode_sent body)
+            else
+              match Event.of_json body with
+              | Ok ev -> Ok (Note ev)
+              | Error e -> Error (Printf.sprintf "malformed note event: %s" e)
+          with Wire.Get.Malformed e -> Error (Printf.sprintf "malformed record body: %s" e)
+        in
+        match record with
+        | Ok r -> Ok (r, pos + record_header_bytes + body_len)
+        | Error _ as e -> e
+
+let decode s =
+  let len = String.length s in
+  let rec loop acc pos =
+    if pos >= len then (List.rev acc, None)
+    else
+      match decode_one s ~pos with
+      | Ok (r, next) -> loop (r :: acc) next
+      | Error torn_reason -> (List.rev acc, Some { torn_off = pos; torn_reason })
+  in
+  loop [] 0
+
+let valid_bytes s torn = match torn with None -> String.length s | Some t -> t.torn_off
+
+(* {1 Appending} *)
+
+type writer = {
+  fd : Unix.file_descr;
+  pending : Buffer.t;
+  mutable w_bytes : int;
+  mutable w_records : int;
+  mutable w_closed : bool;
+}
+
+let write_all fd s =
+  let len = String.length s in
+  let rec loop pos = if pos < len then loop (pos + Unix.write_substring fd s pos (len - pos)) in
+  loop 0
+
+let create ~path meta =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644 in
+  let w = { fd; pending = Buffer.create 4096; w_bytes = 0; w_records = 0; w_closed = false } in
+  encode_record w.pending (Meta meta);
+  w.w_records <- 1;
+  w.w_bytes <- Buffer.length w.pending;
+  write_all fd (Buffer.contents w.pending);
+  Buffer.clear w.pending;
+  Unix.fsync fd;
+  w
+
+let reopen ~path ~valid_bytes =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o644 in
+  Unix.ftruncate fd valid_bytes;
+  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  { fd; pending = Buffer.create 4096; w_bytes = 0; w_records = 0; w_closed = false }
+
+let append w r =
+  let before = Buffer.length w.pending in
+  encode_record w.pending r;
+  w.w_records <- w.w_records + 1;
+  w.w_bytes <- w.w_bytes + (Buffer.length w.pending - before)
+
+let flush w =
+  if Buffer.length w.pending > 0 then begin
+    write_all w.fd (Buffer.contents w.pending);
+    Buffer.clear w.pending
+  end;
+  Unix.fsync w.fd
+
+let close w =
+  if not w.w_closed then begin
+    w.w_closed <- true;
+    flush w;
+    Unix.close w.fd
+  end
+
+let bytes_appended w = w.w_bytes
+
+let records_appended w = w.w_records
+
+(* {1 Loading} *)
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> Ok s
+  | exception Sys_error e -> Error e
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let load path =
+  match read_file path with
+  | Error e -> Error (Printf.sprintf "wal %s: %s" path e)
+  | Ok bytes -> (
+    match decode bytes with
+    | Meta m :: records, torn -> Ok (m, records, torn)
+    | _, Some t when t.torn_off = 0 ->
+      Error (Printf.sprintf "wal %s: no valid header record (%s)" path t.torn_reason)
+    | _ -> Error (Printf.sprintf "wal %s: first record is not a Meta header" path))
+
+let file_path ~dir ~me = Filename.concat dir (Printf.sprintf "wal-%d.log" me)

@@ -7,6 +7,7 @@ module Wire = Bca_wire.Wire
 module Batch = Bca_wire.Batch
 module Value = Bca_util.Value
 module Rng = Bca_util.Rng
+module Wal = Bca_recovery.Wal
 
 let parse_stack ?(eps = 0.25) = function
   | "crash-strong" -> Ok Aba.Crash_strong
@@ -242,6 +243,54 @@ let run_loopback_multi ?(seed = 0xB0CA1L) spec ~cfg ~instances =
     | Ok r -> r
   end
 
+(* ---- rejoin control plane ------------------------------------------- *)
+
+(* Out-of-band node-to-node control frames, framed like any wire frame but
+   under their own codec id so the stack decoder never sees them.  HELLO is
+   what a recovered node broadcasts after replaying its WAL: every receiver
+   answers by re-sending its full per-destination frame history to the
+   sender (safe: all six stacks are idempotent per sender).  BYE announces
+   a decision; a lingering node that has collected n-1 BYEs knows every
+   peer decided and may exit early, which is what lets supervised clusters
+   run with a linger as long as the whole timeout without paying it. *)
+let ctrl_codec_id = 0xC7
+let ctrl_hello = 0
+let ctrl_bye = 1
+
+let encode_ctrl ~sender op =
+  Wire.encode_raw ~codec_id:ctrl_codec_id ~sender (String.make 1 (Char.chr op))
+
+let decode_ctrl (f : Wire.frame) =
+  if String.length f.Wire.body <> 1 then None
+  else begin
+    let op = Char.code f.Wire.body.[0] in
+    if op = ctrl_hello then Some `Hello else if op = ctrl_bye then Some `Bye else None
+  end
+
+let spec_eps = function
+  | Aba.Crash_weak e | Aba.Byz_weak e -> e
+  | Aba.Crash_strong | Aba.Crash_local | Aba.Byz_strong | Aba.Byz_tsig -> 0.
+
+type recovery_info = {
+  ri_pid : int;
+  ri_records : int;  (** WAL records replayed (Meta excluded) *)
+  ri_wal_bytes : int;  (** valid WAL prefix bytes (torn tail excluded) *)
+  ri_replay_s : float;  (** wall time spent loading and replaying *)
+}
+
+let print_recovered ri =
+  Printf.printf "RECOVERED pid=%d records=%d wal_bytes=%d replay_s=%.6f\n%!" ri.ri_pid
+    ri.ri_records ri.ri_wal_bytes ri.ri_replay_s
+
+let parse_recovered line =
+  match
+    Scanf.sscanf line "RECOVERED pid=%d records=%d wal_bytes=%d replay_s=%f"
+      (fun pid records wal_bytes replay_s -> (pid, records, wal_bytes, replay_s))
+  with
+  | pid, records, wal_bytes, replay_s ->
+    Some { ri_pid = pid; ri_records = records; ri_wal_bytes = wal_bytes; ri_replay_s = replay_s }
+  | (exception Scanf.Scan_failure _) | (exception End_of_file) | (exception Failure _) -> None
+
 (* ---- one party over a socket transport ------------------------------ *)
 
 type decision = {
@@ -272,7 +321,8 @@ let parse_decision line =
     None
 
 let run_node ?(seed = 0xB0CA1L) ?(timeout_s = 30.) ?(linger_s = 1.0)
-    ?(tracer = Bca_obs.Trace.null) spec ~cfg ~inputs ~(net : Transport.t) =
+    ?(tracer = Bca_obs.Trace.null) ?wal_dir ?(recover = false)
+    ?(on_recover = fun (_ : recovery_info) -> ()) spec ~cfg ~inputs ~(net : Transport.t) =
   let driver =
     { Aba.drive =
         (fun ~coin:_ ~wire exec parties ->
@@ -282,9 +332,50 @@ let run_node ?(seed = 0xB0CA1L) ?(timeout_s = 30.) ?(linger_s = 1.0)
           let node = Async.node_of exec me in
           let party = parties.(me) in
           let scratch = Buffer.create 256 in
+          let trace_on = Bca_obs.Trace.enabled tracer in
           (* self-addressed messages never touch the network: FIFO local
              delivery, a valid asynchronous schedule *)
           let local : (int * _) Queue.t = Queue.create () in
+          (* every protocol frame ever handed to the transport, newest
+             first, per destination: the rejoin currency.  A HELLO from a
+             restarted peer is answered with the full history, and a
+             recovered node pushes its own history back out - duplicates
+             are absorbed by per-sender idempotence. *)
+          let history = Array.make n [] in
+          let byes = Array.make n false in
+          let bye_count = ref 0 in
+          (* WAL plumbing.  [wal = None] while replaying (the records being
+             re-applied are already on disk) and when running without
+             --wal-dir; otherwise every delivered frame is appended and
+             fsync'd BEFORE it touches the protocol state - if a send
+             derived from an unlogged delivery reached a peer, a post-crash
+             replay could recompute this node's messages under a delivery
+             order the cluster never saw, an honest equivocation that
+             breaks agreement. *)
+          let wal = ref None in
+          let wal_append r = match !wal with Some w -> Wal.append w r | None -> () in
+          let wal_flush () = match !wal with Some w -> Wal.flush w | None -> () in
+          let replaying = ref false in
+          let expected_sent = ref [] in
+          let sent_mismatch = ref None in
+          let ship ~dst s =
+            history.(dst) <- s :: history.(dst);
+            if !replaying then begin
+              (* cross-check regenerated sends against the logged intents;
+                 the WAL legitimately ends early (crash between the fsync
+                 of a delivery and the flush of its sends) *)
+              match !expected_sent with
+              | (edst, eframe) :: rest ->
+                expected_sent := rest;
+                if edst <> dst || not (String.equal eframe s) then
+                  if !sent_mismatch = None then sent_mismatch := Some dst
+              | [] -> ()
+            end
+            else begin
+              wal_append (Wal.Sent { dst; frame = s });
+              net.Transport.send ~dst s
+            end
+          in
           let do_emits emits =
             List.iter
               (fun emit ->
@@ -292,82 +383,248 @@ let run_node ?(seed = 0xB0CA1L) ?(timeout_s = 30.) ?(linger_s = 1.0)
                 | Node.Broadcast m ->
                   let s = Wire.encode_buf wire ~sender:me ~scratch m in
                   for d = 0 to n - 1 do
-                    if d = me then Queue.push (me, m) local else net.Transport.send ~dst:d s
+                    if d = me then Queue.push (me, m) local else ship ~dst:d s
                   done
                 | Node.Unicast (d, m) ->
                   if d = me then Queue.push (me, m) local
-                  else net.Transport.send ~dst:d (Wire.encode_buf wire ~sender:me ~scratch m))
+                  else ship ~dst:d (Wire.encode_buf wire ~sender:me ~scratch m))
               emits
+          in
+          (* milestones (round entries, the commit) mirrored to the tracer
+             and - as Note records - to the WAL.  Redundant for recovery
+             (Meta + Recv reconstructs everything); kept for kill triggers,
+             metrics and post-mortems. *)
+          let last_round = ref 0 in
+          let committed_noted = ref false in
+          let note ev =
+            if trace_on then Bca_obs.Trace.emit tracer ev;
+            if not !replaying then
+              wal_append (Wal.Note { Bca_obs.Event.ts = net.Transport.stats.frames_in; ev })
+          in
+          let poll_milestones () =
+            let r = party.Aba.round () in
+            if r > !last_round then begin
+              for round = !last_round + 1 to r do
+                note (Bca_obs.Event.Round_enter { pid = me; round })
+              done;
+              last_round := r
+            end;
+            if not !committed_noted then
+              match party.Aba.committed () with
+              | Some value ->
+                committed_noted := true;
+                let round = match party.Aba.commit_round () with Some cr -> cr | None -> r in
+                note (Bca_obs.Event.Commit { pid = me; round; value })
+              | None -> ()
           in
           (* our initial sends are the src=me envelopes of the assembled
              cluster, in send (eid) order *)
-          List.iter
-            (fun e ->
-              if e.Async.src = me then
-                if e.Async.dst = me then Queue.push (me, e.Async.payload) local
-                else
-                  net.Transport.send ~dst:e.Async.dst
-                    (Wire.encode_buf wire ~sender:me ~scratch e.Async.payload))
-            (List.sort (fun a b -> Int.compare a.Async.eid b.Async.eid) (Async.inflight exec));
-          let deliver_frame f =
-            match Wire.decode_body wire f with
-            | Ok m -> do_emits (node.Node.receive ~src:f.Wire.sender m)
-            | Error _ -> net.Transport.stats.drops <- net.Transport.stats.drops + 1
+          let initial_sends () =
+            List.iter
+              (fun e ->
+                if e.Async.src = me then
+                  if e.Async.dst = me then Queue.push (me, e.Async.payload) local
+                  else ship ~dst:e.Async.dst (Wire.encode_buf wire ~sender:me ~scratch e.Async.payload))
+              (List.sort (fun a b -> Int.compare a.Async.eid b.Async.eid) (Async.inflight exec))
           in
           let drain_local () =
             while not (Queue.is_empty local) do
               let src, m = Queue.pop local in
               do_emits (node.Node.receive ~src m)
-            done
+            done;
+            poll_milestones ()
           in
-          let deadline = Unix.gettimeofday () +. timeout_s in
-          let rec loop () =
-            if node.Node.terminated () then Ok ()
-            else if not (Queue.is_empty local) then begin
-              let src, m = Queue.pop local in
-              do_emits (node.Node.receive ~src m);
-              loop ()
-            end
+          let apply_frame (f : Wire.frame) =
+            (match Wire.decode_body wire f with
+            | Ok m -> do_emits (node.Node.receive ~src:f.Wire.sender m)
+            | Error _ -> net.Transport.stats.drops <- net.Transport.stats.drops + 1);
+            poll_milestones ();
+            (* the live contract is "local queue empty whenever a network
+               frame is applied" - replay mirrors it by draining after
+               every logged delivery, so keep the drain here too *)
+            drain_local ()
+          in
+          let resend_history dst =
+            let frames = List.rev history.(dst) in
+            List.iter (fun s -> net.Transport.send ~dst s) frames;
+            if trace_on then
+              Bca_obs.Trace.emit tracer
+                (Bca_obs.Event.Transport
+                   { pid = me; peer = dst; op = "resend";
+                     bytes = List.fold_left (fun a s -> a + String.length s) 0 frames })
+          in
+          let handle_ctrl (f : Wire.frame) =
+            let p = f.Wire.sender in
+            if p < 0 || p >= n || p = me then
+              net.Transport.stats.drops <- net.Transport.stats.drops + 1
             else
-              match net.Transport.recv ~timeout_s:0.05 with
-              | Some f ->
-                deliver_frame f;
-                loop ()
-              | None ->
-                if Unix.gettimeofday () >= deadline then
-                  Error
-                    (Printf.sprintf "node %d timed out after %.1fs without terminating" me
-                       timeout_s)
-                else loop ()
+              match decode_ctrl f with
+              | Some `Hello ->
+                resend_history p;
+                (* a restarted peer also lost our BYE if we already decided *)
+                (match party.Aba.committed () with
+                | Some _ -> net.Transport.send ~dst:p (encode_ctrl ~sender:me ctrl_bye)
+                | None -> ())
+              | Some `Bye ->
+                if not byes.(p) then begin
+                  byes.(p) <- true;
+                  incr bye_count
+                end
+              | None -> net.Transport.stats.drops <- net.Transport.stats.drops + 1
           in
-          match loop () with
+          let deliver_frame (f : Wire.frame) =
+            if f.Wire.codec_id = ctrl_codec_id then handle_ctrl f
+            else begin
+              (if not (Queue.is_empty local) then drain_local ());
+              (match !wal with
+              | Some _ ->
+                wal_append
+                  (Wal.Recv (Wire.encode_raw ~codec_id:f.Wire.codec_id ~sender:f.Wire.sender f.Wire.body));
+                wal_flush ()
+              | None -> ());
+              apply_frame f
+            end
+          in
+          (* ---- WAL open / recovery replay ---------------------------- *)
+          let meta =
+            { Wal.w_stack = stack_name spec; w_eps = spec_eps spec; w_n = n;
+              w_t = cfg.Types.t; w_me = me; w_seed = seed; w_input = inputs.(me) }
+          in
+          let boot =
+            match wal_dir with
+            | None ->
+              initial_sends ();
+              Ok ()
+            | Some dir when not recover ->
+              wal := Some (Wal.create ~path:(Wal.file_path ~dir ~me) meta);
+              initial_sends ();
+              Ok ()
+            | Some dir -> (
+              let path = Wal.file_path ~dir ~me in
+              let t0 = Unix.gettimeofday () in
+              match Wal.load path with
+              | Error e -> Error (Printf.sprintf "node %d: cannot recover: %s" me e)
+              | Ok (m, records, torn) ->
+                if
+                  (not (String.equal m.Wal.w_stack meta.Wal.w_stack))
+                  || m.Wal.w_n <> n || m.Wal.w_t <> cfg.Types.t || m.Wal.w_me <> me
+                  || (not (Int64.equal m.Wal.w_seed seed))
+                  || not (Value.equal m.Wal.w_input inputs.(me))
+                then
+                  Error
+                    (Printf.sprintf "node %d: WAL %s was written by a different configuration"
+                       me path)
+                else begin
+                  replaying := true;
+                  expected_sent :=
+                    List.filter_map
+                      (function Wal.Sent { dst; frame } -> Some (dst, frame) | _ -> None)
+                      records;
+                  initial_sends ();
+                  drain_local ();
+                  List.iter
+                    (fun r ->
+                      match r with
+                      | Wal.Recv fr -> (
+                        match Wire.decode_frame fr ~pos:0 with
+                        | Ok (f, _) -> apply_frame f
+                        | Error _ -> () (* unreachable: Recv holds canonical frames *))
+                      | Wal.Meta _ | Wal.Sent _ | Wal.Note _ -> ())
+                    records;
+                  replaying := false;
+                  match !sent_mismatch with
+                  | Some dst ->
+                    Error
+                      (Printf.sprintf
+                         "node %d: replay diverged from the WAL's logged sends toward node %d"
+                         me dst)
+                  | None ->
+                    let valid_bytes =
+                      match torn with
+                      | Some t -> t.Wal.torn_off
+                      | None -> (Unix.stat path).Unix.st_size
+                    in
+                    wal := Some (Wal.reopen ~path ~valid_bytes);
+                    on_recover
+                      { ri_pid = me;
+                        ri_records = List.length records;
+                        ri_wal_bytes = valid_bytes;
+                        ri_replay_s = Unix.gettimeofday () -. t0 };
+                    if trace_on then
+                      Bca_obs.Trace.emit tracer
+                        (Bca_obs.Event.Transport
+                           { pid = me; peer = me; op = "recover"; bytes = valid_bytes });
+                    (* rejoin: ask every peer for its history, and push our
+                       regenerated history back out - the kernel buffers of
+                       the dead process are gone on both sides *)
+                    let hello = encode_ctrl ~sender:me ctrl_hello in
+                    for d = 0 to n - 1 do
+                      if d <> me then begin
+                        net.Transport.send ~dst:d hello;
+                        resend_history d
+                      end
+                    done;
+                    Ok ()
+                end)
+          in
+          match boot with
           | Error _ as e -> e
           | Ok () ->
-            (* stay responsive while peers finish: our termination message
-               is out, but laggards may still need replies relayed *)
-            let linger_until = Unix.gettimeofday () +. linger_s in
-            ignore (net.Transport.flush ~timeout_s:linger_s);
-            let rec linger () =
-              let now = Unix.gettimeofday () in
-              if now < linger_until then begin
-                (match net.Transport.recv ~timeout_s:(Float.min 0.05 (linger_until -. now)) with
-                | Some f -> deliver_frame f
-                | None -> ());
+            let deadline = Unix.gettimeofday () +. timeout_s in
+            let rec loop () =
+              if node.Node.terminated () then Ok ()
+              else if not (Queue.is_empty local) then begin
                 drain_local ();
-                linger ()
+                loop ()
               end
+              else
+                match net.Transport.recv ~timeout_s:0.05 with
+                | Some f ->
+                  deliver_frame f;
+                  loop ()
+                | None ->
+                  if Unix.gettimeofday () >= deadline then
+                    Error
+                      (Printf.sprintf "node %d timed out after %.1fs without terminating" me
+                         timeout_s)
+                  else loop ()
             in
-            linger ();
-            ignore (net.Transport.flush ~timeout_s:0.5);
-            (match party.Aba.committed () with
-            | Some v ->
-              Ok
-                { d_pid = me;
-                  d_value = v;
-                  d_round = (match party.Aba.commit_round () with Some r -> r | None -> 0);
-                  d_frames = net.Transport.stats.frames_out;
-                  d_bytes = net.Transport.stats.bytes_out }
-            | None -> Error (Printf.sprintf "node %d terminated without committing" me)))
+            (match loop () with
+            | Error _ as e -> e
+            | Ok () ->
+              (* decision reached: make the tail durable, tell the peers,
+                 then stay responsive while laggards finish - a BYE from
+                 all n-1 peers ends the linger early *)
+              poll_milestones ();
+              wal_flush ();
+              let bye = encode_ctrl ~sender:me ctrl_bye in
+              for d = 0 to n - 1 do
+                if d <> me then net.Transport.send ~dst:d bye
+              done;
+              let linger_until = Unix.gettimeofday () +. linger_s in
+              ignore (net.Transport.flush ~timeout_s:(Float.min linger_s 1.0));
+              let rec linger () =
+                drain_local ();
+                let now = Unix.gettimeofday () in
+                if now < linger_until && !bye_count < n - 1 then begin
+                  (match net.Transport.recv ~timeout_s:(Float.min 0.05 (linger_until -. now)) with
+                  | Some f -> deliver_frame f
+                  | None -> ());
+                  linger ()
+                end
+              in
+              linger ();
+              ignore (net.Transport.flush ~timeout_s:0.5);
+              (match !wal with Some w -> Wal.close w | None -> ());
+              (match party.Aba.committed () with
+              | Some v ->
+                Ok
+                  { d_pid = me;
+                    d_value = v;
+                    d_round = (match party.Aba.commit_round () with Some r -> r | None -> 0);
+                    d_frames = net.Transport.stats.frames_out;
+                    d_bytes = net.Transport.stats.bytes_out }
+              | None -> Error (Printf.sprintf "node %d terminated without committing" me))))
     }
   in
   match Aba.run_custom ~seed ~tracer spec ~cfg ~inputs ~driver with
@@ -784,9 +1041,9 @@ let run_inproc_cluster ?(seed = 0xB0CA1L) ?policy ?(coalesce = true) ?sndbuf_byt
                         ir_max_occupancy = !occ })))
         }
       in
-      let r = Aba.run_custom_many spec ~cfg ~seeds ~inputs ~driver in
-      !cleanup ();
-      r
+      Fun.protect
+        ~finally:(fun () -> !cleanup ())
+        (fun () -> Aba.run_custom_many spec ~cfg ~seeds ~inputs ~driver)
     in
     (* a picked TCP port can be stolen between pick and bind: retry the
        whole attempt (fresh ports, fresh assembly) a couple of times *)
@@ -817,7 +1074,7 @@ let inputs_to_string inputs =
    retries the whole spawn with fresh ports when it sees it. *)
 let addr_in_use_exit = 3
 
-let make_cluster_addr_arg ~n ~transport ~cleanup =
+let make_cluster_addr_arg ?pick_ports ~attempt ~n ~transport ~cleanup () =
   match transport with
   | `Unix ->
     let dir = fresh_unix_dir () in
@@ -826,7 +1083,11 @@ let make_cluster_addr_arg ~n ~transport ~cleanup =
       String.concat ","
         (List.init n (fun i -> Filename.concat dir (Printf.sprintf "node-%d.sock" i))) )
   | `Tcp ->
-    let ports = Transport.Socket.pick_tcp_ports ~n in
+    let ports =
+      match pick_ports with
+      | Some f -> f ~attempt
+      | None -> Transport.Socket.pick_tcp_ports ~n
+    in
     ( "tcp",
       String.concat ","
         (Array.to_list (Array.map (fun p -> Printf.sprintf "127.0.0.1:%d" p) ports)) )
@@ -916,25 +1177,30 @@ let port_clash ~transport ~timed_out statuses =
    continuation turns raw child output into the caller's result; a TCP
    port clash (a child lost the bind race and exited [addr_in_use_exit])
    retries the whole attempt with fresh ports. *)
-let with_spawn_attempts ~timeout_s ~transport ~n ~argv_for k =
+let with_spawn_attempts ?pick_ports ~timeout_s ~transport ~n ~argv_for k =
   let rec go tries =
     incr cluster_counter;
     let cleanup = ref (fun () -> ()) in
-    let kind, addrs_arg = make_cluster_addr_arg ~n ~transport ~cleanup in
+    let kind, addrs_arg = make_cluster_addr_arg ?pick_ports ~attempt:tries ~n ~transport ~cleanup () in
+    (* [Fun.protect]: a spawn failure (node_exe missing, fork error) must
+       not leak the rendezvous directory *)
     let bufs, statuses, timed_out =
-      spawn_and_gather ~timeout_s ~spawn:(fun me -> argv_for ~kind ~addrs_arg me) ~n
+      Fun.protect
+        ~finally:(fun () -> !cleanup ())
+        (fun () ->
+          spawn_and_gather ~timeout_s ~spawn:(fun me -> argv_for ~kind ~addrs_arg me) ~n)
     in
-    !cleanup ();
     if port_clash ~transport ~timed_out statuses && tries < 3 then go (tries + 1)
     else k ~bufs ~statuses ~timed_out
   in
   go 1
 
-let spawn_cluster ?(timeout_s = 60.) ~node_exe ~stack ~eps ~cfg ~seed ~inputs ~transport () =
+let spawn_cluster ?(timeout_s = 60.) ?pick_ports ~node_exe ~stack ~eps ~cfg ~seed ~inputs
+    ~transport () =
   let n = cfg.Types.n in
   if Array.length inputs <> n then Error "inputs must have length n"
   else
-    with_spawn_attempts ~timeout_s ~transport ~n
+    with_spawn_attempts ?pick_ports ~timeout_s ~transport ~n
       ~argv_for:(fun ~kind ~addrs_arg me ->
         spawn_child ~node_exe
           (node_argv ~node_exe ~stack ~eps ~cfg ~seed ~kind ~addrs_arg ~timeout_s
@@ -1059,4 +1325,166 @@ let spawn_cluster_multi ?(timeout_s = 60.) ?policy ~node_exe ~stack ~eps ~cfg ~s
             end
           end
         end)
+  end
+
+(* ---- supervised launcher (crash-recovery) --------------------------- *)
+
+type supervised_result = {
+  s_result : cluster_result;
+  s_restarts : int;  (** total node restarts the supervisor performed *)
+  s_recoveries : recovery_info list;  (** one per successful WAL replay *)
+  s_wal_bytes : int;  (** bytes across all WAL files when the run ended *)
+}
+
+let wal_dir_bytes ~wal_dir ~n =
+  let total = ref 0 in
+  for me = 0 to n - 1 do
+    match Unix.stat (Wal.file_path ~dir:wal_dir ~me) with
+    | st -> total := !total + st.Unix.st_size
+    | exception Unix.Unix_error _ -> ()
+  done;
+  !total
+
+(* Fork the n nodes with durable WALs and a linger as long as the whole
+   run (BYEs end it early), then babysit them: a node that dies - killed
+   by a signal, or exiting non-zero, or exiting zero without a DECIDED
+   line - is restarted with capped-exponential backoff, recovering from
+   its WAL when one exists.  [kill_at = (victim, trigger)] arms one node
+   with [--kill-at] (it SIGKILLs itself at the trigger); the restart argv
+   strips the flag so the recovered process does not re-fire during
+   replay. *)
+let spawn_cluster_supervised ?(timeout_s = 60.) ?(max_restarts = 4) ?(backoff_base_s = 0.25)
+    ?(backoff_cap_s = 2.0) ?kill_at ~node_exe ~stack ~eps ~cfg ~seed ~inputs ~wal_dir
+    ~transport () =
+  let n = cfg.Types.n in
+  if Array.length inputs <> n then Error "inputs must have length n"
+  else begin
+    incr cluster_counter;
+    let cleanup = ref (fun () -> ()) in
+    let kind, addrs_arg = make_cluster_addr_arg ~attempt:1 ~n ~transport ~cleanup () in
+    let argv me ~recover =
+      let extra =
+        [ "--inputs"; inputs_to_string inputs;
+          "--wal-dir"; wal_dir;
+          "--linger"; Printf.sprintf "%g" timeout_s ]
+        @ (if recover then [ "--recover" ] else [])
+        @ (match kill_at with
+          | Some (victim, trigger) when victim = me && not recover ->
+            [ "--kill-at"; trigger ]
+          | _ -> [])
+      in
+      node_argv ~node_exe ~stack ~eps ~cfg ~seed ~kind ~addrs_arg ~timeout_s ~extra me
+    in
+    Fun.protect ~finally:(fun () -> !cleanup ()) @@ fun () ->
+    let bufs = Array.init n (fun _ -> Buffer.create 256) in
+    let restarts = Array.make n 0 in
+    let total_restarts = ref 0 in
+    let state = Array.make n `Init in
+    let chunk = Bytes.create 4096 in
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    for me = 0 to n - 1 do
+      state.(me) <- `Running (spawn_child ~node_exe (argv me ~recover:false))
+    done;
+    let node_decided me =
+      String.split_on_char '\n' (Buffer.contents bufs.(me))
+      |> List.exists (fun l -> parse_decision l <> None)
+    in
+    let settled = function `Done | `Failed _ -> true | `Init | `Running _ | `Restart_at _ -> false in
+    let reap me pid fd =
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      let _, status = Unix.waitpid [] pid in
+      match status with
+      | Unix.WEXITED 0 when node_decided me -> state.(me) <- `Done
+      | status ->
+        if restarts.(me) >= max_restarts then
+          state.(me) <-
+            `Failed
+              (Printf.sprintf "node %d %s after %d restart(s)" me (status_string status)
+                 restarts.(me))
+        else begin
+          let delay =
+            Float.min backoff_cap_s (backoff_base_s *. (2. ** float_of_int restarts.(me)))
+          in
+          restarts.(me) <- restarts.(me) + 1;
+          state.(me) <- `Restart_at (Unix.gettimeofday () +. delay)
+        end
+    in
+    while (not (Array.for_all settled state)) && Unix.gettimeofday () < deadline do
+      Array.iteri
+        (fun me st ->
+          match st with
+          | `Restart_at t when Unix.gettimeofday () >= t ->
+            let recover = Sys.file_exists (Wal.file_path ~dir:wal_dir ~me) in
+            incr total_restarts;
+            state.(me) <- `Running (spawn_child ~node_exe (argv me ~recover))
+          | _ -> ())
+        state;
+      let fds =
+        Array.to_list state
+        |> List.filter_map (function `Running (_, fd) -> Some fd | _ -> None)
+      in
+      match Unix.select fds [] [] 0.1 with
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | readable, _, _ ->
+        Array.iteri
+          (fun me st ->
+            match st with
+            | `Running (pid, fd) when List.memq fd readable -> (
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 -> reap me pid fd
+              | k -> Buffer.add_subbytes bufs.(me) chunk 0 k
+              | exception Unix.Unix_error (EINTR, _, _) -> ())
+            | _ -> ())
+          state
+    done;
+    (* deadline or settled: kill and reap any survivor *)
+    Array.iteri
+      (fun me st ->
+        match st with
+        | `Running (pid, fd) ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          let _, _ = Unix.waitpid [] pid in
+          state.(me) <-
+            `Failed (Printf.sprintf "node %d still running at the deadline (killed)" me)
+        | `Init | `Restart_at _ ->
+          state.(me) <- `Failed (Printf.sprintf "node %d never finished" me)
+        | `Done | `Failed _ -> ())
+      state;
+    let failures =
+      Array.to_list state |> List.filter_map (function `Failed m -> Some m | _ -> None)
+    in
+    if failures <> [] then Error (String.concat "; " failures)
+    else begin
+      let lines me = String.split_on_char '\n' (Buffer.contents bufs.(me)) in
+      let decisions = Array.init n (fun me -> List.find_map parse_decision (lines me)) in
+      let recoveries =
+        List.concat (List.init n (fun me -> List.filter_map parse_recovered (lines me)))
+      in
+      let ds = Array.of_list (List.filter_map Fun.id (Array.to_list decisions)) in
+      if Array.length ds <> n then Error "internal: decision extraction mismatch"
+      else begin
+        let value = ds.(0).d_value in
+        if not (Array.for_all (fun d -> Value.equal d.d_value value) ds) then
+          Error
+            (Printf.sprintf "DISAGREEMENT: decisions [%s] - protocol bug"
+               (String.concat "; "
+                  (Array.to_list
+                     (Array.map
+                        (fun d -> Printf.sprintf "pid %d -> %d" d.d_pid (Value.to_int d.d_value))
+                        ds))))
+        else begin
+          let frames = Array.fold_left (fun a d -> a + d.d_frames) 0 ds in
+          let bytes = Array.fold_left (fun a d -> a + d.d_bytes) 0 ds in
+          Ok
+            { s_result =
+                { c_value = value;
+                  c_rounds = Array.map (fun d -> d.d_round) ds;
+                  c_stats = { frames; bytes; words = Wire.words_of_bytes bytes } };
+              s_restarts = !total_restarts;
+              s_recoveries = recoveries;
+              s_wal_bytes = wal_dir_bytes ~wal_dir ~n }
+        end
+      end
+    end
   end

@@ -25,7 +25,18 @@
       over real sockets - the cluster-throughput bench harness.
     - {!spawn_cluster} / {!spawn_cluster_multi}: the launchers - fork [n]
       [bca_node] processes over Unix-domain sockets or TCP, collect their
-      decisions, check agreement. *)
+      decisions, check agreement.
+    - {!spawn_cluster_supervised}: the crash-recovery launcher - every node
+      keeps a durable WAL ([Bca_recovery.Wal]), and a node that dies
+      (SIGKILL included) is restarted with [--recover], replays its WAL and
+      rejoins the live cluster mid-flight.  See DESIGN.md section 13.
+
+    {b Rejoin control plane.}  Nodes exchange two out-of-band control
+    frames under a dedicated codec id (0xC7): [HELLO], broadcast by a
+    recovered node, is answered by re-sending the full per-destination
+    frame history to the sender (safe because every stack is idempotent
+    per sender); [BYE] announces a decision, and a lingering node that has
+    collected n-1 BYEs exits early instead of sitting out its linger. *)
 
 val parse_stack : ?eps:float -> string -> (Bca_core.Aba.spec, string) result
 (** [crash-strong], [crash-weak], [crash-local], [byz-strong], [byz-weak],
@@ -95,11 +106,28 @@ val print_decision : decision -> unit
 
 val parse_decision : string -> decision option
 
+type recovery_info = {
+  ri_pid : int;
+  ri_records : int;  (** WAL records replayed (the Meta header excluded) *)
+  ri_wal_bytes : int;  (** valid WAL prefix bytes (torn tail excluded) *)
+  ri_replay_s : float;  (** wall time spent loading and replaying the WAL *)
+}
+
+val print_recovered : recovery_info -> unit
+(** The one-line [RECOVERED pid=... records=... wal_bytes=... replay_s=...]
+    record a recovering [bca_node] emits before its [DECIDED] line; the
+    supervisor parses it back. *)
+
+val parse_recovered : string -> recovery_info option
+
 val run_node :
   ?seed:int64 ->
   ?timeout_s:float ->
   ?linger_s:float ->
   ?tracer:Bca_obs.Trace.t ->
+  ?wal_dir:string ->
+  ?recover:bool ->
+  ?on_recover:(recovery_info -> unit) ->
   Bca_core.Aba.spec ->
   cfg:Bca_core.Types.cfg ->
   inputs:Bca_util.Value.t array ->
@@ -110,10 +138,24 @@ val run_node :
     messages, FIFO) to the protocol node, shipping every emitted message
     back out encoded.  [inputs] must be the full cluster's input vector -
     determinism of the assembly requires every process to build the same
-    cluster.  After terminating, flushes the outbound queues and keeps
-    answering peers for [linger_s] (default 1.0) seconds so laggards can
-    finish; gives up after [timeout_s] (default 30.0) seconds without
-    termination.  Does not close [net]. *)
+    cluster.  After terminating, broadcasts a BYE, flushes the outbound
+    queues and keeps answering peers for [linger_s] (default 1.0) seconds
+    - or until all n-1 peers BYE'd - so laggards can finish; gives up
+    after [timeout_s] (default 30.0) seconds without termination.  Does
+    not close [net].
+
+    With [wal_dir] the node keeps a durable write-ahead log
+    ([Bca_recovery.Wal.file_path ~dir ~me]): its meta header, every
+    delivered frame (fsync'd {e before} it is applied - otherwise a
+    post-crash replay could recompute this node's sends under a delivery
+    order the cluster never saw, an honest equivocation), every sent
+    frame's intent, and milestone notes.  With [recover] the WAL is loaded
+    first: the node replays the logged deliveries against the freshly
+    built assembly (cross-checking regenerated sends against the logged
+    intents), reopens the WAL at its valid prefix, calls [on_recover] with
+    the replay cost, then rejoins the live cluster - broadcasting HELLO
+    (peers answer with their history) and re-sending its own regenerated
+    history. *)
 
 (** {1 Pipelined multi-instance execution} *)
 
@@ -202,6 +244,7 @@ val addr_in_use_exit : int
 
 val spawn_cluster :
   ?timeout_s:float ->
+  ?pick_ports:(attempt:int -> int array) ->
   node_exe:string ->
   stack:string ->
   eps:float ->
@@ -218,7 +261,54 @@ val spawn_cluster :
     disagreement (a protocol bug), on any node exiting without deciding,
     and on [timeout_s] (default 60.0) elapsing - surviving processes are
     killed.  A TCP spawn where a node exits {!addr_in_use_exit} (lost the
-    port race) is retried with fresh ports, up to 3 attempts. *)
+    port race) is retried with fresh ports, up to 3 attempts.
+    [pick_ports] overrides the port rendezvous per attempt (1-based) - a
+    test hook for forcing and then resolving bind collisions. *)
+
+(** {1 Supervised crash-recovery launcher} *)
+
+type supervised_result = {
+  s_result : cluster_result;
+  s_restarts : int;  (** node restarts the supervisor performed *)
+  s_recoveries : recovery_info list;  (** one per successful WAL replay *)
+  s_wal_bytes : int;  (** bytes across all WAL files when the run ended *)
+}
+
+val wal_dir_bytes : wal_dir:string -> n:int -> int
+(** Total size of the [wal-<pid>.log] files currently in [wal_dir]. *)
+
+val spawn_cluster_supervised :
+  ?timeout_s:float ->
+  ?max_restarts:int ->
+  ?backoff_base_s:float ->
+  ?backoff_cap_s:float ->
+  ?kill_at:int * string ->
+  node_exe:string ->
+  stack:string ->
+  eps:float ->
+  cfg:Bca_core.Types.cfg ->
+  seed:int64 ->
+  inputs:Bca_util.Value.t array ->
+  wal_dir:string ->
+  transport:[ `Unix | `Tcp ] ->
+  unit ->
+  (supervised_result, string) result
+(** {!spawn_cluster} with crash recovery: every node runs with
+    [--wal-dir wal_dir] and a linger as long as [timeout_s] (the BYE
+    exchange ends it early), and the launcher supervises the children - a
+    node that dies (killed by a signal, exiting non-zero, or exiting
+    without a [DECIDED] line) is restarted with capped-exponential backoff
+    ([backoff_base_s], default 0.25 s, doubling per restart of that node
+    up to [backoff_cap_s], default 2 s), at most [max_restarts] (default
+    4) times per node, recovering from its WAL when one exists.
+
+    [kill_at = (victim, trigger)] arms node [victim] with
+    [--kill-at trigger] (e.g. ["coin:1"]: SIGKILL itself at its first
+    access of round 1's coin - the worst possible moment, mid-round with
+    the binding property in flight); the restart argv strips the flag so
+    the recovered process does not re-fire while replaying the same coin
+    access.  [wal_dir] must exist and persist across restarts; the caller
+    owns it. *)
 
 type multi_cluster_result = {
   mc_values : Bca_util.Value.t array;  (** per-instance agreed value *)

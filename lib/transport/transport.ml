@@ -217,6 +217,33 @@ module Socket = struct
     let d = s.s_backoff_base *. (2. ** float_of_int (retries - 1)) in
     Float.min d s.s_backoff_cap
 
+  (* A completed handshake resets the whole backoff state - the retry
+     counter AND the pending-attempt timestamp.  Centralized so no success
+     path can forget one of the two: a peer that flaps repeatedly but
+     reconnects successfully in between must restart from the base
+     backoff every time, never accumulate toward [give_up]. *)
+  let mark_up s p fd =
+    p.p_state <- Up fd;
+    p.p_retries <- 0;
+    p.p_next_attempt <- 0.;
+    trace s ~peer:p.p_pid ~op:"connect" ~bytes:0
+
+  (* A frame arrived from a peer we had given up on: it is demonstrably
+     alive again (restarted with the same node id on a fresh socket), so
+     resurrect the outgoing side.  Without this, [Dead] is permanent and a
+     recovered node could hear the cluster but never be answered. *)
+  let revive_peer s sender =
+    if sender >= 0 && sender < s.s_n && sender <> s.s_me then begin
+      let p = s.s_peers.(sender) in
+      match p.p_state with
+      | Dead ->
+        p.p_state <- Idle;
+        p.p_retries <- 0;
+        p.p_next_attempt <- 0.;
+        trace s ~peer:sender ~op:"revive" ~bytes:0
+      | Idle | Connecting _ | Up _ -> ()
+    end
+
   (* The connection failed (connect error, write error, refused): close it,
      rewind the partially written head frame so the next connection resends
      it whole, and either schedule a delayed reattempt or give the peer up. *)
@@ -289,10 +316,7 @@ module Socket = struct
     set_nodelay fd;
     set_bufsizes ?sndbuf_bytes:s.s_sndbuf ?rcvbuf_bytes:s.s_rcvbuf fd;
     match Unix.connect fd p.p_addr with
-    | () ->
-      p.p_state <- Up fd;
-      p.p_retries <- 0;
-      trace s ~peer:p.p_pid ~op:"connect" ~bytes:0
+    | () -> mark_up s p fd
     | exception Unix.Unix_error ((EINPROGRESS | EWOULDBLOCK | EAGAIN), _, _) ->
       p.p_state <- Connecting fd
     | exception Unix.Unix_error (_, _, _) ->
@@ -317,6 +341,7 @@ module Socket = struct
         s.s_stats.frames_in <- s.s_stats.frames_in + 1;
         s.s_stats.bytes_in <- s.s_stats.bytes_in + Wire.view_bytes v;
         trace s ~peer:v.Wire.v_sender ~op:"rx" ~bytes:(Wire.view_bytes v);
+        revive_peer s v.Wire.v_sender;
         Queue.push v s.s_inbox
       end;
       drain_reader s c
@@ -394,9 +419,7 @@ module Socket = struct
             | Connecting fd when List.memq fd w -> begin
               match Unix.getsockopt_error fd with
               | None ->
-                p.p_state <- Up fd;
-                p.p_retries <- 0;
-                trace s ~peer:p.p_pid ~op:"connect" ~bytes:0;
+                mark_up s p fd;
                 try_write s p ~now
               | Some _ -> schedule_retry s p ~now
             end

@@ -18,9 +18,17 @@
     completion, accepting, reading, writing, retries) happens inside
     {!t.recv} / {!t.flush} pumps built on [Unix.select].  Outbound
     connections are lazy - opened on the first send to a peer - and retried
-    with capped exponential backoff until {!Socket} gives the peer up;
-    inbound connections are anonymous byte streams (the frame header
-    carries the sender pid, so no handshake is needed).  A corrupt inbound
+    with capped exponential backoff until {!Socket} gives the peer up; a
+    completed handshake resets the backoff state entirely (retry counter
+    and pending-attempt time), so a flapping peer that keeps reconnecting
+    successfully never accumulates toward give-up.  Inbound connections
+    are anonymous byte streams (the frame header carries the sender pid,
+    so no handshake is needed) - which also makes a {e restarted} peer
+    with the same node id but a fresh socket indistinguishable from a slow
+    one: its frames are accepted as before, and receiving a frame from a
+    peer this endpoint had given up on resurrects the outgoing side
+    (Dead -> Idle), the transport-level half of cluster crash-recovery
+    ([Bca_transport.Cluster], [Bca_recovery.Wal]).  A corrupt inbound
     stream (bad magic / CRC / oversized frame) poisons its
     [Bca_wire.Wire.Reader] and the connection is dropped; the sender's
     reconnect logic re-establishes it.  See DESIGN.md section 11 for the
@@ -28,7 +36,8 @@
 
     Every endpoint keeps {!stats} counters, and when built with a tracer
     emits [Bca_obs.Event.Transport] events (connect / accept / retry /
-    give_up / close / tx / rx / drop) through the ordinary trace sinks. *)
+    give_up / revive / close / tx / rx / drop) through the ordinary trace
+    sinks. *)
 
 type stats = {
   mutable frames_out : int;

@@ -278,6 +278,113 @@ let test_inproc_cluster_matches_loopback_multi () =
     | Error e, _ | _, Error e -> Alcotest.failf "comparison rerun: %s" e)
 
 (* ------------------------------------------------------------------ *)
+(* Socket reconnection: backoff reset and dead-peer revival             *)
+(* ------------------------------------------------------------------ *)
+
+let temp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let rm_rf dir =
+  (match Sys.readdir dir with
+  | entries ->
+    Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ()) entries
+  | exception Sys_error _ -> ());
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+let raw_frame ~sender body = W.encode_raw ~codec_id:Wf.byz_strong.W.id ~sender body
+
+(* Pump [a] until [b] receives a frame (or the deadline passes). *)
+let pump_until_recv a b ~what =
+  let deadline = Unix.gettimeofday () +. 10. in
+  let got = ref None in
+  while !got = None && Unix.gettimeofday () < deadline do
+    ignore (a.Transport.flush ~timeout_s:0.01);
+    got := b.Transport.recv ~timeout_s:0.05
+  done;
+  match !got with
+  | Some f -> f
+  | None -> Alcotest.failf "%s: frame never arrived" what
+
+(* A completed reconnect must reset the backoff state: a peer that flaps -
+   fails, comes back, fails again - gets a full retry budget after every
+   successful handshake and is never given up (no drops), however many
+   failures it accumulated across flaps. *)
+let test_socket_backoff_reset_on_reconnect () =
+  let dir = temp_dir "bca-backoff" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let addrs = Transport.Socket.unix_addrs ~dir ~n:2 in
+  let a =
+    Transport.Socket.endpoint ~backoff_base_s:0.001 ~backoff_cap_s:0.005 ~max_retries:4
+      ~addrs ~me:0 ()
+  in
+  Fun.protect ~finally:(fun () -> a.Transport.close ()) @@ fun () ->
+  a.Transport.send ~dst:1 (raw_frame ~sender:0 "ping");
+  (* phase 1: nobody listening - fail three times, one short of give-up *)
+  let deadline = Unix.gettimeofday () +. 10. in
+  while a.Transport.stats.Transport.retries < 3 && Unix.gettimeofday () < deadline do
+    ignore (a.Transport.flush ~timeout_s:0.01)
+  done;
+  Alcotest.(check bool) "failures accumulated" true (a.Transport.stats.Transport.retries >= 3);
+  Alcotest.(check int) "nothing dropped while retrying" 0 a.Transport.stats.Transport.drops;
+  (* phase 2: the peer comes up; the queued frame goes through *)
+  let b = Transport.Socket.endpoint ~addrs ~me:1 () in
+  let f = pump_until_recv a b ~what:"after the peer came up" in
+  Alcotest.(check string) "queued frame delivered on reconnect" "ping" f.W.body;
+  (* phase 3: the peer goes away again.  The reset counter affords a full
+     fresh round of retries: without the reset, the first new failure
+     would cross max_retries and give the peer up, dropping the frame. *)
+  b.Transport.close ();
+  a.Transport.send ~dst:1 (raw_frame ~sender:0 "ping2");
+  let before = a.Transport.stats.Transport.retries in
+  let deadline = Unix.gettimeofday () +. 10. in
+  while
+    a.Transport.stats.Transport.retries - before < 3 && Unix.gettimeofday () < deadline
+  do
+    ignore (a.Transport.flush ~timeout_s:0.01)
+  done;
+  Alcotest.(check bool) "full retry budget again after the flap" true
+    (a.Transport.stats.Transport.retries - before >= 3);
+  Alcotest.(check int) "peer never given up across flaps" 0 a.Transport.stats.Transport.drops;
+  (* and the frame still lands once the peer returns a second time *)
+  let b2 = Transport.Socket.endpoint ~addrs ~me:1 () in
+  Fun.protect ~finally:(fun () -> b2.Transport.close ()) @@ fun () ->
+  let f = pump_until_recv a b2 ~what:"after the second flap" in
+  Alcotest.(check string) "frame delivered after the second flap" "ping2" f.W.body
+
+(* A frame from a given-up peer resurrects it (Dead -> Idle): the
+   transport half of crash recovery.  Without revival a restarted node
+   could hear the cluster but never be answered. *)
+let test_socket_dead_peer_revival () =
+  let dir = temp_dir "bca-revive" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let addrs = Transport.Socket.unix_addrs ~dir ~n:2 in
+  let a =
+    Transport.Socket.endpoint ~backoff_base_s:0.001 ~backoff_cap_s:0.002 ~max_retries:2
+      ~addrs ~me:0 ()
+  in
+  Fun.protect ~finally:(fun () -> a.Transport.close ()) @@ fun () ->
+  a.Transport.send ~dst:1 (raw_frame ~sender:0 "lost");
+  (* nobody ever listens: peer 1 is given up, its queued frame dropped *)
+  let deadline = Unix.gettimeofday () +. 10. in
+  while a.Transport.stats.Transport.drops = 0 && Unix.gettimeofday () < deadline do
+    ignore (a.Transport.flush ~timeout_s:0.01)
+  done;
+  Alcotest.(check bool) "peer given up" true (a.Transport.stats.Transport.drops > 0);
+  (* the "restarted" peer appears and speaks first *)
+  let b = Transport.Socket.endpoint ~addrs ~me:1 () in
+  Fun.protect ~finally:(fun () -> b.Transport.close ()) @@ fun () ->
+  b.Transport.send ~dst:0 (raw_frame ~sender:1 "hello again");
+  let f = pump_until_recv b a ~what:"revival trigger" in
+  Alcotest.(check string) "inbound frame received" "hello again" f.W.body;
+  (* hearing it revived the outgoing side: a can answer now *)
+  a.Transport.send ~dst:1 (raw_frame ~sender:0 "welcome back");
+  let f = pump_until_recv a b ~what:"post-revival send" in
+  Alcotest.(check string) "answer reaches the revived peer" "welcome back" f.W.body
+
+(* ------------------------------------------------------------------ *)
 (* Multi-process clusters over real sockets                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -362,6 +469,80 @@ let test_unix_cluster_multi () =
     Alcotest.(check bool) "batch frames carried the records" true
       (r.Cluster.mc_batches > 0 && r.Cluster.mc_records > r.Cluster.mc_batches)
 
+(* The launcher owns the rendezvous tmpdir (bca-cluster-<pid>-<k> under
+   the system temp dir): a cluster whose nodes all fail must still remove
+   it - cleanup is exception/exit-safe, not success-path-only. *)
+let cluster_tmpdirs () =
+  let tmp = Filename.get_temp_dir_name () in
+  let prefix = Printf.sprintf "bca-cluster-%d-" (Unix.getpid ()) in
+  match Sys.readdir tmp with
+  | entries ->
+    Array.to_list entries
+    |> List.filter (fun e -> String.length e >= String.length prefix
+                             && String.sub e 0 (String.length prefix) = prefix)
+    |> List.sort compare
+  | exception Sys_error _ -> []
+
+let test_failing_cluster_cleans_tmpdir () =
+  let false_exe =
+    if Sys.file_exists "/bin/false" then "/bin/false" else "/usr/bin/false"
+  in
+  let spec = Aba.Byz_strong in
+  let cfg = cfg_of spec in
+  let before = cluster_tmpdirs () in
+  (match
+     Cluster.spawn_cluster ~timeout_s:20. ~node_exe:false_exe ~stack:"byz-strong" ~eps:0.25
+       ~cfg ~seed:31L ~inputs:(mixed_inputs cfg.Types.n) ~transport:`Unix ()
+   with
+  | Ok _ -> Alcotest.fail "a cluster of /bin/false nodes cannot decide"
+  | Error _ -> ());
+  Alcotest.(check (list string))
+    "failing cluster leaves no rendezvous tmpdir behind" before (cluster_tmpdirs ())
+
+(* Losing a TCP bind race exits the node with the dedicated code and the
+   launcher retries the whole attempt on fresh ports.  Provoked
+   deterministically via the pick_ports hook: attempt 1 is handed ports we
+   already hold listeners on, attempt 2 picks fresh ones. *)
+let test_tcp_addr_in_use_retry () =
+  let spec = Aba.Byz_strong in
+  let cfg = cfg_of spec in
+  let n = cfg.Types.n in
+  let blockers =
+    Array.init n (fun _ ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+        Unix.listen fd 1;
+        fd)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) blockers)
+  @@ fun () ->
+  let blocked_ports =
+    Array.map
+      (fun fd ->
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | Unix.ADDR_UNIX _ -> assert false)
+      blockers
+  in
+  let attempts = ref [] in
+  let pick_ports ~attempt =
+    attempts := attempt :: !attempts;
+    if attempt = 1 then blocked_ports else Transport.Socket.pick_tcp_ports ~n
+  in
+  match
+    Cluster.spawn_cluster ~timeout_s:60. ~pick_ports ~node_exe ~stack:"byz-strong" ~eps:0.25
+      ~cfg ~seed:29L ~inputs:(mixed_inputs n) ~transport:`Tcp ()
+  with
+  | Error e -> Alcotest.failf "cluster did not survive the port clash: %s" e
+  | Ok r ->
+    Alcotest.(check bool) "decided after the retry" true
+      (r.Cluster.c_stats.Cluster.frames > 0);
+    Alcotest.(check bool) "the clashing ports were tried first" true (List.mem 1 !attempts);
+    Alcotest.(check bool) "a fresh attempt followed" true
+      (List.exists (fun a -> a > 1) !attempts)
+
 let () =
   Alcotest.run "transport"
     [ ( "loopback",
@@ -378,6 +559,11 @@ let () =
             test_loopback_multi_bit_identical;
           Alcotest.test_case "inproc socket cluster matches the oracle" `Slow
             test_inproc_cluster_matches_loopback_multi ] );
+      ( "reconnect",
+        [ Alcotest.test_case "backoff resets after a successful reconnect" `Quick
+            test_socket_backoff_reset_on_reconnect;
+          Alcotest.test_case "inbound frame revives a given-up peer" `Quick
+            test_socket_dead_peer_revival ] );
       ( "cluster",
         [ Alcotest.test_case "unix sockets: all six stacks agree" `Slow
             test_unix_cluster_all_stacks;
@@ -385,4 +571,8 @@ let () =
             test_unix_cluster_matches_loopback;
           Alcotest.test_case "tcp: byz-strong decides" `Slow test_tcp_cluster;
           Alcotest.test_case "unix sockets: multi-instance nodes match the oracle" `Slow
-            test_unix_cluster_multi ] ) ]
+            test_unix_cluster_multi;
+          Alcotest.test_case "failing cluster cleans up its tmpdir" `Quick
+            test_failing_cluster_cleans_tmpdir;
+          Alcotest.test_case "tcp: EADDRINUSE exit triggers a fresh-port retry" `Slow
+            test_tcp_addr_in_use_retry ] ) ]
