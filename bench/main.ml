@@ -4,7 +4,7 @@
    times the simulator stacks with Bechamel.
 
    Usage: main.exe [table1|table2|attack|scaling|chaos|wire|cluster|recovery|
-                    ablation|bechamel|all]
+                    fuzz|ablation|bechamel|all]
                    [--runs K] [--seed S] [--json PATH] [--metrics] [--trace PATH]
    Default: all.  Monte-Carlo run counts are chosen so the full harness
    completes in well under a minute; EXPERIMENTS.md records a reference
@@ -33,6 +33,7 @@ module Table2 = Bca_experiments.Table2
 module Cz_attack = Bca_adversary.Cz_attack
 module Mmr_attack = Bca_adversary.Mmr_attack
 module Campaign = Bca_experiments.Chaos_campaign
+module Fuzz = Bca_experiments.Fuzz_campaign
 module Mc = Bca_experiments.Mc
 module Metrics = Bca_obs.Metrics
 module Trace = Bca_obs.Trace
@@ -321,23 +322,54 @@ let metrics_acc : (string * Metrics.t) list ref = ref []
 
 let wire_acc : wire_row list ref = ref []
 
+(* One guided smoke campaign per real stack: trials, outcome counts, corpus
+   growth and coverage footprint.  Safety violations on a real stack fail
+   the section. *)
+type fuzz_row = {
+  fz_target : string;
+  fz_n : int;
+  fz_t : int;
+  fz_trials : int;
+  fz_committed : int;
+  fz_stalled : int;
+  fz_violations : int;
+  fz_corpus : int;
+  fz_cov_keys : int;
+  fz_cov_points : int;
+  fz_wall_s : float;
+}
+
+let fuzz_acc : fuzz_row list ref = ref []
+
+let fuzz_rediscovery : Fuzz.rediscovery option ref = ref None
+
+(* The rediscovery gate: guided search must beat the undirected baseline by
+   at least this factor, and must actually find the reintroduced bug within
+   this many trials (median).  Calibrated at the pinned root below. *)
+let fuzz_min_speedup = 10.0
+
+let fuzz_median_floor = 500.0
+
 let chaos_failed = ref false
 
 let section_failed = ref false
 
 let write_throughput_json path ~seed ~runs ~chaos ~metrics ~wire ~cluster ~recovery ~lint
-    tps =
+    ~fuzz ~rediscovery tps =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
-  (* schema 5: adds the "recovery" array (supervised crash-recovery
+  (* schema 6: adds the "fuzz" object (coverage-guided adversary search:
+     per-stack guided smoke campaigns, and the CZ AUX-bug rediscovery
+     benchmark - trials-to-find guided vs blind with the gate verdict);
+     schema 5 added the "recovery" array (supervised crash-recovery
      clusters: decisions/sec with a kill every k decisions, WAL bytes per
      decision, replay cost); schema 4 added the "cluster" array
      (decisions/sec of the batched socket hot path vs the per-message
      baseline); schema 3 added the "lint" object (static-analysis health
      of lib/ at report time); schema 2 added the "wire" array
      (per-decision on-wire traffic per stack).  Consumers of older
-     schemas should treat all four as optional *)
-  Buffer.add_string buf "  \"schema\": 5,\n";
+     schemas should treat all five as optional *)
+  Buffer.add_string buf "  \"schema\": 6,\n";
   (match lint with
   | Some (r : Bca_lint.Lint.report) ->
     Buffer.add_string buf
@@ -424,6 +456,40 @@ let write_throughput_json path ~seed ~runs ~chaos ~metrics ~wire ~cluster ~recov
            (if i = List.length recovery - 1 then "" else ",")))
     recovery;
   Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"fuzz\": {\n    \"smoke\": [\n";
+  List.iteri
+    (fun i fz ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      {\"target\": %S, \"n\": %d, \"t\": %d, \"trials\": %d, \
+            \"committed\": %d, \"stalled\": %d, \"safety_violations\": %d, \
+            \"corpus\": %d, \"coverage_keys\": %d, \"coverage_points\": %d, \
+            \"wall_s\": %.6f}%s\n"
+           fz.fz_target fz.fz_n fz.fz_t fz.fz_trials fz.fz_committed fz.fz_stalled
+           fz.fz_violations fz.fz_corpus fz.fz_cov_keys fz.fz_cov_points fz.fz_wall_s
+           (if i = List.length fuzz - 1 then "" else ",")))
+    fuzz;
+  Buffer.add_string buf "    ],\n    \"rediscovery\": ";
+  (match rediscovery with
+  | None -> Buffer.add_string buf "null\n"
+  | Some (r : Fuzz.rediscovery) ->
+    let arr a =
+      String.concat ", " (Array.to_list (Array.map string_of_int a))
+    in
+    let pass =
+      r.Fuzz.r_speedup >= fuzz_min_speedup && r.Fuzz.r_guided_median <= fuzz_median_floor
+    in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"target\": \"cz-buggy\", \"root_seed\": 66, \"seeds\": %d, \"cap\": %d,\n\
+         \      \"guided_trials\": [%s], \"blind_trials\": [%s],\n\
+         \      \"guided_median\": %.1f, \"blind_median\": %.1f, \"speedup\": %.2f,\n\
+         \      \"gate\": {\"min_speedup\": %.1f, \"guided_median_floor\": %.1f, \
+          \"pass\": %b}}\n"
+         r.Fuzz.r_seeds r.Fuzz.r_cap (arr r.Fuzz.r_guided) (arr r.Fuzz.r_blind)
+         r.Fuzz.r_guided_median r.Fuzz.r_blind_median r.Fuzz.r_speedup fuzz_min_speedup
+         fuzz_median_floor pass));
+  Buffer.add_string buf "  },\n";
   Buffer.add_string buf "  \"metrics\": [\n";
   List.iteri
     (fun i (name, m) ->
@@ -965,6 +1031,85 @@ let trace_capture path =
       Printf.printf "replayed %d events bit-identically; violation reproduced\n"
         (Array.length replayed))
 
+(* ------------------------------------------------------------------ *)
+(* Fuzz: coverage-guided adversary search, smoke + rediscovery gate.    *)
+(* ------------------------------------------------------------------ *)
+
+(* Two halves.  Smoke: a guided campaign on each real stack must find
+   nothing (these stacks are believed correct; a find is a regression and
+   fails the process, same discipline as the chaos section).  Rediscovery:
+   reintroduce the historical Cachin-Zanolini per-value-AUX bug behind its
+   flag and measure trials-to-find, guided vs blind, median over 5 root
+   seeds.  The gate - guided at least [fuzz_min_speedup] times faster and
+   finding within [fuzz_median_floor] trials - runs at a pinned root
+   (0x42), like the Bechamel seeds: the ratio is a property of the
+   calibrated configuration, not of --seed, and the per-seed arrays are
+   recorded in the JSON for inspection. *)
+let fuzz_bench () =
+  let seed = root_seed () in
+  let trials = match !opt_runs with Some r -> min r 200 | None -> 64 in
+  section
+    (Printf.sprintf "Fuzz - guided smoke on the six stacks (%d trials each)" trials);
+  let rows =
+    List.mapi
+      (fun i tg ->
+        let t0 = Unix.gettimeofday () in
+        let c =
+          Fuzz.run ~mode:Fuzz.Guided ~target:tg ~trials
+            ~seed:(Int64.add seed (Int64.of_int (31 + i)))
+            ()
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        (match c.Fuzz.c_found with
+        | None -> ()
+        | Some f ->
+          chaos_failed := true;
+          Printf.printf "!! %s: safety violation at trial %d (plan %s)\n" tg.Fuzz.tg_name
+            f.Fuzz.f_trial f.Fuzz.f_name);
+        { fz_target = tg.Fuzz.tg_name;
+          fz_n = tg.Fuzz.tg_n;
+          fz_t = tg.Fuzz.tg_t;
+          fz_trials = c.Fuzz.c_trials;
+          fz_committed = c.Fuzz.c_committed;
+          fz_stalled = c.Fuzz.c_stalled;
+          fz_violations =
+            (match c.Fuzz.c_found with
+            | Some f -> List.length f.Fuzz.f_violations
+            | None -> 0);
+          fz_corpus = List.length c.Fuzz.c_corpus;
+          fz_cov_keys = Bca_obs.Coverage.cardinality c.Fuzz.c_coverage;
+          fz_cov_points = Bca_obs.Coverage.points c.Fuzz.c_coverage;
+          fz_wall_s = wall })
+      Fuzz.six
+  in
+  Tablefmt.print
+    ~header:[ "target"; "trials"; "committed"; "stalled"; "corpus"; "coverage"; "wall" ]
+    (List.map
+       (fun fz ->
+         [ fz.fz_target;
+           string_of_int fz.fz_trials;
+           string_of_int fz.fz_committed;
+           string_of_int fz.fz_stalled;
+           string_of_int fz.fz_corpus;
+           Printf.sprintf "%d keys / %d pts" fz.fz_cov_keys fz.fz_cov_points;
+           Printf.sprintf "%.2fs" fz.fz_wall_s ])
+       rows);
+  fuzz_acc := rows;
+  section "Fuzz - CZ AUX-bug rediscovery, guided vs blind (pinned root 0x42)";
+  let r = Fuzz.rediscover ~seeds:5 ~cap:3_000 ~seed:0x42L () in
+  Format.printf "%a@." Fuzz.pp_rediscovery r;
+  fuzz_rediscovery := Some r;
+  if r.Fuzz.r_speedup < fuzz_min_speedup then begin
+    section_failed := true;
+    Printf.printf "!! rediscovery speedup %.2fx below the %.1fx gate\n" r.Fuzz.r_speedup
+      fuzz_min_speedup
+  end;
+  if r.Fuzz.r_guided_median > fuzz_median_floor then begin
+    section_failed := true;
+    Printf.printf "!! guided median %.1f trials above the %.1f-trial floor\n"
+      r.Fuzz.r_guided_median fuzz_median_floor
+  end
+
 (* Static-analysis health of the lib/ tree, folded into the report so a
    benchmark JSON also records whether the sources it measured were lint
    clean.  Benchmarks normally run from the repo root; when lib/ is not
@@ -979,13 +1124,14 @@ let lint_summary () =
 let flush_json () =
   if
     !scaling_acc <> [] || !chaos_acc <> [] || !metrics_acc <> [] || !wire_acc <> []
-    || !cluster_acc <> [] || !recovery_acc <> []
+    || !cluster_acc <> [] || !recovery_acc <> [] || !fuzz_acc <> []
+    || !fuzz_rediscovery <> None
   then begin
     let path = json_path () in
     let runs = match !opt_runs with Some r -> r | None -> 30 in
     write_throughput_json path ~seed:(root_seed ()) ~runs ~chaos:!chaos_acc
       ~metrics:!metrics_acc ~wire:!wire_acc ~cluster:!cluster_acc ~recovery:!recovery_acc
-      ~lint:(lint_summary ()) !scaling_acc;
+      ~lint:(lint_summary ()) ~fuzz:!fuzz_acc ~rediscovery:!fuzz_rediscovery !scaling_acc;
     Printf.printf "\n(throughput written to %s)\n" path
   end
 
@@ -1070,7 +1216,7 @@ let bechamel () =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [table1|table2|attack|scaling|chaos|wire|cluster|recovery|ablation|bechamel|all]\n\
+    "usage: main.exe [table1|table2|attack|scaling|chaos|wire|cluster|recovery|fuzz|ablation|bechamel|all]\n\
     \       [--runs K] [--seed S] [--json PATH] [--metrics] [--trace PATH] [--floor DPS]\n";
   exit 1
 
@@ -1144,6 +1290,7 @@ let () =
   | "wire" -> run_section "wire" wire
   | "cluster" -> run_section "cluster" cluster_bench
   | "recovery" -> run_section "recovery" recovery_bench
+  | "fuzz" -> run_section "fuzz" fuzz_bench
   | "ablation" -> run_section "ablation" ablation
   | "bechamel" -> run_section "bechamel" bechamel
   | "all" ->
@@ -1155,12 +1302,13 @@ let () =
     run_section "wire" wire;
     run_section "cluster" cluster_bench;
     run_section "recovery" recovery_bench;
+    run_section "fuzz" fuzz_bench;
     run_section "ablation" ablation;
     run_section "bechamel" bechamel
   | other ->
     Printf.eprintf
       "unknown section %S \
-       (table1|table2|attack|scaling|chaos|wire|cluster|recovery|ablation|bechamel|all)\n"
+       (table1|table2|attack|scaling|chaos|wire|cluster|recovery|fuzz|ablation|bechamel|all)\n"
       other;
     usage ());
   if !opt_metrics then run_section "metrics" metrics;

@@ -652,7 +652,10 @@ let verify_cmd =
         s.Bca_modelcheck.Modelcheck.configurations s.Bca_modelcheck.Modelcheck.terminals
         (if s.Bca_modelcheck.Modelcheck.truncated then
            "; exploration TRUNCATED at the configuration cap"
-         else "; exploration complete")
+         else "; exploration complete");
+      Format.printf "%d edges explored, deepest choice sequence %d@.%a@."
+        s.Bca_modelcheck.Modelcheck.edges s.Bca_modelcheck.Modelcheck.max_depth
+        Bca_obs.Coverage.pp s.Bca_modelcheck.Modelcheck.coverage
     | Bca_modelcheck.Modelcheck.Violated reason ->
       Format.printf "VIOLATED: %s@." reason;
       exit 1
@@ -663,6 +666,132 @@ let verify_cmd =
          "Exhaustively model-check a crash protocol: every delivery order and crash           placement for the given inputs.")
     Term.(const action $ protocol $ inputs $ crashes $ cap)
 
+(* ------------------------------------------------------------------ *)
+(* bca fuzz                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let module F = Bca_experiments.Fuzz_campaign in
+  let stack =
+    let names =
+      String.concat ", " (List.map (fun tg -> tg.F.tg_name) F.all_targets)
+    in
+    Arg.(
+      value & opt string "byz/strong"
+      & info [ "stack" ] ~docv:"NAME" ~doc:(Printf.sprintf "Target stack: %s." names))
+  in
+  let trials =
+    Arg.(value & opt int 256 & info [ "trials" ] ~docv:"N" ~doc:"Trial budget.")
+  in
+  let batch =
+    Arg.(value & opt int 16 & info [ "batch" ] ~docv:"N" ~doc:"Trials per scheduler batch.")
+  in
+  let blind =
+    Arg.(
+      value & flag
+      & info [ "blind" ] ~doc:"Undirected baseline: every plan drawn fresh, no corpus.")
+  in
+  let corpus_in =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"FILE" ~doc:"Start from a saved corpus instead of the built-in seeds.")
+  in
+  let corpus_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-corpus" ] ~docv:"FILE" ~doc:"Write the final corpus (guided mode).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "violation-trace" ] ~docv:"FILE"
+          ~doc:"On a find, replay the violating trial and write its event stream as JSONL.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N" ~doc:"Domains for batch evaluation (default: auto).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the campaign report as JSON.") in
+  let action stack trials batch blind corpus_in corpus_out trace_out domains json seed =
+    let target =
+      match F.find_target stack with
+      | Ok tg -> tg
+      | Error e ->
+        prerr_endline e;
+        exit 1
+    in
+    let corpus =
+      match corpus_in with
+      | None -> None
+      | Some path -> (
+        match F.load_corpus path with
+        | Ok c -> Some c
+        | Error e ->
+          prerr_endline e;
+          exit 1)
+    in
+    let mode = if blind then F.Blind else F.Guided in
+    let c = F.run ?domains ~batch ?corpus ~mode ~target ~trials ~seed () in
+    if json then begin
+      let buf = Buffer.create 512 in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{ \"target\": %S, \"mode\": %S, \"trials\": %d, \"committed\": %d, \"stalled\": \
+            %d,\n  \"deliveries\": %d, \"corpus\": %d, \"coverage\": %s,\n  \"found\": "
+           c.F.c_target (F.mode_name c.F.c_mode) c.F.c_trials c.F.c_committed c.F.c_stalled
+           c.F.c_deliveries (List.length c.F.c_corpus)
+           (Bca_obs.Coverage.to_json c.F.c_coverage));
+      (match c.F.c_found with
+      | None -> Buffer.add_string buf "null"
+      | Some f ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{ \"trial\": %d, \"name\": %S, \"seed\": \"0x%Lx\", \"plan\": %S, \
+              \"violations\": [%s] }"
+             f.F.f_trial f.F.f_name f.F.f_seed
+             (Bca_adversary.Chaos.plan_to_string f.F.f_plan)
+             (String.concat ", "
+                (List.map
+                   (fun v -> Printf.sprintf "%S" (Format.asprintf "%a" Monitor.pp_violation v))
+                   f.F.f_violations))));
+      Buffer.add_string buf " }\n";
+      print_string (Buffer.contents buf)
+    end
+    else Format.printf "%a@." F.pp_campaign c;
+    (match corpus_out with
+    | Some path when c.F.c_corpus <> [] -> F.save_corpus path c.F.c_corpus
+    | Some path -> Format.eprintf "%s: empty corpus (blind mode?), not written@." path
+    | None -> ());
+    match c.F.c_found with
+    | None -> ()
+    | Some f ->
+      (match trace_out with
+      | None -> ()
+      | Some path ->
+        let cap = Bca_obs.Trace.create () in
+        let (_ : F.trial) =
+          F.replay ~capture:cap ~target ~plan:f.F.f_plan ~seed:f.F.f_seed ()
+        in
+        let oc = open_out path in
+        Bca_obs.Trace.output oc cap;
+        close_out oc;
+        Format.printf "violating run replayed to %s (%d events)@." path
+          (Bca_obs.Trace.length cap));
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Coverage-guided adversary search: mutate chaos plans against a protocol stack,      keeping plans that reach new coverage; exits 2 if a safety violation is found.")
+    Term.(
+      const action $ stack $ trials $ batch $ blind $ corpus_in $ corpus_out $ trace_out
+      $ domains $ json $ seed_arg)
+
 let () =
   let info =
     Cmd.info "bca" ~version:Version.v
@@ -672,4 +801,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; cluster_cmd; tables_cmd; attack_cmd; acs_cmd; verify_cmd; trace_cmd;
-            lint_cmd ]))
+            lint_cmd; fuzz_cmd ]))

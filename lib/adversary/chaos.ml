@@ -1,5 +1,6 @@
 module Async = Bca_netsim.Async_exec
 module Rng = Bca_util.Rng
+module Event = Bca_obs.Event
 
 type pid = int
 
@@ -13,8 +14,19 @@ type crash = { victim : pid; at_delivery : int; last_recipients : pid list }
 
 type kill = { k_victim : pid; k_at_delivery : int; k_restart_delta : int }
 
+type adaptive =
+  | Corrupt_at_coin_reveal of { a_round : int; a_rate : float }
+  | Crash_at_phase of { a_round : int; a_phase : string }
+
 type plan = {
   chaos_seed : int64;
+  reseeds : (int * int64) list;
+      (* (delivery, seed): swap the schedule stream at these delivery
+         counts.  The fuzzer's tail-mutation operator: a child plan with
+         the parent's [chaos_seed] and one extra reseed point replays the
+         parent's schedule byte-for-byte up to that delivery, then
+         diverges - preserving a reached near-miss state while searching
+         its completions. *)
   n : int;
   default_link : link;
   link_overrides : ((pid * pid) * link) list;
@@ -24,10 +36,13 @@ type plan = {
   corrupt : pid list;
   p_corrupt : float;
   fairness : int;
+  adaptive : adaptive list;
+  fault_budget : int;
 }
 
 let silent ~n =
   { chaos_seed = 0L;
+    reseeds = [];
     n;
     default_link = reliable;
     link_overrides = [];
@@ -36,7 +51,9 @@ let silent ~n =
     kills = [];
     corrupt = [];
     p_corrupt = 0.;
-    fairness = 0 }
+    fairness = 0;
+    adaptive = [];
+    fault_budget = 0 }
 
 let faulty_parties plan =
   List.sort_uniq Int.compare (List.map (fun c -> c.victim) plan.crashes @ plan.corrupt)
@@ -120,6 +137,7 @@ let gen ?(kills = 0) rng ~n ~max_faults ~allow_corrupt =
     end
   in
   { chaos_seed;
+    reseeds = [];
     n;
     default_link;
     link_overrides;
@@ -128,7 +146,9 @@ let gen ?(kills = 0) rng ~n ~max_faults ~allow_corrupt =
     kills = kill_faults;
     corrupt;
     p_corrupt;
-    fairness }
+    fairness;
+    adaptive = [];
+    fault_budget = max max_faults 0 }
 
 (* ------------------------------------------------------------------ *)
 (* Serialization                                                       *)
@@ -137,8 +157,18 @@ let gen ?(kills = 0) rng ~n ~max_faults ~allow_corrupt =
 let pp_link ppf l =
   Format.fprintf ppf "drop=%.3f dup=%.3f delay=%.3f" l.p_drop l.p_dup l.p_delay
 
+let pp_adaptive ppf = function
+  | Corrupt_at_coin_reveal { a_round; a_rate } ->
+    Format.fprintf ppf "corrupt-at-coin-reveal %s at rate %.3f"
+      (if a_round = 0 then "(any round)" else "round " ^ string_of_int a_round)
+      a_rate
+  | Crash_at_phase { a_round; a_phase } ->
+    Format.fprintf ppf "crash-at-phase %s %s" a_phase
+      (if a_round = 0 then "(any round)" else "round " ^ string_of_int a_round)
+
 let pp ppf plan =
-  Format.fprintf ppf "@[<v>chaos plan (n=%d, seed=%Ld):" plan.n plan.chaos_seed;
+  Format.fprintf ppf "@[<v>chaos plan (n=%d, seed=%Ld, fault budget %d):" plan.n
+    plan.chaos_seed plan.fault_budget;
   Format.fprintf ppf "@,  default link: %a; fairness budget %d/link" pp_link
     plan.default_link plan.fairness;
   List.iter
@@ -156,7 +186,7 @@ let pp ppf plan =
         p.heal_delivery (side true) (side false))
     plan.partitions;
   List.iter
-    (fun c ->
+    (fun (c : crash) ->
       Format.fprintf ppf "@,  crash p%d at delivery %d (last recipients: %s)" c.victim
         c.at_delivery
         (String.concat "," (List.map string_of_int c.last_recipients)))
@@ -170,9 +200,198 @@ let pp ppf plan =
     Format.fprintf ppf "@,  corrupt parties {%s} at rate %.3f"
       (String.concat "," (List.map string_of_int plan.corrupt))
       plan.p_corrupt;
+  List.iter (fun a -> Format.fprintf ppf "@,  adaptive: %a" pp_adaptive a) plan.adaptive;
+  List.iter
+    (fun (d, s) -> Format.fprintf ppf "@,  reseed schedule stream at delivery %d (seed %Ld)" d s)
+    plan.reseeds;
   Format.fprintf ppf "@]"
 
 let to_string plan = Format.asprintf "%a" pp plan
+
+(* ---- compact corpus codec ----------------------------------------- *)
+
+(* One line, '|'-separated sections, ';'-separated list items.  Floats are
+   hexadecimal ([%h]) so parsing reproduces the exact bits; the seed is
+   hexadecimal int64.  The format is versioned by its leading tag. *)
+
+let fstr f = Printf.sprintf "%h" f
+
+let link_str l = Printf.sprintf "%s:%s:%s" (fstr l.p_drop) (fstr l.p_dup) (fstr l.p_delay)
+
+let pids_str ps = String.concat "," (List.map string_of_int ps)
+
+let adaptive_str = function
+  | Corrupt_at_coin_reveal { a_round; a_rate } ->
+    Printf.sprintf "coin:%d:%s" a_round (fstr a_rate)
+  | Crash_at_phase { a_round; a_phase } -> Printf.sprintf "crash:%d:%s" a_round a_phase
+
+let plan_to_string plan =
+  let items f l = String.concat ";" (List.map f l) in
+  String.concat "|"
+    [ "cp2";
+      Printf.sprintf "seed=%Lx" plan.chaos_seed;
+      Printf.sprintf "n=%d" plan.n;
+      Printf.sprintf "fb=%d" plan.fault_budget;
+      Printf.sprintf "fair=%d" plan.fairness;
+      "pc=" ^ fstr plan.p_corrupt;
+      "dl=" ^ link_str plan.default_link;
+      "ov="
+      ^ items
+          (fun ((s, d), l) -> Printf.sprintf "%d>%d=%s" s d (link_str l))
+          plan.link_overrides;
+      "part="
+      ^ items
+          (fun p ->
+            let members =
+              Array.to_list p.side
+              |> List.mapi (fun i x -> if x then Some i else None)
+              |> List.filter_map Fun.id
+            in
+            Printf.sprintf "%d-%d=%s" p.from_delivery p.heal_delivery (pids_str members))
+          plan.partitions;
+      "cr="
+      ^ items
+          (fun (c : crash) ->
+            Printf.sprintf "%d@%d=%s" c.victim c.at_delivery (pids_str c.last_recipients))
+          plan.crashes;
+      "k="
+      ^ items
+          (fun k -> Printf.sprintf "%d@%d+%d" k.k_victim k.k_at_delivery k.k_restart_delta)
+          plan.kills;
+      "co=" ^ pids_str plan.corrupt;
+      "ad=" ^ items adaptive_str plan.adaptive;
+      "rs="
+      ^ items (fun (d, s) -> Printf.sprintf "%d@%Lx" d s) plan.reseeds ]
+
+exception Bad of string
+
+let plan_of_string line =
+  let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+  let int_of s what = match int_of_string_opt s with Some i -> i | None -> fail "bad %s %S" what s in
+  let float_of s what =
+    match float_of_string_opt s with Some f -> f | None -> fail "bad %s %S" what s
+  in
+  let split2 ch s what =
+    match String.index_opt s ch with
+    | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | None -> fail "bad %s %S: missing %C" what s ch
+  in
+  let items s = if String.equal s "" then [] else String.split_on_char ';' s in
+  let pids_of s what =
+    if String.equal s "" then []
+    else List.map (fun p -> int_of p what) (String.split_on_char ',' s)
+  in
+  let link_of s what =
+    match String.split_on_char ':' s with
+    | [ d; u; y ] ->
+      { p_drop = float_of d what; p_dup = float_of u what; p_delay = float_of y what }
+    | _ -> fail "bad %s %S" what s
+  in
+  try
+    match String.split_on_char '|' line with
+    | tag :: fields when String.equal tag "cp2" ->
+      let get key =
+        let prefix = key ^ "=" in
+        let plen = String.length prefix in
+        match
+          List.find_opt
+            (fun f -> String.length f >= plen && String.equal (String.sub f 0 plen) prefix)
+            fields
+        with
+        | Some f -> String.sub f plen (String.length f - plen)
+        | None -> fail "missing field %s" key
+      in
+      let n = int_of (get "n") "n" in
+      if n <= 0 then fail "bad n %d" n;
+      let seed =
+        let s = get "seed" in
+        match Int64.of_string_opt ("0x" ^ s) with
+        | Some v -> v
+        | None -> fail "bad seed %S" s
+      in
+      let partitions =
+        List.map
+          (fun item ->
+            let range, members = split2 '=' item "partition" in
+            let from_s, heal_s = split2 '-' range "partition range" in
+            let side = Array.make n false in
+            List.iter
+              (fun p -> if p >= 0 && p < n then side.(p) <- true)
+              (pids_of members "partition member");
+            { from_delivery = int_of from_s "partition from";
+              heal_delivery = int_of heal_s "partition heal";
+              side })
+          (items (get "part"))
+      in
+      let crashes =
+        List.map
+          (fun item ->
+            let head, recips = split2 '=' item "crash" in
+            let victim_s, at_s = split2 '@' head "crash head" in
+            { victim = int_of victim_s "crash victim";
+              at_delivery = int_of at_s "crash delivery";
+              last_recipients = pids_of recips "crash recipient" })
+          (items (get "cr"))
+      in
+      let kills =
+        List.map
+          (fun item ->
+            let victim_s, rest = split2 '@' item "kill" in
+            let at_s, delta_s = split2 '+' rest "kill timing" in
+            { k_victim = int_of victim_s "kill victim";
+              k_at_delivery = int_of at_s "kill delivery";
+              k_restart_delta = int_of delta_s "kill restart" })
+          (items (get "k"))
+      in
+      let link_overrides =
+        List.map
+          (fun item ->
+            let head, l = split2 '=' item "override" in
+            let src_s, dst_s = split2 '>' head "override link" in
+            ((int_of src_s "override src", int_of dst_s "override dst"), link_of l "override"))
+          (items (get "ov"))
+      in
+      let adaptive =
+        List.map
+          (fun item ->
+            match String.split_on_char ':' item with
+            | [ kind; round_s; arg ] when String.equal kind "coin" ->
+              Corrupt_at_coin_reveal
+                { a_round = int_of round_s "adaptive round"; a_rate = float_of arg "adaptive rate" }
+            | [ kind; round_s; arg ] when String.equal kind "crash" ->
+              Crash_at_phase { a_round = int_of round_s "adaptive round"; a_phase = arg }
+            | _ -> fail "bad adaptive %S" item)
+          (items (get "ad"))
+      in
+      let reseeds =
+        List.map
+          (fun item ->
+            let d_s, seed_s = split2 '@' item "reseed" in
+            let s =
+              match Int64.of_string_opt ("0x" ^ seed_s) with
+              | Some v -> v
+              | None -> fail "bad reseed seed %S" seed_s
+            in
+            (int_of d_s "reseed delivery", s))
+          (items (get "rs"))
+      in
+      Ok
+        { chaos_seed = seed;
+          reseeds;
+          n;
+          default_link = link_of (get "dl") "default link";
+          link_overrides;
+          partitions;
+          crashes;
+          kills;
+          corrupt = pids_of (get "co") "corrupt pid";
+          p_corrupt = float_of (get "pc") "p_corrupt";
+          fairness = int_of (get "fair") "fairness";
+          adaptive;
+          fault_budget = int_of (get "fb") "fault budget" }
+    | tag :: _ -> Error (Printf.sprintf "unknown plan format %S" tag)
+    | [] -> Error "empty plan line"
+  with Bad msg -> Error msg
 
 (* ------------------------------------------------------------------ *)
 (* Execution                                                           *)
@@ -191,16 +410,42 @@ type 'm kill_state = {
   mutable kl_lost_out : (pid * 'm) list;  (* (dst, payload) from victim *)
 }
 
+type corruption = {
+  at_delivery : int;
+  c_src : pid;
+  c_eid : int;
+  c_act : [ `Redirect of pid | `Swap of int ];
+}
+
+let corruption_log_cap = 64
+
+let pp_corruption ppf c =
+  match c.c_act with
+  | `Redirect dst ->
+    Format.fprintf ppf "at delivery %d: p%d's envelope %d redirected to p%d" c.at_delivery
+      c.c_src c.c_eid dst
+  | `Swap other ->
+    Format.fprintf ppf "at delivery %d: p%d's envelope %d payload-swapped with envelope %d"
+      c.at_delivery c.c_src c.c_eid other
+
 type 'm t = {
   plan : plan;
   exec : 'm Async.t;
-  rng : Rng.t;
+  mutable rng : Rng.t;
+  mutable reseeds_left : (int * int64) list;  (* sorted by delivery *)
   links : link array;  (* n*n, row-major [src * n + dst] *)
   crash_done : bool array;
   kill_states : 'm kill_state array;  (* parallel to plan.kills *)
   healed : bool array;  (* per partition: healed early *)
   budget : int array;  (* n*n remaining honest-traffic drop+dup events *)
   corrupt_mask : bool array;
+  corrupt_rate : float array;  (* per-party corruption probability *)
+  adaptive_fired : pid option array;  (* parallel to plan.adaptive *)
+  mutable pending : (int * [ `Corrupt of pid * float | `Crash of pid ]) list;
+  mutable adaptive_count : int;  (* victims created by adaptive strategies *)
+  mutable on_adaptive : [ `Corrupted of pid | `Crashed of pid ] -> unit;
+  mutable clog : corruption list;  (* reversed; capped *)
+  mutable clog_len : int;
   mutable drops : int;
   mutable dups : int;
   mutable corruptions : int;
@@ -208,6 +453,8 @@ type 'm t = {
   mutable kills_fired : int;
   mutable restarts : int;
   mutable kill_buffered : int;
+  mutable adaptive_corruptions : int;
+  mutable adaptive_crashes : int;
 }
 
 let start plan exec =
@@ -219,10 +466,19 @@ let start plan exec =
       if src >= 0 && src < n && dst >= 0 && dst < n then links.((src * n) + dst) <- l)
     plan.link_overrides;
   let corrupt_mask = Array.make n false in
-  List.iter (fun p -> if p >= 0 && p < n then corrupt_mask.(p) <- true) plan.corrupt;
+  let corrupt_rate = Array.make n 0. in
+  List.iter
+    (fun p ->
+      if p >= 0 && p < n then begin
+        corrupt_mask.(p) <- true;
+        corrupt_rate.(p) <- plan.p_corrupt
+      end)
+    plan.corrupt;
   { plan;
     exec;
     rng = Rng.create plan.chaos_seed;
+    reseeds_left =
+      List.sort (fun (d1, _) (d2, _) -> Int.compare d1 d2) plan.reseeds;
     links;
     crash_done = Array.make (List.length plan.crashes) false;
     kill_states =
@@ -231,13 +487,94 @@ let start plan exec =
     healed = Array.make (List.length plan.partitions) false;
     budget = Array.make (n * n) plan.fairness;
     corrupt_mask;
+    corrupt_rate;
+    adaptive_fired = Array.make (List.length plan.adaptive) None;
+    pending = [];
+    adaptive_count = 0;
+    on_adaptive = (fun _ -> ());
+    clog = [];
+    clog_len = 0;
     drops = 0;
     dups = 0;
     corruptions = 0;
     forced_heals = 0;
     kills_fired = 0;
     restarts = 0;
-    kill_buffered = 0 }
+    kill_buffered = 0;
+    adaptive_corruptions = 0;
+    adaptive_crashes = 0 }
+
+let on_adaptive t f = t.on_adaptive <- f
+
+let is_corrupt t p = p >= 0 && p < t.plan.n && t.corrupt_mask.(p)
+
+(* ---- adaptive strategies ------------------------------------------ *)
+
+(* The budget gate: static faulty parties are reserved up front (a crash
+   scheduled for later will still fire), adaptive victims accumulate as
+   they trigger.  Whatever the schedule, total faults never exceed the
+   plan's budget - the fault-model honesty contract. *)
+let budget_admits t =
+  List.length (faulty_parties t.plan) + t.adaptive_count < t.plan.fault_budget
+
+let notify t (ev : Event.t) =
+  if t.plan.adaptive <> [] then
+    match ev with
+    | Event.Coin_reveal { pid; round; _ } ->
+      List.iteri
+        (fun i a ->
+          match a with
+          | Corrupt_at_coin_reveal { a_round; a_rate }
+            when Option.is_none t.adaptive_fired.(i)
+                 && (a_round = 0 || a_round = round)
+                 && pid >= 0 && pid < t.plan.n
+                 && (not t.corrupt_mask.(pid))
+                 && (not (Async.crashed t.exec pid))
+                 && budget_admits t ->
+            t.adaptive_fired.(i) <- Some pid;
+            t.adaptive_count <- t.adaptive_count + 1;
+            t.pending <- t.pending @ [ (i, `Corrupt (pid, a_rate)) ]
+          | _ -> ())
+        t.plan.adaptive
+    | Event.Quorum { pid; round; phase } ->
+      List.iteri
+        (fun i a ->
+          match a with
+          | Crash_at_phase { a_round; a_phase }
+            when Option.is_none t.adaptive_fired.(i)
+                 && (a_round = 0 || a_round = round)
+                 && String.equal a_phase phase
+                 && pid >= 0 && pid < t.plan.n
+                 && (not t.corrupt_mask.(pid))
+                 && (not (Async.crashed t.exec pid))
+                 && budget_admits t ->
+            t.adaptive_fired.(i) <- Some pid;
+            t.adaptive_count <- t.adaptive_count + 1;
+            t.pending <- t.pending @ [ (i, `Crash pid) ]
+          | _ -> ())
+        t.plan.adaptive
+    | _ -> ()
+
+let apply_pending t =
+  match t.pending with
+  | [] -> ()
+  | queued ->
+    t.pending <- [];
+    List.iter
+      (fun (_, action) ->
+        match action with
+        | `Corrupt (pid, rate) ->
+          t.corrupt_mask.(pid) <- true;
+          t.corrupt_rate.(pid) <- rate;
+          t.adaptive_corruptions <- t.adaptive_corruptions + 1;
+          t.on_adaptive (`Corrupted pid)
+        | `Crash pid ->
+          if not (Async.crashed t.exec pid) then begin
+            Async.crash t.exec pid;
+            t.adaptive_crashes <- t.adaptive_crashes + 1;
+            t.on_adaptive (`Crashed pid)
+          end)
+      queued
 
 let link_of t ~src ~dst =
   if src >= 0 && src < t.plan.n then t.links.((src * t.plan.n) + dst)
@@ -264,7 +601,7 @@ let may_unfair t ~src ~dst =
 let fire_due_crashes t =
   let delivered = Async.deliveries t.exec in
   List.iteri
-    (fun i c ->
+    (fun i (c : crash) ->
       if (not t.crash_done.(i)) && delivered >= c.at_delivery then begin
         t.crash_done.(i) <- true;
         Async.crash t.exec c.victim;
@@ -441,12 +778,26 @@ let scheduler t =
       | Some i -> Some i
       | None -> if force_heal t then pick_eligible t else None)
 
+let log_corruption t ~src ~eid act =
+  if t.clog_len < corruption_log_cap then begin
+    t.clog <-
+      { at_delivery = Async.deliveries t.exec; c_src = src; c_eid = eid; c_act = act }
+      :: t.clog;
+    t.clog_len <- t.clog_len + 1
+  end
+
 (* Corrupt one envelope of a faulty sender: either redirect it to a random
    party or swap its payload with another in-flight message of the same
    sender (a type-agnostic equivocation).  Returns true if anything
-   changed. *)
+   changed; the choice made (redirect target, swap partner) is recorded in
+   the corruption log so violation reports carry it. *)
 let corrupt_env t (env : _ Async.envelope) =
-  if Rng.bool t.rng then Async.redirect_eid t.exec env.eid ~dst:(Rng.int t.rng t.plan.n)
+  if Rng.bool t.rng then begin
+    let dst = Rng.int t.rng t.plan.n in
+    let changed = Async.redirect_eid t.exec env.eid ~dst in
+    if changed then log_corruption t ~src:env.src ~eid:env.eid (`Redirect dst);
+    changed
+  end
   else begin
     let len = Async.pool_size t.exec in
     let other = ref None in
@@ -459,13 +810,30 @@ let corrupt_env t (env : _ Async.envelope) =
       end
     done;
     match !other with
-    | Some eid -> Async.swap_payloads t.exec env.eid eid
+    | Some eid ->
+      let changed = Async.swap_payloads t.exec env.eid eid in
+      if changed then log_corruption t ~src:env.src ~eid:env.eid (`Swap eid);
+      changed
     | None -> false
   end
 
 type event = [ `Delivered | `Dropped | `Empty ]
 
+let fire_due_reseeds t =
+  let delivered = Async.deliveries t.exec in
+  let rec go () =
+    match t.reseeds_left with
+    | (d, s) :: rest when delivered >= d ->
+      t.rng <- Rng.create s;
+      t.reseeds_left <- rest;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
 let rec step t : event =
+  fire_due_reseeds t;
+  apply_pending t;
   fire_due_crashes t;
   fire_due_kills t;
   fire_due_restarts t;
@@ -519,8 +887,8 @@ let rec step t : event =
         if
           src >= 0 && src < t.plan.n
           && t.corrupt_mask.(src)
-          && t.plan.p_corrupt > 0.
-          && Rng.float t.rng < t.plan.p_corrupt
+          && t.corrupt_rate.(src) > 0.
+          && Rng.float t.rng < t.corrupt_rate.(src)
         then if corrupt_env t env then t.corruptions <- t.corruptions + 1;
         ignore (Async.deliver_eid t.exec env.Async.eid : bool);
         `Delivered
@@ -546,7 +914,22 @@ type stats = {
   kills_fired : int;
   restarts : int;
   kill_buffered : int;
+  adaptive_corruptions : int;
+  adaptive_crashes : int;
+  corruption_log : corruption list;
 }
+
+let zero_stats =
+  { drops = 0;
+    dups = 0;
+    corruptions = 0;
+    forced_heals = 0;
+    kills_fired = 0;
+    restarts = 0;
+    kill_buffered = 0;
+    adaptive_corruptions = 0;
+    adaptive_crashes = 0;
+    corruption_log = [] }
 
 let stats (t : _ t) =
   { drops = t.drops;
@@ -555,4 +938,7 @@ let stats (t : _ t) =
     forced_heals = t.forced_heals;
     kills_fired = t.kills_fired;
     restarts = t.restarts;
-    kill_buffered = t.kill_buffered }
+    kill_buffered = t.kill_buffered;
+    adaptive_corruptions = t.adaptive_corruptions;
+    adaptive_crashes = t.adaptive_crashes;
+    corruption_log = List.rev t.clog }

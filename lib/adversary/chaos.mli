@@ -4,15 +4,21 @@
     adversary may do to a run, beyond reordering (which schedulers already
     model): per-link message drop / duplication / extra-delay
     probabilities, scheduled network partitions with heal points, a crash
-    schedule, and corruption of faulty parties' traffic.  Plans are plain
-    data - they can be generated from a seed ({!gen}), printed
-    ({!to_string}) into a violation report, and replayed exactly.
+    schedule, corruption of faulty parties' traffic, and {e adaptive}
+    strategies that trigger on observed protocol events rather than
+    delivery counts.  Plans are plain data - they can be generated from a
+    seed ({!gen}), printed ({!to_string}) into a violation report,
+    round-tripped through a compact corpus codec ({!plan_to_string} /
+    {!plan_of_string}), mutated ([Bca_adversary.Mutate]), and replayed
+    exactly.
 
     In paper terms this randomizes over the adversary powers of the
     Section 2 model (message scheduling, crashes, Byzantine corruption up
     to [t]) that the scripted Appendix A attacks
     ([Bca_adversary.Cz_attack], [Bca_adversary.Mmr_attack]) exercise
-    deliberately.
+    deliberately.  The {!adaptive} strategies put the paper's headline
+    adversary - one that corrupts a party {e at the moment the common coin
+    is revealed} - into plan form.
 
     {b Fault model honesty.}  The paper assumes reliable authenticated
     links between honest parties; a fault layer that silently voids that
@@ -32,7 +38,13 @@
     - {e Corruption} (payload swaps between one sender's messages, and
       redirects) applies only to [corrupt] parties - it makes those
       parties Byzantine, so campaigns must count them against [t] and
-      exclude them from honest-party checks. *)
+      exclude them from honest-party checks.
+    - {e Adaptive faults} draw from the same power: an adaptive corruption
+      or crash fires only while the total faulty count - static crash
+      victims, static corrupt parties, and previously fired adaptive
+      victims - stays below the plan's [fault_budget], which campaigns set
+      to the stack's resilience bound [t].  Whatever the schedule does,
+      the adversary never exceeds the model. *)
 
 type pid = int
 
@@ -79,8 +91,33 @@ type kill = {
     last messages.  Kill victims must be disjoint from {!crash} victims
     and [corrupt] parties ({!gen} guarantees this). *)
 
+type adaptive =
+  | Corrupt_at_coin_reveal of { a_round : int; a_rate : float }
+      (** when a [Coin_reveal] event for round [a_round] ([0] = any round)
+          is observed, corrupt the revealing party: its traffic becomes
+          corruptible at rate [a_rate] from that moment on - the paper's
+          adaptive adversary, who decides {e whom} to corrupt only after
+          seeing the coin *)
+  | Crash_at_phase of { a_round : int; a_phase : string }
+      (** when a [Quorum] event for phase [a_phase] in round [a_round]
+          ([0] = any round) is observed, crash the party that reached it -
+          kill the leader of the phase race at its moment of progress *)
+(** Event-triggered (adaptive) strategies.  Each strategy fires at most
+    once, via {!notify}, and only while the plan's [fault_budget] admits
+    another faulty party; a fired corruption makes its victim Byzantine,
+    so campaigns are told through {!on_adaptive} and must exclude the
+    victim from honest-party checks from then on. *)
+
 type plan = {
   chaos_seed : int64;  (** seed of the plan's own event stream *)
+  reseeds : (int * int64) list;
+      (** [(delivery, seed)] points at which the schedule stream is
+          re-seeded mid-run (applied in delivery order).  The fuzzer's
+          tail-mutation operator: a child carrying its parent's
+          [chaos_seed] plus one extra reseed point replays the parent's
+          schedule byte-for-byte up to that delivery and then diverges -
+          the reached state (a near miss) is preserved, only its
+          completions are searched.  Empty for generated plans. *)
   n : int;
   default_link : link;
   link_overrides : ((pid * pid) * link) list;  (** (src, dst) exceptions *)
@@ -90,16 +127,23 @@ type plan = {
   corrupt : pid list;  (** parties whose traffic may be corrupted *)
   p_corrupt : float;  (** per-delivery corruption probability for them *)
   fairness : int;  (** per-link drop+dup budget against honest traffic *)
+  adaptive : adaptive list;  (** event-triggered strategies *)
+  fault_budget : int;
+      (** total faulty parties (static + adaptive) the plan may create;
+          campaigns set this to the stack's resilience bound [t] *)
 }
 
 val silent : n:int -> plan
 (** The no-fault plan: chaos reduces to a uniformly random fair schedule
-    driven by the plan's seed. *)
+    driven by the plan's seed.  [adaptive] is empty and [fault_budget] 0,
+    so nothing can fire. *)
 
 val faulty_parties : plan -> pid list
-(** Sorted union of crash victims and corrupt parties - the set a campaign
-    must keep within the protocol's resilience bound [t].  Kill/restart
-    victims are {e not} faulty: crash-recovery nodes stay honest. *)
+(** Sorted union of crash victims and corrupt parties - the {e static}
+    faulty set a campaign must keep within the protocol's resilience bound
+    [t].  Adaptive victims are not known until they fire ({!on_adaptive});
+    kill/restart victims are {e not} faulty: crash-recovery nodes stay
+    honest. *)
 
 val kill_victims : plan -> pid list
 (** Sorted kill/restart victims - honest parties the campaign must still
@@ -109,28 +153,62 @@ val gen :
   ?kills:int ->
   Bca_util.Rng.t -> n:int -> max_faults:int -> allow_corrupt:bool -> plan
 (** Draw a random plan.  At most [max_faults] parties are faulty (crashes
-    plus corrupt parties combined); [allow_corrupt] enables Byzantine-style
-    corruption (pass [false] for crash-model stacks).  Partitions always
-    carry a heal point; probabilities and budgets are drawn small enough
-    that runs terminate in reasonable delivery counts.  [kills] (default 0)
-    additionally draws up to that many kill/restart faults against parties
-    {e outside} the faulty set; passing [0] performs no extra RNG draws, so
-    plans generated before this parameter existed are bit-identical. *)
+    plus corrupt parties combined) and [fault_budget] is set to
+    [max_faults]; [allow_corrupt] enables Byzantine-style corruption (pass
+    [false] for crash-model stacks).  Partitions always carry a heal point;
+    probabilities and budgets are drawn small enough that runs terminate in
+    reasonable delivery counts.  [kills] (default 0) additionally draws up
+    to that many kill/restart faults against parties {e outside} the faulty
+    set; passing [0] performs no extra RNG draws, so plans generated before
+    this parameter existed are bit-identical.  Generated plans carry no
+    adaptive strategies - those enter through the mutator or as named
+    seed-corpus entries. *)
 
 val pp : Format.formatter -> plan -> unit
 val to_string : plan -> string
-(** One-line-per-clause serialization, embedded in violation reports so a
-    failure is reproducible from (root seed, plan) alone. *)
+(** One-line-per-clause serialization of the {e full} plan - every clause
+    including the fault budget and adaptive strategies - embedded in
+    violation reports so a failure is reproducible from (root seed, plan)
+    alone.  The corruption decisions the plan's stream made at runtime
+    (redirect targets, swap partners) are reported separately through
+    {!stats} ([corruption_log]) and printed by campaign reports. *)
+
+val plan_to_string : plan -> string
+(** Compact single-line machine codec (corpus files).  Floats are printed
+    in hexadecimal ([%h]) so the round-trip is exact:
+    [plan_of_string (plan_to_string p)] reconstructs [p] field for field. *)
+
+val plan_of_string : string -> (plan, string) result
+(** Parse {!plan_to_string} output.  [Error] names the offending field. *)
 
 (** {2 Executing a plan} *)
 
 type 'm t
 (** A plan instantiated against one execution: tracks which crashes fired,
-    which partitions healed, and the remaining per-link fairness budgets. *)
+    which partitions healed, which adaptive strategies triggered, and the
+    remaining per-link fairness budgets. *)
 
 val start : plan -> 'm Bca_netsim.Async_exec.t -> 'm t
 (** [start plan exec] arms the plan.  [plan.n] must equal the execution's
     party count. *)
+
+val notify : 'm t -> Bca_obs.Event.t -> unit
+(** Feed one observed execution event to the adaptive strategies.  Drivers
+    route their trace stream here (e.g. a [Bca_obs.Trace.stream] sink
+    calling [notify] on every event); a matching armed strategy is queued
+    and applied at the next {!step}, so the corruption takes effect on the
+    very next chaos decision after the triggering event.  Cheap no-op for
+    plans without adaptive strategies. *)
+
+val on_adaptive : 'm t -> ([ `Corrupted of pid | `Crashed of pid ] -> unit) -> unit
+(** Register a callback invoked when an adaptive strategy fires.  Campaigns
+    use it to flip the victim out of their monitor's honest set - an
+    adaptively corrupted party is Byzantine from that moment on and must
+    be counted against [t]. *)
+
+val is_corrupt : 'm t -> pid -> bool
+(** Whether a party's traffic is currently corruptible (statically
+    [corrupt], or adaptively corrupted since). *)
 
 val scheduler : 'm t -> 'm Bca_netsim.Async_exec.scheduler
 (** The partition-aware delivery policy alone, as an indexed scheduler:
@@ -142,15 +220,15 @@ val scheduler : 'm t -> 'm Bca_netsim.Async_exec.scheduler
 type event = [ `Delivered | `Dropped | `Empty ]
 
 val step : 'm t -> event
-(** One chaos decision: fire due crashes, kills and restarts, pick a
-    partition-eligible message (force-healing a partition if everything in
-    flight crosses it), then drop, duplicate, corrupt, or deliver it
-    according to the plan.  [`Dropped] consumed a message without
-    delivering it - including messages addressed to a killed-but-not-yet-
-    restarted victim, which are buffered and re-injected at its restart.
-    If the pool can only progress via a pending restart, the restart is
-    forced early rather than reporting [`Empty], mirroring how a real
-    supervisor's backoff always eventually elapses. *)
+(** One chaos decision: apply queued adaptive strategies, fire due crashes,
+    kills and restarts, pick a partition-eligible message (force-healing a
+    partition if everything in flight crosses it), then drop, duplicate,
+    corrupt, or deliver it according to the plan.  [`Dropped] consumed a
+    message without delivering it - including messages addressed to a
+    killed-but-not-yet-restarted victim, which are buffered and re-injected
+    at its restart.  If the pool can only progress via a pending restart,
+    the restart is forced early rather than reporting [`Empty], mirroring
+    how a real supervisor's backoff always eventually elapses. *)
 
 val run :
   ?max_deliveries:int ->
@@ -159,6 +237,20 @@ val run :
   Bca_netsim.Async_exec.outcome
 (** Drive {!step} with the usual termination conditions (default
     [max_deliveries] 1_000_000). *)
+
+type corruption = {
+  at_delivery : int;  (** deliveries completed when the corruption fired *)
+  c_src : pid;  (** the corrupted sender *)
+  c_eid : int;  (** the envelope acted on *)
+  c_act : [ `Redirect of pid | `Swap of int ];
+      (** what happened: destination rewritten to the pid, or payload
+          swapped with that envelope *)
+}
+(** One corruption event, with the runtime choices (redirect target, swap
+    partner) the plan text alone cannot show - violation reports print
+    these so a corruption-involving run is reproducible by hand. *)
+
+val pp_corruption : Format.formatter -> corruption -> unit
 
 type stats = {
   drops : int;
@@ -170,6 +262,18 @@ type stats = {
   kill_buffered : int;
       (** messages buffered while a victim was down and re-injected at its
           restart *)
+  adaptive_corruptions : int;  (** [Corrupt_at_coin_reveal] firings *)
+  adaptive_crashes : int;  (** [Crash_at_phase] firings *)
+  corruption_log : corruption list;
+      (** the first {!corruption_log_cap} corruptions, in firing order *)
 }
+
+val corruption_log_cap : int
+(** Upper bound on [corruption_log] length (further corruptions are
+    counted but not logged). *)
+
+val zero_stats : stats
+(** All counters zero, empty log - what a replay reports, since the chaos
+    engine's decisions are baked into the action log. *)
 
 val stats : 'm t -> stats

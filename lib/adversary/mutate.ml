@@ -1,0 +1,271 @@
+module Rng = Bca_util.Rng
+
+let default_phases = [ "echo"; "echo2"; "echo3"; "decide" ]
+
+let clamp_prob p = if p < 0. then 0. else if p > 0.95 then 0.95 else p
+
+(* Scale a probability by a factor in [0.5, 2.0]; resurrect a zero
+   probability to a small value occasionally so mutation can turn faults
+   on, not only tune them. *)
+let perturb_prob rng p =
+  if p <= 0. then if Rng.bool rng then 0. else 0.01 +. (Rng.float rng *. 0.05)
+  else clamp_prob (p *. (0.5 +. (1.5 *. Rng.float rng)))
+
+let perturb_link rng (l : Chaos.link) =
+  match Rng.int rng 3 with
+  | 0 -> { l with Chaos.p_drop = perturb_prob rng l.Chaos.p_drop }
+  | 1 -> { l with Chaos.p_dup = perturb_prob rng l.Chaos.p_dup }
+  | _ -> { l with Chaos.p_delay = perturb_prob rng l.Chaos.p_delay }
+
+(* Shift a trigger point: half the time by exactly one delivery (the
+   smallest schedule change that can matter - a fault firing one delivery
+   earlier or later lands on a different envelope), otherwise a jitter up
+   to 50. *)
+let shift_trigger rng at =
+  let delta = if Rng.bool rng then 1 else 1 + Rng.int rng 50 in
+  max 0 (if Rng.bool rng then at + delta else at - delta)
+
+let random_link rng =
+  let p hi = Rng.float rng *. hi in
+  { Chaos.p_drop = p 0.15; p_dup = p 0.3; p_delay = p 0.8 }
+
+let random_partition rng ~n =
+  let from_delivery = Rng.int rng 400 in
+  let side = Array.init n (fun _ -> Rng.bool rng) in
+  side.(0) <- true;
+  side.(n - 1) <- false;
+  { Chaos.from_delivery; heal_delivery = from_delivery + 30 + Rng.int rng 370; side }
+
+let nontrivial (p : Chaos.partition) =
+  let n = Array.length p.Chaos.side in
+  let side = Array.copy p.Chaos.side in
+  side.(0) <- true;
+  side.(n - 1) <- false;
+  { p with Chaos.side }
+
+let pick_index rng l = Rng.int rng (List.length l)
+
+let remove_at i l = List.filteri (fun j _ -> j <> i) l
+
+let update_at i f l = List.mapi (fun j x -> if j = i then f x else x) l
+
+(* How many more faulty parties the plan may still name statically. *)
+let headroom (plan : Chaos.plan) =
+  plan.Chaos.fault_budget - List.length (Chaos.faulty_parties plan)
+
+let non_faulty rng (plan : Chaos.plan) =
+  let faulty = Chaos.faulty_parties plan in
+  let kills = Chaos.kill_victims plan in
+  let pool =
+    List.filter
+      (fun p -> (not (List.mem p faulty)) && not (List.mem p kills))
+      (List.init plan.Chaos.n Fun.id)
+  in
+  if pool = [] then None else Some (List.nth pool (pick_index rng pool))
+
+let mutate_links rng (plan : Chaos.plan) =
+  match Rng.int rng 4 with
+  | 0 -> { plan with Chaos.default_link = perturb_link rng plan.Chaos.default_link }
+  | 1 ->
+    let src = Rng.int rng plan.Chaos.n and dst = Rng.int rng plan.Chaos.n in
+    { plan with
+      Chaos.link_overrides = ((src, dst), random_link rng) :: plan.Chaos.link_overrides }
+  | 2 ->
+    if plan.Chaos.link_overrides = [] then plan
+    else
+      { plan with
+        Chaos.link_overrides =
+          remove_at (pick_index rng plan.Chaos.link_overrides) plan.Chaos.link_overrides }
+  | _ ->
+    if plan.Chaos.link_overrides = [] then plan
+    else
+      { plan with
+        Chaos.link_overrides =
+          update_at
+            (pick_index rng plan.Chaos.link_overrides)
+            (fun (ends, l) -> (ends, perturb_link rng l))
+            plan.Chaos.link_overrides }
+
+let mutate_partitions rng (plan : Chaos.plan) =
+  match Rng.int rng 4 with
+  | 0 ->
+    { plan with Chaos.partitions = random_partition rng ~n:plan.Chaos.n :: plan.Chaos.partitions }
+  | 1 ->
+    if plan.Chaos.partitions = [] then plan
+    else
+      { plan with
+        Chaos.partitions = remove_at (pick_index rng plan.Chaos.partitions) plan.Chaos.partitions }
+  | 2 ->
+    if plan.Chaos.partitions = [] then plan
+    else
+      { plan with
+        Chaos.partitions =
+          update_at
+            (pick_index rng plan.Chaos.partitions)
+            (fun (p : Chaos.partition) ->
+              let from_delivery = shift_trigger rng p.Chaos.from_delivery in
+              let width = max 30 (p.Chaos.heal_delivery - p.Chaos.from_delivery) in
+              { p with Chaos.from_delivery; heal_delivery = from_delivery + width })
+            plan.Chaos.partitions }
+  | _ ->
+    if plan.Chaos.partitions = [] then plan
+    else
+      { plan with
+        Chaos.partitions =
+          update_at
+            (pick_index rng plan.Chaos.partitions)
+            (fun (p : Chaos.partition) ->
+              let side = Array.copy p.Chaos.side in
+              let pid = Rng.int rng plan.Chaos.n in
+              side.(pid) <- not side.(pid);
+              nontrivial { p with Chaos.side })
+            plan.Chaos.partitions }
+
+let mutate_crashes rng (plan : Chaos.plan) =
+  match Rng.int rng 3 with
+  | 0 ->
+    if headroom plan <= 0 then plan
+    else begin
+      match non_faulty rng plan with
+      | None -> plan
+      | Some victim ->
+        let last_recipients =
+          List.filter (fun _ -> Rng.bool rng) (List.init plan.Chaos.n Fun.id)
+        in
+        { plan with
+          Chaos.crashes =
+            { Chaos.victim; at_delivery = Rng.int rng 500; last_recipients }
+            :: plan.Chaos.crashes }
+    end
+  | 1 ->
+    if plan.Chaos.crashes = [] then plan
+    else
+      { plan with
+        Chaos.crashes = remove_at (pick_index rng plan.Chaos.crashes) plan.Chaos.crashes }
+  | _ ->
+    if plan.Chaos.crashes = [] then plan
+    else
+      { plan with
+        Chaos.crashes =
+          update_at
+            (pick_index rng plan.Chaos.crashes)
+            (fun (c : Chaos.crash) ->
+              { c with Chaos.at_delivery = shift_trigger rng c.Chaos.at_delivery })
+            plan.Chaos.crashes }
+
+let mutate_kills rng (plan : Chaos.plan) =
+  if plan.Chaos.kills = [] then plan
+  else
+    { plan with
+      Chaos.kills =
+        update_at
+          (pick_index rng plan.Chaos.kills)
+          (fun (k : Chaos.kill) ->
+            if Rng.bool rng then
+              { k with Chaos.k_at_delivery = shift_trigger rng k.Chaos.k_at_delivery }
+            else
+              { k with
+                Chaos.k_restart_delta = max 1 (shift_trigger rng k.Chaos.k_restart_delta) })
+          plan.Chaos.kills }
+
+let mutate_corrupt rng (plan : Chaos.plan) =
+  match Rng.int rng 3 with
+  | 0 ->
+    if headroom plan <= 0 then plan
+    else begin
+      match non_faulty rng plan with
+      | None -> plan
+      | Some p ->
+        let p_corrupt =
+          if plan.Chaos.p_corrupt > 0. then plan.Chaos.p_corrupt
+          else 0.05 +. (Rng.float rng *. 0.25)
+        in
+        { plan with Chaos.corrupt = p :: plan.Chaos.corrupt; p_corrupt }
+    end
+  | 1 ->
+    if plan.Chaos.corrupt = [] then plan
+    else
+      { plan with
+        Chaos.corrupt = remove_at (pick_index rng plan.Chaos.corrupt) plan.Chaos.corrupt }
+  | _ ->
+    if plan.Chaos.corrupt = [] then plan
+    else { plan with Chaos.p_corrupt = clamp_prob (perturb_prob rng plan.Chaos.p_corrupt) }
+
+let random_adaptive rng ~allow_corrupt ~phases =
+  if allow_corrupt && Rng.bool rng then
+    Chaos.Corrupt_at_coin_reveal
+      { a_round = Rng.int rng 4; a_rate = 0.2 +. (Rng.float rng *. 0.6) }
+  else
+    Chaos.Crash_at_phase
+      { a_round = Rng.int rng 4; a_phase = List.nth phases (pick_index rng phases) }
+
+let mutate_adaptive rng ~allow_corrupt ~phases (plan : Chaos.plan) =
+  if Rng.int rng 3 > 0 || plan.Chaos.adaptive = [] then
+    { plan with
+      Chaos.adaptive = random_adaptive rng ~allow_corrupt ~phases :: plan.Chaos.adaptive }
+  else
+    { plan with
+      Chaos.adaptive = remove_at (pick_index rng plan.Chaos.adaptive) plan.Chaos.adaptive }
+
+let apply_op rng ~allow_corrupt ~phases (plan : Chaos.plan) =
+  match Rng.int rng 8 with
+  (* a fresh stream invalidates any prefix the reseed points anchored to *)
+  | 0 -> { plan with Chaos.chaos_seed = Rng.int64 rng; reseeds = [] }
+  | 1 -> mutate_links rng plan
+  | 2 -> mutate_partitions rng plan
+  | 3 -> mutate_crashes rng plan
+  | 4 -> mutate_kills rng plan
+  | 5 -> if allow_corrupt then mutate_corrupt rng plan else mutate_crashes rng plan
+  | 6 ->
+    { plan with
+      Chaos.fairness = max 0 (plan.Chaos.fairness + if Rng.bool rng then 1 else -1) }
+  | _ -> mutate_adaptive rng ~allow_corrupt ~phases plan
+
+let mutate ?(phases = default_phases) ?(allow_corrupt = true) rng plan =
+  let ops = 1 + Rng.int rng 4 in
+  let rec go plan k = if k = 0 then plan else go (apply_op rng ~allow_corrupt ~phases plan) (k - 1) in
+  go plan ops
+
+(* Re-clamp a spliced plan's static faulty set to its budget: drop excess
+   crashes, then excess corrupt parties, deterministically (keep the
+   earliest-listed ones). *)
+let clamp_faults (plan : Chaos.plan) =
+  let budget = plan.Chaos.fault_budget in
+  let rec take_faulty seen acc_crashes acc_corrupt crashes corrupt =
+    match (crashes, corrupt) with
+    | [], [] -> (List.rev acc_crashes, List.rev acc_corrupt)
+    | (c : Chaos.crash) :: rest, _ ->
+      let seen' = List.sort_uniq Int.compare (c.Chaos.victim :: seen) in
+      if List.length seen' <= budget then take_faulty seen' (c :: acc_crashes) acc_corrupt rest corrupt
+      else take_faulty seen acc_crashes acc_corrupt rest corrupt
+    | [], p :: rest ->
+      let seen' = List.sort_uniq Int.compare (p :: seen) in
+      if List.length seen' <= budget then take_faulty seen' acc_crashes (p :: acc_corrupt) [] rest
+      else take_faulty seen acc_crashes acc_corrupt [] rest
+  in
+  let crashes, corrupt = take_faulty [] [] [] plan.Chaos.crashes plan.Chaos.corrupt in
+  { plan with Chaos.crashes; corrupt }
+
+let splice rng (a : Chaos.plan) (b : Chaos.plan) =
+  if a.Chaos.n <> b.Chaos.n then a
+  else begin
+    let pick fa fb = if Rng.bool rng then fa else fb in
+    let child =
+      { Chaos.chaos_seed = Rng.int64 rng;
+        (* a spliced child has a fresh schedule stream, so inherited
+           reseed points would not reproduce either parent's prefix *)
+        reseeds = [];
+        n = a.Chaos.n;
+        default_link = pick a.Chaos.default_link b.Chaos.default_link;
+        link_overrides = pick a.Chaos.link_overrides b.Chaos.link_overrides;
+        partitions = pick a.Chaos.partitions b.Chaos.partitions;
+        crashes = pick a.Chaos.crashes b.Chaos.crashes;
+        kills = pick a.Chaos.kills b.Chaos.kills;
+        corrupt = pick a.Chaos.corrupt b.Chaos.corrupt;
+        p_corrupt = pick a.Chaos.p_corrupt b.Chaos.p_corrupt;
+        fairness = pick a.Chaos.fairness b.Chaos.fairness;
+        adaptive = pick a.Chaos.adaptive b.Chaos.adaptive;
+        fault_budget = min a.Chaos.fault_budget b.Chaos.fault_budget }
+    in
+    clamp_faults child
+  end

@@ -1,0 +1,46 @@
+(** Chaos-plan mutation: the fuzzer's genetic operators.
+
+    AFL mutates byte buffers; here the genome is a {!Chaos.plan} - a
+    structured description of what the adversary does to a schedule - and
+    the operators respect its invariants instead of flipping bits:
+    partitions stay non-trivial cuts with heal points, probabilities stay
+    inside [[0, 0.95]], trigger points stay non-negative, and the faulty
+    set never exceeds the plan's [fault_budget] (so a mutated plan is
+    always inside the Section 2 fault model; adaptive strategies are
+    additionally budget-gated at runtime).
+
+    All operators are pure functions of the given RNG's stream: the same
+    RNG state and input plans yield the same output plan, which is what
+    makes a fuzzing campaign replayable from its root seed. *)
+
+val default_phases : string list
+(** [["echo"; "echo2"; "echo3"; "decide"]] - the (G)BCA probe phase
+    labels [Crash_at_phase] strategies draw from when no target-specific
+    vocabulary is given. *)
+
+val mutate :
+  ?phases:string list ->
+  ?allow_corrupt:bool ->
+  Bca_util.Rng.t ->
+  Chaos.plan ->
+  Chaos.plan
+(** One mutation burst: between one and four randomly chosen operators -
+    reseed the plan's event stream, scale a link probability by 0.5-2x,
+    add / remove / perturb a link override or partition, shift a crash or
+    kill trigger by exactly one delivery or jitter it, toggle a corrupt
+    party or perturb the corruption rate, bump the fairness budget, or add
+    / remove an adaptive strategy ([Chaos.Corrupt_at_coin_reveal],
+    [Chaos.Crash_at_phase] over [phases], default
+    [["echo"; "echo2"; "echo3"; "decide"]]).  With [allow_corrupt = false]
+    (default [true]) corruption-introducing operators (static corrupt
+    parties and adaptive corruption) are disabled - pass the stack's fault
+    model, exactly like [Chaos.gen]. *)
+
+val splice : Bca_util.Rng.t -> Chaos.plan -> Chaos.plan -> Chaos.plan
+(** Crossover: build a child taking each section (links, partitions,
+    crashes, kills, corruption, adaptive, budgets) from one of the two
+    parents, chosen by coin flip, plus a fresh [chaos_seed].  The parents
+    must agree on [n]; otherwise the first parent is returned unchanged.
+    The child's [fault_budget] is the {e smaller} of the parents' budgets,
+    and its static faulty set is re-clamped to that budget, so splicing
+    never escapes the fault model. *)

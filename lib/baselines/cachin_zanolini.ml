@@ -24,6 +24,7 @@ type round_state = {
   mutable relayed : Value.t list;
   mutable delivered : Value.t list;
   mutable aux_sent : bool;
+  mutable auxed : Value.t list;  (* values AUXed in per-value mode *)
   mutable released : bool;
   mutable view : Value.t list option;
   releases : unit Quorum.t;
@@ -33,10 +34,12 @@ type round_state = {
 type t = {
   p : params;
   me : Types.pid;
+  per_value_aux : bool;  (* the historical bug, reintroduced under a flag *)
   rounds : (int, round_state) Hashtbl.t;
   mutable round : int;
   mutable est : Value.t;
   mutable committed : Value.t option;
+  mutable commit_round : int option;
   mutable sent_committed : bool;
   mutable terminated : bool;
   committed_msgs : Value.t Quorum.t;
@@ -52,6 +55,7 @@ let round_state t r =
         relayed = [];
         delivered = [];
         aux_sent = false;
+        auxed = [];
         released = false;
         view = None;
         releases = Quorum.create ();
@@ -103,8 +107,18 @@ let rec progress t =
        party is what the agreement argument needs: auxing every delivered
        value separately lets two honest parties freeze disjoint singleton
        views (their [n - t] batches can close before the other value's AUX
-       arrives) and commit different values in different rounds. *)
-    if (not rs.aux_sent) && rs.delivered <> [] then begin
+       arrives) and commit different values in different rounds.  The
+       [per_value_aux] branch {e is} that historical bug, kept reachable
+       behind the flag as the adversary-search benchmark target. *)
+    if t.per_value_aux then
+      List.iter
+        (fun v ->
+          if not (List.mem v rs.auxed) then begin
+            rs.auxed <- v :: rs.auxed;
+            out := !out @ [ MAux (t.round, v) ]
+          end)
+        (List.rev rs.delivered)
+    else if (not rs.aux_sent) && rs.delivered <> [] then begin
       rs.aux_sent <- true;
       let v = List.nth rs.delivered (List.length rs.delivered - 1) in
       out := !out @ [ MAux (t.round, v) ]
@@ -128,6 +142,7 @@ let rec progress t =
         t.est <- v;
         if Value.equal v s && t.committed = None then begin
           t.committed <- Some v;
+          t.commit_round <- Some t.round;
           if not t.sent_committed then begin
             t.sent_committed <- true;
             out := !out @ [ Committed v ]
@@ -140,15 +155,17 @@ let rec progress t =
     !out
   end
 
-let create p ~me ~input =
+let create ?(per_value_aux = false) p ~me ~input =
   Types.check_byz_resilience p.cfg;
   let t =
     { p;
       me;
+      per_value_aux;
       rounds = Hashtbl.create 8;
       round = 1;
       est = input;
       committed = None;
+      commit_round = None;
       sent_committed = false;
       terminated = false;
       committed_msgs = Quorum.create () }
@@ -179,6 +196,7 @@ let handle t ~from msg =
           let c = Quorum.count t.committed_msgs v' in
           if c >= Quorum.plurality ~t:tt && t.committed = None then begin
             t.committed <- Some v';
+            t.commit_round <- Some t.round;
             if not t.sent_committed then begin
               t.sent_committed <- true;
               out := !out @ [ Committed v' ]
@@ -191,9 +209,24 @@ let handle t ~from msg =
 
 let committed t = t.committed
 
+let commit_round t = t.commit_round
+
 let terminated t = t.terminated
 
 let current_round t = t.round
+
+(* Milestone label for the probe, mirroring the (G)BCA stacks'
+   [current_phase]: deepest quorum-gated step the current round passed. *)
+let current_phase t =
+  if t.committed <> None then "decide"
+  else begin
+    let rs = round_state t t.round in
+    if rs.resolved then "resolved"
+    else if rs.released then "released"
+    else if rs.aux_sent || rs.auxed <> [] then "aux"
+    else if rs.delivered <> [] then "delivered"
+    else "init"
+  end
 
 let est t = t.est
 

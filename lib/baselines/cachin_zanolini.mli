@@ -42,11 +42,31 @@ type params = {
 
 type t
 
-val create : params -> me:Types.pid -> input:Bca_util.Value.t -> t * msg list
+val create :
+  ?per_value_aux:bool -> params -> me:Types.pid -> input:Bca_util.Value.t -> t * msg list
+(** [per_value_aux] (default [false]) re-introduces the historical AUX bug
+    this reconstruction originally shipped with: broadcast a separate
+    [(AUX, r, v)] for {e every} abv-delivered value instead of one per
+    round.  Two honest parties can then freeze disjoint singleton views
+    and commit different values - the safety violation the adversary
+    search ([bca fuzz]) uses as its rediscovery benchmark.  Leave unset
+    for the correct protocol. *)
+
 val handle : t -> from:Types.pid -> msg -> msg list
 val committed : t -> Bca_util.Value.t option
+
+val commit_round : t -> int option
+(** Round in which [committed] was first set, for agreement-spread
+    monitoring. *)
+
 val terminated : t -> bool
 val current_round : t -> int
+
+val current_phase : t -> string
+(** Deepest milestone of the current round, for the probe:
+    ["init"] / ["delivered"] / ["aux"] / ["released"] / ["resolved"] /
+    ["decide"]. *)
+
 val est : t -> Bca_util.Value.t
 
 val delivered : t -> round:int -> Bca_util.Value.t list

@@ -35,8 +35,17 @@ let pp_run_report ppf r =
           s.dups s.corruptions s.forced_heals;
       if s.kills_fired + s.restarts > 0 then
         Format.fprintf ppf " kills=%d restarts=%d buffered=%d" s.kills_fired s.restarts
-          s.kill_buffered)
+          s.kill_buffered;
+      if s.adaptive_corruptions + s.adaptive_crashes > 0 then
+        Format.fprintf ppf " adaptive-corruptions=%d adaptive-crashes=%d"
+          s.adaptive_corruptions s.adaptive_crashes)
     r.chaos Chaos.pp r.plan;
+  (* the runtime choices (redirect targets, swap partners) the plan text
+     cannot show: without them a corruption run is not reproducible by
+     hand *)
+  List.iter
+    (fun c -> Format.fprintf ppf "@,corruption %a" Chaos.pp_corruption c)
+    r.chaos.Chaos.corruption_log;
   List.iter
     (fun v -> Format.fprintf ppf "@,VIOLATION: %a" Monitor.pp_violation v)
     r.violations;
@@ -279,15 +288,7 @@ let replay_broken ~seed events =
   | Ok () ->
     (* the chaos decisions are baked into the action log; no chaos engine
        runs during replay, so its counters are vacuously zero *)
-    let chaos =
-      { Chaos.drops = 0;
-        dups = 0;
-        corruptions = 0;
-        forced_heals = 0;
-        kills_fired = 0;
-        restarts = 0;
-        kill_buffered = 0 }
-    in
+    let chaos = Chaos.zero_stats in
     (* the final-poll events belong to the trace: snapshot only after *)
     let report = broken_report b ~seed ~chaos in
     Ok (report, Trace.events tracer)

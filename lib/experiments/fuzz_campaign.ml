@@ -1,0 +1,868 @@
+module Value = Bca_util.Value
+module Rng = Bca_util.Rng
+module Quorum = Bca_util.Quorum
+module Coin = Bca_coin.Coin
+module Types = Bca_core.Types
+module Aba = Bca_core.Aba
+module Probe = Bca_core.Probe
+module Async = Bca_netsim.Async_exec
+module Node = Bca_netsim.Node
+module Monitor = Bca_netsim.Monitor
+module Chaos = Bca_adversary.Chaos
+module Mutate = Bca_adversary.Mutate
+module Trace = Bca_obs.Trace
+module Event = Bca_obs.Event
+module Coverage = Bca_obs.Coverage
+module Cz = Bca_baselines.Cachin_zanolini
+
+type trial = {
+  t_outcome : [ `Committed | `Stalled ];
+  t_deliveries : int;
+  t_commit_delivery : int option;
+  t_split_delivery : int option;
+  t_live_delivery : int option;
+  t_coverage : Coverage.t;
+  t_violations : Monitor.violation list;
+  t_chaos : Chaos.stats;
+}
+
+let safety_violations t =
+  List.filter (function Monitor.Stalled _ -> false | _ -> true) t.t_violations
+
+type target = {
+  tg_name : string;
+  tg_n : int;
+  tg_t : int;
+  tg_allow_corrupt : bool;
+  tg_phases : string list;
+  tg_seed_viable : (int64 -> bool) option;
+  tg_run : capture:Trace.t option -> plan:Chaos.plan -> seed:int64 -> trial;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The shared observation pipeline                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Every target runs under a streaming trace sink that (a) folds each
+   event into the trial's coverage map, (b) feeds the plan's adaptive
+   strategies, and (c) optionally forwards to a buffering capture trace
+   so a violating run can be exported as JSONL.  The chaos engine does
+   not exist yet when the executor - and hence the tracer - is built, so
+   its [notify] arrives through a ref once [Chaos.start] ran (a closure,
+   not the engine itself: the engine's message type is existential inside
+   [Aba.run_custom] drivers). *)
+let obs_pipeline ~capture =
+  let cov = ref Coverage.empty in
+  let notify = ref (fun (_ : Event.t) -> ()) in
+  let tracer =
+    Trace.stream (fun (te : Event.timed) ->
+        cov := Coverage.add_event !cov te.Event.ev;
+        !notify te.Event.ev;
+        match capture with Some c -> Trace.emit c te.Event.ev | None -> ())
+  in
+  (tracer, cov, notify)
+
+let fold_counters cov counters =
+  List.fold_left (fun c (k, v) -> Coverage.add_count c k v) cov counters
+
+(* Caps sized for fuzzing throughput, not campaign realism: a fuzz trial
+   that has not decided within a few thousand deliveries of no progress is
+   a stall, and stalls stop the run ([Monitor.ok] goes false). *)
+let spec_max_deliveries = 60_000
+let spec_stall_window n = 2_000 * n
+let cz_max_deliveries = 20_000
+let cz_stall_window = 4_000
+
+(* ------------------------------------------------------------------ *)
+(* Targets over the six real stacks                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_spec ~spec ~cfg ~capture ~plan ~seed =
+  let n = cfg.Types.n in
+  if plan.Chaos.n <> n then invalid_arg "fuzz: plan.n does not match the target";
+  let rng = Rng.create seed in
+  let inputs = Array.init n (fun _ -> Value.of_bool (Rng.bool rng)) in
+  let corrupt = Array.make n false in
+  List.iter (fun p -> corrupt.(p) <- true) plan.Chaos.corrupt;
+  let tracer, cov, notify_ref = obs_pipeline ~capture in
+  let driver =
+    { Aba.drive =
+        (fun ~coin ~wire:_ exec parties ->
+          let progress () =
+            Array.fold_left
+              (fun acc (p : Aba.party) ->
+                acc + p.round () + if p.committed () = None then 0 else 1000)
+              0 parties
+          in
+          let monitor =
+            Monitor.create ~n
+              ~honest:(fun p -> not corrupt.(p))
+              ~inputs
+              ~decision:(fun p -> parties.(p).Aba.committed ())
+              ~commit_round:(fun p -> parties.(p).Aba.commit_round ())
+              ?coin_value:
+                (if Aba.spec_commits_on_coin spec then
+                   Some (fun ~round ~pid -> Coin.value_for coin ~round ~pid)
+                 else None)
+              ~progress ~stall_window:(spec_stall_window n) ~tracer ()
+          in
+          let probe = Probe.create ~tracer parties in
+          Async.set_observer exec (fun _ ->
+              Monitor.on_delivery monitor;
+              Probe.poll probe);
+          let ch = Chaos.start plan exec in
+          notify_ref := (fun ev -> Chaos.notify ch ev);
+          Chaos.on_adaptive ch (function
+            | `Corrupted p -> corrupt.(p) <- true
+            | `Crashed _ -> ());
+          let all_honest_done exec =
+            let ok = ref true in
+            Array.iteri
+              (fun p (party : Aba.party) ->
+                if
+                  (not corrupt.(p))
+                  && (not (Async.crashed exec p))
+                  && party.Aba.committed () = None
+                then ok := false)
+              parties;
+            !ok
+          in
+          let stop exec = all_honest_done exec || not (Monitor.ok monitor) in
+          let (_ : Async.outcome) =
+            Chaos.run ~max_deliveries:spec_max_deliveries ~stop_when:stop ch
+          in
+          Probe.poll probe;
+          Monitor.final_check monitor;
+          let coverage = fold_counters !cov (Monitor.near_misses monitor) in
+          { t_outcome = (if all_honest_done exec then `Committed else `Stalled);
+            t_deliveries = Async.deliveries exec;
+            t_commit_delivery =
+              Option.map (fun (_, _, d) -> d) (Monitor.first_decision monitor);
+            t_split_delivery = None;
+            t_live_delivery = None;
+            t_coverage = coverage;
+            t_violations = Monitor.violations monitor;
+            t_chaos = Chaos.stats ch })
+    }
+  in
+  match Aba.run_custom ~seed ~tracer spec ~cfg ~inputs ~driver with
+  | Ok r -> r
+  | Error msg -> invalid_arg ("fuzz run: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* The Cachin-Zanolini rediscovery target                              *)
+(* ------------------------------------------------------------------ *)
+
+let cz_phases = [ "delivered"; "aux"; "released"; "resolved" ]
+
+(* Hand-assembled (not through [Aba.run_custom]): the CZ baseline is not
+   one of the six stacks.  Corruption is disallowed against it - the
+   per-value-AUX bug is a pure schedule bug, and restricting the fuzzer to
+   the schedule-and-crash powers attributes every violation it finds to
+   that bug rather than to Byzantine payloads.  The coin is 2t-unpredictable
+   for the same reason: it removes the coin-peek liveness attack from the
+   picture. *)
+let run_cz ~per_value_aux ~cfg ~capture ~plan ~seed =
+  let n = cfg.Types.n in
+  if plan.Chaos.n <> n then invalid_arg "fuzz: plan.n does not match the target";
+  let rng = Rng.create seed in
+  let inputs = Array.init n (fun _ -> Value.of_bool (Rng.bool rng)) in
+  let corrupt = Array.make n false in
+  List.iter (fun p -> corrupt.(p) <- true) plan.Chaos.corrupt;
+  let tracer, cov, notify_ref = obs_pipeline ~capture in
+  let coin =
+    Coin.create Coin.Strong ~n ~degree:(2 * cfg.Types.t)
+      ~seed:(Int64.add seed 0x5EEDL)
+  in
+  Coin.set_observer coin (fun ~round ~pid value ->
+      Trace.emit tracer (Event.Coin_reveal { pid; round; value }));
+  let params = { Cz.cfg; coin } in
+  let states = Array.make n None in
+  let exec =
+    Async.create_traced ~tracer ~n ~make:(fun pid ->
+        let t, initial = Cz.create ~per_value_aux params ~me:pid ~input:inputs.(pid) in
+        states.(pid) <- Some t;
+        (Cz.node t, List.map (fun m -> Node.Broadcast m) initial))
+  in
+  let state pid = Option.get states.(pid) in
+  let parties =
+    Array.init n (fun pid ->
+        { Aba.committed = (fun () -> Cz.committed (state pid));
+          commit_round = (fun () -> Cz.commit_round (state pid));
+          round = (fun () -> Cz.current_round (state pid));
+          phase = (fun () -> Cz.current_phase (state pid)) })
+  in
+  let progress () =
+    Array.fold_left
+      (fun acc (p : Aba.party) ->
+        acc + p.round () + if p.committed () = None then 0 else 1000)
+      0 parties
+  in
+  let monitor =
+    Monitor.create ~n
+      ~honest:(fun p -> not corrupt.(p))
+      ~inputs
+      ~decision:(fun p -> Cz.committed (state p))
+      ~commit_round:(fun p -> Cz.commit_round (state p))
+      ~coin_value:(fun ~round ~pid -> Coin.value_for coin ~round ~pid)
+      ~progress ~stall_window:cz_stall_window ~tracer ()
+  in
+  let probe = Probe.create ~tracer parties in
+  (* Watch for the two anchor moments of tail-reseed children (replay up
+     to here, re-roll the completion):
+     - split: opposite singleton views first coexist in some round;
+     - live split: in some round [r], at least one honest party holds the
+       singleton view matching [r]'s coin (a commit candidate) while at
+       least [t + 1] honest parties hold the opposite singleton (enough to
+       relay their estimate onward) - the state from which a sizeable
+       fraction of schedule completions end in an agreement violation.
+     One O(n * rounds) scan per delivery; each watch disarms at its first
+     hit, the whole scan once both have fired. *)
+  let split_delivery = ref None in
+  let live_delivery = ref None in
+  let scan_views () =
+    let max_round = ref 1 in
+    for p = 0 to n - 1 do
+      if Cz.current_round (state p) > !max_round then
+        max_round := Cz.current_round (state p)
+    done;
+    let r = ref 1 in
+    while !live_delivery = None && !r <= min !max_round Coverage.round_cap do
+      let n0 = ref 0 and n1 = ref 0 in
+      for p = 0 to n - 1 do
+        if not corrupt.(p) then
+          match Cz.view (state p) ~round:!r with
+          | Some [ v ] -> if Value.equal v Value.V0 then incr n0 else incr n1
+          | Some _ | None -> ()
+      done;
+      if !n0 > 0 && !n1 > 0 && !split_delivery = None then
+        split_delivery := Some (Async.deliveries exec);
+      if !n0 > 0 && !n1 > 0 then begin
+        let cv = Coin.value_for coin ~round:!r ~pid:0 in
+        let with_coin, opp =
+          if Value.equal cv Value.V0 then (!n0, !n1) else (!n1, !n0)
+        in
+        if with_coin >= 1 && opp >= Quorum.plurality ~t:cfg.Types.t then
+          live_delivery := Some (Async.deliveries exec)
+      end;
+      incr r
+    done
+  in
+  Async.set_observer exec (fun _ ->
+      Monitor.on_delivery monitor;
+      Probe.poll probe;
+      if !live_delivery = None then scan_views ());
+  let ch = Chaos.start plan exec in
+  notify_ref := (fun ev -> Chaos.notify ch ev);
+  Chaos.on_adaptive ch (function
+    | `Corrupted p -> corrupt.(p) <- true
+    | `Crashed _ -> ());
+  let all_done exec =
+    let ok = ref true in
+    for p = 0 to n - 1 do
+      if (not corrupt.(p)) && (not (Async.crashed exec p)) && Cz.committed (state p) = None
+      then ok := false
+    done;
+    !ok
+  in
+  let stop exec = all_done exec || not (Monitor.ok monitor) in
+  let (_ : Async.outcome) =
+    Chaos.run ~max_deliveries:cz_max_deliveries ~stop_when:stop ch
+  in
+  Probe.poll probe;
+  Monitor.final_check monitor;
+  (* The split-view near miss: two honest parties froze {e different}
+     singleton line-30 views in the same round - the direct precursor of
+     the per-value-AUX agreement violation (each would commit its own
+     value on a matching coin).  This is the counter that makes the search
+     directed: schedules inducing a split view are retained and mutated
+     even when no invariant broke. *)
+  let split = ref 0 in
+  let max_round = ref 1 in
+  for p = 0 to n - 1 do
+    if Cz.current_round (state p) > !max_round then max_round := Cz.current_round (state p)
+  done;
+  for r = 1 to min !max_round Coverage.round_cap do
+    let seen0 = ref false and seen1 = ref false in
+    for p = 0 to n - 1 do
+      if not corrupt.(p) then
+        match Cz.view (state p) ~round:r with
+        | Some [ v ] -> if Value.equal v Value.V0 then seen0 := true else seen1 := true
+        | Some _ | None -> ()
+    done;
+    if !seen0 && !seen1 then incr split
+  done;
+  (* The sharper gauge: some honest party committed [v] in round [r] while
+     at least [t + 1] other honest parties froze the {e opposite} singleton
+     view in that same round - those parties are one matching coin away
+     from committing [1 - v] (fewer than [t + 1] holders cannot even relay
+     the estimate into the next round's BV plurality, so a lone holder is a
+     dead end). *)
+  let split_commit = ref 0 in
+  for p = 0 to n - 1 do
+    if not corrupt.(p) then
+      match (Cz.committed (state p), Cz.commit_round (state p)) with
+      | Some v, Some r when r >= 1 && r <= Coverage.round_cap ->
+        let opp = ref 0 in
+        for q = 0 to n - 1 do
+          if q <> p && not corrupt.(q) then
+            match Cz.view (state q) ~round:r with
+            | Some [ w ] when not (Value.equal v w) -> incr opp
+            | Some _ | None -> ()
+        done;
+        if !opp >= Quorum.plurality ~t:cfg.Types.t then incr split_commit
+      | _ -> ()
+  done;
+  let nm =
+    Monitor.near_misses monitor
+    @ (if !split > 0 then [ ("nm:split-view", !split) ] else [])
+    @ (if !split_commit > 0 then [ ("nm:split-commit", !split_commit) ] else [])
+    @ (if !live_delivery <> None then [ ("nm:live-split", 1) ] else [])
+  in
+  { t_outcome = (if all_done exec then `Committed else `Stalled);
+    t_deliveries = Async.deliveries exec;
+    t_commit_delivery = Option.map (fun (_, _, d) -> d) (Monitor.first_decision monitor);
+    t_split_delivery = !split_delivery;
+    t_live_delivery = !live_delivery;
+    t_coverage = fold_counters !cov nm;
+    t_violations = Monitor.violations monitor;
+    t_chaos = Chaos.stats ch }
+
+(* ------------------------------------------------------------------ *)
+(* The target table                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let mk_spec_target (name, spec, cfg) =
+  { tg_name = name;
+    tg_n = cfg.Types.n;
+    tg_t = cfg.Types.t;
+    tg_allow_corrupt = (match Aba.spec_mode spec with `Byz -> true | `Crash -> false);
+    tg_phases = Mutate.default_phases;
+    tg_seed_viable = None;
+    tg_run = (fun ~capture ~plan ~seed -> run_spec ~spec ~cfg ~capture ~plan ~seed) }
+
+let cz_cfg = Types.cfg ~n:4 ~t:1
+
+(* A trial seed is viable against the CZ target only if the inputs it
+   derives are balanced enough for {e both} values to survive round 1: a
+   value held by fewer than [t + 1] honest parties can never reach the
+   BV-broadcast relay plurality, so opposite singleton views - the
+   violation's precursor - cannot form.  The derivation mirrors [run_cz]
+   exactly ([Rng.create seed], then [n] boolean draws). *)
+let cz_seed_viable seed =
+  let n = cz_cfg.Types.n in
+  let rng = Rng.create seed in
+  let ones = ref 0 in
+  for _ = 1 to n do
+    if Value.equal (Value.of_bool (Rng.bool rng)) Value.V1 then incr ones
+  done;
+  min !ones (n - !ones) >= Quorum.plurality ~t:cz_cfg.Types.t
+
+let mk_cz_target ~per_value_aux name =
+  { tg_name = name;
+    tg_n = cz_cfg.Types.n;
+    tg_t = cz_cfg.Types.t;
+    tg_allow_corrupt = false;
+    tg_phases = cz_phases;
+    tg_seed_viable = Some cz_seed_viable;
+    tg_run =
+      (fun ~capture ~plan ~seed -> run_cz ~per_value_aux ~cfg:cz_cfg ~capture ~plan ~seed) }
+
+let six = List.map mk_spec_target Chaos_campaign.six_stacks
+let cz = mk_cz_target ~per_value_aux:false "cz"
+let cz_buggy = mk_cz_target ~per_value_aux:true "cz-buggy"
+let all_targets = six @ [ cz; cz_buggy ]
+
+let find_target name =
+  match List.find_opt (fun t -> String.equal t.tg_name name) all_targets with
+  | Some t -> Ok t
+  | None ->
+    Error
+      (Printf.sprintf "unknown fuzz target %S (known: %s)" name
+         (String.concat ", " (List.map (fun t -> t.tg_name) all_targets)))
+
+(* ------------------------------------------------------------------ *)
+(* The seed corpus                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let strip_corruption (p : Chaos.plan) =
+  { p with
+    Chaos.corrupt = [];
+    p_corrupt = 0.;
+    adaptive =
+      List.filter
+        (function Chaos.Corrupt_at_coin_reveal _ -> false | Chaos.Crash_at_phase _ -> true)
+        p.Chaos.adaptive }
+
+(* The Appendix A attack shapes as plans.  [cz_attack] isolates the last
+   party behind heavy delays and corrupts the first coin revealer - the
+   adaptive adversary of [9]'s liveness attack; against the CZ target its
+   corruption is stripped and the delay isolation alone remains, which is
+   exactly the schedule shape that splits line-30 views.  [mmr_attack]
+   partitions the cluster around the reveal and corrupts an arbitrary
+   revealer - the MMR-style un-binding attempt. *)
+let cz_attack_plan ~n ~budget =
+  let slow = n - 1 in
+  let laggy = { Chaos.p_drop = 0.; p_dup = 0.; p_delay = 0.9 } in
+  let link_overrides =
+    List.concat_map
+      (fun p -> if p = slow then [] else [ ((p, slow), laggy); ((slow, p), laggy) ])
+      (List.init n Fun.id)
+  in
+  { (Chaos.silent ~n) with
+    Chaos.chaos_seed = 0xC2AL;
+    link_overrides;
+    adaptive = [ Chaos.Corrupt_at_coin_reveal { a_round = 1; a_rate = 0.75 } ];
+    fault_budget = budget }
+
+let mmr_attack_plan ~n ~budget =
+  let side = Array.init n (fun p -> p < (n + 1) / 2) in
+  side.(0) <- true;
+  side.(n - 1) <- false;
+  { (Chaos.silent ~n) with
+    Chaos.chaos_seed = 0x33A4L;
+    partitions = [ { Chaos.from_delivery = 40; heal_delivery = 260; side } ];
+    adaptive = [ Chaos.Corrupt_at_coin_reveal { a_round = 0; a_rate = 0.5 } ];
+    fairness = 2;
+    fault_budget = budget }
+
+let crash_leader_plan ~phase ~n ~budget =
+  { (Chaos.silent ~n) with
+    Chaos.chaos_seed = 0xCAFEL;
+    adaptive = [ Chaos.Crash_at_phase { a_round = 0; a_phase = phase } ];
+    fault_budget = budget }
+
+let seed_corpus ~seed target =
+  let rng = Rng.create seed in
+  let n = target.tg_n and budget = target.tg_t in
+  let named =
+    [ ("silent", { (Chaos.silent ~n) with Chaos.fault_budget = budget });
+      ("cz_attack", cz_attack_plan ~n ~budget);
+      ("mmr_attack", mmr_attack_plan ~n ~budget);
+      ("crash_leader", crash_leader_plan ~phase:(List.hd target.tg_phases) ~n ~budget) ]
+  in
+  let named =
+    if target.tg_allow_corrupt then named
+    else List.map (fun (nm, p) -> (nm, strip_corruption p)) named
+  in
+  let gens =
+    List.init 4 (fun i ->
+        ( Printf.sprintf "gen-%d" i,
+          Chaos.gen rng ~n ~max_faults:target.tg_t
+            ~allow_corrupt:target.tg_allow_corrupt ))
+  in
+  named @ gens
+
+(* ------------------------------------------------------------------ *)
+(* Corpus files                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let corpus_magic = "bca-corpus 1"
+
+let sanitize_name nm =
+  String.map (fun c -> if c = '\t' || c = '\n' || c = '\r' then '_' else c) nm
+
+let save_corpus file entries =
+  let oc = open_out file in
+  output_string oc corpus_magic;
+  output_char oc '\n';
+  List.iter
+    (fun (nm, p) ->
+      output_string oc (sanitize_name nm);
+      output_char oc '\t';
+      output_string oc (Chaos.plan_to_string p);
+      output_char oc '\n')
+    entries;
+  close_out oc
+
+let load_corpus file =
+  match In_channel.with_open_text file In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | body -> (
+    match String.split_on_char '\n' body with
+    | magic :: rest when String.equal (String.trim magic) corpus_magic ->
+      let rec go acc lineno = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest ->
+          let line = String.trim line in
+          if String.equal line "" then go acc (lineno + 1) rest
+          else (
+            match String.index_opt line '\t' with
+            | None -> Error (Printf.sprintf "line %d: missing tab separator" lineno)
+            | Some j -> (
+              let nm = String.sub line 0 j in
+              let pl = String.sub line (j + 1) (String.length line - j - 1) in
+              match Chaos.plan_of_string pl with
+              | Ok p -> go ((nm, p) :: acc) (lineno + 1) rest
+              | Error e -> Error (Printf.sprintf "line %d (%s): %s" lineno nm e)))
+      in
+      go [] 2 rest
+    | _ -> Error (Printf.sprintf "%s: not a %S file" file corpus_magic))
+
+(* ------------------------------------------------------------------ *)
+(* The coverage-guided loop                                            *)
+(* ------------------------------------------------------------------ *)
+
+type found = {
+  f_trial : int;
+  f_name : string;
+  f_seed : int64;
+  f_plan : Chaos.plan;
+  f_violations : Monitor.violation list;
+}
+
+type mode = Guided | Blind
+
+let mode_name = function Guided -> "guided" | Blind -> "blind"
+
+type campaign = {
+  c_target : string;
+  c_mode : mode;
+  c_trials : int;
+  c_committed : int;
+  c_stalled : int;
+  c_deliveries : int;
+  c_coverage : Coverage.t;
+  c_corpus : (string * Chaos.plan) list;
+  c_found : found option;
+}
+
+type entry = {
+  e_name : string;
+  e_plan : Chaos.plan;
+  mutable e_weight : int;
+      (* decayed each time a child of this entry brings back nothing *)
+  e_seed : int64 option;
+      (* the trial seed of the admitting run, kept only when that run
+         produced a violation-precursor near miss: tail children replay it *)
+  e_anchor : int option;
+      (* delivery count up to which tail children replay the admitting
+         run's schedule before diverging: the commit delivery of a
+         split-commit run, the split-formation delivery of a split-view
+         run *)
+  e_rank : int;
+      (* depth of the entry's precursor state on the violation ladder:
+         0 none, 1 split view, 2 live split, 3 split commit.  A tail child
+         replays its parent's prefix and therefore re-reaches the parent's
+         near miss every time; it is only a {e new} neighbourhood - and
+         only admitted - when it climbed strictly higher than the parent *)
+}
+
+let trial_rank trial =
+  if Coverage.count trial.t_coverage "nm:split-commit" > 0 then 3
+  else if Coverage.count trial.t_coverage "nm:live-split" > 0 then 2
+  else if Coverage.count trial.t_coverage "nm:split-view" > 0 then 1
+  else 0
+
+(* An entry's weight is the novelty it was admitted with, plus a large
+   bonus per violation-precursor near miss its run produced: a plan that
+   split line-30 views - and above all one that committed {e against} a
+   live opposite view - is orders of magnitude closer to a safety
+   violation than one that merely touched a new phase label, and the
+   scheduler should spend its children accordingly. *)
+let near_miss_bonus cov =
+  (8192 * Coverage.count cov "nm:live-split")
+  + (1024 * Coverage.count cov "nm:split-view")
+  + (4096 * Coverage.count cov "nm:split-commit")
+  + (256 * Coverage.count cov "nm:commit-spread")
+
+(* Weighted corpus pick: plans that opened more of the map - and above
+   all plans that nearly violated - are mutated more often. *)
+let pick_entry rng entries =
+  let total = List.fold_left (fun a e -> a + e.e_weight) 0 entries in
+  let k = Rng.int rng (max total 1) in
+  let rec go k = function
+    | [] -> assert false
+    | [ e ] -> e
+    | e :: rest -> if k < e.e_weight then e else go (k - e.e_weight) rest
+  in
+  go k entries
+
+let base_name nm =
+  match String.index_opt nm '<' with Some i -> String.sub nm 0 i | None -> nm
+
+let take k l = List.filteri (fun i _ -> i < k) l
+
+let run ?domains ?(batch = 16) ?(stop_on_violation = true) ?corpus ~mode ~target
+    ~trials ~seed () =
+  let sched = Rng.create seed in
+  (* drawn unconditionally so the stream does not depend on ?corpus *)
+  let corpus_seed = Rng.int64 sched in
+  let seed_entries =
+    match corpus with Some c -> c | None -> seed_corpus ~seed:corpus_seed target
+  in
+  let guided = match mode with Guided -> true | Blind -> false in
+  let global = ref Coverage.empty in
+  let parents = ref [] in
+  let admitted = ref [] in
+  let executed = ref 0 in
+  let committed = ref 0 and stalled = ref 0 and deliveries = ref 0 in
+  let found = ref None in
+  let gen_id = ref 0 in
+  let fresh_plan () =
+    Chaos.gen sched ~n:target.tg_n ~max_faults:target.tg_t
+      ~allow_corrupt:target.tg_allow_corrupt
+  in
+  (* One batch item: display name, plan, fixed trial seed (tail children
+     must replay their parent's run exactly), and the parent entry whose
+     weight is decayed if this child brings back nothing. *)
+  let next_batch () =
+    if not guided then
+      List.init batch (fun _ ->
+          incr gen_id;
+          (Printf.sprintf "blind-%d" !gen_id, fresh_plan (), None, None))
+    else if !executed = 0 then
+      List.map (fun (name, plan) -> (name, plan, None, None)) seed_entries
+    else
+      List.init batch (fun _ ->
+          incr gen_id;
+          match !parents with
+          | [] -> (Printf.sprintf "gen-%d" !gen_id, fresh_plan (), None, None)
+          | entries ->
+            (* a thin stream of fresh plans keeps exploring even when the
+               whole corpus turns out to be a dead end *)
+            if Rng.float sched < 0.1 then
+              (Printf.sprintf "gen-%d" !gen_id, fresh_plan (), None, None)
+            else
+              let p1 = pick_entry sched entries in
+              let tail =
+                match (p1.e_seed, p1.e_anchor) with
+                | Some s, Some d when Rng.float sched < 0.85 -> Some (s, d)
+                | _ -> None
+              in
+              (match tail with
+              | Some (s, d) ->
+                (* Tail child: replay the parent's admitting run - same
+                   plan prefix, same trial seed (inputs and coins) - up to
+                   the anchor delivery, then re-roll the schedule.  The
+                   near-miss state (a split view, a commit against a live
+                   opposite view) is reached deterministically; only its
+                   completions are searched.  Reseed points of the parent
+                   at or past the anchor are superseded by the new one. *)
+                let keep =
+                  List.filter (fun (d', _) -> d' < d) p1.e_plan.Chaos.reseeds
+                in
+                let plan =
+                  { p1.e_plan with
+                    Chaos.reseeds = keep @ [ (d, Rng.int64 sched) ] }
+                in
+                ( Printf.sprintf "%s<t%d" (base_name p1.e_name) !gen_id,
+                  plan,
+                  Some s,
+                  Some p1 )
+              | None ->
+                let plan =
+                  if List.length entries >= 2 && Rng.float sched < 0.2 then
+                    let p2 = pick_entry sched entries in
+                    Mutate.mutate ~phases:target.tg_phases
+                      ~allow_corrupt:target.tg_allow_corrupt sched
+                      (Mutate.splice sched p1.e_plan p2.e_plan)
+                  else
+                    Mutate.mutate ~phases:target.tg_phases
+                      ~allow_corrupt:target.tg_allow_corrupt sched p1.e_plan
+                in
+                ( Printf.sprintf "%s<m%d" (base_name p1.e_name) !gen_id,
+                  plan,
+                  None,
+                  Some p1 )))
+  in
+  let keep_going () =
+    !executed < trials && ((not stop_on_violation) || !found = None)
+  in
+  while keep_going () do
+    let plans = take (trials - !executed) (next_batch ()) in
+    let arr = Array.of_list plans in
+    let runs = Array.length arr in
+    let batch_seed = Rng.int64 sched in
+    let trial_seeds = Mc.run_seeds ~runs ~seed:batch_seed in
+    (* the seed each trial actually runs under: the entry's retained seed
+       if any, else this batch's per-index draw - fixed before the
+       parallel evaluation, so the campaign stays a pure function of the
+       scheduler stream *)
+    let used_seeds =
+      Array.init runs (fun i ->
+          let _, _, retained, _ = arr.(i) in
+          match retained with
+          | Some s -> s
+          | None -> (
+            (* Guided mode steers clear of trial seeds the target knows to
+               be dead on arrival (e.g. CZ input vectors too lopsided for a
+               split view to ever form).  The redraw is a deterministic
+               chain from the per-index draw, so the campaign stays a pure
+               function of its arguments; blind mode never filters - it is
+               the undirected baseline. *)
+            match target.tg_seed_viable with
+            | Some viable when guided ->
+              let s = ref trial_seeds.(i) in
+              let k = ref 0 in
+              while (not (viable !s)) && !k < 8 do
+                s := Rng.int64 (Rng.create !s);
+                incr k
+              done;
+              !s
+            | _ -> trial_seeds.(i)))
+    in
+    let results =
+      Mc.mapi ?domains ~runs ~seed:batch_seed (fun ~index ~seed:_ ->
+          let _, plan, _, _ = arr.(index) in
+          target.tg_run ~capture:None ~plan ~seed:used_seeds.(index))
+    in
+    (* folded in index order: the campaign is bit-identical for any domain
+       count *)
+    Array.iteri
+      (fun i trial ->
+        let name, plan, retained, parent = arr.(i) in
+        (match trial.t_outcome with
+        | `Committed -> incr committed
+        | `Stalled -> incr stalled);
+        deliveries := !deliveries + trial.t_deliveries;
+        if !found = None && safety_violations trial <> [] then
+          found :=
+            Some
+              { f_trial = !executed + i + 1;
+                f_name = name;
+                f_seed = used_seeds.(i);
+                f_plan = plan;
+                f_violations = trial.t_violations };
+        let novelty = Coverage.novel ~base:!global trial.t_coverage in
+        global := Coverage.merge !global trial.t_coverage;
+        let bonus = near_miss_bonus trial.t_coverage in
+        let rank = trial_rank trial in
+        (* Near-miss runs are admitted even without coverage novelty: each
+           distinct (plan, seed) pair that split views is its own
+           neighbourhood worth exploiting.  A tail child, however, replays
+           its parent's prefix - it re-reaches the parent's near miss by
+           construction, so re-hitting it is not news; only climbing the
+           ladder is. *)
+        let admit =
+          match retained with
+          | Some _ -> (match parent with Some p -> rank > p.e_rank | None -> rank > 0)
+          | None -> novelty > 0 || bonus > 0
+        in
+        if guided && admit then begin
+          let e_seed = if bonus > 0 then Some used_seeds.(i) else None in
+          (* anchor priority: the commit of a split-commit run (the state
+             one matching coin away from a violation) over the live-split
+             moment over bare split formation *)
+          let e_anchor =
+            if bonus = 0 then None
+            else if Coverage.count trial.t_coverage "nm:split-commit" > 0 then
+              (match trial.t_commit_delivery with
+              | Some _ as d -> d
+              | None -> trial.t_split_delivery)
+            else
+              match trial.t_live_delivery with
+              | Some _ as d -> d
+              | None -> trial.t_split_delivery
+          in
+          (* novelty is capped so early wide-coverage runs cannot drown
+             the near-miss entries the exploit phase lives on *)
+          parents :=
+            { e_name = name;
+              e_plan = plan;
+              e_weight = min novelty 256 + bonus;
+              e_seed;
+              e_anchor;
+              e_rank = rank }
+            :: !parents;
+          admitted := (name, plan) :: !admitted
+        end
+        else
+          (* the child brought back nothing new: spend down its parent's
+             energy so dud neighbourhoods stop eating the budget *)
+          match parent with
+          | Some p -> p.e_weight <- max 1 (p.e_weight - max 1 (p.e_weight / 4))
+          | None -> ())
+      results;
+    executed := !executed + runs
+  done;
+  { c_target = target.tg_name;
+    c_mode = mode;
+    c_trials = !executed;
+    c_committed = !committed;
+    c_stalled = !stalled;
+    c_deliveries = !deliveries;
+    c_coverage = !global;
+    c_corpus = List.rev !admitted;
+    c_found = !found }
+
+let replay ?capture ~target ~plan ~seed () = target.tg_run ~capture ~plan ~seed
+
+(* ------------------------------------------------------------------ *)
+(* The rediscovery benchmark                                           *)
+(* ------------------------------------------------------------------ *)
+
+type rediscovery = {
+  r_seeds : int;
+  r_cap : int;
+  r_guided : int array;
+  r_blind : int array;
+  r_guided_median : float;
+  r_blind_median : float;
+  r_speedup : float;
+}
+
+let median a =
+  let s = Array.copy a in
+  Array.sort Int.compare s;
+  let m = Array.length s in
+  if m = 0 then 0.
+  else if m mod 2 = 1 then float_of_int s.(m / 2)
+  else (float_of_int s.((m / 2) - 1) +. float_of_int s.(m / 2)) /. 2.
+
+let trials_to_find cap c =
+  match c.c_found with Some f -> f.f_trial | None -> cap + 1
+
+let rediscover ?domains ?(seeds = 5) ?(cap = 3_000) ?(batch = 16) ~seed () =
+  let run_mode mode k =
+    let root = Int64.add seed (Int64.of_int k) in
+    trials_to_find cap
+      (run ?domains ~batch ~mode ~target:cz_buggy ~trials:cap ~seed:root ())
+  in
+  let guided = Array.init seeds (run_mode Guided) in
+  let blind = Array.init seeds (run_mode Blind) in
+  let gm = median guided and bm = median blind in
+  { r_seeds = seeds;
+    r_cap = cap;
+    r_guided = guided;
+    r_blind = blind;
+    r_guided_median = gm;
+    r_blind_median = bm;
+    r_speedup = (if gm > 0. then bm /. gm else 0.) }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_found ppf f =
+  Format.fprintf ppf
+    "@[<v>found at trial %d (corpus entry %s)@,seed=0x%LxL@,plan:@,  @[<v>%a@]"
+    f.f_trial f.f_name f.f_seed Chaos.pp f.f_plan;
+  List.iter
+    (fun v -> Format.fprintf ppf "@,VIOLATION: %a" Monitor.pp_violation v)
+    f.f_violations;
+  Format.fprintf ppf "@]"
+
+let pp_campaign ppf c =
+  Format.fprintf ppf
+    "@[<v>%s %s: %d trials, %d committed, %d stalled, %d deliveries@,\
+     coverage: %d keys, %d points; corpus: %d entries"
+    c.c_target (mode_name c.c_mode) c.c_trials c.c_committed c.c_stalled
+    c.c_deliveries
+    (Coverage.cardinality c.c_coverage)
+    (Coverage.points c.c_coverage)
+    (List.length c.c_corpus);
+  (match c.c_found with
+  | Some f -> Format.fprintf ppf "@,%a" pp_found f
+  | None -> Format.fprintf ppf "@,no safety violation found");
+  Format.fprintf ppf "@]"
+
+let pp_int_array ppf a =
+  Array.iteri (fun i v -> Format.fprintf ppf "%s%d" (if i = 0 then "" else " ") v) a
+
+let pp_rediscovery ppf r =
+  Format.fprintf ppf
+    "@[<v>cz-aux rediscovery over %d seeds (cap %d trials; cap+1 = not found):@,\
+     guided: [%a] median %.1f@,blind:  [%a] median %.1f@,speedup: %.1fx@]"
+    r.r_seeds r.r_cap pp_int_array r.r_guided r.r_guided_median pp_int_array
+    r.r_blind r.r_blind_median r.r_speedup

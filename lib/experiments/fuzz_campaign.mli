@@ -1,0 +1,199 @@
+(** Coverage-guided adversary search over protocol schedules.
+
+    An AFL loop where the genome is a [Bca_adversary.Chaos.plan] instead
+    of a byte buffer: run a plan against a protocol stack, fold the run's
+    trace into a {!Bca_obs.Coverage} map, keep plans that reached
+    somewhere no earlier plan did, and mutate / splice the keepers
+    ([Bca_adversary.Mutate]).  The coverage signal combines the event
+    taxonomy (rounds entered, phase quorums, coin reveals, commits,
+    network faults) with monitor near-miss counters
+    ([Bca_netsim.Monitor.near_misses]) and target-specific precursors
+    (["nm:split-view"] on the Cachin-Zanolini target), so the search
+    climbs toward violations it has not yet caused.
+
+    {b Determinism.}  A campaign is a pure function of
+    [(target, mode, trials, batch, seed, corpus)]: the scheduler draws
+    plans and batch seeds from one SplitMix64 stream, each batch is
+    evaluated by {!Mc.mapi} (bit-identical for any domain count), and
+    results are folded in index order.  Re-running with the same arguments
+    reproduces the same corpus, coverage and finding; any found violation
+    is replayable from its [(plan, seed)] pair alone via {!replay}.
+
+    {b Fault-model honesty.}  Plans never leave the Section 2 model: the
+    mutator preserves the plan [fault_budget] invariants, adaptive
+    strategies are budget-gated at firing time, and adaptively corrupted
+    parties are flipped out of the monitor's honest set the moment they
+    fire (see DESIGN.md section 14). *)
+
+module Chaos = Bca_adversary.Chaos
+module Monitor = Bca_netsim.Monitor
+module Coverage = Bca_obs.Coverage
+module Trace = Bca_obs.Trace
+
+(** {1 Trials and targets} *)
+
+type trial = {
+  t_outcome : [ `Committed | `Stalled ];
+  t_deliveries : int;
+  t_commit_delivery : int option;
+      (** delivery count at which the first honest decision was observed -
+          the anchor for tail-reseed children of a split-commit run *)
+  t_split_delivery : int option;
+      (** delivery count at which opposite singleton views first coexisted
+          (Cachin-Zanolini targets only) - the anchor for tail-reseed
+          children of a split-view run *)
+  t_live_delivery : int option;
+      (** delivery count at which a {e live} split first existed: some
+          round held at least one honest singleton view matching that
+          round's coin (a commit candidate) alongside at least [t + 1]
+          honest opposite singletons (enough to relay their estimate
+          onward).  The highest-priority tail-reseed anchor: a sizeable
+          fraction of schedule completions from this state end in an
+          agreement violation (Cachin-Zanolini targets only) *)
+  t_coverage : Coverage.t;  (** the run's own coverage map *)
+  t_violations : Monitor.violation list;
+  t_chaos : Chaos.stats;
+}
+
+val safety_violations : trial -> Monitor.violation list
+(** The trial's violations without [Stalled] (liveness flags are
+    accounted, not hunted: chaos plans may legally drop liveness). *)
+
+type target = {
+  tg_name : string;
+  tg_n : int;
+  tg_t : int;
+  tg_allow_corrupt : bool;
+      (** whether plans may corrupt traffic (Byzantine-model stacks) *)
+  tg_phases : string list;  (** phase labels for [Crash_at_phase] *)
+  tg_seed_viable : (int64 -> bool) option;
+      (** when present, a cheap static predicate telling whether a trial
+          seed can possibly reach the target's violation precursor (the CZ
+          targets: the derived input vector is balanced enough for both
+          values to survive round 1).  [Guided] campaigns deterministically
+          redraw non-viable fresh seeds; [Blind] campaigns never consult
+          it - they are the undirected baseline *)
+  tg_run : capture:Trace.t option -> plan:Chaos.plan -> seed:int64 -> trial;
+      (** one deterministic trial; [capture] receives the full event
+          stream of the run (for JSONL export of a violating run) *)
+}
+
+val six : target list
+(** The six real stacks of [Chaos_campaign.six_stacks], as fuzz targets. *)
+
+val cz : target
+(** The (fixed) Cachin-Zanolini reconstruction, [n = 4], [t = 1],
+    2t-unpredictable coin, corruption disallowed. *)
+
+val cz_buggy : target
+(** {!cz} with [per_value_aux] enabled - the historical AUX bug
+    reintroduced; the rediscovery benchmark target. *)
+
+val all_targets : target list
+val find_target : string -> (target, string) result
+
+(** {1 Seed corpus and corpus files} *)
+
+val seed_corpus : seed:int64 -> target -> (string * Chaos.plan) list
+(** The named starting corpus: ["silent"] (schedule randomness only),
+    ["cz_attack"] (isolate the last party behind heavy delays and corrupt
+    the first round's coin revealer - the Appendix A adaptive liveness
+    attack as a plan), ["mmr_attack"] (partition around an any-round
+    reveal), ["crash_leader"] (crash the first party to complete the
+    stack's first phase), plus four generated plans drawn from [seed].
+    For targets with [tg_allow_corrupt = false] the corruption clauses are
+    stripped, leaving the attacks' schedule shapes. *)
+
+val save_corpus : string -> (string * Chaos.plan) list -> unit
+(** Write a corpus file: a [bca-corpus 1] header line, then one
+    [name TAB plan] line per entry ({!Chaos.plan_to_string}). *)
+
+val load_corpus : string -> ((string * Chaos.plan) list, string) result
+(** Parse a corpus file; [Error] pinpoints the offending line. *)
+
+(** {1 Campaigns} *)
+
+type found = {
+  f_trial : int;  (** 1-based trial index at which the violation surfaced *)
+  f_name : string;  (** corpus lineage label of the violating plan *)
+  f_seed : int64;  (** the trial's seed - replay key *)
+  f_plan : Chaos.plan;  (** the violating plan - replay key *)
+  f_violations : Monitor.violation list;
+}
+
+type mode = Guided | Blind
+
+val mode_name : mode -> string
+
+type campaign = {
+  c_target : string;
+  c_mode : mode;
+  c_trials : int;  (** trials executed (may stop early on a find) *)
+  c_committed : int;
+  c_stalled : int;
+  c_deliveries : int;
+  c_coverage : Coverage.t;  (** global map: pointwise max over all trials *)
+  c_corpus : (string * Chaos.plan) list;
+      (** plans admitted for reaching new coverage, in admission order
+          (empty in [Blind] mode) - pass to {!save_corpus} *)
+  c_found : found option;  (** first safety violation, if any *)
+}
+
+val run :
+  ?domains:int ->
+  ?batch:int ->
+  ?stop_on_violation:bool ->
+  ?corpus:(string * Chaos.plan) list ->
+  mode:mode ->
+  target:target ->
+  trials:int ->
+  seed:int64 ->
+  unit ->
+  campaign
+(** Run a campaign of up to [trials] trials in batches of [batch]
+    (default 16), each batch evaluated Domain-parallel via {!Mc.mapi}.
+    [Guided]: batch zero is the seed corpus ([corpus] if given, else
+    {!seed_corpus}); later batches mutate weighted corpus picks, splicing
+    two parents 20% of the time.  An entry admitted for a
+    violation-precursor near miss retains its trial seed and an anchor
+    delivery; most of its children are {e tail reseeds} - the parent's
+    plan with one extra [Chaos.plan.reseeds] point at the anchor, replayed
+    under the parent's seed, so the run re-reaches the near-miss state
+    byte-for-byte and only its completions are searched.  Children that
+    bring back nothing decay their parent's weight, so dud neighbourhoods
+    stop eating the budget.  [Blind]: every plan is drawn fresh with
+    [Chaos.gen] - the undirected baseline.  With [stop_on_violation]
+    (default [true]) the campaign ends after the batch containing the
+    first safety violation. *)
+
+val replay :
+  ?capture:Trace.t -> target:target -> plan:Chaos.plan -> seed:int64 -> unit -> trial
+(** Re-run one [(plan, seed)] pair - deterministically the same trial the
+    campaign ran.  Pass [capture] (a buffering [Trace.create] sink) to
+    record the full event stream, e.g. for JSONL export of a violation. *)
+
+(** {1 The rediscovery benchmark} *)
+
+type rediscovery = {
+  r_seeds : int;
+  r_cap : int;  (** per-campaign trial cap; [cap + 1] encodes "not found" *)
+  r_guided : int array;  (** trials-to-find per root seed, guided *)
+  r_blind : int array;  (** trials-to-find per root seed, blind *)
+  r_guided_median : float;
+  r_blind_median : float;
+  r_speedup : float;  (** [blind_median / guided_median] *)
+}
+
+val rediscover :
+  ?domains:int -> ?seeds:int -> ?cap:int -> ?batch:int -> seed:int64 -> unit -> rediscovery
+(** The headline measurement: how many trials until the flag-reintroduced
+    CZ per-value-AUX bug ({!cz_buggy}) is found, guided vs blind, median
+    over [seeds] (default 5) root seeds, each campaign capped at [cap]
+    (default 3000) trials.  Censored campaigns count as [cap + 1], so the
+    reported speedup is a {e lower bound} when blind never finds it. *)
+
+(** {1 Reporting} *)
+
+val pp_found : Format.formatter -> found -> unit
+val pp_campaign : Format.formatter -> campaign -> unit
+val pp_rediscovery : Format.formatter -> rediscovery -> unit

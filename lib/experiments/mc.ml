@@ -45,6 +45,31 @@ let map ?domains ~runs ~seed f =
   end;
   Array.map (function Some x -> x | None -> assert false) results
 
+(* Like [map], but the worker also sees its run index - needed when the
+   evaluated items differ per index (a fuzzing batch of distinct plans)
+   rather than being i.i.d. replicas of one experiment. *)
+let mapi ?domains ~runs ~seed f =
+  let seeds = run_seeds ~runs ~seed in
+  let domains = min runs (match domains with Some d -> max 1 d | None -> default_domains ()) in
+  let results = Array.make runs None in
+  let fill lo hi =
+    for i = lo to hi do
+      results.(i) <- Some (f ~index:i ~seed:seeds.(i))
+    done
+  in
+  if domains <= 1 then fill 0 (runs - 1)
+  else begin
+    let chunk = (runs + domains - 1) / domains in
+    let workers =
+      List.init domains (fun k ->
+          let lo = k * chunk in
+          let hi = min runs ((k + 1) * chunk) - 1 in
+          Domain.spawn (fun () -> fill lo hi))
+    in
+    List.iter Domain.join workers
+  end;
+  Array.map (function Some x -> x | None -> assert false) results
+
 let summarize ?domains ~runs ~seed f =
   Summary.of_floats (Array.to_list (map ?domains ~runs ~seed f))
 

@@ -25,6 +25,13 @@ val map : ?domains:int -> runs:int -> seed:int64 -> (seed:int64 -> 'a) -> 'a arr
 (** [map ~runs ~seed f] is [| f ~seed:s0; ...; f ~seed:s_{runs-1} |] with the
     seeds of {!run_seeds}, evaluated on up to [domains] domains. *)
 
+val mapi :
+  ?domains:int -> runs:int -> seed:int64 -> (index:int -> seed:int64 -> 'a) -> 'a array
+(** {!map} with the run index passed to the worker, for batches whose
+    items differ per index (e.g. a fuzzing batch of distinct plans).  Same
+    determinism contract: seeds are pre-drawn in index order and the
+    result vector is bit-identical for any domain count. *)
+
 val summarize :
   ?domains:int -> runs:int -> seed:int64 -> (seed:int64 -> float) -> Bca_util.Summary.t
 (** Summary statistics over [map]. *)

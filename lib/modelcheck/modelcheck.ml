@@ -18,7 +18,16 @@ module type MODEL = sig
   val decided : state -> bool
 end
 
-type stats = { configurations : int; terminals : int; truncated : bool }
+module Coverage = Bca_obs.Coverage
+
+type stats = {
+  configurations : int;
+  terminals : int;
+  truncated : bool;
+  edges : int;
+  max_depth : int;
+  coverage : Coverage.t;
+}
 
 type verdict = Verified of stats | Violated of string
 
@@ -138,19 +147,32 @@ module Make (M : MODEL) = struct
 
   exception Stop of string
 
-  let explore ?(max_configurations = 300_000) ?(crashes = 0) ?(injections = []) ~invariant
-      ~terminal () =
+  let explore ?(max_configurations = 300_000) ?(crashes = 0) ?(injections = [])
+      ?(observe = fun ~alive:_ (_ : M.state array) -> ([] : (string * int) list))
+      ~invariant ~terminal () =
     let seen : (string, unit) Hashtbl.t = Hashtbl.create 65_536 in
     let configurations = ref 0 in
     let terminals = ref 0 in
     let truncated = ref false in
-    let rec dfs cfg =
+    let edges = ref 0 in
+    let max_depth = ref 0 in
+    (* per-key maximum over all visited configurations: the same "deepest
+       any single run drove it" reading [Coverage.merge] gives the fuzzer *)
+    let reach : (string, int) Hashtbl.t = Hashtbl.create 64 in
+    let record (key, v) =
+      match Hashtbl.find_opt reach key with
+      | Some old when old >= v -> ()
+      | _ -> if v > 0 then Hashtbl.replace reach key v
+    in
+    let rec dfs depth cfg =
       if !configurations >= max_configurations then truncated := true
       else begin
         let enc = encode_config cfg in
         if not (Hashtbl.mem seen enc) then begin
           Hashtbl.replace seen enc ();
           incr configurations;
+          if depth > !max_depth then max_depth := depth;
+          List.iter record (observe ~alive:cfg.alive cfg.states);
           (match invariant ~alive:cfg.alive cfg.states with
           | Some reason -> raise (Stop reason)
           | None -> ());
@@ -161,13 +183,33 @@ module Make (M : MODEL) = struct
             | Some reason -> raise (Stop reason)
             | None -> ()
           end;
-          List.iter (fun c -> dfs (apply ~injections cfg c)) choices
+          List.iter
+            (fun c ->
+              incr edges;
+              dfs (depth + 1) (apply ~injections cfg c))
+            choices
         end
       end
     in
-    match dfs (initial ~crashes ~injections) with
-    | () ->
-      Verified
-        { configurations = !configurations; terminals = !terminals; truncated = !truncated }
+    let finish () =
+      let cov =
+        List.fold_left
+          (fun acc (k, v) -> Coverage.add_count acc k v)
+          Coverage.empty
+          (Bca_util.Det.bindings ~compare:String.compare reach)
+      in
+      let cov = Coverage.add_count cov "mc:configs" !configurations in
+      let cov = Coverage.add_count cov "mc:edges" !edges in
+      let cov = Coverage.add_count cov "mc:depth" !max_depth in
+      let cov = Coverage.add_count cov "mc:terminals" !terminals in
+      { configurations = !configurations;
+        terminals = !terminals;
+        truncated = !truncated;
+        edges = !edges;
+        max_depth = !max_depth;
+        coverage = cov }
+    in
+    match dfs 0 (initial ~crashes ~injections) with
+    | () -> Verified (finish ())
     | exception Stop reason -> Violated reason
 end

@@ -52,6 +52,16 @@ type stats = {
   configurations : int;  (** distinct configurations visited *)
   terminals : int;  (** configurations with no deliverable message *)
   truncated : bool;  (** hit the configuration cap before finishing *)
+  edges : int;  (** transitions explored (delivery / crash / injection) *)
+  max_depth : int;  (** longest choice sequence from the initial state *)
+  coverage : Bca_obs.Coverage.t;
+      (** The exploration's coverage report, in the same vocabulary the
+          fuzzer speaks ([Bca_obs.Coverage]): each [observe]d key at its
+          per-configuration maximum (the reading {!Bca_obs.Coverage.merge}
+          gives a fuzzing campaign), plus the checker's own measures
+          ["mc:configs"], ["mc:edges"], ["mc:depth"], ["mc:terminals"].
+          This makes "what did the exhaustive checker reach" and "what did
+          the fuzzer reach" directly comparable maps. *)
 }
 
 type verdict = Verified of stats | Violated of string
@@ -61,6 +71,7 @@ module Make (M : MODEL) : sig
     ?max_configurations:int ->
     ?crashes:int ->
     ?injections:(int * int * M.msg) list ->
+    ?observe:(alive:bool array -> M.state array -> (string * int) list) ->
     invariant:(alive:bool array -> M.state array -> string option) ->
     terminal:(alive:bool array -> M.state array -> string option) ->
     unit ->
@@ -74,7 +85,11 @@ module Make (M : MODEL) : sig
       [injections] are one-shot adversary actions [(src, dst, msg)] - a
       Byzantine party's possible sends, each usable at most once and applied
       at any point the adversary likes (delivery is immediate: injecting
-      late subsumes injecting early and delaying).  [max_configurations]
+      late subsumes injecting early and delaying).  [observe] (default none)
+      maps each visited configuration to [(key, count)] coverage
+      observations - use the {!Bca_obs.Coverage} vocabulary, e.g.
+      [("quorum:echo:r1", parties_echoed)]; per key the maximum over all
+      configurations is reported in [stats.coverage].  [max_configurations]
       defaults to 300_000; hitting it yields [Verified {truncated = true}] -
       a bounded rather than complete verification. *)
 end

@@ -3,6 +3,32 @@ module Types = Bca_core.Types
 module B = Bca_core.Bca_crash
 module G = Bca_core.Gbca_crash
 
+(* Coverage observations in the fuzzer's vocabulary (the model-checked
+   protocols are single-shot, so everything is "round 1"): how many parties
+   completed a quorum-gated phase, and how many decided each outcome. *)
+let count_of pred states = Array.to_list states |> List.filter pred |> List.length
+
+let phase_reach label pred states = (label, count_of pred states)
+
+let cvalue_commits decision states =
+  let dec v st =
+    match decision st with Some d -> Types.cvalue_equal d v | None -> false
+  in
+  [ ("commit:r1:0", count_of (dec (Types.Val Value.V0)) states);
+    ("commit:r1:1", count_of (dec (Types.Val Value.V1)) states);
+    ("commit:r1:bot", count_of (dec Types.Bot) states) ]
+
+let graded_commits decision states =
+  let dec v st =
+    match decision st with
+    | Some (Types.G2 w) | Some (Types.G1 w) -> Value.equal v w
+    | Some Types.G0 | None -> false
+  in
+  let g0 st = match decision st with Some Types.G0 -> true | _ -> false in
+  [ ("commit:r1:0", count_of (dec Value.V0) states);
+    ("commit:r1:1", count_of (dec Value.V1) states);
+    ("commit:r1:bot", count_of g0 states) ]
+
 (* ------------------------------------------------------------------ *)
 (* Algorithm 3                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -86,7 +112,11 @@ let check_bca_crash ~n ~t ~inputs ?(crashes = 0) ?max_configurations () =
     if stuck && live >= q then Some "termination violated: network drained, party undecided"
     else None
   in
-  C.explore ?max_configurations ~crashes ~invariant ~terminal ()
+  let observe ~alive:_ states =
+    phase_reach "quorum:echo:r1" (fun st -> B.echoed st <> None) states
+    :: cvalue_commits B.decision states
+  in
+  C.explore ?max_configurations ~crashes ~observe ~invariant ~terminal ()
 
 (* ------------------------------------------------------------------ *)
 (* Algorithm 5                                                          *)
@@ -176,7 +206,11 @@ let check_gbca_crash ~n ~t ~inputs ?(crashes = 0) ?max_configurations () =
     let live = Array.to_list alive |> List.filter Fun.id |> List.length in
     if stuck && live >= q then Some "termination violated" else None
   in
-  C.explore ?max_configurations ~crashes ~invariant ~terminal ()
+  let observe ~alive:_ states =
+    phase_reach "quorum:echo2:r1" (fun st -> G.echo2_sent st <> None) states
+    :: graded_commits G.decision states
+  in
+  C.explore ?max_configurations ~crashes ~observe ~invariant ~terminal ()
 
 (* ------------------------------------------------------------------ *)
 (* Algorithm 4 with an injection-modelled Byzantine party.             *)
@@ -268,7 +302,11 @@ let check_bca_byz ~inputs ?max_configurations () =
       Some "termination violated: network drained, honest party undecided"
     else None
   in
-  C.explore ?max_configurations ~injections ~invariant ~terminal ()
+  let observe ~alive:_ states =
+    phase_reach "quorum:echo3:r1" (fun st -> Byz.echo3_sent st <> None) states
+    :: cvalue_commits Byz.decision states
+  in
+  C.explore ?max_configurations ~injections ~observe ~invariant ~terminal ()
 
 (* ------------------------------------------------------------------ *)
 (* Algorithm 6 with an injection-modelled Byzantine party.             *)
@@ -368,4 +406,8 @@ let check_gbca_byz ~inputs ?max_configurations () =
       Some "termination violated: network drained, honest party undecided"
     else None
   in
-  C.explore ?max_configurations ~injections ~invariant ~terminal ()
+  let observe ~alive:_ states =
+    phase_reach "quorum:echo4:r1" (fun st -> Gbyz.echo4_sent st <> None) states
+    :: graded_commits Gbyz.decision states
+  in
+  C.explore ?max_configurations ~injections ~observe ~invariant ~terminal ()

@@ -37,6 +37,7 @@ type t = {
   mutable deliveries : int;
   mutable last_progress : int;
   mutable since_progress : int;
+  mutable max_since_progress : int;
   mutable stalled : bool;  (* report Stalled at most once *)
   mutable violations : violation list;  (* reverse detection order *)
   tracer : Bca_obs.Trace.t;
@@ -68,6 +69,7 @@ let create ~n ?(honest = fun _ -> true) ~inputs ~decision ?(commit_round = fun _
     deliveries = 0;
     last_progress = (match progress with Some f -> f () | None -> 0);
     since_progress = 0;
+    max_since_progress = 0;
     stalled = false;
     violations = [];
     tracer }
@@ -132,6 +134,8 @@ let watchdog t =
     end
     else begin
       t.since_progress <- t.since_progress + 1;
+      if t.since_progress > t.max_since_progress then
+        t.max_since_progress <- t.since_progress;
       if t.since_progress >= t.stall_window && not t.stalled then begin
         t.stalled <- true;
         report t (Stalled { deliveries = t.deliveries; window = t.stall_window })
@@ -159,3 +163,32 @@ let safety_ok t =
 let first_decision t = t.first
 
 let deliveries_seen t = t.deliveries
+
+(* End-of-run gauges of how close the execution came to a violation -
+   states that are legal but adjacent to illegal ones.  Fuzzer fuel: a run
+   that widens the commit-round spread or nearly trips the watchdog is
+   retained in the corpus even though no invariant broke. *)
+let near_misses t =
+  let decided = ref 0 in
+  Array.iter (fun d -> if d <> None then incr decided) t.seen;
+  let rounds = ref [] in
+  for pid = 0 to t.n - 1 do
+    if t.honest pid && t.seen.(pid) <> None then
+      match t.commit_round pid with
+      | Some r -> rounds := r :: !rounds
+      | None -> ()
+  done;
+  let spread =
+    match List.sort_uniq Int.compare !rounds with
+    | [] | [ _ ] -> 0
+    | lo :: rest -> List.nth rest (List.length rest - 1) - lo
+  in
+  let acc = [ ("nm:decided", !decided) ] in
+  let acc = if spread > 0 then ("nm:commit-spread", spread) :: acc else acc in
+  let acc =
+    if t.progress <> None && t.stall_window > 0 && t.max_since_progress > 0 then
+      (* quarters of the stall window reached: 4 = the watchdog fired *)
+      ("nm:stall-frac", min 4 (t.max_since_progress * 4 / t.stall_window)) :: acc
+    else acc
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) acc

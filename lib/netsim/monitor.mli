@@ -104,3 +104,14 @@ val first_decision : t -> (pid * Bca_util.Value.t * int) option
 
 val deliveries_seen : t -> int
 (** Number of {!on_delivery} calls so far. *)
+
+val near_misses : t -> (string * int) list
+(** End-of-run gauges of proximity to a violation, as
+    [(counter, value)] pairs in the shared coverage vocabulary
+    ({!Bca_obs.Coverage}): [("nm:decided", k)] honest deciders so far,
+    [("nm:commit-spread", d)] the span between the smallest and largest
+    honest commit round (present only when two deciders disagree on the
+    round - the direct precursor of a cross-round agreement violation),
+    and [("nm:stall-frac", q)] the highest quarter of the stall window the
+    watchdog counter reached ([4] = it fired).  Sorted by counter name;
+    call after {!final_check}. *)

@@ -1,0 +1,83 @@
+(** Execution-coverage maps: the shared vocabulary of the adversary search.
+
+    A coverage map counts, per string key, how often an execution reached a
+    point of interest.  The fuzzer ([Bca_experiments.Fuzz_campaign]) derives
+    keys from the {!Event} taxonomy of a run; the exhaustive checker
+    ([Bca_modelcheck]) derives the same kind of keys from explored
+    configurations - both speak this vocabulary:
+
+    - ["round:rR"] - some party entered agreement-loop round [R]
+      (capped at {!round_cap}, beyond which the label is ["rC+"]);
+    - ["quorum:PHASE:rR"] - a round-[R] (G)BCA instance completed the
+      quorum-gated phase [PHASE] (["echo"], ["echo2"], ...);
+    - ["coin:rR:V"] - round [R]'s coin was revealed as [V] (["0"]/["1"]);
+    - ["commit:rR:V"] - a party committed [V] in round [R];
+    - ["violation:KIND"] - the runtime monitor flagged [KIND];
+    - ["net:OP"] - a network fault fired (["drop"], ["dup"], ["redirect"],
+      ["swap"], ["crash"]);
+    - ["nm:*"] - near-miss counters (e.g. ["nm:commit-spread"],
+      ["nm:split-view"]): states adjacent to a violation without being one;
+    - ["mc:*"] - model-checker-only measures (["mc:depth"], ["mc:edges"]).
+
+    Raw counts are compared through AFL-style bucketing ({!bucket}): a key
+    hit 9 times instead of 8 is not news, hit 9 times instead of 2 it is.
+    {!merge} takes the pointwise {e maximum} of counts, so a global map
+    records, per key, the deepest any single run has driven it; the
+    operation is associative, commutative and idempotent with {!empty} as
+    identity - the same algebra [Metrics.merge] satisfies, which makes
+    domain-parallel accumulation through [Mc.map_fold] deterministic. *)
+
+type t
+(** Immutable coverage map. *)
+
+val empty : t
+val is_empty : t -> bool
+
+val round_cap : int
+(** Rounds at or beyond this collapse into one ["rC+"] label (12): round
+    identity past the cap is noise, not signal. *)
+
+val bucket : int -> int
+(** AFL-style count bucketing: [0 -> 0], [1 -> 1], [2 -> 2], [3 -> 3],
+    [4..7 -> 4], [8..15 -> 5], and so on (one bucket per further power of
+    two).  Monotone in the count. *)
+
+val add : t -> string -> t
+(** Increment a key's count by one. *)
+
+val add_count : t -> string -> int -> t
+(** Increment a key's count by [k] (no-op when [k <= 0]). *)
+
+val count : t -> string -> int
+(** Raw count of a key ([0] when absent). *)
+
+val add_event : t -> Event.t -> t
+(** Fold one event into the map using the vocabulary above.  [Send],
+    [Deliver] and [Transport] events are deliberately ignored: they carry
+    volume, not reach. *)
+
+val of_events : Event.timed array -> t
+(** [add_event] over a recorded trace. *)
+
+val merge : t -> t -> t
+(** Pointwise maximum of counts.  Associative, commutative, idempotent;
+    [empty] is the identity. *)
+
+val novel : base:t -> t -> int
+(** Number of keys whose {!bucket} in the candidate exceeds their bucket in
+    [base] - the AFL novelty test: [novel ~base c > 0] iff [c] reached
+    somewhere (or some depth) [base] never did. *)
+
+val cardinality : t -> int
+(** Number of distinct keys. *)
+
+val points : t -> int
+(** Sum of bucket levels over all keys - a scalar coverage score. *)
+
+val to_list : t -> (string * int) list
+(** Key-sorted [(key, raw count)] pairs. *)
+
+val to_json : t -> string
+(** One-line JSON object [{"key":count,...}], key-sorted. *)
+
+val pp : Format.formatter -> t -> unit
