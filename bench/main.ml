@@ -3,7 +3,7 @@
    scaling sweep with a simulator-throughput benchmark (JSON-reported), and
    times the simulator stacks with Bechamel.
 
-   Usage: main.exe [table1|table2|attack|scaling|chaos|wire|cluster|recovery|
+   Usage: main.exe [table1|table2|attack|scaling|chaos|wire|cluster|recovery|rsm|
                     fuzz|ablation|bechamel|all]
                    [--runs K] [--seed S] [--json PATH] [--metrics] [--trace PATH]
    Default: all.  Monte-Carlo run counts are chosen so the full harness
@@ -316,6 +316,35 @@ let cluster_acc : cluster_row list ref = ref []
 
 let recovery_acc : recovery_row list ref = ref []
 
+(* RSM loadgen rows: committed-tx throughput of the windowed log at each
+   (transport, window, batch) point, plus the pipelining-gate verdicts. *)
+type rsm_row = {
+  rs_transport : string;
+  rs_window : int;
+  rs_batch_txs : int;
+  rs_total : int;
+  rs_tx_bytes : int;
+  rs_hop_ms : float;
+  rs_r : Cluster.rsm_load_result;
+}
+
+type rsm_gate = {
+  rg_transport : string;
+  rg_batch_txs : int;
+  rg_w1_tx_s : float;  (* tx/s at window 1 *)
+  rg_wn_tx_s : float;  (* tx/s at the deep window *)
+  rg_pass : bool;
+}
+
+let rsm_acc : rsm_row list ref = ref []
+
+let rsm_gate_acc : rsm_gate list ref = ref []
+
+(* Absolute CI floor on the best TCP point, deliberately far below the
+   measured rate (hundreds of tx/s on an idle machine) so only a real
+   regression trips it. *)
+let rsm_floor_tx_s = 25.0
+
 let chaos_acc : chaos_row list ref = ref []
 
 let metrics_acc : (string * Metrics.t) list ref = ref []
@@ -355,21 +384,24 @@ let chaos_failed = ref false
 let section_failed = ref false
 
 let write_throughput_json path ~seed ~runs ~chaos ~metrics ~wire ~cluster ~recovery ~lint
-    ~fuzz ~rediscovery tps =
+    ~fuzz ~rediscovery ~rsm ~rsm_gate tps =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
-  (* schema 6: adds the "fuzz" object (coverage-guided adversary search:
-     per-stack guided smoke campaigns, and the CZ AUX-bug rediscovery
-     benchmark - trials-to-find guided vs blind with the gate verdict);
-     schema 5 added the "recovery" array (supervised crash-recovery
-     clusters: decisions/sec with a kill every k decisions, WAL bytes per
-     decision, replay cost); schema 4 added the "cluster" array
-     (decisions/sec of the batched socket hot path vs the per-message
-     baseline); schema 3 added the "lint" object (static-analysis health
-     of lib/ at report time); schema 2 added the "wire" array
-     (per-decision on-wire traffic per stack).  Consumers of older
-     schemas should treat all five as optional *)
-  Buffer.add_string buf "  \"schema\": 6,\n";
+  (* schema 7: adds the "rsm" object (windowed replicated-log loadgen:
+     committed-tx/s and commit-latency percentiles per transport x window
+     x batch point, the TCP pipelining-gate verdicts and the throughput
+     floor); schema 6 added the "fuzz" object (coverage-guided adversary
+     search: per-stack guided smoke campaigns, and the CZ AUX-bug
+     rediscovery benchmark - trials-to-find guided vs blind with the gate
+     verdict); schema 5 added the "recovery" array (supervised
+     crash-recovery clusters: decisions/sec with a kill every k
+     decisions, WAL bytes per decision, replay cost); schema 4 added the
+     "cluster" array (decisions/sec of the batched socket hot path vs the
+     per-message baseline); schema 3 added the "lint" object
+     (static-analysis health of lib/ at report time); schema 2 added the
+     "wire" array (per-decision on-wire traffic per stack).  Consumers of
+     older schemas should treat all six as optional *)
+  Buffer.add_string buf "  \"schema\": 7,\n";
   (match lint with
   | Some (r : Bca_lint.Lint.report) ->
     Buffer.add_string buf
@@ -456,6 +488,36 @@ let write_throughput_json path ~seed ~runs ~chaos ~metrics ~wire ~cluster ~recov
            (if i = List.length recovery - 1 then "" else ",")))
     recovery;
   Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"rsm\": {\n    \"rows\": [\n";
+  List.iteri
+    (fun i row ->
+      let r = row.rs_r in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      {\"transport\": %S, \"n\": 4, \"t\": 1, \"window\": %d, \
+            \"batch_txs\": %d, \"txs\": %d, \"tx_bytes\": %d, \"hop_ms\": %.1f, \
+            \"committed\": %d, \"epochs\": %d, \"wall_s\": %.6f, \"tx_per_s\": %.1f, \
+            \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"frames\": %d, \"bytes\": %d, \
+            \"writes\": %d}%s\n"
+           row.rs_transport row.rs_window row.rs_batch_txs row.rs_total row.rs_tx_bytes
+           row.rs_hop_ms
+           r.Cluster.lr_committed r.Cluster.lr_epochs r.Cluster.lr_duration_s
+           r.Cluster.lr_tx_per_s r.Cluster.lr_p50_ms r.Cluster.lr_p99_ms
+           r.Cluster.lr_frames r.Cluster.lr_bytes r.Cluster.lr_writes
+           (if i = List.length rsm - 1 then "" else ",")))
+    rsm;
+  Buffer.add_string buf "    ],\n    \"gate\": [\n";
+  List.iteri
+    (fun i g ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      {\"transport\": %S, \"batch_txs\": %d, \"w1_tx_s\": %.1f, \
+            \"wn_tx_s\": %.1f, \"pass\": %b}%s\n"
+           g.rg_transport g.rg_batch_txs g.rg_w1_tx_s g.rg_wn_tx_s g.rg_pass
+           (if i = List.length rsm_gate - 1 then "" else ",")))
+    rsm_gate;
+  Buffer.add_string buf
+    (Printf.sprintf "    ],\n    \"floor_tx_s\": %.1f\n  },\n" rsm_floor_tx_s);
   Buffer.add_string buf "  \"fuzz\": {\n    \"smoke\": [\n";
   List.iteri
     (fun i fz ->
@@ -929,6 +991,158 @@ let recovery_bench () =
     recovery_acc := rows
 
 (* ------------------------------------------------------------------ *)
+(* RSM loadgen: committed-tx throughput of the windowed log.            *)
+(* ------------------------------------------------------------------ *)
+
+(* Preload the whole workload and run the RSM to its last commit over
+   loopback unix-domain sockets and over TCP, at window depths 1 and 4
+   and batch caps 8 and 64.  Epochs are sized as in
+   [bca loadgen --epochs 0]: the first [window] epochs cut their batches
+   before any submission lands, capacity doubles for ACS-excluded
+   re-queues, plus two epochs of slack.
+
+   Local sockets are microseconds away, so a raw run is CPU-bound and a
+   deep window only adds window-fill epochs.  Pipelining pays when the
+   per-epoch round trips dominate, so every point runs under an emulated
+   2 ms one-way hop ([hop_s], netem-style) - that is the regime the
+   window exists for, and there window 4 must beat window 1 strictly at
+   every (transport, batch) point or the section fails.  The workload is
+   sized to span at least three tx-bearing epochs at the largest batch:
+   a load that fits one epoch gives both windows the same critical path
+   (window-fill epochs commit concurrently) and the comparison would be
+   a coin flip. *)
+let rsm_windows = (1, 4)
+
+let rsm_batches = [ 8; 64 ]
+
+let rsm_hop_ms = 2.0
+
+let rsm_bench () =
+  let seed = root_seed () in
+  let cfg = Types.cfg ~n:4 ~t:1 in
+  let min_total =
+    3 * (cfg.Types.n - cfg.Types.t)
+    * List.fold_left (fun a b -> max a b) 1 rsm_batches
+  in
+  let total =
+    match !opt_runs with
+    | Some r -> max min_total (min (8 * r) (2 * min_total))
+    | None -> min_total
+  in
+  let tx_bytes = 48 in
+  section
+    (Printf.sprintf
+       "RSM loadgen: windowed log, %d preloaded txs of %d B, %.0f ms emulated hop \
+        (n=4, t=1)"
+       total tx_bytes rsm_hop_ms);
+  let w1, wn = rsm_windows in
+  let transports = [ (`Unix, "unix"); (`Tcp, "tcp") ] in
+  let run ~transport ~name ~window ~batch_txs =
+    let cap = (cfg.Types.n - cfg.Types.t) * batch_txs in
+    let epochs = window + (((total + cap - 1) / cap) * 2) + 2 in
+    let params =
+      Bca_rsm.Rsm.mk_params ~cfg ~coin_seed:seed ~epochs ~window
+        ~batch:{ Bca_rsm.Rsm.max_txs = batch_txs; max_bytes = 64 * 1024 }
+        ()
+    in
+    let load = { Cluster.lg_rate = 0.; lg_total = total; lg_tx_bytes = tx_bytes } in
+    let res =
+      Cluster.run_rsm_loadgen ~timeout_s:120. ~hop_s:(rsm_hop_ms /. 1000.) params ~load
+        ~transport
+    in
+    match res with
+    | Error e ->
+      failwith (Printf.sprintf "rsm (%s, w=%d, b=%d): %s" name window batch_txs e)
+    | Ok r ->
+      (* a shortfall is a liveness bug, not a slow run: epochs are sized
+         so every preloaded transaction fits with slack *)
+      if r.Cluster.lr_committed < total then
+        failwith
+          (Printf.sprintf "rsm (%s, w=%d, b=%d): only %d/%d txs committed" name window
+             batch_txs r.Cluster.lr_committed total);
+      { rs_transport = name;
+        rs_window = window;
+        rs_batch_txs = batch_txs;
+        rs_total = total;
+        rs_tx_bytes = tx_bytes;
+        rs_hop_ms = rsm_hop_ms;
+        rs_r = r }
+  in
+  let rows =
+    List.concat_map
+      (fun (transport, name) ->
+        List.concat_map
+          (fun window ->
+            List.map (fun batch_txs -> run ~transport ~name ~window ~batch_txs)
+              rsm_batches)
+          [ w1; wn ])
+      transports
+  in
+  Tablefmt.print
+    ~header:
+      [ "transport"; "window"; "batch"; "epochs"; "committed"; "wall (s)"; "tx/sec";
+        "p50 (ms)"; "p99 (ms)"; "frames" ]
+    (List.map
+       (fun row ->
+         let r = row.rs_r in
+         [ row.rs_transport; string_of_int row.rs_window; string_of_int row.rs_batch_txs;
+           string_of_int r.Cluster.lr_epochs; string_of_int r.Cluster.lr_committed;
+           Printf.sprintf "%.3f" r.Cluster.lr_duration_s;
+           Printf.sprintf "%.1f" r.Cluster.lr_tx_per_s;
+           Printf.sprintf "%.2f" r.Cluster.lr_p50_ms;
+           Printf.sprintf "%.2f" r.Cluster.lr_p99_ms; string_of_int r.Cluster.lr_frames ])
+       rows);
+  let tx_s transport window batch_txs =
+    List.find_map
+      (fun row ->
+        if row.rs_transport = transport && row.rs_window = window
+           && row.rs_batch_txs = batch_txs
+        then Some row.rs_r.Cluster.lr_tx_per_s
+        else None)
+      rows
+  in
+  (* the pipelining gate: under the emulated hop the deep window must win
+     at every point *)
+  let gates =
+    List.concat_map
+      (fun (_, name) ->
+        List.filter_map
+          (fun batch_txs ->
+            match (tx_s name w1 batch_txs, tx_s name wn batch_txs) with
+            | Some slow, Some fast ->
+              let pass = fast > slow in
+              if pass then
+                Printf.printf
+                  "(gate ok: %s, batch %d: window %d at %.1f tx/s > window %d at %.1f)\n"
+                  name batch_txs wn fast w1 slow
+              else begin
+                section_failed := true;
+                Printf.eprintf
+                  "RSM GATE VIOLATED: %s, batch %d: window %d at %.1f tx/s <= window %d \
+                   at %.1f\n"
+                  name batch_txs wn fast w1 slow
+              end;
+              Some
+                { rg_transport = name; rg_batch_txs = batch_txs; rg_w1_tx_s = slow;
+                  rg_wn_tx_s = fast; rg_pass = pass }
+            | _ -> None)
+          rsm_batches)
+      transports
+  in
+  let best =
+    List.fold_left (fun acc row -> Float.max acc row.rs_r.Cluster.lr_tx_per_s) 0.
+      (List.filter (fun row -> row.rs_transport = "tcp") rows)
+  in
+  if best < rsm_floor_tx_s then begin
+    section_failed := true;
+    Printf.eprintf "RSM FLOOR VIOLATED: best tcp point %.1f tx/s < floor %.1f\n" best
+      rsm_floor_tx_s
+  end
+  else Printf.printf "(floor ok: best tcp point %.1f tx/s >= %.1f)\n" best rsm_floor_tx_s;
+  rsm_acc := rows;
+  rsm_gate_acc := gates
+
+(* ------------------------------------------------------------------ *)
 (* Observability: per-round / per-phase metrics and trace capture.      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1125,13 +1339,14 @@ let flush_json () =
   if
     !scaling_acc <> [] || !chaos_acc <> [] || !metrics_acc <> [] || !wire_acc <> []
     || !cluster_acc <> [] || !recovery_acc <> [] || !fuzz_acc <> []
-    || !fuzz_rediscovery <> None
+    || !fuzz_rediscovery <> None || !rsm_acc <> []
   then begin
     let path = json_path () in
     let runs = match !opt_runs with Some r -> r | None -> 30 in
     write_throughput_json path ~seed:(root_seed ()) ~runs ~chaos:!chaos_acc
       ~metrics:!metrics_acc ~wire:!wire_acc ~cluster:!cluster_acc ~recovery:!recovery_acc
-      ~lint:(lint_summary ()) ~fuzz:!fuzz_acc ~rediscovery:!fuzz_rediscovery !scaling_acc;
+      ~lint:(lint_summary ()) ~fuzz:!fuzz_acc ~rediscovery:!fuzz_rediscovery ~rsm:!rsm_acc
+      ~rsm_gate:!rsm_gate_acc !scaling_acc;
     Printf.printf "\n(throughput written to %s)\n" path
   end
 
@@ -1216,7 +1431,7 @@ let bechamel () =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [table1|table2|attack|scaling|chaos|wire|cluster|recovery|fuzz|ablation|bechamel|all]\n\
+    "usage: main.exe [table1|table2|attack|scaling|chaos|wire|cluster|recovery|rsm|fuzz|ablation|bechamel|all]\n\
     \       [--runs K] [--seed S] [--json PATH] [--metrics] [--trace PATH] [--floor DPS]\n";
   exit 1
 
@@ -1290,6 +1505,7 @@ let () =
   | "wire" -> run_section "wire" wire
   | "cluster" -> run_section "cluster" cluster_bench
   | "recovery" -> run_section "recovery" recovery_bench
+  | "rsm" -> run_section "rsm" rsm_bench
   | "fuzz" -> run_section "fuzz" fuzz_bench
   | "ablation" -> run_section "ablation" ablation
   | "bechamel" -> run_section "bechamel" bechamel
@@ -1302,13 +1518,14 @@ let () =
     run_section "wire" wire;
     run_section "cluster" cluster_bench;
     run_section "recovery" recovery_bench;
+    run_section "rsm" rsm_bench;
     run_section "fuzz" fuzz_bench;
     run_section "ablation" ablation;
     run_section "bechamel" bechamel
   | other ->
     Printf.eprintf
       "unknown section %S \
-       (table1|table2|attack|scaling|chaos|wire|cluster|recovery|fuzz|ablation|bechamel|all)\n"
+       (table1|table2|attack|scaling|chaos|wire|cluster|recovery|rsm|fuzz|ablation|bechamel|all)\n"
       other;
     usage ());
   if !opt_metrics then run_section "metrics" metrics;

@@ -241,8 +241,30 @@ let cluster_cmd =
       value & opt int 4
       & info [ "max-restarts" ] ~doc:"With --supervise: restart budget per node.")
   in
+  let rsm_arg =
+    Arg.(
+      value & flag
+      & info [ "rsm" ]
+          ~doc:
+            "Run the pipelined replicated log instead of a binary agreement: each node \
+             commits the same fixed-length transaction log (--inputs only fixes n; the \
+             workload is derived from the seed).")
+  in
+  let rsm_epochs_arg =
+    Arg.(value & opt int 6 & info [ "rsm-epochs" ] ~doc:"With --rsm: log length in epochs.")
+  in
+  let rsm_window_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "rsm-window" ] ~doc:"With --rsm: concurrent in-flight epochs.")
+  in
+  let rsm_txs_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "rsm-txs" ] ~doc:"With --rsm: derived transactions per replica.")
+  in
   let action stack eps inputs t_opt transport timeout node_exe seed instances batch_records
-      batch_bytes supervise wal_dir kill_at max_restarts =
+      batch_bytes supervise wal_dir kill_at max_restarts rsm rsm_epochs rsm_window rsm_txs =
     match spec_of_string stack eps with
     | Error e ->
       prerr_endline e;
@@ -283,7 +305,30 @@ let cluster_cmd =
           (match transport with `Unix -> "unix sockets" | `Tcp -> "tcp")
           n t
       in
-      if supervise then begin
+      if rsm then begin
+        if supervise || instances > 1 then begin
+          prerr_endline "--rsm excludes --supervise and --instances";
+          exit 1
+        end;
+        match
+          Cluster.spawn_rsm_cluster ~timeout_s:timeout ~node_exe ~cfg ~seed ~epochs:rsm_epochs
+            ~window:rsm_window ~batch_txs:64 ~batch_bytes:(64 * 1024) ~txs_per_node:rsm_txs
+            ~tx_bytes:32 ~transport ()
+        with
+        | Ok r ->
+          Format.printf "rsm log:    %d replicas over %s (window %d)@." n
+            (match transport with `Unix -> "unix sockets" | `Tcp -> "tcp")
+            rsm_window;
+          Format.printf "committed:  %d transactions in %d epochs@." r.Cluster.rc_txs
+            r.Cluster.rc_epochs;
+          Format.printf "log digest: %016Lx (identical at every replica)@." r.Cluster.rc_hash;
+          Format.printf "traffic:    %d frames, %d bytes (%d words)@."
+            r.Cluster.rc_stats.frames r.Cluster.rc_stats.bytes r.Cluster.rc_stats.words
+        | Error e ->
+          prerr_endline e;
+          exit 1
+      end
+      else if supervise then begin
         if instances > 1 then begin
           prerr_endline "--supervise requires the single-instance executor";
           exit 1
@@ -401,11 +446,132 @@ let cluster_cmd =
        ~doc:
          "Run one binary agreement as n real node processes exchanging wire frames over \
           Unix-domain or TCP sockets (with --instances B, a batched pipelined executor \
-          runs B agreements per node over one endpoint pair).")
+          runs B agreements per node over one endpoint pair; with --rsm, the pipelined \
+          replicated log).")
     Term.(
       const action $ stack $ eps $ inputs $ t_arg $ transport $ timeout $ node_exe_arg
       $ seed_arg $ instances_arg $ batch_records_arg $ batch_bytes_arg $ supervise_arg
-      $ wal_dir_arg $ kill_at_arg $ max_restarts_arg)
+      $ wal_dir_arg $ kill_at_arg $ max_restarts_arg $ rsm_arg $ rsm_epochs_arg
+      $ rsm_window_arg $ rsm_txs_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bca loadgen                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let loadgen_cmd =
+  let n_arg = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Replicas.") in
+  let t_arg =
+    Arg.(value & opt (some int) None & info [ "t" ] ~doc:"Fault bound (default: (n-1)/3).")
+  in
+  let transport_arg =
+    Arg.(
+      value & opt string "unix"
+      & info [ "transport" ]
+          ~doc:"loopback (in-memory hub), unix (Unix-domain sockets) or tcp (loopback TCP).")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "rate" ] ~docv:"TX/S"
+          ~doc:"Open-loop submission rate, cluster-wide (0: preload everything).")
+  in
+  let total_arg =
+    Arg.(value & opt int 256 & info [ "total" ] ~doc:"Transactions to inject.")
+  in
+  let tx_bytes_arg =
+    Arg.(value & opt int 64 & info [ "tx-bytes" ] ~doc:"Padded size of each transaction.")
+  in
+  let window_arg =
+    Arg.(value & opt int 4 & info [ "window" ] ~doc:"Concurrent in-flight epochs.")
+  in
+  let batch_txs_arg =
+    Arg.(value & opt int 64 & info [ "batch-txs" ] ~doc:"Proposal cut: max txs per batch.")
+  in
+  let batch_bytes_arg =
+    Arg.(
+      value & opt int (64 * 1024)
+      & info [ "batch-bytes" ] ~doc:"... or at most this many payload bytes.")
+  in
+  let epochs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "epochs" ]
+          ~doc:"Log length (0: sized from the load - window + capacity + slack).")
+  in
+  let timeout_arg =
+    Arg.(value & opt float 60. & info [ "timeout" ] ~doc:"Seconds before giving up.")
+  in
+  let hop_ms_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "hop-ms" ]
+          ~doc:
+            "Emulated one-way network latency in milliseconds (netem-style; sockets \
+             only).  Local sockets are microseconds away, so this is how pipelining \
+             (window > 1) is made visible on one machine.")
+  in
+  let action n t_opt transport rate total tx_bytes window batch_txs batch_bytes epochs
+      timeout hop_ms seed =
+    let t = match t_opt with Some t -> t | None -> (n - 1) / 3 in
+    let cfg = Types.cfg ~n ~t in
+    let epochs =
+      if epochs > 0 then epochs
+      else window + (((total + (((n - t) * batch_txs) - 1)) / ((n - t) * batch_txs)) * 2) + 2
+    in
+    let batch = { Bca_rsm.Rsm.max_txs = batch_txs; max_bytes = batch_bytes } in
+    let params = Bca_rsm.Rsm.mk_params ~cfg ~coin_seed:seed ~epochs ~window ~batch () in
+    let load = { Cluster.lg_rate = rate; lg_total = total; lg_tx_bytes = tx_bytes } in
+    let hop_s = hop_ms /. 1000. in
+    let result =
+      match transport with
+      | "loopback" ->
+        if hop_s > 0. then begin
+          Printf.eprintf "--hop-ms applies to socket transports (unix, tcp) only\n";
+          exit 1
+        end;
+        Cluster.run_rsm_loadgen_loopback ~seed ~timeout_s:timeout params ~load
+      | "unix" ->
+        Cluster.run_rsm_loadgen ~timeout_s:timeout ~hop_s params ~load ~transport:`Unix
+      | "tcp" ->
+        Cluster.run_rsm_loadgen ~timeout_s:timeout ~hop_s params ~load ~transport:`Tcp
+      | other ->
+        Printf.eprintf "unknown transport %S (expected loopback, unix or tcp)\n" other;
+        exit 1
+    in
+    match result with
+    | Ok r ->
+      Format.printf "loadgen:    n=%d t=%d over %s%s, window %d, batch <= %d txs / %d B@."
+        n t transport
+        (if hop_ms > 0. then Printf.sprintf " (%.1f ms emulated hop)" hop_ms else "")
+        window batch_txs batch_bytes;
+      Format.printf "injected:   %d txs of %d B, %s@." total tx_bytes
+        (if rate <= 0. then "preloaded" else Printf.sprintf "open-loop at %.0f tx/s" rate);
+      Format.printf "committed:  %d txs in %d epochs, %.3f s to last commit@."
+        r.Cluster.lr_committed r.Cluster.lr_epochs r.Cluster.lr_duration_s;
+      Format.printf "throughput: %.1f tx/s@." r.Cluster.lr_tx_per_s;
+      Format.printf "latency:    p50 %.2f ms, p99 %.2f ms (submit to commit at replica 0)@."
+        r.Cluster.lr_p50_ms r.Cluster.lr_p99_ms;
+      Format.printf "traffic:    %d frames, %d bytes, %d writes@." r.Cluster.lr_frames
+        r.Cluster.lr_bytes r.Cluster.lr_writes;
+      if r.Cluster.lr_committed < total then begin
+        Format.printf "WARNING:    %d transactions missed the log (size it with --epochs)@."
+          (total - r.Cluster.lr_committed);
+        exit 1
+      end
+    | Error e ->
+      prerr_endline e;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive the pipelined replicated log with an open-loop transaction load (in one \
+          process: in-memory hub or real unix/tcp sockets) and report committed-tx \
+          throughput and submit-to-commit latency percentiles.")
+    Term.(
+      const action $ n_arg $ t_arg $ transport_arg $ rate_arg $ total_arg $ tx_bytes_arg
+      $ window_arg $ batch_txs_arg $ batch_bytes_arg $ epochs_arg $ timeout_arg
+      $ hop_ms_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bca tables                                                           *)
@@ -800,5 +966,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; cluster_cmd; tables_cmd; attack_cmd; acs_cmd; verify_cmd; trace_cmd;
+          [ run_cmd; cluster_cmd; loadgen_cmd; tables_cmd; attack_cmd; acs_cmd; verify_cmd; trace_cmd;
             lint_cmd; fuzz_cmd ]))

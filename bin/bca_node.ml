@@ -25,7 +25,16 @@
      RECOVERED pid=<me> records=<k> wal_bytes=<b> replay_s=<s>
 
    line before the DECIDED line; --kill-at coin:R|round:R makes the node
-   SIGKILL itself at that milestone (the supervisor's chaos trigger). *)
+   SIGKILL itself at that milestone (the supervisor's chaos trigger).
+
+   With --rsm it runs one replica of the pipelined atomic-broadcast log
+   instead: the workload is derived from the pid (--rsm-txs transactions
+   of --rsm-tx-bytes each), and on committing all --rsm-epochs epochs it
+   prints one
+
+     RSMLOG pid=<me> epochs=<e> txs=<k> hash=<fnv64> frames=.. bytes=..
+
+   line; the launcher compares the log digests across replicas. *)
 
 module Types = Bca_core.Types
 module Value = Bca_util.Value
@@ -37,7 +46,9 @@ let usage = "bca_node --stack S --n N --t T --me I --seed SEED --inputs BITS \
              --transport unix|tcp --addrs a0,a1,... [--eps E] [--timeout S] [--linger S] \
              [--instances B] [--batch-records R] [--batch-bytes BY] \
              [--sndbuf BY] [--rcvbuf BY] [--no-coalesce] \
-             [--wal-dir DIR] [--recover] [--kill-at coin:R|round:R]"
+             [--wal-dir DIR] [--recover] [--kill-at coin:R|round:R] \
+             [--rsm] [--rsm-epochs E] [--rsm-window W] [--rsm-batch-txs K] \
+             [--rsm-batch-bytes BY] [--rsm-txs K] [--rsm-tx-bytes BY]"
 
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("bca_node: " ^ msg); exit 2) fmt
 
@@ -101,6 +112,13 @@ let () =
   let wal_dir = ref "" in
   let recover = ref false in
   let kill_at = ref "" in
+  let rsm = ref false in
+  let rsm_epochs = ref 8 in
+  let rsm_window = ref 4 in
+  let rsm_batch_txs = ref 64 in
+  let rsm_batch_bytes = ref (64 * 1024) in
+  let rsm_txs = ref 4 in
+  let rsm_tx_bytes = ref 32 in
   let spec_list =
     [ ("--stack", Arg.Set_string stack, "Protocol stack (crash-strong .. byz-tsig)");
       ("--eps", Arg.Set_float eps, "Coin goodness for the weak stacks");
@@ -122,7 +140,14 @@ let () =
       ("--wal-dir", Arg.Set_string wal_dir, "Keep a durable write-ahead log in this directory");
       ("--recover", Arg.Set recover, "Replay the WAL and rejoin the cluster mid-flight");
       ("--kill-at", Arg.Set_string kill_at,
-       "SIGKILL self at a milestone (coin:R or round:R; crash-recovery testing)") ]
+       "SIGKILL self at a milestone (coin:R or round:R; crash-recovery testing)");
+      ("--rsm", Arg.Set rsm, "Run one replica of the pipelined log instead of a binary stack");
+      ("--rsm-epochs", Arg.Set_int rsm_epochs, "Log length in epochs (with --rsm)");
+      ("--rsm-window", Arg.Set_int rsm_window, "Concurrent in-flight epochs (with --rsm)");
+      ("--rsm-batch-txs", Arg.Set_int rsm_batch_txs, "Proposal cut: max transactions per batch");
+      ("--rsm-batch-bytes", Arg.Set_int rsm_batch_bytes, "... or at most this many payload bytes");
+      ("--rsm-txs", Arg.Set_int rsm_txs, "Transactions this replica submits (derived workload)");
+      ("--rsm-tx-bytes", Arg.Set_int rsm_tx_bytes, "Padded size of each derived transaction") ]
   in
   Arg.parse spec_list (fun a -> die "unexpected argument %S" a) usage;
   let multi = !instances > 1 in
@@ -130,7 +155,13 @@ let () =
   if multi && (!wal_dir <> "" || !recover || !kill_at <> "") then
     die "--wal-dir / --recover / --kill-at require the single-instance executor";
   if !recover && !wal_dir = "" then die "--recover requires --wal-dir";
-  if multi then begin
+  if !rsm && (multi || !wal_dir <> "" || !recover || !kill_at <> "") then
+    die "--rsm excludes --instances / --wal-dir / --recover / --kill-at";
+  if !rsm then begin
+    if !inputs <> "" then die "--inputs is meaningless with --rsm (the workload is derived)";
+    if !n = 0 then die "--n is required with --rsm"
+  end
+  else if multi then begin
     if !inputs <> "" then die "--inputs is meaningless with --instances > 1 (inputs are derived)";
     if !n = 0 then die "--n is required with --instances > 1"
   end
@@ -166,7 +197,29 @@ let () =
         exit Cluster.addr_in_use_exit
     in
     let result =
-      if multi then begin
+      if !rsm then begin
+        let batch =
+          { Bca_rsm.Rsm.max_txs = !rsm_batch_txs; max_bytes = !rsm_batch_bytes }
+        in
+        let params =
+          Bca_rsm.Rsm.mk_params ~cfg ~coin_seed:!seed ~epochs:!rsm_epochs
+            ~window:!rsm_window ~batch ()
+        in
+        (* every replica submits the whole cluster workload: commit-time
+           dedup makes each transaction commit exactly once, and no
+           transaction is censored just because its origin replica's
+           proposals kept losing the ACS inclusion race (a late-starting
+           process in a short fixed-length log) *)
+        let txs =
+          List.concat
+            (List.init !n (fun pid ->
+                 Cluster.rsm_workload ~pid ~count:!rsm_txs ~tx_bytes:!rsm_tx_bytes))
+        in
+        Result.map
+          (fun d -> `Rsm d)
+          (Cluster.run_rsm_node ~timeout_s:!timeout ~linger_s:!linger params ~txs ~net)
+      end
+      else if multi then begin
         let policy =
           try Ok (Batcher.policy ~max_records:!batch_records ~max_bytes:!batch_bytes ())
           with Invalid_argument e -> Error e
@@ -197,6 +250,7 @@ let () =
     (match result with
     | Ok (`Single d) -> Cluster.print_decision d
     | Ok (`Multi d) -> Cluster.print_multi_decision d
+    | Ok (`Rsm d) -> Cluster.print_rsm_decision d
     | Error e ->
       prerr_endline ("bca_node: " ^ e);
       exit 1)

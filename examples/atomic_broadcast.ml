@@ -2,13 +2,14 @@
 
    Run with:  dune exec examples/atomic_broadcast.exe
 
-   Four replicas of a toy ledger accept client transfers concurrently; each
-   epoch a common subset of their batches is agreed (n reliable broadcasts
-   + n instances of the paper's ABA) and applied in a deterministic order.
-   The replicas end with identical ledgers, even though each saw a
-   different client stream and the network reordered everything. *)
+   Four replicas of a toy ledger accept client transfers concurrently; a
+   sliding window of epochs runs in parallel, each agreeing a common
+   subset of the replicas' batches (n reliable broadcasts + n instances
+   of the paper's ABA) that is applied in a deterministic order.  The
+   replicas end with identical ledgers, even though each saw a different
+   client stream and the network reordered everything. *)
 
-module Rsm = Bca_acs.Rsm
+module Rsm = Bca_rsm.Rsm
 module Types = Bca_core.Types
 module Async = Bca_netsim.Async_exec
 module Node = Bca_netsim.Node
@@ -22,12 +23,12 @@ let client_streams =
 let () =
   let n = 4 in
   let cfg = Types.cfg ~n ~t:1 in
-  let params = { Rsm.cfg; coin_seed = 2077L; epochs = 3 } in
+  let params = Rsm.mk_params ~cfg ~coin_seed:2077L ~epochs:4 ~window:2 () in
   let states = Array.make n None in
   let exec =
     Async.create ~n ~make:(fun pid ->
         let st, init = Rsm.create params ~me:pid in
-        List.iter (Rsm.submit st) client_streams.(pid);
+        List.iter (fun tx -> ignore (Rsm.submit st tx : bool)) client_streams.(pid);
         states.(pid) <- Some st;
         (Rsm.node st, List.map (fun m -> Node.Broadcast m) init))
   in

@@ -233,10 +233,13 @@ let total_decoding_check src =
 
 (* The batched hot path moved frame decoding into lib/transport (batch
    demux, in-place record decode), so the totality guarantee has to hold
-   there too, not just in the codec layer. *)
+   there too, not just in the codec layer.  lib/rsm decodes untrusted
+   bytes twice over - its wire codecs and the in-proposal batch format
+   ([Rsm.decode_batch]) - so the whole subsystem is in scope. *)
 let in_wire_scope path =
   path_has_pair "lib" "wire" path
   || path_has_pair "lib" "transport" path
+  || path_has_pair "lib" "rsm" path
   || String.equal (Filename.basename path) "wirefmt.ml"
 
 let total_decoding =

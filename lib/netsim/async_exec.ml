@@ -236,7 +236,7 @@ let apply t (ev : Bca_obs.Event.t) =
        end
   | Bca_obs.Event.Send _ | Bca_obs.Event.Round_enter _ | Bca_obs.Event.Quorum _
   | Bca_obs.Event.Coin_reveal _ | Bca_obs.Event.Commit _ | Bca_obs.Event.Violation _
-  | Bca_obs.Event.Transport _ ->
+  | Bca_obs.Event.Transport _ | Bca_obs.Event.Slot_commit _ | Bca_obs.Event.Buffer_drop _ ->
     (* not an action: nothing to apply *)
     true
 

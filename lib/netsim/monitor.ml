@@ -192,3 +192,139 @@ let near_misses t =
     else acc
   in
   List.sort (fun (a, _) (b, _) -> String.compare a b) acc
+
+(* Multivalued analogue: decisions are strings (MVBA payloads, RSM slot
+   batches), so agreement compares for string equality and validity checks
+   against the unanimous honest proposal when there is one.  Same
+   incremental poll-on-delivery drive as the binary monitor. *)
+module Multi = struct
+  type violation =
+    | Agreement of { p : pid; vp : string; q : pid; vq : string }
+    | Validity of { p : pid; decided : string }
+    | Stalled of { deliveries : int; window : int }
+
+  let trunc s = if String.length s <= 32 then s else String.sub s 0 29 ^ "..."
+
+  let pp_violation ppf = function
+    | Agreement { p; vp; q; vq } ->
+      Format.fprintf ppf "agreement: p%d decided %S but p%d decided %S" p (trunc vp)
+        q (trunc vq)
+    | Validity { p; decided } ->
+      Format.fprintf ppf "validity: unanimous honest proposal, yet p%d decided %S" p
+        (trunc decided)
+    | Stalled { deliveries; window } ->
+      Format.fprintf ppf "stalled: no progress for %d deliveries (at delivery %d)"
+        window deliveries
+
+  type t = {
+    n : int;
+    honest : pid -> bool;
+    unanimous : string option;
+    decision : pid -> string option;
+    progress : (unit -> int) option;
+    stall_window : int;
+    seen : string option array;
+    mutable first : (pid * string * int) option;
+    mutable deliveries : int;
+    mutable last_progress : int;
+    mutable since_progress : int;
+    mutable stalled : bool;
+    mutable violations : violation list;  (* reverse detection order *)
+    tracer : Bca_obs.Trace.t;
+  }
+
+  let create ~n ?(honest = fun _ -> true) ~proposals ~decision ?progress
+      ?(stall_window = 10_000) ?(tracer = Bca_obs.Trace.null) () =
+    let unanimous =
+      let rec scan pid acc =
+        if pid >= n then acc
+        else if not (honest pid) then scan (pid + 1) acc
+        else
+          match acc with
+          | None -> scan (pid + 1) (Some proposals.(pid))
+          | Some u ->
+            if String.equal u proposals.(pid) then scan (pid + 1) acc else None
+      in
+      scan 0 None
+    in
+    { n;
+      honest;
+      unanimous;
+      decision;
+      progress;
+      stall_window;
+      seen = Array.make n None;
+      first = None;
+      deliveries = 0;
+      last_progress = (match progress with Some f -> f () | None -> 0);
+      since_progress = 0;
+      stalled = false;
+      violations = [];
+      tracer }
+
+  let violation_kind = function
+    | Agreement _ -> "magreement"
+    | Validity _ -> "mvalidity"
+    | Stalled _ -> "stalled"
+
+  let report t v =
+    t.violations <- v :: t.violations;
+    if Bca_obs.Trace.enabled t.tracer then
+      Bca_obs.Trace.emit t.tracer
+        (Bca_obs.Event.Violation
+           { kind = violation_kind v; detail = Format.asprintf "%a" pp_violation v })
+
+  let check_new_decision t pid v =
+    (match t.first with
+    | None -> t.first <- Some (pid, v, t.deliveries)
+    | Some (q, vq, _) ->
+      if not (String.equal v vq) then report t (Agreement { p = pid; vp = v; q; vq }));
+    match t.unanimous with
+    | Some u when not (String.equal v u) -> report t (Validity { p = pid; decided = v })
+    | _ -> ()
+
+  let poll_decisions t =
+    for pid = 0 to t.n - 1 do
+      if t.honest pid && t.seen.(pid) = None then
+        match t.decision pid with
+        | None -> ()
+        | Some v ->
+          t.seen.(pid) <- Some v;
+          check_new_decision t pid v
+    done
+
+  let watchdog t =
+    match t.progress with
+    | None -> ()
+    | Some f ->
+      let p = f () in
+      if p > t.last_progress then begin
+        t.last_progress <- p;
+        t.since_progress <- 0
+      end
+      else begin
+        t.since_progress <- t.since_progress + 1;
+        if t.since_progress >= t.stall_window && not t.stalled then begin
+          t.stalled <- true;
+          report t (Stalled { deliveries = t.deliveries; window = t.stall_window })
+        end
+      end
+
+  let on_delivery t =
+    t.deliveries <- t.deliveries + 1;
+    poll_decisions t;
+    watchdog t
+
+  let attach t exec = Async_exec.set_observer exec (fun _ -> on_delivery t)
+
+  let final_check t = poll_decisions t
+
+  let violations t = List.rev t.violations
+
+  let ok t = t.violations = []
+
+  let safety_ok t =
+    List.for_all (function Stalled _ -> true | _ -> false) t.violations
+
+  let first_decision t = t.first
+end

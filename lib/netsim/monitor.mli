@@ -115,3 +115,53 @@ val near_misses : t -> (string * int) list
     and [("nm:stall-frac", q)] the highest quarter of the stall window the
     watchdog counter reached ([4] = it fired).  Sorted by counter name;
     call after {!final_check}. *)
+
+(** Multivalued analogue of the binary monitor, for executions whose
+    decisions are strings - MVBA payloads ({!Bca_rsm.Mvba}) or committed
+    log prefixes.  Checks:
+
+    - {b Agreement}: any two honest decisions are byte-equal.
+    - {b Validity}: when every honest party proposed the same string, any
+      honest decision equals it (violations are traced as kinds
+      ["magreement"] / ["mvalidity"] to keep them distinct from the binary
+      invariants in coverage maps).
+    - {b Liveness watchdog} (optional, [progress]): as in the binary
+      monitor. *)
+module Multi : sig
+  type violation =
+    | Agreement of { p : pid; vp : string; q : pid; vq : string }
+        (** honest parties [p] and [q] decided different values *)
+    | Validity of { p : pid; decided : string }
+        (** unanimous honest proposal, yet [p] decided something else *)
+    | Stalled of { deliveries : int; window : int }
+        (** no progress for [window] deliveries (at delivery [deliveries]) *)
+
+  val pp_violation : Format.formatter -> violation -> unit
+
+  type t
+
+  val create :
+    n:int ->
+    ?honest:(pid -> bool) ->
+    proposals:string array ->
+    decision:(pid -> string option) ->
+    ?progress:(unit -> int) ->
+    ?stall_window:int ->
+    ?tracer:Bca_obs.Trace.t ->
+    unit ->
+    t
+  (** As the binary {!val:create}, with string [proposals] in place of
+      binary [inputs] and no coin/commit-round hooks (selection in the
+      multivalued layer is deterministic, not coin-driven). *)
+
+  val on_delivery : t -> unit
+  val attach : t -> 'm Async_exec.t -> unit
+  val final_check : t -> unit
+  val violations : t -> violation list
+  val ok : t -> bool
+
+  val safety_ok : t -> bool
+  (** No agreement / validity violation ([Stalled] ignored). *)
+
+  val first_decision : t -> (pid * string * int) option
+end

@@ -51,6 +51,8 @@ let add_event t (ev : Event.t) =
   | Event.Redirect _ -> add t "net:redirect"
   | Event.Swap _ -> add t "net:swap"
   | Event.Crash _ -> add t "net:crash"
+  | Event.Slot_commit { slot; _ } -> add t ("slot-commit:e" ^ string_of_int slot)
+  | Event.Buffer_drop _ -> add t "rsm:buffer-drop"
   | Event.Send _ | Event.Deliver _ | Event.Transport _ -> t
 
 let of_events evs =

@@ -16,12 +16,15 @@ type t =
   | Commit of { pid : pid; round : int; value : Value.t }
   | Violation of { kind : string; detail : string }
   | Transport of { pid : pid; peer : pid; op : string; bytes : int }
+  | Slot_commit of { pid : pid; slot : int; txs : int }
+  | Buffer_drop of { pid : pid; epoch : int }
 
 type timed = { ts : int; ev : t }
 
 let is_action = function
   | Deliver _ | Drop _ | Duplicate _ | Redirect _ | Swap _ | Crash _ -> true
-  | Send _ | Round_enter _ | Quorum _ | Coin_reveal _ | Commit _ | Violation _ | Transport _ ->
+  | Send _ | Round_enter _ | Quorum _ | Coin_reveal _ | Commit _ | Violation _ | Transport _
+  | Slot_commit _ | Buffer_drop _ ->
     false
 
 let equal (a : t) (b : t) = a = b
@@ -48,6 +51,9 @@ let pp ppf = function
   | Violation { kind; detail } -> Format.fprintf ppf "VIOLATION %s: %s" kind detail
   | Transport { pid; peer; op; bytes } ->
     Format.fprintf ppf "transport p%d peer=%d %s bytes=%d" pid peer op bytes
+  | Slot_commit { pid; slot; txs } ->
+    Format.fprintf ppf "slot-commit p%d slot=%d txs=%d" pid slot txs
+  | Buffer_drop { pid; epoch } -> Format.fprintf ppf "buffer-drop p%d e%d" pid epoch
 
 let pp_timed ppf { ts; ev } = Format.fprintf ppf "[%d] %a" ts pp ev
 
@@ -114,7 +120,13 @@ let to_json { ts; ev } =
     fstr "kind" kind; fstr "detail" detail
   | Transport { pid; peer; op; bytes } ->
     Buffer.add_string buf "\"transport\"";
-    fint "pid" pid; fint "peer" peer; fstr "op" op; fint "bytes" bytes);
+    fint "pid" pid; fint "peer" peer; fstr "op" op; fint "bytes" bytes
+  | Slot_commit { pid; slot; txs } ->
+    Buffer.add_string buf "\"slot_commit\"";
+    fint "pid" pid; fint "slot" slot; fint "txs" txs
+  | Buffer_drop { pid; epoch } ->
+    Buffer.add_string buf "\"buffer_drop\"";
+    fint "pid" pid; fint "epoch" epoch);
   Buffer.add_char buf '}';
   Buffer.contents buf
 
@@ -257,6 +269,8 @@ let of_json line =
          | "violation" -> Violation { kind = str "kind"; detail = str "detail" }
          | "transport" ->
            Transport { pid = int "pid"; peer = int "peer"; op = str "op"; bytes = int "bytes" }
+         | "slot_commit" -> Slot_commit { pid = int "pid"; slot = int "slot"; txs = int "txs" }
+         | "buffer_drop" -> Buffer_drop { pid = int "pid"; epoch = int "epoch" }
          | other -> raise (Parse (Printf.sprintf "unknown event type %S" other))
        in
        { ts; ev }

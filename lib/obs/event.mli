@@ -59,6 +59,12 @@ type t =
           ["drop"] (frame discarded: corrupt stream or dead peer).  Not an
           action - real-network timing is outside the replay determinism
           contract *)
+  | Slot_commit of { pid : pid; slot : int; txs : int }
+      (** replica [pid] applied log slot [slot] ([txs] transactions) to its
+          committed log - the replicated-log milestone ([Bca_rsm.Rsm]) *)
+  | Buffer_drop of { pid : pid; epoch : int }
+      (** replica [pid] shed a message for far-future epoch [epoch] instead
+          of buffering it - the bounded ahead-of-window buffer at work *)
 
 type timed = { ts : int; ev : t }
 (** An event stamped with the logical time (deliveries so far) at which it

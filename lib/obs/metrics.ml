@@ -112,7 +112,8 @@ let add_run t events =
           { a with drops = a.drops + 1;
                    per_round = touch_round a.per_round st.sysround
                        (fun rs -> { rs with drops = rs.drops + 1 }) }
-      | Event.Duplicate _ | Event.Redirect _ | Event.Swap _ | Event.Crash _ -> ()
+      | Event.Duplicate _ | Event.Redirect _ | Event.Swap _ | Event.Crash _
+      | Event.Slot_commit _ | Event.Buffer_drop _ -> ()
       | Event.Round_enter { round; _ } ->
         if round > st.sysround then st.sysround <- round;
         if not (IMap.mem round st.enter_ts) then st.enter_ts <- IMap.add round ts st.enter_ts;

@@ -1,0 +1,223 @@
+module Value = Bca_util.Value
+module Types = Bca_core.Types
+module Bracha = Bca_baselines.Bracha
+
+type payload = string
+
+(* FNV-1a, 64-bit: the value digest the selection layer agrees over.  Pure
+   and dependency-free; collision resistance is not load-bearing - the
+   common subset fixes the payloads themselves, digests only give the
+   selection rule a compact, deterministic sort key. *)
+let digest (s : payload) : int64 =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  !h
+
+module type SLOT = sig
+  type t
+  type msg
+
+  val pp_msg : Format.formatter -> msg -> unit
+
+  val create :
+    cfg:Types.cfg ->
+    coin_seed:int64 ->
+    me:Types.pid ->
+    input:Value.t ->
+    t * msg list
+
+  val handle : t -> from:Types.pid -> msg -> msg list
+  val committed : t -> Value.t option
+  val terminated : t -> bool
+end
+
+module Make (S : SLOT) = struct
+  type msg = Rbc of int * payload Bracha.msg | Slot of int * S.msg
+
+  let pp_msg ppf = function
+    | Rbc (j, m) ->
+      Format.fprintf ppf "rbc%d:%a" j (Bracha.pp_msg Format.pp_print_string) m
+    | Slot (j, m) -> Format.fprintf ppf "slot%d:%a" j S.pp_msg m
+
+  type params = { cfg : Types.cfg; coin_seed : int64 }
+
+  type slot = {
+    rbc : payload Bracha.t;
+    mutable aba : S.t option;  (* started once the input is known *)
+    mutable buffered : (Types.pid * S.msg) list;  (* reverse order *)
+  }
+
+  type t = {
+    p : params;
+    me : Types.pid;
+    slots : slot array;
+    mutable zero_filled : bool;
+    mutable decision : payload option;
+  }
+
+  let wrap j msgs = List.map (fun m -> Slot (j, m)) msgs
+
+  let slot_seed t j = Int64.add t.p.coin_seed (Int64.of_int (31 * j))
+
+  let start_slot t j input =
+    let slot = t.slots.(j) in
+    match slot.aba with
+    | Some _ -> []
+    | None ->
+      let aba, init =
+        S.create ~cfg:t.p.cfg ~coin_seed:(slot_seed t j) ~me:t.me ~input
+      in
+      slot.aba <- Some aba;
+      let replayed =
+        List.concat_map
+          (fun (from, m) -> S.handle aba ~from m)
+          (List.rev slot.buffered)
+      in
+      slot.buffered <- [];
+      wrap j (init @ replayed)
+
+  let slot_accepted slot =
+    match slot.aba with
+    | Some aba -> (
+      match S.committed aba with Some v -> Value.to_bool v | None -> false)
+    | None -> false
+
+  let decided_one t =
+    Array.fold_left (fun acc slot -> if slot_accepted slot then acc + 1 else acc) 0 t.slots
+
+  (* ACS input rules: 1 on RBC delivery, 0 for the rest once n - t slots
+     accepted. *)
+  let progress t =
+    let out = ref [] in
+    Array.iteri
+      (fun j slot ->
+        if slot.aba = None && Bracha.delivered slot.rbc <> None then
+          out := !out @ start_slot t j Value.V1)
+      t.slots;
+    if (not t.zero_filled) && decided_one t >= Types.quorum t.p.cfg then begin
+      t.zero_filled <- true;
+      Array.iteri
+        (fun j slot -> if slot.aba = None then out := !out @ start_slot t j Value.V0)
+        t.slots
+    end;
+    !out
+
+  let create p ~me ~proposal =
+    Types.check_byz_resilience p.cfg;
+    let t =
+      { p;
+        me;
+        slots =
+          Array.init p.cfg.Types.n (fun j ->
+              { rbc = Bracha.create p.cfg ~me ~sender:j; aba = None; buffered = [] });
+        zero_filled = false;
+        decision = None }
+    in
+    let init =
+      List.map (fun m -> Rbc (me, m)) (Bracha.broadcast t.slots.(me).rbc proposal)
+    in
+    (t, init)
+
+  let accepted t =
+    let all_committed =
+      Array.for_all
+        (fun slot ->
+          match slot.aba with Some aba -> S.committed aba <> None | None -> false)
+        t.slots
+    in
+    if not all_committed then None
+    else begin
+      let acc = ref [] in
+      let missing = ref false in
+      Array.iteri
+        (fun j slot ->
+          if slot_accepted slot then
+            match Bracha.delivered slot.rbc with
+            | Some payload -> acc := (j, payload) :: !acc
+            | None -> missing := true)
+        t.slots;
+      if !missing then None
+      else Some (List.sort (fun (a, _) (b, _) -> Int.compare a b) !acc)
+    end
+
+  (* Multivalued selection: the payload backing the most accepted slots.
+     The accepted set has >= n - t slots, so >= t + 1 carry an honest
+     proposal while any other payload holds at most t slots - under
+     unanimous honest inputs the unanimous value wins strictly, which is
+     the validity the monitor enforces.  Ties (possible only without
+     unanimity) break on the smaller digest, then the smaller payload, so
+     every honest party - holding the same common subset - selects
+     identically. *)
+  let select slots =
+    let tally = Hashtbl.create 8 in
+    List.iter
+      (fun (_, payload) ->
+        let d = digest payload in
+        let count =
+          match Hashtbl.find_opt tally (d, payload) with Some c -> c | None -> 0
+        in
+        Hashtbl.replace tally (d, payload) (count + 1))
+      slots;
+    let best =
+      List.fold_left
+        (fun best ((_, payload), count) ->
+          match best with
+          | Some (_, bc) when bc >= count -> best
+          | _ -> Some (payload, count))
+        None
+        (Bca_util.Det.bindings
+           ~compare:(fun (d1, p1) (d2, p2) ->
+             match Int64.compare d1 d2 with 0 -> String.compare p1 p2 | c -> c)
+           tally)
+    in
+    match best with Some (payload, _) -> payload | None -> ""
+
+  let update_decision t =
+    if t.decision = None then
+      match accepted t with
+      | Some slots when slots <> [] -> t.decision <- Some (select slots)
+      | Some _ | None -> ()
+
+  let all_slots_terminated t =
+    Array.for_all
+      (fun slot ->
+        match slot.aba with Some aba -> S.terminated aba | None -> false)
+      t.slots
+
+  let handle t ~from msg =
+    if t.decision <> None && all_slots_terminated t then []
+    else begin
+      let out =
+        match msg with
+        | Rbc (j, m) ->
+          List.map (fun m -> Rbc (j, m)) (Bracha.handle t.slots.(j).rbc ~from m)
+        | Slot (j, m) ->
+          let slot = t.slots.(j) in
+          (match slot.aba with
+          | Some aba -> wrap j (S.handle aba ~from m)
+          | None ->
+            slot.buffered <- (from, m) :: slot.buffered;
+            [])
+      in
+      let out = out @ progress t in
+      update_decision t;
+      out
+    end
+
+  let decided t = t.decision
+
+  let terminated t = t.decision <> None && all_slots_terminated t
+
+  let node t =
+    Bca_netsim.Node.make
+      ~receive:(fun ~src m ->
+        List.map (fun m -> Bca_netsim.Node.Broadcast m) (handle t ~from:src m))
+      ~terminated:(fun () -> terminated t)
+      ()
+end
+
+module Byz = Make (Mvslot)

@@ -1,0 +1,81 @@
+(** Multivalued Byzantine agreement from the binary ABA stacks.
+
+    The lift follows the Mizrahi Erbes-Wattenhofer recipe of reducing
+    multivalued agreement to crusader-style dissemination plus binary
+    agreement: every party reliably broadcasts its proposal (the Bracha
+    echo/ready exchange is exactly a crusader agreement per proposer -
+    honest parties deliver one payload or nothing, never two), one binary
+    ABA slot per proposer decides which broadcasts enter the common
+    subset, and a deterministic {e digest selection} over the accepted
+    subset picks the single decided value.
+
+    Properties ([n >= 3t + 1], with [S] any correct binary ABA):
+
+    - {b Termination}: every honest party decides (the common subset
+      delivers >= n - t slots).
+    - {b Agreement}: the accepted subset and its payloads are identical at
+      every honest party, and selection is a pure function of them.
+    - {b Validity}: if every honest party proposes [v], then at least
+      [t + 1] accepted slots carry [v] while any other payload backs at
+      most [t] slots - the plurality rule decides [v].  In general the
+      decided value is always some party's proposal.
+
+    The selection key is the payload's 64-bit {!digest}: slots are tallied
+    per digest, the most-backed digest wins, ties break on the smaller
+    digest then payload.  {!Mvslot} supplies the default slot (AA-1/2 over
+    BCA-Byz with a strong coin); the functor form keeps the slot engine
+    swappable for the other stacks. *)
+
+module Types = Bca_core.Types
+module Bracha = Bca_baselines.Bracha
+
+type payload = string
+
+val digest : payload -> int64
+(** FNV-1a (64-bit) of the payload - the deterministic selection key. *)
+
+(** What {!Make} needs from a binary agreement slot. *)
+module type SLOT = sig
+  type t
+  type msg
+
+  val pp_msg : Format.formatter -> msg -> unit
+
+  val create :
+    cfg:Types.cfg ->
+    coin_seed:int64 ->
+    me:Types.pid ->
+    input:Bca_util.Value.t ->
+    t * msg list
+
+  val handle : t -> from:Types.pid -> msg -> msg list
+  val committed : t -> Bca_util.Value.t option
+  val terminated : t -> bool
+end
+
+module Make (S : SLOT) : sig
+  type msg = Rbc of int * payload Bracha.msg | Slot of int * S.msg
+
+  val pp_msg : Format.formatter -> msg -> unit
+
+  type params = { cfg : Types.cfg; coin_seed : int64 }
+
+  type t
+
+  val create : params -> me:Types.pid -> proposal:payload -> t * msg list
+  val handle : t -> from:Types.pid -> msg -> msg list
+
+  val accepted : t -> (int * payload) list option
+  (** The common subset, once complete: accepted (proposer, payload)
+      pairs sorted by proposer, identical at every honest party. *)
+
+  val decided : t -> payload option
+  (** The selected multivalued decision, once any. *)
+
+  val terminated : t -> bool
+
+  val node : t -> msg Bca_netsim.Node.t
+end
+
+module Byz : module type of Make (Mvslot)
+(** The default instantiation: {!Mvslot} (AA-1/2 over BCA-Byz). *)

@@ -1488,3 +1488,564 @@ let spawn_cluster_supervised ?(timeout_s = 60.) ?(max_restarts = 4) ?(backoff_ba
       end
     end
   end
+
+(* ---- replicated log (RSM) over real transports ----------------------- *)
+
+(* The pipelined atomic-broadcast log ([Bca_rsm.Rsm]) over the same three
+   message-movement regimes the binary stacks get: the seeded loopback hub
+   (bit-identical to the netsim run - the executor-correctness oracle), an
+   in-process socket cluster (the loadgen/bench harness), and forked
+   [bca_node --rsm] processes.  Every hop round-trips through the codec-7
+   wire format; replicas compare whole logs by FNV-1a digest. *)
+
+module Rsm = Bca_rsm.Rsm
+
+let rsm_wire = Bca_rsm.Wirefmt.rsm
+
+let rsm_log_hash log = Bca_rsm.Mvba.digest (Rsm.encode_batch log)
+
+(* The deterministic per-node workload every process regenerates from the
+   spawn parameters: [count] transactions, globally unique by pid and
+   index, padded to [tx_bytes]. *)
+let rsm_workload ~pid ~count ~tx_bytes =
+  List.init count (fun i ->
+      let head = Printf.sprintf "p%d.%06d" pid i in
+      let pad = tx_bytes - String.length head in
+      if pad <= 0 then head else head ^ String.make pad '.')
+
+type rsm_loop_result = {
+  rl_logs : Rsm.tx list array;
+  rl_deliveries : int;
+  rl_stats : net_stats;
+}
+
+let run_rsm_loopback ?(seed = 0xB0CA1L) params ~txs =
+  let n = params.Rsm.cfg.Types.n in
+  let states = Array.make n None in
+  let exec =
+    Async.create ~n ~make:(fun pid ->
+        let st, init = Rsm.create params ~me:pid in
+        states.(pid) <- Some st;
+        List.iter (fun tx -> ignore (Rsm.submit st tx : bool)) (txs pid);
+        (Rsm.node st, List.map (fun m -> Node.Broadcast m) init))
+  in
+  (* the log engine has no binary parties to collect - reuse the seeded
+     loop engine with an empty party array and read the RSM states *)
+  let eng = loop_make ~seed ~wire:rsm_wire ~exec ~parties:[||] in
+  let rec go () =
+    if eng.le_delivered >= max_deliveries then
+      Error "delivery limit reached before termination"
+    else
+      match loop_step eng with
+      | Error _ as e -> e
+      | Ok true -> go ()
+      | Ok false -> Ok ()
+  in
+  match go () with
+  | Error _ as e -> e
+  | Ok () ->
+    let logs = Array.map (function Some st -> Rsm.log st | None -> []) states in
+    let frames = Array.fold_left (fun a e -> a + e.Transport.stats.frames_out) 0 eng.le_ends in
+    let bytes = Array.fold_left (fun a e -> a + e.Transport.stats.bytes_out) 0 eng.le_ends in
+    Ok
+      { rl_logs = logs;
+        rl_deliveries = eng.le_delivered;
+        rl_stats = { frames; bytes; words = eng.le_words } }
+
+(* One replica over a socket endpoint: every RSM output is a broadcast;
+   self-copies go through a FIFO local queue (never the network).  A
+   positive [r_hop_s] emulates one-way network latency netem-style:
+   outbound frames are held in a FIFO and released to the sockets once
+   their due time passes.  Self-copies stay immediate - the delay models
+   the wire, not local compute. *)
+type rnode = {
+  r_me : int;
+  r_rsm : Rsm.t;
+  r_net : Transport.t;
+  r_local : Rsm.msg Queue.t;
+  r_scratch : Buffer.t;
+  r_hop_s : float;
+  r_outq : (float * string) Queue.t;  (* due time, encoded frame *)
+}
+
+let rnode_send_all rn s =
+  for d = 0 to rn.r_net.Transport.n - 1 do
+    if d <> rn.r_me then rn.r_net.Transport.send ~dst:d s
+  done
+
+(* Release every queued broadcast whose due time has passed; due times
+   are non-decreasing, so the FIFO head decides. *)
+let rnode_send_due rn =
+  if rn.r_hop_s > 0. then begin
+    let rec go now =
+      match Queue.peek_opt rn.r_outq with
+      | Some (due, s) when due <= now ->
+        ignore (Queue.pop rn.r_outq);
+        rnode_send_all rn s;
+        go now
+      | _ -> ()
+    in
+    go (Unix.gettimeofday ())
+  end
+
+let rnode_emits rn msgs =
+  List.iter
+    (fun m ->
+      let s = Wire.encode_buf rsm_wire ~sender:rn.r_me ~scratch:rn.r_scratch m in
+      Queue.push m rn.r_local;
+      if rn.r_hop_s > 0. then
+        Queue.push (Unix.gettimeofday () +. rn.r_hop_s, s) rn.r_outq
+      else rnode_send_all rn s)
+    msgs
+
+let rnode_drain rn =
+  while not (Queue.is_empty rn.r_local) do
+    let m = Queue.pop rn.r_local in
+    rnode_emits rn (Rsm.handle rn.r_rsm ~from:rn.r_me m)
+  done
+
+let rnode_make ?on_commit ?(hop_s = 0.) params ~me ~(net : Transport.t) () =
+  let rsm, init = Rsm.create ?on_commit params ~me in
+  let rn =
+    { r_me = me;
+      r_rsm = rsm;
+      r_net = net;
+      r_local = Queue.create ();
+      r_scratch = Buffer.create 256;
+      r_hop_s = hop_s;
+      r_outq = Queue.create () }
+  in
+  rnode_emits rn init;
+  rn
+
+let rnode_apply rn (f : Wire.frame) =
+  (match Wire.decode_body rsm_wire f with
+  | Ok m -> rnode_emits rn (Rsm.handle rn.r_rsm ~from:f.Wire.sender m)
+  | Error _ -> rn.r_net.Transport.stats.drops <- rn.r_net.Transport.stats.drops + 1);
+  rnode_drain rn
+
+(* One scheduling slice: flush due delayed sends, drain local, then apply
+   at most one network frame.  [true] if anything was applied. *)
+let rnode_step rn ~timeout_s =
+  rnode_send_due rn;
+  rnode_drain rn;
+  match rn.r_net.Transport.recv ~timeout_s with
+  | Some f ->
+    rnode_apply rn f;
+    true
+  | None -> false
+
+type rsm_decision = {
+  r_pid : int;
+  r_epochs : int;  (** epochs committed *)
+  r_txs : int;  (** transactions in the committed log *)
+  r_hash : int64;  (** FNV-1a digest of the whole log *)
+  r_frames : int;
+  r_bytes : int;
+}
+
+let print_rsm_decision d =
+  Printf.printf "RSMLOG pid=%d epochs=%d txs=%d hash=%016Lx frames=%d bytes=%d\n%!" d.r_pid
+    d.r_epochs d.r_txs d.r_hash d.r_frames d.r_bytes
+
+let parse_rsm_decision line =
+  match
+    Scanf.sscanf line "RSMLOG pid=%d epochs=%d txs=%d hash=%Lx frames=%d bytes=%d"
+      (fun pid epochs txs hash frames bytes -> (pid, epochs, txs, hash, frames, bytes))
+  with
+  | pid, epochs, txs, hash, frames, bytes ->
+    Some
+      { r_pid = pid; r_epochs = epochs; r_txs = txs; r_hash = hash; r_frames = frames;
+        r_bytes = bytes }
+  | exception Scanf.Scan_failure _ -> None
+  | exception End_of_file -> None
+  | exception Failure _ -> None
+
+let run_rsm_node ?(timeout_s = 30.) ?(linger_s = 1.0) params ~txs ~(net : Transport.t) =
+  let me = net.Transport.me in
+  let n = net.Transport.n in
+  if params.Rsm.cfg.Types.n <> n then invalid_arg "Cluster.run_rsm_node: transport size mismatch";
+  let rn = rnode_make params ~me ~net () in
+  List.iter (fun tx -> ignore (Rsm.submit rn.r_rsm tx : bool)) txs;
+  let byes = Array.make n false in
+  let bye_count = ref 0 in
+  let deliver (f : Wire.frame) =
+    if f.Wire.codec_id = ctrl_codec_id then begin
+      let p = f.Wire.sender in
+      if p < 0 || p >= n || p = me then net.Transport.stats.drops <- net.Transport.stats.drops + 1
+      else
+        match decode_ctrl f with
+        | Some `Bye ->
+          if not byes.(p) then begin
+            byes.(p) <- true;
+            incr bye_count
+          end
+        (* no WAL / rejoin for log replicas (yet): HELLO is ignored *)
+        | Some `Hello -> ()
+        | None -> net.Transport.stats.drops <- net.Transport.stats.drops + 1
+    end
+    else rnode_apply rn f
+  in
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec loop () =
+    if Rsm.terminated rn.r_rsm then Ok ()
+    else if not (Queue.is_empty rn.r_local) then begin
+      rnode_drain rn;
+      loop ()
+    end
+    else
+      match net.Transport.recv ~timeout_s:0.05 with
+      | Some f ->
+        deliver f;
+        loop ()
+      | None ->
+        if Unix.gettimeofday () >= deadline then
+          Error
+            (Printf.sprintf "rsm node %d timed out after %.1fs (%d/%d epochs committed)" me
+               timeout_s (Rsm.committed_epochs rn.r_rsm) params.Rsm.epochs)
+        else loop ()
+  in
+  match loop () with
+  | Error _ as e -> e
+  | Ok () ->
+    (* everything this replica will ever send is already on the wire: a
+       laggard only needs our past frames, which TCP/Unix sockets deliver
+       reliably - so linger to keep the connections alive, not to answer *)
+    let bye = encode_ctrl ~sender:me ctrl_bye in
+    for d = 0 to n - 1 do
+      if d <> me then net.Transport.send ~dst:d bye
+    done;
+    let linger_until = Unix.gettimeofday () +. linger_s in
+    ignore (net.Transport.flush ~timeout_s:(Float.min linger_s 1.0));
+    let rec linger () =
+      let now = Unix.gettimeofday () in
+      if now < linger_until && !bye_count < n - 1 then begin
+        (match net.Transport.recv ~timeout_s:(Float.min 0.05 (linger_until -. now)) with
+        | Some f -> deliver f
+        | None -> ());
+        linger ()
+      end
+    in
+    linger ();
+    ignore (net.Transport.flush ~timeout_s:0.5);
+    let log = Rsm.log rn.r_rsm in
+    Ok
+      { r_pid = me;
+        r_epochs = Rsm.committed_epochs rn.r_rsm;
+        r_txs = List.length log;
+        r_hash = rsm_log_hash log;
+        r_frames = net.Transport.stats.frames_out;
+        r_bytes = net.Transport.stats.bytes_out }
+
+(* ---- open-loop load generator (in-process socket cluster) ------------ *)
+
+type rsm_load = {
+  lg_rate : float;  (** target submissions/s cluster-wide; <= 0: preload all *)
+  lg_total : int;
+  lg_tx_bytes : int;
+}
+
+type rsm_load_result = {
+  lr_committed : int;
+  lr_epochs : int;
+  lr_duration_s : float;  (** start to the last commit at the observer *)
+  lr_tx_per_s : float;
+  lr_p50_ms : float;
+  lr_p99_ms : float;
+  lr_frames : int;
+  lr_bytes : int;
+  lr_writes : int;
+}
+
+let percentile sorted q =
+  let k = Array.length sorted in
+  if k = 0 then 0.
+  else sorted.(min (k - 1) (int_of_float (Float.of_int (k - 1) *. q +. 0.5)))
+
+let rsm_load_tx ~tx_bytes i =
+  let head = Printf.sprintf "t%08d" i in
+  let pad = tx_bytes - String.length head in
+  if pad <= 0 then head else head ^ String.make pad '.'
+
+(* Measurement shared by the loopback and socket harnesses: transactions
+   are injected open-loop (transaction [i] is due at [t0 + i/rate],
+   round-robin across replicas); replica 0 is the commit observer, so a
+   transaction's latency spans submission at ANY replica to its commit in
+   replica 0's log. *)
+type rsm_probe = {
+  pr_submit : (string, float) Hashtbl.t;
+  pr_lats : float list ref;
+  pr_committed : int ref;
+  pr_last_commit : float ref;
+}
+
+let rsm_probe () =
+  { pr_submit = Hashtbl.create 256;
+    pr_lats = ref [];
+    pr_committed = ref 0;
+    pr_last_commit = ref 0. }
+
+let rsm_probe_commit pr ~epoch:_ txs =
+  let now = Unix.gettimeofday () in
+  List.iter
+    (fun tx ->
+      pr.pr_committed := !(pr.pr_committed) + 1;
+      pr.pr_last_commit := now;
+      match Hashtbl.find_opt pr.pr_submit tx with
+      | Some ts -> pr.pr_lats := (now -. ts) :: !(pr.pr_lats)
+      | None -> ())
+    txs
+
+let rsm_probe_result pr ~t0 ~epochs ~frames ~bytes ~writes =
+  let lats = Array.of_list !(pr.pr_lats) in
+  Array.sort Float.compare lats;
+  let duration = Float.max 1e-9 (!(pr.pr_last_commit) -. t0) in
+  let committed = !(pr.pr_committed) in
+  { lr_committed = committed;
+    lr_epochs = epochs;
+    lr_duration_s = duration;
+    lr_tx_per_s = Float.of_int committed /. duration;
+    lr_p50_ms = percentile lats 0.5 *. 1000.;
+    lr_p99_ms = percentile lats 0.99 *. 1000.;
+    lr_frames = frames;
+    lr_bytes = bytes;
+    lr_writes = writes }
+
+let run_rsm_loadgen_loopback ?(seed = 0xB0CA1L) ?(timeout_s = 60.) params ~load =
+  let n = params.Rsm.cfg.Types.n in
+  let pr = rsm_probe () in
+  let states = Array.make n None in
+  let exec =
+    Async.create ~n ~make:(fun pid ->
+        let on_commit = if pid = 0 then Some (rsm_probe_commit pr) else None in
+        let st, init = Rsm.create ?on_commit params ~me:pid in
+        states.(pid) <- Some st;
+        (Rsm.node st, List.map (fun m -> Node.Broadcast m) init))
+  in
+  let eng = loop_make ~seed ~wire:rsm_wire ~exec ~parties:[||] in
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. timeout_s in
+  let injected = ref 0 in
+  let inject_due now =
+    while
+      !injected < load.lg_total
+      && (load.lg_rate <= 0.
+         || now -. t0 >= Float.of_int !injected /. load.lg_rate)
+    do
+      let i = !injected in
+      let tx = rsm_load_tx ~tx_bytes:load.lg_tx_bytes i in
+      (match states.(i mod n) with
+      | Some st -> if Rsm.submit st tx then Hashtbl.replace pr.pr_submit tx now
+      | None -> ());
+      incr injected
+    done
+  in
+  let rec go () =
+    let now = Unix.gettimeofday () in
+    if now >= deadline then Error "loopback loadgen timed out"
+    else begin
+      inject_due now;
+      if eng.le_delivered >= max_deliveries * 4 then
+        Error "delivery limit reached before termination"
+      else
+        match loop_step eng with
+        | Error _ as e -> e
+        | Ok true -> go ()
+        | Ok false -> Ok ()
+    end
+  in
+  match go () with
+  | Error _ as e -> e
+  | Ok () ->
+    let epochs = match states.(0) with Some st -> Rsm.committed_epochs st | None -> 0 in
+    let frames = Array.fold_left (fun a e -> a + e.Transport.stats.frames_out) 0 eng.le_ends in
+    let bytes = Array.fold_left (fun a e -> a + e.Transport.stats.bytes_out) 0 eng.le_ends in
+    Ok (rsm_probe_result pr ~t0 ~epochs ~frames ~bytes ~writes:0)
+
+let run_rsm_loadgen ?(coalesce = true) ?sndbuf_bytes ?rcvbuf_bytes ?(timeout_s = 60.)
+    ?(hop_s = 0.) params ~load ~transport =
+  let n = params.Rsm.cfg.Types.n in
+  let attempt () =
+    incr cluster_counter;
+    let cleanup = ref (fun () -> ()) in
+    let addrs =
+      match transport with
+      | `Unix ->
+        let dir = fresh_unix_dir () in
+        cleanup := (fun () -> rm_rf_dir dir);
+        Transport.Socket.unix_addrs ~dir ~n
+      | `Tcp -> Transport.Socket.tcp_addrs ~ports:(Transport.Socket.pick_tcp_ports ~n)
+    in
+    Fun.protect
+      ~finally:(fun () -> !cleanup ())
+      (fun () ->
+        let ends =
+          try Ok (make_endpoints ~coalesce ?sndbuf_bytes ?rcvbuf_bytes ~addrs ~n ())
+          with Unix.Unix_error (e, fn, _) ->
+            Error (`Bind (e, Printf.sprintf "%s: %s" fn (Unix.error_message e)))
+        in
+        match ends with
+        | Error _ as e -> e
+        | Ok ends ->
+          let pr = rsm_probe () in
+          let rns =
+            Array.map
+              (fun (net : Transport.t) ->
+                let on_commit =
+                  if net.Transport.me = 0 then Some (rsm_probe_commit pr) else None
+                in
+                rnode_make ?on_commit ~hop_s params ~me:net.Transport.me ~net ())
+              ends
+          in
+          let finish () =
+            Array.iter (fun (ep : Transport.t) -> ignore (ep.Transport.flush ~timeout_s:0.5)) ends;
+            Array.iter (fun (ep : Transport.t) -> ep.Transport.close ()) ends
+          in
+          let t0 = Unix.gettimeofday () in
+          let deadline = t0 +. timeout_s in
+          let injected = ref 0 in
+          let inject_due now =
+            let any = ref false in
+            while
+              !injected < load.lg_total
+              && (load.lg_rate <= 0.
+                 || now -. t0 >= Float.of_int !injected /. load.lg_rate)
+            do
+              let i = !injected in
+              let tx = rsm_load_tx ~tx_bytes:load.lg_tx_bytes i in
+              if Rsm.submit rns.(i mod n).r_rsm tx then Hashtbl.replace pr.pr_submit tx now;
+              incr injected;
+              any := true
+            done;
+            !any
+          in
+          let rec loop () =
+            if Array.for_all (fun rn -> Rsm.terminated rn.r_rsm) rns then Ok ()
+            else begin
+              let now = Unix.gettimeofday () in
+              if now >= deadline then
+                Error
+                  (`Run
+                    (Printf.sprintf "rsm loadgen timed out after %.1fs (%d/%d epochs at node 0)"
+                       timeout_s
+                       (Rsm.committed_epochs rns.(0).r_rsm)
+                       params.Rsm.epochs))
+              else begin
+                let progressed = ref (inject_due now) in
+                Array.iter (fun rn -> if rnode_step rn ~timeout_s:0. then progressed := true) rns;
+                if not !progressed then ignore (Unix.select [] [] [] 0.0005);
+                loop ()
+              end
+            end
+          in
+          let outcome = loop () in
+          finish ();
+          match outcome with
+          | Error _ as e -> e
+          | Ok () ->
+            (* all replicas ran the full log: cross-check agreement on the
+               committed order before reporting numbers *)
+            let logs = Array.map (fun rn -> Rsm.log rn.r_rsm) rns in
+            let h0 = rsm_log_hash logs.(0) in
+            if not (Array.for_all (fun l -> Int64.equal (rsm_log_hash l) h0) logs) then
+              Error (`Run "rsm loadgen: log DISAGREEMENT - protocol bug")
+            else begin
+              let frames =
+                Array.fold_left (fun a (ep : Transport.t) -> a + ep.Transport.stats.frames_out) 0 ends
+              in
+              let bytes =
+                Array.fold_left (fun a (ep : Transport.t) -> a + ep.Transport.stats.bytes_out) 0 ends
+              in
+              let writes =
+                Array.fold_left (fun a (ep : Transport.t) -> a + ep.Transport.stats.writes) 0 ends
+              in
+              Ok
+                (rsm_probe_result pr ~t0
+                   ~epochs:(Rsm.committed_epochs rns.(0).r_rsm)
+                   ~frames ~bytes ~writes)
+            end)
+  in
+  let rec go tries =
+    match attempt () with
+    | Ok r -> Ok r
+    | Error (`Run e) -> Error e
+    | Error (`Bind (Unix.EADDRINUSE, _)) when transport = `Tcp && tries < 3 -> go (tries + 1)
+    | Error (`Bind (_, msg)) -> Error (Printf.sprintf "endpoint setup failed: %s" msg)
+  in
+  go 1
+
+(* ---- multi-process RSM launcher -------------------------------------- *)
+
+type rsm_cluster_result = {
+  rc_epochs : int;
+  rc_txs : int;
+  rc_hash : int64;
+  rc_stats : net_stats;
+}
+
+let spawn_rsm_cluster ?(timeout_s = 60.) ?pick_ports ~node_exe ~cfg ~seed ~epochs ~window
+    ~batch_txs ~batch_bytes ~txs_per_node ~tx_bytes ~transport () =
+  let n = cfg.Types.n in
+  with_spawn_attempts ?pick_ports ~timeout_s ~transport ~n
+    ~argv_for:(fun ~kind ~addrs_arg me ->
+      spawn_child ~node_exe
+        (node_argv ~node_exe ~stack:"byz-strong" ~eps:0.25 ~cfg ~seed ~kind ~addrs_arg
+           ~timeout_s
+           ~extra:
+             [ "--rsm";
+               "--rsm-epochs"; string_of_int epochs;
+               "--rsm-window"; string_of_int window;
+               "--rsm-batch-txs"; string_of_int batch_txs;
+               "--rsm-batch-bytes"; string_of_int batch_bytes;
+               "--rsm-txs"; string_of_int txs_per_node;
+               "--rsm-tx-bytes"; string_of_int tx_bytes ]
+           me))
+    (fun ~bufs ~statuses ~timed_out ->
+      let decisions =
+        Array.map
+          (fun buf ->
+            String.split_on_char '\n' (Buffer.contents buf) |> List.find_map parse_rsm_decision)
+          bufs
+      in
+      let missing =
+        Array.to_list decisions
+        |> List.mapi (fun i d -> (i, d))
+        |> List.filter_map (fun (i, d) -> if d = None then Some i else None)
+      in
+      if timed_out then
+        Error
+          (Printf.sprintf "rsm cluster timed out after %.1fs (nodes still running killed)"
+             timeout_s)
+      else if missing <> [] then
+        Error
+          (Printf.sprintf "rsm node(s) %s exited without a log (statuses: %s)"
+             (String.concat ", " (List.map string_of_int missing))
+             (String.concat ", " (Array.to_list (Array.map status_string statuses))))
+      else begin
+        let ds = Array.of_list (List.filter_map Fun.id (Array.to_list decisions)) in
+        if Array.length ds <> n then Error "internal: rsm decision extraction mismatch"
+        else begin
+          let d0 = ds.(0) in
+          let agree d =
+            Int64.equal d.r_hash d0.r_hash && d.r_txs = d0.r_txs && d.r_epochs = d0.r_epochs
+          in
+          if not (Array.for_all agree ds) then
+            Error
+              (Printf.sprintf "rsm log DISAGREEMENT: [%s] - protocol bug"
+                 (String.concat "; "
+                    (Array.to_list
+                       (Array.map
+                          (fun d ->
+                            Printf.sprintf "pid %d -> %d txs %016Lx" d.r_pid d.r_txs d.r_hash)
+                          ds))))
+          else begin
+            let frames = Array.fold_left (fun a d -> a + d.r_frames) 0 ds in
+            let bytes = Array.fold_left (fun a d -> a + d.r_bytes) 0 ds in
+            Ok
+              { rc_epochs = d0.r_epochs;
+                rc_txs = d0.r_txs;
+                rc_hash = d0.r_hash;
+                rc_stats = { frames; bytes; words = Wire.words_of_bytes bytes } }
+          end
+        end
+      end)

@@ -335,3 +335,163 @@ val spawn_cluster_multi :
     emits an [MDECIDED] line, and the launcher checks per-instance
     agreement across nodes.  Same timeout, cleanup and port-race retry
     behavior as {!spawn_cluster}. *)
+
+(** {1 Replicated log (RSM) over real transports}
+
+    The pipelined atomic-broadcast log ({!Bca_rsm.Rsm}) under the same
+    three message-movement regimes as the binary stacks: the seeded
+    loopback hub ({!run_rsm_loopback}, bit-identical to the netsim run at
+    the same seed - the windowed executor's correctness oracle), an
+    in-process socket cluster driven by an open-loop load generator
+    ({!run_rsm_loadgen} - the bench harness), and forked
+    [bca_node --rsm] processes ({!spawn_rsm_cluster}).  Replicas compare
+    committed logs by FNV-1a digest ({!rsm_log_hash}). *)
+
+val rsm_log_hash : Bca_rsm.Rsm.tx list -> int64
+(** Digest of a committed log ({!Bca_rsm.Mvba.digest} over the netstring
+    encoding) - what nodes print and launchers compare. *)
+
+val rsm_workload : pid:int -> count:int -> tx_bytes:int -> Bca_rsm.Rsm.tx list
+(** The deterministic per-node workload every [bca_node --rsm] process
+    regenerates from its spawn parameters: [count] transactions, globally
+    unique by pid and index, padded to [tx_bytes]. *)
+
+type rsm_loop_result = {
+  rl_logs : Bca_rsm.Rsm.tx list array;  (** per-replica committed log *)
+  rl_deliveries : int;
+  rl_stats : net_stats;
+}
+
+val run_rsm_loopback :
+  ?seed:int64 ->
+  Bca_rsm.Rsm.params ->
+  txs:(int -> Bca_rsm.Rsm.tx list) ->
+  (rsm_loop_result, string) result
+(** Single-process replicated log over the in-memory hub: replica [pid]
+    submits [txs pid] right after construction, then every epoch's ACS
+    runs with each hop round-tripping through the codec-7 wire format.
+    Same determinism contract as {!run_loopback}: for a given [seed] the
+    per-replica logs are bit-identical to the netsim run
+    ([Async_exec.run] under [random_scheduler (Rng.create seed)]) of the
+    same parameters and submissions. *)
+
+type rsm_decision = {
+  r_pid : int;
+  r_epochs : int;  (** epochs committed *)
+  r_txs : int;  (** transactions in the committed log *)
+  r_hash : int64;  (** FNV-1a digest of the whole log *)
+  r_frames : int;  (** frames this node sent *)
+  r_bytes : int;  (** bytes this node sent *)
+}
+
+val print_rsm_decision : rsm_decision -> unit
+(** The one-line [RSMLOG pid=... epochs=... txs=... hash=... frames=...
+    bytes=...] record [bca_node --rsm] emits on stdout and
+    {!spawn_rsm_cluster} parses back. *)
+
+val parse_rsm_decision : string -> rsm_decision option
+
+val run_rsm_node :
+  ?timeout_s:float ->
+  ?linger_s:float ->
+  Bca_rsm.Rsm.params ->
+  txs:Bca_rsm.Rsm.tx list ->
+  net:Transport.t ->
+  (rsm_decision, string) result
+(** Drive replica [net.me] of the replicated log to termination over
+    [net]: submit [txs], broadcast the initial epoch messages, then
+    deliver inbound frames (self-copies FIFO through a local queue) until
+    all [epochs] commit.  After terminating, broadcasts a BYE and lingers
+    as {!run_node} does - a terminated replica's past frames are all a
+    laggard needs, the sockets just have to stay open long enough to
+    drain.  Does not close [net]. *)
+
+type rsm_load = {
+  lg_rate : float;  (** target submissions/s cluster-wide; [<= 0]: preload all *)
+  lg_total : int;  (** transactions to inject, round-robin across replicas *)
+  lg_tx_bytes : int;  (** padded size of each transaction *)
+}
+
+type rsm_load_result = {
+  lr_committed : int;  (** transactions in the committed log *)
+  lr_epochs : int;
+  lr_duration_s : float;  (** start to the last commit at the observer *)
+  lr_tx_per_s : float;  (** [committed / duration] *)
+  lr_p50_ms : float;  (** median submit-to-commit latency *)
+  lr_p99_ms : float;
+  lr_frames : int;  (** frames sent cluster-wide *)
+  lr_bytes : int;
+  lr_writes : int;  (** write syscalls cluster-wide (0 for loopback) *)
+}
+
+val run_rsm_loadgen_loopback :
+  ?seed:int64 ->
+  ?timeout_s:float ->
+  Bca_rsm.Rsm.params ->
+  load:rsm_load ->
+  (rsm_load_result, string) result
+(** Open-loop load generation over the in-memory hub: transaction [i] is
+    due at [t0 + i/rate] (all at [t0] when [lg_rate <= 0]) and submitted
+    to replica [i mod n]; replica 0 observes commits, so a latency spans
+    submission at any replica to commit in replica 0's log.  Throughput
+    is measured to the last commit, not to the end of the (possibly
+    empty) trailing epochs. *)
+
+val run_rsm_loadgen :
+  ?coalesce:bool ->
+  ?sndbuf_bytes:int ->
+  ?rcvbuf_bytes:int ->
+  ?timeout_s:float ->
+  ?hop_s:float ->
+  Bca_rsm.Rsm.params ->
+  load:rsm_load ->
+  transport:[ `Unix | `Tcp ] ->
+  (rsm_load_result, string) result
+(** {!run_rsm_loadgen_loopback} over real sockets: all [n] replicas in
+    one process ([`Unix]: a fresh temporary directory; [`Tcp]: loopback
+    on picked ports, retried on a lost bind race), stepped round-robin
+    with open-loop injection interleaved.  Checks log agreement across
+    replicas (by digest) before reporting.  This is the [bca loadgen] and
+    bench-[rsm] harness.
+
+    [hop_s] (default 0) emulates one-way network latency netem-style:
+    each replica's outbound frames are held [hop_s] seconds before they
+    reach the sockets (self-copies stay immediate - the delay models the
+    wire, not local compute).  Local sockets are microseconds away, so
+    without it the run is CPU-bound and a deep window only adds
+    window-fill epochs; with a realistic hop the run is latency-bound
+    and pipelining (window > 1) overlaps the per-epoch round trips that
+    a sequential log pays serially.  Reported commit latencies include
+    the emulated hops. *)
+
+type rsm_cluster_result = {
+  rc_epochs : int;
+  rc_txs : int;  (** committed transactions (identical at every node) *)
+  rc_hash : int64;  (** the common log's digest *)
+  rc_stats : net_stats;
+}
+
+val spawn_rsm_cluster :
+  ?timeout_s:float ->
+  ?pick_ports:(attempt:int -> int array) ->
+  node_exe:string ->
+  cfg:Bca_core.Types.cfg ->
+  seed:int64 ->
+  epochs:int ->
+  window:int ->
+  batch_txs:int ->
+  batch_bytes:int ->
+  txs_per_node:int ->
+  tx_bytes:int ->
+  transport:[ `Unix | `Tcp ] ->
+  unit ->
+  (rsm_cluster_result, string) result
+(** Fork one [node_exe --rsm] process per replica, parse each node's
+    [RSMLOG] line, and check every replica committed the identical log
+    (same epoch count, transaction count and digest).  Every node submits
+    the whole derived workload ([n * txs_per_node] transactions, the
+    union of {!rsm_workload} over all pids): commit-time deduplication
+    makes each transaction commit exactly once, and no transaction is
+    censored when its origin replica keeps losing the ACS inclusion race
+    (a late-starting process in a short fixed-length log).  Same timeout,
+    cleanup and port-race retry behavior as {!spawn_cluster}. *)

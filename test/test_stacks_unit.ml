@@ -235,16 +235,27 @@ let test_acs_buffers_early_aba_traffic () =
 
 let test_rsm_epoch_buffering () =
   let cfg = Types.cfg ~n:4 ~t:1 in
-  let params = { Bca_acs.Rsm.cfg; coin_seed = 11L; epochs = 2 } in
-  let p, _ = Bca_acs.Rsm.create params ~me:0 in
-  Alcotest.(check int) "epoch 0" 0 (Bca_acs.Rsm.current_epoch p);
-  (* a message for epoch 5 is buffered, not dropped or crashed on *)
-  let m =
-    Bca_acs.Rsm.Epoch (5, Bca_acs.Acs.Rbc (1, Bca_baselines.Bracha.Echo "future"))
+  let params =
+    Bca_rsm.Rsm.mk_params ~cfg ~coin_seed:11L ~epochs:16 ~window:2 ~buffer_slack:2 ()
   in
-  let out = Bca_acs.Rsm.handle p ~from:1 m in
+  let p, _ = Bca_rsm.Rsm.create params ~me:0 in
+  Alcotest.(check int) "nothing committed" 0 (Bca_rsm.Rsm.committed_epochs p);
+  Alcotest.(check int) "window open" 2 (Bca_rsm.Rsm.in_flight p);
+  (* a message just past the window is buffered, not dropped or crashed on *)
+  let m =
+    Bca_rsm.Rsm.Epoch (3, Bca_acs.Acs.Rbc (1, Bca_baselines.Bracha.Echo "future"))
+  in
+  let out = Bca_rsm.Rsm.handle p ~from:1 m in
   Alcotest.(check int) "buffered" 0 (List.length out);
-  Alcotest.(check (list string)) "log empty" [] (Bca_acs.Rsm.log p)
+  Alcotest.(check int) "held" 1 (Bca_rsm.Rsm.buffered_msgs p);
+  (* far past the buffering horizon: shed, not held *)
+  let far =
+    Bca_rsm.Rsm.Epoch (9, Bca_acs.Acs.Rbc (1, Bca_baselines.Bracha.Echo "far"))
+  in
+  let out = Bca_rsm.Rsm.handle p ~from:1 far in
+  Alcotest.(check int) "shed silently" 0 (List.length out);
+  Alcotest.(check int) "not held" 1 (Bca_rsm.Rsm.buffered_msgs p);
+  Alcotest.(check (list string)) "log empty" [] (Bca_rsm.Rsm.log p)
 
 let () =
   Alcotest.run "stacks_unit"

@@ -543,6 +543,86 @@ let test_tcp_addr_in_use_retry () =
     Alcotest.(check bool) "a fresh attempt followed" true
       (List.exists (fun a -> a > 1) !attempts)
 
+(* ------------------------------------------------------------------ *)
+(* Replicated log (RSM) over real transports                            *)
+(* ------------------------------------------------------------------ *)
+
+module Rsm = Bca_rsm.Rsm
+
+let rsm_params ?(epochs = 4) ?(window = 2) () =
+  Rsm.mk_params ~cfg:(Types.cfg ~n:4 ~t:1) ~coin_seed:404L ~epochs ~window ()
+
+let rsm_txs_of pid = Cluster.rsm_workload ~pid ~count:3 ~tx_bytes:24
+
+(* The windowed-executor oracle: the loopback engine (every hop through
+   the codec-7 wire format) must be bit-identical to the netsim run of
+   the same seed - same per-replica logs, epoch for epoch. *)
+let test_rsm_loopback_matches_netsim () =
+  List.iter
+    (fun (seed, window) ->
+      let params = rsm_params ~window () in
+      let states = Array.make 4 None in
+      let exec =
+        Bca_netsim.Async_exec.create ~n:4 ~make:(fun pid ->
+            let st, init = Rsm.create params ~me:pid in
+            states.(pid) <- Some st;
+            List.iter (fun tx -> ignore (Rsm.submit st tx : bool)) (rsm_txs_of pid);
+            (Rsm.node st, List.map (fun m -> Bca_netsim.Node.Broadcast m) init))
+      in
+      let outcome =
+        Bca_netsim.Async_exec.run exec
+          (Bca_netsim.Async_exec.random_scheduler (Bca_util.Rng.create seed))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "netsim terminated (seed=%Ld)" seed)
+        true (outcome = `All_terminated);
+      let sim_logs = Array.map (function Some st -> Rsm.log st | None -> []) states in
+      match Cluster.run_rsm_loopback ~seed params ~txs:rsm_txs_of with
+      | Error e -> Alcotest.failf "loopback rsm failed (seed=%Ld): %s" seed e
+      | Ok r ->
+        Array.iteri
+          (fun pid log ->
+            Alcotest.(check (list string))
+              (Printf.sprintf "replica %d log bit-identical (seed=%Ld w=%d)" pid seed window)
+              sim_logs.(pid) log)
+          r.Cluster.rl_logs;
+        Alcotest.(check bool) "committed something" true (List.length r.Cluster.rl_logs.(0) > 0))
+    [ (7L, 1); (7L, 2); (11L, 3); (23L, 2) ]
+
+let test_rsm_loadgen_unix () =
+  (* epochs 0..window-1 open (empty) at construction; the preloaded
+     transactions land from epoch [window] on, with slack epochs for
+     proposals an epoch's ACS excluded (they re-queue) *)
+  let params = rsm_params ~epochs:8 ~window:3 () in
+  let load = { Cluster.lg_rate = 0.; lg_total = 24; lg_tx_bytes = 32 } in
+  match Cluster.run_rsm_loadgen ~timeout_s:60. params ~load ~transport:`Unix with
+  | Error e -> Alcotest.failf "rsm loadgen failed: %s" e
+  | Ok r ->
+    Alcotest.(check int) "all transactions committed" 24 r.Cluster.lr_committed;
+    Alcotest.(check int) "full log" 8 r.Cluster.lr_epochs;
+    Alcotest.(check bool) "throughput measured" true (r.Cluster.lr_tx_per_s > 0.);
+    Alcotest.(check bool) "latency measured" true (r.Cluster.lr_p50_ms > 0.);
+    Alcotest.(check bool) "p99 >= p50" true (r.Cluster.lr_p99_ms >= r.Cluster.lr_p50_ms)
+
+let spawn_rsm transport =
+  Cluster.spawn_rsm_cluster ~timeout_s:60. ~node_exe ~cfg:(Types.cfg ~n:4 ~t:1) ~seed:404L
+    ~epochs:6 ~window:2 ~batch_txs:8 ~batch_bytes:4096 ~txs_per_node:3 ~tx_bytes:24
+    ~transport ()
+
+let test_rsm_cluster_unix () =
+  Alcotest.(check bool) "bca_node built" true (Sys.file_exists node_exe);
+  match spawn_rsm `Unix with
+  | Error e -> Alcotest.failf "unix rsm cluster failed: %s" e
+  | Ok r ->
+    Alcotest.(check int) "all epochs committed" 6 r.Cluster.rc_epochs;
+    Alcotest.(check int) "all 12 workload txs committed" 12 r.Cluster.rc_txs;
+    Alcotest.(check bool) "traffic counted" true (r.Cluster.rc_stats.Cluster.frames > 0)
+
+let test_rsm_cluster_tcp () =
+  match spawn_rsm `Tcp with
+  | Error e -> Alcotest.failf "tcp rsm cluster failed: %s" e
+  | Ok r -> Alcotest.(check int) "all 12 workload txs committed" 12 r.Cluster.rc_txs
+
 let () =
   Alcotest.run "transport"
     [ ( "loopback",
@@ -575,4 +655,12 @@ let () =
           Alcotest.test_case "failing cluster cleans up its tmpdir" `Quick
             test_failing_cluster_cleans_tmpdir;
           Alcotest.test_case "tcp: EADDRINUSE exit triggers a fresh-port retry" `Slow
-            test_tcp_addr_in_use_retry ] ) ]
+            test_tcp_addr_in_use_retry ] );
+      ( "rsm",
+        [ Alcotest.test_case "loopback log bit-identical to netsim" `Quick
+            test_rsm_loopback_matches_netsim;
+          Alcotest.test_case "unix sockets: open-loop loadgen commits everything" `Slow
+            test_rsm_loadgen_unix;
+          Alcotest.test_case "unix sockets: forked --rsm replicas agree" `Slow
+            test_rsm_cluster_unix;
+          Alcotest.test_case "tcp: forked --rsm replicas agree" `Slow test_rsm_cluster_tcp ] ) ]
