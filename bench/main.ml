@@ -400,16 +400,29 @@ let write_throughput_json path ~seed ~runs ~chaos ~metrics ~wire ~cluster ~recov
      per-message baseline); schema 3 added the "lint" object
      (static-analysis health of lib/ at report time); schema 2 added the
      "wire" array (per-decision on-wire traffic per stack).  Consumers of
-     older schemas should treat all six as optional *)
-  Buffer.add_string buf "  \"schema\": 7,\n";
+     older schemas should treat all six as optional.
+
+     schema 8: the "lint" object now includes the interprocedural flow
+     pass - "flow_findings" (wire-taint + unbounded-alloc, split out
+     from the total) and "flow_seconds" (whole-lib analysis wall-clock,
+     gated under 10s in CI) *)
+  Buffer.add_string buf "  \"schema\": 8,\n";
   (match lint with
-  | Some (r : Bca_lint.Lint.report) ->
+  | Some ((r : Bca_lint.Lint.report), flow_seconds) ->
+    let flow_findings =
+      List.length
+        (List.filter
+           (fun (f : Bca_lint.Lint.finding) ->
+             List.exists (String.equal f.rule) Bca_lint.Flow.rule_names)
+           r.findings)
+    in
     Buffer.add_string buf
       (Printf.sprintf
          "  \"lint\": {\"rules\": %d, \"files_scanned\": %d, \"findings\": %d, \
+          \"flow_findings\": %d, \"flow_seconds\": %.3f, \
           \"suppressed\": %d, \"suppression_comments\": %d},\n"
-         (List.length r.rules_run) r.files_scanned (List.length r.findings) r.suppressed
-         r.suppression_comments)
+         (List.length r.rules_run) r.files_scanned (List.length r.findings) flow_findings
+         flow_seconds r.suppressed r.suppression_comments)
   | None -> ());
   Buffer.add_string buf "  \"benchmark\": \"netsim-throughput\",\n";
   Buffer.add_string buf
@@ -1326,12 +1339,21 @@ let fuzz_bench () =
 
 (* Static-analysis health of the lib/ tree, folded into the report so a
    benchmark JSON also records whether the sources it measured were lint
-   clean.  Benchmarks normally run from the repo root; when lib/ is not
-   there (installed binary, odd cwd) the section is simply omitted. *)
+   clean.  Runs the full interprocedural flow pass and times it, so the
+   report doubles as a performance record of the analysis itself.
+   Benchmarks normally run from the repo root; when lib/ is not there
+   (installed binary, odd cwd) the section is simply omitted. *)
 let lint_summary () =
   if Sys.file_exists "lib" && Sys.is_directory "lib" then
-    match Bca_lint.Lint.run ~rules:Bca_lint.Rules.all ~paths:[ "lib" ] () with
-    | report -> Some report
+    match
+      let t0 = Unix.gettimeofday () in
+      let report =
+        Bca_lint.Lint.run ~rules:Bca_lint.Rules.all ~flow:Bca_lint.Flow.pass
+          ~paths:[ "lib" ] ()
+      in
+      (report, Unix.gettimeofday () -. t0)
+    with
+    | timed -> Some timed
     | exception _ -> None
   else None
 

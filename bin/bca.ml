@@ -742,6 +742,14 @@ let lint_cmd =
       & info [] ~docv:"PATHS" ~doc:"Files or directories to lint (default: lib).")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
+  let flow =
+    Arg.(
+      value & flag
+      & info [ "flow" ]
+          ~doc:
+            "Also run the interprocedural wire-taint analysis (rules wire-taint and \
+             unbounded-alloc); findings carry a source -> call chain -> sink taint trace.")
+  in
   let rules =
     Arg.(
       value
@@ -749,12 +757,13 @@ let lint_cmd =
       & info [ "rules" ] ~docv:"RULES"
           ~doc:
             "Comma-separated subset of rules to run (determinism, poly-compare, quorum, \
-             total-decoding, wire-coverage).")
+             total-decoding, wire-coverage; with --flow also wire-taint, unbounded-alloc).")
   in
-  let action paths json rules =
+  let action paths json flow rules =
     let module Lint = Bca_lint.Lint in
     let only = Option.map (String.split_on_char ',') rules in
-    match Lint.run ~rules:Bca_lint.Rules.all ?only ~paths () with
+    let flow = if flow then Some Bca_lint.Flow.pass else None in
+    match Lint.run ~rules:Bca_lint.Rules.all ?flow ?only ~paths () with
     | report ->
       if json then print_string (Lint.to_json report)
       else Format.printf "%a" Lint.pp_text report;
@@ -768,7 +777,7 @@ let lint_cmd =
        ~doc:
          "Statically check the sources for determinism, protocol-invariant and wire-coverage \
           violations; exits non-zero on any unsuppressed finding.")
-    Term.(const action $ paths $ json $ rules)
+    Term.(const action $ paths $ json $ flow $ rules)
 
 (* ------------------------------------------------------------------ *)
 (* bca verify                                                           *)

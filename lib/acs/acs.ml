@@ -124,20 +124,30 @@ let all_slots_terminated t =
     (fun slot -> match slot.aba with Some aba -> Aba_slot.terminated aba | None -> false)
     t.slots
 
+(* The slot index [j] arrives on the wire: a faulty peer can name any
+   slot, so it is validated before any array access and the message
+   dropped when out of range. *)
+let slot_of t j =
+  if Bca_util.Bounds.index_ok ~len:(Array.length t.slots) j then Some t.slots.(j) else None
+
 let handle t ~from msg =
   if t.terminated then []
   else begin
     let out =
       match msg with
-      | Rbc (j, m) ->
-        List.map (fun m -> Rbc (j, m)) (Bracha.handle t.slots.(j).rbc ~from m)
-      | Aba (j, m) ->
-        let slot = t.slots.(j) in
-        (match slot.aba with
-        | Some aba -> wrap j (Aba_slot.handle aba ~from m)
-        | None ->
-          slot.buffered <- (from, m) :: slot.buffered;
-          [])
+      | Rbc (j, m) -> (
+        match slot_of t j with
+        | Some slot -> List.map (fun m -> Rbc (j, m)) (Bracha.handle slot.rbc ~from m)
+        | None -> [])
+      | Aba (j, m) -> (
+        match slot_of t j with
+        | None -> []
+        | Some slot -> (
+          match slot.aba with
+          | Some aba -> wrap j (Aba_slot.handle aba ~from m)
+          | None ->
+            slot.buffered <- (from, m) :: slot.buffered;
+            []))
     in
     let out = out @ progress t in
     if output t <> None && all_slots_terminated t then t.terminated <- true;

@@ -57,10 +57,10 @@ let get_signature g =
    counts that could not possibly fit instead of pre-allocating for them. *)
 let get_list g ~min_item_bytes get_item =
   let count = Get.varint g in
-  (* [count >= 0] is defensive: Get.varint rejects encodings that overflow
-     to a negative int, but List.init raising on a negative count would
-     escape the Malformed-only handlers *)
-  if count < 0 || count > Get.remaining g / min_item_bytes then
+  (* the lower bound is defensive: Get.varint rejects encodings that
+     overflow to a negative int, but List.init raising on a negative
+     count would escape the Malformed-only handlers *)
+  if not (Bca_util.Bounds.fits ~max:(Get.remaining g / min_item_bytes) count) then
     malformed "list count %d exceeds body size" count;
   List.init count (fun _ -> get_item g)
 

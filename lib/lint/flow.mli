@@ -1,0 +1,71 @@
+(** Interprocedural wire-taint analysis over parsed sources.
+
+    Where the per-file rules in {!Rules} pattern-match single
+    expressions, this engine builds a whole-program view: every
+    function of the scanned tree becomes a node, per-function
+    summaries record which parameters and returns carry wire-derived
+    (attacker-controlled) data and which parameters reach dangerous
+    sinks, and summaries are propagated through the call graph to a
+    fixpoint.
+
+    Taint is seeded at the decode surface - [Wire.Get.*] reads,
+    [Wire.Reader.next*], [Wire.decode_body*], [Batch.decode],
+    [Wal.load]/[Wal.decode], [Rsm.decode_batch], and codec [dec] /
+    transport [recv_view] record-field calls - and each tainted value
+    carries two evidence bits: a known lower bound and a known upper
+    bound.  Comparisons in [if] / [when] / [assert] conditions and
+    [Bounds.*] / [Quorum.*] predicates upgrade the bits; sinks demand
+    them:
+
+    - {b unbounded-alloc}: allocation sizes ([Bytes.create],
+      [Array.make], [List.init], [String.sub] lengths, ...) need both
+      bounds; [for]-loop bounds need an upper bound.
+    - {b wire-taint}: index/offset positions ([Array.get],
+      [String.sub] offsets, ...) need both bounds; [Hashtbl]
+      growth keys need an upper bound (decoded-string keys exempt).
+
+    Findings carry the full source -> call chain -> sink trace in
+    {!Lint.finding.notes}. *)
+
+val rule_names : string list
+(** The rules this pass can emit: [["wire-taint"; "unbounded-alloc"]]. *)
+
+val pass : string list * (Lint.source list -> Lint.finding list)
+(** Bundled [(rule_names, analyze)], in the shape {!Lint.run} expects
+    for its [?flow] argument. *)
+
+val analyze : Lint.source list -> Lint.finding list
+(** [build] + {!findings} in one step. *)
+
+type program
+(** A harvested call graph with per-function taint summaries at
+    fixpoint. *)
+
+val build : Lint.source list -> program
+(** Harvest every function (top-level, nested modules, functor bodies,
+    and expression-level [let]-bound functions) and iterate summary
+    computation to a fixpoint. *)
+
+val findings : program -> Lint.finding list
+(** Report every sink reachable from a source without the required
+    bounds evidence, deduplicated by site. *)
+
+(** {2 Introspection} used by tests and tooling; names are matched by
+    dotted-path suffix (e.g. ["Get.varint"] finds [Wire.Get.varint]). *)
+
+val functions : program -> string list
+(** Sorted dotted paths of every harvested function. *)
+
+val callees : program -> string -> string list
+(** Resolved callees of the named function (sorted, deduplicated). *)
+
+val returns_taint : program -> string -> bool
+(** Does the named function's return value carry source taint? *)
+
+val summary_string : program -> string -> string
+(** Render the named function's summary (return origins with evidence
+    bits, parameter-dependent sinks) for tests and debugging. *)
+
+val tainted_returns : program -> string list
+(** Sorted names of every function whose return carries source
+    taint. *)

@@ -9,6 +9,7 @@ type finding = {
   line : int;
   col : int;
   message : string;
+  notes : string list;
 }
 
 type source = { path : string; profile : profile; ast : Parsetree.structure }
@@ -75,7 +76,13 @@ let parse_file path =
 (* Suppression comments                                                 *)
 (* ------------------------------------------------------------------ *)
 
-type suppression = { sup_kind : [ `Line of int | `File ]; sup_rules : string list }
+type suppression = {
+  sup_kind : [ `Line of int | `File ];
+  sup_rules : string list;
+  sup_line : int;
+  sup_col : int;
+  mutable sup_used : bool;
+}
 
 let find_substring hay needle =
   let nh = String.length hay and nn = String.length needle in
@@ -111,7 +118,8 @@ let parse_suppression_line ~known ~path ~line text =
              file = path;
              line;
              col = i;
-             message })
+             message;
+             notes = [] })
     in
     let kind, rest =
       if String.length rest >= 10 && String.equal (String.sub rest 0 10) "allow-file" then
@@ -152,7 +160,10 @@ let parse_suppression_line ~known ~path ~line text =
               (Printf.sprintf
                  "suppression of %s lacks a reason; write 'allow %s -- why'"
                  (String.concat "," rules) field)
-          else Some (Stdlib.Ok { sup_kind; sup_rules = rules })))
+          else
+            Some
+              (Stdlib.Ok
+                 { sup_kind; sup_rules = rules; sup_line = line; sup_col = i; sup_used = false })))
 
 let scan_suppressions ~known path =
   let ic = open_in_bin path in
@@ -173,14 +184,18 @@ let scan_suppressions ~known path =
       (List.rev !sups, List.rev !bad))
 
 let suppresses sups (f : finding) =
-  List.exists
-    (fun s ->
-      List.mem f.rule s.sup_rules
-      &&
-      match s.sup_kind with
-      | `File -> true
-      | `Line l -> l = f.line || l = f.line - 1)
-    sups
+  let hits =
+    List.filter
+      (fun s ->
+        List.mem f.rule s.sup_rules
+        &&
+        match s.sup_kind with
+        | `File -> true
+        | `Line l -> l = f.line || l = f.line - 1)
+      sups
+  in
+  List.iter (fun s -> s.sup_used <- true) hits;
+  hits <> []
 
 (* ------------------------------------------------------------------ *)
 (* File collection                                                      *)
@@ -222,21 +237,35 @@ let compare_findings a b =
       let c = Int.compare a.col b.col in
       if c <> 0 then c else String.compare a.rule b.rule
 
-let run ~rules ?only ~paths () =
+let run ~rules ?flow ?only ~paths () =
+  let flow_names = match flow with Some (names, _) -> names | None -> [] in
+  (* vocabulary a suppression may name: every AST rule plus the flow
+     rules (parseable even on runs without --flow, so annotated files
+     stay lintable) and the engine-level rules *)
+  let known =
+    ("parse-error" :: "suppression" :: "stale-suppression" :: "wire-taint" :: "unbounded-alloc"
+    :: List.map (fun r -> r.name) rules)
+    |> List.sort_uniq String.compare
+  in
   let rules =
     match only with
     | None -> rules
     | Some names ->
       List.iter
         (fun n ->
-          if not (List.exists (fun r -> String.equal r.name n) rules) then
+          if
+            not
+              (List.exists (fun r -> String.equal r.name n) rules
+              || List.mem n flow_names
+              || String.equal n "stale-suppression")
+          then
             invalid_arg
               (Printf.sprintf "unknown rule %S (available: %s)" n
-                 (String.concat ", " (List.map (fun r -> r.name) rules))))
+                 (String.concat ", "
+                    (List.map (fun r -> r.name) rules @ flow_names @ [ "stale-suppression" ]))))
         names;
       List.filter (fun r -> List.mem r.name names) rules
   in
-  let known = "parse-error" :: "suppression" :: List.map (fun r -> r.name) rules in
   let files =
     List.fold_left
       (fun acc p ->
@@ -250,28 +279,58 @@ let run ~rules ?only ~paths () =
     | Stdlib.Ok fs -> List.sort_uniq String.compare fs
     | Stdlib.Error e -> invalid_arg e
   in
+  (* parse every file up front: the flow pass is whole-program *)
+  let parsed =
+    List.map
+      (fun path ->
+        let sups, bad_sups = scan_suppressions ~known path in
+        (path, parse_file path, sups, bad_sups))
+      files
+  in
+  let sources =
+    List.filter_map
+      (fun (path, p, _, _) ->
+        match p with
+        | Stdlib.Ok ast -> Some { path; profile = profile_of_path path; ast }
+        | Stdlib.Error _ -> None)
+      parsed
+  in
+  let flow_wanted n = match only with None -> true | Some o -> List.mem n o in
+  let flow_findings, flow_run_names =
+    match flow with
+    | Some (names, pass) when List.exists flow_wanted names ->
+      let fs = pass sources |> List.filter (fun f -> flow_wanted f.rule) in
+      (fs, List.filter flow_wanted names)
+    | _ -> ([], [])
+  in
+  (* rules whose silence is meaningful: a suppression naming only these
+     and silencing nothing is itself dead weight *)
+  let active = List.map (fun r -> r.name) rules @ flow_run_names in
   let all = ref [] in
   let suppressed = ref 0 in
   let suppression_comments = ref 0 in
   List.iter
-    (fun path ->
-      let sups, bad_sups = scan_suppressions ~known path in
+    (fun (path, p, sups, bad_sups) ->
       suppression_comments := !suppression_comments + List.length sups;
       let raw =
-        match parse_file path with
+        match p with
         | Stdlib.Error msg ->
           [ { rule = "parse-error";
               severity = Error;
               file = path;
               line = 1;
               col = 0;
-              message = msg } ]
+              message = msg;
+              notes = [] } ]
         | Stdlib.Ok ast ->
           let profile = profile_of_path path in
           let src = { path; profile; ast } in
           List.concat_map
             (fun r -> if r.applies ~path profile then r.check src else [])
             rules
+      in
+      let raw =
+        raw @ List.filter (fun (f : finding) -> String.equal f.file path) flow_findings
       in
       let kept, silenced =
         List.partition
@@ -282,13 +341,35 @@ let run ~rules ?only ~paths () =
           raw
       in
       suppressed := !suppressed + List.length silenced;
-      all := (bad_sups @ kept) @ !all)
-    files;
+      let stale =
+        match p with
+        | Stdlib.Error _ -> []
+        | Stdlib.Ok _ ->
+          List.filter_map
+            (fun s ->
+              if (not s.sup_used) && List.for_all (fun r -> List.mem r active) s.sup_rules then
+                Some
+                  { rule = "stale-suppression";
+                    severity = Error;
+                    file = path;
+                    line = s.sup_line;
+                    col = s.sup_col;
+                    message =
+                      Printf.sprintf
+                        "suppression of %s silences nothing on this %s; delete the allow comment"
+                        (String.concat "," s.sup_rules)
+                        (match s.sup_kind with `File -> "file" | `Line _ -> "line");
+                    notes = [] }
+              else None)
+            sups
+      in
+      all := (bad_sups @ kept @ stale) @ !all)
+    parsed;
   { findings = List.sort compare_findings !all;
     suppressed = !suppressed;
     suppression_comments = !suppression_comments;
     files_scanned = List.length files;
-    rules_run = List.map (fun r -> r.name) rules }
+    rules_run = List.map (fun r -> r.name) rules @ flow_run_names @ [ "stale-suppression" ] }
 
 let has_errors report =
   List.exists
@@ -303,7 +384,11 @@ let pp_finding ppf f =
   Format.fprintf ppf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.message
 
 let pp_text ppf report =
-  List.iter (fun f -> Format.fprintf ppf "%a@." pp_finding f) report.findings;
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "%a@." pp_finding f;
+      List.iter (fun n -> Format.fprintf ppf "    %s@." n) f.notes)
+    report.findings;
   Format.fprintf ppf "bca lint: %s%d finding%s (%d suppressed) in %d files; rules: %s@."
     (if report.findings = [] then "clean - " else "")
     (List.length report.findings)
@@ -338,12 +423,20 @@ let to_json report =
   List.iteri
     (fun i f ->
       if i > 0 then Buffer.add_char buf ',';
+      let trace =
+        match f.notes with
+        | [] -> ""
+        | notes ->
+          Printf.sprintf ", \"trace\": [%s]"
+            (String.concat ", "
+               (List.map (fun n -> Printf.sprintf "\"%s\"" (json_escape n)) notes))
+      in
       Buffer.add_string buf
         (Printf.sprintf
-           "\n    {\"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \"severity\": \"%s\", \"message\": \"%s\"}"
+           "\n    {\"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \"severity\": \"%s\", \"message\": \"%s\"%s}"
            (json_escape f.file) f.line f.col (json_escape f.rule)
            (match f.severity with Error -> "error" | Warning -> "warning")
-           (json_escape f.message)))
+           (json_escape f.message) trace))
     report.findings;
   if report.findings <> [] then Buffer.add_string buf "\n  ";
   Buffer.add_string buf "]\n}\n";

@@ -35,6 +35,9 @@ type finding = {
   line : int;  (** 1-based *)
   col : int;  (** 0-based, matching compiler diagnostics *)
   message : string;
+  notes : string list;
+      (** supporting detail, one line each - flow findings carry the
+          source -> call chain -> sink taint trace here *)
 }
 
 (** One parsed source file, as handed to each rule. *)
@@ -74,10 +77,28 @@ val parse_file : string -> (Parsetree.structure, string) result
 (** Parse one [.ml] file with the compiler front end; the error case
     carries a printable reason (syntax error, unreadable file, ...). *)
 
-val run : rules:rule list -> ?only:string list -> paths:string list -> unit -> report
+val run :
+  rules:rule list ->
+  ?flow:string list * (source list -> finding list) ->
+  ?only:string list ->
+  paths:string list ->
+  unit ->
+  report
 (** Lint every [.ml] file under [paths] (files or directories; [_build]
     and dot-directories are skipped) with the applicable subset of
     [rules].  [only] restricts to the named rules.
+
+    [flow] is a whole-program pass (rule names it may emit, and the
+    pass itself - in practice {!Flow.pass}): it receives every file
+    that parsed and its findings go through the same suppression
+    machinery as per-file rules.  The pass is a parameter rather than
+    a direct call so [Lint] does not depend on [Flow].
+
+    Every run also audits the suppressions themselves: an allow
+    comment that silenced nothing, while every rule it names actually
+    ran, is reported as a [stale-suppression] error (itself not
+    suppressible - delete the comment instead).
+
     @raise Invalid_argument if [only] names an unknown rule. *)
 
 val has_errors : report -> bool

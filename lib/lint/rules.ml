@@ -18,7 +18,8 @@ let finding ~rule ~severity ~(loc : Location.t) message =
     file = p.pos_fname;
     line = p.pos_lnum;
     col = p.pos_cnum - p.pos_bol;
-    message }
+    message;
+    notes = [] }
 
 (* Run [f] on every expression of the structure. *)
 let iter_expressions ast f =

@@ -100,7 +100,8 @@ let decode_one s ~pos =
     if tag < tag_meta || tag > tag_note then Error (Printf.sprintf "bad record tag %d" tag)
     else if body_len > max_record_body then
       Error (Printf.sprintf "oversized record body (%d bytes)" body_len)
-    else if len - pos - record_header_bytes < body_len then Error "truncated record body"
+    else if not (Bca_util.Bounds.slice_ok ~pos:(pos + record_header_bytes) ~len:body_len len)
+    then Error "truncated record body"
     else
       let body = String.sub s (pos + record_header_bytes) body_len in
       if crc_of body <> crc then Error "record CRC mismatch"

@@ -188,20 +188,30 @@ module Make (S : SLOT) = struct
         match slot.aba with Some aba -> S.terminated aba | None -> false)
       t.slots
 
+  (* The slot index [j] arrives on the wire: a faulty peer can name
+     any slot, so it is validated before any array access and the
+     message dropped when out of range. *)
+  let slot_of t j =
+    if Bca_util.Bounds.index_ok ~len:(Array.length t.slots) j then Some t.slots.(j) else None
+
   let handle t ~from msg =
     if t.decision <> None && all_slots_terminated t then []
     else begin
       let out =
         match msg with
-        | Rbc (j, m) ->
-          List.map (fun m -> Rbc (j, m)) (Bracha.handle t.slots.(j).rbc ~from m)
-        | Slot (j, m) ->
-          let slot = t.slots.(j) in
-          (match slot.aba with
-          | Some aba -> wrap j (S.handle aba ~from m)
-          | None ->
-            slot.buffered <- (from, m) :: slot.buffered;
-            [])
+        | Rbc (j, m) -> (
+          match slot_of t j with
+          | Some slot -> List.map (fun m -> Rbc (j, m)) (Bracha.handle slot.rbc ~from m)
+          | None -> [])
+        | Slot (j, m) -> (
+          match slot_of t j with
+          | None -> []
+          | Some slot -> (
+            match slot.aba with
+            | Some aba -> wrap j (S.handle aba ~from m)
+            | None ->
+              slot.buffered <- (from, m) :: slot.buffered;
+              []))
       in
       let out = out @ progress t in
       update_decision t;

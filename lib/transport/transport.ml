@@ -63,10 +63,12 @@ module Loopback = struct
     end
 
   let endpoint h ~me =
-    if me < 0 || me >= h.h_n then invalid_arg "Transport.Loopback.endpoint: pid out of range";
+    if not (Bca_util.Bounds.index_ok ~len:h.h_n me) then
+      invalid_arg "Transport.Loopback.endpoint: pid out of range";
     let st = h.h_stats.(me) in
     let send ~dst s =
-      if dst < 0 || dst >= h.h_n then invalid_arg "Transport.Loopback.send: dst out of range";
+      if not (Bca_util.Bounds.index_ok ~len:h.h_n dst) then
+        invalid_arg "Transport.Loopback.send: dst out of range";
       st.frames_out <- st.frames_out + 1;
       st.bytes_out <- st.bytes_out + String.length s;
       match Wire.decode_frame s ~pos:0 with
@@ -333,7 +335,8 @@ module Socket = struct
     match Wire.Reader.next_view c.c_reader with
     | Ok None -> ()
     | Ok (Some v) ->
-      if v.Wire.v_sender < 0 || v.Wire.v_sender >= s.s_n || v.Wire.v_sender = s.s_me then begin
+      if (not (Bca_util.Bounds.index_ok ~len:s.s_n v.Wire.v_sender)) || v.Wire.v_sender = s.s_me
+      then begin
         s.s_stats.drops <- s.s_stats.drops + 1;
         trace s ~peer:v.Wire.v_sender ~op:"drop" ~bytes:(Wire.view_bytes v)
       end
@@ -444,7 +447,8 @@ module Socket = struct
        reconnect logic), not kill the process *)
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
     let n = Array.length addrs in
-    if me < 0 || me >= n then invalid_arg "Transport.Socket.endpoint: pid out of range";
+    if not (Bca_util.Bounds.index_ok ~len:n me) then
+      invalid_arg "Transport.Socket.endpoint: pid out of range";
     let addr = addrs.(me) in
     let unix_path =
       match addr with
@@ -495,7 +499,8 @@ module Socket = struct
         s_closed = false }
     in
     let send ~dst frame_str =
-      if dst < 0 || dst >= n then invalid_arg "Transport.Socket.send: dst out of range";
+      if not (Bca_util.Bounds.index_ok ~len:n dst) then
+        invalid_arg "Transport.Socket.send: dst out of range";
       let len = String.length frame_str in
       s.s_stats.frames_out <- s.s_stats.frames_out + 1;
       s.s_stats.bytes_out <- s.s_stats.bytes_out + len;

@@ -1,0 +1,9 @@
+let fits ?(min = 0) ~max v = v >= min && v <= max
+
+let index_ok ~len i = i >= 0 && i < len
+
+(* [pos + len] could wrap only if both are near max_int; rejecting the
+   negatives first makes the sum monotone, and [total - pos] cannot
+   underflow once [pos >= 0] and [pos <= total] are known. *)
+let slice_ok ~pos ~len total =
+  pos >= 0 && len >= 0 && pos <= total && len <= total - pos

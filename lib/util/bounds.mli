@@ -1,0 +1,26 @@
+(** Centralized bounds guards for wire-derived integers.
+
+    Every length, count, index or offset decoded from attacker-controlled
+    bytes must pass through one of these predicates before it sizes an
+    allocation, bounds a loop or indexes a structure.  Spelling the guard
+    once keeps the check shapes uniform (a lower {e and} an upper bound -
+    PR 4's varint-overflow crash slipped through an upper-bound-only
+    guard), and gives the [wire-taint] / [unbounded-alloc] flow rules a
+    recognized sanitizer vocabulary: an integer passed to a [Bounds]
+    predicate is considered fully bounds-checked by the lint engine, the
+    same way [Quorum.*] names threshold checks for the [quorum] rule. *)
+
+val fits : ?min:int -> max:int -> int -> bool
+(** [fits ?min ~max v] is [min <= v && v <= max]; [min] defaults to [0].
+    The guard shape for decoded lengths and counts: non-negative and no
+    larger than what the enclosing body / budget can hold. *)
+
+val index_ok : len:int -> int -> bool
+(** [index_ok ~len i] is [0 <= i && i < len]: a valid index into an
+    array, string or slot table of length [len]. *)
+
+val slice_ok : pos:int -> len:int -> int -> bool
+(** [slice_ok ~pos ~len total] is true when the [pos, pos+len) slice lies
+    inside [0, total): both are non-negative and [pos + len <= total],
+    evaluated without overflow (a huge [pos] plus a huge [len] cannot
+    wrap past the check). *)

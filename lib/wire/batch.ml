@@ -15,7 +15,7 @@ let add_record_buf buf ~instance body =
   Buffer.add_buffer buf body
 
 let check_inner inner_codec_id =
-  if inner_codec_id < 0 || inner_codec_id > 0xFF then
+  if not (Bca_util.Bounds.fits ~max:0xFF inner_codec_id) then
     invalid_arg "Batch: inner codec id out of range";
   if inner_codec_id = codec_id then invalid_arg "Batch: nested batch codec id"
 

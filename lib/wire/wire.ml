@@ -26,7 +26,7 @@ let crc_table =
          !c))
 
 let crc32 s ~pos ~len =
-  if pos < 0 || len < 0 || pos + len > String.length s then
+  if not (Bca_util.Bounds.slice_ok ~pos ~len (String.length s)) then
     invalid_arg "Wire.crc32: slice out of bounds";
   let table = Lazy.force crc_table in
   let c = ref 0xFFFFFFFFl in
@@ -82,7 +82,7 @@ module Get = struct
   let fail msg = raise (Malformed msg)
 
   let create src ~pos ~len =
-    if pos < 0 || len < 0 || pos + len > String.length src then
+    if not (Bca_util.Bounds.slice_ok ~pos ~len (String.length src)) then
       invalid_arg "Wire.Get.create: slice out of bounds";
     { src; pos; limit = pos + len }
 
@@ -128,7 +128,7 @@ module Get = struct
 
   let string t =
     let len = varint t in
-    if len < 0 || len > remaining t then fail "string length exceeds body";
+    if not (Bca_util.Bounds.fits ~max:(remaining t) len) then fail "string length exceeds body";
     let s = String.sub t.src t.pos len in
     t.pos <- t.pos + len;
     s
@@ -140,13 +140,13 @@ module Get = struct
     | v -> fail (Printf.sprintf "invalid value byte %d" v)
 
   let sub t len =
-    if len < 0 || len > remaining t then fail "sub-cursor exceeds input";
+    if not (Bca_util.Bounds.fits ~max:(remaining t) len) then fail "sub-cursor exceeds input";
     let s = { src = t.src; pos = t.pos; limit = t.pos + len } in
     t.pos <- t.pos + len;
     s
 
   let take t len =
-    if len < 0 || len > remaining t then fail "take exceeds input";
+    if not (Bca_util.Bounds.fits ~max:(remaining t) len) then fail "take exceeds input";
     let s = String.sub t.src t.pos len in
     t.pos <- t.pos + len;
     s
@@ -198,8 +198,10 @@ let pp_error ppf = function
 let error_to_string e = Format.asprintf "%a" pp_error e
 
 let encode_raw ~codec_id ~sender body =
-  if sender < 0 || sender > max_sender then invalid_arg "Wire.encode: sender out of range";
-  if codec_id < 0 || codec_id > 0xFF then invalid_arg "Wire.encode: codec id out of range";
+  if not (Bca_util.Bounds.fits ~max:max_sender sender) then
+    invalid_arg "Wire.encode: sender out of range";
+  if not (Bca_util.Bounds.fits ~max:0xFF codec_id) then
+    invalid_arg "Wire.encode: codec id out of range";
   let len = String.length body in
   let buf = Buffer.create (header_bytes + len) in
   Buffer.add_char buf magic0;
@@ -230,7 +232,8 @@ let encode_buf codec ~sender ~scratch m =
    remain valid whatever the caller does next. *)
 let decode_frame_view ?(max_body = default_max_body) s ~pos =
   let have = String.length s - pos in
-  if pos < 0 || pos > String.length s then invalid_arg "Wire.decode_frame_view: pos out of bounds";
+  if not (Bca_util.Bounds.fits ~max:(String.length s) pos) then
+    invalid_arg "Wire.decode_frame_view: pos out of bounds";
   if have < header_bytes then Error (Truncated { need = header_bytes; have })
   else if s.[pos] <> magic0 || s.[pos + 1] <> magic1 then Error Bad_magic
   else
@@ -257,7 +260,13 @@ let decode_frame_view ?(max_body = default_max_body) s ~pos =
             ( { v_codec_id = codec_id; v_sender = sender; v_src = s; v_pos = pos + header_bytes; v_len = len },
               header_bytes + len )
 
-let view_body v = String.sub v.v_src v.v_pos v.v_len
+(* Views built by [decode_frame_view] are always in range, but the
+   type is public - re-validate the window before materialising it. *)
+let view_body v =
+  let pos = v.v_pos and len = v.v_len in
+  if not (Bca_util.Bounds.slice_ok ~pos ~len (String.length v.v_src)) then
+    invalid_arg "Wire.view_body: view window out of range";
+  String.sub v.v_src pos len
 
 let frame_of_view v = { codec_id = v.v_codec_id; sender = v.v_sender; body = view_body v }
 
@@ -335,7 +344,7 @@ module Reader = struct
     { max_body; buf = Buffer.create 4096; off = 0; snap = ""; snap_stale = false; poison = None }
 
   let feed t s ~pos ~len =
-    if pos < 0 || len < 0 || pos + len > String.length s then
+    if not (Bca_util.Bounds.slice_ok ~pos ~len (String.length s)) then
       invalid_arg "Wire.Reader.feed: slice out of bounds";
     Buffer.add_substring t.buf s pos len;
     if len > 0 then t.snap_stale <- true

@@ -5,6 +5,7 @@
 
 module Lint = Bca_lint.Lint
 module Rules = Bca_lint.Rules
+module Flow = Bca_lint.Flow
 
 (* ------------------------------------------------------------------ *)
 (* Fixture plumbing                                                     *)
@@ -310,6 +311,247 @@ let test_parse_error () =
   Alcotest.(check bool) "syntax error surfaces" true (count_rule "parse-error" report > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Flow: interprocedural wire-taint analysis                            *)
+(* ------------------------------------------------------------------ *)
+
+let lint_fixture_flow files =
+  let root = fresh_root () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf root)
+    (fun () ->
+      List.iter (fun (subpath, content) -> write_file ~root subpath content) files;
+      Lint.run ~rules:Rules.all ~flow:Flow.pass ~paths:[ root ] ())
+
+(* Parse a fixture tree and build the flow program directly, for
+   call-graph and summary introspection. *)
+let build_fixture files =
+  let root = fresh_root () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf root)
+    (fun () ->
+      List.iter (fun (subpath, content) -> write_file ~root subpath content) files;
+      let sources =
+        List.filter_map
+          (fun (subpath, _) ->
+            let path = Filename.concat root subpath in
+            match Lint.parse_file path with
+            | Ok ast -> Some { Lint.path; profile = Lint.profile_of_path path; ast }
+            | Error _ -> None)
+          files
+      in
+      Flow.build sources)
+
+let check_flow_flags ~rule ~subpath content =
+  let report = lint_fixture_flow [ (subpath, content) ] in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s flags %s" rule subpath)
+    true
+    (count_rule rule report > 0)
+
+let check_flow_clean ~rule ~subpath content =
+  let report = lint_fixture_flow [ (subpath, content) ] in
+  Alcotest.(check int)
+    (Printf.sprintf "%s passes %s" rule subpath)
+    0 (count_rule rule report)
+
+(* The PR-4 regression, reintroduced as a fixture: a varint decoder
+   whose unchecked shift can overflow to a negative int, feeding an
+   allocation that only guards the upper side.  The analysis earns
+   [varint]'s lower bound from its body, so only the overflow-checked
+   twin is clean. *)
+let buggy_varint =
+  "let varint t =\n\
+  \  let rec go shift acc =\n\
+  \    let b = Get.u8 t in\n\
+  \    let acc = acc lor ((b land 0x7f) lsl shift) in\n\
+  \    if b < 0x80 then acc else go (shift + 7) acc\n\
+  \  in\n\
+  \  go 0 0\n"
+
+let fixed_varint =
+  "let varint t =\n\
+  \  let rec go shift acc =\n\
+  \    let b = Get.u8 t in\n\
+  \    let acc = acc lor ((b land 0x7f) lsl shift) in\n\
+  \    if acc < 0 then failwith \"varint overflow\";\n\
+  \    if b < 0x80 then acc else go (shift + 7) acc\n\
+  \  in\n\
+  \  go 0 0\n"
+
+let varint_caller =
+  "let read_block t =\n\
+  \  let len = varint t in\n\
+  \  if len > 65536 then failwith \"oversized block\";\n\
+  \  Bytes.create len\n"
+
+let test_flow_varint_overflow () =
+  let report =
+    lint_fixture_flow [ ("lib/core/flowbad.ml", buggy_varint ^ varint_caller) ]
+  in
+  Alcotest.(check bool) "overflowable varint length flagged" true
+    (count_rule "unbounded-alloc" report > 0);
+  (* the finding carries the full source -> call chain -> sink trace *)
+  let f =
+    List.find
+      (fun (f : Lint.finding) -> String.equal f.rule "unbounded-alloc")
+      report.findings
+  in
+  let note affix = List.exists (fun n -> contains n affix) f.notes in
+  Alcotest.(check bool) "trace starts at the decode source" true (note "source Get.u8");
+  Alcotest.(check bool) "trace passes through varint" true (note "Flowbad.varint");
+  Alcotest.(check bool) "trace ends at the allocation" true (note "sink Bytes.create")
+
+let test_flow_varint_fixed () =
+  check_flow_clean ~rule:"unbounded-alloc" ~subpath:"lib/core/flowgood.ml"
+    (fixed_varint ^ varint_caller)
+
+let test_flow_index_flags () =
+  check_flow_flags ~rule:"wire-taint" ~subpath:"lib/core/x.ml"
+    "let pick arr t =\n  let i = Get.i64 t in\n  arr.(i)\n";
+  (* Key sink: unbounded ints as table keys grow the table forever *)
+  check_flow_flags ~rule:"wire-taint" ~subpath:"lib/core/x.ml"
+    "let track tbl t = Hashtbl.replace tbl (Get.i64 t) true\n";
+  (* Loop sink: decoded bound without an upper check *)
+  check_flow_flags ~rule:"unbounded-alloc" ~subpath:"lib/core/x.ml"
+    "let spin t =\n  let n = Get.i64 t in\n  for i = 0 to n do ignore i done\n"
+
+let test_flow_index_clean () =
+  (* a plain comparison is evidence enough (u32 is non-negative by
+     construction, the if supplies the upper bound) *)
+  check_flow_clean ~rule:"wire-taint" ~subpath:"lib/core/x.ml"
+    "let pick arr t =\n\
+    \  let i = Get.u32 t in\n\
+    \  if i < Array.length arr then arr.(i) else 0\n";
+  (* the Bounds sanitizer catalog covers both sides at once *)
+  check_flow_clean ~rule:"wire-taint" ~subpath:"lib/core/x.ml"
+    "let pick arr t =\n\
+    \  let i = Get.i64 t in\n\
+    \  if Bounds.index_ok ~len:(Array.length arr) i then arr.(i) else 0\n";
+  (* decoded *strings* are legitimate table keys *)
+  check_flow_clean ~rule:"wire-taint" ~subpath:"lib/core/x.ml"
+    "let track tbl t = Hashtbl.replace tbl (Get.string t) true\n";
+  check_flow_clean ~rule:"unbounded-alloc" ~subpath:"lib/core/x.ml"
+    "let spin t =\n\
+    \  let n = Get.i64 t in\n\
+    \  if n > 1024 then failwith \"too many\";\n\
+    \  if n < 0 then failwith \"negative\";\n\
+    \  for i = 0 to n do ignore i done\n"
+
+let dec_use_fixture =
+  [ ("lib/core/dec.ml", "let parse t = Get.i64 t\n");
+    ("lib/core/use.ml", "let go arr t = Array.get arr (Dec.parse t)\n") ]
+
+let test_flow_cross_file () =
+  let report = lint_fixture_flow dec_use_fixture in
+  Alcotest.(check bool) "cross-file sink flagged" true (count_rule "wire-taint" report > 0);
+  let f =
+    List.find (fun (f : Lint.finding) -> String.equal f.rule "wire-taint") report.findings
+  in
+  Alcotest.(check bool) "finding lands in the sink file" true (contains f.file "use.ml");
+  Alcotest.(check bool) "trace crosses the file boundary" true
+    (List.exists (fun n -> contains n "Dec.parse") f.notes)
+
+let test_flow_call_graph () =
+  let prog = build_fixture dec_use_fixture in
+  let fns = Flow.functions prog in
+  Alcotest.(check bool) "harvests Dec.parse" true (List.mem "Dec.parse" fns);
+  Alcotest.(check bool) "harvests Use.go" true (List.mem "Use.go" fns);
+  Alcotest.(check bool) "Use.go calls Dec.parse" true
+    (List.mem "Dec.parse" (Flow.callees prog "Use.go"));
+  Alcotest.(check bool) "Dec.parse returns taint" true (Flow.returns_taint prog "Dec.parse");
+  Alcotest.(check bool) "summary names the source" true
+    (contains (Flow.summary_string prog "Dec.parse") "Get.i64")
+
+let test_flow_reporters () =
+  let report = lint_fixture_flow dec_use_fixture in
+  let text = Format.asprintf "%a" Lint.pp_text report in
+  Alcotest.(check bool) "text report prints the trace" true (contains text "source Get.i64");
+  let json = Lint.to_json report in
+  Alcotest.(check bool) "json report carries the trace" true (contains json "\"trace\"")
+
+let test_flow_suppressible () =
+  let report =
+    lint_fixture_flow
+      [ ("lib/core/x.ml",
+         "let pick arr t =\n\
+         \  let i = Get.i64 t in\n\
+         \  (* lint: allow wire-taint -- fixture: deliberate unchecked index *)\n\
+         \  arr.(i)\n") ]
+  in
+  Alcotest.(check int) "flow finding silenced" 0 (count_rule "wire-taint" report);
+  Alcotest.(check bool) "counted as suppressed" true (report.suppressed > 0);
+  Alcotest.(check int) "suppression is live, not stale" 0
+    (count_rule "stale-suppression" report)
+
+(* A chain f0 <- f1 <- ... where each link either forwards the decoded
+   value or breaks the chain with a constant. *)
+let chain_file links =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "let f0 t = Get.i64 t\n";
+  List.iteri
+    (fun i keep ->
+      let j = i + 1 in
+      if keep then Buffer.add_string buf (Printf.sprintf "let f%d t = f%d t\n" j i)
+      else Buffer.add_string buf (Printf.sprintf "let f%d _t = 0\n" j))
+    links;
+  Buffer.contents buf
+
+let chain_tainted links =
+  let prog = build_fixture [ ("lib/core/chain.ml", chain_file links) ] in
+  Flow.tainted_returns prog
+
+let flow_qcheck =
+  let links = QCheck.(list_of_size Gen.(int_bound 5) bool) in
+  [ QCheck.Test.make ~count:60 ~name:"taint follows exactly the unbroken prefix" links
+      (fun ls ->
+        let tainted = chain_tainted ls in
+        let rec prefix i = function
+          | [] -> []
+          | true :: tl -> Printf.sprintf "Chain.f%d" (i + 1) :: prefix (i + 1) tl
+          | false :: _ -> []
+        in
+        let expected = "Chain.f0" :: prefix 0 ls in
+        List.sort String.compare expected = List.sort String.compare tainted);
+    QCheck.Test.make ~count:60 ~name:"adding a call edge never shrinks tainted returns" links
+      (fun ls ->
+        let before = chain_tainted ls in
+        let extended =
+          chain_file ls
+          ^ Printf.sprintf "let tail t = f%d t\n" (List.length ls)
+        in
+        let after =
+          Flow.tainted_returns
+            (build_fixture [ ("lib/core/chain.ml", extended) ])
+        in
+        List.for_all (fun n -> List.mem n after) before) ]
+
+(* ------------------------------------------------------------------ *)
+(* stale-suppression                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_stale_suppression_flags () =
+  (* silences nothing while its rule ran: stale *)
+  let report =
+    lint_fixture
+      [ ("lib/core/x.ml", "(* lint: allow determinism -- no longer needed *)\nlet x = 1\n") ]
+  in
+  Alcotest.(check bool) "dead allow comment flagged" true
+    (count_rule "stale-suppression" report > 0);
+  Alcotest.(check bool) "stale is an error" true (Lint.has_errors report)
+
+let test_stale_suppression_scoped_to_run () =
+  (* names a flow rule: only stale when the flow pass actually ran *)
+  let file =
+    ("lib/core/x.ml", "(* lint: allow wire-taint -- flow-only fixture *)\nlet x = 1\n")
+  in
+  let without_flow = lint_fixture [ file ] in
+  Alcotest.(check int) "not stale when the rule did not run" 0
+    (count_rule "stale-suppression" without_flow);
+  let with_flow = lint_fixture_flow [ file ] in
+  Alcotest.(check bool) "stale once the flow pass runs" true
+    (count_rule "stale-suppression" with_flow > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Self-clean gate: the repository's own lib/ tree must lint clean      *)
 (* ------------------------------------------------------------------ *)
 
@@ -330,6 +572,25 @@ let test_self_clean () =
        (fun ppf -> List.iter (Format.fprintf ppf "%a@." Lint.pp_finding))
        report.findings);
   Alcotest.(check bool) "a useful number of files scanned" true (report.files_scanned > 40)
+
+let test_self_clean_flow () =
+  let lib =
+    List.find_opt
+      (fun p -> Sys.file_exists (Filename.concat p "util"))
+      [ "../lib"; "lib" ]
+    |> function
+    | Some p -> p
+    | None -> Alcotest.fail "lib/ not found from the test's working directory"
+  in
+  let t0 = Unix.gettimeofday () in
+  let report = Lint.run ~rules:Rules.all ~flow:Flow.pass ~paths:[ lib ] () in
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check string) "lib/ is flow-clean" ""
+    (Format.asprintf "%a"
+       (fun ppf -> List.iter (Format.fprintf ppf "%a@." Lint.pp_finding))
+       report.findings);
+  Alcotest.(check bool) "flow rules ran" true (List.mem "wire-taint" report.rules_run);
+  Alcotest.(check bool) "whole-lib analysis stays under the 10s budget" true (dt < 10.0)
 
 let () =
   Alcotest.run "lint"
@@ -359,4 +620,19 @@ let () =
         [ Alcotest.test_case "--rules filter" `Quick test_only_filter;
           Alcotest.test_case "reporters" `Quick test_reporters;
           Alcotest.test_case "parse error" `Quick test_parse_error ] );
-      ("self", [ Alcotest.test_case "lib/ lints clean" `Quick test_self_clean ]) ]
+      ( "flow",
+        [ Alcotest.test_case "varint overflow fixture" `Quick test_flow_varint_overflow;
+          Alcotest.test_case "fixed varint is clean" `Quick test_flow_varint_fixed;
+          Alcotest.test_case "flags index/key/loop sinks" `Quick test_flow_index_flags;
+          Alcotest.test_case "passes guarded sinks" `Quick test_flow_index_clean;
+          Alcotest.test_case "cross-file propagation" `Quick test_flow_cross_file;
+          Alcotest.test_case "call graph" `Quick test_flow_call_graph;
+          Alcotest.test_case "trace reporters" `Quick test_flow_reporters;
+          Alcotest.test_case "suppressible" `Quick test_flow_suppressible ]
+        @ List.map (QCheck_alcotest.to_alcotest ~long:false) flow_qcheck );
+      ( "stale-suppression",
+        [ Alcotest.test_case "dead allow comment" `Quick test_stale_suppression_flags;
+          Alcotest.test_case "scoped to rules run" `Quick test_stale_suppression_scoped_to_run ] );
+      ("self",
+        [ Alcotest.test_case "lib/ lints clean" `Quick test_self_clean;
+          Alcotest.test_case "lib/ is flow-clean" `Quick test_self_clean_flow ]) ]
